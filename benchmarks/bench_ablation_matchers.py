@@ -1,0 +1,78 @@
+"""Ablation: the contribution of the skipping string matchers.
+
+Not a table of the paper, but an ablation its design discussion calls for:
+how much of SMP's advantage comes from Boyer-Moore / Commentz-Walter skipping
+versus the character-by-character alternatives (naive search and the
+Aho-Corasick family used by tokenizing approaches)?  The benchmark runs the
+same prefiltering task under every matcher backend and reports character
+comparisons and CPU time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.bench import TableReporter, measure
+from repro.matching import available_backends
+from repro.workloads import load_dataset
+from repro.workloads.xmark import XMARK_QUERIES
+
+_QUERY = "XM13"
+
+#: The naive backend is quadratic-ish in practice; a smaller document keeps
+#: the ablation affordable without changing the comparison's shape.
+_ABLATION_DOCUMENT_BYTES = 400_000
+
+
+@pytest.fixture(scope="module")
+def ablation_document() -> str:
+    return load_dataset("xmark", size_bytes=_ABLATION_DOCUMENT_BYTES)
+
+_REPORTER = TableReporter(
+    title="Ablation - matcher backends on query XM13 (XMark)",
+    columns=["Backend", "Usr+Sys s", "Char Comp. %", "Shift [char]", "Output bytes"],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_ablation_backend(benchmark, backend, ablation_document, xmark_schema):
+    spec = XMARK_QUERIES[_QUERY]
+    prefilter = SmpPrefilter.compile(
+        xmark_schema, spec.parsed_paths(), backend=backend, add_default_paths=False,
+    )
+    run = measure(lambda: prefilter.filter_document(ablation_document), trace_memory=False)
+    benchmark.pedantic(
+        lambda: prefilter.filter_document(ablation_document), rounds=1, iterations=1,
+    )
+    stats = run.result.stats
+    _REPORTER.add_row(
+        backend,
+        run.cpu_seconds,
+        stats.char_comparison_ratio,
+        stats.average_shift,
+        len(run.result.output),
+    )
+    assert run.result.output  # every backend produces a projection
+
+
+def test_skipping_beats_character_by_character(ablation_document, xmark_schema):
+    """The instrumented BM/CW configuration inspects far fewer characters
+    than the naive backend on the same task."""
+    spec = XMARK_QUERIES[_QUERY]
+    paths = spec.parsed_paths()
+    instrumented = SmpPrefilter.compile(
+        xmark_schema, paths, backend="instrumented", add_default_paths=False,
+    ).filter_document(ablation_document)
+    naive = SmpPrefilter.compile(
+        xmark_schema, paths, backend="naive", add_default_paths=False,
+    ).filter_document(ablation_document)
+    assert instrumented.output == naive.output
+    assert instrumented.stats.total_comparisons < naive.stats.total_comparisons / 2

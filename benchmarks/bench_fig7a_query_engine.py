@@ -1,0 +1,102 @@
+"""Figure 7(a): an in-memory query engine with and without SMP prefiltering.
+
+The paper couples QizX with SMP sequentially (prefilter to disk, reload,
+evaluate) and shows that prefiltering lets the engine scale to documents it
+cannot load otherwise.  The reproduction sweeps document sizes, gives the
+in-memory engine a fixed memory budget, and reports for every size whether
+stand-alone evaluation succeeds and how the runtimes compare.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.bench import TableReporter, measure, megabytes
+from repro.workloads import load_dataset
+from repro.workloads.xmark import XMARK_QUERIES
+from repro.xpath import InMemoryQueryEngine, MemoryLimitExceeded
+from repro.xpath.engine import estimate_tree_memory
+from repro.xml.tree import parse_document
+
+_QUERY = "XM13"
+_SIZE_FRACTIONS = (0.08, 0.3, 1.0)
+
+_REPORTER = TableReporter(
+    title="Figure 7(a) - In-memory engine alone vs SMP + engine (query XM13)",
+    columns=[
+        "Doc MB", "Engine alone s", "Engine status",
+        "SMP s", "SMP+Engine s", "Pipeline status", "Proj MB",
+    ],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+
+
+@pytest.fixture(scope="module")
+def documents(document_bytes):
+    sizes = [max(40_000, int(document_bytes * fraction)) for fraction in _SIZE_FRACTIONS]
+    return [(size, load_dataset("xmark", size_bytes=size)) for size in sizes]
+
+
+@pytest.fixture(scope="module")
+def memory_limit(documents):
+    """A budget that the largest unprojected document exceeds."""
+    largest = documents[-1][1]
+    return int(estimate_tree_memory(parse_document(largest)) * 0.6)
+
+
+@pytest.mark.parametrize("index", range(len(_SIZE_FRACTIONS)))
+def test_fig7a_point(benchmark, index, documents, memory_limit, xmark_schema):
+    size, document = documents[index]
+    spec = XMARK_QUERIES[_QUERY]
+    engine = InMemoryQueryEngine(memory_limit_bytes=memory_limit)
+    prefilter = SmpPrefilter.compile(
+        xmark_schema, spec.parsed_paths(), backend="native", add_default_paths=False,
+    )
+
+    # Stand-alone evaluation (may exceed the memory budget).
+    def run_alone():
+        try:
+            return ("ok", engine.run(spec.xpath, document))
+        except MemoryLimitExceeded:
+            return ("out-of-memory", None)
+
+    alone = measure(run_alone, trace_memory=False)
+    alone_status, _ = alone.result
+
+    # Sequential prefilter + evaluation (the paper's "SMP+QizX" setup).
+    smp = measure(lambda: prefilter.filter_document(document), trace_memory=False)
+    projected = smp.result.output
+
+    def run_pipelined():
+        try:
+            return ("ok", engine.run(spec.xpath, projected))
+        except MemoryLimitExceeded:
+            return ("out-of-memory", None)
+
+    pipelined = measure(run_pipelined, trace_memory=False)
+    pipeline_status, _ = pipelined.result
+    benchmark.pedantic(lambda: prefilter.filter_document(document), rounds=1, iterations=1)
+
+    _REPORTER.add_row(
+        megabytes(size),
+        alone.wall_seconds,
+        alone_status,
+        smp.wall_seconds,
+        smp.wall_seconds + pipelined.wall_seconds,
+        pipeline_status,
+        megabytes(len(projected)),
+    )
+
+    # The prefiltered pipeline must always fit in the memory budget.
+    assert pipeline_status == "ok"
+    if index == len(_SIZE_FRACTIONS) - 1:
+        # The largest document must exceed the budget without prefiltering,
+        # reproducing the paper's failure cliff.
+        assert alone_status == "out-of-memory"

@@ -1,0 +1,64 @@
+"""Table I: SMP performance characteristics on the XMark workload.
+
+For every query XM1-XM14, XM17-XM20 the benchmark compiles the prefilter,
+runs it over the XMark-like document, and reports the paper's columns:
+projected size, peak memory, Usr+Sys CPU seconds, runtime-DFA states split
+into CW and BM states, average forward-shift size, initial-jump percentage
+and character-comparison percentage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.bench import TableReporter, measure, megabytes
+from repro.workloads.xmark import XMARK_QUERIES, XMARK_QUERY_ORDER
+
+_REPORTER = TableReporter(
+    title="Table I - SMP prefiltering of the XMark document",
+    columns=[
+        "Query", "Proj.Size MB", "Mem MB", "Usr+Sys s", "States (CW+BM)",
+        "Shift [char]", "Init.Jumps %", "Char Comp. %",
+    ],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+
+
+@pytest.mark.parametrize("query_name", XMARK_QUERY_ORDER)
+def test_table1_row(benchmark, query_name, xmark_document, xmark_schema):
+    spec = XMARK_QUERIES[query_name]
+    prefilter = SmpPrefilter.compile(
+        xmark_schema, spec.parsed_paths(), add_default_paths=False,
+    )
+
+    def run():
+        return prefilter.filter_document(xmark_document)
+
+    measurement = measure(run)
+    run_result = measurement.result
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    stats = run_result.stats
+    compilation = prefilter.compilation
+    _REPORTER.add_row(
+        query_name,
+        megabytes(run_result.output_size),
+        megabytes(measurement.peak_memory_bytes),
+        measurement.cpu_seconds,
+        compilation.states_label(),
+        stats.average_shift,
+        stats.initial_jump_ratio,
+        stats.char_comparison_ratio,
+    )
+
+    # Sanity assertions tying the reproduction to the paper's shape: SMP
+    # inspects well under half of the input and produces smaller output.
+    assert stats.char_comparison_ratio < 50.0
+    assert run_result.output_size < len(xmark_document)

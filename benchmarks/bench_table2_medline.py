@@ -1,0 +1,59 @@
+"""Table II: SMP prefiltering of the MEDLINE document for queries M1-M5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.bench import TableReporter, measure, megabytes
+from repro.workloads.medline import MEDLINE_QUERIES, MEDLINE_QUERY_ORDER
+
+_REPORTER = TableReporter(
+    title="Table II - SMP prefiltering of the MEDLINE document",
+    columns=[
+        "Query", "Proj.Size MB", "Mem MB", "Usr+Sys s", "States (CW+BM)",
+        "Shift [char]", "Init.Jumps %", "Char Comp. %",
+    ],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+
+
+@pytest.mark.parametrize("query_name", MEDLINE_QUERY_ORDER)
+def test_table2_row(benchmark, query_name, medline_document, medline_schema):
+    spec = MEDLINE_QUERIES[query_name]
+    prefilter = SmpPrefilter.compile(
+        medline_schema, spec.parsed_paths(), add_default_paths=False,
+    )
+
+    def run():
+        return prefilter.filter_document(medline_document)
+
+    measurement = measure(run)
+    run_result = measurement.result
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    stats = run_result.stats
+    _REPORTER.add_row(
+        query_name,
+        megabytes(run_result.output_size),
+        megabytes(measurement.peak_memory_bytes),
+        measurement.cpu_seconds,
+        prefilter.compilation.states_label(),
+        stats.average_shift,
+        stats.initial_jump_ratio,
+        stats.char_comparison_ratio,
+    )
+
+    # Shape assertions: MEDLINE tag names are long, so the average shift is
+    # larger than on XMark, and only a small fraction of characters is read.
+    assert stats.average_shift > 4.0
+    assert stats.char_comparison_ratio < 40.0
+    if query_name == "M1":
+        # M1 targets an element that never occurs: near-empty projection.
+        assert stats.projection_ratio < 0.001

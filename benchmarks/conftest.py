@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark obtains its input documents from :mod:`repro.workloads`
+(deterministic synthetic XMark / MEDLINE data).  The document size defaults
+to ``repro.workloads.datasets.DEFAULT_DOCUMENT_BYTES`` and can be raised via
+the ``REPRO_DOCUMENT_BYTES`` environment variable to study scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import default_document_bytes, load_dataset
+from repro.workloads.medline import medline_dtd
+from repro.workloads.xmark import xmark_dtd
+
+
+@pytest.fixture(scope="session")
+def document_bytes() -> int:
+    """Benchmark document size in bytes."""
+    return default_document_bytes()
+
+
+@pytest.fixture(scope="session")
+def xmark_document(document_bytes: int) -> str:
+    """The XMark-like benchmark document."""
+    return load_dataset("xmark", size_bytes=document_bytes)
+
+
+@pytest.fixture(scope="session")
+def medline_document(document_bytes: int) -> str:
+    """The MEDLINE-like benchmark document."""
+    return load_dataset("medline", size_bytes=document_bytes)
+
+
+@pytest.fixture(scope="session")
+def xmark_schema():
+    """The XMark DTD (parsed once per session)."""
+    return xmark_dtd()
+
+
+@pytest.fixture(scope="session")
+def medline_schema():
+    """The MEDLINE DTD (parsed once per session)."""
+    return medline_dtd()

@@ -1,0 +1,77 @@
+"""Comparing the string-matching algorithms that power SMP.
+
+The paper's key observation is that Boyer-Moore and Commentz-Walter skip most
+of the input.  This example plants XML tag keywords in synthetic text and
+reports, for every matcher in the library, how many character comparisons it
+needed and what its average forward shift was.
+
+Run with::
+
+    python examples/string_matching_playground.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.matching import (
+    AhoCorasickMatcher,
+    BoyerMooreMatcher,
+    CommentzWalterMatcher,
+    HorspoolMatcher,
+    NaiveMatcher,
+    NaiveMultiMatcher,
+)
+
+
+def build_text(seed: int = 1, size: int = 200_000) -> str:
+    rng = random.Random(seed)
+    words = ["lorem", "ipsum", "dolor", "sit", "amet", "payment", "items",
+             "<name>", "<payment>", "auction", "person", "</name>"]
+    pieces = []
+    total = 0
+    while total < size:
+        word = rng.choice(words)
+        pieces.append(word)
+        total += len(word) + 1
+    pieces.append("<australia><description>Palm Zire 71</description></australia>")
+    return " ".join(pieces)
+
+
+def main() -> None:
+    text = build_text()
+    print(f"text size: {len(text):,} characters\n")
+
+    keyword = "<australia"
+    print(f"single keyword search for {keyword!r}")
+    print(f"{'algorithm':<16} {'found at':>10} {'comparisons':>12} {'avg shift':>10}")
+    for matcher in (NaiveMatcher(keyword), HorspoolMatcher(keyword), BoyerMooreMatcher(keyword)):
+        match = matcher.find(text)
+        print(
+            f"{matcher.algorithm_name:<16} {match.position:>10,} "
+            f"{matcher.stats.comparisons:>12,} {matcher.stats.average_shift:>10.2f}"
+        )
+
+    keywords = ["<australia", "<description", "</australia"]
+    print(f"\nmulti keyword search for {keywords}")
+    print(f"{'algorithm':<16} {'found at':>10} {'keyword':>14} {'comparisons':>12} {'avg shift':>10}")
+    for matcher in (
+        NaiveMultiMatcher(keywords),
+        AhoCorasickMatcher(keywords),
+        CommentzWalterMatcher(keywords),
+    ):
+        match = matcher.find(text)
+        print(
+            f"{matcher.algorithm_name:<16} {match.position:>10,} {match.keyword:>14} "
+            f"{matcher.stats.comparisons:>12,} {matcher.stats.average_shift:>10.2f}"
+        )
+
+    print(
+        "\nThe skipping algorithms (Boyer-Moore, Commentz-Walter) inspect a small "
+        "fraction of the text;\nthis is exactly the effect the SMP runtime exploits "
+        "when it navigates raw XML."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed on minimal environments whose setuptools lacks
+PEP 660 editable-wheel support (``pip install -e . --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

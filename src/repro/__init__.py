@@ -1,0 +1,67 @@
+"""Reproduction of *XML Prefiltering as a String Matching Problem* (ICDE 2008).
+
+The package implements the SMP prefilter of Koch, Scherzinger and Schmidt and
+every substrate it depends on: Boyer-Moore / Commentz-Walter string matching,
+DTD parsing and DTD automata, the projection semantics of Section III, a
+token-based reference projector, SAX-style tokenization, in-memory and
+streaming XPath engines, and synthetic XMark / MEDLINE workloads.
+
+Quickstart::
+
+    from repro import Dtd, SmpPrefilter
+
+    dtd = Dtd.parse(open("site.dtd").read())
+    prefilter = SmpPrefilter.compile(dtd, ["//australia//description#"])
+    run = prefilter.filter_document(xml_text)
+    print(run.output)
+    print(run.stats.char_comparison_ratio, "% of characters inspected")
+"""
+
+from repro.core.prefilter import SmpPrefilter
+from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
+from repro.dtd.model import Dtd
+from repro.errors import (
+    CompilationError,
+    DtdRecursionError,
+    DtdSyntaxError,
+    DtdValidationError,
+    MatchingError,
+    ProjectionPathError,
+    QueryError,
+    ReproError,
+    RuntimeFilterError,
+    WorkloadError,
+    XPathSyntaxError,
+    XmlSyntaxError,
+)
+from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
+from repro.projection.paths import ProjectionPath, parse_projection_paths
+from repro.projection.reference import ReferenceProjector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationError",
+    "CompilationStatistics",
+    "Dtd",
+    "DtdRecursionError",
+    "DtdSyntaxError",
+    "DtdValidationError",
+    "FilterRun",
+    "MatchingError",
+    "ProjectionPath",
+    "ProjectionPathError",
+    "QueryError",
+    "QuerySpec",
+    "ReferenceProjector",
+    "ReproError",
+    "RunStatistics",
+    "RuntimeFilterError",
+    "SmpPrefilter",
+    "WorkloadError",
+    "XPathSyntaxError",
+    "XmlSyntaxError",
+    "__version__",
+    "extract_paths_from_xpath",
+    "parse_projection_paths",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    Measurement,
+    TableReporter,
+    format_value,
+    measure,
+    megabytes,
+    throughput_mb_per_second,
+)
+
+__all__ = [
+    "Measurement",
+    "TableReporter",
+    "format_value",
+    "measure",
+    "megabytes",
+    "throughput_mb_per_second",
+]

@@ -1,0 +1,137 @@
+"""Measurement helpers and table formatting for the benchmark suite.
+
+The paper reports its results as tables (Table I-III) and figures
+(Figure 7(a)-(c)).  Each benchmark module collects one row per measurement
+through a :class:`TableReporter`; at the end of the module the assembled
+table is printed and appended to ``benchmarks/results/`` so that
+``EXPERIMENTS.md`` can reference a concrete artefact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class Measurement:
+    """Wall-clock seconds, CPU seconds and peak memory of one callable run."""
+
+    wall_seconds: float
+    cpu_seconds: float
+    peak_memory_bytes: int
+    result: object = None
+
+
+def measure(callable_: Callable[[], object], *, trace_memory: bool = True) -> Measurement:
+    """Run ``callable_`` once and record wall / CPU time and peak memory.
+
+    ``cpu_seconds`` corresponds to the paper's Usr+Sys column (process CPU
+    time), ``wall_seconds`` to its Time column.
+    """
+    if trace_memory:
+        tracemalloc.start()
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    result = callable_()
+    wall_seconds = time.perf_counter() - wall_start
+    cpu_seconds = time.process_time() - cpu_start
+    peak = 0
+    if trace_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return Measurement(
+        wall_seconds=wall_seconds,
+        cpu_seconds=cpu_seconds,
+        peak_memory_bytes=peak,
+        result=result,
+    )
+
+
+def megabytes(size_bytes: float) -> float:
+    """Bytes -> megabytes (decimal, as in the paper's MB figures)."""
+    return size_bytes / 1_000_000.0
+
+
+def throughput_mb_per_second(size_bytes: float, seconds: float) -> float:
+    """Throughput in MB/s; 0 when the elapsed time is not measurable."""
+    if seconds <= 0:
+        return 0.0
+    return megabytes(size_bytes) / seconds
+
+
+@dataclass
+class TableReporter:
+    """Collects rows and renders a fixed-width table like the paper's."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; values are formatted with :func:`format_value`."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values for {self.title}, got {len(values)}"
+            )
+        self.rows.append([format_value(value) for value in values])
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(self.columns))
+        separator = "-" * len(header)
+        lines = [self.title, separator, header, separator]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def emit(self, directory: str | None = None) -> str:
+        """Print the table and persist it under ``benchmarks/results``."""
+        rendered = self.render()
+        print("\n" + rendered)
+        target_directory = directory or default_results_directory()
+        os.makedirs(target_directory, exist_ok=True)
+        slug = "".join(
+            character if character.isalnum() else "_" for character in self.title.lower()
+        ).strip("_")
+        path = os.path.join(target_directory, f"{slug}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        return path
+
+
+def default_results_directory() -> str:
+    """``benchmarks/results`` relative to the repository root when available."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (here, *_parents(here)):
+        if os.path.isdir(os.path.join(candidate, "benchmarks")):
+            return os.path.join(candidate, "benchmarks", "results")
+    return os.path.join(os.getcwd(), "benchmark-results")
+
+
+def _parents(path: str):
+    while True:
+        parent = os.path.dirname(path)
+        if parent == path:
+            return
+        yield parent
+        path = parent
+
+
+def format_value(value: object) -> str:
+    """Human-friendly formatting for table cells."""
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,29 @@
+"""The SMP core: static analysis, lookup tables, runtime, prefilter facade."""
+
+from repro.core.prefilter import SmpPrefilter
+from repro.core.runtime import SmpRuntime
+from repro.core.static_analysis import (
+    AnalysisResult,
+    RuntimeAutomaton,
+    RuntimeState,
+    StaticAnalyzer,
+)
+from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
+from repro.core.tables import Action, RuntimeTables, build_tables, keyword_for, summarize_states
+
+__all__ = [
+    "Action",
+    "AnalysisResult",
+    "CompilationStatistics",
+    "FilterRun",
+    "RunStatistics",
+    "RuntimeAutomaton",
+    "RuntimeState",
+    "RuntimeTables",
+    "SmpPrefilter",
+    "SmpRuntime",
+    "StaticAnalyzer",
+    "build_tables",
+    "keyword_for",
+    "summarize_states",
+]

@@ -1,0 +1,323 @@
+"""The SMP runtime algorithm (Figure 4 of the paper).
+
+The runtime switches between string-matching problems: in every automaton
+state it first skips ``J[q]`` characters, then searches for the closest
+keyword of the frontier vocabulary ``V[q]`` (Boyer-Moore for unary
+vocabularies, Commentz-Walter otherwise), scans locally to the right for the
+end of the matched tag, takes the transition ``A[q, token]`` and performs the
+action ``T[q']``.  Bachelor tags are processed as an opening immediately
+followed by a closing tag; tag names that are prefixes of longer tag names
+are disambiguated during the end-of-tag scan.
+
+Input contract: the document must be valid with respect to the DTD the tables
+were compiled from, and -- like the paper's prototype -- must not hide markup
+inside comments or CDATA sections (character data must escape ``<``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.stats import RunStatistics
+from repro.core.tables import Action, RuntimeTables
+from repro.dtd.automaton import CLOSE, OPEN, Symbol
+from repro.errors import RuntimeFilterError
+from repro.matching.base import MultiKeywordMatcher, SingleKeywordMatcher
+from repro.matching.factory import make_matcher
+from repro.xml.escape import is_name_char
+
+_WHITESPACE = " \t\r\n"
+
+
+@dataclass
+class _MatchedTag:
+    """A tag located in the input by the frontier search."""
+
+    keyword: str
+    symbol: Symbol
+    start: int          # offset of '<'
+    end: int            # offset of the final '>'
+    is_bachelor: bool
+
+
+class SmpRuntime:
+    """Executes the runtime algorithm over documents held in strings.
+
+    Parameters
+    ----------
+    tables:
+        Compiled lookup tables (see :func:`repro.core.tables.build_tables`).
+    backend:
+        Matcher backend name (see :mod:`repro.matching.factory`); the paper's
+        configuration (instrumented Boyer-Moore / Commentz-Walter) is the
+        default.
+    """
+
+    def __init__(self, tables: RuntimeTables, backend: str = "instrumented") -> None:
+        self.tables = tables
+        self.backend = backend
+        # The paper computes string-search structures lazily, when an
+        # automaton state is first entered; the cache mirrors that.
+        self._matchers: dict[int, SingleKeywordMatcher | MultiKeywordMatcher] = {}
+
+    # ------------------------------------------------------------------
+    # Matcher management
+    # ------------------------------------------------------------------
+    def _matcher(self, state: int) -> SingleKeywordMatcher | MultiKeywordMatcher | None:
+        matcher = self._matchers.get(state)
+        if matcher is None:
+            vocabulary = self.tables.V(state)
+            if not vocabulary:
+                return None
+            matcher = make_matcher(vocabulary, backend=self.backend)
+            self._matchers[state] = matcher
+        return matcher
+
+    def reset_matcher_statistics(self) -> None:
+        """Zero the statistics of all cached matchers."""
+        for matcher in self._matchers.values():
+            matcher.stats.reset()
+
+    def _collect_matcher_statistics(self, stats: RunStatistics) -> None:
+        for matcher in self._matchers.values():
+            stats.char_comparisons += matcher.stats.comparisons
+            stats.shifts += matcher.stats.shifts
+            stats.shift_total += matcher.stats.shift_total
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def filter_text(self, text: str) -> tuple[str, RunStatistics]:
+        """Prefilter ``text`` and return ``(projected document, statistics)``."""
+        stats = RunStatistics(input_size=len(text))
+        started = time.perf_counter()
+        self.reset_matcher_statistics()
+
+        tables = self.tables
+        state = tables.initial_state
+        cursor = 0
+        length = len(text)
+        output: list[str] = []
+        copy_active = False
+        copy_start = 0
+        copy_tag = ""
+
+        while not tables.is_final(state) and cursor < length:
+            jump = tables.J(state)
+            if jump:
+                stats.initial_jumps += 1
+                stats.initial_jump_chars += jump
+                cursor += jump
+            matcher = self._matcher(state)
+            if matcher is None:
+                raise RuntimeFilterError(
+                    f"runtime state {state} has an empty frontier vocabulary but is "
+                    "not final; the document does not conform to the DTD"
+                )
+            matched = self._locate_tag(text, cursor, state, matcher, stats)
+            if matched is None:
+                raise RuntimeFilterError(
+                    "no frontier token found before end of input; the document "
+                    "does not conform to the DTD the prefilter was compiled for"
+                )
+            stats.tokens_matched += 1
+
+            if matched.is_bachelor:
+                # Opening and closing behaviour one after the other (Figure 4).
+                kind, tag = matched.symbol
+                open_state = tables.A(state, (OPEN, tag))
+                if open_state is None:
+                    raise self._transition_error(state, (OPEN, tag), matched.start)
+                close_state = tables.A(open_state, (CLOSE, tag))
+                if close_state is None:
+                    raise self._transition_error(open_state, (CLOSE, tag), matched.start)
+                open_action = tables.T(open_state)
+                close_action = tables.T(close_state)
+                copy_active, copy_start, copy_tag = self._apply_bachelor_actions(
+                    text, matched, open_action, close_action, output,
+                    copy_active, copy_start, copy_tag, stats,
+                )
+                state = close_state
+            else:
+                next_state = tables.A(state, matched.symbol)
+                if next_state is None:
+                    raise self._transition_error(state, matched.symbol, matched.start)
+                action = tables.T(next_state)
+                copy_active, copy_start, copy_tag = self._apply_action(
+                    text, matched, action, output,
+                    copy_active, copy_start, copy_tag, stats,
+                )
+                state = next_state
+            cursor = matched.end
+
+        if not tables.is_final(state):
+            raise RuntimeFilterError(
+                "end of input reached before the runtime automaton accepted; "
+                "the document does not conform to the DTD"
+            )
+        if copy_active:
+            raise RuntimeFilterError(
+                f"copy region for <{copy_tag}> was never closed; the document "
+                "does not conform to the DTD"
+            )
+
+        self._collect_matcher_statistics(stats)
+        result = "".join(output)
+        stats.output_size = len(result)
+        stats.run_seconds = time.perf_counter() - started
+        return result, stats
+
+    # ------------------------------------------------------------------
+    # Token location
+    # ------------------------------------------------------------------
+    def _locate_tag(
+        self,
+        text: str,
+        cursor: int,
+        state: int,
+        matcher: SingleKeywordMatcher | MultiKeywordMatcher,
+        stats: RunStatistics,
+    ) -> _MatchedTag | None:
+        """Find the next frontier token at or after ``cursor``.
+
+        Matches whose tag name merely extends the searched keyword (the
+        ``Abstract`` / ``AbstractText`` case) are rejected and the search is
+        resumed just past the false match.
+        """
+        tables = self.tables
+        length = len(text)
+        position = cursor
+        while position < length:
+            match = matcher.find(text, position)
+            if match is None:
+                return None
+            keyword = match.keyword
+            after = match.position + len(keyword)
+            if after < length and is_name_char(text[after]):
+                # A longer tag name, e.g. "<AbstractText" while scanning for
+                # "<Abstract": resume just past the false match ().
+                stats.local_scan_chars += 1
+                position = match.position + 1
+                continue
+            symbol = tables.keyword_symbols[state][keyword]
+            end, is_bachelor = self._scan_tag_end(text, after, stats)
+            if end is None:
+                return None
+            return _MatchedTag(
+                keyword=keyword,
+                symbol=symbol,
+                start=match.position,
+                end=end,
+                is_bachelor=is_bachelor and symbol[0] == OPEN,
+            )
+        return None
+
+    def _scan_tag_end(
+        self, text: str, position: int, stats: RunStatistics
+    ) -> tuple[int | None, bool]:
+        """Scan right for the closing ``>`` of a tag.
+
+        Quoted attribute values are skipped so a ``>`` inside a value cannot
+        terminate the scan early.  Returns the offset of ``>`` and whether
+        the tag is a bachelor tag (``.../>``).
+        """
+        length = len(text)
+        cursor = position
+        while cursor < length:
+            character = text[cursor]
+            stats.local_scan_chars += 1
+            if character == ">":
+                is_bachelor = cursor > position and text[cursor - 1] == "/"
+                return cursor, is_bachelor
+            if character in ('"', "'"):
+                closing = text.find(character, cursor + 1)
+                if closing < 0:
+                    return None, False
+                stats.local_scan_chars += closing - cursor
+                cursor = closing + 1
+                continue
+            cursor += 1
+        return None, False
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _apply_action(
+        self,
+        text: str,
+        matched: _MatchedTag,
+        action: Action,
+        output: list[str],
+        copy_active: bool,
+        copy_start: int,
+        copy_tag: str,
+        stats: RunStatistics,
+    ) -> tuple[bool, int, str]:
+        kind, tag = matched.symbol
+        if action is Action.COPY_ON:
+            if not copy_active:
+                return True, matched.start, tag
+            return copy_active, copy_start, copy_tag
+        if action is Action.COPY_OFF:
+            if copy_active and tag == copy_tag:
+                output.append(text[copy_start:matched.end + 1])
+                stats.regions_copied += 1
+                stats.tokens_copied += 1
+                return False, 0, ""
+            if not copy_active:
+                # Asymmetric table entries can occur after determinisation;
+                # degrade gracefully to copying the closing tag itself.
+                output.append(text[matched.start:matched.end + 1])
+                stats.tokens_copied += 1
+            return copy_active, copy_start, copy_tag
+        if action is Action.COPY_TAG:
+            if not copy_active:
+                output.append(text[matched.start:matched.end + 1])
+                stats.tokens_copied += 1
+            return copy_active, copy_start, copy_tag
+        return copy_active, copy_start, copy_tag
+
+    def _apply_bachelor_actions(
+        self,
+        text: str,
+        matched: _MatchedTag,
+        open_action: Action,
+        close_action: Action,
+        output: list[str],
+        copy_active: bool,
+        copy_start: int,
+        copy_tag: str,
+        stats: RunStatistics,
+    ) -> tuple[bool, int, str]:
+        """Apply the opening and closing actions of a bachelor tag.
+
+        The bachelor tag is emitted at most once: a (copy on, copy off) pair
+        degenerates to copying the tag, and a copy-tag action on either side
+        also copies the tag.
+        """
+        if copy_active:
+            # Inside an active copy region the bachelor tag is part of the
+            # region and needs no individual treatment.
+            return copy_active, copy_start, copy_tag
+        wants_copy = (
+            open_action in (Action.COPY_TAG, Action.COPY_ON)
+            or close_action in (Action.COPY_TAG, Action.COPY_OFF)
+        ) and not (open_action is Action.NOP and close_action is Action.NOP)
+        if wants_copy:
+            output.append(text[matched.start:matched.end + 1])
+            stats.tokens_copied += 1
+        return copy_active, copy_start, copy_tag
+
+    # ------------------------------------------------------------------
+    # Errors
+    # ------------------------------------------------------------------
+    def _transition_error(
+        self, state: int, symbol: Symbol, position: int
+    ) -> RuntimeFilterError:
+        kind, tag = symbol
+        rendering = f"<{tag}>" if kind == OPEN else f"</{tag}>"
+        return RuntimeFilterError(
+            f"no transition from runtime state {state} on token {rendering} "
+            f"(input offset {position}); the document does not conform to the DTD"
+        )

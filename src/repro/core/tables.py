@@ -1,0 +1,179 @@
+"""The runtime lookup tables A, V, J and T (Figure 3 of the paper).
+
+The tables are plain dictionaries keyed by runtime-automaton state ids:
+
+* ``A`` -- transition table: state x token symbol -> next state,
+* ``V`` -- frontier vocabulary: the search keywords (``"<tag"`` / ``"</tag"``)
+  for the tokens on which a transition is defined,
+* ``J`` -- initial jump offsets: characters that can be skipped unseen when
+  entering the state,
+* ``T`` -- actions: ``nop``, ``copy tag [+ atts]`` or ``copy on``/``copy off``.
+
+All four are "statically precompiled" exactly as in the paper; the runtime
+algorithm does nothing but dictionary lookups and string searches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.dtd.automaton import CLOSE, OPEN, Symbol
+from repro.core.static_analysis import AnalysisResult, RuntimeAutomaton
+
+
+class Action(enum.Enum):
+    """The per-state actions of table T (Figure 3)."""
+
+    NOP = "nop"
+    COPY_TAG = "copy tag"
+    COPY_ON = "copy on"
+    COPY_OFF = "copy off"
+
+
+def keyword_for(symbol: Symbol) -> str:
+    """The search keyword of a token symbol.
+
+    Tags may contain whitespace or attributes, so the keyword excludes the
+    trailing bracket: ``("open", "item") -> "<item"`` and
+    ``("close", "item") -> "</item"`` (Section II, table V discussion).
+    """
+    kind, tag = symbol
+    return f"<{tag}" if kind == OPEN else f"</{tag}"
+
+
+@dataclass
+class RuntimeTables:
+    """The compiled lookup tables plus the automaton they refer to."""
+
+    automaton: RuntimeAutomaton
+    transition: dict[int, dict[Symbol, int]]
+    vocabulary: dict[int, tuple[str, ...]]
+    #: Keyword -> symbol per state (inverse of :func:`keyword_for`).
+    keyword_symbols: dict[int, dict[str, Symbol]]
+    jumps: dict[int, int]
+    actions: dict[int, Action]
+    #: Tag names that are proper prefixes of other tag names (the
+    #: Abstract / AbstractText special case); used by the runtime's
+    #: end-of-tag verification.
+    prefix_tags: frozenset[str] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors (named after the paper's tables)
+    # ------------------------------------------------------------------
+    def A(self, state: int, symbol: Symbol) -> int | None:  # noqa: N802 - paper name
+        """Transition table lookup."""
+        return self.transition.get(state, {}).get(symbol)
+
+    def V(self, state: int) -> tuple[str, ...]:  # noqa: N802 - paper name
+        """Frontier vocabulary of ``state``."""
+        return self.vocabulary.get(state, ())
+
+    def J(self, state: int) -> int:  # noqa: N802 - paper name
+        """Initial jump offset of ``state``."""
+        return self.jumps.get(state, 0)
+
+    def T(self, state: int) -> Action:  # noqa: N802 - paper name
+        """Action of ``state``."""
+        return self.actions.get(state, Action.NOP)
+
+    @property
+    def initial_state(self) -> int:
+        """The initial runtime state (q0)."""
+        return self.automaton.initial
+
+    def is_final(self, state: int) -> bool:
+        """True when ``state`` is accepting."""
+        return self.automaton.state(state).is_final
+
+    def state_count(self) -> int:
+        """Number of runtime states."""
+        return self.automaton.state_count()
+
+    def multi_keyword_states(self) -> list[int]:
+        """States whose frontier vocabulary needs Commentz-Walter (|V| > 1)."""
+        return [state for state, vocab in self.vocabulary.items() if len(vocab) > 1]
+
+    def single_keyword_states(self) -> list[int]:
+        """States whose frontier vocabulary needs Boyer-Moore (|V| == 1)."""
+        return [state for state, vocab in self.vocabulary.items() if len(vocab) == 1]
+
+    def describe(self) -> str:
+        """Human-readable dump of the tables (used by examples and docs)."""
+        lines: list[str] = []
+        for state in self.automaton.states:
+            symbol = state.symbol
+            label = "q0" if symbol is None else keyword_for(symbol) + ">"
+            lines.append(
+                f"state {state.state_id:>3} [{label:>16}] "
+                f"action={self.T(state.state_id).value:<9} "
+                f"J={self.J(state.state_id):<4} "
+                f"V={list(self.V(state.state_id))}"
+            )
+        return "\n".join(lines)
+
+
+def build_tables(analysis: AnalysisResult) -> RuntimeTables:
+    """Compile the lookup tables from a finished static analysis."""
+    runtime = analysis.runtime
+    transition: dict[int, dict[Symbol, int]] = {}
+    vocabulary: dict[int, tuple[str, ...]] = {}
+    keyword_symbols: dict[int, dict[str, Symbol]] = {}
+    actions: dict[int, Action] = {}
+
+    for state in runtime.states:
+        outgoing = runtime.successors(state.state_id)
+        transition[state.state_id] = dict(outgoing)
+        keywords: dict[str, Symbol] = {}
+        for symbol in outgoing:
+            keywords[keyword_for(symbol)] = symbol
+        # Deterministic ordering keeps matcher construction reproducible.
+        ordered = tuple(sorted(keywords))
+        vocabulary[state.state_id] = ordered
+        keyword_symbols[state.state_id] = keywords
+        actions[state.state_id] = _action_for_state(analysis, state.state_id)
+
+    prefix_tags = frozenset(short for short, _ in analysis.dtd.prefix_pairs())
+    return RuntimeTables(
+        automaton=runtime,
+        transition=transition,
+        vocabulary=vocabulary,
+        keyword_symbols=keyword_symbols,
+        jumps=dict(analysis.initial_jumps),
+        actions=actions,
+        prefix_tags=prefix_tags,
+    )
+
+
+def _action_for_state(analysis: AnalysisResult, state_id: int) -> Action:
+    """Derive the table-T action of a runtime state.
+
+    The runtime automaton is homogeneous, so the state corresponds to reading
+    one specific opening or closing tag.  Among the constituent DTD-automaton
+    states the most-preserving action wins (copy on/off > copy tag > nop),
+    which is always safe: it can only keep more data than strictly required.
+    """
+    runtime_state = analysis.runtime.state(state_id)
+    symbol = runtime_state.symbol
+    if symbol is None:
+        return Action.NOP
+    kind, _tag = symbol
+    best = Action.NOP
+    for nfa_state in runtime_state.nfa_states:
+        if nfa_state == analysis.automaton.initial_state:
+            continue
+        if analysis.keeps_subtree.get(nfa_state, False):
+            return Action.COPY_ON if kind == OPEN else Action.COPY_OFF
+        if analysis.relevant.get(nfa_state, False):
+            best = Action.COPY_TAG
+    return best
+
+
+def summarize_states(tables: RuntimeTables) -> Mapping[str, int]:
+    """Counts for the ``States (CW+BM)`` column of Table I / Table II."""
+    return {
+        "states": tables.state_count(),
+        "cw": len(tables.multi_keyword_states()),
+        "bm": len(tables.single_keyword_states()),
+    }

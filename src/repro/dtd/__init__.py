@@ -1,0 +1,60 @@
+"""DTD substrate: parsing, content models, Glushkov and DTD automata."""
+
+from repro.dtd.ast import (
+    AttributeDecl,
+    AttributeDefault,
+    ChoiceNode,
+    ContentKind,
+    ContentNode,
+    ElementDecl,
+    EmptyNode,
+    NameNode,
+    PcdataNode,
+    RepeatKind,
+    RepeatNode,
+    SequenceNode,
+)
+from repro.dtd.automaton import (
+    CLOSE,
+    OPEN,
+    DtdAutomaton,
+    DtdState,
+    OccurrencePair,
+    Symbol,
+    close_symbol,
+    open_symbol,
+)
+from repro.dtd.glushkov import GlushkovAutomaton, build_glushkov, minimal_child_sequence
+from repro.dtd.model import Dtd, load_dtd
+from repro.dtd.parser import ParsedDtd, parse_content_model, parse_dtd_text
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeDefault",
+    "CLOSE",
+    "ChoiceNode",
+    "ContentKind",
+    "ContentNode",
+    "Dtd",
+    "DtdAutomaton",
+    "DtdState",
+    "ElementDecl",
+    "EmptyNode",
+    "GlushkovAutomaton",
+    "NameNode",
+    "OPEN",
+    "OccurrencePair",
+    "ParsedDtd",
+    "PcdataNode",
+    "RepeatKind",
+    "RepeatNode",
+    "SequenceNode",
+    "Symbol",
+    "build_glushkov",
+    "close_symbol",
+    "load_dtd",
+    "minimal_child_sequence",
+    "open_symbol",
+    "parse_content_model",
+    "parse_dtd_text",
+]

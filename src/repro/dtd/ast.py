@@ -1,0 +1,221 @@
+"""Abstract syntax for DTD content models and attribute declarations.
+
+A DTD element declaration ``<!ELEMENT a (b, (c | d)*, e?)>`` is represented
+as a tree of :class:`ContentNode` subclasses.  The SMP static analysis needs
+three things from a content model: the set of child element names it can
+produce, whether it can produce the empty sequence (nullability), and the
+Glushkov position automaton (see :mod:`repro.dtd.glushkov`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ContentKind(enum.Enum):
+    """Top-level classification of an element's declared content."""
+
+    EMPTY = "EMPTY"
+    ANY = "ANY"
+    PCDATA = "PCDATA"          # (#PCDATA)
+    MIXED = "MIXED"            # (#PCDATA | a | b)*
+    CHILDREN = "CHILDREN"      # regular expression over element names
+
+
+class ContentNode:
+    """Base class for content-model expression nodes."""
+
+    def child_names(self) -> set[str]:
+        """All element names that occur in this expression."""
+        return {leaf.name for leaf in self.iter_names()}
+
+    def iter_names(self) -> Iterator["NameNode"]:
+        """Yield the :class:`NameNode` leaves in left-to-right order."""
+        raise NotImplementedError
+
+    def is_nullable(self) -> bool:
+        """True if the expression matches the empty sequence."""
+        raise NotImplementedError
+
+
+@dataclass
+class NameNode(ContentNode):
+    """A reference to a child element, e.g. ``b`` in ``(b, c)``."""
+
+    name: str
+    #: Glushkov position index, assigned by :func:`repro.dtd.glushkov.assign_positions`.
+    position: int | None = field(default=None, compare=False)
+
+    def iter_names(self) -> Iterator["NameNode"]:
+        yield self
+
+    def is_nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class PcdataNode(ContentNode):
+    """The ``#PCDATA`` leaf.  Matches the empty sequence of child elements."""
+
+    def iter_names(self) -> Iterator[NameNode]:
+        return iter(())
+
+    def is_nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass
+class EmptyNode(ContentNode):
+    """Declared-EMPTY content."""
+
+    def iter_names(self) -> Iterator[NameNode]:
+        return iter(())
+
+    def is_nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass
+class SequenceNode(ContentNode):
+    """A sequence ``(a, b, c)``."""
+
+    items: list[ContentNode]
+
+    def iter_names(self) -> Iterator[NameNode]:
+        for item in self.items:
+            yield from item.iter_names()
+
+    def is_nullable(self) -> bool:
+        return all(item.is_nullable() for item in self.items)
+
+    def __str__(self) -> str:
+        return "(" + ",".join(str(item) for item in self.items) + ")"
+
+
+@dataclass
+class ChoiceNode(ContentNode):
+    """A choice ``(a | b | c)``."""
+
+    items: list[ContentNode]
+
+    def iter_names(self) -> Iterator[NameNode]:
+        for item in self.items:
+            yield from item.iter_names()
+
+    def is_nullable(self) -> bool:
+        return any(item.is_nullable() for item in self.items)
+
+    def __str__(self) -> str:
+        return "(" + "|".join(str(item) for item in self.items) + ")"
+
+
+class RepeatKind(enum.Enum):
+    """Occurrence indicators of a DTD content particle."""
+
+    STAR = "*"
+    PLUS = "+"
+    OPTIONAL = "?"
+
+
+@dataclass
+class RepeatNode(ContentNode):
+    """A repetition ``a*``, ``a+`` or ``a?``."""
+
+    item: ContentNode
+    kind: RepeatKind
+
+    def iter_names(self) -> Iterator[NameNode]:
+        yield from self.item.iter_names()
+
+    def is_nullable(self) -> bool:
+        if self.kind in (RepeatKind.STAR, RepeatKind.OPTIONAL):
+            return True
+        return self.item.is_nullable()
+
+    def __str__(self) -> str:
+        return f"{self.item}{self.kind.value}"
+
+
+class AttributeDefault(enum.Enum):
+    """Default kind of an attribute declaration."""
+
+    REQUIRED = "#REQUIRED"
+    IMPLIED = "#IMPLIED"
+    FIXED = "#FIXED"
+    DEFAULT = "default"
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute declaration from an ``<!ATTLIST ...>``.
+
+    Only the pieces the SMP static analysis uses are retained: the attribute
+    name, its type string, whether it is required (required attributes
+    contribute to initial-jump offsets, Section IV "required attributes may
+    be factored in"), and an optional default value.
+    """
+
+    name: str
+    attribute_type: str
+    default: AttributeDefault
+    default_value: str | None = None
+
+    @property
+    def is_required(self) -> bool:
+        """True for ``#REQUIRED`` attributes."""
+        return self.default is AttributeDefault.REQUIRED
+
+    def minimal_serialized_length(self) -> int:
+        """Minimal characters this attribute adds to an opening tag.
+
+        A required attribute must be present; its shortest serialization is
+        `` name=""`` which takes ``len(name) + 4`` characters.  Non-required
+        attributes may be omitted and contribute nothing.
+        """
+        if not self.is_required:
+            return 0
+        return len(self.name) + 4
+
+
+@dataclass
+class ElementDecl:
+    """An ``<!ELEMENT ...>`` declaration plus its attribute list."""
+
+    name: str
+    kind: ContentKind
+    content: ContentNode
+    attributes: list[AttributeDecl] = field(default_factory=list)
+
+    @property
+    def required_attributes(self) -> list[AttributeDecl]:
+        """The attributes that must be present on every instance."""
+        return [attribute for attribute in self.attributes if attribute.is_required]
+
+    def child_names(self) -> set[str]:
+        """Element names that may occur as children."""
+        return self.content.child_names()
+
+    def allows_text(self) -> bool:
+        """True if character data may occur directly inside this element."""
+        return self.kind in (ContentKind.PCDATA, ContentKind.MIXED, ContentKind.ANY)
+
+    def allows_children(self) -> bool:
+        """True if child elements may occur."""
+        if self.kind in (ContentKind.CHILDREN, ContentKind.MIXED, ContentKind.ANY):
+            return True
+        return False
+
+    def required_attribute_length(self) -> int:
+        """Total minimal serialized length of the required attributes."""
+        return sum(attribute.minimal_serialized_length() for attribute in self.attributes)

@@ -1,0 +1,171 @@
+"""Glushkov position automata for DTD content models.
+
+The paper builds the DTD-automaton from Glushkov automata because every
+transition entering a Glushkov state carries the same label (*homogeneity*,
+Section IV), which is what later allows a unique action to be attached to
+every runtime state.
+
+For a content model (a regular expression over element names) the Glushkov
+construction assigns one *position* to every name occurrence and computes
+
+* ``nullable`` - whether the expression matches the empty word,
+* ``first``    - positions that can start a match,
+* ``last``     - positions that can end a match,
+* ``follow``   - for each position, the positions that may follow it.
+
+These four pieces fully describe the position automaton; the document-level
+DTD-automaton (:mod:`repro.dtd.automaton`) instantiates a pair of opening /
+closing states per position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.ast import (
+    ChoiceNode,
+    ContentNode,
+    EmptyNode,
+    NameNode,
+    PcdataNode,
+    RepeatKind,
+    RepeatNode,
+    SequenceNode,
+)
+
+
+@dataclass
+class GlushkovAutomaton:
+    """The position automaton of one content model.
+
+    Attributes
+    ----------
+    positions:
+        Position index -> element name.
+    nullable:
+        True if the content model accepts the empty sequence of children.
+    first:
+        Positions that may appear as the first child.
+    last:
+        Positions that may appear as the last child.
+    follow:
+        Position -> positions that may immediately follow it.
+    """
+
+    positions: dict[int, str] = field(default_factory=dict)
+    nullable: bool = True
+    first: set[int] = field(default_factory=set)
+    last: set[int] = field(default_factory=set)
+    follow: dict[int, set[int]] = field(default_factory=dict)
+
+    def names(self) -> set[str]:
+        """The set of element names occurring in the content model."""
+        return set(self.positions.values())
+
+    def name_of(self, position: int) -> str:
+        """Element name at ``position``."""
+        return self.positions[position]
+
+
+def assign_positions(model: ContentNode, start: int = 0) -> int:
+    """Assign consecutive position indices to the name leaves of ``model``.
+
+    Returns the next free index.  Positions are stored on the
+    :class:`~repro.dtd.ast.NameNode` instances themselves.
+    """
+    index = start
+    for leaf in model.iter_names():
+        leaf.position = index
+        index += 1
+    return index
+
+
+def build_glushkov(model: ContentNode) -> GlushkovAutomaton:
+    """Construct the Glushkov automaton of ``model``."""
+    assign_positions(model)
+    automaton = GlushkovAutomaton()
+    for leaf in model.iter_names():
+        assert leaf.position is not None
+        automaton.positions[leaf.position] = leaf.name
+        automaton.follow.setdefault(leaf.position, set())
+    nullable, first, last = _analyse(model, automaton)
+    automaton.nullable = nullable
+    automaton.first = first
+    automaton.last = last
+    return automaton
+
+
+def _analyse(node: ContentNode, automaton: GlushkovAutomaton) -> tuple[bool, set[int], set[int]]:
+    """Return (nullable, first, last) of ``node`` and fill ``automaton.follow``."""
+    if isinstance(node, (PcdataNode, EmptyNode)):
+        return True, set(), set()
+    if isinstance(node, NameNode):
+        assert node.position is not None
+        return False, {node.position}, {node.position}
+    if isinstance(node, SequenceNode):
+        nullable = True
+        first: set[int] = set()
+        last: set[int] = set()
+        previous_last: set[int] = set()
+        for item in node.items:
+            item_nullable, item_first, item_last = _analyse(item, automaton)
+            # follow: every last position of the prefix can be followed by
+            # every first position of this item.
+            for position in previous_last:
+                automaton.follow[position].update(item_first)
+            if nullable:
+                first.update(item_first)
+            if item_nullable:
+                previous_last = previous_last | item_last
+            else:
+                previous_last = set(item_last)
+            nullable = nullable and item_nullable
+            last = previous_last
+        return nullable, first, set(last)
+    if isinstance(node, ChoiceNode):
+        nullable = False
+        first = set()
+        last = set()
+        for item in node.items:
+            item_nullable, item_first, item_last = _analyse(item, automaton)
+            nullable = nullable or item_nullable
+            first.update(item_first)
+            last.update(item_last)
+        return nullable, first, last
+    if isinstance(node, RepeatNode):
+        item_nullable, item_first, item_last = _analyse(node.item, automaton)
+        if node.kind is RepeatKind.OPTIONAL:
+            return True, item_first, item_last
+        # STAR and PLUS allow repetition: last positions feed back to firsts.
+        for position in item_last:
+            automaton.follow[position].update(item_first)
+        if node.kind is RepeatKind.STAR:
+            return True, item_first, item_last
+        return item_nullable, item_first, item_last
+    raise TypeError(f"unsupported content node {node!r}")
+
+
+def minimal_child_sequence(
+    model: ContentNode, element_min_length: dict[str, int]
+) -> int:
+    """Minimal serialized length of a child sequence accepted by ``model``.
+
+    ``element_min_length`` maps an element name to the minimal number of
+    characters a complete instance of that element occupies.  The result is
+    the cheapest way to satisfy the content model, which is what the
+    initial-jump offsets of Table J are derived from (Example 1 and
+    Example 3 of the paper).
+    """
+    if isinstance(node := model, (PcdataNode, EmptyNode)):
+        return 0
+    if isinstance(node, NameNode):
+        return element_min_length.get(node.name, 0)
+    if isinstance(node, SequenceNode):
+        return sum(minimal_child_sequence(item, element_min_length) for item in node.items)
+    if isinstance(node, ChoiceNode):
+        return min(minimal_child_sequence(item, element_min_length) for item in node.items)
+    if isinstance(node, RepeatNode):
+        if node.kind in (RepeatKind.STAR, RepeatKind.OPTIONAL):
+            return 0
+        return minimal_child_sequence(node.item, element_min_length)
+    raise TypeError(f"unsupported content node {model!r}")

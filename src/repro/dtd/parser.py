@@ -1,0 +1,351 @@
+"""Parser for Document Type Definitions (the schema input of SMP).
+
+The parser supports the DTD subset needed by the paper's experiments and by
+the synthetic XMark / MEDLINE schemas: ``<!ELEMENT>`` declarations with
+``EMPTY`` / ``ANY`` / ``(#PCDATA)`` / mixed / children content models,
+``<!ATTLIST>`` declarations, and comments.  Parameter entities and
+conditional sections are not supported (none of the paper's schemas need
+them); encountering one raises :class:`~repro.errors.DtdSyntaxError`.
+
+The input may be a bare internal subset (a sequence of declarations) or a
+full ``<!DOCTYPE root [ ... ]>`` wrapper, in which case the DOCTYPE name is
+used as the root element.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import DtdSyntaxError
+from repro.dtd.ast import (
+    AttributeDecl,
+    AttributeDefault,
+    ChoiceNode,
+    ContentKind,
+    ContentNode,
+    ElementDecl,
+    EmptyNode,
+    NameNode,
+    PcdataNode,
+    RepeatKind,
+    RepeatNode,
+    SequenceNode,
+)
+
+_NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*")
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_DOCTYPE_RE = re.compile(r"<!DOCTYPE\s+([A-Za-z_:][\w:.\-]*)\s*(?:\[(.*)\]\s*)?>", re.DOTALL)
+
+
+@dataclass
+class ParsedDtd:
+    """Raw result of parsing a DTD text."""
+
+    elements: dict[str, ElementDecl]
+    doctype_name: str | None
+
+
+def parse_dtd_text(text: str) -> ParsedDtd:
+    """Parse ``text`` into element declarations.
+
+    ``text`` may be a full ``<!DOCTYPE ...>`` declaration or just the internal
+    subset (a sequence of ``<!ELEMENT>`` / ``<!ATTLIST>`` declarations).
+    """
+    doctype_name: str | None = None
+    body = text
+    doctype_match = _DOCTYPE_RE.search(text)
+    if doctype_match:
+        doctype_name = doctype_match.group(1)
+        body = doctype_match.group(2) or ""
+    body = _COMMENT_RE.sub(" ", body)
+    if "%" in body and re.search(r"<!ENTITY\s*%", body):
+        raise DtdSyntaxError("parameter entities are not supported")
+
+    elements: dict[str, ElementDecl] = {}
+    attlists: dict[str, list[AttributeDecl]] = {}
+
+    for declaration in _iter_declarations(body):
+        if declaration.startswith("<!ELEMENT"):
+            name, decl = _parse_element_declaration(declaration)
+            if name in elements:
+                raise DtdSyntaxError(f"duplicate <!ELEMENT {name}> declaration")
+            elements[name] = decl
+        elif declaration.startswith("<!ATTLIST"):
+            name, attributes = _parse_attlist_declaration(declaration)
+            attlists.setdefault(name, []).extend(attributes)
+        elif declaration.startswith("<!ENTITY") or declaration.startswith("<!NOTATION"):
+            # General entities and notations do not influence the analysis.
+            continue
+        else:
+            raise DtdSyntaxError(f"unrecognised declaration: {declaration[:40]!r}")
+
+    for name, attributes in attlists.items():
+        if name not in elements:
+            raise DtdSyntaxError(f"<!ATTLIST {name}> for undeclared element")
+        elements[name].attributes.extend(attributes)
+
+    return ParsedDtd(elements=elements, doctype_name=doctype_name)
+
+
+def _iter_declarations(body: str):
+    """Yield individual ``<!...>`` declarations from the internal subset."""
+    cursor = 0
+    length = len(body)
+    while cursor < length:
+        start = body.find("<!", cursor)
+        if start < 0:
+            remainder = body[cursor:].strip()
+            if remainder:
+                raise DtdSyntaxError(f"unexpected content in DTD: {remainder[:40]!r}")
+            return
+        gap = body[cursor:start].strip()
+        if gap:
+            raise DtdSyntaxError(f"unexpected content in DTD: {gap[:40]!r}")
+        end = body.find(">", start)
+        if end < 0:
+            raise DtdSyntaxError("unterminated declaration in DTD")
+        yield body[start:end + 1]
+        cursor = end + 1
+
+
+# ----------------------------------------------------------------------
+# <!ELEMENT ...>
+# ----------------------------------------------------------------------
+def _parse_element_declaration(declaration: str) -> tuple[str, ElementDecl]:
+    inner = declaration[len("<!ELEMENT"):-1].strip()
+    name_match = _NAME_RE.match(inner)
+    if not name_match:
+        raise DtdSyntaxError(f"missing element name in {declaration!r}")
+    name = name_match.group(0)
+    content_text = inner[name_match.end():].strip()
+    kind, content = parse_content_model(content_text)
+    return name, ElementDecl(name=name, kind=kind, content=content)
+
+
+def parse_content_model(text: str) -> tuple[ContentKind, ContentNode]:
+    """Parse the content-specification part of an element declaration."""
+    stripped = text.strip()
+    if stripped == "EMPTY":
+        return ContentKind.EMPTY, EmptyNode()
+    if stripped == "ANY":
+        return ContentKind.ANY, EmptyNode()
+    if stripped in ("#PCDATA", "(#PCDATA)", "(#PCDATA)*"):
+        return ContentKind.PCDATA, PcdataNode()
+    if stripped.startswith("(") and "#PCDATA" in stripped:
+        return _parse_mixed_content(stripped)
+    parser = _ContentModelParser(stripped)
+    node = parser.parse()
+    return ContentKind.CHILDREN, node
+
+
+def _parse_mixed_content(text: str) -> tuple[ContentKind, ContentNode]:
+    """Parse mixed content ``(#PCDATA | a | b)*``."""
+    body = text.strip()
+    has_star = body.endswith("*")
+    if has_star:
+        body = body[:-1].rstrip()
+    if not (body.startswith("(") and body.endswith(")")):
+        raise DtdSyntaxError(f"malformed mixed content model: {text!r}")
+    parts = [part.strip() for part in body[1:-1].split("|")]
+    if parts[0] != "#PCDATA":
+        raise DtdSyntaxError(f"mixed content must start with #PCDATA: {text!r}")
+    names = parts[1:]
+    if not names:
+        return ContentKind.PCDATA, PcdataNode()
+    if not has_star:
+        raise DtdSyntaxError(f"mixed content with element names requires '*': {text!r}")
+    for name in names:
+        if not _NAME_RE.fullmatch(name):
+            raise DtdSyntaxError(f"invalid name {name!r} in mixed content")
+    choice = ChoiceNode(items=[NameNode(name) for name in names])
+    return ContentKind.MIXED, RepeatNode(item=choice, kind=RepeatKind.STAR)
+
+
+class _ContentModelParser:
+    """Recursive-descent parser for children content models."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._position = 0
+
+    def parse(self) -> ContentNode:
+        node = self._parse_particle()
+        self._skip_whitespace()
+        if self._position != len(self._text):
+            raise DtdSyntaxError(
+                f"trailing characters in content model: {self._text[self._position:]!r}"
+            )
+        return node
+
+    def _skip_whitespace(self) -> None:
+        while self._position < len(self._text) and self._text[self._position].isspace():
+            self._position += 1
+
+    def _peek(self) -> str:
+        if self._position < len(self._text):
+            return self._text[self._position]
+        return ""
+
+    def _parse_particle(self) -> ContentNode:
+        self._skip_whitespace()
+        if self._peek() == "(":
+            node = self._parse_group()
+        else:
+            node = self._parse_name()
+        return self._maybe_repeat(node)
+
+    def _parse_group(self) -> ContentNode:
+        assert self._peek() == "("
+        self._position += 1
+        items = [self._parse_particle()]
+        separator: str | None = None
+        while True:
+            self._skip_whitespace()
+            character = self._peek()
+            if character == ")":
+                self._position += 1
+                break
+            if character not in (",", "|"):
+                raise DtdSyntaxError(
+                    f"expected ',' '|' or ')' in content model at {self._position}"
+                )
+            if separator is None:
+                separator = character
+            elif character != separator:
+                raise DtdSyntaxError(
+                    "cannot mix ',' and '|' at the same level of a content model"
+                )
+            self._position += 1
+            items.append(self._parse_particle())
+        if len(items) == 1:
+            return items[0]
+        if separator == "|":
+            return ChoiceNode(items=items)
+        return SequenceNode(items=items)
+
+    def _parse_name(self) -> ContentNode:
+        self._skip_whitespace()
+        match = _NAME_RE.match(self._text, self._position)
+        if not match:
+            raise DtdSyntaxError(
+                f"expected an element name at position {self._position} "
+                f"in content model {self._text!r}"
+            )
+        self._position = match.end()
+        return NameNode(match.group(0))
+
+    def _maybe_repeat(self, node: ContentNode) -> ContentNode:
+        character = self._peek()
+        if character == "*":
+            self._position += 1
+            return RepeatNode(item=node, kind=RepeatKind.STAR)
+        if character == "+":
+            self._position += 1
+            return RepeatNode(item=node, kind=RepeatKind.PLUS)
+        if character == "?":
+            self._position += 1
+            return RepeatNode(item=node, kind=RepeatKind.OPTIONAL)
+        return node
+
+
+# ----------------------------------------------------------------------
+# <!ATTLIST ...>
+# ----------------------------------------------------------------------
+_ATTLIST_TYPES = (
+    "CDATA", "ID", "IDREF", "IDREFS", "ENTITY", "ENTITIES",
+    "NMTOKEN", "NMTOKENS", "NOTATION",
+)
+
+
+def _parse_attlist_declaration(declaration: str) -> tuple[str, list[AttributeDecl]]:
+    inner = declaration[len("<!ATTLIST"):-1].strip()
+    name_match = _NAME_RE.match(inner)
+    if not name_match:
+        raise DtdSyntaxError(f"missing element name in {declaration!r}")
+    element_name = name_match.group(0)
+    rest = inner[name_match.end():]
+    tokens = _tokenize_attlist(rest)
+    attributes: list[AttributeDecl] = []
+    index = 0
+    while index < len(tokens):
+        attribute_name = tokens[index]
+        index += 1
+        if index >= len(tokens):
+            raise DtdSyntaxError(f"incomplete attribute declaration for {attribute_name!r}")
+        attribute_type = tokens[index]
+        index += 1
+        if attribute_type.startswith("("):
+            # Enumerated type: already a single token thanks to the tokenizer.
+            pass
+        elif attribute_type == "NOTATION":
+            if index >= len(tokens) or not tokens[index].startswith("("):
+                raise DtdSyntaxError("NOTATION attribute type requires an enumeration")
+            attribute_type = f"NOTATION {tokens[index]}"
+            index += 1
+        elif attribute_type not in _ATTLIST_TYPES:
+            raise DtdSyntaxError(f"unknown attribute type {attribute_type!r}")
+        if index >= len(tokens):
+            raise DtdSyntaxError(f"missing default for attribute {attribute_name!r}")
+        default_token = tokens[index]
+        index += 1
+        default_value: str | None = None
+        if default_token == "#REQUIRED":
+            default = AttributeDefault.REQUIRED
+        elif default_token == "#IMPLIED":
+            default = AttributeDefault.IMPLIED
+        elif default_token == "#FIXED":
+            default = AttributeDefault.FIXED
+            if index >= len(tokens):
+                raise DtdSyntaxError(f"#FIXED attribute {attribute_name!r} needs a value")
+            default_value = _strip_quotes(tokens[index])
+            index += 1
+        else:
+            default = AttributeDefault.DEFAULT
+            default_value = _strip_quotes(default_token)
+        attributes.append(
+            AttributeDecl(
+                name=attribute_name,
+                attribute_type=attribute_type,
+                default=default,
+                default_value=default_value,
+            )
+        )
+    return element_name, attributes
+
+
+def _strip_quotes(token: str) -> str:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return token[1:-1]
+    return token
+
+
+def _tokenize_attlist(text: str) -> list[str]:
+    """Split an ATTLIST body into tokens, keeping quoted values and groups whole."""
+    tokens: list[str] = []
+    cursor = 0
+    length = len(text)
+    while cursor < length:
+        character = text[cursor]
+        if character.isspace():
+            cursor += 1
+            continue
+        if character in ("'", '"'):
+            end = text.find(character, cursor + 1)
+            if end < 0:
+                raise DtdSyntaxError("unterminated quoted value in ATTLIST")
+            tokens.append(text[cursor:end + 1])
+            cursor = end + 1
+        elif character == "(":
+            end = text.find(")", cursor)
+            if end < 0:
+                raise DtdSyntaxError("unterminated enumeration in ATTLIST")
+            tokens.append(text[cursor:end + 1].replace(" ", ""))
+            cursor = end + 1
+        else:
+            end = cursor
+            while end < length and not text[end].isspace() and text[end] not in ("'", '"', "("):
+                end += 1
+            tokens.append(text[cursor:end])
+            cursor = end
+    return tokens

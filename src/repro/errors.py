@@ -1,0 +1,89 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid string-matching inputs (e.g. empty pattern sets)."""
+
+
+class XmlSyntaxError(ReproError):
+    """Raised by the tokenizer / tree builder on malformed XML input.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which the problem was detected, or
+        ``None`` when the offset is unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class DtdSyntaxError(ReproError):
+    """Raised when a DTD document cannot be parsed."""
+
+
+class DtdValidationError(ReproError):
+    """Raised when a DTD is structurally unusable for SMP compilation.
+
+    Examples: an element is referenced but never declared, or the root
+    element cannot be determined.
+    """
+
+
+class DtdRecursionError(DtdValidationError):
+    """Raised when the DTD is recursive.
+
+    The SMP static analysis of the paper requires a non-recursive schema
+    (Section II: "We assume that a nonrecursive schema is available").
+    """
+
+    def __init__(self, cycle: list[str]) -> None:
+        super().__init__(
+            "DTD is recursive; SMP compilation requires a non-recursive "
+            "schema. Cycle: " + " -> ".join(cycle)
+        )
+        self.cycle = cycle
+
+
+class ProjectionPathError(ReproError):
+    """Raised when a projection-path expression cannot be parsed."""
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be parsed."""
+
+
+class QueryError(ReproError):
+    """Raised by the query engines for unsupported or invalid queries."""
+
+
+class CompilationError(ReproError):
+    """Raised when the SMP static analysis cannot compile its inputs."""
+
+
+class RuntimeFilterError(ReproError):
+    """Raised when the SMP runtime encounters input it cannot handle.
+
+    This typically means the document is not valid with respect to the DTD
+    the prefilter was compiled for, which violates the algorithm's input
+    contract (Section II of the paper).
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised by the synthetic data generators for invalid parameters."""

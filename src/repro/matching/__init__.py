@@ -1,0 +1,56 @@
+"""String matching algorithms used by the SMP prefilter.
+
+The package provides single-keyword matchers (naive, Horspool, Boyer-Moore,
+native ``str.find``) and multi-keyword matchers (naive, Aho-Corasick,
+Commentz-Walter, native), all sharing the interfaces defined in
+:mod:`repro.matching.base`, plus a :mod:`factory <repro.matching.factory>`
+that selects algorithms per backend name.
+"""
+
+from repro.matching.aho_corasick import AhoCorasickMatcher
+from repro.matching.base import (
+    Match,
+    MatchStatistics,
+    MultiKeywordMatcher,
+    SingleKeywordMatcher,
+    leftmost_longest,
+)
+from repro.matching.boyer_moore import (
+    BoyerMooreMatcher,
+    build_bad_character_table,
+    build_good_suffix_table,
+)
+from repro.matching.commentz_walter import CommentzWalterMatcher
+from repro.matching.factory import (
+    BACKENDS,
+    available_backends,
+    make_matcher,
+    make_multi_matcher,
+    make_single_matcher,
+)
+from repro.matching.horspool import HorspoolMatcher
+from repro.matching.naive import NaiveMatcher, NaiveMultiMatcher
+from repro.matching.native import NativeMultiMatcher, NativeSingleMatcher
+
+__all__ = [
+    "AhoCorasickMatcher",
+    "BACKENDS",
+    "BoyerMooreMatcher",
+    "CommentzWalterMatcher",
+    "HorspoolMatcher",
+    "Match",
+    "MatchStatistics",
+    "MultiKeywordMatcher",
+    "NaiveMatcher",
+    "NaiveMultiMatcher",
+    "NativeMultiMatcher",
+    "NativeSingleMatcher",
+    "SingleKeywordMatcher",
+    "available_backends",
+    "build_bad_character_table",
+    "build_good_suffix_table",
+    "leftmost_longest",
+    "make_matcher",
+    "make_multi_matcher",
+    "make_single_matcher",
+]

@@ -1,0 +1,101 @@
+"""Aho-Corasick multi-keyword matcher.
+
+Aho-Corasick inspects every character of the text exactly once; it is the
+family of algorithms the related work discussed in the paper builds on
+(Takeda et al. [21]).  In this reproduction it plays two roles: it is the
+correct-by-construction oracle for the Commentz-Walter implementation and the
+"no skipping" ablation point in the multi-keyword benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.matching.base import Match, MultiKeywordMatcher
+
+
+class _AcNode:
+    """A node of the Aho-Corasick keyword trie."""
+
+    __slots__ = ("children", "fail", "outputs")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_AcNode"] = {}
+        self.fail: "_AcNode | None" = None
+        self.outputs: list[int] = []
+
+
+class AhoCorasickMatcher(MultiKeywordMatcher):
+    """Classic Aho-Corasick automaton with failure links."""
+
+    algorithm_name = "aho-corasick"
+
+    def __init__(self, keywords: Sequence[str]) -> None:
+        super().__init__(keywords)
+        self._root = _AcNode()
+        self._max_length = max(len(keyword) for keyword in self.keywords)
+        for index, keyword in enumerate(self.keywords):
+            node = self._root
+            for character in keyword:
+                node = node.children.setdefault(character, _AcNode())
+            node.outputs.append(index)
+        self._build_failure_links()
+
+    def _build_failure_links(self) -> None:
+        queue: deque[_AcNode] = deque()
+        for child in self._root.children.values():
+            child.fail = self._root
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for character, child in node.children.items():
+                queue.append(child)
+                fallback = node.fail
+                while fallback is not None and character not in fallback.children:
+                    fallback = fallback.fail
+                child.fail = fallback.children[character] if fallback else self._root
+                if child.fail is child:
+                    child.fail = self._root
+                child.outputs.extend(child.fail.outputs)
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        start = max(start, 0)
+        self.stats.searches += 1
+        node = self._root
+        best: Match | None = None
+        position = start
+        while position < limit:
+            # Once a match is known, no later scan position can yield a match
+            # starting at or before the best start once the longest keyword
+            # length has fully passed that start position.
+            if best is not None and position >= best.position + self._max_length:
+                break
+            character = text[position]
+            self.stats.comparisons += 1
+            while node is not self._root and character not in node.children:
+                node = node.fail or self._root
+            node = node.children.get(character, self._root)
+            for index in node.outputs:
+                keyword = self.keywords[index]
+                candidate = Match(
+                    position=position - len(keyword) + 1,
+                    keyword=keyword,
+                    keyword_index=index,
+                )
+                if candidate.position < start:
+                    continue
+                if (
+                    best is None
+                    or candidate.position < best.position
+                    or (
+                        candidate.position == best.position
+                        and len(candidate.keyword) > len(best.keyword)
+                    )
+                ):
+                    best = candidate
+            position += 1
+        if best is not None:
+            self.stats.matches += 1
+        return best

@@ -1,0 +1,212 @@
+"""Common interfaces and statistics for the string-matching algorithms.
+
+The paper reduces XML prefiltering to a sequence of string-matching problems:
+single-keyword problems are solved with Boyer-Moore and multi-keyword problems
+with Commentz-Walter (Section II).  All matchers in this package implement a
+small common interface so the SMP runtime can swap algorithms freely and so
+the benchmarks can compare them head to head.
+
+Two kinds of matchers exist:
+
+* :class:`SingleKeywordMatcher` -- compiled for one keyword, returns the next
+  occurrence at or after a starting offset.
+* :class:`MultiKeywordMatcher` -- compiled for a set of keywords, returns the
+  next occurrence of *any* keyword.
+
+Every matcher keeps a :class:`MatchStatistics` record.  The paper's Table I
+and Table II report the number of character comparisons relative to the
+document size and the average forward-shift size; both are derived from these
+counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import MatchingError
+
+
+@dataclass
+class MatchStatistics:
+    """Counters accumulated by a matcher across all of its searches.
+
+    Attributes
+    ----------
+    comparisons:
+        Number of character comparisons performed against the text.
+    shifts:
+        Number of window shifts performed.
+    shift_total:
+        Sum of all shift distances, so ``shift_total / shifts`` is the
+        average forward-shift size reported in the paper's tables.
+    searches:
+        Number of individual search invocations.
+    matches:
+        Number of successful matches reported.
+    """
+
+    comparisons: int = 0
+    shifts: int = 0
+    shift_total: int = 0
+    searches: int = 0
+    matches: int = 0
+
+    def record_shift(self, distance: int) -> None:
+        """Record a forward shift of ``distance`` characters."""
+        if distance > 0:
+            self.shifts += 1
+            self.shift_total += distance
+
+    @property
+    def average_shift(self) -> float:
+        """Average size of a forward shift, in characters."""
+        if self.shifts == 0:
+            return 0.0
+        return self.shift_total / self.shifts
+
+    def merge(self, other: "MatchStatistics") -> None:
+        """Accumulate the counters from ``other`` into this record."""
+        self.comparisons += other.comparisons
+        self.shifts += other.shifts
+        self.shift_total += other.shift_total
+        self.searches += other.searches
+        self.matches += other.matches
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.comparisons = 0
+        self.shifts = 0
+        self.shift_total = 0
+        self.searches = 0
+        self.matches = 0
+
+    def snapshot(self) -> "MatchStatistics":
+        """Return an independent copy of the current counters."""
+        return MatchStatistics(
+            comparisons=self.comparisons,
+            shifts=self.shifts,
+            shift_total=self.shift_total,
+            searches=self.searches,
+            matches=self.matches,
+        )
+
+
+@dataclass(frozen=True)
+class Match:
+    """A single keyword occurrence.
+
+    Attributes
+    ----------
+    position:
+        Offset of the first character of the matched keyword in the text.
+    keyword:
+        The keyword that matched.
+    keyword_index:
+        Index of the keyword in the matcher's keyword list (0 for
+        single-keyword matchers).
+    """
+
+    position: int
+    keyword: str
+    keyword_index: int = 0
+
+    @property
+    def end(self) -> int:
+        """Offset one past the last character of the match."""
+        return self.position + len(self.keyword)
+
+
+class SingleKeywordMatcher(ABC):
+    """A matcher compiled for exactly one keyword."""
+
+    algorithm_name: str = "abstract"
+
+    def __init__(self, keyword: str) -> None:
+        if not keyword:
+            raise MatchingError("keyword must be a non-empty string")
+        self.keyword = keyword
+        self.stats = MatchStatistics()
+
+    @abstractmethod
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        """Return the first occurrence of the keyword in ``text[start:end]``.
+
+        Returns ``None`` when the keyword does not occur.  Offsets in the
+        returned :class:`Match` are absolute offsets into ``text``.
+        """
+
+    def find_all(self, text: str, start: int = 0, end: int | None = None) -> list[Match]:
+        """Return every (possibly overlapping) occurrence of the keyword."""
+        matches: list[Match] = []
+        position = start
+        limit = len(text) if end is None else end
+        while position <= limit - len(self.keyword):
+            match = self.find(text, position, limit)
+            if match is None:
+                break
+            matches.append(match)
+            position = match.position + 1
+        return matches
+
+
+class MultiKeywordMatcher(ABC):
+    """A matcher compiled for a set of keywords."""
+
+    algorithm_name: str = "abstract"
+
+    def __init__(self, keywords: Sequence[str]) -> None:
+        keyword_list = list(keywords)
+        if not keyword_list:
+            raise MatchingError("at least one keyword is required")
+        if any(not keyword for keyword in keyword_list):
+            raise MatchingError("keywords must be non-empty strings")
+        if len(set(keyword_list)) != len(keyword_list):
+            raise MatchingError("keywords must be unique")
+        self.keywords = keyword_list
+        self.stats = MatchStatistics()
+
+    @abstractmethod
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        """Return the leftmost occurrence of any keyword in ``text[start:end]``.
+
+        When several keywords match at the same position the longest keyword
+        is preferred, which is the behaviour the SMP runtime relies on for
+        distinguishing tag names that are prefixes of each other.
+        """
+
+    def find_all(self, text: str, start: int = 0, end: int | None = None) -> list[Match]:
+        """Return every occurrence of any keyword, ordered by position."""
+        matches: list[Match] = []
+        position = start
+        limit = len(text) if end is None else end
+        while position < limit:
+            match = self.find(text, position, limit)
+            if match is None:
+                break
+            matches.append(match)
+            position = match.position + 1
+        return matches
+
+
+@dataclass
+class _ShiftTables:
+    """Internal container for precomputed Boyer-Moore style shift tables."""
+
+    bad_character: dict[str, int] = field(default_factory=dict)
+    good_suffix: list[int] = field(default_factory=list)
+
+
+def leftmost_longest(matches: Sequence[Match]) -> Match | None:
+    """Pick the leftmost match, breaking ties by preferring longer keywords."""
+    best: Match | None = None
+    for match in matches:
+        if best is None:
+            best = match
+            continue
+        if match.position < best.position:
+            best = match
+        elif match.position == best.position and len(match.keyword) > len(best.keyword):
+            best = match
+    return best

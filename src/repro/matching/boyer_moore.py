@@ -1,0 +1,97 @@
+"""Full Boyer-Moore single keyword matcher (bad character + good suffix).
+
+This is the algorithm the SMP runtime uses whenever the frontier vocabulary
+of the current automaton state contains exactly one keyword (Section II of
+the paper, label "(BM)" in Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import Match, SingleKeywordMatcher
+
+
+def build_bad_character_table(keyword: str) -> dict[str, int]:
+    """Map each character to the index of its rightmost occurrence."""
+    table: dict[str, int] = {}
+    for index, character in enumerate(keyword):
+        table[character] = index
+    return table
+
+
+def build_good_suffix_table(keyword: str) -> list[int]:
+    """Compute the good-suffix shift table.
+
+    ``table[j]`` is the shift to apply when a mismatch occurs at pattern
+    position ``j`` (i.e. ``keyword[j + 1:]`` matched the text).  The
+    construction follows the classical two-phase algorithm using the border
+    array of the reversed pattern.
+    """
+    length = len(keyword)
+    shift = [0] * (length + 1)
+    border = [0] * (length + 1)
+
+    # Phase 1: borders of suffixes.
+    i = length
+    j = length + 1
+    border[i] = j
+    while i > 0:
+        while j <= length and keyword[i - 1] != keyword[j - 1]:
+            if shift[j] == 0:
+                shift[j] = j - i
+            j = border[j]
+        i -= 1
+        j -= 1
+        border[i] = j
+
+    # Phase 2: fill remaining positions with the widest border shift.
+    j = border[0]
+    for i in range(length + 1):
+        if shift[i] == 0:
+            shift[i] = j
+        if i == j:
+            j = border[j]
+    return shift
+
+
+class BoyerMooreMatcher(SingleKeywordMatcher):
+    """Classic Boyer-Moore search with both shift heuristics."""
+
+    algorithm_name = "boyer-moore"
+
+    def __init__(self, keyword: str) -> None:
+        super().__init__(keyword)
+        self._bad_character = build_bad_character_table(keyword)
+        self._good_suffix = build_good_suffix_table(keyword)
+
+    def bad_character_shift(self, pattern_index: int, character: str) -> int:
+        """Shift suggested by the bad-character rule at ``pattern_index``."""
+        rightmost = self._bad_character.get(character, -1)
+        return max(1, pattern_index - rightmost)
+
+    def good_suffix_shift(self, pattern_index: int) -> int:
+        """Shift suggested by the good-suffix rule after a mismatch at ``pattern_index``."""
+        return self._good_suffix[pattern_index + 1]
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        keyword = self.keyword
+        length = len(keyword)
+        self.stats.searches += 1
+        position = max(start, 0)
+        while position + length <= limit:
+            offset = length - 1
+            while offset >= 0:
+                self.stats.comparisons += 1
+                if text[position + offset] != keyword[offset]:
+                    break
+                offset -= 1
+            if offset < 0:
+                self.stats.matches += 1
+                return Match(position=position, keyword=keyword)
+            shift = max(
+                self.bad_character_shift(offset, text[position + offset]),
+                self.good_suffix_shift(offset),
+            )
+            self.stats.record_shift(shift)
+            position += shift
+        return None

@@ -1,0 +1,87 @@
+"""Factory helpers for constructing matchers by backend name.
+
+The SMP compiler and the benchmarks select matchers through this module so a
+single string (``"instrumented"`` / ``"native"`` / ``"naive"`` /
+``"aho-corasick"``) controls which algorithms are used for the unary
+(Boyer-Moore slot) and multi-keyword (Commentz-Walter slot) search problems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import MatchingError
+from repro.matching.aho_corasick import AhoCorasickMatcher
+from repro.matching.base import MultiKeywordMatcher, SingleKeywordMatcher
+from repro.matching.boyer_moore import BoyerMooreMatcher
+from repro.matching.commentz_walter import CommentzWalterMatcher
+from repro.matching.horspool import HorspoolMatcher
+from repro.matching.naive import NaiveMatcher, NaiveMultiMatcher
+from repro.matching.native import NativeMultiMatcher, NativeSingleMatcher
+
+SingleFactory = Callable[[str], SingleKeywordMatcher]
+MultiFactory = Callable[[Sequence[str]], MultiKeywordMatcher]
+
+#: Backend name -> (single keyword factory, multi keyword factory).
+BACKENDS: dict[str, tuple[SingleFactory, MultiFactory]] = {
+    # The paper's configuration: Boyer-Moore for unary vocabularies and
+    # Commentz-Walter for larger ones, both instrumented with comparison and
+    # shift counters.
+    "instrumented": (BoyerMooreMatcher, CommentzWalterMatcher),
+    # Wall-clock oriented backend using CPython's C string search.
+    "native": (NativeSingleMatcher, NativeMultiMatcher),
+    # Character-by-character baseline (the processing style the paper argues
+    # prefiltering systems should move away from).
+    "naive": (NaiveMatcher, NaiveMultiMatcher),
+    # Tokenizing multi-keyword family used by related work [21]; single
+    # keyword searches fall back to Horspool.
+    "aho-corasick": (HorspoolMatcher, AhoCorasickMatcher),
+    # Horspool single + set-Horspool-style CW; alias of instrumented single
+    # slot for ablation purposes.
+    "horspool": (HorspoolMatcher, CommentzWalterMatcher),
+}
+
+
+def available_backends() -> list[str]:
+    """Names of all registered matcher backends."""
+    return sorted(BACKENDS)
+
+
+def make_single_matcher(keyword: str, backend: str = "instrumented") -> SingleKeywordMatcher:
+    """Construct a single-keyword matcher for ``keyword`` using ``backend``."""
+    try:
+        single_factory, _ = BACKENDS[backend]
+    except KeyError:
+        raise MatchingError(
+            f"unknown matcher backend {backend!r}; choose one of {available_backends()}"
+        ) from None
+    return single_factory(keyword)
+
+
+def make_multi_matcher(
+    keywords: Sequence[str], backend: str = "instrumented"
+) -> MultiKeywordMatcher:
+    """Construct a multi-keyword matcher for ``keywords`` using ``backend``."""
+    try:
+        _, multi_factory = BACKENDS[backend]
+    except KeyError:
+        raise MatchingError(
+            f"unknown matcher backend {backend!r}; choose one of {available_backends()}"
+        ) from None
+    return multi_factory(keywords)
+
+
+def make_matcher(
+    keywords: Sequence[str], backend: str = "instrumented"
+) -> SingleKeywordMatcher | MultiKeywordMatcher:
+    """Construct the appropriate matcher for a frontier vocabulary.
+
+    Mirrors the dispatch in Figure 4 of the paper: a single-keyword algorithm
+    when the vocabulary is unary, a multi-keyword algorithm otherwise.
+    """
+    keyword_list = list(keywords)
+    if not keyword_list:
+        raise MatchingError("cannot build a matcher for an empty vocabulary")
+    if len(keyword_list) == 1:
+        return make_single_matcher(keyword_list[0], backend)
+    return make_multi_matcher(keyword_list, backend)

@@ -1,0 +1,53 @@
+"""Boyer-Moore-Horspool single keyword matcher.
+
+Horspool's simplification of Boyer-Moore uses only the bad-character rule,
+keyed on the text character aligned with the last pattern position.  It is
+included both as a practically fast skipping matcher and as an ablation point
+between the naive matcher and full Boyer-Moore.
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import Match, SingleKeywordMatcher
+
+
+class HorspoolMatcher(SingleKeywordMatcher):
+    """Right-to-left verification with bad-character shifts."""
+
+    algorithm_name = "horspool"
+
+    def __init__(self, keyword: str) -> None:
+        super().__init__(keyword)
+        length = len(keyword)
+        # Shift for a text character c aligned with the last pattern slot:
+        # distance from the rightmost occurrence of c in keyword[:-1] to the
+        # end of the keyword; characters not occurring shift the full length.
+        self._shift: dict[str, int] = {}
+        for index in range(length - 1):
+            self._shift[keyword[index]] = length - 1 - index
+        self._default_shift = length
+
+    def shift_for(self, character: str) -> int:
+        """Return the Horspool shift for ``character`` (exposed for tests)."""
+        return self._shift.get(character, self._default_shift)
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        keyword = self.keyword
+        length = len(keyword)
+        self.stats.searches += 1
+        position = max(start, 0)
+        while position + length <= limit:
+            offset = length - 1
+            while offset >= 0:
+                self.stats.comparisons += 1
+                if text[position + offset] != keyword[offset]:
+                    break
+                offset -= 1
+            if offset < 0:
+                self.stats.matches += 1
+                return Match(position=position, keyword=keyword)
+            shift = self.shift_for(text[position + length - 1])
+            self.stats.record_shift(shift)
+            position += shift
+        return None

@@ -1,0 +1,92 @@
+"""Brute-force matchers.
+
+These serve two purposes: they are the baseline "character-by-character"
+processing style the paper argues against, and they act as trivially correct
+oracles in the property-based tests for the skipping algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.matching.base import (
+    Match,
+    MultiKeywordMatcher,
+    SingleKeywordMatcher,
+    leftmost_longest,
+)
+
+
+class NaiveMatcher(SingleKeywordMatcher):
+    """Left-to-right brute-force single keyword search."""
+
+    algorithm_name = "naive"
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        keyword = self.keyword
+        length = len(keyword)
+        self.stats.searches += 1
+        position = max(start, 0)
+        while position + length <= limit:
+            offset = 0
+            while offset < length:
+                self.stats.comparisons += 1
+                if text[position + offset] != keyword[offset]:
+                    break
+                offset += 1
+            if offset == length:
+                self.stats.matches += 1
+                return Match(position=position, keyword=keyword)
+            self.stats.record_shift(1)
+            position += 1
+        return None
+
+
+class NaiveMultiMatcher(MultiKeywordMatcher):
+    """Brute-force multi-keyword search.
+
+    At every position each keyword is compared in turn.  Used only as a
+    correctness oracle and as the slowest baseline in the ablation benches.
+    """
+
+    algorithm_name = "naive-multi"
+
+    def __init__(self, keywords: Sequence[str]) -> None:
+        super().__init__(keywords)
+        # Longest first so that leftmost-longest tie breaking is automatic.
+        self._ordered = sorted(self.keywords, key=len, reverse=True)
+        self._indices = {keyword: index for index, keyword in enumerate(self.keywords)}
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        self.stats.searches += 1
+        position = max(start, 0)
+        shortest = min(len(keyword) for keyword in self.keywords)
+        while position + shortest <= limit:
+            candidates: list[Match] = []
+            for keyword in self._ordered:
+                length = len(keyword)
+                if position + length > limit:
+                    continue
+                offset = 0
+                while offset < length:
+                    self.stats.comparisons += 1
+                    if text[position + offset] != keyword[offset]:
+                        break
+                    offset += 1
+                if offset == length:
+                    candidates.append(
+                        Match(
+                            position=position,
+                            keyword=keyword,
+                            keyword_index=self._indices[keyword],
+                        )
+                    )
+                    break
+            if candidates:
+                self.stats.matches += 1
+                return leftmost_longest(candidates)
+            self.stats.record_shift(1)
+            position += 1
+        return None

@@ -1,0 +1,90 @@
+"""Native-speed matcher backends built on ``str.find``.
+
+CPython's ``str.find`` implements a mix of Crochemore-Perrin two-way search
+and Boyer-Moore-Horspool style skipping in C.  These backends exist so that
+the wall-clock benchmarks are not dominated by Python interpreter overhead:
+the *instrumented* matchers (:mod:`repro.matching.boyer_moore`,
+:mod:`repro.matching.commentz_walter`) produce the character-comparison and
+shift-size statistics reported in the paper's tables, while the *native*
+backends produce honest throughput numbers.  Both yield identical match
+sequences, which the test suite asserts.
+
+Because ``str.find`` cannot report character comparisons, the native backends
+approximate the statistics: comparisons are counted as the number of
+characters in the spanned region divided by the keyword length (the idealised
+Boyer-Moore behaviour), which is only used for informational output and never
+for the paper's reproduced columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.matching.base import Match, MultiKeywordMatcher, SingleKeywordMatcher
+
+
+class NativeSingleMatcher(SingleKeywordMatcher):
+    """Single keyword search delegated to ``str.find``."""
+
+    algorithm_name = "native-find"
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        self.stats.searches += 1
+        position = text.find(self.keyword, max(start, 0), limit)
+        if position < 0:
+            spanned = max(0, limit - max(start, 0))
+            self.stats.comparisons += spanned // max(1, len(self.keyword))
+            return None
+        spanned = position - max(start, 0) + len(self.keyword)
+        self.stats.comparisons += max(1, spanned // max(1, len(self.keyword)))
+        self.stats.record_shift(max(1, position - max(start, 0)))
+        self.stats.matches += 1
+        return Match(position=position, keyword=self.keyword)
+
+
+class NativeMultiMatcher(MultiKeywordMatcher):
+    """Multi keyword search as repeated ``str.find`` calls.
+
+    For the small frontier vocabularies produced by the SMP static analysis
+    (rarely more than a handful of keywords, see the ``States (CW+BM)`` rows
+    of Table I) running one C-level ``find`` per keyword and taking the
+    leftmost result is faster in CPython than any pure-Python automaton.
+    """
+
+    algorithm_name = "native-multi-find"
+
+    def __init__(self, keywords: Sequence[str]) -> None:
+        super().__init__(keywords)
+        # Longer keywords first so equal-position ties prefer the longest.
+        self._ordered = sorted(
+            range(len(self.keywords)),
+            key=lambda index: -len(self.keywords[index]),
+        )
+
+    def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        limit = len(text) if end is None else min(end, len(text))
+        begin = max(start, 0)
+        self.stats.searches += 1
+        best: Match | None = None
+        search_limit = limit
+        for index in self._ordered:
+            keyword = self.keywords[index]
+            position = text.find(keyword, begin, search_limit)
+            if position < 0:
+                continue
+            if best is None or position < best.position:
+                best = Match(position=position, keyword=keyword, keyword_index=index)
+                # Later keywords can only win if they start strictly earlier,
+                # or start at the same position (longest-first ordering makes
+                # the current best the preferred tie winner).
+                search_limit = min(limit, best.position + len(keyword) + max(
+                    len(other) for other in self.keywords
+                ))
+        spanned = (best.position - begin + 1) if best else max(0, limit - begin)
+        shortest = min(len(keyword) for keyword in self.keywords)
+        self.stats.comparisons += max(1, spanned // max(1, shortest)) if spanned else 0
+        if best is not None:
+            self.stats.record_shift(max(1, best.position - begin))
+            self.stats.matches += 1
+        return best

@@ -1,0 +1,39 @@
+"""Projection semantics: paths, relevance (Definition 3), reference projector."""
+
+from repro.projection.extraction import (
+    QuerySpec,
+    extract_paths_from_xpath,
+    spec_from_xpath,
+)
+from repro.projection.paths import (
+    Axis,
+    PathStep,
+    ProjectionPath,
+    ensure_default_paths,
+    extend_with_prefixes,
+    parse_projection_paths,
+)
+from repro.projection.reference import (
+    ReferenceProjectionResult,
+    ReferenceProjector,
+    project_document,
+)
+from repro.projection.relevance import RelevanceChecker, RelevanceDecision, build_checker
+
+__all__ = [
+    "Axis",
+    "PathStep",
+    "ProjectionPath",
+    "QuerySpec",
+    "ReferenceProjectionResult",
+    "ReferenceProjector",
+    "RelevanceChecker",
+    "RelevanceDecision",
+    "build_checker",
+    "ensure_default_paths",
+    "extend_with_prefixes",
+    "extract_paths_from_xpath",
+    "parse_projection_paths",
+    "project_document",
+    "spec_from_xpath",
+]

@@ -1,0 +1,158 @@
+"""Extraction of projection paths from query specifications (Example 4).
+
+The paper uses the path-extraction algorithm of Marian & Siméon [5], which
+covers full XQuery with downward XPath axes.  This reproduction implements
+the part of it that the experiments exercise:
+
+* for an XPath query, the *spine* of the query becomes a ``#``-flagged
+  projection path (the query result needs the selected nodes with their
+  subtrees), and every relative path used inside a predicate is appended to
+  the path of the step carrying the predicate, also ``#``-flagged (predicate
+  evaluation may need those subtrees);
+* for the XMark XQuery workload, the per-query return/where expressions were
+  translated into explicit projection-path sets once (see
+  :mod:`repro.workloads.xmark.queries`), exactly as the paper lists them for
+  Q13 in Example 4;
+* the default path ``/*`` is always added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.projection.paths import (
+    Axis,
+    PathStep,
+    ProjectionPath,
+    ensure_default_paths,
+)
+from repro.xpath.ast import (
+    AttributeRef,
+    BooleanExpr,
+    ComparisonExpr,
+    ContainsExpr,
+    ExistsExpr,
+    LocationPath,
+    NodeTestKind,
+    PredicateExpr,
+    XPathAxis,
+)
+from repro.xpath.parser import parse_xpath
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query of the experimental workload.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in the paper's tables (e.g. ``XM1`` or ``M3``).
+    query:
+        The query text.  For XPath queries this is executable by the query
+        engines in :mod:`repro.xpath`; for XQuery-style XMark queries it is
+        descriptive.
+    projection_paths:
+        The projection paths handed to the prefilter, as strings.
+    xpath:
+        An XPath-subset expression the query engines can execute to play the
+        role of the downstream XQuery engine, or None when not applicable.
+    description:
+        Free-text description of what the query does.
+    """
+
+    name: str
+    query: str
+    projection_paths: tuple[str, ...]
+    xpath: str | None = None
+    description: str = ""
+
+    def parsed_paths(self) -> list[ProjectionPath]:
+        """Parse the projection paths (with the default ``/*`` added)."""
+        return ensure_default_paths(
+            [ProjectionPath.parse(path) for path in self.projection_paths]
+        )
+
+
+def _steps_from_location_path(path: LocationPath) -> list[PathStep]:
+    steps: list[PathStep] = []
+    for step in path.steps:
+        if step.test.kind is NodeTestKind.TEXT:
+            # text() selects character data below the current element; for
+            # projection purposes the parent element subtree must be kept, so
+            # the text() step itself contributes nothing further.
+            continue
+        axis = Axis.CHILD if step.axis is XPathAxis.CHILD else Axis.DESCENDANT
+        steps.append(PathStep(axis=axis, name=step.test.name))
+    return steps
+
+
+def _predicate_paths(expression: PredicateExpr) -> list[LocationPath]:
+    """Relative location paths referenced by a predicate expression."""
+    if isinstance(expression, BooleanExpr):
+        paths: list[LocationPath] = []
+        for operand in expression.operands:
+            paths.extend(_predicate_paths(operand))
+        return paths
+    if isinstance(expression, ComparisonExpr):
+        return [expression.left] if isinstance(expression.left, LocationPath) else []
+    if isinstance(expression, ContainsExpr):
+        return [expression.haystack] if isinstance(expression.haystack, LocationPath) else []
+    if isinstance(expression, ExistsExpr):
+        return [expression.path]
+    if isinstance(expression, AttributeRef):
+        return []
+    return []
+
+
+def extract_paths_from_xpath(query: str) -> list[ProjectionPath]:
+    """Derive projection paths from an XPath query (plus the default ``/*``).
+
+    The spine of the query becomes a ``#``-flagged path.  For every step that
+    carries predicates, each relative path inside the predicate is appended
+    to the spine prefix ending at that step and also flagged, because the
+    prefilter must keep whatever data the predicate inspects.
+    """
+    location = parse_xpath(query)
+    spine_prefix: list[PathStep] = []
+    extracted: list[ProjectionPath] = []
+    for step in location.steps:
+        if step.test.kind is NodeTestKind.TEXT:
+            continue
+        axis = Axis.CHILD if step.axis is XPathAxis.CHILD else Axis.DESCENDANT
+        spine_prefix.append(PathStep(axis=axis, name=step.test.name))
+        for predicate in step.predicates:
+            for relative in _predicate_paths(predicate):
+                relative_steps = _steps_from_location_path(relative)
+                extracted.append(
+                    ProjectionPath(
+                        steps=tuple(spine_prefix + relative_steps), keep_subtree=True
+                    )
+                )
+    spine = ProjectionPath(steps=tuple(spine_prefix), keep_subtree=True)
+    extracted.insert(0, spine)
+    return ensure_default_paths(_deduplicate(extracted))
+
+
+def _deduplicate(paths: Sequence[ProjectionPath]) -> list[ProjectionPath]:
+    seen: set[ProjectionPath] = set()
+    result: list[ProjectionPath] = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            result.append(path)
+    return result
+
+
+def spec_from_xpath(name: str, query: str, description: str = "") -> QuerySpec:
+    """Build a :class:`QuerySpec` whose projection paths are extracted
+    automatically from an XPath query."""
+    paths = extract_paths_from_xpath(query)
+    return QuerySpec(
+        name=name,
+        query=query,
+        projection_paths=tuple(str(path) for path in paths if path.steps),
+        xpath=query,
+        description=description,
+    )

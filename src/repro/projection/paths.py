@@ -1,0 +1,222 @@
+"""Projection paths (Section III of the paper).
+
+A *simple path* is a sequence of XPath downward steps without predicates; a
+*projection path* is ``/simplePath`` or ``/simplePath#`` where the ``#`` flag
+records that the descendants of the selected nodes are also required.  The
+module provides parsing, the prefix-closure ``P+``, and evaluation of simple
+paths against *branches* (chains of element names), which is all the
+relevance conditions of Definition 3 need.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ProjectionPathError
+
+_NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*|\*")
+
+
+class Axis(enum.Enum):
+    """Navigation axis of one path step."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a simple path: an axis plus a name test (``*`` = any)."""
+
+    axis: Axis
+    name: str
+
+    def matches_name(self, tag: str) -> bool:
+        """True if this step's name test accepts ``tag``."""
+        return self.name == "*" or self.name == tag
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}{self.name}"
+
+
+@dataclass(frozen=True)
+class ProjectionPath:
+    """A parsed projection path.
+
+    Attributes
+    ----------
+    steps:
+        The navigation steps; an empty tuple represents the path ``/`` which
+        selects the (virtual) document node only.
+    keep_subtree:
+        True when the path carries the ``#`` flag, meaning the descendants of
+        the selected nodes are also required (Section III).
+    """
+
+    steps: tuple[PathStep, ...]
+    keep_subtree: bool = False
+
+    # ------------------------------------------------------------------
+    # Parsing / formatting
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ProjectionPath":
+        """Parse a projection path such as ``//australia//description#``."""
+        original = text
+        text = text.strip()
+        if not text:
+            raise ProjectionPathError("projection path must not be empty")
+        keep_subtree = text.endswith("#")
+        if keep_subtree:
+            text = text[:-1]
+        if text in ("", "/"):
+            if keep_subtree:
+                raise ProjectionPathError("the root path '/' cannot carry the '#' flag")
+            return cls(steps=(), keep_subtree=False)
+        if not text.startswith("/"):
+            raise ProjectionPathError(
+                f"projection path must start with '/': {original!r}"
+            )
+        steps: list[PathStep] = []
+        position = 0
+        length = len(text)
+        while position < length:
+            if text.startswith("//", position):
+                axis = Axis.DESCENDANT
+                position += 2
+            elif text.startswith("/", position):
+                axis = Axis.CHILD
+                position += 1
+            else:
+                raise ProjectionPathError(
+                    f"expected '/' at offset {position} in {original!r}"
+                )
+            match = _NAME_RE.match(text, position)
+            if not match:
+                raise ProjectionPathError(
+                    f"expected a name test at offset {position} in {original!r}"
+                )
+            steps.append(PathStep(axis=axis, name=match.group(0)))
+            position = match.end()
+        return cls(steps=tuple(steps), keep_subtree=keep_subtree)
+
+    def __str__(self) -> str:
+        body = "".join(str(step) for step in self.steps) or "/"
+        return body + ("#" if self.keep_subtree else "")
+
+    # ------------------------------------------------------------------
+    # Derived paths
+    # ------------------------------------------------------------------
+    def prefixes(self) -> list["ProjectionPath"]:
+        """All proper prefix paths, including the root path ``/``.
+
+        Prefix paths never carry the ``#`` flag (they only exist to keep the
+        ancestors of selected nodes, Definition 3 / set ``P+``).
+        """
+        return [
+            ProjectionPath(steps=self.steps[:length], keep_subtree=False)
+            for length in range(len(self.steps))
+        ]
+
+    def without_flag(self) -> "ProjectionPath":
+        """The same path with the ``#`` flag removed."""
+        if not self.keep_subtree:
+            return self
+        return ProjectionPath(steps=self.steps, keep_subtree=False)
+
+    @property
+    def last_step(self) -> PathStep | None:
+        """The final step, or None for the root path."""
+        return self.steps[-1] if self.steps else None
+
+    # ------------------------------------------------------------------
+    # Evaluation on branches
+    # ------------------------------------------------------------------
+    def match_positions(self, branch: Sequence[str]) -> set[int]:
+        """Positions of ``branch`` selected by this path.
+
+        ``branch`` is a chain of element names from the root element
+        downwards.  Returned positions are 0-based indices into the chain;
+        the virtual document node is position ``-1`` and is selected exactly
+        by the root path ``/``.
+        """
+        current: set[int] = {-1}
+        for step in self.steps:
+            if not current:
+                return set()
+            next_positions: set[int] = set()
+            if step.axis is Axis.CHILD:
+                for position in current:
+                    candidate = position + 1
+                    if candidate < len(branch) and step.matches_name(branch[candidate]):
+                        next_positions.add(candidate)
+            else:
+                lowest = min(current)
+                for candidate in range(lowest + 1, len(branch)):
+                    if step.matches_name(branch[candidate]) and any(
+                        candidate > position for position in current
+                    ):
+                        next_positions.add(candidate)
+            current = next_positions
+        return current
+
+    def matches_leaf(self, branch: Sequence[str]) -> bool:
+        """True if this path selects the last element of ``branch``.
+
+        For the empty branch (the document branch of ``q0``) only the root
+        path matches, mirroring Example 10 of the paper.
+        """
+        if not branch:
+            return not self.steps
+        return (len(branch) - 1) in self.match_positions(branch)
+
+    def matches_any(self, branch: Sequence[str]) -> bool:
+        """True if this path selects any element of ``branch``."""
+        if not branch:
+            return not self.steps
+        positions = self.match_positions(branch)
+        positions.discard(-1)
+        return bool(positions)
+
+
+def parse_projection_paths(texts: Iterable[str]) -> list[ProjectionPath]:
+    """Parse several projection paths at once."""
+    return [ProjectionPath.parse(text) for text in texts]
+
+
+def extend_with_prefixes(paths: Sequence[ProjectionPath]) -> list[ProjectionPath]:
+    """Compute ``P+``: the given paths plus all their prefix paths.
+
+    Duplicates are removed while preserving a deterministic order (original
+    paths first, then prefixes ordered by length).
+    """
+    seen: set[ProjectionPath] = set()
+    result: list[ProjectionPath] = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            result.append(path)
+    prefix_paths: list[ProjectionPath] = []
+    for path in paths:
+        prefix_paths.extend(path.prefixes())
+    for prefix in sorted(prefix_paths, key=lambda p: len(p.steps)):
+        if prefix not in seen:
+            seen.add(prefix)
+            result.append(prefix)
+    return result
+
+
+def ensure_default_paths(paths: Sequence[ProjectionPath]) -> list[ProjectionPath]:
+    """Add the default ``/*`` path if not present.
+
+    The paper always extracts ``/*`` so prefiltering preserves the top-level
+    node and produces well-formed output (Section III).
+    """
+    result = list(paths)
+    top_level = ProjectionPath.parse("/*")
+    if not any(path.without_flag() == top_level for path in result):
+        result.append(top_level)
+    return result

@@ -1,0 +1,159 @@
+"""Token-based reference projector.
+
+This projector implements the projection semantics of Section III directly on
+the *tokenized* document: every token is classified with
+:class:`~repro.projection.relevance.RelevanceChecker` and relevant tokens are
+copied to the output in document order, which preserves ancestor-descendant
+and following relationships (Lemma 1).
+
+It serves two purposes in the reproduction:
+
+* it is the correctness oracle the SMP runtime is tested against, and
+* it stands in for Type-Based Projection in the Table III benchmark: like
+  TBP it inspects **every** character of the input (full tokenization) while
+  producing essentially the same projected document as SMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.projection.paths import ProjectionPath, ensure_default_paths
+from repro.projection.relevance import RelevanceChecker
+from repro.xml.serialize import serialize_tokens
+from repro.xml.tokenizer import XmlTokenizer
+from repro.xml.tokens import Token, TokenKind
+
+
+@dataclass
+class ReferenceProjectionResult:
+    """Output of a reference-projection run."""
+
+    output: str
+    input_size: int
+    output_size: int
+    tokens_seen: int = 0
+    tokens_kept: int = 0
+    kept_by_condition: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Output size divided by input size (lower is more aggressive)."""
+        if self.input_size == 0:
+            return 0.0
+        return self.output_size / self.input_size
+
+
+class ReferenceProjector:
+    """Project documents by full tokenization (the paper's Definition 3)."""
+
+    def __init__(
+        self,
+        paths: Sequence[ProjectionPath | str],
+        alphabet: set[str] | None = None,
+        add_default_paths: bool = True,
+        keep_attributes: bool = True,
+    ) -> None:
+        parsed = [
+            path if isinstance(path, ProjectionPath) else ProjectionPath.parse(path)
+            for path in paths
+        ]
+        if add_default_paths:
+            parsed = ensure_default_paths(parsed)
+        self.paths = parsed
+        self.checker = RelevanceChecker(parsed, alphabet=alphabet)
+        self.keep_attributes = keep_attributes
+
+    # ------------------------------------------------------------------
+    # Token-level projection
+    # ------------------------------------------------------------------
+    def project_tokens(self, tokens: Iterable[Token]) -> Iterator[Token]:
+        """Yield the relevant tokens of ``tokens`` in document order."""
+        stack: list[str] = []
+        for token in tokens:
+            if token.kind is TokenKind.START_TAG:
+                if self.checker.is_relevant(stack, token.name):
+                    yield self._strip_attributes(token)
+                stack.append(token.name)
+            elif token.kind is TokenKind.EMPTY_TAG:
+                if self.checker.is_relevant(stack, token.name):
+                    yield self._strip_attributes(token)
+            elif token.kind is TokenKind.END_TAG:
+                if stack:
+                    stack.pop()
+                if self.checker.is_relevant(stack, token.name):
+                    yield token
+            elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
+                if self.checker.is_relevant(stack, None):
+                    yield token
+            # Prolog, comments and processing instructions are dropped, as in
+            # the paper's projected documents.
+
+    def _strip_attributes(self, token: Token) -> Token:
+        if self.keep_attributes or not token.attributes:
+            return token
+        return Token(
+            kind=token.kind,
+            name=token.name,
+            attributes=(),
+            start=token.start,
+            end=token.end,
+        )
+
+    # ------------------------------------------------------------------
+    # Document-level projection
+    # ------------------------------------------------------------------
+    def project_text(self, text: str) -> ReferenceProjectionResult:
+        """Project an XML document given as text."""
+        tokenizer = XmlTokenizer(text)
+        kept: list[Token] = []
+        kept_by_condition: dict[str, int] = {}
+        tokens_seen = 0
+        stack: list[str] = []
+        for token in tokenizer.tokens():
+            tokens_seen += 1
+            if token.kind is TokenKind.START_TAG:
+                decision = self.checker.decide(tuple(stack), token.name)
+                if decision.relevant:
+                    kept.append(self._strip_attributes(token))
+                    kept_by_condition[decision.condition or "?"] = (
+                        kept_by_condition.get(decision.condition or "?", 0) + 1
+                    )
+                stack.append(token.name)
+            elif token.kind is TokenKind.EMPTY_TAG:
+                decision = self.checker.decide(tuple(stack), token.name)
+                if decision.relevant:
+                    kept.append(self._strip_attributes(token))
+                    kept_by_condition[decision.condition or "?"] = (
+                        kept_by_condition.get(decision.condition or "?", 0) + 1
+                    )
+            elif token.kind is TokenKind.END_TAG:
+                if stack:
+                    stack.pop()
+                decision = self.checker.decide(tuple(stack), token.name)
+                if decision.relevant:
+                    kept.append(token)
+            elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
+                decision = self.checker.decide(tuple(stack), None)
+                if decision.relevant:
+                    kept.append(token)
+        output = serialize_tokens(kept)
+        return ReferenceProjectionResult(
+            output=output,
+            input_size=len(text),
+            output_size=len(output),
+            tokens_seen=tokens_seen,
+            tokens_kept=len(kept),
+            kept_by_condition=kept_by_condition,
+        )
+
+
+def project_document(
+    text: str,
+    paths: Sequence[ProjectionPath | str],
+    alphabet: set[str] | None = None,
+) -> str:
+    """One-shot helper: project ``text`` for ``paths`` and return the output."""
+    projector = ReferenceProjector(paths, alphabet=alphabet)
+    return projector.project_text(text).output

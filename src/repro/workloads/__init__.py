@@ -1,0 +1,17 @@
+"""Synthetic experimental workloads (XMark-like and MEDLINE-like)."""
+
+from repro.workloads.datasets import (
+    DEFAULT_DOCUMENT_BYTES,
+    DatasetSpec,
+    clear_caches,
+    default_document_bytes,
+    load_dataset,
+)
+
+__all__ = [
+    "DEFAULT_DOCUMENT_BYTES",
+    "DatasetSpec",
+    "clear_caches",
+    "default_document_bytes",
+    "load_dataset",
+]

@@ -1,0 +1,24 @@
+"""Synthetic MEDLINE workload: DTD, generator, query specifications."""
+
+from repro.workloads.medline.dtd import MEDLINE_DTD_TEXT, medline_dtd
+from repro.workloads.medline.generator import (
+    MedlineGenerator,
+    generate_medline_document,
+    generate_medline_document_of_size,
+)
+from repro.workloads.medline.queries import (
+    MEDLINE_QUERIES,
+    MEDLINE_QUERY_ORDER,
+    medline_query,
+)
+
+__all__ = [
+    "MEDLINE_DTD_TEXT",
+    "MEDLINE_QUERIES",
+    "MEDLINE_QUERY_ORDER",
+    "MedlineGenerator",
+    "generate_medline_document",
+    "generate_medline_document_of_size",
+    "medline_dtd",
+    "medline_query",
+]

@@ -1,0 +1,93 @@
+"""A MEDLINE-like DTD with the features the paper's Table II exercises.
+
+The real MEDLINE citation DTD is far larger; this schema keeps the parts the
+M1-M5 queries touch plus the structural properties the paper highlights:
+
+* long tag names (which enlarge Boyer-Moore shifts, see the Table II
+  discussion of the average shift size),
+* the ``Abstract`` / ``AbstractText`` tag-name prefix pair that requires the
+  runtime's extra verification step (Section II), with
+  ``Title`` / ``TitleAssociatedWithName`` as a second such pair,
+* mostly *optional* elements, which is why the paper observes no useful
+  initial jumps for M1-M4,
+* rarely occurring record parts (``DataBankList``,
+  ``PersonalNameSubjectList``) and one element that is declared but never
+  generated (``CollectionTitle``), matching the paper's observation that M1
+  produces an empty projection.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import Dtd
+
+MEDLINE_DTD_TEXT = """
+<!DOCTYPE MedlineCitationSet [
+<!ELEMENT MedlineCitationSet (MedlineCitation*)>
+<!ELEMENT MedlineCitation (PMID, DateCreated, DateCompleted?, Article,
+                           MedlineJournalInfo, ChemicalList?, MeshHeadingList?,
+                           DataBankList?, PersonalNameSubjectList?,
+                           CollectionTitle?, GeneralNote*)>
+<!ATTLIST MedlineCitation Status CDATA #REQUIRED>
+<!ELEMENT PMID (#PCDATA)>
+<!ELEMENT DateCreated (Year, Month, Day)>
+<!ELEMENT DateCompleted (Year, Month, Day)>
+<!ELEMENT Year (#PCDATA)>
+<!ELEMENT Month (#PCDATA)>
+<!ELEMENT Day (#PCDATA)>
+<!ELEMENT Article (Journal, ArticleTitle, Pagination?, Abstract?, Affiliation?,
+                   AuthorList?, Language, PublicationTypeList?)>
+<!ELEMENT Journal (ISSN?, JournalIssue, Title, ISOAbbreviation?)>
+<!ELEMENT ISSN (#PCDATA)>
+<!ELEMENT JournalIssue (Volume?, Issue?, PubDate)>
+<!ELEMENT Volume (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ELEMENT PubDate (Year, Month?, Day?)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT ISOAbbreviation (#PCDATA)>
+<!ELEMENT ArticleTitle (#PCDATA)>
+<!ELEMENT Pagination (MedlinePgn)>
+<!ELEMENT MedlinePgn (#PCDATA)>
+<!ELEMENT Abstract (AbstractText, CopyrightInformation?)>
+<!ELEMENT AbstractText (#PCDATA)>
+<!ELEMENT CopyrightInformation (#PCDATA)>
+<!ELEMENT Affiliation (#PCDATA)>
+<!ELEMENT AuthorList (Author+)>
+<!ATTLIST AuthorList CompleteYN CDATA #IMPLIED>
+<!ELEMENT Author (LastName, ForeName?, Initials?)>
+<!ELEMENT LastName (#PCDATA)>
+<!ELEMENT ForeName (#PCDATA)>
+<!ELEMENT Initials (#PCDATA)>
+<!ELEMENT Language (#PCDATA)>
+<!ELEMENT PublicationTypeList (PublicationType+)>
+<!ELEMENT PublicationType (#PCDATA)>
+<!ELEMENT MedlineJournalInfo (Country?, MedlineTA, NlmUniqueID?)>
+<!ELEMENT Country (#PCDATA)>
+<!ELEMENT MedlineTA (#PCDATA)>
+<!ELEMENT NlmUniqueID (#PCDATA)>
+<!ELEMENT ChemicalList (Chemical+)>
+<!ELEMENT Chemical (RegistryNumber, NameOfSubstance)>
+<!ELEMENT RegistryNumber (#PCDATA)>
+<!ELEMENT NameOfSubstance (#PCDATA)>
+<!ELEMENT MeshHeadingList (MeshHeading+)>
+<!ELEMENT MeshHeading (DescriptorName, QualifierName*)>
+<!ELEMENT DescriptorName (#PCDATA)>
+<!ELEMENT QualifierName (#PCDATA)>
+<!ELEMENT DataBankList (DataBank+)>
+<!ELEMENT DataBank (DataBankName, AccessionNumberList?)>
+<!ELEMENT DataBankName (#PCDATA)>
+<!ELEMENT AccessionNumberList (AccessionNumber+)>
+<!ELEMENT AccessionNumber (#PCDATA)>
+<!ELEMENT PersonalNameSubjectList (PersonalNameSubject+)>
+<!ELEMENT PersonalNameSubject (LastName, ForeName?, DatesAssociatedWithName?,
+                               TitleAssociatedWithName?)>
+<!ELEMENT DatesAssociatedWithName (#PCDATA)>
+<!ELEMENT TitleAssociatedWithName (#PCDATA)>
+<!ELEMENT CollectionTitle (#PCDATA)>
+<!ELEMENT GeneralNote (#PCDATA)>
+]>
+"""
+
+
+def medline_dtd() -> Dtd:
+    """Parse and return the MEDLINE-like DTD."""
+    return Dtd.parse(MEDLINE_DTD_TEXT)

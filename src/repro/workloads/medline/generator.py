@@ -1,0 +1,281 @@
+"""Deterministic synthetic MEDLINE-like document generator.
+
+Stands in for the 656 MB MEDLINE citation dump of Table II.  The generator
+produces a ``MedlineCitationSet`` of citation records valid with respect to
+:data:`repro.workloads.medline.dtd.MEDLINE_DTD_TEXT`, with selectivities
+chosen so the M1-M5 queries behave as in the paper:
+
+* ``CollectionTitle`` never occurs (M1 projects to an empty document),
+* ``DataBankList`` / ``PersonalNameSubjectList`` are rare, and the specific
+  values the M2 / M3 predicates look for ("PDB", "Hippocrates", "Oct2006")
+  occur in a small fraction of those records,
+* ``CopyrightInformation`` occasionally mentions "NASA" (M4),
+* ``MedlineJournalInfo`` rarely mentions "Sterilization" (M5), while
+  ``DateCompleted`` is present for most citations, so the M5 projection is
+  comparatively large - mirroring the 47.4 MB of Table II.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+_JOURNAL_TITLES = (
+    "Journal of Synthetic Data", "Annals of Reproducible Research",
+    "Archives of Experimental Informatics", "Clinical Benchmarking Letters",
+    "International Review of Stream Processing", "Acta Simulata",
+)
+
+_MEDICAL_WORDS = (
+    "analysis", "clinical", "randomized", "cohort", "protein", "sequence",
+    "therapy", "diagnosis", "treatment", "receptor", "antibody", "enzyme",
+    "infection", "chronic", "acute", "syndrome", "pathology", "genome",
+    "expression", "regulation", "metabolism", "inflammation", "screening",
+)
+
+_LAST_NAMES = (
+    "Smith", "Nguyen", "Garcia", "Kim", "Patel", "Mueller", "Rossi", "Sato",
+    "Kowalski", "Johnson", "Hippocrates", "Andersson", "Silva", "Haddad",
+)
+
+_FORE_NAMES = (
+    "Alex", "Maria", "Chen", "Priya", "Lars", "Giulia", "Yuki", "Anna",
+    "Omar", "Lucia", "Pavel", "Ingrid",
+)
+
+_COUNTRIES = (
+    "United States", "Germany", "Japan", "Brazil", "India", "Sweden",
+    "Egypt", "Australia", "Canada", "France",
+)
+
+_DATABANKS = ("GENBANK", "PDB", "SWISSPROT", "OMIM", "PIR")
+
+
+class MedlineGenerator:
+    """Generate MEDLINE-like citation sets as XML text."""
+
+    def __init__(self, citations: int = 2000, seed: int = 7) -> None:
+        if citations <= 0:
+            raise WorkloadError("citations must be positive")
+        self.citations = citations
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        """Generate the document text."""
+        rng = random.Random(self.seed)
+        pieces: list[str] = ["<MedlineCitationSet>"]
+        for index in range(self.citations):
+            pieces.append(self._citation(rng, index))
+        pieces.append("</MedlineCitationSet>")
+        return "".join(pieces)
+
+    # ------------------------------------------------------------------
+    # Record parts
+    # ------------------------------------------------------------------
+    def _citation(self, rng: random.Random, index: int) -> str:
+        optional: list[str] = []
+        date_completed = (
+            f"<DateCompleted>{self._date(rng)}</DateCompleted>" if rng.random() < 0.85 else ""
+        )
+        if rng.random() < 0.55:
+            optional.append(self._chemical_list(rng))
+        if rng.random() < 0.7:
+            optional.append(self._mesh_list(rng))
+        if rng.random() < 0.04:
+            optional.append(self._databank_list(rng))
+        if rng.random() < 0.03:
+            optional.append(self._personal_name_subjects(rng))
+        if rng.random() < 0.1:
+            optional.append(f"<GeneralNote>{self._sentence(rng, 6, 14)}</GeneralNote>")
+        return (
+            f'<MedlineCitation Status="{rng.choice(("MEDLINE", "In-Process"))}">'
+            f"<PMID>{10_000_000 + index}</PMID>"
+            f"<DateCreated>{self._date(rng)}</DateCreated>"
+            f"{date_completed}"
+            f"{self._article(rng)}"
+            f"{self._journal_info(rng)}"
+            f"{''.join(optional)}"
+            "</MedlineCitation>"
+        )
+
+    def _article(self, rng: random.Random) -> str:
+        abstract = ""
+        if rng.random() < 0.8:
+            copyright_info = ""
+            if rng.random() < 0.3:
+                holder = "NASA" if rng.random() < 0.05 else "Elsevier"
+                copyright_info = (
+                    f"<CopyrightInformation>Copyright {rng.randint(1995, 2006)} "
+                    f"{holder}. All rights reserved.</CopyrightInformation>"
+                )
+            abstract = (
+                f"<Abstract><AbstractText>{self._sentence(rng, 40, 120)}</AbstractText>"
+                f"{copyright_info}</Abstract>"
+            )
+        pagination = (
+            f"<Pagination><MedlinePgn>{rng.randint(1, 900)}-{rng.randint(901, 1400)}</MedlinePgn></Pagination>"
+            if rng.random() < 0.8
+            else ""
+        )
+        affiliation = (
+            f"<Affiliation>Department of {rng.choice(_MEDICAL_WORDS).title()}, "
+            f"{rng.choice(_COUNTRIES)}</Affiliation>"
+            if rng.random() < 0.6
+            else ""
+        )
+        authors = self._author_list(rng) if rng.random() < 0.95 else ""
+        publication_types = (
+            "<PublicationTypeList>"
+            + "".join(
+                f"<PublicationType>{kind}</PublicationType>"
+                for kind in rng.sample(("Journal Article", "Review", "Clinical Trial", "Letter"),
+                                       k=rng.randint(1, 2))
+            )
+            + "</PublicationTypeList>"
+            if rng.random() < 0.8
+            else ""
+        )
+        return (
+            "<Article>"
+            f"{self._journal(rng)}"
+            f"<ArticleTitle>{self._sentence(rng, 8, 18).title()}</ArticleTitle>"
+            f"{pagination}"
+            f"{abstract}"
+            f"{affiliation}"
+            f"{authors}"
+            f"<Language>{rng.choice(('eng', 'ger', 'fre', 'jpn'))}</Language>"
+            f"{publication_types}"
+            "</Article>"
+        )
+
+    def _journal(self, rng: random.Random) -> str:
+        issn = f"<ISSN>{rng.randint(1000, 9999)}-{rng.randint(1000, 9999)}</ISSN>" if rng.random() < 0.8 else ""
+        volume = f"<Volume>{rng.randint(1, 120)}</Volume>" if rng.random() < 0.9 else ""
+        issue = f"<Issue>{rng.randint(1, 12)}</Issue>" if rng.random() < 0.8 else ""
+        title = rng.choice(_JOURNAL_TITLES)
+        iso = f"<ISOAbbreviation>{''.join(word[0] for word in title.split())}.</ISOAbbreviation>"
+        return (
+            "<Journal>"
+            f"{issn}"
+            f"<JournalIssue>{volume}{issue}<PubDate>{self._date(rng, month_optional=True)}</PubDate></JournalIssue>"
+            f"<Title>{title}</Title>"
+            f"{iso}"
+            "</Journal>"
+        )
+
+    def _author_list(self, rng: random.Random) -> str:
+        authors = []
+        for _ in range(rng.randint(1, 6)):
+            fore = rng.choice(_FORE_NAMES)
+            last = rng.choice(_LAST_NAMES)
+            initials = f"<Initials>{fore[0]}</Initials>"
+            authors.append(
+                f"<Author><LastName>{last}</LastName><ForeName>{fore}</ForeName>{initials}</Author>"
+            )
+        return f'<AuthorList CompleteYN="Y">{"".join(authors)}</AuthorList>'
+
+    def _journal_info(self, rng: random.Random) -> str:
+        country = f"<Country>{rng.choice(_COUNTRIES)}</Country>" if rng.random() < 0.9 else ""
+        topic = "Sterilization" if rng.random() < 0.02 else rng.choice(_MEDICAL_WORDS).title()
+        return (
+            "<MedlineJournalInfo>"
+            f"{country}"
+            f"<MedlineTA>{topic} research abstracts</MedlineTA>"
+            f"<NlmUniqueID>{rng.randint(100000, 999999)}</NlmUniqueID>"
+            "</MedlineJournalInfo>"
+        )
+
+    def _chemical_list(self, rng: random.Random) -> str:
+        chemicals = "".join(
+            "<Chemical>"
+            f"<RegistryNumber>{rng.randint(0, 99999)}-{rng.randint(10, 99)}-{rng.randint(0, 9)}</RegistryNumber>"
+            f"<NameOfSubstance>{rng.choice(_MEDICAL_WORDS).title()} {rng.choice(_MEDICAL_WORDS)}</NameOfSubstance>"
+            "</Chemical>"
+            for _ in range(rng.randint(1, 4))
+        )
+        return f"<ChemicalList>{chemicals}</ChemicalList>"
+
+    def _mesh_list(self, rng: random.Random) -> str:
+        headings = "".join(
+            "<MeshHeading>"
+            f"<DescriptorName>{rng.choice(_MEDICAL_WORDS).title()}</DescriptorName>"
+            + "".join(
+                f"<QualifierName>{rng.choice(_MEDICAL_WORDS)}</QualifierName>"
+                for _ in range(rng.randint(0, 2))
+            )
+            + "</MeshHeading>"
+            for _ in range(rng.randint(1, 6))
+        )
+        return f"<MeshHeadingList>{headings}</MeshHeadingList>"
+
+    def _databank_list(self, rng: random.Random) -> str:
+        banks = []
+        for _ in range(rng.randint(1, 2)):
+            name = rng.choice(_DATABANKS)
+            accessions = "".join(
+                f"<AccessionNumber>{name[:2]}{rng.randint(10000, 99999)}</AccessionNumber>"
+                for _ in range(rng.randint(1, 3))
+            )
+            banks.append(
+                f"<DataBank><DataBankName>{name}</DataBankName>"
+                f"<AccessionNumberList>{accessions}</AccessionNumberList></DataBank>"
+            )
+        return f"<DataBankList>{''.join(banks)}</DataBankList>"
+
+    def _personal_name_subjects(self, rng: random.Random) -> str:
+        subjects = []
+        for _ in range(rng.randint(1, 2)):
+            last = "Hippocrates" if rng.random() < 0.2 else rng.choice(_LAST_NAMES)
+            if rng.random() < 0.3:
+                date_text = "Oct2006"
+            else:
+                month = rng.choice(("Jan", "Mar", "May", "Jul", "Sep", "Nov"))
+                date_text = f"{month}{rng.randint(1990, 2005)}"
+            dates = f"<DatesAssociatedWithName>{date_text}</DatesAssociatedWithName>"
+            title = (
+                f"<TitleAssociatedWithName>{self._sentence(rng, 3, 7).title()}</TitleAssociatedWithName>"
+                if rng.random() < 0.8
+                else ""
+            )
+            subjects.append(
+                "<PersonalNameSubject>"
+                f"<LastName>{last}</LastName>"
+                f"<ForeName>{rng.choice(_FORE_NAMES)}</ForeName>"
+                f"{dates}{title}"
+                "</PersonalNameSubject>"
+            )
+        return f"<PersonalNameSubjectList>{''.join(subjects)}</PersonalNameSubjectList>"
+
+    # ------------------------------------------------------------------
+    # Text helpers
+    # ------------------------------------------------------------------
+    def _sentence(self, rng: random.Random, low: int, high: int) -> str:
+        return " ".join(rng.choice(_MEDICAL_WORDS) for _ in range(rng.randint(low, high))) + "."
+
+    def _date(self, rng: random.Random, month_optional: bool = False) -> str:
+        year = f"<Year>{rng.randint(1990, 2006)}</Year>"
+        if month_optional and rng.random() < 0.3:
+            return year
+        return (
+            f"{year}<Month>{rng.randint(1, 12):02d}</Month><Day>{rng.randint(1, 28):02d}</Day>"
+        )
+
+
+def generate_medline_document(citations: int = 2000, seed: int = 7) -> str:
+    """Generate a MEDLINE-like citation set with ``citations`` records."""
+    return MedlineGenerator(citations=citations, seed=seed).generate()
+
+
+def generate_medline_document_of_size(target_bytes: int, seed: int = 7) -> str:
+    """Generate a citation set whose size is close to ``target_bytes``."""
+    if target_bytes <= 0:
+        raise WorkloadError("target_bytes must be positive")
+    probe_count = 50
+    probe = MedlineGenerator(citations=probe_count, seed=seed).generate()
+    bytes_per_citation = max(1.0, len(probe) / probe_count)
+    citations = max(1, int(target_bytes / bytes_per_citation))
+    return MedlineGenerator(citations=citations, seed=seed).generate()

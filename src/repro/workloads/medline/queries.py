@@ -1,0 +1,54 @@
+"""The MEDLINE XPath workload M1-M5 of Table II.
+
+The queries are the paper's Table II expressions verbatim; the projection
+paths are obtained with :func:`repro.projection.extraction.extract_paths_from_xpath`,
+i.e. the spine (flagged) plus the predicate paths (flagged) plus ``/*``.
+"""
+
+from __future__ import annotations
+
+from repro.projection.extraction import QuerySpec, spec_from_xpath
+
+_M_QUERIES: tuple[tuple[str, str, str], ...] = (
+    (
+        "M1",
+        "/MedlineCitationSet//CollectionTitle",
+        "An element declared in the DTD that never occurs in the data.",
+    ),
+    (
+        "M2",
+        '/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList',
+        "Accession numbers of PDB data banks (rare records, selective predicate).",
+    ),
+    (
+        "M3",
+        "/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject["
+        'LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]'
+        "/TitleAssociatedWithName",
+        "Titles associated with specific personal-name subjects (disjunctive predicate).",
+    ),
+    (
+        "M4",
+        '/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]',
+        "Copyright notes mentioning NASA (contains() over text content).",
+    ),
+    (
+        "M5",
+        "/MedlineCitationSet/MedlineCitation["
+        'contains(MedlineJournalInfo//text(),"Sterilization")]/DateCompleted',
+        "Completion dates of citations whose journal info mentions sterilization.",
+    ),
+)
+
+MEDLINE_QUERIES: dict[str, QuerySpec] = {
+    name: spec_from_xpath(name, query, description)
+    for name, query, description in _M_QUERIES
+}
+
+#: Query identifiers in the order of Table II.
+MEDLINE_QUERY_ORDER: tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5")
+
+
+def medline_query(name: str) -> QuerySpec:
+    """Look up a query spec by its Table II identifier."""
+    return MEDLINE_QUERIES[name]

@@ -1,0 +1,28 @@
+"""Synthetic XMark workload: DTD, generator, query specifications."""
+
+from repro.workloads.xmark.dtd import XMARK_DTD_TEXT, xmark_dtd
+from repro.workloads.xmark.generator import (
+    XmarkGenerator,
+    XmarkProfile,
+    generate_xmark_document,
+    generate_xmark_document_of_size,
+)
+from repro.workloads.xmark.queries import (
+    TBP_COMPARISON_QUERIES,
+    XMARK_QUERIES,
+    XMARK_QUERY_ORDER,
+    xmark_query,
+)
+
+__all__ = [
+    "TBP_COMPARISON_QUERIES",
+    "XMARK_DTD_TEXT",
+    "XMARK_QUERIES",
+    "XMARK_QUERY_ORDER",
+    "XmarkGenerator",
+    "XmarkProfile",
+    "generate_xmark_document",
+    "generate_xmark_document_of_size",
+    "xmark_dtd",
+    "xmark_query",
+]

@@ -1,0 +1,353 @@
+"""Deterministic synthetic XMark-like document generator.
+
+The generator stands in for the XMark ``xmlgen`` tool (the paper benchmarks
+10 MB to 5 GB XMark documents).  It produces documents that are valid with
+respect to :data:`repro.workloads.xmark.dtd.XMARK_DTD_TEXT`, with the same
+qualitative mix as XMark: six regional item lists, a people directory,
+open and closed auctions, cross references via id attributes, and free-text
+descriptions.  The output is fully deterministic for a given ``(scale,
+seed)`` pair so benchmark runs are reproducible.
+
+``scale=1.0`` yields a document of roughly 1 MB; size grows linearly with
+the scale factor (as it does for XMark's own scale factor).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_WORDS = (
+    "gold", "silver", "vintage", "portable", "compact", "wireless", "classic",
+    "ceramic", "leather", "crystal", "antique", "digital", "analog", "hand",
+    "crafted", "limited", "edition", "premium", "rugged", "lightweight",
+    "ergonomic", "professional", "studio", "travel", "garden", "kitchen",
+    "outdoor", "waterproof", "solar", "rechargeable", "collector", "series",
+)
+
+_FIRST_NAMES = (
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "John",
+    "Tim", "Radia", "Frances", "Niklaus", "Dennis", "Ken", "Bjarne", "Guido",
+)
+
+_LAST_NAMES = (
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport",
+    "Backus", "BernersLee", "Perlman", "Allen", "Wirth", "Ritchie", "Thompson",
+)
+
+_CITIES = (
+    "Cairo", "Nairobi", "Tokyo", "Singapore", "Sydney", "Perth", "Berlin",
+    "Madrid", "Boston", "Toronto", "Lima", "Santiago", "Helsinki", "Vienna",
+)
+
+_COUNTRIES = (
+    "Egypt", "Kenya", "Japan", "Singapore", "Australia", "Germany", "Spain",
+    "United States", "Canada", "Peru", "Chile", "Finland", "Austria",
+)
+
+_PAYMENTS = ("Creditcard", "Cash", "Money order", "Personal Check")
+_EDUCATION = ("High School", "College", "Graduate School", "Other")
+_HAPPINESS = tuple(str(value) for value in range(1, 11))
+
+
+@dataclass(frozen=True)
+class XmarkProfile:
+    """Cardinalities derived from the scale factor (per scale unit)."""
+
+    items_per_region: int = 155
+    categories: int = 100
+    people: int = 350
+    open_auctions: int = 170
+    closed_auctions: int = 130
+
+    def scaled(self, scale: float) -> "XmarkProfile":
+        """Scale all cardinalities, keeping at least one of everything."""
+        def at_least_one(value: float) -> int:
+            return max(1, int(round(value)))
+
+        return XmarkProfile(
+            items_per_region=at_least_one(self.items_per_region * scale),
+            categories=at_least_one(self.categories * scale),
+            people=at_least_one(self.people * scale),
+            open_auctions=at_least_one(self.open_auctions * scale),
+            closed_auctions=at_least_one(self.closed_auctions * scale),
+        )
+
+
+class XmarkGenerator:
+    """Generate XMark-like documents as XML text."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.profile = XmarkProfile().scaled(scale)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        """Generate the document text."""
+        rng = random.Random(self.seed)
+        pieces: list[str] = ["<site>"]
+        item_ids = self._append_regions(pieces, rng)
+        category_ids = self._append_categories(pieces, rng)
+        self._append_catgraph(pieces, rng, category_ids)
+        person_ids = self._append_people(pieces, rng, category_ids)
+        open_ids = self._append_open_auctions(pieces, rng, item_ids, person_ids)
+        self._append_closed_auctions(pieces, rng, item_ids, person_ids)
+        del open_ids
+        pieces.append("</site>")
+        return "".join(pieces)
+
+    # ------------------------------------------------------------------
+    # Sections
+    # ------------------------------------------------------------------
+    def _append_regions(self, pieces: list[str], rng: random.Random) -> list[str]:
+        item_ids: list[str] = []
+        pieces.append("<regions>")
+        serial = 0
+        for region in _REGIONS:
+            pieces.append(f"<{region}>")
+            for _ in range(self.profile.items_per_region):
+                item_id = f"item{serial}"
+                serial += 1
+                item_ids.append(item_id)
+                pieces.append(self._item(rng, item_id))
+            pieces.append(f"</{region}>")
+        pieces.append("</regions>")
+        return item_ids
+
+    def _item(self, rng: random.Random, item_id: str) -> str:
+        name = self._phrase(rng, 2, 4).title()
+        description = self._sentence(rng, 12, 30)
+        mails = "".join(self._mail(rng) for _ in range(rng.randint(0, 2)))
+        categories = "".join(
+            f'<incategory category="category{rng.randint(0, max(0, self.profile.categories - 1))}"/>'
+            for _ in range(rng.randint(1, 3))
+        )
+        return (
+            f'<item id="{item_id}">'
+            f"<location>{rng.choice(_COUNTRIES)}</location>"
+            f"<quantity>{rng.randint(1, 5)}</quantity>"
+            f"<name>{name}</name>"
+            f"<payment>{rng.choice(_PAYMENTS)}</payment>"
+            f"<description><text>{description}</text></description>"
+            f"<shipping>Will ship internationally, {rng.choice(_WORDS)} packaging</shipping>"
+            f"{categories}"
+            f"<mailbox>{mails}</mailbox>"
+            "</item>"
+        )
+
+    def _mail(self, rng: random.Random) -> str:
+        return (
+            "<mail>"
+            f"<from>{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}</from>"
+            f"<to>{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}</to>"
+            f"<date>{self._date(rng)}</date>"
+            f"<text>{self._sentence(rng, 8, 20)}</text>"
+            "</mail>"
+        )
+
+    def _append_categories(self, pieces: list[str], rng: random.Random) -> list[str]:
+        category_ids: list[str] = []
+        pieces.append("<categories>")
+        for index in range(self.profile.categories):
+            category_id = f"category{index}"
+            category_ids.append(category_id)
+            pieces.append(
+                f'<category id="{category_id}">'
+                f"<name>{self._phrase(rng, 1, 3).title()}</name>"
+                f"<description><text>{self._sentence(rng, 6, 14)}</text></description>"
+                "</category>"
+            )
+        pieces.append("</categories>")
+        return category_ids
+
+    def _append_catgraph(
+        self, pieces: list[str], rng: random.Random, category_ids: list[str]
+    ) -> None:
+        pieces.append("<catgraph>")
+        for _ in range(max(1, len(category_ids) // 2)):
+            source = rng.choice(category_ids)
+            target = rng.choice(category_ids)
+            pieces.append(f'<edge from="{source}" to="{target}"/>')
+        pieces.append("</catgraph>")
+
+    def _append_people(
+        self, pieces: list[str], rng: random.Random, category_ids: list[str]
+    ) -> list[str]:
+        person_ids: list[str] = []
+        pieces.append("<people>")
+        for index in range(self.profile.people):
+            person_id = f"person{index}"
+            person_ids.append(person_id)
+            first = rng.choice(_FIRST_NAMES)
+            last = rng.choice(_LAST_NAMES)
+            optional: list[str] = []
+            if rng.random() < 0.6:
+                optional.append(f"<phone>+{rng.randint(1, 99)} {rng.randint(1000000, 9999999)}</phone>")
+            if rng.random() < 0.7:
+                province = (
+                    f"<province>{rng.choice(_CITIES)}</province>" if rng.random() < 0.3 else ""
+                )
+                optional.append(
+                    "<address>"
+                    f"<street>{rng.randint(1, 99)} {rng.choice(_WORDS).title()} St</street>"
+                    f"<city>{rng.choice(_CITIES)}</city>"
+                    f"<country>{rng.choice(_COUNTRIES)}</country>"
+                    f"{province}"
+                    f"<zipcode>{rng.randint(10000, 99999)}</zipcode>"
+                    "</address>"
+                )
+            if rng.random() < 0.5:
+                optional.append(f"<homepage>http://www.example.org/~{last.lower()}{index}</homepage>")
+            if rng.random() < 0.5:
+                optional.append(f"<creditcard>{rng.randint(1000, 9999)} {rng.randint(1000, 9999)}</creditcard>")
+            if rng.random() < 0.75:
+                interests = "".join(
+                    f'<interest category="{rng.choice(category_ids)}"/>'
+                    for _ in range(rng.randint(0, 3))
+                )
+                income = f' income="{rng.randint(9876, 99999)}.{rng.randint(10, 99)}"' if rng.random() < 0.8 else ""
+                education = (
+                    f"<education>{rng.choice(_EDUCATION)}</education>" if rng.random() < 0.6 else ""
+                )
+                gender = f"<gender>{rng.choice(('male', 'female'))}</gender>" if rng.random() < 0.7 else ""
+                age = f"<age>{rng.randint(18, 80)}</age>" if rng.random() < 0.5 else ""
+                optional.append(
+                    f"<profile{income}>{interests}{education}{gender}"
+                    f"<business>{rng.choice(('Yes', 'No'))}</business>{age}</profile>"
+                )
+            if rng.random() < 0.5:
+                watches = "".join(
+                    f'<watch open_auction="openauction{rng.randint(0, max(0, self.profile.open_auctions - 1))}"/>'
+                    for _ in range(rng.randint(0, 3))
+                )
+                optional.append(f"<watches>{watches}</watches>")
+            pieces.append(
+                f'<person id="{person_id}">'
+                f"<name>{first} {last}</name>"
+                f"<emailaddress>mailto:{first.lower()}.{last.lower()}@example.org</emailaddress>"
+                f"{''.join(optional)}"
+                "</person>"
+            )
+        pieces.append("</people>")
+        return person_ids
+
+    def _append_open_auctions(
+        self,
+        pieces: list[str],
+        rng: random.Random,
+        item_ids: list[str],
+        person_ids: list[str],
+    ) -> list[str]:
+        auction_ids: list[str] = []
+        pieces.append("<open_auctions>")
+        for index in range(self.profile.open_auctions):
+            auction_id = f"openauction{index}"
+            auction_ids.append(auction_id)
+            bidders = "".join(self._bidder(rng, person_ids) for _ in range(rng.randint(0, 4)))
+            reserve = (
+                f"<reserve>{rng.randint(20, 300)}.{rng.randint(10, 99)}</reserve>"
+                if rng.random() < 0.4
+                else ""
+            )
+            privacy = "<privacy>Yes</privacy>" if rng.random() < 0.2 else ""
+            pieces.append(
+                f'<open_auction id="{auction_id}">'
+                f"<initial>{rng.randint(1, 100)}.{rng.randint(10, 99)}</initial>"
+                f"{reserve}"
+                f"{bidders}"
+                f"<current>{rng.randint(100, 900)}.{rng.randint(10, 99)}</current>"
+                f"{privacy}"
+                f'<itemref item="{rng.choice(item_ids)}"/>'
+                f'<seller person="{rng.choice(person_ids)}"/>'
+                f"{self._annotation(rng, person_ids)}"
+                f"<quantity>{rng.randint(1, 3)}</quantity>"
+                f"<type>{rng.choice(('Regular', 'Featured'))}</type>"
+                f"<interval><start>{self._date(rng)}</start><end>{self._date(rng)}</end></interval>"
+                "</open_auction>"
+            )
+        pieces.append("</open_auctions>")
+        return auction_ids
+
+    def _append_closed_auctions(
+        self,
+        pieces: list[str],
+        rng: random.Random,
+        item_ids: list[str],
+        person_ids: list[str],
+    ) -> None:
+        pieces.append("<closed_auctions>")
+        for _ in range(self.profile.closed_auctions):
+            pieces.append(
+                "<closed_auction>"
+                f'<seller person="{rng.choice(person_ids)}"/>'
+                f'<buyer person="{rng.choice(person_ids)}"/>'
+                f'<itemref item="{rng.choice(item_ids)}"/>'
+                f"<price>{rng.randint(10, 999)}.{rng.randint(10, 99)}</price>"
+                f"<date>{self._date(rng)}</date>"
+                f"<quantity>{rng.randint(1, 3)}</quantity>"
+                f"<type>{rng.choice(('Regular', 'Featured'))}</type>"
+                f"{self._annotation(rng, person_ids)}"
+                "</closed_auction>"
+            )
+        pieces.append("</closed_auctions>")
+
+    def _annotation(self, rng: random.Random, person_ids: list[str]) -> str:
+        return (
+            "<annotation>"
+            f'<author person="{rng.choice(person_ids)}"/>'
+            f"<description><text>{self._sentence(rng, 10, 24)}</text></description>"
+            f"<happiness>{rng.choice(_HAPPINESS)}</happiness>"
+            "</annotation>"
+        )
+
+    def _bidder(self, rng: random.Random, person_ids: list[str]) -> str:
+        return (
+            "<bidder>"
+            f"<date>{self._date(rng)}</date>"
+            f"<time>{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}</time>"
+            f'<personref person="{rng.choice(person_ids)}"/>'
+            f"<increase>{rng.randint(1, 50)}.{rng.randint(10, 99)}</increase>"
+            "</bidder>"
+        )
+
+    # ------------------------------------------------------------------
+    # Text helpers
+    # ------------------------------------------------------------------
+    def _phrase(self, rng: random.Random, low: int, high: int) -> str:
+        return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(low, high)))
+
+    def _sentence(self, rng: random.Random, low: int, high: int) -> str:
+        return self._phrase(rng, low, high) + "."
+
+    def _date(self, rng: random.Random) -> str:
+        return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1999, 2007)}"
+
+
+def generate_xmark_document(scale: float = 1.0, seed: int = 42) -> str:
+    """Generate an XMark-like document of roughly ``scale`` megabytes."""
+    return XmarkGenerator(scale=scale, seed=seed).generate()
+
+
+def generate_xmark_document_of_size(target_bytes: int, seed: int = 42) -> str:
+    """Generate a document whose size is close to ``target_bytes``.
+
+    The generator's output grows linearly with the scale factor, so a single
+    calibration run at a small scale suffices to hit the target within a few
+    percent.
+    """
+    if target_bytes <= 0:
+        raise WorkloadError("target_bytes must be positive")
+    probe_scale = 0.25
+    probe = XmarkGenerator(scale=probe_scale, seed=seed).generate()
+    bytes_per_scale = max(1.0, len(probe) / probe_scale)
+    scale = max(target_bytes / bytes_per_scale, 0.01)
+    return XmarkGenerator(scale=scale, seed=seed).generate()

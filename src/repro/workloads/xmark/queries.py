@@ -1,0 +1,249 @@
+"""The XMark query workload of Table I (XM1-XM14, XM17-XM20).
+
+The paper evaluates the projection paths extracted (with the algorithm of
+Marian & Simeon [5]) from the XMark benchmark queries Q1-Q14 and Q17-Q20 --
+the queries that do not touch the recursive description lists.  The XQuery
+texts themselves are only descriptive here; what the prefilter consumes are
+the projection-path sets, and what the downstream in-memory engine runs is an
+XPath-subset approximation of each query's data needs (the engine plays the
+role QizX plays in Figure 7(a): loading the document dominates, so the exact
+result expression is immaterial for the reproduced shape).
+
+XM2 and XM3 share identical projection paths, as the paper points out.
+"""
+
+from __future__ import annotations
+
+from repro.projection.extraction import QuerySpec
+
+XMARK_QUERIES: dict[str, QuerySpec] = {}
+
+
+def _register(spec: QuerySpec) -> None:
+    XMARK_QUERIES[spec.name] = spec
+
+
+_register(QuerySpec(
+    name="XM1",
+    query='for $b in /site/people/person[@id="person0"] return $b/name/text()',
+    projection_paths=(
+        "/site/people/person/name#",
+        "/site/people/person",
+    ),
+    xpath="/site/people/person/name",
+    description="Name of the person with a given id.",
+))
+
+_register(QuerySpec(
+    name="XM2",
+    query="for $b in /site/open_auctions/open_auction return <increase>{$b/bidder[1]/increase/text()}</increase>",
+    projection_paths=(
+        "/site/open_auctions/open_auction/bidder/increase#",
+        "/site/open_auctions/open_auction",
+    ),
+    xpath="/site/open_auctions/open_auction/bidder/increase",
+    description="Initial increases of all open auctions.",
+))
+
+_register(QuerySpec(
+    name="XM3",
+    query="auctions whose first bid doubled the initial increase",
+    projection_paths=(
+        "/site/open_auctions/open_auction/bidder/increase#",
+        "/site/open_auctions/open_auction",
+    ),
+    xpath="/site/open_auctions/open_auction/bidder/increase",
+    description="Same projection paths as XM2 (first vs. last bidder increase).",
+))
+
+_register(QuerySpec(
+    name="XM4",
+    query="auctions where a given person bid before another",
+    projection_paths=(
+        "/site/open_auctions/open_auction/bidder/personref#",
+        "/site/open_auctions/open_auction/reserve#",
+        "/site/open_auctions/open_auction",
+    ),
+    xpath="/site/open_auctions/open_auction/reserve",
+    description="Bidder order within open auctions.",
+))
+
+_register(QuerySpec(
+    name="XM5",
+    query="count sold items with price >= 40",
+    projection_paths=(
+        "/site/closed_auctions/closed_auction/price#",
+    ),
+    xpath="/site/closed_auctions/closed_auction/price",
+    description="Prices of closed auctions.",
+))
+
+_register(QuerySpec(
+    name="XM6",
+    query="count all items listed in any region",
+    projection_paths=(
+        "/site/regions//item",
+    ),
+    xpath="//regions//item/name",
+    description="Structural count of items; no subtrees required.",
+))
+
+_register(QuerySpec(
+    name="XM7",
+    query="count pieces of prose (descriptions, annotations, emails)",
+    projection_paths=(
+        "//description",
+        "//annotation",
+        "//emailaddress",
+    ),
+    xpath="//description/text",
+    description="Counts of prose elements across the document.",
+))
+
+_register(QuerySpec(
+    name="XM8",
+    query="how many items did each person buy",
+    projection_paths=(
+        "/site/closed_auctions/closed_auction/buyer#",
+        "/site/people/person/name#",
+        "/site/people/person",
+    ),
+    xpath="/site/people/person/name",
+    description="Join of people with the auctions they won.",
+))
+
+_register(QuerySpec(
+    name="XM9",
+    query="names of items each person bought in Europe",
+    projection_paths=(
+        "/site/closed_auctions/closed_auction/buyer#",
+        "/site/closed_auctions/closed_auction/itemref#",
+        "/site/regions/europe/item/name#",
+        "/site/regions/europe/item",
+        "/site/people/person/name#",
+        "/site/people/person",
+    ),
+    xpath="/site/regions/europe/item/name",
+    description="Three-way join: people, closed auctions, European items.",
+))
+
+_register(QuerySpec(
+    name="XM10",
+    query="group people by their interests, listing full profiles",
+    projection_paths=(
+        "/site/people/person#",
+        "/site/categories/category/name#",
+    ),
+    xpath="/site/people/person/profile",
+    description="Large restructuring query over complete person records.",
+))
+
+_register(QuerySpec(
+    name="XM11",
+    query="for each person, number of items currently on sale whose price is below the person's income",
+    projection_paths=(
+        "/site/people/person/name#",
+        "/site/people/person/profile#",
+        "/site/open_auctions/open_auction/initial#",
+        "/site/people/person",
+        "/site/open_auctions/open_auction",
+    ),
+    xpath="/site/open_auctions/open_auction/initial",
+    description="Value join between incomes and auction initial prices.",
+))
+
+_register(QuerySpec(
+    name="XM12",
+    query="like XM11 but restricted to persons with income above 50000",
+    projection_paths=(
+        "/site/people/person/name#",
+        "/site/people/person/profile#",
+        "/site/open_auctions/open_auction/initial#",
+        "/site/people/person",
+    ),
+    xpath="/site/open_auctions/open_auction/initial",
+    description="Filtered variant of XM11.",
+))
+
+_register(QuerySpec(
+    name="XM13",
+    query='for $i in /site/regions/australia/item return <item name="{$i/name/text()}">{$i/description}</item>',
+    projection_paths=(
+        "/site/regions/australia/item/name#",
+        "/site/regions/australia/item/description#",
+        "/site/regions/australia/item",
+    ),
+    xpath="/site/regions/australia/item/description",
+    description="The paper's Example 4: names and descriptions of Australian items.",
+))
+
+_register(QuerySpec(
+    name="XM14",
+    query="items whose description contains the word 'gold'",
+    projection_paths=(
+        "//item/name#",
+        "//item/description#",
+        "//item",
+    ),
+    xpath="//item/description",
+    description="Full-text scan over all item descriptions (largest projection).",
+))
+
+_register(QuerySpec(
+    name="XM17",
+    query="which persons do not have a homepage",
+    projection_paths=(
+        "/site/people/person/name#",
+        "/site/people/person/homepage",
+        "/site/people/person",
+    ),
+    xpath="/site/people/person/name",
+    description="Anti-join on an optional element.",
+))
+
+_register(QuerySpec(
+    name="XM18",
+    query="convert all open auction current prices with a user-defined function",
+    projection_paths=(
+        "/site/open_auctions/open_auction/reserve#",
+    ),
+    xpath="/site/open_auctions/open_auction/reserve",
+    description="Single numeric field of open auctions.",
+))
+
+_register(QuerySpec(
+    name="XM19",
+    query="give an alphabetically ordered list of all items with their location",
+    projection_paths=(
+        "/site/regions//item/name#",
+        "/site/regions//item/location#",
+        "/site/regions//item",
+    ),
+    xpath="/site/regions//item/location",
+    description="Names and locations of all items, ordered.",
+))
+
+_register(QuerySpec(
+    name="XM20",
+    query="group customers by income brackets",
+    projection_paths=(
+        "/site/people/person/profile#",
+        "/site/people/person",
+    ),
+    xpath="/site/people/person/profile",
+    description="Profiles of all people for income bucketing.",
+))
+
+#: Query identifiers in the order of Table I.
+XMARK_QUERY_ORDER: tuple[str, ...] = (
+    "XM1", "XM2", "XM3", "XM4", "XM5", "XM6", "XM7", "XM8", "XM9",
+    "XM10", "XM11", "XM12", "XM13", "XM14", "XM17", "XM18", "XM19", "XM20",
+)
+
+#: The subset of queries compared against Type-Based Projection in Table III.
+TBP_COMPARISON_QUERIES: tuple[str, ...] = ("XM3", "XM6", "XM7", "XM19")
+
+
+def xmark_query(name: str) -> QuerySpec:
+    """Look up a query spec by its Table I identifier."""
+    return XMARK_QUERIES[name]

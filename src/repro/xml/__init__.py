@@ -1,0 +1,63 @@
+"""XML substrate: tokens, tokenizer, SAX events, tree model, serialization."""
+
+from repro.xml.escape import (
+    escape_attribute,
+    escape_text,
+    is_name_char,
+    is_name_start_char,
+    is_valid_name,
+    unescape,
+)
+from repro.xml.sax import EventCollector, SaxHandler, drive_handler, parse_with_handler
+from repro.xml.serialize import (
+    serialize_token,
+    serialize_tokens,
+    strip_insignificant_whitespace,
+)
+from repro.xml.tokenizer import XmlTokenizer, structural_tokens, tokenize
+from repro.xml.tokens import Token, TokenKind, empty_tag, end_tag, start_tag, text
+from repro.xml.tree import (
+    TreeBuilder,
+    XmlDocument,
+    XmlElement,
+    XmlNode,
+    XmlText,
+    build_from_tokens,
+    element,
+    parse_document,
+    walk,
+)
+
+__all__ = [
+    "EventCollector",
+    "SaxHandler",
+    "Token",
+    "TokenKind",
+    "TreeBuilder",
+    "XmlDocument",
+    "XmlElement",
+    "XmlNode",
+    "XmlText",
+    "XmlTokenizer",
+    "build_from_tokens",
+    "drive_handler",
+    "element",
+    "empty_tag",
+    "end_tag",
+    "escape_attribute",
+    "escape_text",
+    "is_name_char",
+    "is_name_start_char",
+    "is_valid_name",
+    "parse_document",
+    "parse_with_handler",
+    "serialize_token",
+    "serialize_tokens",
+    "start_tag",
+    "strip_insignificant_whitespace",
+    "structural_tokens",
+    "text",
+    "tokenize",
+    "unescape",
+    "walk",
+]

@@ -1,0 +1,67 @@
+"""Escaping helpers for XML character data and attribute values.
+
+The SMP technique relies on the XML rule that ``<`` never occurs literally in
+character data or attribute values; these helpers enforce that rule when the
+workload generators and serializers produce documents.
+"""
+
+from __future__ import annotations
+
+_TEXT_REPLACEMENTS = (
+    ("&", "&amp;"),
+    ("<", "&lt;"),
+    (">", "&gt;"),
+)
+
+_ATTRIBUTE_REPLACEMENTS = _TEXT_REPLACEMENTS + (
+    ('"', "&quot;"),
+    ("'", "&apos;"),
+)
+
+_UNESCAPE_REPLACEMENTS = (
+    ("&lt;", "<"),
+    ("&gt;", ">"),
+    ("&quot;", '"'),
+    ("&apos;", "'"),
+    ("&amp;", "&"),
+)
+
+
+def escape_text(value: str) -> str:
+    """Escape ``value`` for use as XML character data."""
+    for raw, escaped in _TEXT_REPLACEMENTS:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape ``value`` for use inside a double-quoted attribute."""
+    for raw, escaped in _ATTRIBUTE_REPLACEMENTS:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def unescape(value: str) -> str:
+    """Resolve the five predefined XML entity references."""
+    for escaped, raw in _UNESCAPE_REPLACEMENTS:
+        value = value.replace(escaped, raw)
+    return value
+
+
+def is_name_start_char(character: str) -> bool:
+    """True if ``character`` may start an XML name (ASCII subset)."""
+    return character.isalpha() or character in ("_", ":")
+
+
+def is_name_char(character: str) -> bool:
+    """True if ``character`` may occur inside an XML name (ASCII subset)."""
+    return character.isalnum() or character in ("_", ":", "-", ".")
+
+
+def is_valid_name(name: str) -> bool:
+    """True if ``name`` is a well-formed XML name (ASCII subset)."""
+    if not name:
+        return False
+    if not is_name_start_char(name[0]):
+        return False
+    return all(is_name_char(character) for character in name[1:])

@@ -1,0 +1,69 @@
+"""Serialization of token streams back to XML text.
+
+The token-based reference projector produces a filtered token stream; this
+module turns such streams back into well-formed XML text so that its output
+can be compared byte-for-byte (modulo whitespace) with the SMP runtime's
+output and fed to the downstream query engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xml.escape import escape_attribute
+from repro.xml.tokens import Token, TokenKind
+
+
+def serialize_token(token: Token) -> str:
+    """Serialize a single token to XML text."""
+    if token.kind is TokenKind.START_TAG:
+        return f"<{token.name}{_serialize_attributes(token)}>"
+    if token.kind is TokenKind.EMPTY_TAG:
+        return f"<{token.name}{_serialize_attributes(token)}/>"
+    if token.kind is TokenKind.END_TAG:
+        return f"</{token.name}>"
+    if token.kind in (TokenKind.TEXT,):
+        # Text tokens carry the raw source slice (entity references are left
+        # unexpanded by the tokenizer), so they are emitted verbatim; this
+        # keeps token-level projection byte-compatible with the SMP runtime,
+        # which copies raw input ranges.
+        return token.text
+    if token.kind is TokenKind.CDATA:
+        return f"<![CDATA[{token.text}]]>"
+    if token.kind is TokenKind.COMMENT:
+        return f"<!--{token.text}-->"
+    if token.kind is TokenKind.PROCESSING_INSTRUCTION:
+        separator = " " if token.text else ""
+        return f"<?{token.name}{separator}{token.text}?>"
+    if token.kind is TokenKind.XML_DECLARATION:
+        separator = " " if token.text else ""
+        return f"<?xml{separator}{token.text}?>"
+    if token.kind is TokenKind.DOCTYPE:
+        return f"<!DOCTYPE {token.text}>"
+    raise ValueError(f"cannot serialize token kind {token.kind!r}")
+
+
+def _serialize_attributes(token: Token) -> str:
+    return "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in token.attributes
+    )
+
+
+def serialize_tokens(tokens: Iterable[Token]) -> str:
+    """Serialize a token stream to XML text."""
+    return "".join(serialize_token(token) for token in tokens)
+
+
+def strip_insignificant_whitespace(tokens: Iterable[Token]) -> list[Token]:
+    """Drop text tokens that contain only whitespace.
+
+    Useful for comparing projected documents, where formatting whitespace
+    between tags carries no information (the paper notes that differences
+    between SMP and type-based projection output sizes "are mainly due to
+    whitespace formatting").
+    """
+    return [
+        token
+        for token in tokens
+        if not (token.kind is TokenKind.TEXT and not token.text.strip())
+    ]

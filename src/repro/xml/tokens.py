@@ -1,0 +1,117 @@
+"""Token model for the streaming XML tokenizer.
+
+The paper works on documents ``D = t1 ... tn`` where every token ``ti`` is an
+opening, closing, or bachelor tag, or character data (Section III).  The
+tokenizer additionally produces prolog/comment/CDATA/DOCTYPE tokens so that
+real-world documents round-trip, but the projection semantics only ever looks
+at the four paper token kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenKind(enum.Enum):
+    """Kinds of tokens produced by :class:`repro.xml.tokenizer.XmlTokenizer`."""
+
+    START_TAG = "start-tag"
+    END_TAG = "end-tag"
+    EMPTY_TAG = "empty-tag"  # "bachelor tag" in the paper's terminology
+    TEXT = "text"
+    COMMENT = "comment"
+    CDATA = "cdata"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+    DOCTYPE = "doctype"
+    XML_DECLARATION = "xml-declaration"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token of an XML document.
+
+    Attributes
+    ----------
+    kind:
+        The token kind.
+    name:
+        Tag name for tag tokens, target for processing instructions, empty
+        string otherwise.
+    text:
+        Character data for text/CDATA/comment tokens, raw content for
+        DOCTYPE/declaration tokens, empty string otherwise.
+    attributes:
+        Attribute name/value pairs for start and empty tags, in document
+        order.
+    start, end:
+        Character offsets of the token in the source text (``end`` is one
+        past the last character).
+    """
+
+    kind: TokenKind
+    name: str = ""
+    text: str = ""
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    start: int = 0
+    end: int = 0
+
+    # ------------------------------------------------------------------
+    # Convenience predicates mirroring the paper's vocabulary
+    # ------------------------------------------------------------------
+    @property
+    def is_start(self) -> bool:
+        """True for an opening tag (``<a>``)."""
+        return self.kind is TokenKind.START_TAG
+
+    @property
+    def is_end(self) -> bool:
+        """True for a closing tag (``</a>``)."""
+        return self.kind is TokenKind.END_TAG
+
+    @property
+    def is_empty(self) -> bool:
+        """True for a bachelor tag (``<a/>``)."""
+        return self.kind is TokenKind.EMPTY_TAG
+
+    @property
+    def is_tag(self) -> bool:
+        """True for any of the three tag kinds."""
+        return self.kind in (TokenKind.START_TAG, TokenKind.END_TAG, TokenKind.EMPTY_TAG)
+
+    @property
+    def is_text(self) -> bool:
+        """True for character data (text or CDATA)."""
+        return self.kind in (TokenKind.TEXT, TokenKind.CDATA)
+
+    @property
+    def is_structural(self) -> bool:
+        """True for tokens the projection semantics considers (tags and text)."""
+        return self.is_tag or self.is_text
+
+    def attribute(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute ``name`` or ``default``."""
+        for attribute_name, value in self.attributes:
+            if attribute_name == name:
+                return value
+        return default
+
+
+def start_tag(name: str, attributes: tuple[tuple[str, str], ...] = (), start: int = 0, end: int = 0) -> Token:
+    """Construct an opening-tag token."""
+    return Token(kind=TokenKind.START_TAG, name=name, attributes=attributes, start=start, end=end)
+
+
+def end_tag(name: str, start: int = 0, end: int = 0) -> Token:
+    """Construct a closing-tag token."""
+    return Token(kind=TokenKind.END_TAG, name=name, start=start, end=end)
+
+
+def empty_tag(name: str, attributes: tuple[tuple[str, str], ...] = (), start: int = 0, end: int = 0) -> Token:
+    """Construct a bachelor-tag token."""
+    return Token(kind=TokenKind.EMPTY_TAG, name=name, attributes=attributes, start=start, end=end)
+
+
+def text(content: str, start: int = 0, end: int = 0) -> Token:
+    """Construct a character-data token."""
+    return Token(kind=TokenKind.TEXT, text=content, start=start, end=end)

@@ -1,0 +1,319 @@
+"""In-memory XML tree.
+
+This is the data model used by the in-memory query engine (the QizX analogue
+of Figure 7(a)) and by the correctness tests that compare query results on
+original and projected documents.  The representation is intentionally plain:
+element nodes with ordered children, text nodes, and a document wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import XmlSyntaxError
+from repro.xml.escape import escape_attribute, escape_text, unescape
+from repro.xml.tokenizer import XmlTokenizer
+from repro.xml.tokens import Token, TokenKind
+
+
+def _decode_attributes(token: Token) -> dict[str, str]:
+    """Resolve entity references in attribute values (the tree holds logical values)."""
+    return {name: unescape(value) for name, value in token.attributes}
+
+
+@dataclass
+class XmlText:
+    """A character-data node."""
+
+    content: str
+    parent: "XmlElement | None" = field(default=None, repr=False, compare=False)
+
+    def serialize(self) -> str:
+        """Serialize the node, escaping markup characters."""
+        return escape_text(self.content)
+
+
+@dataclass
+class XmlElement:
+    """An element node with ordered attributes and children."""
+
+    name: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["XmlNode"] = field(default_factory=list)
+    parent: "XmlElement | None" = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: "XmlNode") -> "XmlNode":
+        """Append ``child`` and set its parent pointer."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def add_element(self, name: str, attributes: dict[str, str] | None = None) -> "XmlElement":
+        """Create, append, and return a child element."""
+        element = XmlElement(name=name, attributes=dict(attributes or {}))
+        self.append(element)
+        return element
+
+    def add_text(self, content: str) -> XmlText:
+        """Create, append, and return a text child."""
+        text = XmlText(content=content)
+        self.append(text)
+        return text
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def child_elements(self) -> list["XmlElement"]:
+        """The element children, in document order."""
+        return [child for child in self.children if isinstance(child, XmlElement)]
+
+    def iter_descendants(self, include_self: bool = False) -> Iterator["XmlElement"]:
+        """Yield descendant elements in document order."""
+        if include_self:
+            yield self
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                yield from child.iter_descendants(include_self=True)
+
+    def iter_nodes(self, include_self: bool = True) -> Iterator["XmlNode"]:
+        """Yield all nodes (elements and text) in document order."""
+        if include_self:
+            yield self
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                yield from child.iter_nodes(include_self=True)
+            else:
+                yield child
+
+    def find_children(self, name: str) -> list["XmlElement"]:
+        """Child elements with tag ``name`` (``*`` matches any tag)."""
+        return [
+            child
+            for child in self.child_elements
+            if name == "*" or child.name == name
+        ]
+
+    def find_descendants(self, name: str) -> list["XmlElement"]:
+        """Descendant elements with tag ``name`` (``*`` matches any tag)."""
+        return [
+            element
+            for element in self.iter_descendants()
+            if name == "*" or element.name == name
+        ]
+
+    def ancestors(self) -> list["XmlElement"]:
+        """Ancestor elements from the parent up to the root."""
+        result: list[XmlElement] = []
+        node = self.parent
+        while node is not None:
+            result.append(node)
+            node = node.parent
+        return result
+
+    def path_from_root(self) -> list["XmlElement"]:
+        """Elements from the root down to (and including) this element."""
+        return list(reversed(self.ancestors())) + [self]
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    def text_content(self) -> str:
+        """Concatenated character data of the whole subtree."""
+        pieces: list[str] = []
+        for node in self.iter_nodes():
+            if isinstance(node, XmlText):
+                pieces.append(node.content)
+        return "".join(pieces)
+
+    def direct_text(self) -> str:
+        """Concatenated character data of the direct text children only."""
+        return "".join(
+            child.content for child in self.children if isinstance(child, XmlText)
+        )
+
+    def attribute(self, name: str, default: str | None = None) -> str | None:
+        """Value of attribute ``name`` or ``default``."""
+        return self.attributes.get(name, default)
+
+    # ------------------------------------------------------------------
+    # Serialization and comparison
+    # ------------------------------------------------------------------
+    def serialize(self, *, indent: str | None = None, _level: int = 0) -> str:
+        """Serialize the subtree rooted at this element."""
+        attribute_text = "".join(
+            f' {name}="{escape_attribute(value)}"' for name, value in self.attributes.items()
+        )
+        if not self.children:
+            return f"<{self.name}{attribute_text}/>"
+        pieces: list[str] = [f"<{self.name}{attribute_text}>"]
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                pieces.append(child.serialize(indent=indent, _level=_level + 1))
+            else:
+                pieces.append(child.serialize())
+        pieces.append(f"</{self.name}>")
+        if indent is None:
+            return "".join(pieces)
+        prefix = "\n" + indent * (_level + 1)
+        closing_prefix = "\n" + indent * _level
+        body = prefix + prefix.join(pieces[1:-1]) + closing_prefix if len(pieces) > 2 else ""
+        return pieces[0] + body + pieces[-1]
+
+    def structure_equal(self, other: "XmlElement", *, compare_text: bool = True) -> bool:
+        """Structural equality (names, attributes, children, optionally text)."""
+        if self.name != other.name or self.attributes != other.attributes:
+            return False
+        mine = [
+            child
+            for child in self.children
+            if isinstance(child, XmlElement) or (compare_text and child.content.strip())
+        ]
+        theirs = [
+            child
+            for child in other.children
+            if isinstance(child, XmlElement) or (compare_text and child.content.strip())
+        ]
+        if len(mine) != len(theirs):
+            return False
+        for left, right in zip(mine, theirs):
+            if isinstance(left, XmlElement) != isinstance(right, XmlElement):
+                return False
+            if isinstance(left, XmlElement):
+                if not left.structure_equal(right, compare_text=compare_text):
+                    return False
+            elif left.content.strip() != right.content.strip():
+                return False
+        return True
+
+    def count_descendants(self) -> int:
+        """Number of descendant elements (excluding this element)."""
+        return sum(1 for _ in self.iter_descendants())
+
+
+XmlNode = XmlElement | XmlText
+
+
+@dataclass
+class XmlDocument:
+    """A parsed XML document: a root element plus prolog information."""
+
+    root: XmlElement
+    doctype: str | None = None
+    declaration: str | None = None
+
+    def serialize(self, *, indent: str | None = None) -> str:
+        """Serialize the document back to XML text."""
+        pieces: list[str] = []
+        if self.declaration:
+            pieces.append(f"<?xml {self.declaration}?>")
+        if self.doctype:
+            pieces.append(f"<!DOCTYPE {self.doctype}>")
+        pieces.append(self.root.serialize(indent=indent))
+        return "".join(pieces)
+
+    def iter_elements(self) -> Iterator[XmlElement]:
+        """Yield all elements of the document in document order."""
+        return self.root.iter_descendants(include_self=True)
+
+    def element_count(self) -> int:
+        """Total number of elements in the document."""
+        return sum(1 for _ in self.iter_elements())
+
+
+class TreeBuilder:
+    """Build an :class:`XmlDocument` from a token stream."""
+
+    def __init__(self) -> None:
+        self._stack: list[XmlElement] = []
+        self._root: XmlElement | None = None
+        self._doctype: str | None = None
+        self._declaration: str | None = None
+
+    def feed(self, token: Token) -> None:
+        """Consume one token."""
+        if token.kind is TokenKind.START_TAG:
+            element = XmlElement(name=token.name, attributes=_decode_attributes(token))
+            self._attach(element)
+            self._stack.append(element)
+        elif token.kind is TokenKind.EMPTY_TAG:
+            element = XmlElement(name=token.name, attributes=_decode_attributes(token))
+            self._attach(element)
+        elif token.kind is TokenKind.END_TAG:
+            if not self._stack:
+                raise XmlSyntaxError(f"unexpected closing tag </{token.name}>", token.start)
+            element = self._stack.pop()
+            if element.name != token.name:
+                raise XmlSyntaxError(
+                    f"mismatched closing tag </{token.name}>, expected </{element.name}>",
+                    token.start,
+                )
+        elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
+            if self._stack:
+                content = token.text if token.kind is TokenKind.CDATA else unescape(token.text)
+                self._stack[-1].add_text(content)
+            elif token.text.strip():
+                raise XmlSyntaxError("character data outside the root element", token.start)
+        elif token.kind is TokenKind.DOCTYPE:
+            self._doctype = token.text
+        elif token.kind is TokenKind.XML_DECLARATION:
+            self._declaration = token.text
+        # Comments and processing instructions are dropped: the projection
+        # semantics of the paper is defined over tags and character data only.
+
+    def _attach(self, element: XmlElement) -> None:
+        if self._stack:
+            self._stack[-1].append(element)
+        elif self._root is None:
+            self._root = element
+        else:
+            raise XmlSyntaxError("multiple root elements")
+
+    def finish(self) -> XmlDocument:
+        """Finish building and return the document."""
+        if self._stack:
+            raise XmlSyntaxError(f"unclosed element <{self._stack[-1].name}>")
+        if self._root is None:
+            raise XmlSyntaxError("document has no root element")
+        return XmlDocument(root=self._root, doctype=self._doctype, declaration=self._declaration)
+
+
+def parse_document(text: str) -> XmlDocument:
+    """Parse ``text`` into an :class:`XmlDocument`."""
+    builder = TreeBuilder()
+    for token in XmlTokenizer(text).tokens():
+        builder.feed(token)
+    return builder.finish()
+
+
+def build_from_tokens(tokens: Sequence[Token]) -> XmlDocument:
+    """Build a document from an existing token sequence."""
+    builder = TreeBuilder()
+    for token in tokens:
+        builder.feed(token)
+    return builder.finish()
+
+
+def element(name: str, *children: "XmlNode | str", **attributes: str) -> XmlElement:
+    """Convenience constructor used heavily by the tests.
+
+    String children become text nodes; attribute keyword arguments become
+    attributes.  Example: ``element("a", element("b", "hi"), id="1")``.
+    """
+    node = XmlElement(name=name, attributes=dict(attributes))
+    for child in children:
+        if isinstance(child, str):
+            node.add_text(child)
+        else:
+            node.append(child)
+    return node
+
+
+def walk(document: XmlDocument, visit: Callable[[XmlElement], None]) -> None:
+    """Apply ``visit`` to every element of ``document`` in document order."""
+    for node in document.iter_elements():
+        visit(node)

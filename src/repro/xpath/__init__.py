@@ -1,0 +1,61 @@
+"""XPath substrate: parser, in-memory evaluator, streaming engine."""
+
+from repro.xpath.ast import (
+    AttributeRef,
+    BooleanExpr,
+    ComparisonExpr,
+    ContainsExpr,
+    ExistsExpr,
+    LiteralExpr,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    PredicateExpr,
+    Step,
+    XPathAxis,
+)
+from repro.xpath.engine import (
+    InMemoryQueryEngine,
+    MemoryLimitExceeded,
+    QueryRunResult,
+    estimate_tree_memory,
+)
+from repro.xpath.evaluator import (
+    ResultItem,
+    evaluate_xpath,
+    serialize_results,
+    string_value,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.streaming import (
+    StreamingStatistics,
+    StreamingXPathEngine,
+    evaluate_streaming,
+)
+
+__all__ = [
+    "AttributeRef",
+    "BooleanExpr",
+    "ComparisonExpr",
+    "ContainsExpr",
+    "ExistsExpr",
+    "InMemoryQueryEngine",
+    "LiteralExpr",
+    "LocationPath",
+    "MemoryLimitExceeded",
+    "NodeTest",
+    "NodeTestKind",
+    "PredicateExpr",
+    "QueryRunResult",
+    "ResultItem",
+    "Step",
+    "StreamingStatistics",
+    "StreamingXPathEngine",
+    "XPathAxis",
+    "estimate_tree_memory",
+    "evaluate_streaming",
+    "evaluate_xpath",
+    "parse_xpath",
+    "serialize_results",
+    "string_value",
+]

@@ -1,0 +1,155 @@
+"""Abstract syntax for the XPath subset used by the query engines.
+
+The subset covers what the paper's experiments need (queries M1-M5 of
+Table II and the XMark query workload): absolute location paths with child
+and descendant axes, name and ``text()`` tests, attribute references, and
+predicates built from existence tests, equality comparisons, ``contains()``
+and boolean ``and`` / ``or``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class XPathAxis(enum.Enum):
+    """Navigation axis of one step."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+
+class NodeTestKind(enum.Enum):
+    """Kind of node test in a step."""
+
+    NAME = "name"      # element name or "*"
+    TEXT = "text()"    # text() node test
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """The node test of a step: an element name, ``*`` or ``text()``."""
+
+    kind: NodeTestKind
+    name: str = "*"
+
+    def __str__(self) -> str:
+        if self.kind is NodeTestKind.TEXT:
+            return "text()"
+        return self.name
+
+
+@dataclass(frozen=True)
+class LiteralExpr:
+    """A string literal inside a predicate."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """An attribute reference ``@name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, and predicates."""
+
+    axis: XPathAxis
+    test: NodeTest
+    predicates: tuple["PredicateExpr", ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        prefix = "//" if self.axis is XPathAxis.DESCENDANT else "/"
+        predicate_text = "".join(f"[{predicate}]" for predicate in self.predicates)
+        return f"{prefix}{self.test}{predicate_text}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A location path; ``absolute`` paths start at the document root."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def __str__(self) -> str:
+        text = "".join(str(step) for step in self.steps)
+        if self.absolute:
+            return text or "/"
+        return text.lstrip("/") if text.startswith("/") and not text.startswith("//") else text
+
+    @property
+    def has_predicates(self) -> bool:
+        """True if any step carries a predicate."""
+        return any(step.predicates for step in self.steps)
+
+    def spine_names(self) -> list[str]:
+        """The element-name tests along the path (ignoring text() steps)."""
+        return [
+            step.test.name
+            for step in self.steps
+            if step.test.kind is NodeTestKind.NAME
+        ]
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """An equality comparison ``left = "literal"``."""
+
+    left: Union["LocationPath", AttributeRef]
+    right: LiteralExpr
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class ContainsExpr:
+    """A ``contains(haystack, "needle")`` call.
+
+    ``haystack`` may be a relative location path (possibly ending in
+    ``text()``), an attribute reference, or None meaning the context node's
+    own string value (``contains(text(), ...)`` is normalised to a relative
+    path containing a single text() step).
+    """
+
+    haystack: Union["LocationPath", AttributeRef, None]
+    needle: LiteralExpr
+
+    def __str__(self) -> str:
+        target = str(self.haystack) if self.haystack is not None else "."
+        return f"contains({target},{self.needle})"
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """A conjunction or disjunction of predicate expressions."""
+
+    operator: str  # "and" | "or"
+    operands: tuple["PredicateExpr", ...]
+
+    def __str__(self) -> str:
+        return f" {self.operator} ".join(str(operand) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class ExistsExpr:
+    """A bare relative path used as an existence test."""
+
+    path: "LocationPath"
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+PredicateExpr = Union[ComparisonExpr, ContainsExpr, BooleanExpr, ExistsExpr, AttributeRef]

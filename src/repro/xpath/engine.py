@@ -1,0 +1,136 @@
+"""In-memory query engine (the QizX / Saxon analogue of Figure 7(a)).
+
+The engine loads the complete document into an in-memory tree and then
+evaluates queries on it.  Like the main-memory XQuery processors in the
+paper's experiments it has a configurable memory budget: when the estimated
+size of the in-memory tree exceeds the budget, loading fails with
+:class:`MemoryLimitExceeded`.  This reproduces, at laptop scale, the failure
+cliff the paper observes ("Without projection, QizX ... fails for all queries
+on the 1GB and 5GB documents").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.xml.tree import XmlDocument, XmlElement, XmlText, parse_document
+from repro.xpath.evaluator import ResultItem, evaluate_xpath, serialize_results
+from repro.xpath.parser import parse_xpath
+
+#: Rough per-node memory cost of the tree representation, in bytes.  The
+#: constants approximate CPython object overheads and only need to be stable,
+#: not exact: the engine uses them to enforce a *relative* memory budget.
+ELEMENT_OVERHEAD_BYTES = 480
+TEXT_OVERHEAD_BYTES = 120
+CHARACTER_BYTES = 1
+
+
+class MemoryLimitExceeded(QueryError):
+    """Raised when loading a document would exceed the engine's memory budget."""
+
+    def __init__(self, estimated: int, limit: int) -> None:
+        super().__init__(
+            f"estimated document memory {estimated} bytes exceeds the engine "
+            f"limit of {limit} bytes"
+        )
+        self.estimated = estimated
+        self.limit = limit
+
+
+def estimate_tree_memory(document: XmlDocument) -> int:
+    """Estimate the resident size of an in-memory document tree."""
+    total = 0
+    for node in document.root.iter_nodes():
+        if isinstance(node, XmlElement):
+            total += ELEMENT_OVERHEAD_BYTES
+            for name, value in node.attributes.items():
+                total += TEXT_OVERHEAD_BYTES + CHARACTER_BYTES * (len(name) + len(value))
+        elif isinstance(node, XmlText):
+            total += TEXT_OVERHEAD_BYTES + CHARACTER_BYTES * len(node.content)
+    return total
+
+
+@dataclass
+class QueryRunResult:
+    """Outcome of one engine run (load + evaluate)."""
+
+    query: str
+    result_count: int
+    output: str
+    load_seconds: float
+    evaluate_seconds: float
+    estimated_memory_bytes: int
+    results: list[ResultItem] = field(default_factory=list, repr=False)
+
+    @property
+    def total_seconds(self) -> float:
+        """Load plus evaluation time."""
+        return self.load_seconds + self.evaluate_seconds
+
+
+class InMemoryQueryEngine:
+    """Load a document into memory and evaluate XPath-subset queries on it.
+
+    Parameters
+    ----------
+    memory_limit_bytes:
+        Maximum estimated tree size the engine will accept; None disables
+        the check.
+    """
+
+    def __init__(self, memory_limit_bytes: int | None = None) -> None:
+        self.memory_limit_bytes = memory_limit_bytes
+
+    def load(self, text: str) -> tuple[XmlDocument, int]:
+        """Parse ``text`` into a tree, enforcing the memory budget."""
+        document = parse_document(text)
+        estimated = estimate_tree_memory(document)
+        if self.memory_limit_bytes is not None and estimated > self.memory_limit_bytes:
+            raise MemoryLimitExceeded(estimated, self.memory_limit_bytes)
+        return document, estimated
+
+    def run(self, query: str, text: str) -> QueryRunResult:
+        """Load ``text`` and evaluate ``query`` on it."""
+        parse_xpath(query)  # validate the query before paying for the load
+        load_start = time.perf_counter()
+        document, estimated = self.load(text)
+        load_seconds = time.perf_counter() - load_start
+        evaluate_start = time.perf_counter()
+        results = evaluate_xpath(query, document)
+        evaluate_seconds = time.perf_counter() - evaluate_start
+        return QueryRunResult(
+            query=query,
+            result_count=len(results),
+            output=serialize_results(results),
+            load_seconds=load_seconds,
+            evaluate_seconds=evaluate_seconds,
+            estimated_memory_bytes=estimated,
+            results=results,
+        )
+
+    def run_many(self, queries: list[str], text: str) -> list[QueryRunResult]:
+        """Load once and evaluate several queries against the same document."""
+        for query in queries:
+            parse_xpath(query)
+        load_start = time.perf_counter()
+        document, estimated = self.load(text)
+        load_seconds = time.perf_counter() - load_start
+        outcomes: list[QueryRunResult] = []
+        for query in queries:
+            evaluate_start = time.perf_counter()
+            results = evaluate_xpath(query, document)
+            evaluate_seconds = time.perf_counter() - evaluate_start
+            outcomes.append(
+                QueryRunResult(
+                    query=query,
+                    result_count=len(results),
+                    output=serialize_results(results),
+                    load_seconds=load_seconds,
+                    evaluate_seconds=evaluate_seconds,
+                    estimated_memory_bytes=estimated,
+                    results=results,
+                )
+            )
+        return outcomes

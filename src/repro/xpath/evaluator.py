@@ -1,0 +1,187 @@
+"""In-memory evaluation of the XPath subset over :class:`XmlElement` trees.
+
+The evaluator follows XPath 1.0 semantics for the supported constructs:
+node-set results in document order, existential comparison semantics
+(``path = "x"`` is true when *some* selected node's string value equals
+``x``), and ``contains()`` over string values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.errors import QueryError
+from repro.xml.tree import XmlDocument, XmlElement, XmlText
+from repro.xpath.ast import (
+    AttributeRef,
+    BooleanExpr,
+    ComparisonExpr,
+    ContainsExpr,
+    ExistsExpr,
+    LiteralExpr,
+    LocationPath,
+    NodeTestKind,
+    PredicateExpr,
+    Step,
+    XPathAxis,
+)
+from repro.xpath.parser import parse_xpath
+
+#: Items an XPath evaluation can produce: element nodes or text strings.
+ResultItem = Union[XmlElement, str]
+
+
+def evaluate_xpath(
+    query: str | LocationPath, document: XmlDocument | XmlElement
+) -> list[ResultItem]:
+    """Evaluate ``query`` against ``document`` and return the result list."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    root = document.root if isinstance(document, XmlDocument) else document
+    return _evaluate_absolute(path, root)
+
+
+def _evaluate_absolute(path: LocationPath, root: XmlElement) -> list[ResultItem]:
+    if not path.steps:
+        return [root]
+    # The document node's only child element is the root element.
+    context: list[ResultItem] = _apply_step(path.steps[0], [root], from_document_node=True)
+    for step in path.steps[1:]:
+        context = _apply_step(step, context, from_document_node=False)
+    return context
+
+
+def evaluate_relative(
+    path: LocationPath, context: XmlElement
+) -> list[ResultItem]:
+    """Evaluate a relative path from ``context``."""
+    items: list[ResultItem] = [context]
+    for step in path.steps:
+        items = _apply_relative_step(step, items)
+    return items
+
+
+# ----------------------------------------------------------------------
+# Step application
+# ----------------------------------------------------------------------
+def _apply_step(
+    step: Step, context: Sequence[ResultItem], from_document_node: bool
+) -> list[ResultItem]:
+    """Apply one step of an absolute path.
+
+    The first step of an absolute path starts at the (virtual) document
+    node: ``/a`` selects the root element when it is named ``a`` and ``//a``
+    selects any element named ``a`` including the root itself.
+    """
+    results: list[ResultItem] = []
+    for item in context:
+        if not isinstance(item, XmlElement):
+            continue
+        if from_document_node:
+            if step.axis is XPathAxis.CHILD:
+                candidates: Iterable[XmlElement] = [item]
+            else:
+                candidates = item.iter_descendants(include_self=True)
+            if step.test.kind is NodeTestKind.TEXT:
+                raise QueryError("text() cannot be the first step of an absolute path")
+            for candidate in candidates:
+                if step.test.name in ("*", candidate.name):
+                    results.append(candidate)
+        else:
+            results.extend(_select(step, item))
+    return _apply_predicates(step, results)
+
+
+def _apply_relative_step(step: Step, context: Sequence[ResultItem]) -> list[ResultItem]:
+    results: list[ResultItem] = []
+    for item in context:
+        if isinstance(item, XmlElement):
+            results.extend(_select(step, item))
+    return _apply_predicates(step, results)
+
+
+def _select(step: Step, element: XmlElement) -> list[ResultItem]:
+    if step.test.kind is NodeTestKind.TEXT:
+        if step.axis is XPathAxis.CHILD:
+            return [child.content for child in element.children if isinstance(child, XmlText)]
+        texts: list[ResultItem] = []
+        for descendant in element.iter_descendants(include_self=True):
+            texts.extend(
+                child.content for child in descendant.children if isinstance(child, XmlText)
+            )
+        return texts
+    if step.axis is XPathAxis.CHILD:
+        return list(element.find_children(step.test.name))
+    return list(element.find_descendants(step.test.name))
+
+
+def _apply_predicates(step: Step, items: list[ResultItem]) -> list[ResultItem]:
+    if not step.predicates:
+        return items
+    filtered: list[ResultItem] = []
+    for item in items:
+        if not isinstance(item, XmlElement):
+            # Predicates on text nodes are not part of the supported subset.
+            continue
+        if all(evaluate_predicate(predicate, item) for predicate in step.predicates):
+            filtered.append(item)
+    return filtered
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def evaluate_predicate(expression: PredicateExpr, context: XmlElement) -> bool:
+    """Evaluate a predicate expression with ``context`` as the context node."""
+    if isinstance(expression, BooleanExpr):
+        if expression.operator == "and":
+            return all(evaluate_predicate(operand, context) for operand in expression.operands)
+        return any(evaluate_predicate(operand, context) for operand in expression.operands)
+    if isinstance(expression, ComparisonExpr):
+        values = _string_values(expression.left, context)
+        return expression.right.value in values
+    if isinstance(expression, ContainsExpr):
+        values = (
+            _string_values(expression.haystack, context)
+            if expression.haystack is not None
+            else [context.text_content()]
+        )
+        return any(expression.needle.value in value for value in values)
+    if isinstance(expression, ExistsExpr):
+        return bool(evaluate_relative(expression.path, context))
+    if isinstance(expression, AttributeRef):
+        return expression.name in context.attributes
+    raise QueryError(f"unsupported predicate expression: {expression!r}")
+
+
+def _string_values(
+    target: LocationPath | AttributeRef, context: XmlElement
+) -> list[str]:
+    if isinstance(target, AttributeRef):
+        value = context.attribute(target.name)
+        return [value] if value is not None else []
+    items = evaluate_relative(target, context)
+    values: list[str] = []
+    for item in items:
+        if isinstance(item, XmlElement):
+            values.append(item.text_content())
+        else:
+            values.append(item)
+    return values
+
+
+def string_value(item: ResultItem) -> str:
+    """The XPath string value of a result item."""
+    if isinstance(item, XmlElement):
+        return item.text_content()
+    return item
+
+
+def serialize_results(items: Sequence[ResultItem]) -> str:
+    """Serialize a result list the way the query engines report it."""
+    pieces: list[str] = []
+    for item in items:
+        if isinstance(item, XmlElement):
+            pieces.append(item.serialize())
+        else:
+            pieces.append(item)
+    return "\n".join(pieces)

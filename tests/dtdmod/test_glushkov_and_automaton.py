@@ -1,0 +1,168 @@
+"""Tests for the Glushkov construction and the document-level DTD-automaton."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import (
+    Dtd,
+    DtdAutomaton,
+    build_glushkov,
+    close_symbol,
+    open_symbol,
+    parse_content_model,
+)
+
+
+def glushkov_for(text: str):
+    _, model = parse_content_model(text)
+    return build_glushkov(model)
+
+
+class TestGlushkovConstruction:
+    def test_simple_sequence(self):
+        automaton = glushkov_for("(a, b)")
+        assert automaton.positions == {0: "a", 1: "b"}
+        assert automaton.first == {0}
+        assert automaton.last == {1}
+        assert automaton.follow[0] == {1}
+        assert automaton.follow[1] == set()
+        assert not automaton.nullable
+
+    def test_choice(self):
+        automaton = glushkov_for("(a | b)")
+        assert automaton.first == {0, 1}
+        assert automaton.last == {0, 1}
+        assert not automaton.nullable
+
+    def test_star_adds_feedback_loop(self):
+        automaton = glushkov_for("(a | b)*")
+        assert automaton.nullable
+        assert automaton.follow[0] == {0, 1}
+        assert automaton.follow[1] == {0, 1}
+
+    def test_optional_in_sequence(self):
+        automaton = glushkov_for("(a, b?, c)")
+        # a may be followed by b or directly by c.
+        assert automaton.follow[0] == {1, 2}
+        assert automaton.follow[1] == {2}
+        assert automaton.last == {2}
+
+    def test_plus_repetition(self):
+        automaton = glushkov_for("(a+)")
+        assert not automaton.nullable
+        assert automaton.follow[0] == {0}
+
+    def test_papers_c_content_model(self):
+        # <!ELEMENT c (b, b?)> from Example 2: two b positions.
+        automaton = glushkov_for("(b, b?)")
+        assert automaton.positions == {0: "b", 1: "b"}
+        assert automaton.first == {0}
+        assert automaton.last == {0, 1}
+        assert automaton.follow[0] == {1}
+
+    def test_same_name_in_different_branches(self):
+        automaton = glushkov_for("((a, b) | (b, a))")
+        assert sorted(automaton.positions.values()) == ["a", "a", "b", "b"]
+        assert automaton.first == {0, 2}
+
+
+class TestDtdAutomatonForPaperExample:
+    """The DTD of Example 2 yields the automaton of Figure 5 (11 states)."""
+
+    @pytest.fixture()
+    def automaton(self, paper_dtd) -> DtdAutomaton:
+        return DtdAutomaton(paper_dtd)
+
+    def test_state_count_matches_figure5(self, automaton):
+        # q0 plus dual pairs for: a, b (child of a), c (child of a),
+        # b (first child of c), b (second child of c) = 1 + 2 * 5 = 11.
+        assert automaton.state_count() == 11
+
+    def test_initial_transition_reads_root_tag(self, automaton):
+        targets = automaton.transitions[automaton.initial_state][open_symbol("a")]
+        assert len(targets) == 1
+        root_open = next(iter(targets))
+        assert automaton.state(root_open).tag == "a"
+        assert automaton.state(root_open).is_opening
+
+    def test_final_state_is_root_close(self, automaton):
+        final = next(iter(automaton.final_states))
+        state = automaton.state(final)
+        assert state.tag == "a"
+        assert not state.is_opening
+
+    def test_a_can_be_empty(self, automaton):
+        root_pair = automaton.pairs[automaton.root_pair]
+        assert close_symbol("a") in automaton.transitions[root_pair.open_state]
+
+    def test_branches_match_example9(self, automaton):
+        # q0 has the empty branch, a-states have branch [a], the b-states
+        # directly below a have branch [a, b].
+        assert automaton.branch_names(automaton.initial_state) == []
+        root_pair = automaton.pairs[automaton.root_pair]
+        assert automaton.branch_names(root_pair.open_state) == ["a"]
+        b_pairs = [
+            pair for pair in automaton.pairs
+            if pair.element == "b" and pair.parent_pair == automaton.root_pair
+        ]
+        assert len(b_pairs) == 1
+        assert automaton.branch_names(b_pairs[0].open_state) == ["a", "b"]
+
+    def test_parent_states_match_example8(self, automaton):
+        root_pair = automaton.pairs[automaton.root_pair]
+        assert automaton.parent_states(root_pair.open_state) == (automaton.initial_state,)
+        child_pair = automaton.pairs[root_pair.children[0]]
+        assert set(automaton.parent_states(child_pair.open_state)) == set(root_pair.states())
+
+    def test_subtree_states_of_c(self, automaton):
+        c_pair = next(pair for pair in automaton.pairs if pair.element == "c")
+        interior = automaton.subtree_states(c_pair.pair_id)
+        # The two b occurrences inside c contribute four states.
+        assert len(interior) == 4
+        assert all(automaton.state(state).tag == "b" for state in interior)
+
+    def test_skip_weights_reproduce_example3(self, automaton):
+        # Skipping one b child inside c costs len("<b") + 1 (open, no
+        # required attributes) + 1 (close) = 4 = |"<b/>"|.
+        c_pair = next(pair for pair in automaton.pairs if pair.element == "c")
+        first_b = automaton.pairs[c_pair.children[0]]
+        open_weight = automaton.skip_weight(first_b.open_state)
+        close_weight = automaton.skip_weight(first_b.close_state)
+        assert open_weight + close_weight == 4
+
+    def test_homogeneity(self, automaton):
+        # Every state is entered only by transitions carrying its own label.
+        for source, symbol, target in automaton.iter_transitions():
+            kind, tag = symbol
+            state = automaton.state(target)
+            assert state.tag == tag
+            assert state.is_opening == (kind == "open")
+
+    def test_dual_of_is_an_involution(self, automaton):
+        for pair in automaton.pairs:
+            assert automaton.dual_of(pair.open_state) == pair.close_state
+            assert automaton.dual_of(pair.close_state) == pair.open_state
+        assert automaton.dual_of(automaton.initial_state) is None
+
+
+class TestDtdAutomatonOnWorkloads:
+    def test_xmark_automaton_builds(self, xmark_dtd_fixture):
+        automaton = DtdAutomaton(xmark_dtd_fixture)
+        assert automaton.state_count() > 100
+        # Six regional expansions of <item>.
+        item_pairs = [pair for pair in automaton.pairs if pair.element == "item"]
+        assert len(item_pairs) == 6
+
+    def test_medline_automaton_builds(self, medline_dtd_fixture):
+        automaton = DtdAutomaton(medline_dtd_fixture)
+        assert automaton.state_count() > 50
+        year_pairs = [pair for pair in automaton.pairs if pair.element == "Year"]
+        # Year occurs under DateCreated, DateCompleted and PubDate.
+        assert len(year_pairs) == 3
+
+    def test_required_attributes_increase_skip_weight(self, xmark_dtd_fixture):
+        automaton = DtdAutomaton(xmark_dtd_fixture)
+        incategory = next(pair for pair in automaton.pairs if pair.element == "incategory")
+        # "<incategory" is 11 characters + 1 + ' category=""' (12) = 24.
+        assert automaton.skip_weight(incategory.open_state) == len("incategory") + 2 + len("category") + 4

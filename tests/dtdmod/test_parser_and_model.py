@@ -1,0 +1,195 @@
+"""Tests for DTD parsing, the content-model AST, and the Dtd model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import (
+    AttributeDefault,
+    ChoiceNode,
+    ContentKind,
+    Dtd,
+    NameNode,
+    RepeatKind,
+    RepeatNode,
+    SequenceNode,
+    parse_content_model,
+    parse_dtd_text,
+)
+from repro.errors import DtdRecursionError, DtdSyntaxError, DtdValidationError
+from repro.workloads.medline import MEDLINE_DTD_TEXT
+from repro.workloads.xmark import XMARK_DTD_TEXT
+
+
+class TestContentModelParsing:
+    def test_empty_and_any(self):
+        assert parse_content_model("EMPTY")[0] is ContentKind.EMPTY
+        assert parse_content_model("ANY")[0] is ContentKind.ANY
+
+    def test_pcdata_variants(self):
+        for text in ("(#PCDATA)", "#PCDATA", "(#PCDATA)*"):
+            kind, _ = parse_content_model(text)
+            assert kind is ContentKind.PCDATA
+
+    def test_mixed_content(self):
+        kind, node = parse_content_model("(#PCDATA | bold | keyword)*")
+        assert kind is ContentKind.MIXED
+        assert isinstance(node, RepeatNode)
+        assert node.kind is RepeatKind.STAR
+        assert node.child_names() == {"bold", "keyword"}
+
+    def test_sequence_and_choice(self):
+        kind, node = parse_content_model("(a, (b | c)*, d?)")
+        assert kind is ContentKind.CHILDREN
+        assert isinstance(node, SequenceNode)
+        assert node.child_names() == {"a", "b", "c", "d"}
+        assert not node.is_nullable()
+
+    def test_nullability(self):
+        _, star = parse_content_model("(a*, b?)")
+        assert star.is_nullable()
+        _, plus = parse_content_model("(a+)")
+        assert not plus.is_nullable()
+        _, choice = parse_content_model("(a | b*)")
+        assert choice.is_nullable()
+
+    def test_nested_groups(self):
+        _, node = parse_content_model("((a, b) | (c, (d | e)+))")
+        assert isinstance(node, ChoiceNode)
+        assert node.child_names() == {"a", "b", "c", "d", "e"}
+
+    def test_str_round_trip_is_reparsable(self):
+        _, node = parse_content_model("(a,(b|c)*,d?)")
+        _, reparsed = parse_content_model(str(node))
+        assert reparsed.child_names() == node.child_names()
+        assert reparsed.is_nullable() == node.is_nullable()
+
+    @pytest.mark.parametrize("bad", [
+        "(a,", "(a | b,c)", "(a))", "()", "(a b)", "(#PCDATA | a)",
+    ])
+    def test_malformed_content_models_raise(self, bad):
+        with pytest.raises(DtdSyntaxError):
+            parse_content_model(bad)
+
+
+class TestDtdTextParsing:
+    def test_doctype_wrapper_sets_root(self):
+        parsed = parse_dtd_text("<!DOCTYPE root [ <!ELEMENT root (#PCDATA)> ]>")
+        assert parsed.doctype_name == "root"
+        assert "root" in parsed.elements
+
+    def test_bare_internal_subset(self):
+        parsed = parse_dtd_text("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        assert set(parsed.elements) == {"a", "b"}
+        assert parsed.doctype_name is None
+
+    def test_attlist_parsing(self):
+        parsed = parse_dtd_text(
+            "<!ELEMENT item EMPTY>"
+            "<!ATTLIST item id ID #REQUIRED "
+            "  kind (new|used) \"new\" "
+            "  note CDATA #IMPLIED "
+            "  version CDATA #FIXED '1.0'>"
+        )
+        attributes = {attribute.name: attribute for attribute in parsed.elements["item"].attributes}
+        assert attributes["id"].default is AttributeDefault.REQUIRED
+        assert attributes["kind"].default is AttributeDefault.DEFAULT
+        assert attributes["kind"].default_value == "new"
+        assert attributes["note"].default is AttributeDefault.IMPLIED
+        assert attributes["version"].default is AttributeDefault.FIXED
+        assert attributes["version"].default_value == "1.0"
+
+    def test_required_attribute_serialized_length(self):
+        parsed = parse_dtd_text(
+            "<!ELEMENT e EMPTY><!ATTLIST e category ID #REQUIRED opt CDATA #IMPLIED>"
+        )
+        declaration = parsed.elements["e"]
+        # ' category=""' is 13 characters; optional attributes contribute 0.
+        assert declaration.required_attribute_length() == len("category") + 4
+
+    def test_comments_are_ignored(self):
+        parsed = parse_dtd_text(
+            "<!-- schema --> <!ELEMENT a EMPTY> <!-- trailing -->"
+        )
+        assert set(parsed.elements) == {"a"}
+
+    def test_duplicate_element_declaration_raises(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd_text("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>")
+
+    def test_attlist_for_undeclared_element_raises(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd_text("<!ATTLIST ghost id ID #REQUIRED>")
+
+
+class TestDtdModel:
+    def test_root_inference_from_references(self):
+        dtd = Dtd.parse("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        assert dtd.root_name == "a"
+
+    def test_ambiguous_root_requires_explicit_choice(self):
+        text = "<!ELEMENT a EMPTY> <!ELEMENT b EMPTY>"
+        with pytest.raises(DtdValidationError):
+            Dtd.parse(text)
+        assert Dtd.parse(text, root="b").root_name == "b"
+
+    def test_undeclared_child_raises(self):
+        with pytest.raises(DtdValidationError):
+            Dtd.parse("<!ELEMENT a (ghost)>")
+
+    def test_recursive_dtd_rejected(self):
+        with pytest.raises(DtdRecursionError) as excinfo:
+            Dtd.parse("<!ELEMENT a (b)> <!ELEMENT b (a?)>")
+        assert "a" in excinfo.value.cycle and "b" in excinfo.value.cycle
+
+    def test_self_recursion_rejected(self):
+        with pytest.raises(DtdRecursionError):
+            Dtd.parse("<!ELEMENT a (a*)>", root="a")
+
+    def test_prefix_pairs_found(self):
+        dtd = Dtd.parse(MEDLINE_DTD_TEXT)
+        pairs = dtd.prefix_pairs()
+        assert ("Abstract", "AbstractText") in pairs
+        assert ("Title", "TitleAssociatedWithName") in pairs
+
+    def test_minimal_element_length_empty_element(self):
+        dtd = Dtd.parse("<!ELEMENT a (b?)> <!ELEMENT b EMPTY>")
+        # "<b/>" is 4 characters.
+        assert dtd.minimal_element_length("b") == 4
+        # "a" may be empty because its only child is optional: "<a/>".
+        assert dtd.minimal_element_length("a") == 4
+
+    def test_minimal_element_length_with_required_child_and_attribute(self):
+        dtd = Dtd.parse(
+            "<!DOCTYPE c [ <!ELEMENT c (b,b?)> <!ELEMENT b EMPTY> "
+            "<!ATTLIST b id ID #REQUIRED> ]>"
+        )
+        # minimal b: '<b id=""/>' = 4 + len("id")+4 = 10;
+        # minimal c: "<c>" + 10 + "</c>" = 3 + 10 + 4 = 17.
+        assert dtd.minimal_element_length("b") == 10
+        assert dtd.minimal_element_length("c") == 17
+
+    def test_minimal_content_length_of_papers_example(self):
+        # Example 3: node c has at least one b child, minimally "<b/>" = 4.
+        dtd = Dtd.parse("<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> "
+                        "<!ELEMENT c (b,b?)> ]>")
+        assert dtd.minimal_content_length("c") == 4
+        assert dtd.minimal_content_length("a") == 0
+
+    def test_figure1_initial_jump_string_length(self, site_dtd):
+        # Example 1: "<regions><africa/><asia/>" (25 characters) is the
+        # minimal string preceding <australia> inside <site>.
+        regions_open = site_dtd.minimal_opening_tag_length("regions")
+        africa = site_dtd.minimal_element_length("africa")
+        asia = site_dtd.minimal_element_length("asia")
+        assert regions_open + africa + asia == 25
+
+    def test_to_doctype_round_trips(self):
+        dtd = Dtd.parse(XMARK_DTD_TEXT)
+        reparsed = Dtd.parse(dtd.to_doctype())
+        assert reparsed.tag_names() == dtd.tag_names()
+        assert reparsed.root_name == dtd.root_name
+
+    def test_workload_dtds_are_nonrecursive(self):
+        assert Dtd.parse(XMARK_DTD_TEXT).find_recursion() is None
+        assert Dtd.parse(MEDLINE_DTD_TEXT).find_recursion() is None

@@ -1,0 +1,118 @@
+"""Property-based integration tests on randomly generated DTDs and documents.
+
+Hypothesis drives a small document generator that emits random valid
+documents for a fixed family of non-recursive DTDs together with random
+projection-path sets; the SMP runtime must (i) agree with the token-based
+reference projector and (ii) be projection-safe for the paths involved.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Dtd, SmpPrefilter
+from repro.projection import ProjectionPath, ReferenceProjector
+from repro.xml import parse_document
+
+#: A non-recursive schema with choices, repetition, optional elements,
+#: attributes and multiple occurrences of the same tag in different contexts.
+RANDOM_DTD = Dtd.parse(
+    """<!DOCTYPE r [
+    <!ELEMENT r (s, t*)>
+    <!ELEMENT s (u | v)*>
+    <!ELEMENT t (u, w?)>
+    <!ELEMENT u (#PCDATA)>
+    <!ELEMENT v (u, u?)>
+    <!ELEMENT w EMPTY>
+    <!ATTLIST w kind CDATA #REQUIRED>
+    ]>"""
+)
+
+_PATH_POOL = [
+    "/r/s#", "/r/s/u#", "/r/t#", "/r/t/u", "//u#", "//v#", "//w#",
+    "/r/s/v/u#", "//t//u#", "/r/t/w",
+]
+
+
+def _generate_document(seed: int) -> str:
+    """A random document valid w.r.t. RANDOM_DTD."""
+    rng = random.Random(seed)
+
+    def u() -> str:
+        return f"<u>{rng.choice(['x', 'yy', 'data', ''])}</u>"
+
+    def v() -> str:
+        second = u() if rng.random() < 0.5 else ""
+        return f"<v>{u()}{second}</v>"
+
+    def s() -> str:
+        children = "".join(rng.choice([u, v])() for _ in range(rng.randint(0, 4)))
+        return f"<s>{children}</s>"
+
+    def t() -> str:
+        w = f'<w kind="k{rng.randint(0, 9)}"/>' if rng.random() < 0.5 else ""
+        return f"<t>{u()}{w}</t>"
+
+    body = s() + "".join(t() for _ in range(rng.randint(0, 4)))
+    return f"<r>{body}</r>"
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    path_indices=st.sets(
+        st.integers(min_value=0, max_value=len(_PATH_POOL) - 1), min_size=1, max_size=3,
+    ),
+)
+def test_smp_agrees_with_reference_on_random_documents(seed, path_indices) -> None:
+    document = _generate_document(seed)
+    paths = [_PATH_POOL[index] for index in sorted(path_indices)]
+    prefilter = SmpPrefilter.compile(RANDOM_DTD, paths)
+    reference = ReferenceProjector(paths, alphabet=RANDOM_DTD.tag_names())
+    assert prefilter.filter_document(document).output == reference.project_text(document).output
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    path_index=st.integers(min_value=0, max_value=len(_PATH_POOL) - 1),
+)
+def test_projection_preserves_path_results(seed, path_index) -> None:
+    """Definition 2 (projection-safety) checked through node counts and
+    labels of the projection path evaluated as an XPath query."""
+    from repro.xpath import evaluate_xpath
+
+    document = _generate_document(seed)
+    path_text = _PATH_POOL[path_index]
+    prefilter = SmpPrefilter.compile(RANDOM_DTD, [path_text])
+    projected = prefilter.filter_document(document).output
+
+    probe = str(ProjectionPath.parse(path_text).without_flag())
+    original_results = evaluate_xpath(probe, parse_document(document))
+    projected_results = evaluate_xpath(probe, parse_document(projected))
+    assert len(original_results) == len(projected_results)
+    for left, right in zip(original_results, projected_results):
+        assert left.name == right.name
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_projection_output_is_well_formed(seed) -> None:
+    document = _generate_document(seed)
+    prefilter = SmpPrefilter.compile(RANDOM_DTD, ["//u#", "/r/t#"])
+    output = prefilter.filter_document(document).output
+    parsed = parse_document(output)
+    assert parsed.root.name == "r"
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_projection_is_idempotent_on_random_documents(seed) -> None:
+    document = _generate_document(seed)
+    paths = ["//v#"]
+    reference = ReferenceProjector(paths, alphabet=RANDOM_DTD.tag_names())
+    once = reference.project_text(document).output
+    twice = reference.project_text(once).output
+    assert once == twice

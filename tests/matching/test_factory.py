@@ -1,0 +1,62 @@
+"""Tests for the matcher factory / backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import (
+    BoyerMooreMatcher,
+    CommentzWalterMatcher,
+    MultiKeywordMatcher,
+    SingleKeywordMatcher,
+    available_backends,
+    make_matcher,
+    make_multi_matcher,
+    make_single_matcher,
+)
+
+
+def test_available_backends_contains_the_paper_configuration():
+    backends = available_backends()
+    assert "instrumented" in backends
+    assert "native" in backends
+    assert "naive" in backends
+    assert "aho-corasick" in backends
+
+
+def test_instrumented_backend_uses_boyer_moore_and_commentz_walter():
+    single = make_single_matcher("<item", backend="instrumented")
+    multi = make_multi_matcher(["<item", "</item"], backend="instrumented")
+    assert isinstance(single, BoyerMooreMatcher)
+    assert isinstance(multi, CommentzWalterMatcher)
+
+
+def test_make_matcher_dispatches_on_vocabulary_size():
+    # Mirrors Figure 4: |V| = 1 -> BM, |V| > 1 -> CW.
+    single = make_matcher(["<only"])
+    multi = make_matcher(["<one", "<two"])
+    assert isinstance(single, SingleKeywordMatcher)
+    assert isinstance(multi, MultiKeywordMatcher)
+
+
+@pytest.mark.parametrize("backend", ["instrumented", "native", "naive", "aho-corasick", "horspool"])
+def test_every_backend_produces_working_matchers(backend):
+    text = "prefix <australia attr='1'> body </australia> suffix"
+    single = make_single_matcher("<australia", backend=backend)
+    assert single.find(text).position == 7
+    multi = make_multi_matcher(["<australia", "</australia"], backend=backend)
+    assert multi.find(text).position == 7
+    assert multi.find(text, start=8).keyword == "</australia"
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(MatchingError):
+        make_single_matcher("x", backend="does-not-exist")
+    with pytest.raises(MatchingError):
+        make_multi_matcher(["x", "y"], backend="does-not-exist")
+
+
+def test_empty_vocabulary_rejected():
+    with pytest.raises(MatchingError):
+        make_matcher([])

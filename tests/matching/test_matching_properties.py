@@ -1,0 +1,140 @@
+"""Property-based tests: the skipping matchers agree with naive oracles."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matching import (
+    AhoCorasickMatcher,
+    BoyerMooreMatcher,
+    CommentzWalterMatcher,
+    HorspoolMatcher,
+    NaiveMatcher,
+    NativeMultiMatcher,
+    NativeSingleMatcher,
+)
+
+# A small alphabet makes overlaps and near-misses frequent.
+_ALPHABET = "ab<>/xyz"
+_texts = st.text(alphabet=_ALPHABET, min_size=0, max_size=200)
+_keywords = st.text(alphabet=_ALPHABET, min_size=1, max_size=8)
+_keyword_sets = st.lists(_keywords, min_size=1, max_size=5, unique=True)
+
+
+def _oracle_first(text: str, keyword: str, start: int = 0) -> int:
+    return text.find(keyword, start)
+
+
+def _oracle_multi_first(text: str, keywords: list[str], start: int = 0) -> tuple[int, str] | None:
+    best_position = None
+    best_keyword = None
+    for keyword in keywords:
+        position = text.find(keyword, start)
+        if position < 0:
+            continue
+        if (
+            best_position is None
+            or position < best_position
+            or (position == best_position and len(keyword) > len(best_keyword))
+        ):
+            best_position = position
+            best_keyword = keyword
+    if best_position is None:
+        return None
+    return best_position, best_keyword
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_texts, keyword=_keywords)
+def test_boyer_moore_matches_str_find(text: str, keyword: str) -> None:
+    expected = _oracle_first(text, keyword)
+    match = BoyerMooreMatcher(keyword).find(text)
+    if expected < 0:
+        assert match is None
+    else:
+        assert match is not None and match.position == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_texts, keyword=_keywords)
+def test_horspool_matches_str_find(text: str, keyword: str) -> None:
+    expected = _oracle_first(text, keyword)
+    match = HorspoolMatcher(keyword).find(text)
+    if expected < 0:
+        assert match is None
+    else:
+        assert match is not None and match.position == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=_texts, keyword=_keywords, start=st.integers(min_value=0, max_value=50))
+def test_single_matchers_respect_start_offset(text: str, keyword: str, start: int) -> None:
+    expected = _oracle_first(text, keyword, start)
+    for matcher_class in (BoyerMooreMatcher, HorspoolMatcher, NaiveMatcher, NativeSingleMatcher):
+        match = matcher_class(keyword).find(text, start)
+        if expected < 0:
+            assert match is None
+        else:
+            assert match is not None and match.position == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_texts, keywords=_keyword_sets)
+def test_commentz_walter_matches_oracle(text: str, keywords: list[str]) -> None:
+    expected = _oracle_multi_first(text, keywords)
+    match = CommentzWalterMatcher(keywords).find(text)
+    if expected is None:
+        assert match is None
+    else:
+        assert match is not None
+        assert (match.position, match.keyword) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_texts, keywords=_keyword_sets)
+def test_aho_corasick_matches_oracle(text: str, keywords: list[str]) -> None:
+    expected = _oracle_multi_first(text, keywords)
+    match = AhoCorasickMatcher(keywords).find(text)
+    if expected is None:
+        assert match is None
+    else:
+        assert match is not None
+        assert (match.position, match.keyword) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_texts, keywords=_keyword_sets)
+def test_native_multi_matches_oracle(text: str, keywords: list[str]) -> None:
+    expected = _oracle_multi_first(text, keywords)
+    match = NativeMultiMatcher(keywords).find(text)
+    if expected is None:
+        assert match is None
+    else:
+        assert match is not None
+        assert (match.position, match.keyword) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=_texts, keywords=_keyword_sets)
+def test_commentz_walter_find_all_finds_same_positions_as_aho_corasick(
+    text: str, keywords: list[str]
+) -> None:
+    cw_positions = [
+        (match.position, match.keyword)
+        for match in CommentzWalterMatcher(keywords).find_all(text)
+    ]
+    ac_positions = [
+        (match.position, match.keyword)
+        for match in AhoCorasickMatcher(keywords).find_all(text)
+    ]
+    assert cw_positions == ac_positions
+
+
+@settings(max_examples=100, deadline=None)
+@given(keyword=_keywords, prefix=_texts, suffix=_texts)
+def test_boyer_moore_finds_planted_keyword(keyword: str, prefix: str, suffix: str) -> None:
+    text = prefix + keyword + suffix
+    match = BoyerMooreMatcher(keyword).find(text)
+    assert match is not None
+    assert match.position <= len(prefix)
+    assert text[match.position:match.position + len(keyword)] == keyword

@@ -1,0 +1,136 @@
+"""Unit tests for the multi-keyword matchers (naive, Aho-Corasick,
+Commentz-Walter, native)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import (
+    AhoCorasickMatcher,
+    CommentzWalterMatcher,
+    NaiveMultiMatcher,
+    NativeMultiMatcher,
+)
+
+MATCHER_CLASSES = [
+    NaiveMultiMatcher,
+    AhoCorasickMatcher,
+    CommentzWalterMatcher,
+    NativeMultiMatcher,
+]
+
+
+@pytest.mark.parametrize("matcher_class", MATCHER_CLASSES)
+class TestMultiKeywordContract:
+    def test_finds_leftmost_of_any_keyword(self, matcher_class):
+        matcher = matcher_class(["foo", "bar", "baz"])
+        match = matcher.find("xx baz yy foo")
+        assert match.keyword == "baz"
+        assert match.position == 3
+
+    def test_returns_none_when_no_keyword_occurs(self, matcher_class):
+        matcher = matcher_class(["foo", "bar"])
+        assert matcher.find("nothing to see here") is None
+
+    def test_single_keyword_set_behaves_like_single_search(self, matcher_class):
+        matcher = matcher_class(["icde"])
+        assert matcher.find("xxicdexx").position == 2
+
+    def test_leftmost_longest_preference_on_tie(self, matcher_class):
+        matcher = matcher_class(["<Abstract", "<AbstractText"])
+        match = matcher.find("zz<AbstractText>zz")
+        assert match.keyword == "<AbstractText"
+        assert match.position == 2
+
+    def test_earlier_start_beats_longer_keyword(self, matcher_class):
+        matcher = matcher_class(["bb", "aaaa"])
+        match = matcher.find("xbbaaaa")
+        assert match.keyword == "bb"
+        assert match.position == 1
+
+    def test_start_offset_is_respected(self, matcher_class):
+        matcher = matcher_class(["ab", "cd"])
+        match = matcher.find("ab cd ab", start=1)
+        assert match.position == 3
+        assert match.keyword == "cd"
+
+    def test_end_offset_is_respected(self, matcher_class):
+        matcher = matcher_class(["tail"])
+        assert matcher.find("xxxx tail", end=8) is None
+
+    def test_keywords_of_very_different_lengths(self, matcher_class):
+        matcher = matcher_class(["a", "abcdefgh"])
+        match = matcher.find("zzzabcdefgh")
+        assert match.position == 3
+        assert match.keyword in ("a", "abcdefgh")
+
+    def test_find_all_in_document_order(self, matcher_class):
+        matcher = matcher_class(["<b", "<c"])
+        text = "<a><b/><c/><b/></a>"
+        positions = [match.position for match in matcher.find_all(text)]
+        assert positions == sorted(positions)
+        assert len(positions) == 3
+
+    def test_frontier_vocabulary_style_keywords(self, matcher_class):
+        # The shape the SMP runtime uses: opening and closing tag prefixes.
+        matcher = matcher_class(["</a", "<b", "<c"])
+        text = "<a><c><b>x</b><b/></c><b>y</b></a>"
+        match = matcher.find(text)
+        assert match.keyword == "<c"
+        assert match.position == 3
+
+    def test_empty_keyword_list_rejected(self, matcher_class):
+        with pytest.raises(MatchingError):
+            matcher_class([])
+
+    def test_empty_keyword_rejected(self, matcher_class):
+        with pytest.raises(MatchingError):
+            matcher_class(["ok", ""])
+
+    def test_duplicate_keywords_rejected(self, matcher_class):
+        with pytest.raises(MatchingError):
+            matcher_class(["dup", "dup"])
+
+
+class TestCommentzWalterInternals:
+    def test_bad_character_shift_capped_by_min_length(self):
+        matcher = CommentzWalterMatcher(["<item", "</item"])
+        for character in "<i/temxyz":
+            assert 1 <= matcher.bad_character_shift(character) <= 5
+
+    def test_unknown_character_shifts_by_min_length(self):
+        matcher = CommentzWalterMatcher(["abc", "abcdef"])
+        assert matcher.bad_character_shift("z") == 3
+
+    def test_skips_characters_compared_to_aho_corasick(self):
+        keywords = ["<australia", "<description", "</australia"]
+        text = ("lorem ipsum " * 300) + "<australia>" + ("filler " * 200) + "</australia>"
+        commentz_walter = CommentzWalterMatcher(keywords)
+        aho_corasick = AhoCorasickMatcher(keywords)
+        cw_match = commentz_walter.find(text)
+        ac_match = aho_corasick.find(text)
+        assert cw_match.position == ac_match.position
+        assert commentz_walter.stats.comparisons < aho_corasick.stats.comparisons
+
+    def test_shift_statistics_recorded(self):
+        matcher = CommentzWalterMatcher(["<name", "<payment"])
+        matcher.find("x" * 200 + "<name>")
+        assert matcher.stats.shifts > 0
+        assert matcher.stats.average_shift > 1.0
+
+    def test_agreement_with_aho_corasick_on_adversarial_text(self):
+        keywords = ["aab", "ab", "ba", "baa"]
+        text = "abaababaabbaabab" * 4
+        commentz_walter = CommentzWalterMatcher(keywords)
+        aho_corasick = AhoCorasickMatcher(keywords)
+        position = 0
+        while True:
+            cw_match = commentz_walter.find(text, position)
+            ac_match = aho_corasick.find(text, position)
+            if cw_match is None:
+                assert ac_match is None
+                break
+            assert cw_match.position == ac_match.position
+            assert cw_match.keyword == ac_match.keyword
+            position = cw_match.position + 1

@@ -1,0 +1,159 @@
+"""Unit tests for the single-keyword matchers (naive, Horspool, Boyer-Moore,
+native)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import (
+    BoyerMooreMatcher,
+    HorspoolMatcher,
+    NaiveMatcher,
+    NativeSingleMatcher,
+    build_bad_character_table,
+    build_good_suffix_table,
+)
+
+MATCHER_CLASSES = [NaiveMatcher, HorspoolMatcher, BoyerMooreMatcher, NativeSingleMatcher]
+
+
+@pytest.mark.parametrize("matcher_class", MATCHER_CLASSES)
+class TestSingleKeywordContract:
+    def test_finds_first_occurrence(self, matcher_class):
+        matcher = matcher_class("needle")
+        match = matcher.find("hay needle hay needle")
+        assert match is not None
+        assert match.position == 4
+        assert match.keyword == "needle"
+
+    def test_returns_none_when_absent(self, matcher_class):
+        matcher = matcher_class("needle")
+        assert matcher.find("plain haystack without it") is None
+
+    def test_match_at_start_and_end(self, matcher_class):
+        matcher = matcher_class("ab")
+        assert matcher.find("abxxab").position == 0
+        assert matcher.find("xxxxab").position == 4
+
+    def test_start_offset_is_respected(self, matcher_class):
+        matcher = matcher_class("aa")
+        match = matcher.find("aaxxaa", start=1)
+        assert match is not None
+        assert match.position == 4
+
+    def test_end_offset_is_respected(self, matcher_class):
+        matcher = matcher_class("end")
+        assert matcher.find("xx end", end=4) is None
+        assert matcher.find("xx end", end=6).position == 3
+
+    def test_overlapping_pattern(self, matcher_class):
+        matcher = matcher_class("aba")
+        match = matcher.find("xababa")
+        assert match.position == 1
+
+    def test_single_character_keyword(self, matcher_class):
+        matcher = matcher_class(">")
+        assert matcher.find("abc>def").position == 3
+
+    def test_find_all_reports_every_occurrence(self, matcher_class):
+        matcher = matcher_class("aa")
+        positions = [match.position for match in matcher.find_all("aaaa")]
+        assert positions == [0, 1, 2]
+
+    def test_empty_keyword_rejected(self, matcher_class):
+        with pytest.raises(MatchingError):
+            matcher_class("")
+
+    def test_keyword_longer_than_text(self, matcher_class):
+        matcher = matcher_class("longpattern")
+        assert matcher.find("short") is None
+
+    def test_xml_tag_keyword(self, matcher_class):
+        matcher = matcher_class("<australia")
+        text = "<asia/><australia><item/></australia>"
+        assert matcher.find(text).position == 7
+
+    def test_match_end_property(self, matcher_class):
+        matcher = matcher_class("abc")
+        match = matcher.find("xxabcxx")
+        assert match.end == match.position + 3
+
+
+class TestBoyerMooreTables:
+    def test_bad_character_table_records_rightmost_occurrence(self):
+        table = build_bad_character_table("abcab")
+        assert table["a"] == 3
+        assert table["b"] == 4
+        assert table["c"] == 2
+
+    def test_good_suffix_table_for_classic_example(self):
+        # For "abbab", a mismatch after matching the suffix "ab" (at index 2)
+        # must shift by 3 so the prefix "ab" aligns with the matched text.
+        table = build_good_suffix_table("abbab")
+        assert len(table) == 6
+        assert table[3] == 3
+        assert all(value >= 1 for value in table)
+
+    def test_shift_never_smaller_than_one(self):
+        matcher = BoyerMooreMatcher("ICDE")
+        for char in "ABCDEIX":
+            assert matcher.bad_character_shift(3, char) >= 1
+        for index in range(4):
+            assert matcher.good_suffix_shift(index) >= 1
+
+    def test_skips_characters_compared_to_naive(self):
+        text = "x" * 5000 + "ICDE"
+        boyer_moore = BoyerMooreMatcher("ICDE")
+        naive = NaiveMatcher("ICDE")
+        assert boyer_moore.find(text).position == 5000
+        assert naive.find(text).position == 5000
+        assert boyer_moore.stats.comparisons < naive.stats.comparisons / 2
+
+    def test_statistics_accumulate_shifts(self):
+        matcher = BoyerMooreMatcher("ICDE")
+        matcher.find("A" * 40 + "ICDE")
+        assert matcher.stats.shifts > 0
+        assert matcher.stats.average_shift > 1.0
+        assert matcher.stats.matches == 1
+
+
+class TestHorspoolShiftTable:
+    def test_shift_for_known_character(self):
+        matcher = HorspoolMatcher("ICDE")
+        assert matcher.shift_for("I") == 3
+        assert matcher.shift_for("C") == 2
+        assert matcher.shift_for("D") == 1
+
+    def test_shift_for_unknown_character_is_pattern_length(self):
+        matcher = HorspoolMatcher("ICDE")
+        assert matcher.shift_for("Z") == 4
+
+    def test_last_character_uses_full_shift_when_unique(self):
+        matcher = HorspoolMatcher("abcd")
+        assert matcher.shift_for("d") == 4
+
+
+class TestStatisticsBehaviour:
+    def test_reset_clears_counters(self):
+        matcher = BoyerMooreMatcher("abc")
+        matcher.find("zzzabc")
+        assert matcher.stats.comparisons > 0
+        matcher.stats.reset()
+        assert matcher.stats.comparisons == 0
+        assert matcher.stats.shifts == 0
+
+    def test_merge_accumulates(self):
+        first = BoyerMooreMatcher("abc")
+        second = BoyerMooreMatcher("abc")
+        first.find("zzzabc")
+        second.find("abczzz")
+        snapshot = first.stats.snapshot()
+        snapshot.merge(second.stats)
+        assert snapshot.comparisons == first.stats.comparisons + second.stats.comparisons
+        assert snapshot.matches == 2
+
+    def test_average_shift_zero_without_shifts(self):
+        matcher = BoyerMooreMatcher("abc")
+        matcher.find("abc")
+        assert matcher.stats.average_shift == 0.0

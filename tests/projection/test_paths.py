@@ -1,0 +1,136 @@
+"""Tests for projection-path parsing, P+ closure, and branch matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProjectionPathError
+from repro.projection import (
+    ProjectionPath,
+    ensure_default_paths,
+    extend_with_prefixes,
+    parse_projection_paths,
+)
+from repro.projection.paths import Axis
+
+
+class TestParsing:
+    def test_simple_child_path(self):
+        path = ProjectionPath.parse("/site/regions/australia")
+        assert [step.name for step in path.steps] == ["site", "regions", "australia"]
+        assert all(step.axis is Axis.CHILD for step in path.steps)
+        assert not path.keep_subtree
+
+    def test_descendant_axis_and_flag(self):
+        path = ProjectionPath.parse("//australia//description#")
+        assert path.keep_subtree
+        assert [step.axis for step in path.steps] == [Axis.DESCENDANT, Axis.DESCENDANT]
+
+    def test_wildcard_step(self):
+        path = ProjectionPath.parse("/*")
+        assert path.steps[0].name == "*"
+        assert path.steps[0].matches_name("anything")
+
+    def test_root_path(self):
+        path = ProjectionPath.parse("/")
+        assert path.steps == ()
+        assert str(path) == "/"
+
+    def test_str_round_trip(self):
+        for text in ("/a/b", "//a//b#", "/a//b", "/*", "/site/regions//item#"):
+            assert str(ProjectionPath.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "/a/", "/a//", "/#", "/a b"])
+    def test_malformed_paths_raise(self, bad):
+        with pytest.raises(ProjectionPathError):
+            ProjectionPath.parse(bad)
+
+    def test_parse_many(self):
+        paths = parse_projection_paths(["/a", "/a/b#"])
+        assert len(paths) == 2
+        assert paths[1].keep_subtree
+
+
+class TestPrefixClosure:
+    def test_prefixes_of_a_child_path(self):
+        # Example from Section III: for /a/b we add / and /a.
+        path = ProjectionPath.parse("/a/b")
+        prefixes = {str(prefix) for prefix in path.prefixes()}
+        assert prefixes == {"/", "/a"}
+
+    def test_prefixes_never_carry_the_flag(self):
+        path = ProjectionPath.parse("/a/b#")
+        assert all(not prefix.keep_subtree for prefix in path.prefixes())
+
+    def test_extend_with_prefixes_deduplicates(self):
+        paths = parse_projection_paths(["/a/b#", "/a/c"])
+        extended = extend_with_prefixes(paths)
+        texts = [str(path) for path in extended]
+        assert texts.count("/a") == 1
+        assert texts.count("/") == 1
+        assert "/a/b#" in texts and "/a/c" in texts
+
+    def test_example6_closure(self):
+        # P = {/*, /a/b#, //b#}  =>  P+ = P plus { /, /a }.
+        paths = parse_projection_paths(["/*", "/a/b#", "//b#"])
+        extended = {str(path) for path in extend_with_prefixes(paths)}
+        assert extended == {"/*", "/a/b#", "//b#", "/", "/a"}
+
+    def test_ensure_default_paths_adds_top_level(self):
+        paths = ensure_default_paths(parse_projection_paths(["/a/b#"]))
+        assert any(str(path) == "/*" for path in paths)
+
+    def test_ensure_default_paths_is_idempotent(self):
+        paths = ensure_default_paths(parse_projection_paths(["/*", "/a#"]))
+        assert sum(1 for path in paths if str(path) == "/*") == 1
+
+
+class TestBranchMatching:
+    def test_child_path_matches_exact_chain(self):
+        path = ProjectionPath.parse("/a/b")
+        assert path.matches_leaf(["a", "b"])
+        assert not path.matches_leaf(["a", "c"])
+        assert not path.matches_leaf(["a"])
+        assert not path.matches_leaf(["x", "a", "b"])
+
+    def test_descendant_path_matches_at_any_depth(self):
+        path = ProjectionPath.parse("//b")
+        assert path.matches_leaf(["b"])
+        assert path.matches_leaf(["a", "b"])
+        assert path.matches_leaf(["a", "c", "b"])
+        assert not path.matches_leaf(["a", "c"])
+
+    def test_mixed_axes(self):
+        path = ProjectionPath.parse("/site//item/name")
+        assert path.matches_leaf(["site", "regions", "africa", "item", "name"])
+        assert path.matches_leaf(["site", "item", "name"])
+        assert not path.matches_leaf(["site", "regions", "name"])
+
+    def test_wildcard_matches_any_tag(self):
+        path = ProjectionPath.parse("/*")
+        assert path.matches_leaf(["site"])
+        assert not path.matches_leaf(["site", "regions"])
+
+    def test_root_path_matches_only_the_empty_branch(self):
+        path = ProjectionPath.parse("/")
+        assert path.matches_leaf([])
+        assert not path.matches_leaf(["a"])
+
+    def test_matches_any_detects_interior_nodes(self):
+        path = ProjectionPath.parse("/a/b#")
+        assert path.matches_any(["a", "b", "x", "y"])
+        assert not path.matches_any(["a", "c", "x"])
+
+    def test_match_positions_for_descendant_axis(self):
+        path = ProjectionPath.parse("//b")
+        assert path.match_positions(["a", "b", "c", "b"]) == {1, 3}
+
+    def test_repeated_descendant_steps(self):
+        path = ProjectionPath.parse("//a//a")
+        assert path.matches_leaf(["a", "x", "a"])
+        assert not path.matches_leaf(["a"])
+
+    def test_without_flag(self):
+        flagged = ProjectionPath.parse("/a/b#")
+        assert flagged.without_flag() == ProjectionPath.parse("/a/b")
+        assert flagged.without_flag().keep_subtree is False

@@ -1,0 +1,148 @@
+"""Tests for the relevance conditions (Definition 3) and the reference projector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.projection import (
+    ProjectionPath,
+    ReferenceProjector,
+    RelevanceChecker,
+    build_checker,
+    parse_projection_paths,
+    project_document,
+)
+from repro.xml import parse_document
+
+
+class TestRelevanceConditions:
+    def test_c1_leaf_matched_by_path(self):
+        checker = build_checker(["/a/b"], add_default=False)
+        decision = checker.decide(["a"], "b")
+        assert decision.relevant and decision.condition == "C1"
+
+    def test_c1_via_prefix_path(self):
+        # Ancestors of selected nodes are kept through the prefix closure.
+        checker = build_checker(["/a/b"], add_default=False)
+        decision = checker.decide([], "a")
+        assert decision.relevant and decision.condition == "C1"
+
+    def test_c2_descendants_of_flagged_nodes(self):
+        checker = build_checker(["/a/b#"], add_default=False)
+        assert checker.decide(["a", "b"], "x").condition == "C2"
+        assert checker.decide(["a", "b", "x"], "y").condition == "C2"
+        assert checker.decide(["a", "b"], None).condition == "C2"
+
+    def test_text_not_kept_without_flag(self):
+        checker = build_checker(["/a/b"], add_default=False)
+        assert not checker.decide(["a", "b"], None).relevant
+
+    def test_irrelevant_sibling(self):
+        checker = build_checker(["/a/b#"], add_default=False)
+        assert not checker.decide(["a"], "z").relevant
+        assert not checker.decide(["a", "z"], "b").relevant
+
+    def test_c3_example6(self):
+        # Example 6: P = {/*, /a/b#, //b#}; the c-tags in <a><c><b>... are
+        # relevant because both /a/b and //b# match <a><b/></a>.
+        checker = build_checker(["/*", "/a/b#", "//b#"], add_default=False,
+                                alphabet={"a", "b", "c"})
+        decision = checker.decide(["a"], "c")
+        assert decision.relevant and decision.condition == "C3"
+
+    def test_c3_does_not_fire_without_descendant_path(self):
+        checker = build_checker(["/*", "/a/b#"], add_default=False,
+                                alphabet={"a", "b", "c"})
+        assert not checker.decide(["a"], "c").relevant
+
+    def test_keeps_subtree_only_for_flagged_matches(self):
+        checker = build_checker(["/a/b#", "/a/c"], add_default=False)
+        assert checker.keeps_subtree(["a", "b"])
+        assert checker.keeps_subtree(["a", "b", "deep"])
+        assert not checker.keeps_subtree(["a", "c"])
+
+    def test_empty_branch_relevant_for_root_path(self):
+        checker = RelevanceChecker(parse_projection_paths(["/a/b"]))
+        assert checker.branch_relevant([]).relevant  # "/" is a prefix of /a/b
+
+    def test_decisions_are_cached(self):
+        checker = build_checker(["/a/b#"], add_default=False)
+        first = checker.decide(("a",), "b")
+        second = checker.decide(("a",), "b")
+        assert first is second
+
+
+class TestReferenceProjector:
+    def test_paper_example1_projection(self, figure2_document):
+        # Prefiltering //australia//description# keeps the australia node,
+        # its description descendants, and the top-level site node.
+        output = project_document(
+            figure2_document, ["//australia//description#"],
+        )
+        assert "<australia>" in output
+        assert "<description>Palm Zire 71</description>" in output
+        assert output.startswith("<site>") and output.endswith("</site>")
+        assert "africa" not in output
+        assert "LCD-FlatPanel" not in output
+
+    def test_example2_projection(self):
+        projector = ReferenceProjector(["/a/b#"], add_default_paths=False)
+        document = "<a><b>one</b><c><b>two</b></c><b>three</b></a>"
+        result = projector.project_text(document)
+        assert result.output == "<a><b>one</b><b>three</b></a>"
+        assert result.tokens_kept < result.tokens_seen
+        assert 0.0 < result.reduction_ratio < 1.0
+
+    def test_example6_keeps_stopover_c_tags(self):
+        projector = ReferenceProjector(["/*", "/a/b#", "//b#"], add_default_paths=False,
+                                       alphabet={"a", "b", "c"})
+        document = "<a><c><b>T</b></c></a>"
+        result = projector.project_text(document)
+        assert result.output == "<a><c><b>T</b></c></a>"
+
+    def test_unflagged_path_keeps_structure_only(self):
+        output = project_document("<a><b>text<b/></b></a>", ["/a/b"])
+        assert output == "<a><b></b></a>"
+
+    def test_projection_is_idempotent(self, figure2_document):
+        paths = ["//australia//description#"]
+        once = project_document(figure2_document, paths)
+        twice = project_document(once, paths)
+        assert once == twice
+
+    def test_projected_document_is_well_formed(self, xmark_document_small):
+        output = project_document(
+            xmark_document_small, ["/site/regions/australia/item/name#"],
+        )
+        document = parse_document(output)
+        assert document.root.name == "site"
+
+    def test_attribute_preservation(self):
+        projector = ReferenceProjector(["/a/b#"])
+        result = projector.project_text('<a><b id="1">x</b><c id="2"/></a>')
+        assert 'id="1"' in result.output
+        assert 'id="2"' not in result.output
+
+    def test_condition_counters_populated(self):
+        projector = ReferenceProjector(["/a/b#"], add_default_paths=False)
+        result = projector.project_text("<a><b>x</b></a>")
+        assert result.kept_by_condition.get("C1", 0) >= 1
+
+
+class TestProjectionSafety:
+    """Definition 2: query results on original and projection are top-level equal."""
+
+    @pytest.mark.parametrize("paths, document, probe", [
+        (["/a/b#"], "<a><b>x</b><c><b>y</b></c></a>", "/a/b"),
+        (["//b#"], "<a><c><b>x</b></c><b>y</b></a>", "//b"),
+        (["/a/c#", "/a/b"], "<a><b>drop</b><c>keep</c></a>", "/a/c"),
+    ])
+    def test_probe_results_preserved(self, paths, document, probe):
+        from repro.xpath import evaluate_xpath
+
+        projected = project_document(document, paths)
+        original_results = evaluate_xpath(probe, parse_document(document))
+        projected_results = evaluate_xpath(probe, parse_document(projected))
+        assert len(original_results) == len(projected_results)
+        for left, right in zip(original_results, projected_results):
+            assert getattr(left, "name", left) == getattr(right, "name", right)

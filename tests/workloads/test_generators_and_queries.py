@@ -1,0 +1,182 @@
+"""Tests for the synthetic workload generators and query specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.projection import ProjectionPath
+from repro.workloads import load_dataset
+from repro.workloads.datasets import DatasetSpec, clear_caches, default_document_bytes
+from repro.workloads.medline import (
+    MEDLINE_QUERIES,
+    MEDLINE_QUERY_ORDER,
+    generate_medline_document,
+    generate_medline_document_of_size,
+    medline_dtd,
+)
+from repro.workloads.xmark import (
+    TBP_COMPARISON_QUERIES,
+    XMARK_QUERIES,
+    XMARK_QUERY_ORDER,
+    generate_xmark_document,
+    generate_xmark_document_of_size,
+    xmark_dtd,
+)
+from repro.xml import parse_document, structural_tokens
+
+
+class TestXmarkGenerator:
+    def test_deterministic_for_same_seed(self):
+        assert generate_xmark_document(0.02, seed=5) == generate_xmark_document(0.02, seed=5)
+        assert generate_xmark_document(0.02, seed=5) != generate_xmark_document(0.02, seed=6)
+
+    def test_document_is_well_formed(self, xmark_document_small):
+        document = parse_document(xmark_document_small)
+        assert document.root.name == "site"
+
+    def test_contains_all_six_regions(self, xmark_document_small):
+        document = parse_document(xmark_document_small)
+        regions = document.root.find_children("regions")[0]
+        assert [child.name for child in regions.child_elements] == [
+            "africa", "asia", "australia", "europe", "namerica", "samerica",
+        ]
+
+    def test_size_scales_with_scale_factor(self):
+        small = generate_xmark_document(0.02, seed=1)
+        large = generate_xmark_document(0.08, seed=1)
+        assert len(large) > 2.5 * len(small)
+
+    def test_generate_document_of_size(self):
+        target = 300_000
+        text = generate_xmark_document_of_size(target, seed=2)
+        assert abs(len(text) - target) / target < 0.35
+
+    def test_validates_against_the_dtd(self, xmark_document_small, xmark_dtd_fixture):
+        # Every element used in the document must be declared, and every
+        # child must be allowed by its parent's content model.
+        document = parse_document(xmark_document_small)
+        declared = xmark_dtd_fixture.tag_names()
+        for element in document.iter_elements():
+            assert element.name in declared
+            allowed = xmark_dtd_fixture.element(element.name).child_names()
+            for child in element.child_elements:
+                assert child.name in allowed, (element.name, child.name)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_xmark_document(0)
+
+
+class TestMedlineGenerator:
+    def test_deterministic_for_same_seed(self):
+        assert generate_medline_document(20, seed=5) == generate_medline_document(20, seed=5)
+
+    def test_document_is_well_formed(self, medline_document_small):
+        document = parse_document(medline_document_small)
+        assert document.root.name == "MedlineCitationSet"
+        assert document.root.child_elements[0].name == "MedlineCitation"
+
+    def test_collection_title_never_generated(self):
+        text = generate_medline_document(citations=500, seed=1)
+        assert "<CollectionTitle>" not in text
+
+    def test_rare_query_targets_do_occur_at_scale(self):
+        text = generate_medline_document(citations=1500, seed=1)
+        assert "<DataBankName>PDB</DataBankName>" in text
+        assert "Hippocrates" in text
+        assert "NASA" in text
+        assert "Sterilization" in text
+
+    def test_validates_against_the_dtd(self, medline_document_small, medline_dtd_fixture):
+        document = parse_document(medline_document_small)
+        declared = medline_dtd_fixture.tag_names()
+        for element in document.iter_elements():
+            assert element.name in declared
+            allowed = medline_dtd_fixture.element(element.name).child_names()
+            for child in element.child_elements:
+                assert child.name in allowed, (element.name, child.name)
+
+    def test_generate_document_of_size(self):
+        target = 250_000
+        text = generate_medline_document_of_size(target, seed=2)
+        assert abs(len(text) - target) / target < 0.35
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_medline_document(0)
+
+
+class TestQueryWorkloads:
+    def test_table1_query_set_is_complete(self):
+        assert len(XMARK_QUERY_ORDER) == 18
+        assert set(XMARK_QUERY_ORDER) == set(XMARK_QUERIES)
+        assert "XM15" not in XMARK_QUERIES and "XM16" not in XMARK_QUERIES
+
+    def test_xm2_and_xm3_share_projection_paths(self):
+        assert XMARK_QUERIES["XM2"].projection_paths == XMARK_QUERIES["XM3"].projection_paths
+
+    def test_xmark_paths_parse_and_use_declared_tags(self, xmark_dtd_fixture):
+        declared = xmark_dtd_fixture.tag_names()
+        for spec in XMARK_QUERIES.values():
+            for text in spec.projection_paths:
+                path = ProjectionPath.parse(text)
+                for step in path.steps:
+                    assert step.name == "*" or step.name in declared, (spec.name, text)
+
+    def test_tbp_comparison_subset(self):
+        assert set(TBP_COMPARISON_QUERIES) <= set(XMARK_QUERIES)
+
+    def test_table2_query_set_is_complete(self):
+        assert MEDLINE_QUERY_ORDER == ("M1", "M2", "M3", "M4", "M5")
+        assert set(MEDLINE_QUERY_ORDER) == set(MEDLINE_QUERIES)
+
+    def test_medline_paths_extracted_from_xpath(self, medline_dtd_fixture):
+        declared = medline_dtd_fixture.tag_names()
+        m5 = MEDLINE_QUERIES["M5"]
+        assert any("MedlineJournalInfo" in path for path in m5.projection_paths)
+        assert any("DateCompleted" in path for path in m5.projection_paths)
+        for spec in MEDLINE_QUERIES.values():
+            for text in spec.projection_paths:
+                path = ProjectionPath.parse(text)
+                for step in path.steps:
+                    assert step.name == "*" or step.name in declared, (spec.name, text)
+
+    def test_specs_compile_against_their_dtds(self):
+        from repro import SmpPrefilter
+
+        xm_dtd = xmark_dtd()
+        for name in ("XM1", "XM6", "XM13"):
+            prefilter = SmpPrefilter.compile(
+                xm_dtd, XMARK_QUERIES[name].parsed_paths(), add_default_paths=False,
+            )
+            assert prefilter.tables.state_count() > 2
+        m_dtd = medline_dtd()
+        for name in MEDLINE_QUERY_ORDER:
+            prefilter = SmpPrefilter.compile(
+                m_dtd, MEDLINE_QUERIES[name].parsed_paths(), add_default_paths=False,
+            )
+            assert prefilter.tables.state_count() > 2
+
+
+class TestDatasetCache:
+    def test_load_dataset_caches_in_memory(self):
+        clear_caches()
+        first = load_dataset("xmark", size_bytes=60_000, seed=9)
+        second = load_dataset("xmark", size_bytes=60_000, seed=9)
+        assert first is second
+        assert len(structural_tokens(first)) > 10
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_dataset("unknown", size_bytes=1000)
+
+    def test_default_document_bytes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DOCUMENT_BYTES", "123456")
+        assert default_document_bytes() == 123456
+        monkeypatch.setenv("REPRO_DOCUMENT_BYTES", "not-a-number")
+        with pytest.raises(WorkloadError):
+            default_document_bytes()
+
+    def test_dataset_spec_cache_key(self):
+        assert DatasetSpec("xmark", 10, 1).cache_key() == ("xmark", 10, 1)

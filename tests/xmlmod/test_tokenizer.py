@@ -1,0 +1,142 @@
+"""Tests for the streaming tokenizer (the SAX baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml import TokenKind, XmlTokenizer, structural_tokens, tokenize
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(text)]
+
+
+class TestBasicTokenization:
+    def test_simple_element_with_text(self):
+        tokens = tokenize("<a>hello</a>")
+        assert [token.kind for token in tokens] == [
+            TokenKind.START_TAG, TokenKind.TEXT, TokenKind.END_TAG,
+        ]
+        assert tokens[0].name == "a"
+        assert tokens[1].text == "hello"
+        assert tokens[2].name == "a"
+
+    def test_nested_elements(self):
+        tokens = tokenize("<a><b><c/></b></a>")
+        names = [(token.kind, token.name) for token in tokens]
+        assert names == [
+            (TokenKind.START_TAG, "a"),
+            (TokenKind.START_TAG, "b"),
+            (TokenKind.EMPTY_TAG, "c"),
+            (TokenKind.END_TAG, "b"),
+            (TokenKind.END_TAG, "a"),
+        ]
+
+    def test_attributes_are_parsed_in_order(self):
+        tokens = tokenize('<item id="i1" lang=\'en\'>x</item>')
+        assert tokens[0].attributes == (("id", "i1"), ("lang", "en"))
+        assert tokens[0].attribute("id") == "i1"
+        assert tokens[0].attribute("missing", "default") == "default"
+
+    def test_empty_tag_with_attributes(self):
+        tokens = tokenize('<root><incategory category="c12"/></root>')
+        assert tokens[1].kind is TokenKind.EMPTY_TAG
+        assert tokens[1].attributes == (("category", "c12"),)
+
+    def test_whitespace_inside_tags_is_tolerated(self):
+        # The paper notes "<t >" is valid while "< t>" is not.
+        tokens = tokenize("<item ><name >x</name ></item>")
+        assert tokens[0].name == "item"
+        assert tokens[1].name == "name"
+
+    def test_token_positions_cover_the_source(self):
+        text = "<a><b>text</b></a>"
+        tokens = tokenize(text)
+        assert tokens[0].start == 0 and tokens[0].end == 3
+        assert text[tokens[2].start:tokens[2].end] == "text"
+        assert tokens[-1].end == len(text)
+
+    def test_attribute_value_containing_gt(self):
+        tokens = tokenize('<a note="x > y">t</a>')
+        assert tokens[0].attribute("note") == "x > y"
+
+    def test_entity_references_left_verbatim_in_text(self):
+        tokens = tokenize("<a>x &lt; y &amp; z</a>")
+        assert tokens[1].text == "x &lt; y &amp; z"
+
+
+class TestPrologAndMiscellaneous:
+    def test_xml_declaration(self):
+        tokens = tokenize('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert tokens[0].kind is TokenKind.XML_DECLARATION
+        assert tokens[1].kind is TokenKind.EMPTY_TAG
+
+    def test_doctype_with_internal_subset(self):
+        text = "<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>x</a>"
+        tokens = tokenize(text)
+        assert tokens[0].kind is TokenKind.DOCTYPE
+        assert "<!ELEMENT a" in tokens[0].text
+        assert tokens[1].kind is TokenKind.START_TAG
+
+    def test_comments_and_processing_instructions(self):
+        tokens = tokenize("<a><!-- note --><?target data?></a>")
+        assert tokens[1].kind is TokenKind.COMMENT
+        assert tokens[1].text == " note "
+        assert tokens[2].kind is TokenKind.PROCESSING_INSTRUCTION
+        assert tokens[2].name == "target"
+
+    def test_cdata_section(self):
+        tokens = tokenize("<a><![CDATA[1 < 2 && 3 > 2]]></a>")
+        assert tokens[1].kind is TokenKind.CDATA
+        assert tokens[1].text == "1 < 2 && 3 > 2"
+
+    def test_structural_tokens_drops_prolog(self):
+        text = '<?xml version="1.0"?><!DOCTYPE a><a><!--c-->x</a>'
+        tokens = structural_tokens(text)
+        assert [token.kind for token in tokens] == [
+            TokenKind.START_TAG, TokenKind.TEXT, TokenKind.END_TAG,
+        ]
+
+
+class TestWellFormednessChecks:
+    @pytest.mark.parametrize("text", [
+        "<a><b></a></b>",          # mismatched nesting
+        "<a>unclosed",             # missing end tag
+        "</a>",                    # end tag without start
+        "<a></a><b></b>",          # two root elements
+        "<a foo>bar</a>",          # attribute without value
+        "<a foo=bar>x</a>",        # unquoted attribute value
+        "<a",                      # truncated tag
+        "text outside <a/>",       # character data before the root
+        "<a><!-- unterminated</a>",
+        "<a><![CDATA[oops</a>",
+    ])
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(XmlSyntaxError):
+            tokenize(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(XmlSyntaxError) as excinfo:
+            tokenize("<a><b></c></a>")
+        assert excinfo.value.position is not None
+
+    def test_statistics_count_characters(self):
+        text = "<a><b>x</b></a>"
+        tokenizer = XmlTokenizer(text)
+        tokens = list(tokenizer.tokens())
+        assert tokenizer.stats.characters_read == len(text)
+        assert tokenizer.stats.tokens_emitted == len(tokens)
+
+
+class TestWorkloadDocuments:
+    def test_generated_xmark_document_tokenizes(self, xmark_document_small):
+        tokens = structural_tokens(xmark_document_small)
+        assert tokens[0].name == "site"
+        assert tokens[-1].name == "site"
+        assert any(token.name == "australia" for token in tokens)
+
+    def test_generated_medline_document_tokenizes(self, medline_document_small):
+        tokens = structural_tokens(medline_document_small)
+        assert tokens[0].name == "MedlineCitationSet"
+        assert any(token.name == "AbstractText" for token in tokens)

@@ -1,0 +1,149 @@
+"""Tests for the in-memory tree, the SAX driver, escaping and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml import (
+    EventCollector,
+    TokenKind,
+    XmlElement,
+    element,
+    escape_attribute,
+    escape_text,
+    parse_document,
+    parse_with_handler,
+    serialize_tokens,
+    strip_insignificant_whitespace,
+    tokenize,
+    unescape,
+)
+
+
+class TestEscaping:
+    def test_escape_text_handles_markup_characters(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_escapes_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+        assert escape_attribute("it's") == "it&apos;s"
+
+    def test_unescape_round_trip(self):
+        original = "a < b & \"c\" 'd' > e"
+        assert unescape(escape_attribute(original)) == original
+
+
+class TestTreeConstruction:
+    def test_parse_document_builds_expected_structure(self):
+        document = parse_document("<a id='1'><b>x</b><b>y</b><c/></a>")
+        root = document.root
+        assert root.name == "a"
+        assert root.attributes == {"id": "1"}
+        assert [child.name for child in root.child_elements] == ["b", "b", "c"]
+        assert root.find_children("b")[1].text_content() == "y"
+
+    def test_text_content_concatenates_subtree(self):
+        document = parse_document("<a>one<b>two</b>three</a>")
+        assert document.root.text_content() == "onetwothree"
+        assert document.root.direct_text() == "onethree"
+
+    def test_iter_descendants_in_document_order(self):
+        document = parse_document("<a><b><c/></b><d/></a>")
+        names = [node.name for node in document.root.iter_descendants()]
+        assert names == ["b", "c", "d"]
+
+    def test_ancestors_and_path_from_root(self):
+        document = parse_document("<a><b><c/></b></a>")
+        c = document.root.find_descendants("c")[0]
+        assert [node.name for node in c.ancestors()] == ["b", "a"]
+        assert [node.name for node in c.path_from_root()] == ["a", "b", "c"]
+
+    def test_element_helper_constructor(self):
+        node = element("item", element("name", "TV"), id="i3")
+        assert node.serialize() == '<item id="i3"><name>TV</name></item>'
+
+    def test_structure_equal_ignores_whitespace_text(self):
+        left = parse_document("<a><b>x</b></a>").root
+        right = parse_document("<a>\n  <b>x</b>\n</a>").root
+        assert left.structure_equal(right)
+
+    def test_structure_equal_detects_differences(self):
+        left = parse_document("<a><b>x</b></a>").root
+        right = parse_document("<a><b>y</b></a>").root
+        assert not left.structure_equal(right)
+        assert left.structure_equal(right, compare_text=False)
+
+    def test_document_element_count(self):
+        document = parse_document("<a><b/><b/><c><d/></c></a>")
+        assert document.element_count() == 5
+
+    def test_serialize_round_trip(self):
+        text = '<a id="1"><b>x &amp; y</b><c/></a>'
+        document = parse_document(text)
+        assert document.serialize() == text
+
+    def test_doctype_and_declaration_preserved(self):
+        text = '<?xml version="1.0"?><!DOCTYPE a><a/>'
+        document = parse_document(text)
+        assert document.declaration == 'version="1.0"'
+        assert document.doctype == "a"
+        assert document.serialize() == text
+
+    def test_mismatched_document_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b></a>")
+
+
+class TestSaxDriver:
+    def test_events_in_document_order(self):
+        collector = EventCollector()
+        parse_with_handler("<a><b x='1'>t</b><c/></a>", collector)
+        assert collector.events == [
+            ("start-document",),
+            ("start", "a", ()),
+            ("start", "b", (("x", "1"),)),
+            ("text", "t"),
+            ("end", "b"),
+            ("start", "c", ()),
+            ("end", "c"),
+            ("end", "a"),
+            ("end-document",),
+        ]
+
+    def test_bachelor_tags_produce_start_and_end(self):
+        collector = EventCollector()
+        parse_with_handler("<a/>", collector)
+        assert ("start", "a", ()) in collector.events
+        assert ("end", "a") in collector.events
+
+
+class TestTokenSerialization:
+    def test_round_trip_through_tokens(self):
+        text = '<site><item id="i1"><name>Palm Zire 71</name></item><empty/></site>'
+        assert serialize_tokens(tokenize(text)) == text
+
+    def test_strip_insignificant_whitespace(self):
+        tokens = tokenize("<a>  <b>x</b>\n</a>")
+        stripped = strip_insignificant_whitespace(tokens)
+        assert all(
+            token.kind is not TokenKind.TEXT or token.text.strip() for token in stripped
+        )
+
+    def test_serialize_escapes_text_tokens(self):
+        document = parse_document("<a>x &lt; y</a>")
+        assert "&lt;" in document.serialize()
+
+
+class TestSerializationOfBuiltTrees:
+    def test_empty_element_serializes_as_bachelor_tag(self):
+        assert XmlElement(name="empty").serialize() == "<empty/>"
+
+    def test_attributes_are_escaped(self):
+        node = element("a", note='x "y" < z')
+        assert node.serialize() == '<a note="x &quot;y&quot; &lt; z"/>'
+
+    def test_indented_serialization_is_reparsable(self):
+        node = element("a", element("b", "x"), element("c"))
+        pretty = node.serialize(indent="  ")
+        assert parse_document(pretty).root.structure_equal(node)

@@ -1,0 +1,163 @@
+"""Tests for the XPath-subset parser and the in-memory evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xml import parse_document
+from repro.xpath import (
+    ComparisonExpr,
+    ContainsExpr,
+    NodeTestKind,
+    XPathAxis,
+    evaluate_xpath,
+    parse_xpath,
+    serialize_results,
+    string_value,
+)
+
+DOCUMENT = parse_document(
+    "<library>"
+    "  <shelf id='s1'>"
+    "    <book lang='en'><title>Query Processing</title>"
+    "      <author><last>Koch</last></author><year>2008</year></book>"
+    "    <book lang='de'><title>Stream Systems</title>"
+    "      <author><last>Scherzinger</last></author><year>2007</year></book>"
+    "  </shelf>"
+    "  <shelf id='s2'>"
+    "    <book lang='en'><title>XML Projection</title>"
+    "      <author><last>Schmidt</last></author><year>2008</year>"
+    "      <note>Contains NASA material</note></book>"
+    "  </shelf>"
+    "</library>"
+)
+
+
+class TestParser:
+    def test_child_and_descendant_axes(self):
+        path = parse_xpath("/library//book/title")
+        assert [step.axis for step in path.steps] == [
+            XPathAxis.CHILD, XPathAxis.DESCENDANT, XPathAxis.CHILD,
+        ]
+
+    def test_text_step(self):
+        path = parse_xpath("/library//title/text()")
+        assert path.steps[-1].test.kind is NodeTestKind.TEXT
+
+    def test_predicate_with_equality(self):
+        path = parse_xpath('/library//book[author/last="Koch"]/title')
+        predicate = path.steps[1].predicates[0]
+        assert isinstance(predicate, ComparisonExpr)
+        assert predicate.right.value == "Koch"
+
+    def test_predicate_with_contains(self):
+        path = parse_xpath('/library//note[contains(text(),"NASA")]')
+        predicate = path.steps[1].predicates[0]
+        assert isinstance(predicate, ContainsExpr)
+        assert predicate.needle.value == "NASA"
+
+    def test_boolean_or_predicate(self):
+        path = parse_xpath('/l//b[x="1" or y="2"]')
+        predicate = path.steps[1].predicates[0]
+        assert predicate.operator == "or"
+        assert len(predicate.operands) == 2
+
+    def test_wildcard_step(self):
+        path = parse_xpath("/library/*/book")
+        assert path.steps[1].test.name == "*"
+
+    def test_attribute_predicate(self):
+        path = parse_xpath('/library/shelf[@id="s1"]/book')
+        assert path.steps[1].predicates
+
+    def test_table2_queries_parse(self):
+        from repro.workloads.medline import MEDLINE_QUERIES
+        for spec in MEDLINE_QUERIES.values():
+            assert parse_xpath(spec.query).steps
+
+    @pytest.mark.parametrize("bad", [
+        "library/book",        # relative at top level
+        "/library/",           # dangling slash
+        "/library[",           # unterminated predicate
+        "/library/book[title=]",
+        "/library/book]",
+    ])
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+class TestEvaluator:
+    def test_absolute_child_path(self):
+        results = evaluate_xpath("/library/shelf/book/title", DOCUMENT)
+        assert [element.text_content() for element in results] == [
+            "Query Processing", "Stream Systems", "XML Projection",
+        ]
+
+    def test_descendant_axis(self):
+        results = evaluate_xpath("//last", DOCUMENT)
+        assert [element.text_content() for element in results] == [
+            "Koch", "Scherzinger", "Schmidt",
+        ]
+
+    def test_root_name_must_match(self):
+        assert evaluate_xpath("/archive/shelf", DOCUMENT) == []
+
+    def test_wildcard_step(self):
+        results = evaluate_xpath("/library/*", DOCUMENT)
+        assert [element.name for element in results] == ["shelf", "shelf"]
+
+    def test_text_step_returns_strings(self):
+        results = evaluate_xpath("/library//year/text()", DOCUMENT)
+        assert results == ["2008", "2007", "2008"]
+
+    def test_equality_predicate_on_child_path(self):
+        results = evaluate_xpath(
+            '/library//book[author/last="Koch"]/title', DOCUMENT,
+        )
+        assert len(results) == 1
+        assert results[0].text_content() == "Query Processing"
+
+    def test_equality_predicate_uses_existential_semantics(self):
+        results = evaluate_xpath('/library/shelf[book/year="2007"]', DOCUMENT)
+        assert len(results) == 1
+        assert results[0].attributes["id"] == "s1"
+
+    def test_contains_predicate(self):
+        results = evaluate_xpath(
+            '/library//book[contains(note,"NASA")]/title', DOCUMENT,
+        )
+        assert [element.text_content() for element in results] == ["XML Projection"]
+
+    def test_contains_on_descendant_text(self):
+        results = evaluate_xpath(
+            '/library/shelf[contains(book//last,"Schmidt")]', DOCUMENT,
+        )
+        assert len(results) == 1
+        assert results[0].attributes["id"] == "s2"
+
+    def test_or_predicate(self):
+        results = evaluate_xpath(
+            '/library//book[author/last="Koch" or author/last="Schmidt"]/year',
+            DOCUMENT,
+        )
+        assert [element.text_content() for element in results] == ["2008", "2008"]
+
+    def test_attribute_predicate_equality(self):
+        results = evaluate_xpath('/library/shelf[@id="s2"]/book/title', DOCUMENT)
+        assert [element.text_content() for element in results] == ["XML Projection"]
+
+    def test_attribute_existence_predicate(self):
+        results = evaluate_xpath("/library/shelf/book[@lang]", DOCUMENT)
+        assert len(results) == 3
+
+    def test_existence_predicate_on_child(self):
+        results = evaluate_xpath("/library//book[note]/title", DOCUMENT)
+        assert [element.text_content() for element in results] == ["XML Projection"]
+
+    def test_string_value_and_serialization(self):
+        results = evaluate_xpath("/library/shelf/book/title", DOCUMENT)
+        assert string_value(results[0]) == "Query Processing"
+        rendered = serialize_results(results)
+        assert "<title>Query Processing</title>" in rendered

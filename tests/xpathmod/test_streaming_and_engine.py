@@ -1,0 +1,109 @@
+"""Tests for the streaming XPath evaluator and the in-memory query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.medline import MEDLINE_QUERIES
+from repro.xml import parse_document
+from repro.xpath import (
+    InMemoryQueryEngine,
+    MemoryLimitExceeded,
+    StreamingXPathEngine,
+    evaluate_xpath,
+    string_value,
+)
+
+DOCUMENT_TEXT = (
+    "<catalog>"
+    "<section name='databases'>"
+    "<entry><code>PDB</code><items><item>one</item><item>two</item></items></entry>"
+    "<entry><code>OMIM</code><items><item>three</item></items></entry>"
+    "</section>"
+    "<section name='misc'>"
+    "<entry><code>PDB</code><items><item>four</item></items></entry>"
+    "</section>"
+    "</catalog>"
+)
+
+
+def _normalize(items):
+    return sorted(
+        item.serialize() if hasattr(item, "serialize") else item for item in items
+    )
+
+
+class TestStreamingEvaluator:
+    @pytest.mark.parametrize("query", [
+        "/catalog/section/entry/code",
+        "/catalog//item",
+        "//entry/items",
+        '/catalog//entry[code="PDB"]/items',
+        '/catalog/section[contains(entry//code,"OMIM")]',
+    ])
+    def test_agrees_with_in_memory_evaluator(self, query):
+        streaming = StreamingXPathEngine(query).evaluate(DOCUMENT_TEXT)
+        in_memory = evaluate_xpath(query, parse_document(DOCUMENT_TEXT))
+        assert _normalize(streaming) == _normalize(in_memory)
+
+    def test_statistics_report_buffering(self):
+        engine = StreamingXPathEngine('/catalog//entry[code="PDB"]/items')
+        results = engine.evaluate(DOCUMENT_TEXT)
+        assert len(results) == 2
+        stats = engine.last_stats
+        assert stats.events > 0
+        assert stats.buffered_subtrees >= 2
+        assert stats.matches == 2
+
+    def test_medline_queries_agree_with_in_memory(self, medline_document_small):
+        document = parse_document(medline_document_small)
+        for name, spec in MEDLINE_QUERIES.items():
+            streaming = StreamingXPathEngine(spec.query).evaluate(medline_document_small)
+            in_memory = evaluate_xpath(spec.query, document)
+            assert _normalize(streaming) == _normalize(in_memory), name
+
+
+class TestInMemoryQueryEngine:
+    def test_run_returns_results_and_timings(self):
+        engine = InMemoryQueryEngine()
+        outcome = engine.run("/catalog//item", DOCUMENT_TEXT)
+        assert outcome.result_count == 4
+        assert outcome.load_seconds >= 0.0
+        assert outcome.evaluate_seconds >= 0.0
+        assert outcome.estimated_memory_bytes > 0
+        assert "<item>one</item>" in outcome.output
+
+    def test_memory_limit_enforced(self):
+        engine = InMemoryQueryEngine(memory_limit_bytes=100)
+        with pytest.raises(MemoryLimitExceeded):
+            engine.run("/catalog//item", DOCUMENT_TEXT)
+
+    def test_memory_limit_allows_small_documents(self):
+        engine = InMemoryQueryEngine(memory_limit_bytes=50_000_000)
+        outcome = engine.run("/catalog/section", DOCUMENT_TEXT)
+        assert outcome.result_count == 2
+
+    def test_run_many_loads_once(self):
+        engine = InMemoryQueryEngine()
+        outcomes = engine.run_many(
+            ["/catalog//item", "/catalog/section/entry/code"], DOCUMENT_TEXT,
+        )
+        assert [outcome.result_count for outcome in outcomes] == [4, 3]
+
+    def test_prefiltered_document_gives_same_results(self, xmark_document_small):
+        """The Figure 7(a) setup: running the engine on the SMP output must
+        return the same result values as running it on the raw document."""
+        from repro import SmpPrefilter
+        from repro.workloads.xmark import XMARK_QUERIES, xmark_dtd
+
+        spec = XMARK_QUERIES["XM13"]
+        prefilter = SmpPrefilter.compile(xmark_dtd(), spec.parsed_paths(),
+                                         add_default_paths=False)
+        projected = prefilter.filter_document(xmark_document_small).output
+        engine = InMemoryQueryEngine()
+        full = engine.run(spec.xpath, xmark_document_small)
+        pruned = engine.run(spec.xpath, projected)
+        assert [string_value(item) for item in full.results] == [
+            string_value(item) for item in pruned.results
+        ]
+        assert pruned.estimated_memory_bytes < full.estimated_memory_bytes
