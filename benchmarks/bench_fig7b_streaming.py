@@ -5,6 +5,12 @@ prefiltering in front of it; the pipelined runtime stays close to the
 prefiltering time alone and the end-to-end throughput rises substantially.
 The reproduction replays this with the streaming XPath engine over the
 MEDLINE-like document for queries M1-M5.
+
+A second table sweeps the chunk size of the *incremental* filter path and
+records throughput and peak memory per chunk size -- the constant-memory
+claim of Table I.  The sweep is persisted as machine-readable
+``benchmarks/results/BENCH_streaming.json`` so future changes have a perf
+trajectory to compare against.
 """
 
 from __future__ import annotations
@@ -12,9 +18,19 @@ from __future__ import annotations
 import pytest
 
 from repro import SmpPrefilter
-from repro.bench import TableReporter, measure, megabytes, throughput_mb_per_second
+from repro.bench import (
+    TableReporter,
+    measure,
+    megabytes,
+    throughput_mb_per_second,
+    write_json_report,
+)
+from repro.core.stream import iter_chunks
 from repro.workloads.medline import MEDLINE_QUERIES, MEDLINE_QUERY_ORDER
 from repro.xpath import StreamingXPathEngine
+
+#: Chunk sizes of the streaming sweep (4 KiB .. 1 MiB).
+CHUNK_SIZES = (4 * 1024, 64 * 1024, 1024 * 1024)
 
 _REPORTER = TableReporter(
     title="Figure 7(b) - Streaming engine alone vs SMP-pipelined (MEDLINE)",
@@ -24,12 +40,30 @@ _REPORTER = TableReporter(
     ],
 )
 
+_SWEEP_REPORTER = TableReporter(
+    title="Streaming filter chunk-size sweep (MEDLINE, M2)",
+    columns=[
+        "Chunk KiB", "Wall s", "MB/s", "Peak traced KiB", "Peak RSS MB",
+    ],
+)
+
+_SWEEP_ROWS: list[dict[str, float]] = []
+
 
 @pytest.fixture(scope="module", autouse=True)
 def _emit_table():
     yield
     if _REPORTER.rows:
         _REPORTER.emit()
+    if _SWEEP_REPORTER.rows:
+        _SWEEP_REPORTER.emit()
+    if _SWEEP_ROWS:
+        write_json_report("BENCH_streaming.json", {
+            "workload": "medline",
+            "query": "M2",
+            "backend": "native",
+            "rows": _SWEEP_ROWS,
+        })
 
 
 @pytest.mark.parametrize("query_name", MEDLINE_QUERY_ORDER)
@@ -73,3 +107,56 @@ def test_fig7b_row(benchmark, query_name, medline_document, medline_schema):
 
     assert values(piped.result) == values(alone.result)
     assert pipelined_seconds < alone.wall_seconds
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schema):
+    """Throughput and peak memory of the chunked filter path per chunk size."""
+    spec = MEDLINE_QUERIES["M2"]
+    prefilter = SmpPrefilter.compile(
+        medline_schema, spec.parsed_paths(), backend="native",
+        add_default_paths=False,
+    )
+    input_size = len(medline_document)
+
+    def run_streamed():
+        sink_chars = 0
+
+        def sink(fragment: str) -> None:
+            nonlocal sink_chars
+            sink_chars += len(fragment)
+
+        run = prefilter.filter_stream(
+            iter_chunks(medline_document, chunk_size), sink=sink
+        )
+        return run, sink_chars
+
+    # Peak memory comes from a traced run; wall time from an untraced one
+    # (tracemalloc slows allocation-heavy code down several-fold and would
+    # distort the recorded throughput trajectory).
+    traced = measure(run_streamed, trace_memory=True)
+    timed = measure(run_streamed, trace_memory=False)
+    benchmark.pedantic(lambda: run_streamed(), rounds=1, iterations=1)
+    run, sink_chars = timed.result
+    assert sink_chars == run.stats.output_size
+
+    throughput = throughput_mb_per_second(input_size, timed.wall_seconds)
+    _SWEEP_REPORTER.add_row(
+        chunk_size / 1024,
+        timed.wall_seconds,
+        throughput,
+        traced.peak_memory_bytes / 1024,
+        megabytes(timed.peak_rss_bytes),
+    )
+    _SWEEP_ROWS.append({
+        "chunk_size": float(chunk_size),
+        "input_bytes": float(input_size),
+        "wall_seconds": timed.wall_seconds,
+        "throughput_mb_per_second": throughput,
+        "peak_traced_bytes": float(traced.peak_memory_bytes),
+        "peak_rss_bytes": float(timed.peak_rss_bytes),
+    })
+
+    # The constant-memory claim: the traced peak tracks the chunk size plus
+    # the carry-over window, never the document.
+    assert traced.peak_memory_bytes < max(8 * chunk_size, 1 << 20)

@@ -1,0 +1,96 @@
+"""CI smoke test: pipe a ~10 MB XMark document through the CLI in bounded memory.
+
+Generates a >=10 MB synthetic XMark document, runs ``python -m repro`` over
+it with a 64 KiB chunk size and ``--measure-memory``, checks the projected
+output is non-trivial and asserts the peak traced allocation size stays
+below a fixed budget -- i.e. the CLI streams in O(chunk + carry window)
+memory instead of materialising the document.
+
+Run from the repository root::
+
+    python scripts/ci_memory_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TARGET_BYTES = 10 * 1024 * 1024
+CHUNK_SIZE = 64 * 1024
+#: Peak traced allocations allowed inside the CLI process.
+PEAK_BUDGET_BYTES = 8 * 1024 * 1024
+
+XMARK_PATHS = ["/site/people/person#", "/site/people/person/name#"]
+
+
+def main() -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(repo_root, "src")
+    sys.path.insert(0, src)
+    from repro.workloads.xmark import XMARK_DTD_TEXT, generate_xmark_document
+
+    scale = 10.0
+    document = generate_xmark_document(scale=scale, seed=11)
+    while len(document) < TARGET_BYTES:
+        scale *= 1.3
+        document = generate_xmark_document(scale=scale, seed=11)
+    print(f"generated XMark document: {len(document) / 1e6:.1f} MB")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dtd_path = os.path.join(tmp, "xmark.dtd")
+        doc_path = os.path.join(tmp, "xmark.xml")
+        out_path = os.path.join(tmp, "projected.xml")
+        with open(dtd_path, "w", encoding="utf-8") as handle:
+            handle.write(XMARK_DTD_TEXT)
+        with open(doc_path, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        del document
+
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = src + os.pathsep + environment.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", dtd_path, *XMARK_PATHS,
+                "--backend", "native",
+                "--chunk-size", str(CHUNK_SIZE),
+                "--input", doc_path,
+                "--output", out_path,
+                "--no-default-paths",
+                "--stats-json", "--measure-memory",
+            ],
+            env=environment,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if completed.returncode != 0:
+            print(completed.stdout)
+            print(completed.stderr)
+            print(f"FAIL: CLI exited with {completed.returncode}")
+            return 1
+        stats = json.loads(completed.stderr.strip().splitlines()[-1])
+        output_size = os.path.getsize(out_path)
+
+    peak = int(stats["peak_memory_bytes"])
+    print(f"projected output: {output_size / 1e6:.2f} MB")
+    print(f"peak traced memory: {peak / 1e6:.2f} MB "
+          f"(budget {PEAK_BUDGET_BYTES / 1e6:.0f} MB)")
+    if output_size <= 0:
+        print("FAIL: empty projection")
+        return 1
+    if stats["input_size"] < TARGET_BYTES:
+        print("FAIL: CLI did not consume the whole document")
+        return 1
+    if peak > PEAK_BUDGET_BYTES:
+        print("FAIL: peak memory exceeds the constant-memory budget")
+        return 1
+    print("OK: constant-memory streaming holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

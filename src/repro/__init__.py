@@ -6,7 +6,7 @@ DTD parsing and DTD automata, the projection semantics of Section III, a
 token-based reference projector, SAX-style tokenization, in-memory and
 streaming XPath engines, and synthetic XMark / MEDLINE workloads.
 
-Quickstart::
+Quickstart -- one-shot filtering of an in-memory document::
 
     from repro import Dtd, SmpPrefilter
 
@@ -15,9 +15,25 @@ Quickstart::
     run = prefilter.filter_document(xml_text)
     print(run.output)
     print(run.stats.char_comparison_ratio, "% of characters inspected")
+
+Streaming -- the same prefilter over a document of any size, in
+O(chunk + carry window) memory with identical statistics::
+
+    run = prefilter.filter_file("site.xml", chunk_size=64 * 1024)
+
+    # or drive a session by hand (e.g. from a socket):
+    session = prefilter.session()
+    for chunk in chunks:
+        sys.stdout.write(session.feed(chunk))
+    sys.stdout.write(session.finish())
+
+End-to-end query answering (prefilter -> project -> evaluate) without any
+whole-document string lives in :class:`repro.pipeline.XPathPipeline`; the
+same functionality is available from the shell as ``python -m repro``.
 """
 
-from repro.core.prefilter import SmpPrefilter
+from repro.core.prefilter import FilterSession, SmpPrefilter
+from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
 from repro.dtd.model import Dtd
 from repro.errors import (
@@ -43,7 +59,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CompilationError",
     "CompilationStatistics",
+    "DEFAULT_CHUNK_SIZE",
     "Dtd",
+    "FilterSession",
     "DtdRecursionError",
     "DtdSyntaxError",
     "DtdValidationError",
@@ -63,5 +81,6 @@ __all__ = [
     "XmlSyntaxError",
     "__version__",
     "extract_paths_from_xpath",
+    "iter_chunks",
     "parse_projection_paths",
 ]

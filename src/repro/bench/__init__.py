@@ -6,7 +6,9 @@ from repro.bench.harness import (
     format_value,
     measure,
     megabytes,
+    peak_rss_bytes,
     throughput_mb_per_second,
+    write_json_report,
 )
 
 __all__ = [
@@ -15,5 +17,7 @@ __all__ = [
     "format_value",
     "measure",
     "megabytes",
+    "peak_rss_bytes",
     "throughput_mb_per_second",
+    "write_json_report",
 ]

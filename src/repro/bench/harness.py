@@ -9,11 +9,18 @@ table is printed and appended to ``benchmarks/results/`` so that
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import time
 import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -23,14 +30,31 @@ class Measurement:
     wall_seconds: float
     cpu_seconds: float
     peak_memory_bytes: int
+    peak_rss_bytes: int = 0
     result: object = None
+
+
+def peak_rss_bytes() -> int:
+    """The process's resident-set high-water mark in bytes (0 if unknown).
+
+    ``ru_maxrss`` is monotone over the process lifetime, so deltas between
+    two calls are only meaningful when the high-water mark moved; the
+    benchmarks report the absolute value alongside the traced peak.
+    """
+    if resource is None:
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS reports bytes.
+    return rss if sys.platform == "darwin" else rss * 1024
 
 
 def measure(callable_: Callable[[], object], *, trace_memory: bool = True) -> Measurement:
     """Run ``callable_`` once and record wall / CPU time and peak memory.
 
     ``cpu_seconds`` corresponds to the paper's Usr+Sys column (process CPU
-    time), ``wall_seconds`` to its Time column.
+    time), ``wall_seconds`` to its Time column.  ``peak_memory_bytes`` is
+    the tracemalloc peak of the run (0 when ``trace_memory`` is off);
+    ``peak_rss_bytes`` is the OS-level resident high-water mark afterwards.
     """
     if trace_memory:
         tracemalloc.start()
@@ -47,8 +71,24 @@ def measure(callable_: Callable[[], object], *, trace_memory: bool = True) -> Me
         wall_seconds=wall_seconds,
         cpu_seconds=cpu_seconds,
         peak_memory_bytes=peak,
+        peak_rss_bytes=peak_rss_bytes(),
         result=result,
     )
+
+
+def write_json_report(name: str, payload: object, directory: str | None = None) -> str:
+    """Persist ``payload`` as ``<results>/<name>`` (machine-readable artefact).
+
+    Benchmarks use this to leave perf trajectories (throughput, peak memory)
+    that later changes can be compared against.
+    """
+    target_directory = directory or default_results_directory()
+    os.makedirs(target_directory, exist_ok=True)
+    path = os.path.join(target_directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def megabytes(size_bytes: float) -> float:

@@ -11,25 +11,49 @@ This is the public entry point of the reproduction::
     print(result.stats.char_comparison_ratio)
 
 ``SmpPrefilter.compile`` runs the static analysis of Section IV and builds
-the lookup tables of Figure 3; ``filter_document`` runs the algorithm of
-Figure 4.  The compiled object is reusable across documents (the paper's
-Table I runs the same compiled prefilter over documents from 10 MB to 5 GB).
+the lookup tables of Figure 3.  The compiled object is a reusable *plan*
+(the paper's Table I runs the same compiled prefilter over documents from
+10 MB to 5 GB); :meth:`SmpPrefilter.cached` memoises plans keyed by
+``(DTD, paths, backend)`` so independent callers share one compilation.
+
+Documents are filtered either in one shot (:meth:`filter_document`) or
+incrementally in O(chunk + carry window) memory through the streaming
+session API::
+
+    session = prefilter.session()
+    for chunk in chunks:
+        out.write(session.feed(chunk))
+    out.write(session.finish())
+    session.stats               # identical to a filter_document run
+
+:meth:`filter_file` and :meth:`filter_stream` wrap that session loop with a
+configurable ``chunk_size``; each session owns its runtime, so any number of
+sessions compiled from the same plan can run concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import tracemalloc
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
-from repro.core.runtime import SmpRuntime
+from repro.core.runtime import OutputSink, RuntimeStream, SmpRuntime
 from repro.core.static_analysis import AnalysisResult, StaticAnalyzer
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
+from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.tables import RuntimeTables, build_tables, summarize_states
 from repro.dtd.model import Dtd
 from repro.projection.extraction import QuerySpec
 from repro.projection.paths import ProjectionPath
+
+#: Capacity of the shared compiled-plan cache (see :meth:`SmpPrefilter.cached`).
+PLAN_CACHE_SIZE = 64
+
+_plan_cache: "OrderedDict[tuple, SmpPrefilter]" = OrderedDict()
+_plan_cache_lock = threading.Lock()
 
 
 @dataclass
@@ -95,6 +119,45 @@ class SmpPrefilter:
         )
 
     @classmethod
+    def cached(
+        cls,
+        dtd: Dtd,
+        paths: Sequence[ProjectionPath | str],
+        *,
+        backend: str = "instrumented",
+        add_default_paths: bool = True,
+    ) -> "SmpPrefilter":
+        """Like :meth:`compile`, but memoised.
+
+        Plans are cached (LRU, :data:`PLAN_CACHE_SIZE` entries) keyed by the
+        DTD object, the normalised path strings, the backend and the
+        default-path flag, so concurrent callers filtering different
+        documents against the same query share a single compilation.  The
+        cache holds a strong reference to the DTD, which keeps the identity
+        key stable for the lifetime of the entry.
+        """
+        key = (
+            id(dtd),
+            tuple(sorted(str(path) for path in paths)),
+            backend,
+            add_default_paths,
+        )
+        with _plan_cache_lock:
+            plan = _plan_cache.get(key)
+            if plan is not None:
+                _plan_cache.move_to_end(key)
+                return plan
+        plan = cls.compile(
+            dtd, paths, backend=backend, add_default_paths=add_default_paths
+        )
+        with _plan_cache_lock:
+            _plan_cache[key] = plan
+            _plan_cache.move_to_end(key)
+            while len(_plan_cache) > PLAN_CACHE_SIZE:
+                _plan_cache.popitem(last=False)
+        return plan
+
+    @classmethod
     def compile_for_query(
         cls, dtd: Dtd, query: QuerySpec, *, backend: str = "instrumented"
     ) -> "SmpPrefilter":
@@ -107,10 +170,20 @@ class SmpPrefilter:
     # ------------------------------------------------------------------
     @property
     def runtime(self) -> SmpRuntime:
-        """The (lazily created) runtime executor."""
+        """The (lazily created) runtime executor shared by one-shot calls."""
         if self._runtime is None or self._runtime.backend != self.backend:
             self._runtime = SmpRuntime(self.tables, backend=self.backend)
         return self._runtime
+
+    def session(self, *, sink: OutputSink | None = None) -> "FilterSession":
+        """Open a streaming filter session for one document.
+
+        Each session owns a private runtime over the shared compiled tables,
+        so sessions obtained from one prefilter may run concurrently.  With
+        ``sink`` the projected fragments are pushed to the callback and the
+        session's ``feed``/``finish`` return empty strings.
+        """
+        return FilterSession(self, sink=sink)
 
     def filter_document(self, text: str, *, measure_memory: bool = False) -> FilterRun:
         """Prefilter a document held in a string."""
@@ -123,27 +196,56 @@ class SmpPrefilter:
             stats.peak_memory_bytes = peak
         return FilterRun(output=output, stats=stats, compilation=self.compilation)
 
-    def filter_file(self, path: str, *, measure_memory: bool = False) -> FilterRun:
-        """Prefilter a document stored on disk."""
+    def filter_file(
+        self,
+        path: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        measure_memory: bool = False,
+        sink: OutputSink | None = None,
+    ) -> FilterRun:
+        """Prefilter a document stored on disk, reading ``chunk_size`` chunks.
+
+        The file is never materialised as a whole: it flows through a
+        streaming session in O(chunk + carry window) memory.
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-        return self.filter_document(text, measure_memory=measure_memory)
+            return self.filter_stream(
+                handle,
+                chunk_size=chunk_size,
+                measure_memory=measure_memory,
+                sink=sink,
+            )
 
     def filter_stream(
-        self, chunks: Iterable[str] | IO[str], *, measure_memory: bool = False
+        self,
+        chunks: Iterable[str] | IO[str],
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        measure_memory: bool = False,
+        sink: OutputSink | None = None,
     ) -> FilterRun:
-        """Prefilter a document provided as an iterable of chunks or a file object.
+        """Prefilter a document provided as chunks or a file object.
 
-        The chunks are concatenated into a single buffer before filtering.
-        (The paper's prototype reads fixed-size chunks into a pre-allocated
-        buffer; a bounded-window buffer is a possible extension and does not
-        change any of the reproduced metrics, which are character-based.)
+        The input is processed incrementally through a :class:`FilterSession`
+        in O(chunk + carry window) memory -- the carry-over window is bounded
+        by the longest suspended keyword search plus the longest open tag.
+        File objects are read in ``chunk_size`` pieces; iterables are
+        consumed as produced.  All character-based statistics are identical
+        to a :meth:`filter_document` run over the concatenated input.
+
+        With ``sink`` the projected fragments are pushed to the callback as
+        they are emitted and the returned :class:`FilterRun` carries an empty
+        ``output`` (the statistics still record the emitted size).
         """
-        if hasattr(chunks, "read"):
-            text = chunks.read()  # type: ignore[union-attr]
-        else:
-            text = "".join(chunks)
-        return self.filter_document(text, measure_memory=measure_memory)
+        if measure_memory:
+            tracemalloc.start()
+        run = self.session(sink=sink).run(chunks, chunk_size)
+        if measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            run.stats.peak_memory_bytes = peak
+        return run
 
     # ------------------------------------------------------------------
     # Introspection
@@ -155,3 +257,59 @@ class SmpPrefilter:
     def states_summary(self) -> str:
         """The ``States (CW+BM)`` figure of the paper's tables."""
         return self.compilation.states_label()
+
+
+class FilterSession:
+    """A streaming prefilter run over one document.
+
+    Wraps a :class:`~repro.core.runtime.RuntimeStream` with a private
+    runtime, so sessions are independent of each other and of the owning
+    prefilter's one-shot runtime.  Use :meth:`feed`/:meth:`finish` directly,
+    or :meth:`run` to drive a whole chunk iterable.
+    """
+
+    def __init__(self, prefilter: SmpPrefilter, sink: OutputSink | None = None) -> None:
+        self.prefilter = prefilter
+        self._stream: RuntimeStream = SmpRuntime(
+            prefilter.tables, backend=prefilter.backend
+        ).stream(sink=sink)
+
+    @property
+    def stats(self) -> RunStatistics:
+        """Statistics accumulated so far (complete after :meth:`finish`)."""
+        return self._stream.stats
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has completed."""
+        return self._stream.finished
+
+    @property
+    def buffered_chars(self) -> int:
+        """Input characters currently retained in the carry-over window."""
+        return self._stream.buffered_chars
+
+    def feed(self, chunk: str) -> str:
+        """Process one input chunk; returns the newly emitted output."""
+        return self._stream.feed(chunk)
+
+    def finish(self) -> str:
+        """Signal end of input; returns the remaining output."""
+        return self._stream.finish()
+
+    def run(self, chunks: Iterable[str] | IO[str],
+            chunk_size: int = DEFAULT_CHUNK_SIZE) -> FilterRun:
+        """Feed all of ``chunks`` and finish; returns the :class:`FilterRun`."""
+        pieces: list[str] = []
+        for chunk in iter_chunks(chunks, chunk_size):
+            emitted = self.feed(chunk)
+            if emitted:
+                pieces.append(emitted)
+        emitted = self.finish()
+        if emitted:
+            pieces.append(emitted)
+        return FilterRun(
+            output="".join(pieces),
+            stats=self.stats,
+            compilation=self.prefilter.compilation,
+        )

@@ -1,4 +1,4 @@
-"""The SMP runtime algorithm (Figure 4 of the paper).
+"""The SMP runtime algorithm (Figure 4 of the paper) as a streaming machine.
 
 The runtime switches between string-matching problems: in every automaton
 state it first skips ``J[q]`` characters, then searches for the closest
@@ -9,6 +9,17 @@ action ``T[q']``.  Bachelor tags are processed as an opening immediately
 followed by a closing tag; tag names that are prefixes of longer tag names
 are disambiguated during the end-of-tag scan.
 
+Execution is *incremental*: :meth:`SmpRuntime.stream` returns a
+:class:`RuntimeStream` -- a resumable state machine with ``feed(chunk) ->
+emitted output`` and ``finish()`` -- that holds only a bounded carry-over
+window of the input (the longest suspended keyword search plus the longest
+open tag, see :mod:`repro.core.stream`).  Keyword searches that hit the end
+of the buffered window mid-candidate suspend through the matchers'
+``find_chunk`` contract and resume once more input arrives, so every
+character-based statistic (comparisons, shifts, jumps, local scans) is
+bit-identical no matter how the input is chunked.  :meth:`SmpRuntime.
+filter_text` is a thin one-chunk wrapper over the same machine.
+
 Input contract: the document must be valid with respect to the DTD the tables
 were compiled from, and -- like the paper's prototype -- must not hide markup
 inside comments or CDATA sections (character data must escape ``<``).
@@ -18,16 +29,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.stats import RunStatistics
+from repro.core.stream import ChunkCursor
 from repro.core.tables import Action, RuntimeTables
 from repro.dtd.automaton import CLOSE, OPEN, Symbol
 from repro.errors import RuntimeFilterError
-from repro.matching.base import MultiKeywordMatcher, SingleKeywordMatcher
+from repro.matching.base import MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
 from repro.matching.factory import make_matcher
 from repro.xml.escape import is_name_char
 
-_WHITESPACE = " \t\r\n"
+#: Output callback type: receives projected-document fragments in order.
+OutputSink = Callable[[str], None]
 
 
 @dataclass
@@ -42,7 +56,7 @@ class _MatchedTag:
 
 
 class SmpRuntime:
-    """Executes the runtime algorithm over documents held in strings.
+    """Executes the runtime algorithm over strings or chunked streams.
 
     Parameters
     ----------
@@ -52,6 +66,11 @@ class SmpRuntime:
         Matcher backend name (see :mod:`repro.matching.factory`); the paper's
         configuration (instrumented Boyer-Moore / Commentz-Walter) is the
         default.
+
+    One runtime serves one document at a time: the matcher statistics are
+    shared across its streams.  For concurrent documents create one runtime
+    per stream over the same (immutable) tables -- that is what the
+    :class:`repro.core.prefilter.FilterSession` facade does.
     """
 
     def __init__(self, tables: RuntimeTables, backend: str = "instrumented") -> None:
@@ -86,36 +105,181 @@ class SmpRuntime:
             stats.shift_total += matcher.stats.shift_total
 
     # ------------------------------------------------------------------
-    # Main entry point
+    # Entry points
     # ------------------------------------------------------------------
-    def filter_text(self, text: str) -> tuple[str, RunStatistics]:
-        """Prefilter ``text`` and return ``(projected document, statistics)``."""
-        stats = RunStatistics(input_size=len(text))
-        started = time.perf_counter()
-        self.reset_matcher_statistics()
+    def stream(self, sink: OutputSink | None = None) -> "RuntimeStream":
+        """Start a resumable filtering run over chunked input.
 
-        tables = self.tables
+        When ``sink`` is given every projected fragment is delivered to it
+        as soon as it is safe to emit and ``feed``/``finish`` return empty
+        strings; otherwise the fragments are returned from ``feed``.
+        """
+        return RuntimeStream(self, sink=sink)
+
+    def filter_text(self, text: str) -> tuple[str, RunStatistics]:
+        """Prefilter ``text`` and return ``(projected document, statistics)``.
+
+        Thin one-chunk wrapper over :meth:`stream`; all character-based
+        statistics are identical to a chunked run over the same input.
+        """
+        stream = self.stream()
+        output = stream.feed(text)
+        return output + stream.finish(), stream.stats
+
+
+class RuntimeStream:
+    """One resumable execution of the Figure-4 algorithm.
+
+    Feed the document in arbitrary chunks::
+
+        stream = runtime.stream()
+        for chunk in chunks:
+            emit(stream.feed(chunk))
+        emit(stream.finish())
+        stream.stats  # RunStatistics of the completed run
+
+    Memory use is O(chunk + carry window): the stream retains only the
+    input needed by a suspended keyword search, a partially scanned tag, or
+    the un-emitted head of an active copy region.
+    """
+
+    def __init__(self, runtime: SmpRuntime, sink: OutputSink | None = None) -> None:
+        self._runtime = runtime
+        self._sink = sink
+        self._window = ChunkCursor()
+        self.stats = RunStatistics()
+        self._out: list[str] = []
+        self._emitted_chars = 0
+        self._copy_active = False
+        self._copy_tag = ""
+        self._copy_emitted = 0
+        self._keep_from = 0
+        self._done = False
+        self._finished = False
+        runtime.reset_matcher_statistics()
+        self._machine = self._run()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has completed (or a feed failed)."""
+        return self._finished
+
+    @property
+    def buffered_chars(self) -> int:
+        """Number of input characters currently retained in the window."""
+        return len(self._window)
+
+    def feed(self, chunk: str) -> str:
+        """Process one input chunk; returns the output emitted so far."""
+        if self._finished:
+            raise RuntimeFilterError("cannot feed a finished runtime stream")
+        started = time.perf_counter()
+        self.stats.input_size += len(chunk)
+        self._window.append(chunk)
+        self._advance()
+        if self._done:
+            # The automaton accepted: trailing input (epilog whitespace,
+            # comments) is ignored and must not accumulate in the window.
+            self._keep_from = self._window.end
+        self._trim()
+        self.stats.run_seconds += time.perf_counter() - started
+        return self._take_output()
+
+    def finish(self) -> str:
+        """Signal end of input; returns the remaining output.
+
+        Raises :class:`RuntimeFilterError` when the input ended before the
+        runtime automaton accepted (the document does not conform to the
+        DTD the prefilter was compiled for).
+        """
+        if self._finished:
+            raise RuntimeFilterError("runtime stream is already finished")
+        started = time.perf_counter()
+        self._window.close()
+        self._advance()
+        self._finished = True
+        self._runtime._collect_matcher_statistics(self.stats)
+        output = self._take_output()
+        self.stats.output_size = self._emitted_chars
+        self.stats.run_seconds += time.perf_counter() - started
+        return output
+
+    # ------------------------------------------------------------------
+    # Machine driving
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        if self._done:
+            return
+        try:
+            next(self._machine)
+        except StopIteration:
+            self._done = True
+            self._keep_from = self._window.end
+        except Exception:
+            self._done = True
+            self._finished = True
+            raise
+
+    def _trim(self) -> None:
+        floor = self._keep_from
+        if self._copy_active:
+            # A suspended search may place its resume point beyond the data
+            # received so far; the copy region can only be emitted up to the
+            # characters that actually arrived.
+            flush_to = min(floor, self._window.end)
+            if flush_to > self._copy_emitted:
+                self._emit(self._window.slice(self._copy_emitted, flush_to))
+                self._copy_emitted = flush_to
+        self._window.discard_to(floor)
+
+    def _emit(self, fragment: str) -> None:
+        if not fragment:
+            return
+        self._emitted_chars += len(fragment)
+        if self._sink is not None:
+            self._sink(fragment)
+        else:
+            self._out.append(fragment)
+
+    def _take_output(self) -> str:
+        if not self._out:
+            return ""
+        output = "".join(self._out)
+        self._out.clear()
+        return output
+
+    # ------------------------------------------------------------------
+    # The Figure-4 state machine (a generator that yields for more input)
+    # ------------------------------------------------------------------
+    def _run(self):
+        runtime = self._runtime
+        tables = runtime.tables
+        stats = self.stats
+        window = self._window
         state = tables.initial_state
         cursor = 0
-        length = len(text)
-        output: list[str] = []
-        copy_active = False
-        copy_start = 0
-        copy_tag = ""
 
-        while not tables.is_final(state) and cursor < length:
+        while not tables.is_final(state):
+            while cursor >= window.end and not window.eof:
+                self._keep_from = cursor
+                yield
+            if cursor >= window.end:
+                break
             jump = tables.J(state)
             if jump:
                 stats.initial_jumps += 1
                 stats.initial_jump_chars += jump
                 cursor += jump
-            matcher = self._matcher(state)
+            matcher = runtime._matcher(state)
             if matcher is None:
                 raise RuntimeFilterError(
                     f"runtime state {state} has an empty frontier vocabulary but is "
                     "not final; the document does not conform to the DTD"
                 )
-            matched = self._locate_tag(text, cursor, state, matcher, stats)
+            matched = yield from self._locate_tag(cursor, state, matcher)
             if matched is None:
                 raise RuntimeFilterError(
                     "no frontier token found before end of input; the document "
@@ -132,76 +296,83 @@ class SmpRuntime:
                 close_state = tables.A(open_state, (CLOSE, tag))
                 if close_state is None:
                     raise self._transition_error(open_state, (CLOSE, tag), matched.start)
-                open_action = tables.T(open_state)
-                close_action = tables.T(close_state)
-                copy_active, copy_start, copy_tag = self._apply_bachelor_actions(
-                    text, matched, open_action, close_action, output,
-                    copy_active, copy_start, copy_tag, stats,
+                self._apply_bachelor_actions(
+                    matched, tables.T(open_state), tables.T(close_state)
                 )
                 state = close_state
             else:
                 next_state = tables.A(state, matched.symbol)
                 if next_state is None:
                     raise self._transition_error(state, matched.symbol, matched.start)
-                action = tables.T(next_state)
-                copy_active, copy_start, copy_tag = self._apply_action(
-                    text, matched, action, output,
-                    copy_active, copy_start, copy_tag, stats,
-                )
+                self._apply_action(matched, tables.T(next_state))
                 state = next_state
             cursor = matched.end
+            self._keep_from = cursor
 
         if not tables.is_final(state):
             raise RuntimeFilterError(
                 "end of input reached before the runtime automaton accepted; "
                 "the document does not conform to the DTD"
             )
-        if copy_active:
+        if self._copy_active:
             raise RuntimeFilterError(
-                f"copy region for <{copy_tag}> was never closed; the document "
+                f"copy region for <{self._copy_tag}> was never closed; the document "
                 "does not conform to the DTD"
             )
-
-        self._collect_matcher_statistics(stats)
-        result = "".join(output)
-        stats.output_size = len(result)
-        stats.run_seconds = time.perf_counter() - started
-        return result, stats
 
     # ------------------------------------------------------------------
     # Token location
     # ------------------------------------------------------------------
     def _locate_tag(
         self,
-        text: str,
         cursor: int,
         state: int,
         matcher: SingleKeywordMatcher | MultiKeywordMatcher,
-        stats: RunStatistics,
-    ) -> _MatchedTag | None:
+    ):
         """Find the next frontier token at or after ``cursor``.
 
         Matches whose tag name merely extends the searched keyword (the
         ``Abstract`` / ``AbstractText`` case) are rejected and the search is
-        resumed just past the false match.
+        resumed just past the false match.  Yields whenever the decision
+        needs input beyond the buffered window.
         """
-        tables = self.tables
-        length = len(text)
+        window = self._window
+        stats = self.stats
+        tables = self._runtime.tables
         position = cursor
-        while position < length:
-            match = matcher.find(text, position)
+        while True:
+            pending: PendingSearch | None = None
+            while True:
+                outcome = matcher.find_chunk(
+                    window.text,
+                    window.base,
+                    position,
+                    window.end,
+                    at_eof=window.eof,
+                    pending=pending,
+                )
+                if isinstance(outcome, PendingSearch):
+                    pending = outcome
+                    self._keep_from = outcome.keep_from
+                    yield
+                    continue
+                match = outcome
+                break
             if match is None:
                 return None
             keyword = match.keyword
             after = match.position + len(keyword)
-            if after < length and is_name_char(text[after]):
+            while after >= window.end and not window.eof:
+                self._keep_from = match.position
+                yield
+            if after < window.end and is_name_char(window.char(after)):
                 # A longer tag name, e.g. "<AbstractText" while scanning for
-                # "<Abstract": resume just past the false match ().
+                # "<Abstract": resume just past the false match.
                 stats.local_scan_chars += 1
                 position = match.position + 1
                 continue
             symbol = tables.keyword_symbols[state][keyword]
-            end, is_bachelor = self._scan_tag_end(text, after, stats)
+            end, is_bachelor = yield from self._scan_tag_end(after, match.position)
             if end is None:
                 return None
             return _MatchedTag(
@@ -211,103 +382,99 @@ class SmpRuntime:
                 end=end,
                 is_bachelor=is_bachelor and symbol[0] == OPEN,
             )
-        return None
 
-    def _scan_tag_end(
-        self, text: str, position: int, stats: RunStatistics
-    ) -> tuple[int | None, bool]:
+    def _scan_tag_end(self, position: int, tag_start: int):
         """Scan right for the closing ``>`` of a tag.
 
         Quoted attribute values are skipped so a ``>`` inside a value cannot
         terminate the scan early.  Returns the offset of ``>`` and whether
-        the tag is a bachelor tag (``.../>``).
+        the tag is a bachelor tag (``.../>``); yields while the tag is still
+        incomplete in the buffered window (the whole tag is retained so the
+        copy actions can replay it).
         """
-        length = len(text)
+        window = self._window
+        stats = self.stats
         cursor = position
-        while cursor < length:
-            character = text[cursor]
+        while True:
+            while cursor >= window.end and not window.eof:
+                self._keep_from = tag_start
+                yield
+            if cursor >= window.end:
+                return None, False
+            character = window.char(cursor)
             stats.local_scan_chars += 1
             if character == ">":
-                is_bachelor = cursor > position and text[cursor - 1] == "/"
+                is_bachelor = cursor > position and window.char(cursor - 1) == "/"
                 return cursor, is_bachelor
             if character in ('"', "'"):
-                closing = text.find(character, cursor + 1)
-                if closing < 0:
-                    return None, False
+                search_from = cursor + 1
+                while True:
+                    closing = window.find(character, search_from)
+                    if closing >= 0:
+                        break
+                    if window.eof:
+                        return None, False
+                    search_from = window.end
+                    self._keep_from = tag_start
+                    yield
                 stats.local_scan_chars += closing - cursor
                 cursor = closing + 1
                 continue
             cursor += 1
-        return None, False
 
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
-    def _apply_action(
-        self,
-        text: str,
-        matched: _MatchedTag,
-        action: Action,
-        output: list[str],
-        copy_active: bool,
-        copy_start: int,
-        copy_tag: str,
-        stats: RunStatistics,
-    ) -> tuple[bool, int, str]:
+    def _apply_action(self, matched: _MatchedTag, action: Action) -> None:
+        window = self._window
+        stats = self.stats
         kind, tag = matched.symbol
         if action is Action.COPY_ON:
-            if not copy_active:
-                return True, matched.start, tag
-            return copy_active, copy_start, copy_tag
+            if not self._copy_active:
+                self._copy_active = True
+                self._copy_tag = tag
+                self._copy_emitted = matched.start
+            return
         if action is Action.COPY_OFF:
-            if copy_active and tag == copy_tag:
-                output.append(text[copy_start:matched.end + 1])
+            if self._copy_active and tag == self._copy_tag:
+                self._emit(window.slice(self._copy_emitted, matched.end + 1))
                 stats.regions_copied += 1
                 stats.tokens_copied += 1
-                return False, 0, ""
-            if not copy_active:
+                self._copy_active = False
+                self._copy_tag = ""
+                self._copy_emitted = 0
+                return
+            if not self._copy_active:
                 # Asymmetric table entries can occur after determinisation;
                 # degrade gracefully to copying the closing tag itself.
-                output.append(text[matched.start:matched.end + 1])
+                self._emit(window.slice(matched.start, matched.end + 1))
                 stats.tokens_copied += 1
-            return copy_active, copy_start, copy_tag
+            return
         if action is Action.COPY_TAG:
-            if not copy_active:
-                output.append(text[matched.start:matched.end + 1])
+            if not self._copy_active:
+                self._emit(window.slice(matched.start, matched.end + 1))
                 stats.tokens_copied += 1
-            return copy_active, copy_start, copy_tag
-        return copy_active, copy_start, copy_tag
 
     def _apply_bachelor_actions(
-        self,
-        text: str,
-        matched: _MatchedTag,
-        open_action: Action,
-        close_action: Action,
-        output: list[str],
-        copy_active: bool,
-        copy_start: int,
-        copy_tag: str,
-        stats: RunStatistics,
-    ) -> tuple[bool, int, str]:
+        self, matched: _MatchedTag, open_action: Action, close_action: Action
+    ) -> None:
         """Apply the opening and closing actions of a bachelor tag.
 
         The bachelor tag is emitted at most once: a (copy on, copy off) pair
         degenerates to copying the tag, and a copy-tag action on either side
         also copies the tag.
         """
-        if copy_active:
+        if self._copy_active:
             # Inside an active copy region the bachelor tag is part of the
             # region and needs no individual treatment.
-            return copy_active, copy_start, copy_tag
+            return
         wants_copy = (
             open_action in (Action.COPY_TAG, Action.COPY_ON)
             or close_action in (Action.COPY_TAG, Action.COPY_OFF)
         ) and not (open_action is Action.NOP and close_action is Action.NOP)
         if wants_copy:
-            output.append(text[matched.start:matched.end + 1])
-            stats.tokens_copied += 1
-        return copy_active, copy_start, copy_tag
+            self._emit(self._window.slice(matched.start, matched.end + 1))
+            self.stats.tokens_copied += 1
 
     # ------------------------------------------------------------------
     # Errors

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
-from repro.matching.base import Match, MultiKeywordMatcher
+from repro.matching.base import Match, MultiKeywordMatcher, PendingSearch
 
 
 class _AcNode:
@@ -63,15 +63,33 @@ class AhoCorasickMatcher(MultiKeywordMatcher):
         limit = len(text) if end is None else min(end, len(text))
         start = max(start, 0)
         self.stats.searches += 1
-        node = self._root
-        best: Match | None = None
-        position = start
+        best, _, _, _ = self._scan_automaton(text, start, limit, self._root, start, None)
+        if best is not None:
+            self.stats.matches += 1
+        return best
+
+    def _scan_automaton(
+        self,
+        text: str,
+        start: int,
+        limit: int,
+        node: _AcNode,
+        position: int,
+        best: Match | None,
+    ) -> tuple[Match | None, _AcNode, int, bool]:
+        """Run the automaton from ``(node, position)``.
+
+        Returns ``(best, node, position, confirmed)``; the automaton reads
+        each character exactly once, so resuming a chunked search with the
+        returned state replays the whole-text search comparison for
+        comparison.
+        """
         while position < limit:
             # Once a match is known, no later scan position can yield a match
             # starting at or before the best start once the longest keyword
             # length has fully passed that start position.
             if best is not None and position >= best.position + self._max_length:
-                break
+                return best, node, position, True
             character = text[position]
             self.stats.comparisons += 1
             while node is not self._root and character not in node.children:
@@ -96,6 +114,40 @@ class AhoCorasickMatcher(MultiKeywordMatcher):
                 ):
                     best = candidate
             position += 1
-        if best is not None:
+        return best, node, position, False
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        if pending is None:
+            self.stats.searches += 1
+            left = start
+            node = self._root
+            position = start
+            best: Match | None = None
+        else:
+            left, node, position, best = pending.state  # type: ignore[misc]
+        best_local = None if best is None else best.shifted(-base)
+        best_local, node, position_local, confirmed = self._scan_automaton(
+            text, left - base, end - base, node, position - base, best_local
+        )
+        if confirmed or at_eof:
+            if best_local is None:
+                return None
             self.stats.matches += 1
-        return best
+            return best_local.shifted(base)
+        best = None if best_local is None else best_local.shifted(base)
+        keep_from = position_local + base - self._max_length + 1
+        if best is not None:
+            keep_from = min(keep_from, best.position)
+        return PendingSearch(
+            keep_from=max(left, keep_from),
+            state=(left, node, position_local + base, best),
+        )

@@ -17,6 +17,19 @@ Every matcher keeps a :class:`MatchStatistics` record.  The paper's Table I
 and Table II report the number of character comparisons relative to the
 document size and the average forward-shift size; both are derived from these
 counters.
+
+Resumable searches
+------------------
+The streaming SMP runtime feeds the matchers one bounded window of the input
+at a time (see :mod:`repro.core.stream`).  A keyword occurrence can straddle
+a chunk boundary, so both matcher families additionally implement
+:meth:`find_chunk`: a search over a window that either completes (``Match``
+or ``None``) or *suspends* with a :class:`PendingSearch` when it reaches the
+end of the window before the outcome is decided.  Passing the suspension back
+with the grown window resumes the search exactly where it stopped; the
+instrumented algorithms guarantee that the comparison and shift counters of a
+chunked search are bit-identical to a whole-document search, which is what
+keeps the paper's character-based statistics invariant under chunking.
 """
 
 from __future__ import annotations
@@ -117,6 +130,36 @@ class Match:
         """Offset one past the last character of the match."""
         return self.position + len(self.keyword)
 
+    def shifted(self, offset: int) -> "Match":
+        """This match translated by ``offset`` characters."""
+        if offset == 0:
+            return self
+        return Match(
+            position=self.position + offset,
+            keyword=self.keyword,
+            keyword_index=self.keyword_index,
+        )
+
+
+@dataclass(frozen=True)
+class PendingSearch:
+    """A suspended keyword search that needs more input to be decided.
+
+    Attributes
+    ----------
+    keep_from:
+        Absolute stream offset of the leftmost character the resumed search
+        may still read; no byte below it is needed, and any match eventually
+        returned starts at or after it.  The streaming runtime uses this as
+        its buffer-retention floor.
+    state:
+        Algorithm-specific resume information (opaque to callers; positions
+        inside are absolute stream offsets).
+    """
+
+    keep_from: int
+    state: object = None
+
 
 class SingleKeywordMatcher(ABC):
     """A matcher compiled for exactly one keyword."""
@@ -150,6 +193,60 @@ class SingleKeywordMatcher(ABC):
             position = match.position + 1
         return matches
 
+    #: Subclasses with an exact resumable scan bind this to a method
+    #: ``(text, position, limit, at_eof) -> (Match | None, stop_position)``
+    #: operating in text-local coordinates, where resuming a failed scan at
+    #: ``stop_position`` with a longer limit replays the whole-text search
+    #: comparison for comparison.  ``None`` selects the generic (stats-
+    #: approximate) fallback built on :meth:`find`.
+    _search_chunk = None
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        """Search one window of a chunked input stream.
+
+        ``text`` is the buffered window whose first character sits at
+        absolute stream offset ``base``; ``start``/``end`` are absolute.
+        Returns the next occurrence (absolute offsets), ``None`` when the
+        stream ended without one, or a :class:`PendingSearch` when the
+        outcome needs input beyond ``end``.  Pass the suspension back via
+        ``pending`` (with the same ``start``) once more data is buffered.
+        """
+        scan = self._search_chunk
+        if scan is not None:
+            if pending is None:
+                self.stats.searches += 1
+                low = start - base
+            else:
+                low = int(pending.state) - base
+            match, stop = scan(text, low, end - base, at_eof)
+            if match is not None:
+                return match.shifted(base)
+            if at_eof:
+                return None
+            resume = stop + base
+            return PendingSearch(keep_from=resume, state=resume)
+        # Generic fallback: repeat plain ``find`` calls over the available
+        # region, holding back the zone where the keyword could straddle the
+        # window end.  Matches are exact; statistics may differ slightly from
+        # a whole-text search around chunk boundaries.
+        low = (start if pending is None else int(pending.state)) - base
+        match = self.find(text, low, end - base)
+        if match is not None:
+            return match.shifted(base)
+        if at_eof:
+            return None
+        resume = max(low, (end - base) - len(self.keyword) + 1) + base
+        return PendingSearch(keep_from=resume, state=resume)
+
 
 class MultiKeywordMatcher(ABC):
     """A matcher compiled for a set of keywords."""
@@ -165,6 +262,8 @@ class MultiKeywordMatcher(ABC):
         if len(set(keyword_list)) != len(keyword_list):
             raise MatchingError("keywords must be unique")
         self.keywords = keyword_list
+        self.min_keyword_length = min(len(keyword) for keyword in keyword_list)
+        self.max_keyword_length = max(len(keyword) for keyword in keyword_list)
         self.stats = MatchStatistics()
 
     @abstractmethod
@@ -188,6 +287,48 @@ class MultiKeywordMatcher(ABC):
             matches.append(match)
             position = match.position + 1
         return matches
+
+    #: Same contract as :attr:`SingleKeywordMatcher._search_chunk`; ``None``
+    #: selects the generic fallback built on :meth:`find`.
+    _search_chunk = None
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        """Search one window of a chunked stream (see the single-keyword
+        counterpart for the full contract).  Suspends both when a keyword
+        could straddle the window end and when a found occurrence could still
+        be beaten by a longer keyword matching at the same position."""
+        scan = self._search_chunk
+        if scan is not None:
+            if pending is None:
+                self.stats.searches += 1
+                low = start - base
+            else:
+                low = int(pending.state) - base
+            match, stop = scan(text, low, end - base, at_eof)
+            if match is not None:
+                return match.shifted(base)
+            if at_eof:
+                return None
+            resume = stop + base
+            return PendingSearch(keep_from=resume, state=resume)
+        low = (start if pending is None else int(pending.state)) - base
+        high = end - base
+        match = self.find(text, low, high)
+        if match is not None and (at_eof or match.position + self.max_keyword_length <= high):
+            return match.shifted(base)
+        if at_eof:
+            return None
+        resume = max(low, high - self.max_keyword_length + 1) + base
+        return PendingSearch(keep_from=resume, state=resume)
 
 
 @dataclass

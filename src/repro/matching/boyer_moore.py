@@ -74,10 +74,21 @@ class BoyerMooreMatcher(SingleKeywordMatcher):
 
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
         limit = len(text) if end is None else min(end, len(text))
+        self.stats.searches += 1
+        match, _ = self._scan(text, max(start, 0), limit)
+        return match
+
+    def _scan(
+        self, text: str, position: int, limit: int, at_eof: bool = True
+    ) -> tuple[Match | None, int]:
+        """Core right-to-left scan; returns ``(match, stop_position)``.
+
+        The window state of Boyer-Moore is just the window start, so
+        resuming a failed scan at ``stop_position`` against a longer limit
+        replays the whole-text search comparison for comparison.
+        """
         keyword = self.keyword
         length = len(keyword)
-        self.stats.searches += 1
-        position = max(start, 0)
         while position + length <= limit:
             offset = length - 1
             while offset >= 0:
@@ -87,11 +98,13 @@ class BoyerMooreMatcher(SingleKeywordMatcher):
                 offset -= 1
             if offset < 0:
                 self.stats.matches += 1
-                return Match(position=position, keyword=keyword)
+                return Match(position=position, keyword=keyword), position
             shift = max(
                 self.bad_character_shift(offset, text[position + offset]),
                 self.good_suffix_shift(offset),
             )
             self.stats.record_shift(shift)
             position += shift
-        return None
+        return None, position
+
+    _search_chunk = _scan

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.matching.base import Match, MultiKeywordMatcher
+from repro.matching.base import Match, MultiKeywordMatcher, PendingSearch
 
 
 class _CwNode:
@@ -143,13 +143,33 @@ class CommentzWalterMatcher(MultiKeywordMatcher):
         limit = len(text) if end is None else min(end, len(text))
         start = max(start, 0)
         self.stats.searches += 1
-        min_length = self._min_length
+        best, _, _ = self._scan_windows(
+            text, start, limit, start + self._min_length - 1, None
+        )
+        if best is not None:
+            self.stats.matches += 1
+        return best
+
+    def _scan_windows(
+        self,
+        text: str,
+        start: int,
+        limit: int,
+        window_end: int,
+        best: Match | None,
+    ) -> tuple[Match | None, int, bool]:
+        """Run the window loop from ``window_end``.
+
+        Returns ``(best, window_end, confirmed)``: ``confirmed`` is True when
+        the early-exit rule proved that no later window can improve on
+        ``best``.  The loop's only state is ``(window_end, best)`` plus the
+        left scan bound ``start``, so a chunked search that resumes with the
+        same state replays the whole-text search comparison for comparison.
+        """
         max_length = self._max_length
-        window_end = start + min_length - 1
-        best: Match | None = None
         while window_end < limit:
             if best is not None and window_end > best.position + max_length - 1:
-                break
+                return best, window_end, True
             node = self._root
             offset = 0
             while True:
@@ -186,6 +206,39 @@ class CommentzWalterMatcher(MultiKeywordMatcher):
             )
             self.stats.record_shift(shift)
             window_end += shift
-        if best is not None:
+        return best, window_end, False
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        if pending is None:
+            self.stats.searches += 1
+            left = start
+            window_end = start + self._min_length - 1
+            best: Match | None = None
+        else:
+            left, window_end, best = pending.state  # type: ignore[misc]
+        best_local = None if best is None else best.shifted(-base)
+        best_local, window_end_local, confirmed = self._scan_windows(
+            text, left - base, end - base, window_end - base, best_local
+        )
+        if confirmed or at_eof:
+            if best_local is None:
+                return None
             self.stats.matches += 1
-        return best
+            return best_local.shifted(base)
+        best = None if best_local is None else best_local.shifted(base)
+        keep_from = window_end_local + base - self._max_length + 1
+        if best is not None:
+            keep_from = min(keep_from, best.position)
+        return PendingSearch(
+            keep_from=max(left, keep_from),
+            state=(left, window_end_local + base, best),
+        )

@@ -33,10 +33,17 @@ class HorspoolMatcher(SingleKeywordMatcher):
 
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
         limit = len(text) if end is None else min(end, len(text))
+        self.stats.searches += 1
+        match, _ = self._scan(text, max(start, 0), limit)
+        return match
+
+    def _scan(
+        self, text: str, position: int, limit: int, at_eof: bool = True
+    ) -> tuple[Match | None, int]:
+        """Core scan; ``(match, stop_position)`` with exact resumption
+        semantics (the only window state is the window start)."""
         keyword = self.keyword
         length = len(keyword)
-        self.stats.searches += 1
-        position = max(start, 0)
         while position + length <= limit:
             offset = length - 1
             while offset >= 0:
@@ -46,8 +53,10 @@ class HorspoolMatcher(SingleKeywordMatcher):
                 offset -= 1
             if offset < 0:
                 self.stats.matches += 1
-                return Match(position=position, keyword=keyword)
+                return Match(position=position, keyword=keyword), position
             shift = self.shift_for(text[position + length - 1])
             self.stats.record_shift(shift)
             position += shift
-        return None
+        return None, position
+
+    _search_chunk = _scan

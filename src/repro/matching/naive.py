@@ -24,10 +24,15 @@ class NaiveMatcher(SingleKeywordMatcher):
 
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
         limit = len(text) if end is None else min(end, len(text))
+        self.stats.searches += 1
+        match, _ = self._scan(text, max(start, 0), limit)
+        return match
+
+    def _scan(
+        self, text: str, position: int, limit: int, at_eof: bool = True
+    ) -> tuple[Match | None, int]:
         keyword = self.keyword
         length = len(keyword)
-        self.stats.searches += 1
-        position = max(start, 0)
         while position + length <= limit:
             offset = 0
             while offset < length:
@@ -37,10 +42,12 @@ class NaiveMatcher(SingleKeywordMatcher):
                 offset += 1
             if offset == length:
                 self.stats.matches += 1
-                return Match(position=position, keyword=keyword)
+                return Match(position=position, keyword=keyword), position
             self.stats.record_shift(1)
             position += 1
-        return None
+        return None, position
+
+    _search_chunk = _scan
 
 
 class NaiveMultiMatcher(MultiKeywordMatcher):
@@ -61,9 +68,22 @@ class NaiveMultiMatcher(MultiKeywordMatcher):
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
         limit = len(text) if end is None else min(end, len(text))
         self.stats.searches += 1
-        position = max(start, 0)
-        shortest = min(len(keyword) for keyword in self.keywords)
+        match, _ = self._scan(text, max(start, 0), limit)
+        return match
+
+    def _scan(
+        self, text: str, position: int, limit: int, at_eof: bool = True
+    ) -> tuple[Match | None, int]:
+        """Core scan.  Before the end of the stream the scan stops as soon
+        as the *longest* keyword no longer fits the window, because the
+        whole-text search would compare that keyword there too; at the end
+        of the stream shorter keywords keep being tried (the original
+        ``position + length > limit`` skip)."""
+        shortest = self.min_keyword_length
+        longest = self.max_keyword_length
         while position + shortest <= limit:
+            if not at_eof and position + longest > limit:
+                return None, position
             candidates: list[Match] = []
             for keyword in self._ordered:
                 length = len(keyword)
@@ -86,7 +106,9 @@ class NaiveMultiMatcher(MultiKeywordMatcher):
                     break
             if candidates:
                 self.stats.matches += 1
-                return leftmost_longest(candidates)
+                return leftmost_longest(candidates), position
             self.stats.record_shift(1)
             position += 1
-        return None
+        return None, position
+
+    _search_chunk = _scan

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.matching.base import Match, MultiKeywordMatcher, SingleKeywordMatcher
+from repro.matching.base import Match, MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
 
 
 class NativeSingleMatcher(SingleKeywordMatcher):
@@ -41,6 +41,40 @@ class NativeSingleMatcher(SingleKeywordMatcher):
         self.stats.record_shift(max(1, position - max(start, 0)))
         self.stats.matches += 1
         return Match(position=position, keyword=self.keyword)
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        # The spanned-region statistics are computed from the absolute search
+        # origin once the search completes, so a chunked search produces the
+        # same (approximated) counters as a whole-text one.
+        length = len(self.keyword)
+        if pending is None:
+            self.stats.searches += 1
+            begin = resume = start
+        else:
+            begin, resume = pending.state  # type: ignore[misc]
+        position = text.find(self.keyword, resume - base, end - base)
+        if position < 0:
+            if at_eof:
+                spanned = max(0, end - begin)
+                self.stats.comparisons += spanned // max(1, length)
+                return None
+            next_resume = max(begin, end - length + 1)
+            return PendingSearch(keep_from=next_resume, state=(begin, next_resume))
+        found = position + base
+        spanned = found - begin + length
+        self.stats.comparisons += max(1, spanned // max(1, length))
+        self.stats.record_shift(max(1, found - begin))
+        self.stats.matches += 1
+        return Match(position=found, keyword=self.keyword)
 
 
 class NativeMultiMatcher(MultiKeywordMatcher):
@@ -66,6 +100,12 @@ class NativeMultiMatcher(MultiKeywordMatcher):
         limit = len(text) if end is None else min(end, len(text))
         begin = max(start, 0)
         self.stats.searches += 1
+        best = self._leftmost(text, begin, limit)
+        self._finish_stats(best, begin, limit)
+        return best
+
+    def _leftmost(self, text: str, begin: int, limit: int) -> Match | None:
+        """Leftmost-longest occurrence in ``text[begin:limit]`` (local)."""
         best: Match | None = None
         search_limit = limit
         for index in self._ordered:
@@ -78,13 +118,46 @@ class NativeMultiMatcher(MultiKeywordMatcher):
                 # Later keywords can only win if they start strictly earlier,
                 # or start at the same position (longest-first ordering makes
                 # the current best the preferred tie winner).
-                search_limit = min(limit, best.position + len(keyword) + max(
-                    len(other) for other in self.keywords
-                ))
+                search_limit = min(limit, best.position + len(keyword) + self.max_keyword_length)
+        return best
+
+    def _finish_stats(self, best: Match | None, begin: int, limit: int) -> None:
+        """Record the span-approximated counters of one completed search."""
         spanned = (best.position - begin + 1) if best else max(0, limit - begin)
-        shortest = min(len(keyword) for keyword in self.keywords)
-        self.stats.comparisons += max(1, spanned // max(1, shortest)) if spanned else 0
+        self.stats.comparisons += (
+            max(1, spanned // max(1, self.min_keyword_length)) if spanned else 0
+        )
         if best is not None:
             self.stats.record_shift(max(1, best.position - begin))
             self.stats.matches += 1
-        return best
+
+    def find_chunk(
+        self,
+        text: str,
+        base: int,
+        start: int,
+        end: int,
+        *,
+        at_eof: bool,
+        pending: PendingSearch | None = None,
+    ) -> Match | PendingSearch | None:
+        # Counters are derived from the absolute search origin only once the
+        # search completes, so chunking does not change them.  An occurrence
+        # is only reported once no longer keyword straddling the window end
+        # could still beat it (same-position ties prefer the longest).
+        if pending is None:
+            self.stats.searches += 1
+            begin = resume = start
+        else:
+            begin, resume = pending.state  # type: ignore[misc]
+        high = end - base
+        best = self._leftmost(text, resume - base, high)
+        if best is not None and (at_eof or best.position + self.max_keyword_length <= high):
+            best = best.shifted(base)
+            self._finish_stats(best, begin, end)
+            return best
+        if at_eof:
+            self._finish_stats(None, begin, end)
+            return None
+        next_resume = max(begin, end - self.max_keyword_length + 1)
+        return PendingSearch(keep_from=next_resume, state=(begin, next_resume))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.xml.tokenizer import XmlTokenizer
+from repro.xml.tokenizer import TokenizerSession, XmlTokenizer
 from repro.xml.tokens import Token, TokenKind
 
 
@@ -37,31 +37,73 @@ class SaxHandler:
         """Called for character data (text and CDATA)."""
 
 
-def drive_handler(tokens: Iterable[Token], handler: SaxHandler) -> None:
-    """Feed a token stream to ``handler`` as SAX events.
+def dispatch_token(token: Token, handler: SaxHandler) -> None:
+    """Deliver one token to ``handler`` as SAX events.
 
     Bachelor tags produce a ``start_element`` immediately followed by an
     ``end_element``, mirroring how the SMP runtime treats them (Figure 4:
     "evaluate the steps for the opening tag and the closing tag one after
     the other").
     """
+    if token.kind is TokenKind.START_TAG:
+        handler.start_element(token.name, dict(token.attributes))
+    elif token.kind is TokenKind.EMPTY_TAG:
+        handler.start_element(token.name, dict(token.attributes))
+        handler.end_element(token.name)
+    elif token.kind is TokenKind.END_TAG:
+        handler.end_element(token.name)
+    elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
+        handler.characters(token.text)
+
+
+def drive_handler(tokens: Iterable[Token], handler: SaxHandler) -> None:
+    """Feed a token stream to ``handler`` as SAX events."""
     handler.start_document()
     for token in tokens:
-        if token.kind is TokenKind.START_TAG:
-            handler.start_element(token.name, dict(token.attributes))
-        elif token.kind is TokenKind.EMPTY_TAG:
-            handler.start_element(token.name, dict(token.attributes))
-            handler.end_element(token.name)
-        elif token.kind is TokenKind.END_TAG:
-            handler.end_element(token.name)
-        elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
-            handler.characters(token.text)
+        dispatch_token(token, handler)
     handler.end_document()
 
 
 def parse_with_handler(text: str, handler: SaxHandler) -> None:
     """Tokenize ``text`` and stream the events into ``handler``."""
     drive_handler(XmlTokenizer(text).tokens(), handler)
+
+
+class SaxSession:
+    """Incremental SAX driver: feed text chunks, receive events as they
+    complete.
+
+    Wraps a :class:`~repro.xml.tokenizer.TokenizerSession`, so memory use is
+    bounded by the largest single token rather than the document.  The event
+    sequence is identical to :func:`parse_with_handler` over the
+    concatenated input; this is the piece that lets the SMP prefilter's
+    incremental output flow straight into SAX consumers (e.g. the streaming
+    XPath engine) without an intermediate whole-document string.
+    """
+
+    def __init__(self, handler: SaxHandler) -> None:
+        self.handler = handler
+        self._tokens = TokenizerSession()
+        handler.start_document()
+
+    def feed(self, chunk: str) -> None:
+        """Tokenize ``chunk`` and dispatch every completed event."""
+        for token in self._tokens.feed(chunk):
+            dispatch_token(token, self.handler)
+
+    def finish(self) -> None:
+        """Flush the final events and deliver ``end_document``."""
+        for token in self._tokens.finish():
+            dispatch_token(token, self.handler)
+        self.handler.end_document()
+
+
+def parse_chunks(chunks: Iterable[str], handler: SaxHandler) -> None:
+    """Stream a chunked document into ``handler`` without concatenating it."""
+    session = SaxSession(handler)
+    for chunk in chunks:
+        session.feed(chunk)
+    session.finish()
 
 
 class EventCollector(SaxHandler):

@@ -16,6 +16,7 @@ token kinds.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Iterator
 
 from repro.errors import XmlSyntaxError
@@ -38,6 +39,46 @@ class TokenizerStatistics:
             "characters_read": self.characters_read,
             "tokens_emitted": self.tokens_emitted,
         }
+
+
+def _register_token(
+    token: Token, open_elements: list[str], seen_root: bool
+) -> bool:
+    """Well-formedness bookkeeping shared by the batch and session tokenizers.
+
+    Maintains the ``open_elements`` stack in place and returns the updated
+    ``seen_root`` flag; raises :class:`XmlSyntaxError` on structural errors.
+    """
+    kind = token.kind
+    if kind is TokenKind.START_TAG:
+        if not open_elements:
+            if seen_root:
+                raise XmlSyntaxError("multiple root elements", token.start)
+            seen_root = True
+        open_elements.append(token.name)
+    elif kind is TokenKind.EMPTY_TAG:
+        if not open_elements:
+            if seen_root:
+                raise XmlSyntaxError("multiple root elements", token.start)
+            seen_root = True
+    elif kind is TokenKind.END_TAG:
+        if not open_elements:
+            raise XmlSyntaxError(
+                f"closing tag </{token.name}> without matching opening tag",
+                token.start,
+            )
+        expected = open_elements.pop()
+        if expected != token.name:
+            raise XmlSyntaxError(
+                f"mismatched closing tag </{token.name}>, expected </{expected}>",
+                token.start,
+            )
+    elif kind is TokenKind.TEXT:
+        if token.text.strip() and not open_elements:
+            raise XmlSyntaxError(
+                "character data outside of the root element", token.start
+            )
+    return seen_root
 
 
 class XmlTokenizer:
@@ -72,39 +113,11 @@ class XmlTokenizer:
                 token, position = self._read_markup(position)
                 if token is None:
                     continue
-                if token.kind is TokenKind.START_TAG:
-                    if not open_elements:
-                        if seen_root:
-                            raise XmlSyntaxError("multiple root elements", token.start)
-                        seen_root = True
-                    open_elements.append(token.name)
-                elif token.kind is TokenKind.EMPTY_TAG:
-                    if not open_elements:
-                        if seen_root:
-                            raise XmlSyntaxError("multiple root elements", token.start)
-                        seen_root = True
-                elif token.kind is TokenKind.END_TAG:
-                    if not open_elements:
-                        raise XmlSyntaxError(
-                            f"closing tag </{token.name}> without matching opening tag",
-                            token.start,
-                        )
-                    expected = open_elements.pop()
-                    if expected != token.name:
-                        raise XmlSyntaxError(
-                            f"mismatched closing tag </{token.name}>, expected </{expected}>",
-                            token.start,
-                        )
-                self.stats.tokens_emitted += 1
-                yield token
             else:
                 token, position = self._read_text(position)
-                if token.text.strip() and not open_elements:
-                    raise XmlSyntaxError(
-                        "character data outside of the root element", token.start
-                    )
-                self.stats.tokens_emitted += 1
-                yield token
+            seen_root = _register_token(token, open_elements, seen_root)
+            self.stats.tokens_emitted += 1
+            yield token
         if open_elements:
             raise XmlSyntaxError(
                 f"unexpected end of document; unclosed element <{open_elements[-1]}>",
@@ -325,11 +338,208 @@ def structural_tokens(text: str) -> list[Token]:
     return [token for token in XmlTokenizer(text).tokens() if token.is_structural]
 
 
+class TokenizerSession:
+    """Incremental tokenizer: feed chunks, collect tokens as they complete.
+
+    The session buffers only the current incomplete token (bounded by the
+    largest single token of the document, e.g. one text node or one tag with
+    its attributes), so tokenizing a chunked stream runs in O(chunk + token)
+    memory.  The emitted token sequence, the well-formedness checks and the
+    error messages are identical to :class:`XmlTokenizer` over the
+    concatenated input; token offsets are absolute stream offsets.
+    """
+
+    def __init__(self, track_positions: bool = True) -> None:
+        self._buffer = ""
+        self._base = 0              # absolute offset of buffer[0]
+        self._fed = 0
+        self._eof = False
+        self._finished = False
+        self._open_elements: list[str] = []
+        self._seen_root = False
+        self._track_positions = track_positions
+        self._scratch = XmlTokenizer("", track_positions)
+        # Resumable completeness-scan state for the current head token.
+        self._scan = 0              # local offset the delimiter scan reached
+        self._doctype_depth = 0     # bracket depth inside <!DOCTYPE ... >
+        self._quote = ""            # open quote character inside a tag
+        self.stats = TokenizerStatistics()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def feed(self, chunk: str) -> list[Token]:
+        """Buffer ``chunk`` and return the tokens completed by it."""
+        if self._finished:
+            raise XmlSyntaxError("cannot feed a finished tokenizer session")
+        self._fed += len(chunk)
+        self._buffer += chunk
+        return self._drain()
+
+    def finish(self) -> list[Token]:
+        """Signal end of input and return the remaining tokens.
+
+        Raises :class:`XmlSyntaxError` when the stream ends inside a token
+        or with unclosed elements, with the same messages as the batch
+        tokenizer.
+        """
+        if self._finished:
+            raise XmlSyntaxError("tokenizer session is already finished")
+        self._eof = True
+        tokens = self._drain()
+        self._finished = True
+        if self._open_elements:
+            raise XmlSyntaxError(
+                "unexpected end of document; unclosed element "
+                f"<{self._open_elements[-1]}>",
+                self._fed,
+            )
+        self.stats.characters_read = self._fed
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def _drain(self) -> list[Token]:
+        # Tokens are extracted at a moving offset and the buffer is sliced
+        # once at the end, so a chunk full of small tokens drains in linear
+        # rather than quadratic time.
+        tokens: list[Token] = []
+        offset = 0
+        while True:
+            consumed = self._extract_one(offset, tokens)
+            if consumed == 0:
+                break
+            offset += consumed
+        if offset:
+            self._buffer = self._buffer[offset:]
+            self._base += offset
+        return tokens
+
+    def _extract_one(self, offset: int, tokens: list[Token]) -> int:
+        """Extract the token starting at ``offset``; returns chars consumed.
+
+        A return of 0 means the token (or the decision which construct it
+        is) needs more input.
+        """
+        buffer = self._buffer
+        length = len(buffer)
+        if offset >= length:
+            return 0
+        if buffer[offset] == "<":
+            if not self._eof and self._markup_end(buffer, offset) < 0:
+                return 0
+            reader = self._scratch._read_markup
+        else:
+            lt = buffer.find("<", offset + self._scan)
+            if lt < 0 and not self._eof:
+                self._scan = length - offset
+                return 0
+            reader = self._scratch._read_text
+        self._scratch._text = buffer
+        self._scratch._length = length
+        try:
+            token, end = reader(offset)
+        except XmlSyntaxError as error:
+            if error.position is not None and self._base:
+                message = str(error).rsplit(" (at offset ", 1)[0]
+                raise XmlSyntaxError(message, error.position + self._base) from None
+            raise
+        self._scan = 0
+        self._doctype_depth = 0
+        self._quote = ""
+        if token is not None:
+            if self._track_positions and self._base:
+                token = replace(
+                    token, start=token.start + self._base, end=token.end + self._base
+                )
+            self._seen_root = _register_token(
+                token, self._open_elements, self._seen_root
+            )
+            self.stats.tokens_emitted += 1
+            tokens.append(token)
+        return end - offset
+
+    def _markup_end(self, buffer: str, offset: int) -> int:
+        """End offset of the markup construct at ``buffer[offset]``, or -1.
+
+        Advances the resumable scan state (kept relative to ``offset``) so
+        repeated calls never re-scan already inspected characters.  A return
+        of -1 means the construct (or the decision which construct it is)
+        needs more input; any other value means the batch reader can consume
+        it now -- including malformed declarations, which it reports with
+        the batch error.
+        """
+        length = len(buffer)
+        if length - offset < 2:
+            return -1
+        second = buffer[offset + 1]
+        if second == "?":
+            found = buffer.find("?>", offset + max(self._scan, 2))
+            if found < 0:
+                self._scan = max(2, length - offset - 1)
+                return -1
+            return found + 2
+        if second == "!":
+            for prefix, terminator, body_start in (
+                ("<!--", "-->", 4),
+                ("<![CDATA[", "]]>", 9),
+            ):
+                if buffer.startswith(prefix, offset):
+                    found = buffer.find(terminator, offset + max(self._scan, body_start))
+                    if found < 0:
+                        self._scan = max(
+                            body_start, length - offset - len(terminator) + 1
+                        )
+                        return -1
+                    return found + len(terminator)
+                if prefix.startswith(buffer[offset:offset + len(prefix)]):
+                    return -1  # still ambiguous: wait for the full prefix
+            if buffer.startswith("<!DOCTYPE", offset):
+                cursor = offset + max(self._scan, 9)
+                while cursor < length:
+                    character = buffer[cursor]
+                    if character == "[":
+                        self._doctype_depth += 1
+                    elif character == "]":
+                        self._doctype_depth -= 1
+                    elif character == ">" and self._doctype_depth <= 0:
+                        return cursor + 1
+                    cursor += 1
+                self._scan = cursor - offset
+                return -1
+            if "<!DOCTYPE".startswith(buffer[offset:offset + 9]):
+                return -1
+            return length  # unrecognised declaration: the reader raises
+        # A start or end tag: scan for '>' outside quoted attribute values.
+        cursor = offset + max(self._scan, 1)
+        while cursor < length:
+            if self._quote:
+                closing = buffer.find(self._quote, cursor)
+                if closing < 0:
+                    self._scan = length - offset
+                    return -1
+                self._quote = ""
+                cursor = closing + 1
+                continue
+            character = buffer[cursor]
+            if character == ">":
+                return cursor + 1
+            if character in ('"', "'"):
+                self._quote = character
+            cursor += 1
+        self._scan = cursor - offset
+        return -1
+
+
 def iter_tokens(chunks: Iterable[str]) -> Iterator[Token]:
     """Tokenize a document provided as an iterable of string chunks.
 
-    The chunks are concatenated before tokenization; the helper exists so the
-    streaming engines and the benchmarks share a single entry point for
-    chunked inputs.
+    The chunks flow through a :class:`TokenizerSession`, so the document is
+    never materialised as a whole; the streaming engines and the benchmarks
+    share this entry point for chunked inputs.
     """
-    return XmlTokenizer("".join(chunks)).tokens()
+    session = TokenizerSession()
+    for chunk in chunks:
+        yield from session.feed(chunk)
+    yield from session.finish()

@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.cli import main
+
+
+SITE_DTD_TEXT = """<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location, name, payment, description, shipping, incategory+)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+]>"""
+
+
+@pytest.fixture()
+def dtd_file(tmp_path):
+    path = tmp_path / "site.dtd"
+    path.write_text(SITE_DTD_TEXT, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def document_file(tmp_path, figure2_document):
+    path = tmp_path / "site.xml"
+    path.write_text(figure2_document, encoding="utf-8")
+    return str(path)
+
+
+def expected_output(site_dtd, figure2_document):
+    prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+    return prefilter.filter_document(figure2_document).output
+
+
+class TestCli:
+    def test_filters_file_to_file(self, tmp_path, dtd_file, document_file,
+                                  site_dtd, figure2_document):
+        out_path = tmp_path / "out.xml"
+        code = main([
+            dtd_file, "//australia//description#",
+            "--input", document_file,
+            "--output", str(out_path),
+            "--chunk-size", "16",
+        ])
+        assert code == 0
+        assert out_path.read_text(encoding="utf-8") == expected_output(
+            site_dtd, figure2_document
+        )
+
+    def test_stdin_to_stdout(self, monkeypatch, capsys, dtd_file, site_dtd,
+                             figure2_document):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(figure2_document))
+        code = main([dtd_file, "//australia//description#", "--chunk-size", "5"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == expected_output(site_dtd, figure2_document)
+
+    def test_stats_json_on_stderr(self, capsys, dtd_file, document_file):
+        code = main([
+            dtd_file, "//australia//description#",
+            "--input", document_file,
+            "--output", "/dev/null",
+            "--backend", "native",
+            "--stats-json", "--measure-memory",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.err.strip().splitlines()[-1])
+        assert payload["backend"] == "native"
+        assert payload["input_size"] > 0
+        assert payload["output_size"] > 0
+        assert payload["peak_memory_bytes"] > 0
+
+    def test_nonconforming_document_exits_1(self, tmp_path, capsys, dtd_file):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<site><regions>", encoding="utf-8")
+        code = main([
+            dtd_file, "//australia//description#",
+            "--input", str(bad), "--output", "/dev/null",
+        ])
+        assert code == 1
+        assert "repro:" in capsys.readouterr().err
+
+    def test_missing_dtd_exits_2(self, tmp_path, capsys, document_file):
+        code = main([
+            str(tmp_path / "absent.dtd"), "/site#",
+            "--input", document_file, "--output", "/dev/null",
+        ])
+        assert code == 2

@@ -1,0 +1,82 @@
+"""Tests for the chunked-input substrate (repro.core.stream)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks, open_chunks
+
+
+class TestChunkCursor:
+    def test_append_and_absolute_addressing(self):
+        cursor = ChunkCursor()
+        cursor.append("hello ")
+        cursor.append("world")
+        assert cursor.base == 0
+        assert cursor.end == 11
+        assert cursor.char(6) == "w"
+        assert cursor.slice(0, 5) == "hello"
+        assert cursor.slice(6, 11) == "world"
+
+    def test_discard_preserves_absolute_offsets(self):
+        cursor = ChunkCursor()
+        cursor.append("abcdefgh")
+        cursor.discard_to(3)
+        assert cursor.base == 3
+        assert cursor.end == 8
+        assert cursor.char(3) == "d"
+        assert cursor.slice(4, 6) == "ef"
+        assert len(cursor) == 5
+        # Discarding backwards is a no-op.
+        cursor.discard_to(1)
+        assert cursor.base == 3
+
+    def test_discard_beyond_end_clears_buffer(self):
+        cursor = ChunkCursor()
+        cursor.append("abc")
+        cursor.discard_to(10)
+        assert cursor.base == 3  # clamped to the received data
+        assert len(cursor) == 0
+        cursor.append("defg")
+        assert cursor.char(4) == "e"
+
+    def test_find_absolute(self):
+        cursor = ChunkCursor()
+        cursor.append("xxabyy")
+        cursor.discard_to(2)
+        assert cursor.find("ab", 0) == 2
+        assert cursor.find("ab", 3) == -1
+        assert cursor.find("yy", 2, 5) == -1
+        assert cursor.find("yy", 2, 6) == 4
+
+    def test_eof_flag(self):
+        cursor = ChunkCursor()
+        assert not cursor.eof
+        cursor.close()
+        assert cursor.eof
+
+
+class TestIterChunks:
+    def test_string_is_sliced(self):
+        assert list(iter_chunks("abcdefg", 3)) == ["abc", "def", "g"]
+
+    def test_file_object_is_read_in_chunks(self):
+        handle = io.StringIO("abcdefg")
+        assert list(iter_chunks(handle, 2)) == ["ab", "cd", "ef", "g"]
+
+    def test_iterable_passes_through(self):
+        assert list(iter_chunks(iter(["ab", "", "cde"]), 2)) == ["ab", "cde"]
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks("abc", 0))
+
+    def test_open_chunks_reads_files(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        path.write_text("0123456789", encoding="utf-8")
+        assert list(open_chunks(str(path), 4)) == ["0123", "4567", "89"]
+
+    def test_default_chunk_size_is_64_kib(self):
+        assert DEFAULT_CHUNK_SIZE == 64 * 1024

@@ -1,0 +1,219 @@
+"""Chunk-boundary equivalence and session semantics of the streaming core.
+
+The acceptance property of the streaming refactor: for any document and any
+chunking -- including pathological 1-3 character chunks that split tags and
+keywords -- the streamed output and *all* character-based statistics are
+identical to a whole-document ``filter_text`` run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SmpPrefilter
+from repro.core.prefilter import FilterSession
+from repro.errors import RuntimeFilterError
+from repro.workloads.medline import MEDLINE_QUERIES, generate_medline_document
+from repro.workloads.xmark import XMARK_QUERIES, generate_xmark_document
+
+BACKENDS = ("instrumented", "native", "naive", "aho-corasick", "horspool")
+
+
+def stats_tuple(stats):
+    return (
+        stats.input_size,
+        stats.output_size,
+        stats.char_comparisons,
+        stats.local_scan_chars,
+        stats.shifts,
+        stats.shift_total,
+        stats.initial_jumps,
+        stats.initial_jump_chars,
+        stats.tokens_matched,
+        stats.tokens_copied,
+        stats.regions_copied,
+    )
+
+
+def chunks_of(text, sizes, rng):
+    """Split ``text`` into chunks drawn from ``sizes``."""
+    position = 0
+    while position < len(text):
+        size = rng.choice(sizes)
+        yield text[position:position + size]
+        position += size
+
+
+@pytest.fixture(scope="module")
+def site_prefilter(site_dtd):
+    return SmpPrefilter.compile(site_dtd, ["//australia//description#"])
+
+
+class TestChunkEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 17, 4096])
+    def test_figure2_document_all_chunk_sizes(
+        self, site_prefilter, figure2_document, chunk_size
+    ):
+        reference = site_prefilter.filter_document(figure2_document)
+        streamed = site_prefilter.filter_stream(
+            figure2_document, chunk_size=chunk_size
+        )
+        assert streamed.output == reference.output
+        assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_backends_pathological_chunks(
+        self, site_dtd, figure2_document, backend
+    ):
+        prefilter = SmpPrefilter.compile(
+            site_dtd, ["//australia//description#"], backend=backend
+        )
+        reference = prefilter.filter_document(figure2_document)
+        for chunk_size in (1, 2, 3):
+            streamed = prefilter.filter_stream(
+                figure2_document, chunk_size=chunk_size
+            )
+            assert streamed.output == reference.output
+            assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
+
+    def test_random_xmark_documents_random_chunkings(self, xmark_dtd_fixture):
+        rng = random.Random(2024)
+        queries = list(XMARK_QUERIES.values())
+        for trial in range(6):
+            document = generate_xmark_document(
+                scale=rng.uniform(0.005, 0.02), seed=rng.randint(0, 10_000)
+            )
+            spec = rng.choice(queries)
+            prefilter = SmpPrefilter.compile_for_query(xmark_dtd_fixture, spec)
+            reference = prefilter.filter_document(document)
+            sizes = rng.choice([[1, 2, 3], [1, 7, 30], [64, 1024]])
+            streamed = prefilter.filter_stream(
+                chunks_of(document, sizes, rng), chunk_size=1 << 20
+            )
+            assert streamed.output == reference.output
+            assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
+
+    def test_random_medline_documents_random_chunkings(self, medline_dtd_fixture):
+        rng = random.Random(77)
+        queries = list(MEDLINE_QUERIES.values())
+        for trial in range(4):
+            document = generate_medline_document(
+                citations=rng.randint(3, 12), seed=rng.randint(0, 10_000)
+            )
+            spec = rng.choice(queries)
+            prefilter = SmpPrefilter.compile_for_query(medline_dtd_fixture, spec)
+            reference = prefilter.filter_document(document)
+            sizes = rng.choice([[1, 2, 3], [5, 11, 64]])
+            streamed = prefilter.filter_stream(
+                chunks_of(document, sizes, rng), chunk_size=1 << 20
+            )
+            assert streamed.output == reference.output
+            assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
+
+
+class TestFilterSession:
+    def test_incremental_output_concatenates_to_reference(
+        self, site_prefilter, figure2_document
+    ):
+        reference = site_prefilter.filter_document(figure2_document)
+        session = site_prefilter.session()
+        pieces = [session.feed(chunk) for chunk in
+                  (figure2_document[i:i + 13] for i in range(0, len(figure2_document), 13))]
+        pieces.append(session.finish())
+        assert "".join(pieces) == reference.output
+        assert session.finished
+
+    def test_sink_receives_fragments_in_order(self, site_prefilter, figure2_document):
+        reference = site_prefilter.filter_document(figure2_document)
+        received = []
+        session = site_prefilter.session(sink=received.append)
+        assert session.feed(figure2_document) == ""
+        assert session.finish() == ""
+        assert "".join(received) == reference.output
+        assert session.stats.output_size == len(reference.output)
+
+    def test_sessions_are_isolated(self, site_prefilter, figure2_document):
+        reference = site_prefilter.filter_document(figure2_document)
+        first = site_prefilter.session()
+        second = site_prefilter.session()
+        half = len(figure2_document) // 2
+        out_first = first.feed(figure2_document[:half])
+        out_second = second.feed(figure2_document)
+        out_second += second.finish()
+        out_first += first.feed(figure2_document[half:])
+        out_first += first.finish()
+        assert out_first == reference.output
+        assert out_second == reference.output
+        assert stats_tuple(first.stats) == stats_tuple(reference.stats)
+        assert stats_tuple(second.stats) == stats_tuple(reference.stats)
+
+    def test_feed_after_finish_is_rejected(self, site_prefilter, figure2_document):
+        session = site_prefilter.session()
+        session.feed(figure2_document)
+        session.finish()
+        with pytest.raises(RuntimeFilterError):
+            session.feed("<site>")
+
+    def test_nonconforming_document_raises_on_finish(self, site_prefilter):
+        session = site_prefilter.session()
+        session.feed("<site><regions><africa>")
+        with pytest.raises(RuntimeFilterError):
+            session.finish()
+
+    def test_run_helper_matches_filter_stream(self, site_prefilter, figure2_document):
+        reference = site_prefilter.filter_document(figure2_document)
+        run = site_prefilter.session().run(figure2_document, chunk_size=9)
+        assert run.output == reference.output
+        assert stats_tuple(run.stats) == stats_tuple(reference.stats)
+
+    def test_trailing_input_after_accept_is_not_retained(
+        self, site_prefilter, figure2_document
+    ):
+        # Once the automaton accepts, epilog input must not accumulate.
+        session = site_prefilter.session(sink=lambda fragment: None)
+        session.feed(figure2_document)
+        for _ in range(50):
+            session.feed("\n" * 100)
+        assert session.buffered_chars < 100
+        session.finish()
+
+    def test_bounded_buffer_during_streaming(self, site_prefilter, figure2_document):
+        session = site_prefilter.session(sink=lambda fragment: None)
+        high_water = 0
+        for index in range(0, len(figure2_document), 8):
+            session.feed(figure2_document[index:index + 8])
+            high_water = max(high_water, session.buffered_chars)
+        session.finish()
+        # The carry-over window stays near the chunk size, never the document.
+        assert high_water < len(figure2_document) // 2
+        assert isinstance(session, FilterSession)
+
+
+class TestFileAndCache:
+    def test_filter_file_uses_chunked_path(self, tmp_path, site_prefilter,
+                                           figure2_document):
+        reference = site_prefilter.filter_document(figure2_document)
+        path = tmp_path / "figure2.xml"
+        path.write_text(figure2_document, encoding="utf-8")
+        run = site_prefilter.filter_file(str(path), chunk_size=11)
+        assert run.output == reference.output
+        assert stats_tuple(run.stats) == stats_tuple(reference.stats)
+
+    def test_plan_cache_shares_compilations(self, site_dtd):
+        first = SmpPrefilter.cached(site_dtd, ["//australia//description#"])
+        second = SmpPrefilter.cached(site_dtd, ["//australia//description#"])
+        assert first is second
+        different = SmpPrefilter.cached(site_dtd, ["//africa//name#"])
+        assert different is not first
+        native = SmpPrefilter.cached(
+            site_dtd, ["//australia//description#"], backend="native"
+        )
+        assert native is not first
+
+    def test_filter_text_is_one_chunk_wrapper(self, site_prefilter, figure2_document):
+        output, stats = site_prefilter.runtime.filter_text(figure2_document)
+        reference = site_prefilter.filter_document(figure2_document)
+        assert output == reference.output
+        assert stats_tuple(stats) == stats_tuple(reference.stats)

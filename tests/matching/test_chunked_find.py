@@ -1,0 +1,155 @@
+"""Chunk-boundary equivalence of the resumable ``find_chunk`` contract.
+
+For every matcher backend, revealing the text in arbitrary pieces (including
+pathological 1-3 character chunks that split keywords) must return the same
+occurrence as a whole-text ``find`` -- and, because every bundled matcher
+defers its counters until a search completes or replays the identical scan,
+the accumulated statistics must be identical too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.matching.aho_corasick import AhoCorasickMatcher
+from repro.matching.base import PendingSearch
+from repro.matching.boyer_moore import BoyerMooreMatcher
+from repro.matching.commentz_walter import CommentzWalterMatcher
+from repro.matching.horspool import HorspoolMatcher
+from repro.matching.naive import NaiveMatcher, NaiveMultiMatcher
+from repro.matching.native import NativeMultiMatcher, NativeSingleMatcher
+
+SINGLE_CLASSES = [BoyerMooreMatcher, HorspoolMatcher, NaiveMatcher, NativeSingleMatcher]
+MULTI_CLASSES = [
+    CommentzWalterMatcher,
+    AhoCorasickMatcher,
+    NaiveMultiMatcher,
+    NativeMultiMatcher,
+]
+
+_ALPHABET = "ab<c/"
+
+
+def drive_chunked(matcher, text, start, cuts):
+    """Run one logical search revealing ``text`` up to each cut in turn."""
+    pending = None
+    outcome = None
+    boundaries = [cut for cut in cuts if cut < len(text)] + [len(text)]
+    for index, boundary in enumerate(boundaries):
+        at_eof = index == len(boundaries) - 1
+        outcome = matcher.find_chunk(
+            text, 0, start, boundary, at_eof=at_eof, pending=pending
+        )
+        if isinstance(outcome, PendingSearch):
+            # keep_from may point beyond the revealed boundary (e.g. a shift
+            # jumped past it); it only promises that nothing *below* it is
+            # needed again, and never retreats below the search start.
+            assert outcome.keep_from >= start
+            pending = outcome
+            continue
+        return outcome
+    assert not isinstance(outcome, PendingSearch), "suspended at eof"
+    return outcome
+
+
+def stats_tuple(stats):
+    return (stats.comparisons, stats.shifts, stats.shift_total, stats.matches)
+
+
+def random_case(rng):
+    length = rng.randint(0, 60)
+    text = "".join(rng.choice(_ALPHABET) for _ in range(length))
+    keywords = list(
+        {
+            "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(1, 5)))
+            for _ in range(rng.randint(1, 4))
+        }
+    )
+    start = rng.randint(0, length)
+    cuts = sorted(rng.sample(range(length + 1), rng.randint(0, min(8, length + 1))))
+    return text, keywords, start, cuts
+
+
+@pytest.mark.parametrize("matcher_class", SINGLE_CLASSES)
+def test_single_keyword_chunked_equivalence(matcher_class):
+    rng = random.Random(1234)
+    for _ in range(400):
+        text, keywords, start, cuts = random_case(rng)
+        reference = matcher_class(keywords[0])
+        chunked = matcher_class(keywords[0])
+        expected = reference.find(text, start)
+        actual = drive_chunked(chunked, text, start, cuts)
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert (expected.position, expected.keyword) == (
+                actual.position,
+                actual.keyword,
+            )
+        assert stats_tuple(reference.stats) == stats_tuple(chunked.stats)
+
+
+@pytest.mark.parametrize("matcher_class", MULTI_CLASSES)
+def test_multi_keyword_chunked_equivalence(matcher_class):
+    rng = random.Random(99)
+    for _ in range(400):
+        text, keywords, start, cuts = random_case(rng)
+        reference = matcher_class(keywords)
+        chunked = matcher_class(keywords)
+        expected = reference.find(text, start)
+        actual = drive_chunked(chunked, text, start, cuts)
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert (expected.position, expected.keyword) == (
+                actual.position,
+                actual.keyword,
+            )
+        assert stats_tuple(reference.stats) == stats_tuple(chunked.stats)
+
+
+def test_one_character_chunks_split_every_keyword():
+    text = "<aa<ab<aa<ac"
+    matcher = CommentzWalterMatcher(["<aa", "<ac"])
+    reference = CommentzWalterMatcher(["<aa", "<ac"])
+    expected = reference.find(text)
+    actual = drive_chunked(matcher, text, 0, list(range(1, len(text))))
+    assert (actual.position, actual.keyword) == (expected.position, expected.keyword)
+    assert stats_tuple(reference.stats) == stats_tuple(matcher.stats)
+
+
+def test_longer_keyword_straddling_boundary_wins_tie():
+    # "<Abstract" vs "<AbstractText": the longer keyword matches at the same
+    # position but only completes after the boundary.
+    keywords = ["<Abstract", "<AbstractText"]
+    text = "xx<AbstractTextyy"
+    for cut in range(len(text)):
+        matcher = NativeMultiMatcher(keywords)
+        match = drive_chunked(matcher, text, 0, [cut])
+        assert match.keyword == "<AbstractText"
+        assert match.position == 2
+
+
+def test_pending_search_keep_from_never_exceeds_match_position():
+    rng = random.Random(7)
+    for _ in range(200):
+        text, keywords, start, cuts = random_case(rng)
+        matcher = CommentzWalterMatcher(keywords)
+        pending = None
+        floors = []
+        boundaries = [cut for cut in cuts if cut < len(text)] + [len(text)]
+        outcome = None
+        for index, boundary in enumerate(boundaries):
+            outcome = matcher.find_chunk(
+                text, 0, start, boundary,
+                at_eof=index == len(boundaries) - 1,
+                pending=pending,
+            )
+            if isinstance(outcome, PendingSearch):
+                floors.append(outcome.keep_from)
+                pending = outcome
+            else:
+                break
+        if outcome is not None and not isinstance(outcome, PendingSearch):
+            for floor in floors:
+                assert floor <= outcome.position

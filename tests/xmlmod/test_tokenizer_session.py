@@ -1,0 +1,97 @@
+"""Equivalence of the incremental tokenizer with the batch tokenizer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xml.tokenizer import TokenizerSession, XmlTokenizer, iter_tokens
+from repro.workloads.xmark import generate_xmark_document
+
+PROLOG_DOCUMENT = (
+    '<?xml version="1.0" encoding="utf-8"?>\n'
+    "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>\n"
+    "<a attr='x>y'>text<!-- a > comment --><![CDATA[raw < markup]]>"
+    "<b c=\"1\" d=\"2\"/>tail<?target data?></a>\n"
+)
+
+
+def chunked(text, size):
+    return (text[index:index + size] for index in range(0, len(text), size))
+
+
+def session_tokens(text, size):
+    session = TokenizerSession()
+    tokens = []
+    for chunk in chunked(text, size):
+        tokens.extend(session.feed(chunk))
+    tokens.extend(session.finish())
+    return tokens, session
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 64, 10_000])
+    def test_prolog_document_all_chunk_sizes(self, chunk_size):
+        reference = list(XmlTokenizer(PROLOG_DOCUMENT).tokens())
+        tokens, session = session_tokens(PROLOG_DOCUMENT, chunk_size)
+        assert tokens == reference
+        assert session.stats.characters_read == len(PROLOG_DOCUMENT)
+        assert session.stats.tokens_emitted == len(reference)
+
+    def test_random_documents_random_chunkings(self):
+        rng = random.Random(5)
+        for _ in range(4):
+            document = generate_xmark_document(
+                scale=rng.uniform(0.002, 0.01), seed=rng.randint(0, 9999)
+            )
+            reference = list(XmlTokenizer(document).tokens())
+            size = rng.choice([1, 3, 17, 256])
+            tokens, _ = session_tokens(document, size)
+            assert tokens == reference
+
+    def test_iter_tokens_streams(self, figure2_document):
+        reference = list(XmlTokenizer(figure2_document).tokens())
+        assert list(iter_tokens(chunked(figure2_document, 3))) == reference
+
+
+class TestErrors:
+    def test_unclosed_element_at_finish(self):
+        session = TokenizerSession()
+        session.feed("<a><b>text</b>")
+        with pytest.raises(XmlSyntaxError, match="unclosed element <a>"):
+            session.finish()
+
+    def test_truncated_tag_at_finish(self):
+        session = TokenizerSession()
+        session.feed("<a><b attr='val")
+        with pytest.raises(XmlSyntaxError, match="unterminated"):
+            session.finish()
+
+    def test_mismatched_closing_tag_raises_during_feed(self):
+        session = TokenizerSession()
+        with pytest.raises(XmlSyntaxError, match="mismatched closing tag"):
+            for chunk in chunked("<a><b></a></b>", 2):
+                session.feed(chunk)
+
+    def test_error_offsets_are_absolute(self):
+        batch_error = None
+        try:
+            list(XmlTokenizer("<a>ok</a><a>dup</a>").tokens())
+        except XmlSyntaxError as error:
+            batch_error = error
+        assert batch_error is not None
+        session = TokenizerSession()
+        with pytest.raises(XmlSyntaxError) as caught:
+            for chunk in chunked("<a>ok</a><a>dup</a>", 3):
+                session.feed(chunk)
+            session.finish()
+        assert caught.value.position == batch_error.position
+
+    def test_feed_after_finish_is_rejected(self):
+        session = TokenizerSession()
+        session.feed("<a/>")
+        session.finish()
+        with pytest.raises(XmlSyntaxError):
+            session.feed("<b/>")

@@ -1,0 +1,98 @@
+"""Incremental SAX / streaming-XPath sessions and the unified pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import XPathPipeline
+from repro.workloads.medline import MEDLINE_QUERIES, generate_medline_document
+from repro.xml.sax import EventCollector, parse_chunks, parse_with_handler
+from repro.xpath import StreamingXPathEngine
+
+
+def chunked(text, size):
+    return (text[index:index + size] for index in range(0, len(text), size))
+
+
+def serialized(items):
+    return sorted(
+        item.serialize() if hasattr(item, "serialize") else str(item)
+        for item in items
+    )
+
+
+class TestSaxSession:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 50])
+    def test_event_stream_equivalence(self, figure2_document, chunk_size):
+        reference = EventCollector()
+        parse_with_handler(figure2_document, reference)
+        streamed = EventCollector()
+        parse_chunks(chunked(figure2_document, chunk_size), streamed)
+        assert streamed.events == reference.events
+
+
+class TestXPathStreamSession:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096])
+    def test_results_equal_one_shot_evaluation(self, medline_document_small,
+                                               chunk_size):
+        spec = MEDLINE_QUERIES["M2"]
+        engine = StreamingXPathEngine(spec.query)
+        reference = engine.evaluate(medline_document_small)
+        streamed = engine.evaluate_chunks(
+            chunked(medline_document_small, chunk_size)
+        )
+        assert serialized(streamed) == serialized(reference)
+
+    def test_session_feed_finish(self, medline_document_small):
+        spec = MEDLINE_QUERIES["M1"]
+        engine = StreamingXPathEngine(spec.query)
+        reference = engine.evaluate(medline_document_small)
+        session = engine.session()
+        for chunk in chunked(medline_document_small, 11):
+            session.feed(chunk)
+        results = session.finish()
+        assert serialized(results) == serialized(reference)
+        assert session.stats.events > 0
+
+
+class TestXPathPipeline:
+    @pytest.mark.parametrize("query_name", ["M1", "M2", "M3", "M4", "M5"])
+    def test_pipeline_matches_unfiltered_evaluation(self, medline_dtd_fixture,
+                                                    query_name):
+        document = generate_medline_document(citations=25, seed=13)
+        spec = MEDLINE_QUERIES[query_name]
+        pipeline = XPathPipeline(
+            medline_dtd_fixture,
+            spec.query,
+            backend="native",
+            paths=spec.parsed_paths(),
+        )
+        reference = pipeline.evaluate_unfiltered(document)
+        outcome = pipeline.run(document, chunk_size=333)
+        assert serialized(outcome.results) == serialized(reference)
+        # The evaluator only saw the projection, not the raw document.
+        assert outcome.filter_stats.output_size < outcome.filter_stats.input_size
+        assert outcome.streaming_stats.events > 0
+        assert 0.0 < outcome.projection_ratio < 1.0
+
+    def test_pipeline_extracts_paths_from_query(self, medline_dtd_fixture):
+        document = generate_medline_document(citations=10, seed=3)
+        query = MEDLINE_QUERIES["M1"].query
+        pipeline = XPathPipeline(medline_dtd_fixture, query, backend="native")
+        outcome = pipeline.run(document)
+        assert serialized(outcome.results) == serialized(
+            pipeline.evaluate_unfiltered(document)
+        )
+
+    def test_pipeline_run_file(self, tmp_path, medline_dtd_fixture):
+        document = generate_medline_document(citations=8, seed=21)
+        path = tmp_path / "medline.xml"
+        path.write_text(document, encoding="utf-8")
+        spec = MEDLINE_QUERIES["M2"]
+        pipeline = XPathPipeline(
+            medline_dtd_fixture, spec.query, backend="native",
+            paths=spec.parsed_paths(),
+        )
+        from_file = pipeline.run_file(str(path), chunk_size=512)
+        in_memory = pipeline.run(document)
+        assert serialized(from_file.results) == serialized(in_memory.results)
