@@ -160,3 +160,15 @@ def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schem
     # The constant-memory claim: the traced peak tracks the chunk size plus
     # the carry-over window, never the document.
     assert traced.peak_memory_bytes < max(8 * chunk_size, 1 << 20)
+
+    # Large chunks must not collapse throughput (the pre-fix sweep showed
+    # 367 MB/s at 64 KiB vs 112 MB/s at 1 MiB): the 1 MiB figure stays
+    # within 2x of the 64 KiB figure, with slack for timer noise.
+    by_chunk = {int(row["chunk_size"]): row for row in _SWEEP_ROWS}
+    if 65536 in by_chunk and 1048576 in by_chunk:
+        small = by_chunk[65536]["throughput_mb_per_second"]
+        large = by_chunk[1048576]["throughput_mb_per_second"]
+        assert large * 2.5 >= small, (
+            f"large-chunk throughput collapsed: {large:.0f} MB/s at 1 MiB "
+            f"vs {small:.0f} MB/s at 64 KiB"
+        )

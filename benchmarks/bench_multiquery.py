@@ -1,0 +1,129 @@
+"""Shared-scan multi-query engine vs N independent filter sessions.
+
+The multi-query engine's claim is that the character-scanning cost of SMP
+prefiltering amortises across concurrent queries: one union-automaton pass
+feeds N per-query runtimes, so wall time stays near-flat as the query count
+grows, while running N independent :class:`FilterSession`s scales linearly.
+This bench measures both sides over the MEDLINE workload (M1-M5) for rising
+query counts, asserts byte-identical per-query output, and persists the
+trajectory as machine-readable ``benchmarks/results/BENCH_multiquery.json``.
+
+The headline row is N=4 (M2-M5): the shared scan must beat the sequential
+baseline by at least 2x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultiQueryEngine, SmpPrefilter
+from repro.bench import TableReporter, measure, throughput_mb_per_second, write_json_report
+from repro.core.stream import iter_chunks
+from repro.workloads.medline import MEDLINE_QUERIES
+
+#: Query sets per row: rising N, ending in the headline N=4 set (M2-M5).
+QUERY_SETS: tuple[tuple[str, ...], ...] = (
+    ("M2",),
+    ("M2", "M5"),
+    ("M2", "M4", "M5"),
+    ("M2", "M3", "M4", "M5"),
+    ("M1", "M2", "M3", "M4", "M5"),
+)
+
+CHUNK_SIZE = 64 * 1024
+ROUNDS = 5
+
+_REPORTER = TableReporter(
+    title="Shared-scan multi-query engine vs N independent sessions (MEDLINE)",
+    columns=[
+        "N", "Queries", "Shared s", "Shared MB/s",
+        "Sequential s", "Sequential MB/s", "Speedup",
+    ],
+)
+
+_ROWS: list[dict[str, object]] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_table():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+    if _ROWS:
+        write_json_report("BENCH_multiquery.json", {
+            "workload": "medline",
+            "backend": "native",
+            "chunk_size": CHUNK_SIZE,
+            "rows": _ROWS,
+        })
+
+
+def _best_of(callable_, rounds=ROUNDS):
+    best = None
+    for _ in range(rounds):
+        sample = measure(callable_, trace_memory=False)
+        if best is None or sample.wall_seconds < best.wall_seconds:
+            best = sample
+    return best
+
+
+@pytest.mark.parametrize("names", QUERY_SETS, ids="-".join)
+def test_multiquery_row(benchmark, names, medline_document, medline_schema):
+    specs = [MEDLINE_QUERIES[name] for name in names]
+    engine = MultiQueryEngine(medline_schema, specs, backend="native")
+    plans = [
+        SmpPrefilter.cached_for_query(medline_schema, spec, backend="native")
+        for spec in specs
+    ]
+    input_size = len(medline_document)
+
+    def shared():
+        return engine.filter_stream(iter_chunks(medline_document, CHUNK_SIZE))
+
+    def sequential():
+        return [
+            plan.session().run(iter_chunks(medline_document, CHUNK_SIZE))
+            for plan in plans
+        ]
+
+    # Byte-identical per-query output is a precondition of the comparison.
+    shared_run = shared()
+    baseline_runs = sequential()
+    for name, output, reference in zip(names, shared_run.outputs, baseline_runs):
+        assert output == reference.output, name
+
+    shared_best = _best_of(shared)
+    sequential_best = _best_of(sequential)
+    benchmark.pedantic(shared, rounds=1, iterations=1)
+
+    speedup = sequential_best.wall_seconds / shared_best.wall_seconds
+    _REPORTER.add_row(
+        len(names),
+        "+".join(names),
+        shared_best.wall_seconds,
+        throughput_mb_per_second(input_size, shared_best.wall_seconds),
+        sequential_best.wall_seconds,
+        throughput_mb_per_second(input_size, sequential_best.wall_seconds),
+        f"{speedup:.2f}x",
+    )
+    _ROWS.append({
+        "queries": list(names),
+        "query_count": len(names),
+        "input_bytes": float(input_size),
+        "shared_wall_seconds": shared_best.wall_seconds,
+        "shared_mb_per_second":
+            throughput_mb_per_second(input_size, shared_best.wall_seconds),
+        "sequential_wall_seconds": sequential_best.wall_seconds,
+        "sequential_mb_per_second":
+            throughput_mb_per_second(input_size, sequential_best.wall_seconds),
+        "speedup": speedup,
+        "outputs_identical": True,
+    })
+
+    # Regression guard (the committed BENCH_multiquery.json records >= 2x at
+    # N=4; the in-suite bound is looser so CI noise cannot flake the run).
+    if len(names) == 4:
+        assert speedup >= 1.4, (
+            f"shared scan only {speedup:.2f}x faster than {len(names)} "
+            "independent sessions"
+        )

@@ -1,0 +1,128 @@
+"""CI perf smoke: chunk-size sweep and shared-scan multi-query speedup.
+
+Two regressions this guards against, on a small MEDLINE document so the job
+stays fast and robust to runner noise:
+
+* the large-chunk throughput collapse (pre-fix: 367 MB/s at 64 KiB chunks
+  vs 112 MB/s at 1 MiB chunks, caused by unbounded per-token probe scans
+  over the buffered window) -- the 1 MiB figure must stay within a generous
+  factor of the 64 KiB figure;
+* the shared-scan multi-query engine regressing toward the N-sessions
+  baseline -- at N=4 (M2-M5) its wall time must not exceed 0.75x of running
+  the four sessions sequentially (the committed BENCH_multiquery.json
+  records >= 2x; 0.75x catches real regressions, not noise).
+
+Run from the repository root::
+
+    python scripts/ci_perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+DOCUMENT_BYTES = 1_500_000
+SWEEP_CHUNKS = (64 * 1024, 1024 * 1024)
+#: 1 MiB-chunk wall time may be at most this factor of the 64 KiB figure
+#: (the pre-fix collapse was ~3.3x).
+SWEEP_FACTOR = 2.0
+MULTI_QUERIES = ("M2", "M3", "M4", "M5")
+#: Shared-scan wall time must not exceed this fraction of the baseline.
+MULTI_BOUND = 0.75
+ROUNDS = 5
+
+
+def best_of(callable_, rounds=ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    from repro import MultiQueryEngine, SmpPrefilter
+    from repro.core.stream import iter_chunks
+    from repro.workloads import load_dataset
+    from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+    document = load_dataset("medline", size_bytes=DOCUMENT_BYTES)
+    dtd = medline_dtd()
+    print(f"MEDLINE document: {len(document) / 1e6:.1f} MB")
+    failures = 0
+
+    # --- chunk-size sweep -------------------------------------------------
+    plan = SmpPrefilter.cached_for_query(
+        dtd, MEDLINE_QUERIES["M2"], backend="native"
+    )
+    walls = {}
+    for chunk_size in SWEEP_CHUNKS:
+        walls[chunk_size] = best_of(
+            lambda cs=chunk_size: plan.session().run(iter_chunks(document, cs))
+        )
+        print(f"chunk {chunk_size >> 10:>5} KiB: {walls[chunk_size] * 1000:.1f} ms "
+              f"({len(document) / 1e6 / walls[chunk_size]:.0f} MB/s)")
+    small, large = walls[SWEEP_CHUNKS[0]], walls[SWEEP_CHUNKS[1]]
+    if large > small * SWEEP_FACTOR:
+        print(f"FAIL: 1 MiB chunks {large / small:.2f}x slower than 64 KiB "
+              f"(bound {SWEEP_FACTOR}x) -- the large-chunk collapse is back")
+        failures += 1
+    else:
+        print(f"OK: chunk-size sweep ratio {large / small:.2f}x "
+              f"(bound {SWEEP_FACTOR}x)")
+
+    # --- shared-scan multi-query vs N sessions ----------------------------
+    specs = [MEDLINE_QUERIES[name] for name in MULTI_QUERIES]
+    engine = MultiQueryEngine(dtd, specs, backend="native")
+    plans = [
+        SmpPrefilter.cached_for_query(dtd, spec, backend="native")
+        for spec in specs
+    ]
+
+    def shared():
+        return engine.filter_stream(iter_chunks(document, 64 * 1024))
+
+    def baseline():
+        return [
+            session_plan.session().run(iter_chunks(document, 64 * 1024))
+            for session_plan in plans
+        ]
+
+    shared_run = shared()
+    baseline_runs = baseline()
+    for name, output, reference in zip(
+        MULTI_QUERIES, shared_run.outputs, baseline_runs
+    ):
+        if output != reference.output:
+            print(f"FAIL: shared-scan output for {name} differs from an "
+                  "independent session")
+            failures += 1
+
+    shared_wall = best_of(shared)
+    baseline_wall = best_of(baseline)
+    ratio = shared_wall / baseline_wall
+    print(f"shared N={len(MULTI_QUERIES)}: {shared_wall * 1000:.1f} ms, "
+          f"baseline: {baseline_wall * 1000:.1f} ms "
+          f"(ratio {ratio:.2f}, bound {MULTI_BOUND})")
+    if ratio > MULTI_BOUND:
+        print(f"FAIL: shared-scan wall time exceeds {MULTI_BOUND}x of the "
+              f"{len(MULTI_QUERIES)}-session baseline")
+        failures += 1
+    else:
+        print(f"OK: shared scan {baseline_wall / shared_wall:.2f}x faster "
+              "than sequential sessions")
+
+    if failures:
+        print(f"{failures} perf-smoke check(s) failed")
+        return 1
+    print("OK: perf smoke holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ whole-document string lives in :class:`repro.pipeline.XPathPipeline`; the
 same functionality is available from the shell as ``python -m repro``.
 """
 
+from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
@@ -67,6 +68,9 @@ __all__ = [
     "DtdValidationError",
     "FilterRun",
     "MatchingError",
+    "MultiQueryEngine",
+    "MultiQueryRun",
+    "MultiQuerySession",
     "ProjectionPath",
     "ProjectionPathError",
     "QueryError",

@@ -1,14 +1,28 @@
 """Command line interface: ``python -m repro``.
 
-Filters an XML document (stdin or ``--input``) against a DTD and a set of
-projection paths, writing the projected document to stdout (or
-``--output``).  The document flows through the streaming core in
+Single-query mode filters an XML document (stdin or ``--input``) against a
+DTD and a set of projection paths, writing the projected document to stdout
+(or ``--output``).  The document flows through the streaming core in
 O(chunk + carry window) memory, so arbitrarily large inputs can be piped
 through::
 
     python -m repro site.dtd "//australia//description#" < site.xml > proj.xml
     python -m repro site.dtd "/site/people/person#" --backend native \\
         --chunk-size 65536 --input site.xml --stats
+
+Multi-query mode (repeatable ``--query``) compiles every query into the
+shared-scan :class:`~repro.core.multi.MultiQueryEngine`: the document is
+scanned **once** and every query receives its own byte-identical
+projection.  Queries are workload names (``M1``-``M5`` from the MEDLINE
+workload, ``XM1``... from XMark -- the matching DTD is implied) or raw
+XPath expressions combined with ``--dtd``::
+
+    python -m repro --query M2 --query M5 doc.xml
+    python -m repro --dtd site.dtd --query "/site/people/person/name" site.xml
+
+Without ``--output`` the per-query projections are printed as labelled
+sections (``==> M2 <==`` ...); with ``--output BASE`` each query streams
+into its own ``BASE.<label>.xml`` file in constant memory.
 
 ``--stats`` prints the run's statistics (the paper's table columns) to
 stderr; ``--stats-json`` emits them as one machine-readable JSON object.
@@ -20,10 +34,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import tracemalloc
 from typing import IO, Sequence
 
+from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.dtd.model import Dtd
@@ -37,21 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "SMP XML prefiltering (Koch/Scherzinger/Schmidt, ICDE 2008): "
             "project an XML stream against a DTD and projection paths in "
-            "bounded memory."
+            "bounded memory.  With repeatable --query, filter one document "
+            "against N queries in a single shared scan."
         ),
     )
-    parser.add_argument("dtd", help="path to the DTD file (DOCTYPE or bare internal subset)")
     parser.add_argument(
-        "paths",
-        nargs="+",
-        help="projection paths, e.g. '//australia//description#' "
-             "(append # to keep the selected subtrees)",
+        "positional",
+        nargs="*",
+        metavar="ARG",
+        help="single-query mode: DTD file followed by projection paths "
+             "(e.g. '//australia//description#'); multi-query mode "
+             "(--query): optional input document file",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="XPath query or workload query name (M1-M5, XM1...); repeat for "
+             "a shared-scan multi-query run",
+    )
+    parser.add_argument(
+        "--dtd",
+        metavar="FILE",
+        dest="dtd_file",
+        help="DTD file for raw XPath --query values (workload query names "
+             "imply their workload's DTD)",
     )
     parser.add_argument(
         "--backend",
         default="instrumented",
         choices=available_backends(),
-        help="string-matching backend (default: instrumented, the paper's configuration)",
+        help="string-matching backend (default: instrumented, the paper's "
+             "configuration; use native for wall-clock throughput)",
     )
     parser.add_argument(
         "--chunk-size",
@@ -68,12 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output",
         metavar="FILE",
-        help="write the projected document to FILE instead of stdout",
+        help="write the projected document to FILE instead of stdout; in "
+             "multi-query mode, one FILE.<label>.xml per query",
     )
     parser.add_argument(
         "--no-default-paths",
         action="store_true",
-        help="do not add the default '/*' projection path",
+        help="do not add the default '/*' projection path (single-query mode)",
     )
     parser.add_argument(
         "--stats",
@@ -111,11 +146,12 @@ def _render_stats(stats, compilation) -> str:
 
 
 def _run_filter(arguments, document: IO[str], output: IO[str]) -> int:
-    with open(arguments.dtd, "r", encoding="utf-8") as handle:
+    dtd_path, paths = arguments.positional[0], arguments.positional[1:]
+    with open(dtd_path, "r", encoding="utf-8") as handle:
         dtd = Dtd.parse(handle.read())
     prefilter = SmpPrefilter.cached(
         dtd,
-        arguments.paths,
+        paths,
         backend=arguments.backend,
         add_default_paths=not arguments.no_default_paths,
     )
@@ -142,12 +178,146 @@ def _run_filter(arguments, document: IO[str], output: IO[str]) -> int:
     return 0
 
 
+def _resolve_queries(arguments) -> tuple[Dtd, list]:
+    """Resolve --query values to (DTD, query list for MultiQueryEngine)."""
+    from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+    from repro.workloads.xmark import XMARK_QUERIES, xmark_dtd
+
+    queries: list = []
+    workloads: set[str] = set()
+    for value in arguments.query:
+        if value in MEDLINE_QUERIES:
+            queries.append(MEDLINE_QUERIES[value])
+            workloads.add("medline")
+        elif value in XMARK_QUERIES:
+            queries.append(XMARK_QUERIES[value])
+            workloads.add("xmark")
+        else:
+            queries.append(value)
+            workloads.add("xpath")
+    if arguments.dtd_file:
+        with open(arguments.dtd_file, "r", encoding="utf-8") as handle:
+            return Dtd.parse(handle.read()), queries
+    if workloads == {"medline"}:
+        return medline_dtd(), queries
+    if workloads == {"xmark"}:
+        return xmark_dtd(), queries
+    if "xpath" in workloads:
+        raise ReproError(
+            "raw XPath --query values need --dtd FILE (workload query names "
+            "imply their DTD)"
+        )
+    raise ReproError(
+        "--query values mix workloads; pass --dtd FILE to choose a schema"
+    )
+
+
+def _label_slug(label: str) -> str:
+    """A filesystem-safe rendering of a query label."""
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", label).strip("_")
+    return slug or "query"
+
+
+def _run_multi(arguments, document: IO[str], output: IO[str]) -> int:
+    dtd, queries = _resolve_queries(arguments)
+    engine = MultiQueryEngine(dtd, queries, backend=arguments.backend)
+    labels = engine.labels
+
+    sink_files: list[IO[str]] = []
+    buffers: list[list[str]] | None = None
+    try:
+        if arguments.output:
+            seen_slugs: dict[str, int] = {}
+            for label in labels:
+                slug = _label_slug(label)
+                count = seen_slugs.get(slug, 0)
+                seen_slugs[slug] = count + 1
+                if count:
+                    # Distinct queries may slug identically; never clobber.
+                    slug = f"{slug}.{count + 1}"
+                path = f"{arguments.output}.{slug}.xml"
+                sink_files.append(open(path, "w", encoding="utf-8"))
+            sinks = [handle.write for handle in sink_files]
+        else:
+            buffers = [[] for _ in labels]
+            sinks = [fragments.append for fragments in buffers]
+
+        if arguments.measure_memory:
+            tracemalloc.start()
+        try:
+            session = engine.session(sinks=sinks)
+            for chunk in iter_chunks(document, arguments.chunk_size):
+                session.feed(chunk)
+            session.finish()
+        finally:
+            if arguments.measure_memory:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+        if arguments.measure_memory:
+            session.scan_stats.peak_memory_bytes = peak
+    finally:
+        for handle in sink_files:
+            handle.close()
+
+    if buffers is not None:
+        for label, fragments in zip(labels, buffers):
+            output.write(f"==> {label} <==\n")
+            output.write("".join(fragments))
+            output.write("\n")
+        output.flush()
+
+    if arguments.stats_json:
+        payload = {
+            "backend": arguments.backend,
+            "chunk_size": float(arguments.chunk_size),
+            "scan": session.scan_stats.as_dict(),
+            "queries": {
+                label: stats.as_dict()
+                for label, stats in zip(labels, session.stats)
+            },
+        }
+        payload["scan"]["peak_memory_bytes"] = float(
+            session.scan_stats.peak_memory_bytes
+        )
+        print(json.dumps(payload, sort_keys=True), file=sys.stderr)
+    if arguments.stats:
+        scan = session.scan_stats
+        print(
+            f"shared scan:       {scan.input_size} chars, "
+            f"{scan.tokens_matched} tokens, "
+            f"{scan.throughput_mb_per_second:.2f} MB/s",
+            file=sys.stderr,
+        )
+        if scan.peak_memory_bytes:
+            print(f"peak traced memory: {scan.peak_memory_bytes} bytes",
+                  file=sys.stderr)
+        for label, stats, plan in zip(labels, session.stats, engine.prefilters):
+            print(f"--- {label} ---", file=sys.stderr)
+            print(_render_stats(stats, plan.compilation), file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
     if arguments.chunk_size <= 0:
         parser.error("--chunk-size must be positive")
+    if arguments.query:
+        if len(arguments.positional) > 1:
+            parser.error(
+                "multi-query mode takes at most one positional argument "
+                "(the input document)"
+            )
+        if arguments.positional and arguments.input:
+            parser.error("pass the input document either positionally or via --input")
+        if arguments.positional:
+            arguments.input = arguments.positional[0]
+    elif len(arguments.positional) < 2:
+        parser.error(
+            "single-query mode needs a DTD file and at least one projection "
+            "path (or use --query)"
+        )
     try:
         document = (
             open(arguments.input, "r", encoding="utf-8")
@@ -157,13 +327,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             output = (
                 open(arguments.output, "w", encoding="utf-8")
-                if arguments.output
+                if arguments.output and not arguments.query
                 else sys.stdout
             )
             try:
+                if arguments.query:
+                    return _run_multi(arguments, document, output)
                 return _run_filter(arguments, document, output)
             finally:
-                if arguments.output:
+                if arguments.output and not arguments.query:
                     output.close()
         finally:
             if arguments.input:
@@ -174,6 +346,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: exit quietly
+        # with the conventional SIGPIPE status.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 141
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 """The SMP core: static analysis, lookup tables, runtime, prefilter facade."""
 
+from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import SmpPrefilter
 from repro.core.runtime import SmpRuntime
 from repro.core.static_analysis import (
@@ -16,6 +17,9 @@ __all__ = [
     "AnalysisResult",
     "CompilationStatistics",
     "FilterRun",
+    "MultiQueryEngine",
+    "MultiQueryRun",
+    "MultiQuerySession",
     "RunStatistics",
     "RuntimeAutomaton",
     "RuntimeState",

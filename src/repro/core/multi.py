@@ -1,0 +1,504 @@
+"""Shared-scan multi-query engine: one document pass feeding N prefilters.
+
+The point of SMP prefiltering is that XPath evaluation collapses to keyword
+scanning -- and keyword scanning amortises: one automaton pass over the
+union vocabulary of N compiled queries costs one document scan regardless of
+N.  :class:`MultiQueryEngine` exploits that.  It compiles every query to its
+own :class:`~repro.core.prefilter.SmpPrefilter` plan (shared through the
+plan cache), unions their keyword sets into one
+:class:`~repro.matching.dispatch.KeywordDispatcher` (whose trie-compiled
+union pattern is an Aho-Corasick-style automaton executed in C), and drives
+one :class:`~repro.core.runtime.DrivenStream` per query from the shared hit
+stream::
+
+    engine = MultiQueryEngine(dtd, [q2, q5, q7], backend="native")
+    run = engine.filter_file("medline.xml")
+    for label, output, stats in run:
+        ...
+
+Equivalence: each driven stream replays exactly the decisions its private
+:class:`~repro.core.runtime.RuntimeStream` would have made, so per-query
+output and the structural statistics (tokens matched/copied, regions,
+initial jumps, local scans, sizes) are byte-identical to N independent
+:class:`~repro.core.prefilter.FilterSession` runs.  What changes is the
+cost: the character-scanning work happens once, on the shared scan, instead
+of once per query -- per-query matcher counters (comparisons, shifts) are
+therefore zero and the engine-level :attr:`MultiQuerySession.scan_stats`
+carries the once-paid scan cost.
+
+Two dispatch refinements keep the per-hit interpreter cost low:
+
+* *Dynamic subscriptions.*  A hit is resolved (validity check, end-of-tag
+  scan) and dispatched only when some stream's **current** state searches
+  its keyword; everything else is skipped after one dictionary probe -- the
+  shared-scan analogue of the searching runtimes skipping irrelevant
+  regions.
+* *Free prefix expansion.*  Union keywords that are prefixes of a scanned
+  hit co-occur at its position but are always false matches (the next
+  character belongs to the longer keyword's tag name), so their rejection
+  bookkeeping is dispatched without reading the text.
+
+Like the single-query session, a :class:`MultiQuerySession` is incremental:
+feed arbitrary chunks, memory stays O(chunk + carry window) where the carry
+window covers the suspended scan tail plus un-flushed copy regions across
+all queries.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Sequence
+
+from repro.core.prefilter import SmpPrefilter
+from repro.core.runtime import DrivenStream, OutputSink
+from repro.core.stats import CompilationStatistics, RunStatistics
+from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks, open_chunks
+from repro.core.tables import RuntimeTables
+from repro.dtd.model import Dtd
+from repro.errors import QueryError, RuntimeFilterError
+from repro.matching.dispatch import KeywordDispatcher
+from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
+from repro.xml.escape import is_name_char
+
+#: Memoised ``is_name_char`` verdicts (one entry per distinct character seen);
+#: the cache goes through the same predicate, so classification is identical.
+_NAME_CHAR_CACHE: dict[str, bool] = {}
+
+
+@dataclass
+class MultiQueryRun:
+    """The result of filtering one document against N queries."""
+
+    labels: list[str]
+    outputs: list[str]
+    stats: list[RunStatistics]
+    scan_stats: RunStatistics
+    compilations: list[CompilationStatistics] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(zip(self.labels, self.outputs, self.stats))
+
+
+def _all_keywords(tables: RuntimeTables) -> set[str]:
+    """Every keyword a runtime can search for, across all of its states."""
+    keywords: set[str] = set()
+    for vocabulary in tables.vocabulary.values():
+        keywords.update(vocabulary)
+    return keywords
+
+
+class MultiQueryEngine:
+    """Compile N queries into one shared-scan filtering plan.
+
+    Parameters
+    ----------
+    dtd:
+        The common schema of the incoming documents.
+    queries:
+        XPath strings (projection paths are extracted automatically),
+        workload :class:`QuerySpec` objects, or prebuilt
+        :class:`SmpPrefilter` plans -- mixed freely.
+    backend:
+        Matcher backend of the per-query plans (``"native"`` is the
+        wall-clock oriented default); the shared scan itself runs on the
+        backend-independent union automaton.
+    use_plan_cache:
+        Share compiled plans through :meth:`SmpPrefilter.cached`, so
+        constructing several engines over overlapping query sets compiles
+        each query once.
+
+    The engine is immutable after construction; open one
+    :class:`MultiQuerySession` per document (any number concurrently).
+    """
+
+    def __init__(
+        self,
+        dtd: Dtd,
+        queries: Sequence["str | QuerySpec | SmpPrefilter"],
+        *,
+        backend: str = "native",
+        use_plan_cache: bool = True,
+    ) -> None:
+        if not queries:
+            raise QueryError("MultiQueryEngine needs at least one query")
+        self.dtd = dtd
+        self.backend = backend
+        self.labels: list[str] = []
+        self.prefilters: list[SmpPrefilter] = []
+        for index, query in enumerate(queries):
+            if isinstance(query, SmpPrefilter):
+                label = f"Q{index + 1}"
+                plan = query
+            elif isinstance(query, QuerySpec):
+                label = query.name
+                plan = (
+                    SmpPrefilter.cached_for_query(dtd, query, backend=backend)
+                    if use_plan_cache
+                    else SmpPrefilter.compile_for_query(dtd, query, backend=backend)
+                )
+            else:
+                label = str(query)
+                compile_plan = (
+                    SmpPrefilter.cached if use_plan_cache else SmpPrefilter.compile
+                )
+                plan = compile_plan(
+                    dtd,
+                    extract_paths_from_xpath(str(query)),
+                    backend=backend,
+                    add_default_paths=False,
+                )
+            self.labels.append(label)
+            self.prefilters.append(plan)
+        #: Owner index -> every keyword that query can search for.
+        self.vocabularies: dict[int, set[str]] = {
+            index: _all_keywords(plan.tables)
+            for index, plan in enumerate(self.prefilters)
+        }
+        #: Shared, immutable: owners table + union scan automaton.
+        self.dispatcher = KeywordDispatcher(self.vocabularies, backend=backend)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(
+        self, *, sinks: Sequence[OutputSink | None] | None = None
+    ) -> "MultiQuerySession":
+        """Open a streaming session for one document.
+
+        ``sinks`` optionally routes each query's projected fragments to its
+        own callback (one entry per query, ``None`` entries accumulate); the
+        per-feed return values are then empty strings for those queries.
+        """
+        return MultiQuerySession(self, sinks=sinks)
+
+    # ------------------------------------------------------------------
+    # One-shot entry points
+    # ------------------------------------------------------------------
+    def filter_document(
+        self, text: str, *, measure_memory: bool = False
+    ) -> MultiQueryRun:
+        """Filter a whole in-memory document against every query."""
+        return self.filter_stream([text], measure_memory=measure_memory)
+
+    def filter_file(
+        self,
+        path: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        sinks: Sequence[OutputSink | None] | None = None,
+        measure_memory: bool = False,
+    ) -> MultiQueryRun:
+        """Filter a document stored on disk, reading ``chunk_size`` chunks."""
+        return self.filter_stream(
+            open_chunks(path, chunk_size),
+            chunk_size=chunk_size,
+            sinks=sinks,
+            measure_memory=measure_memory,
+        )
+
+    def filter_stream(
+        self,
+        chunks: Iterable[str] | IO[str],
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        sinks: Sequence[OutputSink | None] | None = None,
+        measure_memory: bool = False,
+    ) -> MultiQueryRun:
+        """Filter chunked input against every query in one document pass."""
+        if measure_memory:
+            tracemalloc.start()
+        try:
+            session = self.session(sinks=sinks)
+            pieces: list[list[str]] = [[] for _ in self.prefilters]
+            for chunk in iter_chunks(chunks, chunk_size):
+                for index, emitted in enumerate(session.feed(chunk)):
+                    if emitted:
+                        pieces[index].append(emitted)
+            for index, emitted in enumerate(session.finish()):
+                if emitted:
+                    pieces[index].append(emitted)
+        finally:
+            if measure_memory:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+        if measure_memory:
+            session.scan_stats.peak_memory_bytes = peak
+        return MultiQueryRun(
+            labels=list(self.labels),
+            outputs=["".join(fragments) for fragments in pieces],
+            stats=session.stats,
+            scan_stats=session.scan_stats,
+            compilations=[plan.compilation for plan in self.prefilters],
+        )
+
+
+class MultiQuerySession:
+    """One shared-scan filtering run of N queries over one document.
+
+    The session owns the shared :class:`ChunkCursor` window and one
+    :class:`DrivenStream` per query; the engine's dispatcher provides the
+    union automaton.  ``feed`` returns the list of newly emitted per-query
+    outputs (empty strings when sinks are used); ``finish`` validates
+    acceptance for every query and returns the remaining outputs.
+    """
+
+    def __init__(
+        self,
+        engine: MultiQueryEngine,
+        sinks: Sequence[OutputSink | None] | None = None,
+    ) -> None:
+        if sinks is not None and len(sinks) != len(engine.prefilters):
+            raise QueryError(
+                f"expected {len(engine.prefilters)} sinks, got {len(sinks)}"
+            )
+        self.engine = engine
+        self._window = ChunkCursor()
+        self._streams = [
+            DrivenStream(
+                plan.tables,
+                self._window,
+                sink=None if sinks is None else sinks[index],
+            )
+            for index, plan in enumerate(engine.prefilters)
+        ]
+        self._dispatcher = engine.dispatcher
+        #: Absolute offset the union scan resumes from; every token
+        #: starting below it has been dispatched.
+        self._scan_from = 0
+        self._finished = False
+        #: Engine-level counters: the once-paid scanning cost plus timings.
+        self.scan_stats = RunStatistics()
+        # Dynamic subscriptions: keyword -> indices of streams whose
+        # *current* state searches it.  Hits nobody subscribes to are
+        # dropped after one dictionary probe, unresolved.
+        self._subscribed: list[tuple[str, ...]] = [() for _ in self._streams]
+        self._subscribers: dict[str, list[int]] = {}
+        #: (old, new) vocabulary tuples -> (removals, additions); transitions
+        #: cycle through few distinct state pairs, so diffs are computed once.
+        self._diff_cache: dict[tuple, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+        for index in range(len(self._streams)):
+            self._resubscribe(index)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> list[RunStatistics]:
+        """Per-query structural statistics (complete after ``finish``)."""
+        return [stream.stats for stream in self._streams]
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has completed."""
+        return self._finished
+
+    @property
+    def buffered_chars(self) -> int:
+        """Input characters currently retained in the shared window."""
+        return len(self._window)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, chunk: str) -> list[str]:
+        """Process one input chunk; returns the per-query emitted output."""
+        if self._finished:
+            raise RuntimeFilterError("cannot feed a finished multi-query session")
+        started = time.perf_counter()
+        length = len(chunk)
+        self.scan_stats.input_size += length
+        for stream in self._streams:
+            stream.stats.input_size += length
+        self._window.append(chunk)
+        self._process()
+        self._trim()
+        self.scan_stats.run_seconds += time.perf_counter() - started
+        return [stream.take_output() for stream in self._streams]
+
+    def finish(self) -> list[str]:
+        """Signal end of input; returns the remaining per-query output.
+
+        Raises :class:`RuntimeFilterError` when any query's automaton did
+        not accept (the document does not conform to the DTD) or when the
+        document ends inside a tag.
+        """
+        if self._finished:
+            raise RuntimeFilterError("multi-query session is already finished")
+        started = time.perf_counter()
+        self._window.close()
+        self._process()
+        self._finished = True
+        outputs = [stream.finish() for stream in self._streams]
+        stats = self.scan_stats
+        stats.output_size = sum(stream.stats.output_size for stream in self._streams)
+        stats.run_seconds += time.perf_counter() - started
+        return outputs
+
+    # ------------------------------------------------------------------
+    # The shared scan loop
+    # ------------------------------------------------------------------
+    def _process(self) -> None:
+        """One union-automaton pass over the new window content.
+
+        Per scanned occurrence: one subscription probe; for subscribed hits
+        a validity check (one character), the shared end-of-tag scan (one
+        C-level ``find`` plus two short quote probes on the fast path) and
+        the dispatch to the subscribed streams; co-located prefix keywords
+        are dispatched as false matches without reading the text.  Returns
+        early -- leaving the scan position on the undecidable hit -- when a
+        decision needs input beyond the buffered window.
+        """
+        window = self._window
+        streams = self._streams
+        subscribers = self._subscribers
+        dispatcher = self._dispatcher
+        prefixes = dispatcher.prefixes
+        scan_stats = self.scan_stats
+        name_char = is_name_char
+        name_char_cache = _NAME_CHAR_CACHE
+        text, base = window.view()
+        eof = window.eof
+        length = len(text)
+        holdback = length if eof else length - dispatcher.max_keyword_length + 1
+        low = self._scan_from - base
+        if low >= holdback:
+            return
+        scanned_from = self._scan_from
+        for match in dispatcher.pattern.finditer(text, low):
+            local_start = match.start()
+            if local_start >= holdback:
+                break
+            keyword = match.group()
+            start = local_start + base
+            subscribed = subscribers.get(keyword)
+            if subscribed:
+                after = local_start + len(keyword)
+                if after >= length and not eof:
+                    self._scan_from = start
+                    scan_stats.char_comparisons += start - scanned_from
+                    return
+                if after < length:
+                    character = text[after]
+                    extends = name_char_cache.get(character)
+                    if extends is None:
+                        extends = name_char_cache[character] = name_char(character)
+                else:
+                    extends = False
+                if extends:
+                    # False match: the tag name extends the keyword.
+                    for owner in subscribed:
+                        streams[owner].push_false_match(keyword, start)
+                else:
+                    # Valid token: locate the closing '>' outside quotes.
+                    closing = text.find(">", after)
+                    if closing >= 0 and (
+                        text.find('"', after, closing) >= 0
+                        or text.find("'", after, closing) >= 0
+                    ):
+                        closing = self._tag_end_with_quotes(text, after)
+                    if closing < 0:
+                        if eof:
+                            raise RuntimeFilterError(
+                                f"tag starting at offset {start} is never "
+                                "closed; the document is not well formed"
+                            )
+                        self._scan_from = start
+                        scan_stats.char_comparisons += start - scanned_from
+                        return
+                    bachelor = closing > after and text[closing - 1] == "/"
+                    scan_stats.tokens_matched += 1
+                    # scan_chars: every character a private end-of-tag scan
+                    # reads is counted exactly once -- the span itself.
+                    end = closing + base
+                    scan_chars = closing - after + 1
+                    changed = None
+                    for owner in subscribed:
+                        if streams[owner].push_token(
+                            keyword, start, end, bachelor, scan_chars
+                        ):
+                            if changed is None:
+                                changed = [owner]
+                            else:
+                                changed.append(owner)
+                    if changed:
+                        for owner in changed:
+                            self._resubscribe(owner)
+            # Union keywords that are prefixes of this occurrence co-occur
+            # at its position and are always false matches there (the next
+            # character belongs to this occurrence's tag name).
+            for prefix in prefixes[keyword]:
+                prefix_subscribed = subscribers.get(prefix)
+                if prefix_subscribed:
+                    for owner in prefix_subscribed:
+                        streams[owner].push_false_match(prefix, start)
+        self._scan_from = base + holdback
+        # Counted on exit from the actual scan advance, so a suspended and
+        # re-run region is never double-counted.
+        scan_stats.char_comparisons += self._scan_from - scanned_from
+
+    @staticmethod
+    def _tag_end_with_quotes(text: str, position: int) -> int:
+        """Text-local closing-``>`` scan skipping quoted attribute values.
+
+        Mirrors the searching runtime's end-of-tag scan; returns -1 when the
+        tag is still incomplete in the buffered text.
+        """
+        cursor = position
+        length = len(text)
+        while cursor < length:
+            character = text[cursor]
+            if character == ">":
+                return cursor
+            if character in ('"', "'"):
+                quote_end = text.find(character, cursor + 1)
+                if quote_end < 0:
+                    return -1
+                cursor = quote_end + 1
+                continue
+            cursor += 1
+        return -1
+
+    def _resubscribe(self, index: int) -> None:
+        """Refresh one stream's keyword subscription after a transition."""
+        stream = self._streams[index]
+        new = stream.subscription_keywords()
+        old = self._subscribed[index]
+        if new == old:
+            return
+        key = (old, new)
+        diff = self._diff_cache.get(key)
+        if diff is None:
+            diff = self._diff_cache[key] = (
+                tuple(keyword for keyword in old if keyword not in new),
+                tuple(keyword for keyword in new if keyword not in old),
+            )
+        removals, additions = diff
+        subscribers = self._subscribers
+        for keyword in removals:
+            subscribers[keyword].remove(index)
+        for keyword in additions:
+            subscribers.setdefault(keyword, []).append(index)
+        self._subscribed[index] = new
+
+    # ------------------------------------------------------------------
+    # Buffer retention
+    # ------------------------------------------------------------------
+    def _trim(self) -> None:
+        """Flush copy regions up to the dispatch frontier and discard input.
+
+        The frontier is the scan resume offset: every token starting below
+        it has been dispatched, so open copy regions can be emitted that far
+        and the window only needs to retain the un-scanned tail plus
+        un-flushed copy content.
+        """
+        window = self._window
+        frontier = min(self._scan_from, window.end)
+        floor = frontier
+        for stream in self._streams:
+            stream.flush_copy(frontier)
+            stream_floor = stream.keep_floor()
+            if stream_floor is not None and stream_floor < floor:
+                floor = stream_floor
+        window.discard_to(floor)

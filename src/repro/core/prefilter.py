@@ -165,6 +165,20 @@ class SmpPrefilter:
         return cls.compile(dtd, query.parsed_paths(), backend=backend,
                            add_default_paths=False)
 
+    @classmethod
+    def cached_for_query(
+        cls, dtd: Dtd, query: QuerySpec, *, backend: str = "instrumented"
+    ) -> "SmpPrefilter":
+        """Memoised :meth:`compile_for_query` (same cache as :meth:`cached`).
+
+        The multi-query engine compiles every member query through this
+        entry point, so engines constructed over overlapping query sets --
+        and plain single-query sessions for the same specs -- share one
+        compilation per (DTD, paths, backend) key.
+        """
+        return cls.cached(dtd, query.parsed_paths(), backend=backend,
+                          add_default_paths=False)
+
     # ------------------------------------------------------------------
     # Filtering
     # ------------------------------------------------------------------

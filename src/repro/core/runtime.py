@@ -20,6 +20,16 @@ character-based statistic (comparisons, shifts, jumps, local scans) is
 bit-identical no matter how the input is chunked.  :meth:`SmpRuntime.
 filter_text` is a thin one-chunk wrapper over the same machine.
 
+A second execution mode serves the multi-query engine
+(:mod:`repro.core.multi`): :class:`DrivenStream` runs the same Figure-4
+transition/action machinery, but instead of searching the input itself it is
+*driven* by the keyword occurrences an external shared scan located once for
+all queries.  The driven stream replays exactly the
+decisions a private :class:`RuntimeStream` would have made -- initial-jump
+accounting, false-match rejection, transitions, copy actions -- so its
+output and its structural statistics are byte-identical to an independent
+run, while the character-scanning work happens only once per document.
+
 Input contract: the document must be valid with respect to the DTD the tables
 were compiled from, and -- like the paper's prototype -- must not hide markup
 inside comments or CDATA sections (character data must escape ``<``).
@@ -28,8 +38,7 @@ inside comments or CDATA sections (character data must escape ``<``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.core.stats import RunStatistics
 from repro.core.stream import ChunkCursor
@@ -44,8 +53,7 @@ from repro.xml.escape import is_name_char
 OutputSink = Callable[[str], None]
 
 
-@dataclass
-class _MatchedTag:
+class _MatchedTag(NamedTuple):
     """A tag located in the input by the frontier search."""
 
     keyword: str
@@ -127,7 +135,156 @@ class SmpRuntime:
         return output + stream.finish(), stream.stats
 
 
-class RuntimeStream:
+class _FilterStreamBase:
+    """State and behaviour shared by the searching and the driven streams:
+
+    the output channel (sink or accumulated fragments), the copy-region
+    bookkeeping and the Figure-4 transition/action application.  Both
+    subclasses read document text exclusively through the ``ChunkCursor``
+    they were given, in absolute offsets.
+    """
+
+    def __init__(
+        self, tables: RuntimeTables, window: ChunkCursor, sink: OutputSink | None
+    ) -> None:
+        self._tables = tables
+        self._window = window
+        self._sink = sink
+        self.stats = RunStatistics()
+        self._out: list[str] = []
+        self._emitted_chars = 0
+        self._copy_active = False
+        self._copy_tag = ""
+        self._copy_emitted = 0
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has completed (or a feed failed)."""
+        return self._finished
+
+    # ------------------------------------------------------------------
+    # Output channel
+    # ------------------------------------------------------------------
+    def _emit(self, fragment: str) -> None:
+        if not fragment:
+            return
+        self._emitted_chars += len(fragment)
+        if self._sink is not None:
+            self._sink(fragment)
+        else:
+            self._out.append(fragment)
+
+    def _take_output(self) -> str:
+        if not self._out:
+            return ""
+        output = "".join(self._out)
+        self._out.clear()
+        return output
+
+    # ------------------------------------------------------------------
+    # Transitions and actions
+    # ------------------------------------------------------------------
+    def _transition(self, state: int, matched: _MatchedTag) -> int:
+        """Take the transition for ``matched`` and apply its actions."""
+        tables = self._tables
+        if matched.is_bachelor:
+            # Opening and closing behaviour one after the other (Figure 4).
+            kind, tag = matched.symbol
+            open_state = tables.A(state, (OPEN, tag))
+            if open_state is None:
+                raise self._transition_error(state, (OPEN, tag), matched.start)
+            close_state = tables.A(open_state, (CLOSE, tag))
+            if close_state is None:
+                raise self._transition_error(open_state, (CLOSE, tag), matched.start)
+            self._apply_bachelor_actions(
+                matched, tables.T(open_state), tables.T(close_state)
+            )
+            return close_state
+        next_state = tables.A(state, matched.symbol)
+        if next_state is None:
+            raise self._transition_error(state, matched.symbol, matched.start)
+        self._apply_action(matched, tables.T(next_state))
+        return next_state
+
+    def _apply_action(self, matched: _MatchedTag, action: Action) -> None:
+        window = self._window
+        stats = self.stats
+        kind, tag = matched.symbol
+        if action is Action.COPY_ON:
+            if not self._copy_active:
+                self._copy_active = True
+                self._copy_tag = tag
+                self._copy_emitted = matched.start
+            return
+        if action is Action.COPY_OFF:
+            if self._copy_active and tag == self._copy_tag:
+                self._emit(window.slice(self._copy_emitted, matched.end + 1))
+                stats.regions_copied += 1
+                stats.tokens_copied += 1
+                self._copy_active = False
+                self._copy_tag = ""
+                self._copy_emitted = 0
+                return
+            if not self._copy_active:
+                # Asymmetric table entries can occur after determinisation;
+                # degrade gracefully to copying the closing tag itself.
+                self._emit(window.slice(matched.start, matched.end + 1))
+                stats.tokens_copied += 1
+            return
+        if action is Action.COPY_TAG:
+            if not self._copy_active:
+                self._emit(window.slice(matched.start, matched.end + 1))
+                stats.tokens_copied += 1
+
+    def _apply_bachelor_actions(
+        self, matched: _MatchedTag, open_action: Action, close_action: Action
+    ) -> None:
+        """Apply the opening and closing actions of a bachelor tag.
+
+        The bachelor tag is emitted at most once: a (copy on, copy off) pair
+        degenerates to copying the tag, and a copy-tag action on either side
+        also copies the tag.
+        """
+        if self._copy_active:
+            # Inside an active copy region the bachelor tag is part of the
+            # region and needs no individual treatment.
+            return
+        wants_copy = (
+            open_action in (Action.COPY_TAG, Action.COPY_ON)
+            or close_action in (Action.COPY_TAG, Action.COPY_OFF)
+        ) and not (open_action is Action.NOP and close_action is Action.NOP)
+        if wants_copy:
+            self._emit(self._window.slice(matched.start, matched.end + 1))
+            self.stats.tokens_copied += 1
+
+    # ------------------------------------------------------------------
+    # Errors
+    # ------------------------------------------------------------------
+    def _transition_error(
+        self, state: int, symbol: Symbol, position: int
+    ) -> RuntimeFilterError:
+        kind, tag = symbol
+        rendering = f"<{tag}>" if kind == OPEN else f"</{tag}>"
+        return RuntimeFilterError(
+            f"no transition from runtime state {state} on token {rendering} "
+            f"(input offset {position}); the document does not conform to the DTD"
+        )
+
+    def _unclosed_copy_error(self) -> RuntimeFilterError:
+        return RuntimeFilterError(
+            f"copy region for <{self._copy_tag}> was never closed; the document "
+            "does not conform to the DTD"
+        )
+
+    def _incomplete_error(self) -> RuntimeFilterError:
+        return RuntimeFilterError(
+            "end of input reached before the runtime automaton accepted; "
+            "the document does not conform to the DTD"
+        )
+
+
+class RuntimeStream(_FilterStreamBase):
     """One resumable execution of the Figure-4 algorithm.
 
     Feed the document in arbitrary chunks::
@@ -144,29 +301,16 @@ class RuntimeStream:
     """
 
     def __init__(self, runtime: SmpRuntime, sink: OutputSink | None = None) -> None:
+        super().__init__(runtime.tables, ChunkCursor(), sink)
         self._runtime = runtime
-        self._sink = sink
-        self._window = ChunkCursor()
-        self.stats = RunStatistics()
-        self._out: list[str] = []
-        self._emitted_chars = 0
-        self._copy_active = False
-        self._copy_tag = ""
-        self._copy_emitted = 0
         self._keep_from = 0
         self._done = False
-        self._finished = False
         runtime.reset_matcher_statistics()
         self._machine = self._run()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    @property
-    def finished(self) -> bool:
-        """True once :meth:`finish` has completed (or a feed failed)."""
-        return self._finished
-
     @property
     def buffered_chars(self) -> int:
         """Number of input characters currently retained in the window."""
@@ -235,22 +379,6 @@ class RuntimeStream:
                 self._copy_emitted = flush_to
         self._window.discard_to(floor)
 
-    def _emit(self, fragment: str) -> None:
-        if not fragment:
-            return
-        self._emitted_chars += len(fragment)
-        if self._sink is not None:
-            self._sink(fragment)
-        else:
-            self._out.append(fragment)
-
-    def _take_output(self) -> str:
-        if not self._out:
-            return ""
-        output = "".join(self._out)
-        self._out.clear()
-        return output
-
     # ------------------------------------------------------------------
     # The Figure-4 state machine (a generator that yields for more input)
     # ------------------------------------------------------------------
@@ -286,39 +414,14 @@ class RuntimeStream:
                     "does not conform to the DTD the prefilter was compiled for"
                 )
             stats.tokens_matched += 1
-
-            if matched.is_bachelor:
-                # Opening and closing behaviour one after the other (Figure 4).
-                kind, tag = matched.symbol
-                open_state = tables.A(state, (OPEN, tag))
-                if open_state is None:
-                    raise self._transition_error(state, (OPEN, tag), matched.start)
-                close_state = tables.A(open_state, (CLOSE, tag))
-                if close_state is None:
-                    raise self._transition_error(open_state, (CLOSE, tag), matched.start)
-                self._apply_bachelor_actions(
-                    matched, tables.T(open_state), tables.T(close_state)
-                )
-                state = close_state
-            else:
-                next_state = tables.A(state, matched.symbol)
-                if next_state is None:
-                    raise self._transition_error(state, matched.symbol, matched.start)
-                self._apply_action(matched, tables.T(next_state))
-                state = next_state
+            state = self._transition(state, matched)
             cursor = matched.end
             self._keep_from = cursor
 
         if not tables.is_final(state):
-            raise RuntimeFilterError(
-                "end of input reached before the runtime automaton accepted; "
-                "the document does not conform to the DTD"
-            )
+            raise self._incomplete_error()
         if self._copy_active:
-            raise RuntimeFilterError(
-                f"copy region for <{self._copy_tag}> was never closed; the document "
-                "does not conform to the DTD"
-            )
+            raise self._unclosed_copy_error()
 
     # ------------------------------------------------------------------
     # Token location
@@ -343,9 +446,10 @@ class RuntimeStream:
         while True:
             pending: PendingSearch | None = None
             while True:
+                text, text_base = window.view()
                 outcome = matcher.find_chunk(
-                    window.text,
-                    window.base,
+                    text,
+                    text_base,
                     position,
                     window.end,
                     at_eof=window.eof,
@@ -422,69 +526,208 @@ class RuntimeStream:
                 continue
             cursor += 1
 
-    # ------------------------------------------------------------------
-    # Actions
-    # ------------------------------------------------------------------
-    def _apply_action(self, matched: _MatchedTag, action: Action) -> None:
-        window = self._window
-        stats = self.stats
-        kind, tag = matched.symbol
-        if action is Action.COPY_ON:
-            if not self._copy_active:
-                self._copy_active = True
-                self._copy_tag = tag
-                self._copy_emitted = matched.start
-            return
-        if action is Action.COPY_OFF:
-            if self._copy_active and tag == self._copy_tag:
-                self._emit(window.slice(self._copy_emitted, matched.end + 1))
-                stats.regions_copied += 1
-                stats.tokens_copied += 1
-                self._copy_active = False
-                self._copy_tag = ""
-                self._copy_emitted = 0
-                return
-            if not self._copy_active:
-                # Asymmetric table entries can occur after determinisation;
-                # degrade gracefully to copying the closing tag itself.
-                self._emit(window.slice(matched.start, matched.end + 1))
-                stats.tokens_copied += 1
-            return
-        if action is Action.COPY_TAG:
-            if not self._copy_active:
-                self._emit(window.slice(matched.start, matched.end + 1))
-                stats.tokens_copied += 1
 
-    def _apply_bachelor_actions(
-        self, matched: _MatchedTag, open_action: Action, close_action: Action
+class DrivenStream(_FilterStreamBase):
+    """Figure-4 execution driven by externally supplied keyword hits.
+
+    The multi-query engine scans the document once with the union keyword
+    set of all compiled queries and pushes every occurrence -- in document
+    order, longer keywords first among co-located hits -- to the driven
+    streams whose keyword it is.  The stream replays exactly what a private
+    :class:`RuntimeStream` would have decided: occurrences below the current
+    search origin (cursor plus table-J jump) are skipped unseen, false
+    matches are rejected with the same ``local_scan_chars`` accounting,
+    accepted tokens drive the same transitions and copy actions against the
+    *shared* window.  Matcher-level counters (comparisons, shifts) live with
+    the shared scan -- that is the work the engine saves -- so this stream's
+    statistics carry the structural counters only.
+
+    The stream never reads the window below :meth:`keep_floor`; the engine
+    uses that floor (over all queries) to discard buffered input.
+    """
+
+    def __init__(
+        self, tables: RuntimeTables, window: ChunkCursor, sink: OutputSink | None = None
     ) -> None:
-        """Apply the opening and closing actions of a bachelor tag.
+        super().__init__(tables, window, sink)
+        self._state = tables.initial_state
+        self._vocabulary = tables.keyword_symbols.get(self._state, {})
+        self._transitions = tables.transition.get(self._state, {})
+        self._jumps = tables.jumps
+        self._actions = tables.actions
+        self._final_states = frozenset(
+            state.state_id for state in tables.automaton.states if state.is_final
+        )
+        self._search_from = 0
+        self._pending_jump = True
+        self._last_position = -1
+        self._done = self._state in self._final_states
 
-        The bachelor tag is emitted at most once: a (copy on, copy off) pair
-        degenerates to copying the tag, and a copy-tag action on either side
-        also copies the tag.
+    @property
+    def accepted(self) -> bool:
+        """True once the runtime automaton reached a final state."""
+        return self._done
+
+    def subscription_keywords(self) -> tuple[str, ...]:
+        """The keywords of the current state's frontier vocabulary.
+
+        The engine subscribes each stream to exactly these keywords and
+        refreshes the subscription whenever :meth:`push_token` reports a
+        transition, so hits no query currently searches for are never even
+        resolved -- the shared-scan analogue of the searching runtime
+        skipping irrelevant regions.  Empty once accepted.
+        """
+        if self._done:
+            return ()
+        return self._tables.vocabulary.get(self._state, ())
+
+    def keep_floor(self) -> int | None:
+        """Lowest absolute offset this stream may still read from the window.
+
+        ``None`` when the stream needs nothing retained: outside a copy
+        region every future slice starts at a future token, and future
+        tokens start at or above the engine's dispatch frontier.
         """
         if self._copy_active:
-            # Inside an active copy region the bachelor tag is part of the
-            # region and needs no individual treatment.
-            return
-        wants_copy = (
-            open_action in (Action.COPY_TAG, Action.COPY_ON)
-            or close_action in (Action.COPY_TAG, Action.COPY_OFF)
-        ) and not (open_action is Action.NOP and close_action is Action.NOP)
-        if wants_copy:
-            self._emit(self._window.slice(matched.start, matched.end + 1))
-            self.stats.tokens_copied += 1
+            return self._copy_emitted
+        return None
 
-    # ------------------------------------------------------------------
-    # Errors
-    # ------------------------------------------------------------------
-    def _transition_error(
-        self, state: int, symbol: Symbol, position: int
-    ) -> RuntimeFilterError:
-        kind, tag = symbol
-        rendering = f"<{tag}>" if kind == OPEN else f"</{tag}>"
-        return RuntimeFilterError(
-            f"no transition from runtime state {state} on token {rendering} "
-            f"(input offset {position}); the document does not conform to the DTD"
-        )
+    def _resolve_jump(self, state: int) -> None:
+        """Apply table J on entering ``state``, once input is known to follow.
+
+        The searching runtime adds J[q] to its cursor before the first
+        search in a state; a delivered occurrence proves input follows the
+        cursor, so the jump is resolved (and counted) on first delivery.
+        """
+        jump = self._jumps.get(state, 0)
+        if jump:
+            self.stats.initial_jumps += 1
+            self.stats.initial_jump_chars += jump
+            self._search_from += jump
+        self._pending_jump = False
+
+    def push_false_match(self, keyword: str, start: int) -> None:
+        """Deliver one false-match occurrence (tag name extends ``keyword``).
+
+        The searching runtime pays one local-scan comparison for a false
+        match of its current vocabulary and resumes just past it; this
+        replays that accounting.
+        """
+        if self._done:
+            return
+        if self._pending_jump:
+            self._resolve_jump(self._state)
+        if start < self._search_from:
+            return
+        if keyword not in self._vocabulary:
+            return
+        if start == self._last_position:
+            # A longer vocabulary keyword at the same position was already
+            # considered; the leftmost-longest search never reports this one.
+            return
+        self._last_position = start
+        self.stats.local_scan_chars += 1
+
+    def push_token(
+        self, keyword: str, start: int, end: int, is_bachelor: bool, scan_chars: int
+    ) -> bool:
+        """Consider one valid scanned token (document order).
+
+        ``end`` is the offset of the closing ``>`` and ``scan_chars`` the
+        end-of-tag scan span (``end - start - len(keyword) + 1``: every
+        character a private end-of-tag scan reads, counted once).  Returns
+        True when the token was accepted -- a transition was taken and the
+        frontier vocabulary may have changed -- so the engine can refresh
+        this stream's keyword subscription.
+        """
+        if self._done:
+            # Accepted automata ignore trailing tokens, like the searching
+            # runtime ignores trailing input.
+            return False
+        state = self._state
+        if self._pending_jump:
+            self._resolve_jump(state)
+        if start < self._search_from:
+            return False
+        vocabulary = self._vocabulary
+        if keyword not in vocabulary:
+            return False
+        if start == self._last_position:
+            # Shadowed by a longer vocabulary keyword at the same position.
+            return False
+        stats = self.stats
+        stats.local_scan_chars += scan_chars
+        stats.tokens_matched += 1
+        symbol = vocabulary[keyword]
+        if is_bachelor and symbol[0] == OPEN:
+            next_state = self._transition(
+                state, _MatchedTag(keyword, symbol, start, end, True)
+            )
+        else:
+            # Inlined non-bachelor transition and actions: the per-token
+            # fast path of the shared-scan engine (same semantics as
+            # _transition / _apply_action).
+            next_state = self._transitions.get(symbol)
+            if next_state is None:
+                raise self._transition_error(state, symbol, start)
+            action = self._actions.get(next_state)
+            if action is not None and action is not Action.NOP:
+                if action is Action.COPY_ON:
+                    if not self._copy_active:
+                        self._copy_active = True
+                        self._copy_tag = symbol[1]
+                        self._copy_emitted = start
+                elif action is Action.COPY_OFF:
+                    if self._copy_active and symbol[1] == self._copy_tag:
+                        self._emit(self._window.slice(self._copy_emitted, end + 1))
+                        stats.regions_copied += 1
+                        stats.tokens_copied += 1
+                        self._copy_active = False
+                        self._copy_tag = ""
+                        self._copy_emitted = 0
+                    elif not self._copy_active:
+                        # Asymmetric table entries degrade gracefully to
+                        # copying the closing tag itself.
+                        self._emit(self._window.slice(start, end + 1))
+                        stats.tokens_copied += 1
+                elif not self._copy_active:  # Action.COPY_TAG
+                    self._emit(self._window.slice(start, end + 1))
+                    stats.tokens_copied += 1
+        tables = self._tables
+        self._state = next_state
+        self._vocabulary = tables.keyword_symbols.get(next_state, {})
+        self._transitions = tables.transition.get(next_state, {})
+        self._search_from = end
+        self._pending_jump = True
+        self._last_position = -1
+        if next_state in self._final_states:
+            self._done = True
+        return True
+
+    def flush_copy(self, limit: int) -> None:
+        """Emit the open copy region up to ``limit``.
+
+        Only safe when every token starting below ``limit`` has been pushed
+        and ``limit`` does not exceed the buffered window; the engine calls
+        this after each feed so copy regions never pin the whole document.
+        """
+        if self._copy_active and limit > self._copy_emitted:
+            self._emit(self._window.slice(self._copy_emitted, limit))
+            self._copy_emitted = limit
+
+    def take_output(self) -> str:
+        """Output fragments emitted since the last call (sink-less mode)."""
+        return self._take_output()
+
+    def finish(self) -> str:
+        """End of input: validate acceptance and return remaining output."""
+        if self._finished:
+            raise RuntimeFilterError("driven stream is already finished")
+        self._finished = True
+        if not self._done and not self._tables.is_final(self._state):
+            raise self._incomplete_error()
+        if self._copy_active:
+            raise self._unclosed_copy_error()
+        output = self._take_output()
+        self.stats.output_size = self._emitted_chars
+        return output

@@ -17,6 +17,17 @@ the Python reproduction genuinely incremental:
 Everything downstream (the resumable matchers, :class:`~repro.core.runtime.
 RuntimeStream`, the incremental tokenizer) speaks absolute offsets so that
 positions keep their meaning across chunk boundaries and discards.
+
+Cost model
+----------
+The cursor is a two-part buffer: a merged string plus a list of appended
+segments that have not been merged yet.  ``append`` is O(1) (a list append);
+``discard_to`` tracks a dead prefix and only compacts the merged string when
+the dead prefix reaches half of it, so the total copying across a stream of
+n characters is O(n) amortised regardless of chunk size (every character is
+merged at most once and compacted away at most a constant number of times).
+Consumers that need a contiguous string for C-level searches call
+:meth:`ChunkCursor.view`, which merges the pending segments on demand.
 """
 
 from __future__ import annotations
@@ -27,31 +38,42 @@ from typing import IO, Iterable, Iterator
 #: read buffer the paper's prototype uses).
 DEFAULT_CHUNK_SIZE = 64 * 1024
 
+#: ``discard_to`` leaves dead prefixes below this size uncompacted even when
+#: they dominate the buffer -- compacting tiny strings costs more than the
+#: memory it returns.
+_COMPACT_MIN = 512
+
 
 class ChunkCursor:
     """A sliding window over a streamed text, addressed by absolute offsets.
 
-    The window holds ``text`` whose first character sits at stream offset
-    ``base``; ``end`` is one past the last buffered character.  ``append``
-    extends the window on the right, ``discard_to`` shrinks it on the left.
-    Consumers must never read below the highest ``discard_to`` floor they
-    have announced.
+    The window holds the characters in ``[base, end)`` of the stream.
+    ``append`` extends the window on the right, ``discard_to`` shrinks it on
+    the left.  Consumers must never read below the highest ``discard_to``
+    floor they have announced.
     """
 
-    __slots__ = ("text", "base", "eof")
+    __slots__ = ("base", "eof", "_buffer", "_start", "_segments", "_segments_length")
 
     def __init__(self) -> None:
-        self.text: str = ""
         self.base: int = 0
         self.eof: bool = False
+        #: Merged text; ``_buffer[_start:]`` is its live part.
+        self._buffer: str = ""
+        #: Dead-prefix length inside ``_buffer`` (characters below ``base``).
+        self._start: int = 0
+        #: Appended chunks not merged into ``_buffer`` yet.
+        self._segments: list[str] = []
+        self._segments_length: int = 0
 
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
     def append(self, chunk: str) -> None:
-        """Append ``chunk`` at the end of the window."""
+        """Append ``chunk`` at the end of the window (O(1))."""
         if chunk:
-            self.text += chunk
+            self._segments.append(chunk)
+            self._segments_length += len(chunk)
 
     def close(self) -> None:
         """Mark the end of the stream; no further appends are expected."""
@@ -63,36 +85,125 @@ class ChunkCursor:
     @property
     def end(self) -> int:
         """Absolute offset one past the last buffered character."""
-        return self.base + len(self.text)
+        return self.base + len(self._buffer) - self._start + self._segments_length
+
+    @property
+    def text(self) -> str:
+        """The live window as one string (copies; prefer :meth:`view`)."""
+        return self._merged()[self._start:]
 
     def discard_to(self, position: int) -> None:
-        """Drop every buffered character below absolute offset ``position``."""
+        """Drop every buffered character below absolute offset ``position``.
+
+        Whole dead chunks are dropped by reference; partially dead text is
+        only compacted once the dead prefix reaches half of the merged
+        buffer, which keeps total copying linear in the stream length.
+        """
         if position <= self.base:
             return
         limit = self.end
         if position >= limit:
-            self.text = ""
+            self._buffer = ""
+            self._start = 0
+            self._segments.clear()
+            self._segments_length = 0
             self.base = limit
             return
-        self.text = self.text[position - self.base:]
+        self._start += position - self.base
         self.base = position
+        buffer_length = len(self._buffer)
+        if self._start >= buffer_length:
+            # The dead prefix swallowed the whole merged buffer: drop it and
+            # any fully dead segments without copying, then promote the first
+            # partially live segment to be the new merged buffer.
+            dead = self._start - buffer_length
+            self._buffer = ""
+            self._start = 0
+            while self._segments and dead >= len(self._segments[0]):
+                dead -= len(self._segments[0])
+                self._segments_length -= len(self._segments[0])
+                del self._segments[0]
+            if dead:
+                self._buffer = self._segments.pop(0)
+                self._segments_length -= len(self._buffer)
+                self._start = dead
+        elif self._start >= _COMPACT_MIN and self._start * 2 >= buffer_length:
+            self._buffer = self._buffer[self._start:]
+            self._start = 0
+
+    def view(self) -> tuple[str, int]:
+        """``(buffer, buffer_base)``: one contiguous string plus the absolute
+        offset of its first character.
+
+        The buffer may begin with an already-discarded dead prefix below
+        ``base``; consumers must only read at or above the positions they
+        announced as still needed (which are always >= ``base``).  Pending
+        segments are merged on demand, so between two appends the same string
+        object is returned and no copying happens.
+        """
+        return self._merged(), self.base - self._start
 
     def char(self, position: int) -> str:
         """The character at absolute offset ``position``."""
-        return self.text[position - self.base]
+        local = position - self.base + self._start
+        if local < len(self._buffer):
+            return self._buffer[local]
+        local -= len(self._buffer)
+        for segment in self._segments:
+            if local < len(segment):
+                return segment[local]
+            local -= len(segment)
+        raise IndexError(f"offset {position} is outside the buffered window")
 
     def slice(self, start: int, stop: int) -> str:
         """The characters in ``[start, stop)`` (absolute offsets)."""
-        return self.text[start - self.base:stop - self.base]
+        low = start - self.base + self._start
+        high = stop - self.base + self._start
+        if high <= len(self._buffer):
+            return self._buffer[low:high]
+        return self._merged()[low:high]
 
     def find(self, needle: str, start: int, stop: int | None = None) -> int:
-        """``str.find`` in absolute coordinates; returns -1 when absent."""
-        local_stop = len(self.text) if stop is None else stop - self.base
-        found = self.text.find(needle, max(start - self.base, 0), local_stop)
-        return -1 if found < 0 else found + self.base
+        """``str.find`` in absolute coordinates; returns -1 when absent.
+
+        When the probed region lies inside the merged buffer -- or the whole
+        window is a single appended chunk -- the search runs directly on that
+        string, avoiding any materialisation per probe.
+        """
+        buffer_length = len(self._buffer)
+        low = max(start - self.base, 0) + self._start
+        high = (
+            buffer_length + self._segments_length
+            if stop is None
+            else stop - self.base + self._start
+        )
+        if high <= buffer_length:
+            found = self._buffer.find(needle, low, high)
+        elif not buffer_length and len(self._segments) == 1:
+            # The window spans a single chunk: search its tail directly.
+            found = self._segments[0].find(needle, low, high)
+        else:
+            found = self._merged().find(needle, low, high)
+        return -1 if found < 0 else found - self._start + self.base
 
     def __len__(self) -> int:
-        return len(self.text)
+        return len(self._buffer) - self._start + self._segments_length
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _merged(self) -> str:
+        """Merge any pending segments into the buffer and return it."""
+        if self._segments:
+            if self._buffer:
+                self._segments.insert(0, self._buffer)
+            self._buffer = (
+                self._segments[0] if len(self._segments) == 1
+                else "".join(self._segments)
+            )
+            self._segments.clear()
+            self._segments_length = 0
+        return self._buffer
 
 
 def iter_chunks(

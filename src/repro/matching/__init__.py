@@ -4,10 +4,13 @@ The package provides single-keyword matchers (naive, Horspool, Boyer-Moore,
 native ``str.find``) and multi-keyword matchers (naive, Aho-Corasick,
 Commentz-Walter, native), all sharing the interfaces defined in
 :mod:`repro.matching.base`, plus a :mod:`factory <repro.matching.factory>`
-that selects algorithms per backend name.
+that selects algorithms per backend name and the keyword -> owners
+:mod:`dispatch <repro.matching.dispatch>` layer of the shared multi-query
+scan.
 """
 
 from repro.matching.aho_corasick import AhoCorasickMatcher
+from repro.matching.dispatch import KeywordDispatcher, trie_regex
 from repro.matching.base import (
     Match,
     MatchStatistics,
@@ -38,6 +41,7 @@ __all__ = [
     "BoyerMooreMatcher",
     "CommentzWalterMatcher",
     "HorspoolMatcher",
+    "KeywordDispatcher",
     "Match",
     "MatchStatistics",
     "MultiKeywordMatcher",
@@ -53,4 +57,5 @@ __all__ = [
     "make_matcher",
     "make_multi_matcher",
     "make_single_matcher",
+    "trie_regex",
 ]

@@ -201,6 +201,35 @@ class SingleKeywordMatcher(ABC):
     #: approximate) fallback built on :meth:`find`.
     _search_chunk = None
 
+    def collect_chunk(
+        self, text: str, base: int, start: int, end: int, *, at_eof: bool
+    ) -> tuple[list[tuple[int, str]], int]:
+        """Every keyword occurrence decidable in one window of a stream.
+
+        Returns ``(hits, resume)``: all ``(position, keyword)`` occurrences
+        starting in ``[start, resume)`` in document order, where ``resume``
+        (the start of the next call) holds back the zone in which an
+        occurrence could still straddle the window end (none is held back
+        once ``at_eof``).  Unlike :meth:`find_chunk` this never suspends, so
+        it is the batch-scanning contract of the multi-query shared scan.
+        """
+        limit = end - base
+        low = start - base
+        resume = limit if at_eof else max(low, limit + 1 - len(self.keyword))
+        keyword = self.keyword
+        hits: list[tuple[int, str]] = []
+        position = low
+        before = self.stats.searches
+        while position < resume:
+            match = self.find(text, position, limit)
+            if match is None or match.position >= resume:
+                break
+            hits.append((match.position + base, keyword))
+            position = match.position + 1
+        # One logical batch scan, however many probes it took.
+        self.stats.searches = before + 1
+        return hits, resume + base
+
     def find_chunk(
         self,
         text: str,
@@ -292,6 +321,43 @@ class MultiKeywordMatcher(ABC):
     #: selects the generic fallback built on :meth:`find`.
     _search_chunk = None
 
+    def _prefix_table(self) -> dict[str, tuple[str, ...]]:
+        """Memoised :func:`proper_prefix_table` over this keyword set."""
+        table = getattr(self, "_prefix_keywords", None)
+        if table is None:
+            table = self._prefix_keywords = proper_prefix_table(self.keywords)
+        return table
+
+    def collect_chunk(
+        self, text: str, base: int, start: int, end: int, *, at_eof: bool
+    ) -> tuple[list[tuple[int, str]], int]:
+        """Every occurrence of every keyword decidable in one window.
+
+        Returns ``(hits, resume)`` like the single-keyword counterpart,
+        ordered by position with longer keywords first among co-located
+        occurrences.  This generic version repeats leftmost-longest ``find``
+        probes and expands shadowed prefix keywords from the table above;
+        backends with a cheaper batch strategy override it.
+        """
+        limit = end - base
+        low = start - base
+        resume = limit if at_eof else max(low, limit + 1 - self.max_keyword_length)
+        prefixes = self._prefix_table()
+        hits: list[tuple[int, str]] = []
+        position = low
+        before = self.stats.searches
+        while position < resume:
+            match = self.find(text, position, limit)
+            if match is None or match.position >= resume:
+                break
+            absolute = match.position + base
+            hits.append((absolute, match.keyword))
+            for prefix in prefixes[match.keyword]:
+                hits.append((absolute, prefix))
+            position = match.position + 1
+        self.stats.searches = before + 1
+        return hits, resume + base
+
     def find_chunk(
         self,
         text: str,
@@ -337,6 +403,28 @@ class _ShiftTables:
 
     bad_character: dict[str, int] = field(default_factory=dict)
     good_suffix: list[int] = field(default_factory=list)
+
+
+def proper_prefix_table(keywords: Sequence[str]) -> dict[str, tuple[str, ...]]:
+    """Keyword -> the given keywords that are proper prefixes of it.
+
+    Ordered longest first.  Two different keywords can only occur at the
+    same text position when one is a prefix of the other, so a
+    leftmost-longest scan plus this table recovers every co-located
+    occurrence; both the matchers' batch ``collect_chunk`` and the
+    multi-query dispatch layer share this single definition.
+    """
+    return {
+        keyword: tuple(
+            sorted(
+                (other for other in keywords
+                 if other != keyword and keyword.startswith(other)),
+                key=len,
+                reverse=True,
+            )
+        )
+        for keyword in keywords
+    }
 
 
 def leftmost_longest(matches: Sequence[Match]) -> Match | None:

@@ -22,6 +22,15 @@ from typing import Sequence
 
 from repro.matching.base import Match, MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
 
+#: Bounded-probe schedule of the multi-keyword search: ``str.find`` probes
+#: run block by block, starting small (dense match regions stay cheap) and
+#: doubling up to the cap (sparse regions are crossed in few C-level scans).
+#: Without the blocks a keyword that is absent from the rest of the buffered
+#: window costs one O(window) scan per search, which makes large streaming
+#: windows *slower* than small ones (the 1 MiB chunk-size collapse).
+_PROBE_INITIAL = 4 * 1024
+_PROBE_MAX = 64 * 1024
+
 
 class NativeSingleMatcher(SingleKeywordMatcher):
     """Single keyword search delegated to ``str.find``."""
@@ -105,21 +114,37 @@ class NativeMultiMatcher(MultiKeywordMatcher):
         return best
 
     def _leftmost(self, text: str, begin: int, limit: int) -> Match | None:
-        """Leftmost-longest occurrence in ``text[begin:limit]`` (local)."""
-        best: Match | None = None
-        search_limit = limit
-        for index in self._ordered:
-            keyword = self.keywords[index]
-            position = text.find(keyword, begin, search_limit)
-            if position < 0:
-                continue
-            if best is None or position < best.position:
-                best = Match(position=position, keyword=keyword, keyword_index=index)
-                # Later keywords can only win if they start strictly earlier,
-                # or start at the same position (longest-first ordering makes
-                # the current best the preferred tie winner).
-                search_limit = min(limit, best.position + len(keyword) + self.max_keyword_length)
-        return best
+        """Leftmost-longest occurrence in ``text[begin:limit]`` (local).
+
+        Probes block by block (doubling block sizes, see ``_PROBE_INITIAL``)
+        so keywords that are absent from the remaining window cost O(block)
+        per search instead of O(window): the result is identical to one
+        whole-window probe per keyword, but the searched region is bounded
+        by the distance to the leftmost occurrence.
+        """
+        keywords = self.keywords
+        block_start = begin
+        probe = _PROBE_INITIAL
+        while block_start < limit:
+            block_end = min(limit, block_start + probe)
+            best: Match | None = None
+            for index in self._ordered:
+                keyword = keywords[index]
+                # Occurrences *starting* below the bound; longest-first
+                # ordering makes the first keyword found at a position the
+                # preferred tie winner, so later keywords only need to probe
+                # for strictly earlier starts.
+                bound = block_end if best is None else best.position
+                position = text.find(
+                    keyword, block_start, min(limit, bound + len(keyword) - 1)
+                )
+                if 0 <= position < bound:
+                    best = Match(position=position, keyword=keyword, keyword_index=index)
+            if best is not None:
+                return best
+            block_start = block_end
+            probe = min(probe * 2, _PROBE_MAX)
+        return None
 
     def _finish_stats(self, best: Match | None, begin: int, limit: int) -> None:
         """Record the span-approximated counters of one completed search."""
@@ -161,3 +186,37 @@ class NativeMultiMatcher(MultiKeywordMatcher):
             return None
         next_resume = max(begin, end - self.max_keyword_length + 1)
         return PendingSearch(keep_from=next_resume, state=(begin, next_resume))
+
+    def collect_chunk(
+        self, text: str, base: int, start: int, end: int, *, at_eof: bool
+    ) -> tuple[list[tuple[int, str]], int]:
+        """Batch scan: one C-level ``str.find`` sweep per keyword.
+
+        The shared multi-query scan needs *every* occurrence of every
+        keyword; restarting leftmost-longest searches would probe each
+        keyword once per hit, so this override sweeps the window once per
+        keyword instead -- O(|keywords| x window + hits) total -- and merges
+        the results by position (longest keyword first on ties, which the
+        longest-first sweep order plus a stable sort preserves).
+        """
+        limit = end - base
+        low = start - base
+        resume = limit if at_eof else max(low, limit + 1 - self.max_keyword_length)
+        keywords = self.keywords
+        hits: list[tuple[int, str]] = []
+        for index in self._ordered:
+            keyword = keywords[index]
+            bound = min(limit, resume + len(keyword) - 1)
+            position = text.find(keyword, low, bound)
+            while 0 <= position < resume:
+                hits.append((position + base, keyword))
+                position = text.find(keyword, position + 1, bound)
+        hits.sort(key=lambda hit: hit[0])
+        self.stats.searches += 1
+        self.stats.matches += len(hits)
+        spanned = max(0, resume - low)
+        if spanned:
+            self.stats.comparisons += max(
+                1, (len(keywords) * spanned) // max(1, self.min_keyword_length)
+            )
+        return hits, resume + base

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
+from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
 from repro.core.stats import CompilationStatistics, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks, open_chunks
@@ -135,3 +136,107 @@ class XPathPipeline:
     ) -> list[ResultItem]:
         """Evaluate the query without prefiltering (the Figure 7(b) baseline)."""
         return self.engine.evaluate_chunks(iter_chunks(source, chunk_size))
+
+    @classmethod
+    def multi(
+        cls,
+        dtd: Dtd,
+        queries: Sequence[str],
+        *,
+        backend: str = "native",
+        use_plan_cache: bool = True,
+    ) -> "MultiXPathPipeline":
+        """Answer N XPath queries over one shared document pass.
+
+        The returned :class:`MultiXPathPipeline` prefilters the document
+        once through the shared-scan :class:`~repro.core.multi.
+        MultiQueryEngine` and pipes each query's projection straight into
+        its own streaming evaluator session.
+        """
+        return MultiXPathPipeline(
+            dtd, queries, backend=backend, use_plan_cache=use_plan_cache
+        )
+
+
+@dataclass
+class MultiPipelineOutcome:
+    """The result of one shared-scan multi-query pipeline run."""
+
+    queries: list[str]
+    outcomes: list[PipelineOutcome]
+    #: The once-paid shared-scan cost (timings, scanned characters).
+    scan_stats: RunStatistics = field(default_factory=RunStatistics)
+
+    def __iter__(self):
+        return iter(zip(self.queries, self.outcomes))
+
+
+class MultiXPathPipeline:
+    """N XPath queries over chunked documents, one shared document pass.
+
+    Construction compiles every query's prefilter (plans shared through the
+    global cache) and one union-scan engine; the pipeline object is
+    immutable and may be used for any number of concurrent :meth:`run`
+    calls.  Per run, every query keeps its own filter statistics, streaming
+    evaluator session and results -- identical to running N single-query
+    :class:`XPathPipeline` objects -- while the document is tokenized and
+    scanned once.
+    """
+
+    def __init__(
+        self,
+        dtd: Dtd,
+        queries: Sequence[str],
+        *,
+        backend: str = "native",
+        use_plan_cache: bool = True,
+    ) -> None:
+        self.dtd = dtd
+        self.queries = [str(query) for query in queries]
+        self.engines = [StreamingXPathEngine(query) for query in self.queries]
+        self.prefilter_engine = MultiQueryEngine(
+            dtd, self.queries, backend=backend, use_plan_cache=use_plan_cache
+        )
+
+    def run(
+        self,
+        source: str | IO[str] | Iterable[str],
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> MultiPipelineOutcome:
+        """Filter and evaluate ``source`` against every query at once.
+
+        The document is prefiltered incrementally in one pass; each query's
+        projected fragments flow straight into its private streaming
+        evaluator session, so no whole-document (or whole-projection)
+        string ever exists.
+        """
+        evaluations = [engine.session() for engine in self.engines]
+        session = self.prefilter_engine.session(
+            sinks=[evaluation.feed for evaluation in evaluations]
+        )
+        for chunk in iter_chunks(source, chunk_size):
+            session.feed(chunk)
+        session.finish()
+        outcomes = [
+            PipelineOutcome(
+                results=evaluation.finish(),
+                filter_stats=stats,
+                streaming_stats=evaluation.stats,
+                compilation=plan.compilation,
+            )
+            for evaluation, stats, plan in zip(
+                evaluations, session.stats, self.prefilter_engine.prefilters
+            )
+        ]
+        return MultiPipelineOutcome(
+            queries=list(self.queries),
+            outcomes=outcomes,
+            scan_stats=session.scan_stats,
+        )
+
+    def run_file(
+        self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> MultiPipelineOutcome:
+        """Run the multi-query pipeline over a document stored on disk."""
+        return self.run(open_chunks(path, chunk_size), chunk_size=chunk_size)

@@ -102,3 +102,59 @@ class TestCli:
             "--input", document_file, "--output", "/dev/null",
         ])
         assert code == 2
+
+
+class TestMultiQueryCli:
+    @pytest.fixture()
+    def medline_file(self, tmp_path):
+        from repro.workloads import load_dataset
+
+        path = tmp_path / "medline.xml"
+        path.write_text(load_dataset("medline", size_bytes=60_000),
+                        encoding="utf-8")
+        return str(path)
+
+    def test_workload_names_imply_the_dtd(self, capsys, medline_file):
+        code = main([
+            "--query", "M2", "--query", "M5", medline_file,
+            "--backend", "native", "--stats-json",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "==> M2 <==" in captured.out
+        assert "==> M5 <==" in captured.out
+        payload = json.loads(captured.err.strip().splitlines()[-1])
+        assert set(payload["queries"]) == {"M2", "M5"}
+        assert payload["scan"]["input_size"] > 0
+
+    def test_sections_match_independent_runs(self, capsys, medline_file):
+        from repro.core.prefilter import SmpPrefilter
+        from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+        code = main(["--query", "M2", "--input", medline_file,
+                     "--backend", "native"])
+        captured = capsys.readouterr()
+        assert code == 0
+        body = captured.out.split("==> M2 <==\n", 1)[1].rstrip("\n")
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        with open(medline_file, encoding="utf-8") as handle:
+            expected = plan.filter_document(handle.read()).output
+        assert body == expected
+
+    def test_output_base_writes_one_file_per_query(self, tmp_path, medline_file):
+        base = tmp_path / "projected"
+        code = main([
+            "--query", "M2", "--query", "M4",
+            "--input", medline_file, "--output", str(base),
+            "--backend", "native",
+        ])
+        assert code == 0
+        assert (tmp_path / "projected.M2.xml").exists()
+        assert (tmp_path / "projected.M4.xml").exists()
+
+    def test_raw_xpath_requires_dtd(self, capsys, medline_file):
+        code = main(["--query", "/a/b", medline_file])
+        assert code == 1
+        assert "need --dtd" in capsys.readouterr().err

@@ -57,6 +57,104 @@ class TestChunkCursor:
         cursor.close()
         assert cursor.eof
 
+    def test_append_is_deferred_until_a_reader_needs_the_text(self):
+        cursor = ChunkCursor()
+        cursor.append("abc")
+        cursor.append("def")
+        # Appends only record segments (O(1)); the merged buffer appears on
+        # demand and is then reused until the next append.
+        assert cursor._segments == ["abc", "def"]
+        text, base = cursor.view()
+        assert (text, base) == ("abcdef", 0)
+        assert cursor._segments == []
+        assert cursor.view()[0] is text
+
+    def test_view_exposes_the_dead_prefix_base(self):
+        cursor = ChunkCursor()
+        cursor.append("0123456789")
+        cursor.view()
+        cursor.discard_to(3)  # small dead prefix: kept, not compacted
+        text, base = cursor.view()
+        assert base <= cursor.base
+        assert text[cursor.base - base:] == "3456789"
+        assert cursor.text == "3456789"
+
+    def test_discard_drops_whole_segments_without_merging(self):
+        cursor = ChunkCursor()
+        cursor.append("aaaa")
+        cursor.append("bbbb")
+        cursor.append("cccc")
+        cursor.discard_to(8)  # both leading segments are fully dead
+        assert cursor._segments == ["cccc"]
+        assert cursor._buffer == ""
+        assert cursor.base == 8
+        assert cursor.text == "cccc"
+
+    def test_compaction_is_amortised(self):
+        # Many small discards over a large buffer must not copy the tail
+        # every time: the dead prefix is only compacted once it reaches
+        # half of the merged buffer.
+        cursor = ChunkCursor()
+        cursor.append("x" * 100_000)
+        cursor.view()
+        buffer_before = cursor._buffer
+        cursor.discard_to(10_000)
+        assert cursor._buffer is buffer_before  # no copy yet
+        cursor.discard_to(60_000)
+        assert len(cursor._buffer) == 40_000    # compacted once past half
+        assert cursor.text == "x" * 40_000
+
+    def test_char_and_slice_reach_into_unmerged_segments(self):
+        cursor = ChunkCursor()
+        cursor.append("abc")
+        cursor.append("def")
+        assert cursor.char(4) == "e"            # no merge needed
+        assert cursor._segments == ["abc", "def"]
+        assert cursor.slice(2, 5) == "cde"      # merge on demand
+
+    def test_find_searches_a_single_chunk_directly(self):
+        cursor = ChunkCursor()
+        cursor.append("0123456789")
+        cursor.discard_to(10)
+        cursor.append("abcdef")
+        # The window is one appended chunk: find must not materialise.
+        assert cursor.find("cd", 10) == 12
+        assert cursor._segments == ["abcdef"]
+        assert cursor.find("zz", 10) == -1
+        assert cursor._segments == ["abcdef"]
+
+    def test_find_spanning_buffer_and_segment(self):
+        cursor = ChunkCursor()
+        cursor.append("abc")
+        cursor.view()
+        cursor.append("def")
+        assert cursor.find("cd", 0) == 2
+
+    def test_interleaved_append_discard_roundtrip(self):
+        import random
+
+        rng = random.Random(31)
+        reference = ""
+        reference_base = 0
+        cursor = ChunkCursor()
+        for _ in range(300):
+            if rng.random() < 0.6:
+                chunk = "".join(rng.choice("abcd") for _ in range(rng.randint(0, 9)))
+                cursor.append(chunk)
+                reference += chunk
+            else:
+                floor = reference_base + rng.randint(
+                    0, len(reference) + 2
+                )
+                cursor.discard_to(floor)
+                drop = min(max(floor - reference_base, 0), len(reference))
+                reference = reference[drop:]
+                reference_base += drop
+            assert cursor.text == reference
+            assert cursor.base == reference_base
+            assert len(cursor) == len(reference)
+            assert cursor.end == reference_base + len(reference)
+
 
 class TestIterChunks:
     def test_string_is_sliced(self):

@@ -4,7 +4,9 @@ For every matcher backend, revealing the text in arbitrary pieces (including
 pathological 1-3 character chunks that split keywords) must return the same
 occurrence as a whole-text ``find`` -- and, because every bundled matcher
 defers its counters until a search completes or replays the identical scan,
-the accumulated statistics must be identical too.
+the accumulated statistics must be identical too.  ``searches`` is part of
+the compared tuple: one logical search counts once no matter how many times
+it suspends and resumes across chunk boundaries.
 """
 
 from __future__ import annotations
@@ -55,7 +57,13 @@ def drive_chunked(matcher, text, start, cuts):
 
 
 def stats_tuple(stats):
-    return (stats.comparisons, stats.shifts, stats.shift_total, stats.matches)
+    return (
+        stats.comparisons,
+        stats.shifts,
+        stats.shift_total,
+        stats.searches,
+        stats.matches,
+    )
 
 
 def random_case(rng):
