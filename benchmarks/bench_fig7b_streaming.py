@@ -8,9 +8,13 @@ MEDLINE-like document for queries M1-M5.
 
 A second table sweeps the chunk size of the *incremental* filter path and
 records throughput and peak memory per chunk size -- the constant-memory
-claim of Table I.  The sweep is persisted as machine-readable
+claim of Table I.  The sweep runs in three ingestion modes: ``str`` (the
+encode shim), ``bytes`` (the native path, no per-chunk encode or decode)
+and ``mmap`` (the whole memory-mapped document as the search buffer).  The
+sweep is persisted as machine-readable
 ``benchmarks/results/BENCH_streaming.json`` so future changes have a perf
-trajectory to compare against.
+trajectory to compare against; the bytes rows must not fall below the str
+rows at 1 MiB chunks (no decode-copy regression).
 """
 
 from __future__ import annotations
@@ -43,7 +47,7 @@ _REPORTER = TableReporter(
 _SWEEP_REPORTER = TableReporter(
     title="Streaming filter chunk-size sweep (MEDLINE, M2)",
     columns=[
-        "Chunk KiB", "Wall s", "MB/s", "Peak traced KiB", "Peak RSS MB",
+        "Mode", "Chunk KiB", "Wall s", "MB/s", "Peak traced KiB", "Peak RSS MB",
     ],
 )
 
@@ -109,27 +113,51 @@ def test_fig7b_row(benchmark, query_name, medline_document, medline_schema):
     assert pipelined_seconds < alone.wall_seconds
 
 
-@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
-def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schema):
-    """Throughput and peak memory of the chunked filter path per chunk size."""
+#: Ingestion modes of the sweep: the str encode shim, the native byte
+#: path, and (one row, no chunking) the memory-mapped whole-file window.
+SWEEP_CASES = tuple(
+    ("str", chunk_size) for chunk_size in CHUNK_SIZES
+) + tuple(
+    ("bytes", chunk_size) for chunk_size in CHUNK_SIZES
+) + (("mmap", 0),)
+
+
+@pytest.mark.parametrize(("mode", "chunk_size"), SWEEP_CASES,
+                         ids=lambda value: str(value))
+def test_chunk_size_sweep(benchmark, mode, chunk_size, medline_document,
+                          medline_schema, tmp_path_factory):
+    """Throughput and peak memory per chunk size and ingestion mode."""
     spec = MEDLINE_QUERIES["M2"]
     prefilter = SmpPrefilter.compile(
         medline_schema, spec.parsed_paths(), backend="native",
         add_default_paths=False,
     )
     input_size = len(medline_document)
+    document_bytes = medline_document.encode("utf-8")
+    if mode == "mmap":
+        mmap_path = tmp_path_factory.mktemp("sweep") / "medline.xml"
+        mmap_path.write_bytes(document_bytes)
 
     def run_streamed():
-        sink_chars = 0
+        sink_bytes = 0
 
-        def sink(fragment: str) -> None:
-            nonlocal sink_chars
-            sink_chars += len(fragment)
+        def sink(fragment) -> None:
+            nonlocal sink_bytes
+            sink_bytes += len(fragment)
 
-        run = prefilter.filter_stream(
-            iter_chunks(medline_document, chunk_size), sink=sink
-        )
-        return run, sink_chars
+        if mode == "str":
+            run = prefilter.filter_stream(
+                iter_chunks(medline_document, chunk_size), sink=sink,
+                binary=True,
+            )
+        elif mode == "bytes":
+            run = prefilter.filter_stream(
+                iter_chunks(document_bytes, chunk_size), sink=sink,
+                binary=True,
+            )
+        else:
+            run = prefilter.filter_mmap(str(mmap_path), sink=sink, binary=True)
+        return run, sink_bytes
 
     # Peak memory comes from a traced run; wall time from an untraced one
     # (tracemalloc slows allocation-heavy code down several-fold and would
@@ -137,11 +165,12 @@ def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schem
     traced = measure(run_streamed, trace_memory=True)
     timed = measure(run_streamed, trace_memory=False)
     benchmark.pedantic(lambda: run_streamed(), rounds=1, iterations=1)
-    run, sink_chars = timed.result
-    assert sink_chars == run.stats.output_size
+    run, sink_bytes = timed.result
+    assert sink_bytes == run.stats.output_size
 
     throughput = throughput_mb_per_second(input_size, timed.wall_seconds)
     _SWEEP_REPORTER.add_row(
+        mode,
         chunk_size / 1024,
         timed.wall_seconds,
         throughput,
@@ -149,6 +178,7 @@ def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schem
         megabytes(timed.peak_rss_bytes),
     )
     _SWEEP_ROWS.append({
+        "mode": mode,
         "chunk_size": float(chunk_size),
         "input_bytes": float(input_size),
         "wall_seconds": timed.wall_seconds,
@@ -158,17 +188,40 @@ def test_chunk_size_sweep(benchmark, chunk_size, medline_document, medline_schem
     })
 
     # The constant-memory claim: the traced peak tracks the chunk size plus
-    # the carry-over window, never the document.
-    assert traced.peak_memory_bytes < max(8 * chunk_size, 1 << 20)
+    # the carry-over window, never the document.  (The mmap window is file
+    # pages, not traced heap, so the same bound holds there.)
+    if mode != "mmap":
+        assert traced.peak_memory_bytes < max(8 * chunk_size, 1 << 20)
 
     # Large chunks must not collapse throughput (the pre-fix sweep showed
     # 367 MB/s at 64 KiB vs 112 MB/s at 1 MiB): the 1 MiB figure stays
     # within 2x of the 64 KiB figure, with slack for timer noise.
-    by_chunk = {int(row["chunk_size"]): row for row in _SWEEP_ROWS}
+    by_chunk = {
+        int(row["chunk_size"]): row
+        for row in _SWEEP_ROWS if row["mode"] == mode
+    }
     if 65536 in by_chunk and 1048576 in by_chunk:
         small = by_chunk[65536]["throughput_mb_per_second"]
         large = by_chunk[1048576]["throughput_mb_per_second"]
         assert large * 2.5 >= small, (
-            f"large-chunk throughput collapsed: {large:.0f} MB/s at 1 MiB "
-            f"vs {small:.0f} MB/s at 64 KiB"
+            f"large-chunk throughput collapsed ({mode}): {large:.0f} MB/s "
+            f"at 1 MiB vs {small:.0f} MB/s at 64 KiB"
+        )
+
+    # The no-decode-copy claim: at 1 MiB chunks the byte path must at least
+    # match the str shim (generous slack for timer noise in CI).
+    str_rows = {
+        int(row["chunk_size"]): row
+        for row in _SWEEP_ROWS if row["mode"] == "str"
+    }
+    bytes_rows = {
+        int(row["chunk_size"]): row
+        for row in _SWEEP_ROWS if row["mode"] == "bytes"
+    }
+    if 1048576 in str_rows and 1048576 in bytes_rows:
+        str_mbps = str_rows[1048576]["throughput_mb_per_second"]
+        bytes_mbps = bytes_rows[1048576]["throughput_mb_per_second"]
+        assert bytes_mbps * 1.25 >= str_mbps, (
+            f"byte path regressed below the str shim at 1 MiB chunks: "
+            f"{bytes_mbps:.0f} vs {str_mbps:.0f} MB/s"
         )

@@ -20,6 +20,7 @@ from repro import MultiQueryEngine, SmpPrefilter
 from repro.bench import TableReporter, measure, throughput_mb_per_second, write_json_report
 from repro.core.stream import iter_chunks
 from repro.workloads.medline import MEDLINE_QUERIES
+from repro.workloads.xmark import XMARK_QUERIES, XMARK_QUERY_ORDER
 
 #: Query sets per row: rising N, ending in the headline N=4 set (M2-M5).
 QUERY_SETS: tuple[tuple[str, ...], ...] = (
@@ -33,6 +34,12 @@ QUERY_SETS: tuple[tuple[str, ...], ...] = (
 CHUNK_SIZE = 64 * 1024
 ROUNDS = 5
 
+#: Many-query stress rows (XMark): rising N up to most of the workload, to
+#: locate the crossover where per-hit dispatch work catches up with the
+#: saved scanning -- the ROADMAP's "dozens of queries" follow-up.
+STRESS_COUNTS = (2, 4, 8, 12, 16)
+STRESS_ROUNDS = 3
+
 _REPORTER = TableReporter(
     title="Shared-scan multi-query engine vs N independent sessions (MEDLINE)",
     columns=[
@@ -41,7 +48,16 @@ _REPORTER = TableReporter(
     ],
 )
 
+_STRESS_REPORTER = TableReporter(
+    title="Many-query stress: shared scan vs N sessions (XMark, bytes path)",
+    columns=[
+        "N", "Shared s", "Shared MB/s",
+        "Sequential s", "Sequential MB/s", "Speedup",
+    ],
+)
+
 _ROWS: list[dict[str, object]] = []
+_STRESS_ROWS: list[dict[str, object]] = []
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -49,12 +65,17 @@ def _emit_table():
     yield
     if _REPORTER.rows:
         _REPORTER.emit()
-    if _ROWS:
+    if _STRESS_REPORTER.rows:
+        _STRESS_REPORTER.emit()
+    if _ROWS or _STRESS_ROWS:
         write_json_report("BENCH_multiquery.json", {
             "workload": "medline",
             "backend": "native",
             "chunk_size": CHUNK_SIZE,
             "rows": _ROWS,
+            "stress_workload": "xmark",
+            "stress_mode": "bytes",
+            "stress_rows": _STRESS_ROWS,
         })
 
 
@@ -127,3 +148,69 @@ def test_multiquery_row(benchmark, names, medline_document, medline_schema):
             f"shared scan only {speedup:.2f}x faster than {len(names)} "
             "independent sessions"
         )
+
+
+@pytest.mark.parametrize("count", STRESS_COUNTS)
+def test_multiquery_stress_row(benchmark, count, xmark_document, xmark_schema):
+    """12+ XMark queries through one byte-native shared scan.
+
+    The saved work (one scan instead of N) grows linearly in N while the
+    per-hit dispatch cost also grows with the subscription fan-out; this
+    row series locates the crossover empirically.  Input is fed as bytes
+    (the native path) on both sides of the comparison.
+    """
+    names = XMARK_QUERY_ORDER[:count]
+    specs = [XMARK_QUERIES[name] for name in names]
+    engine = MultiQueryEngine(xmark_schema, specs, backend="native")
+    plans = [
+        SmpPrefilter.cached_for_query(xmark_schema, spec, backend="native")
+        for spec in specs
+    ]
+    document_bytes = xmark_document.encode("utf-8")
+    input_size = len(document_bytes)
+
+    def shared():
+        return engine.filter_stream(
+            iter_chunks(document_bytes, CHUNK_SIZE), binary=True
+        )
+
+    def sequential():
+        return [
+            plan.session(binary=True).run(
+                iter_chunks(document_bytes, CHUNK_SIZE)
+            )
+            for plan in plans
+        ]
+
+    # Byte-identical per-query output is a precondition of the comparison.
+    shared_run = shared()
+    baseline_runs = sequential()
+    for name, output, reference in zip(names, shared_run.outputs, baseline_runs):
+        assert output == reference.output, name
+
+    shared_best = _best_of(shared, rounds=STRESS_ROUNDS)
+    sequential_best = _best_of(sequential, rounds=STRESS_ROUNDS)
+    benchmark.pedantic(shared, rounds=1, iterations=1)
+
+    speedup = sequential_best.wall_seconds / shared_best.wall_seconds
+    _STRESS_REPORTER.add_row(
+        count,
+        shared_best.wall_seconds,
+        throughput_mb_per_second(input_size, shared_best.wall_seconds),
+        sequential_best.wall_seconds,
+        throughput_mb_per_second(input_size, sequential_best.wall_seconds),
+        f"{speedup:.2f}x",
+    )
+    _STRESS_ROWS.append({
+        "queries": list(names),
+        "query_count": count,
+        "input_bytes": float(input_size),
+        "shared_wall_seconds": shared_best.wall_seconds,
+        "shared_mb_per_second":
+            throughput_mb_per_second(input_size, shared_best.wall_seconds),
+        "sequential_wall_seconds": sequential_best.wall_seconds,
+        "sequential_mb_per_second":
+            throughput_mb_per_second(input_size, sequential_best.wall_seconds),
+        "speedup": speedup,
+        "outputs_identical": True,
+    })

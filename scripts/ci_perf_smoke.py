@@ -1,12 +1,16 @@
-"""CI perf smoke: chunk-size sweep and shared-scan multi-query speedup.
+"""CI perf smoke: chunk sweep, bytes-vs-str bound, multi-query speedup.
 
-Two regressions this guards against, on a small MEDLINE document so the job
-stays fast and robust to runner noise:
+Three regressions this guards against, on a small MEDLINE document so the
+job stays fast and robust to runner noise:
 
 * the large-chunk throughput collapse (pre-fix: 367 MB/s at 64 KiB chunks
   vs 112 MB/s at 1 MiB chunks, caused by unbounded per-token probe scans
   over the buffered window) -- the 1 MiB figure must stay within a generous
   factor of the 64 KiB figure;
+* the byte-native path regressing below the str encode shim -- at 1 MiB
+  chunks feeding ``bytes`` must be at least as fast as feeding ``str``
+  (the whole point of byte-native ingestion is dropping the per-chunk
+  encode/decode copy, so bytes >= 1.0x str on best-of-N timings);
 * the shared-scan multi-query engine regressing toward the N-sessions
   baseline -- at N=4 (M2-M5) its wall time must not exceed 0.75x of running
   the four sessions sequentially (the committed BENCH_multiquery.json
@@ -28,6 +32,8 @@ SWEEP_CHUNKS = (64 * 1024, 1024 * 1024)
 #: 1 MiB-chunk wall time may be at most this factor of the 64 KiB figure
 #: (the pre-fix collapse was ~3.3x).
 SWEEP_FACTOR = 2.0
+#: Timer-noise slack of the bytes-vs-str bound (nominal bound: 1.0x).
+BYTES_NOISE_SLACK = 1.10
 MULTI_QUERIES = ("M2", "M3", "M4", "M5")
 #: Shared-scan wall time must not exceed this fraction of the baseline.
 MULTI_BOUND = 0.75
@@ -75,6 +81,35 @@ def main() -> int:
     else:
         print(f"OK: chunk-size sweep ratio {large / small:.2f}x "
               f"(bound {SWEEP_FACTOR}x)")
+
+    # --- bytes path vs str shim at 1 MiB chunks ---------------------------
+    document_bytes = document.encode("utf-8")
+    large_chunk = SWEEP_CHUNKS[-1]
+    str_wall = best_of(
+        lambda: plan.session(binary=True).run(
+            iter_chunks(document, large_chunk)
+        )
+    )
+    bytes_wall = best_of(
+        lambda: plan.session(binary=True).run(
+            iter_chunks(document_bytes, large_chunk)
+        )
+    )
+    ratio = str_wall / bytes_wall
+    print(f"1 MiB chunks: str shim {str_wall * 1000:.1f} ms, "
+          f"bytes {bytes_wall * 1000:.1f} ms (bytes {ratio:.2f}x str)")
+    # The nominal bound is bytes >= 1.0x str (the byte path strictly does
+    # less work); BYTES_NOISE_SLACK absorbs runner timer jitter like every
+    # other gate in this script, without hiding a real regression.
+    if bytes_wall > str_wall * BYTES_NOISE_SLACK:
+        print(f"FAIL: byte-native path slower than the str shim "
+              f"({bytes_wall * 1000:.1f} ms > {str_wall * 1000:.1f} ms "
+              f"x {BYTES_NOISE_SLACK}) -- the decode-copy saving has "
+              "regressed")
+        failures += 1
+    else:
+        print(f"OK: bytes path >= 1.0x the str path within noise "
+              f"({ratio:.2f}x, slack {BYTES_NOISE_SLACK}x)")
 
     # --- shared-scan multi-query vs N sessions ----------------------------
     specs = [MEDLINE_QUERIES[name] for name in MULTI_QUERIES]

@@ -17,15 +17,21 @@ Quickstart -- one-shot filtering of an in-memory document::
     print(run.stats.char_comparison_ratio, "% of characters inspected")
 
 Streaming -- the same prefilter over a document of any size, in
-O(chunk + carry window) memory with identical statistics::
+O(chunk + carry window) memory with identical statistics.  The execution
+core is *byte-native*: files are read (or memory-mapped) in binary, the
+matcher automata run directly on the UTF-8 bytes, and only the bytes
+copied to output are ever decoded (``str`` chunks keep working through a
+thin encode shim)::
 
     run = prefilter.filter_file("site.xml", chunk_size=64 * 1024)
+    run = prefilter.filter_mmap("site.xml")            # zero-copy window
+    run = prefilter.filter_bytes(payload)              # bytes in, bytes out
 
     # or drive a session by hand (e.g. from a socket):
-    session = prefilter.session()
-    for chunk in chunks:
-        sys.stdout.write(session.feed(chunk))
-    sys.stdout.write(session.finish())
+    session = prefilter.session(binary=True)
+    for chunk in repro.core.sources.socket_chunks(connection):
+        sys.stdout.buffer.write(session.feed(chunk))
+    sys.stdout.buffer.write(session.finish())
 
 End-to-end query answering (prefilter -> project -> evaluate) without any
 whole-document string lives in :class:`repro.pipeline.XPathPipeline`; the
@@ -34,6 +40,15 @@ same functionality is available from the shell as ``python -m repro``.
 
 from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
+from repro.core.sources import (
+    align_utf8_chunks,
+    decode_chunks,
+    file_chunks,
+    iter_byte_chunks,
+    mmap_chunks,
+    socket_chunks,
+    stdin_chunks,
+)
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
 from repro.dtd.model import Dtd
@@ -84,7 +99,14 @@ __all__ = [
     "XPathSyntaxError",
     "XmlSyntaxError",
     "__version__",
+    "align_utf8_chunks",
+    "decode_chunks",
     "extract_paths_from_xpath",
+    "file_chunks",
+    "iter_byte_chunks",
     "iter_chunks",
+    "mmap_chunks",
     "parse_projection_paths",
+    "socket_chunks",
+    "stdin_chunks",
 ]

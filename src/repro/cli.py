@@ -2,13 +2,19 @@
 
 Single-query mode filters an XML document (stdin or ``--input``) against a
 DTD and a set of projection paths, writing the projected document to stdout
-(or ``--output``).  The document flows through the streaming core in
-O(chunk + carry window) memory, so arbitrarily large inputs can be piped
-through::
+(or ``--output``).  The document flows through the *byte-native* streaming
+core in O(chunk + carry window) memory -- input is read in binary and never
+decoded, output is written in binary -- so arbitrarily large inputs can be
+piped through::
 
     python -m repro site.dtd "//australia//description#" < site.xml > proj.xml
     python -m repro site.dtd "/site/people/person#" --backend native \\
         --chunk-size 65536 --input site.xml --stats
+    python -m repro site.dtd "/site/people/person#" --input site.xml --mmap
+
+With ``--mmap`` the input file is memory-mapped and the matcher automata
+search the mapped pages directly: no chunked reads, no heap copy of the
+document, only the projected slices are ever materialised.
 
 Multi-query mode (repeatable ``--query``) compiles every query into the
 shared-scan :class:`~repro.core.multi.MultiQueryEngine`: the document is
@@ -22,7 +28,7 @@ XPath expressions combined with ``--dtd``::
 
 Without ``--output`` the per-query projections are printed as labelled
 sections (``==> M2 <==`` ...); with ``--output BASE`` each query streams
-into its own ``BASE.<label>.xml`` file in constant memory.
+into its own ``BASE.<label>.xml`` file (binary, constant memory).
 
 ``--stats`` prints the run's statistics (the paper's table columns) to
 stderr; ``--stats-json`` emits them as one machine-readable JSON object.
@@ -33,14 +39,16 @@ which is how the CI smoke job asserts the constant-memory behaviour.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import re
 import sys
 import tracemalloc
-from typing import IO, Sequence
+from typing import Sequence
 
 from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
+from repro.core.sources import Utf8SlidingDecoder, open_mmap
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.dtd.model import Dtd
 from repro.errors import ReproError
@@ -92,12 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_CHUNK_SIZE,
         metavar="BYTES",
-        help=f"input chunk size in characters (default: {DEFAULT_CHUNK_SIZE})",
+        help=f"input chunk size in bytes (default: {DEFAULT_CHUNK_SIZE})",
     )
     parser.add_argument(
         "--input",
         metavar="FILE",
         help="read the document from FILE instead of stdin",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the --input file and search the mapped pages "
+             "directly (zero-copy window; requires --input)",
     )
     parser.add_argument(
         "--output",
@@ -130,12 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _render_stats(stats, compilation) -> str:
     lines = [
-        f"input size:        {stats.input_size} chars",
-        f"projected size:    {stats.output_size} chars "
+        f"input size:        {stats.input_size} bytes",
+        f"projected size:    {stats.output_size} bytes "
         f"({100.0 * stats.projection_ratio:.2f}%)",
         f"states (CW+BM):    {compilation.states_label()}",
         f"char comparisons:  {stats.char_comparison_ratio:.2f}% of document",
-        f"avg shift size:    {stats.average_shift:.2f} chars",
+        f"avg shift size:    {stats.average_shift:.2f} bytes",
         f"initial jumps:     {stats.initial_jump_ratio:.2f}% of document",
         f"tokens matched:    {stats.tokens_matched}",
         f"throughput:        {stats.throughput_mb_per_second:.2f} MB/s",
@@ -145,7 +159,46 @@ def _render_stats(stats, compilation) -> str:
     return "\n".join(lines)
 
 
-def _run_filter(arguments, document: IO[str], output: IO[str]) -> int:
+class _Sink:
+    """A write target that prefers the binary layer of a stream.
+
+    Real files and standard streams expose a ``buffer``; the sink then runs
+    the session in binary mode and writes the projected bytes verbatim.
+    Text-only streams (e.g. ``io.StringIO`` doubles in tests) fall back to
+    text mode, where the session decodes exactly the emitted bytes.
+    """
+
+    def __init__(self, stream) -> None:
+        buffer = getattr(stream, "buffer", None)
+        self._stream = stream
+        if buffer is not None:
+            self.binary = True
+            self.write = buffer.write
+        else:
+            self.binary = isinstance(getattr(stream, "mode", ""), str) and \
+                "b" in getattr(stream, "mode", "")
+            self.write = stream.write
+
+    def write_text(self, text: str) -> None:
+        self.write(text.encode("utf-8") if self.binary else text)
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+
+def _feed_session(session, arguments, document) -> None:
+    """Drive ``session`` from the chunked document or a memory map."""
+    if arguments.mmap:
+        with open_mmap(arguments.input) as mapping:
+            session.feed(mapping)
+            session.finish()
+        return
+    for chunk in iter_chunks(document, arguments.chunk_size):
+        session.feed(chunk)
+    session.finish()
+
+
+def _run_filter(arguments, document, output_stream) -> int:
     dtd_path, paths = arguments.positional[0], arguments.positional[1:]
     with open(dtd_path, "r", encoding="utf-8") as handle:
         dtd = Dtd.parse(handle.read())
@@ -155,23 +208,23 @@ def _run_filter(arguments, document: IO[str], output: IO[str]) -> int:
         backend=arguments.backend,
         add_default_paths=not arguments.no_default_paths,
     )
+    sink = _Sink(output_stream)
     if arguments.measure_memory:
         tracemalloc.start()
-    session = prefilter.session(sink=output.write)
-    for chunk in iter_chunks(document, arguments.chunk_size):
-        session.feed(chunk)
-    session.finish()
+    session = prefilter.session(sink=sink.write, binary=sink.binary)
+    _feed_session(session, arguments, document)
     stats = session.stats
     if arguments.measure_memory:
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         stats.peak_memory_bytes = peak
-    output.flush()
+    sink.flush()
     if arguments.stats_json:
         payload = stats.as_dict()
         payload["peak_memory_bytes"] = float(stats.peak_memory_bytes)
         payload["chunk_size"] = float(arguments.chunk_size)
         payload["backend"] = arguments.backend
+        payload["mmap"] = bool(arguments.mmap)
         print(json.dumps(payload, sort_keys=True), file=sys.stderr)
     if arguments.stats:
         print(_render_stats(stats, prefilter.compilation), file=sys.stderr)
@@ -218,26 +271,38 @@ def _label_slug(label: str) -> str:
     return slug or "query"
 
 
-def _run_multi(arguments, document: IO[str], output: IO[str]) -> int:
+def _query_output_paths(base: str, labels: Sequence[str]) -> list[str]:
+    """One output path per query label, never clobbering on slug clashes."""
+    paths: list[str] = []
+    seen_slugs: dict[str, int] = {}
+    for label in labels:
+        slug = _label_slug(label)
+        count = seen_slugs.get(slug, 0)
+        seen_slugs[slug] = count + 1
+        if count:
+            # Distinct queries may slug identically; never clobber.
+            slug = f"{slug}.{count + 1}"
+        paths.append(f"{base}.{slug}.xml")
+    return paths
+
+
+def _run_multi(arguments, document, output_stream) -> int:
     dtd, queries = _resolve_queries(arguments)
     engine = MultiQueryEngine(dtd, queries, backend=arguments.backend)
     labels = engine.labels
 
-    sink_files: list[IO[str]] = []
-    buffers: list[list[str]] | None = None
-    try:
+    buffers: list[list[bytes]] | None = None
+    # Per-query output files are opened through an ExitStack so every
+    # already-open file is closed on *any* error path -- including a failure
+    # while opening a later file or mid-filtering -- and written in binary:
+    # the byte path never re-encodes the projection.
+    with contextlib.ExitStack() as stack:
         if arguments.output:
-            seen_slugs: dict[str, int] = {}
-            for label in labels:
-                slug = _label_slug(label)
-                count = seen_slugs.get(slug, 0)
-                seen_slugs[slug] = count + 1
-                if count:
-                    # Distinct queries may slug identically; never clobber.
-                    slug = f"{slug}.{count + 1}"
-                path = f"{arguments.output}.{slug}.xml"
-                sink_files.append(open(path, "w", encoding="utf-8"))
-            sinks = [handle.write for handle in sink_files]
+            handles = [
+                stack.enter_context(open(path, "wb"))
+                for path in _query_output_paths(arguments.output, labels)
+            ]
+            sinks = [handle.write for handle in handles]
         else:
             buffers = [[] for _ in labels]
             sinks = [fragments.append for fragments in buffers]
@@ -245,31 +310,40 @@ def _run_multi(arguments, document: IO[str], output: IO[str]) -> int:
         if arguments.measure_memory:
             tracemalloc.start()
         try:
-            session = engine.session(sinks=sinks)
-            for chunk in iter_chunks(document, arguments.chunk_size):
-                session.feed(chunk)
-            session.finish()
+            session = engine.session(sinks=sinks, binary=True)
+            _feed_session(session, arguments, document)
         finally:
             if arguments.measure_memory:
                 _, peak = tracemalloc.get_traced_memory()
                 tracemalloc.stop()
         if arguments.measure_memory:
             session.scan_stats.peak_memory_bytes = peak
-    finally:
-        for handle in sink_files:
-            handle.close()
 
     if buffers is not None:
+        sink = _Sink(output_stream)
         for label, fragments in zip(labels, buffers):
-            output.write(f"==> {label} <==\n")
-            output.write("".join(fragments))
-            output.write("\n")
-        output.flush()
+            sink.write_text(f"==> {label} <==\n")
+            if sink.binary:
+                for fragment in fragments:
+                    sink.write(fragment)
+            else:
+                # Buffered fragments can end mid-UTF-8-sequence (copy
+                # regions flush at arbitrary byte offsets), so a text-only
+                # stream needs an incremental decoder per query.
+                decoder = Utf8SlidingDecoder()
+                for fragment in fragments:
+                    sink.write(decoder.decode(fragment))
+                tail = decoder.finish()
+                if tail:
+                    sink.write(tail)
+            sink.write_text("\n")
+        sink.flush()
 
     if arguments.stats_json:
         payload = {
             "backend": arguments.backend,
             "chunk_size": float(arguments.chunk_size),
+            "mmap": bool(arguments.mmap),
             "scan": session.scan_stats.as_dict(),
             "queries": {
                 label: stats.as_dict()
@@ -283,7 +357,7 @@ def _run_multi(arguments, document: IO[str], output: IO[str]) -> int:
     if arguments.stats:
         scan = session.scan_stats
         print(
-            f"shared scan:       {scan.input_size} chars, "
+            f"shared scan:       {scan.input_size} bytes, "
             f"{scan.tokens_matched} tokens, "
             f"{scan.throughput_mb_per_second:.2f} MB/s",
             file=sys.stderr,
@@ -318,28 +392,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             "single-query mode needs a DTD file and at least one projection "
             "path (or use --query)"
         )
+    if arguments.mmap and not arguments.input:
+        parser.error("--mmap requires an --input file")
     try:
-        document = (
-            open(arguments.input, "r", encoding="utf-8")
-            if arguments.input
-            else sys.stdin
-        )
-        try:
-            output = (
-                open(arguments.output, "w", encoding="utf-8")
-                if arguments.output and not arguments.query
-                else sys.stdout
-            )
-            try:
-                if arguments.query:
-                    return _run_multi(arguments, document, output)
-                return _run_filter(arguments, document, output)
-            finally:
-                if arguments.output and not arguments.query:
-                    output.close()
-        finally:
-            if arguments.input:
-                document.close()
+        with contextlib.ExitStack() as stack:
+            if arguments.mmap:
+                document = None  # the sessions map the file themselves
+            elif arguments.input:
+                # Binary reads: the byte-native core never decodes input.
+                document = stack.enter_context(open(arguments.input, "rb"))
+            else:
+                document = getattr(sys.stdin, "buffer", sys.stdin)
+            if arguments.output and not arguments.query:
+                output = stack.enter_context(open(arguments.output, "wb"))
+            else:
+                output = sys.stdout
+            if arguments.query:
+                return _run_multi(arguments, document, output)
+            return _run_filter(arguments, document, output)
     except FileNotFoundError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2

@@ -38,10 +38,14 @@ Two dispatch refinements keep the per-hit interpreter cost low:
   character belongs to the longer keyword's tag name), so their rejection
   bookkeeping is dispatched without reading the text.
 
-Like the single-query session, a :class:`MultiQuerySession` is incremental:
-feed arbitrary chunks, memory stays O(chunk + carry window) where the carry
-window covers the suspended scan tail plus un-flushed copy regions across
-all queries.
+Like the single-query session, a :class:`MultiQuerySession` is incremental
+and *byte-native*: feed arbitrary ``bytes`` chunks (``str`` chunks are
+UTF-8 encoded on entry), the union automaton is a ``bytes`` pattern running
+directly on the buffered wire/disk representation, and memory stays
+O(chunk + carry window) where the carry window covers the suspended scan
+tail plus un-flushed copy regions across all queries.  Only the bytes each
+query actually copies to output are ever decoded (text mode) -- or none at
+all (``binary=True``).
 """
 
 from __future__ import annotations
@@ -49,22 +53,19 @@ from __future__ import annotations
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Sequence
+from typing import Sequence
 
 from repro.core.prefilter import SmpPrefilter
-from repro.core.runtime import DrivenStream, OutputSink
+from repro.core.runtime import AnySink, DrivenStream
+from repro.core.sources import file_chunks, open_mmap
 from repro.core.stats import CompilationStatistics, RunStatistics
-from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks, open_chunks
+from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks
 from repro.core.tables import RuntimeTables
 from repro.dtd.model import Dtd
 from repro.errors import QueryError, RuntimeFilterError
 from repro.matching.dispatch import KeywordDispatcher
 from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
-from repro.xml.escape import is_name_char
-
-#: Memoised ``is_name_char`` verdicts (one entry per distinct character seen);
-#: the cache goes through the same predicate, so classification is identical.
-_NAME_CHAR_CACHE: dict[str, bool] = {}
+from repro.xml.escape import is_name_byte
 
 
 @dataclass
@@ -81,10 +82,10 @@ class MultiQueryRun:
         return iter(zip(self.labels, self.outputs, self.stats))
 
 
-def _all_keywords(tables: RuntimeTables) -> set[str]:
-    """Every keyword a runtime can search for, across all of its states."""
-    keywords: set[str] = set()
-    for vocabulary in tables.vocabulary.values():
+def _all_keywords(tables: RuntimeTables) -> set[bytes]:
+    """Every UTF-8 keyword a runtime can search for, across all its states."""
+    keywords: set[bytes] = set()
+    for vocabulary in tables.vocabulary_bytes.values():
         keywords.update(vocabulary)
     return keywords
 
@@ -151,8 +152,8 @@ class MultiQueryEngine:
                 )
             self.labels.append(label)
             self.prefilters.append(plan)
-        #: Owner index -> every keyword that query can search for.
-        self.vocabularies: dict[int, set[str]] = {
+        #: Owner index -> every UTF-8 keyword that query can search for.
+        self.vocabularies: dict[int, set[bytes]] = {
             index: _all_keywords(plan.tables)
             for index, plan in enumerate(self.prefilters)
         }
@@ -163,15 +164,19 @@ class MultiQueryEngine:
     # Sessions
     # ------------------------------------------------------------------
     def session(
-        self, *, sinks: Sequence[OutputSink | None] | None = None
+        self,
+        *,
+        sinks: Sequence[AnySink | None] | None = None,
+        binary: bool = False,
     ) -> "MultiQuerySession":
         """Open a streaming session for one document.
 
         ``sinks`` optionally routes each query's projected fragments to its
         own callback (one entry per query, ``None`` entries accumulate); the
-        per-feed return values are then empty strings for those queries.
+        per-feed return values are then empty for those queries.  With
+        ``binary=True`` every output channel carries raw projected bytes.
         """
-        return MultiQuerySession(self, sinks=sinks)
+        return MultiQuerySession(self, sinks=sinks, binary=binary)
 
     # ------------------------------------------------------------------
     # One-shot entry points
@@ -182,36 +187,69 @@ class MultiQueryEngine:
         """Filter a whole in-memory document against every query."""
         return self.filter_stream([text], measure_memory=measure_memory)
 
+    def filter_bytes(
+        self, data: bytes, *, measure_memory: bool = False, binary: bool = True
+    ) -> MultiQueryRun:
+        """Filter a whole in-memory UTF-8 byte document (byte-native path)."""
+        return self.filter_stream(
+            [data], measure_memory=measure_memory, binary=binary
+        )
+
     def filter_file(
         self,
         path: str,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        sinks: Sequence[OutputSink | None] | None = None,
+        sinks: Sequence[AnySink | None] | None = None,
         measure_memory: bool = False,
+        binary: bool = False,
     ) -> MultiQueryRun:
-        """Filter a document stored on disk, reading ``chunk_size`` chunks."""
+        """Filter a document stored on disk, reading binary ``chunk_size``
+        chunks (the input is never decoded)."""
         return self.filter_stream(
-            open_chunks(path, chunk_size),
+            file_chunks(path, chunk_size),
             chunk_size=chunk_size,
             sinks=sinks,
             measure_memory=measure_memory,
+            binary=binary,
         )
+
+    def filter_mmap(
+        self,
+        path: str,
+        *,
+        sinks: Sequence[AnySink | None] | None = None,
+        measure_memory: bool = False,
+        binary: bool = False,
+    ) -> MultiQueryRun:
+        """Filter a memory-mapped document: the shared scan runs directly
+        over the mapped pages and only projected slices reach the heap."""
+        with open_mmap(path) as mapping:
+            return self.filter_stream(
+                [mapping],
+                sinks=sinks,
+                measure_memory=measure_memory,
+                binary=binary,
+            )
 
     def filter_stream(
         self,
-        chunks: Iterable[str] | IO[str],
+        chunks,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        sinks: Sequence[OutputSink | None] | None = None,
+        sinks: Sequence[AnySink | None] | None = None,
         measure_memory: bool = False,
+        binary: bool = False,
     ) -> MultiQueryRun:
-        """Filter chunked input against every query in one document pass."""
+        """Filter chunked input against every query in one document pass.
+
+        Chunks may be ``bytes`` (native) or ``str`` (encoded on entry).
+        """
         if measure_memory:
             tracemalloc.start()
         try:
-            session = self.session(sinks=sinks)
-            pieces: list[list[str]] = [[] for _ in self.prefilters]
+            session = self.session(sinks=sinks, binary=binary)
+            pieces: list[list] = [[] for _ in self.prefilters]
             for chunk in iter_chunks(chunks, chunk_size):
                 for index, emitted in enumerate(session.feed(chunk)):
                     if emitted:
@@ -225,9 +263,10 @@ class MultiQueryEngine:
                 tracemalloc.stop()
         if measure_memory:
             session.scan_stats.peak_memory_bytes = peak
+        empty = b"" if binary else ""
         return MultiQueryRun(
             labels=list(self.labels),
-            outputs=["".join(fragments) for fragments in pieces],
+            outputs=[empty.join(fragments) for fragments in pieces],
             stats=session.stats,
             scan_stats=session.scan_stats,
             compilations=[plan.compilation for plan in self.prefilters],
@@ -247,19 +286,23 @@ class MultiQuerySession:
     def __init__(
         self,
         engine: MultiQueryEngine,
-        sinks: Sequence[OutputSink | None] | None = None,
+        sinks: Sequence[AnySink | None] | None = None,
+        *,
+        binary: bool = False,
     ) -> None:
         if sinks is not None and len(sinks) != len(engine.prefilters):
             raise QueryError(
                 f"expected {len(engine.prefilters)} sinks, got {len(sinks)}"
             )
         self.engine = engine
-        self._window = ChunkCursor()
+        self.binary = binary
+        self._window = ChunkCursor(binary=True)
         self._streams = [
             DrivenStream(
                 plan.tables,
                 self._window,
                 sink=None if sinks is None else sinks[index],
+                binary=binary,
             )
             for index, plan in enumerate(engine.prefilters)
         ]
@@ -270,14 +313,14 @@ class MultiQuerySession:
         self._finished = False
         #: Engine-level counters: the once-paid scanning cost plus timings.
         self.scan_stats = RunStatistics()
-        # Dynamic subscriptions: keyword -> indices of streams whose
+        # Dynamic subscriptions: byte keyword -> indices of streams whose
         # *current* state searches it.  Hits nobody subscribes to are
         # dropped after one dictionary probe, unresolved.
-        self._subscribed: list[tuple[str, ...]] = [() for _ in self._streams]
-        self._subscribers: dict[str, list[int]] = {}
+        self._subscribed: list[tuple[bytes, ...]] = [() for _ in self._streams]
+        self._subscribers: dict[bytes, list[int]] = {}
         #: (old, new) vocabulary tuples -> (removals, additions); transitions
         #: cycle through few distinct state pairs, so diffs are computed once.
-        self._diff_cache: dict[tuple, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+        self._diff_cache: dict[tuple, tuple[tuple[bytes, ...], tuple[bytes, ...]]] = {}
         for index in range(len(self._streams)):
             self._resubscribe(index)
 
@@ -302,10 +345,13 @@ class MultiQuerySession:
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
-    def feed(self, chunk: str) -> list[str]:
-        """Process one input chunk; returns the per-query emitted output."""
+    def feed(self, chunk) -> list:
+        """Process one input chunk (``bytes`` natively, ``str`` through the
+        encode shim); returns the per-query emitted output."""
         if self._finished:
             raise RuntimeFilterError("cannot feed a finished multi-query session")
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
         started = time.perf_counter()
         length = len(chunk)
         self.scan_stats.input_size += length
@@ -317,7 +363,7 @@ class MultiQuerySession:
         self.scan_stats.run_seconds += time.perf_counter() - started
         return [stream.take_output() for stream in self._streams]
 
-    def finish(self) -> list[str]:
+    def finish(self) -> list:
         """Signal end of input; returns the remaining per-query output.
 
         Raises :class:`RuntimeFilterError` when any query's automaton did
@@ -356,8 +402,7 @@ class MultiQuerySession:
         dispatcher = self._dispatcher
         prefixes = dispatcher.prefixes
         scan_stats = self.scan_stats
-        name_char = is_name_char
-        name_char_cache = _NAME_CHAR_CACHE
+        name_byte = is_name_byte
         text, base = window.view()
         eof = window.eof
         length = len(text)
@@ -379,23 +424,20 @@ class MultiQuerySession:
                     self._scan_from = start
                     scan_stats.char_comparisons += start - scanned_from
                     return
-                if after < length:
-                    character = text[after]
-                    extends = name_char_cache.get(character)
-                    if extends is None:
-                        extends = name_char_cache[character] = name_char(character)
-                else:
-                    extends = False
+                # A byte >= 0x80 is part of a multi-byte UTF-8 name
+                # character, so the verdict never depends on sequence
+                # boundaries falling inside the buffered window.
+                extends = after < length and name_byte(text[after])
                 if extends:
                     # False match: the tag name extends the keyword.
                     for owner in subscribed:
                         streams[owner].push_false_match(keyword, start)
                 else:
                     # Valid token: locate the closing '>' outside quotes.
-                    closing = text.find(">", after)
+                    closing = text.find(b">", after)
                     if closing >= 0 and (
-                        text.find('"', after, closing) >= 0
-                        or text.find("'", after, closing) >= 0
+                        text.find(b'"', after, closing) >= 0
+                        or text.find(b"'", after, closing) >= 0
                     ):
                         closing = self._tag_end_with_quotes(text, after)
                     if closing < 0:
@@ -407,7 +449,7 @@ class MultiQuerySession:
                         self._scan_from = start
                         scan_stats.char_comparisons += start - scanned_from
                         return
-                    bachelor = closing > after and text[closing - 1] == "/"
+                    bachelor = closing > after and text[closing - 1] == 0x2F  # '/'
                     scan_stats.tokens_matched += 1
                     # scan_chars: every character a private end-of-tag scan
                     # reads is counted exactly once -- the span itself.
@@ -439,20 +481,20 @@ class MultiQuerySession:
         scan_stats.char_comparisons += self._scan_from - scanned_from
 
     @staticmethod
-    def _tag_end_with_quotes(text: str, position: int) -> int:
-        """Text-local closing-``>`` scan skipping quoted attribute values.
+    def _tag_end_with_quotes(text, position: int) -> int:
+        """Window-local closing-``>`` scan skipping quoted attribute values.
 
         Mirrors the searching runtime's end-of-tag scan; returns -1 when the
-        tag is still incomplete in the buffered text.
+        tag is still incomplete in the buffered bytes.
         """
         cursor = position
         length = len(text)
         while cursor < length:
-            character = text[cursor]
-            if character == ">":
+            byte = text[cursor]
+            if byte == 0x3E:  # '>'
                 return cursor
-            if character in ('"', "'"):
-                quote_end = text.find(character, cursor + 1)
+            if byte == 0x22 or byte == 0x27:  # '"' / "'"
+                quote_end = text.find(b'"' if byte == 0x22 else b"'", cursor + 1)
                 if quote_end < 0:
                     return -1
                 cursor = quote_end + 1

@@ -16,19 +16,25 @@ the lookup tables of Figure 3.  The compiled object is a reusable *plan*
 10 MB to 5 GB); :meth:`SmpPrefilter.cached` memoises plans keyed by
 ``(DTD, paths, backend)`` so independent callers share one compilation.
 
-Documents are filtered either in one shot (:meth:`filter_document`) or
-incrementally in O(chunk + carry window) memory through the streaming
-session API::
+Documents are filtered either in one shot (:meth:`filter_document` /
+:meth:`filter_bytes`) or incrementally in O(chunk + carry window) memory
+through the streaming session API::
 
     session = prefilter.session()
-    for chunk in chunks:
+    for chunk in chunks:          # bytes chunks natively, str via the shim
         out.write(session.feed(chunk))
     out.write(session.finish())
     session.stats               # identical to a filter_document run
 
-:meth:`filter_file` and :meth:`filter_stream` wrap that session loop with a
-configurable ``chunk_size``; each session owns its runtime, so any number of
-sessions compiled from the same plan can run concurrently.
+The execution core is byte-native (:mod:`repro.core.runtime`): ``str``
+input is UTF-8 encoded on entry and only the bytes actually copied to the
+projection are ever decoded back.  :meth:`filter_file` therefore reads in
+*binary* (no decode copy), :meth:`filter_mmap` runs the matchers directly
+over a memory-mapped file, and ``binary=True`` on any entry point keeps
+the output as raw projected bytes.  :meth:`filter_stream` wraps the
+session loop with a configurable ``chunk_size``; each session owns its
+runtime, so any number of sessions compiled from the same plan can run
+concurrently.
 """
 
 from __future__ import annotations
@@ -40,7 +46,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
-from repro.core.runtime import OutputSink, RuntimeStream, SmpRuntime
+from repro.core.runtime import AnySink, RuntimeStream, SmpRuntime
+from repro.core.sources import file_chunks, open_mmap
 from repro.core.static_analysis import AnalysisResult, StaticAnalyzer
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
@@ -189,21 +196,41 @@ class SmpPrefilter:
             self._runtime = SmpRuntime(self.tables, backend=self.backend)
         return self._runtime
 
-    def session(self, *, sink: OutputSink | None = None) -> "FilterSession":
+    def session(
+        self, *, sink: AnySink | None = None, binary: bool = False
+    ) -> "FilterSession":
         """Open a streaming filter session for one document.
 
         Each session owns a private runtime over the shared compiled tables,
         so sessions obtained from one prefilter may run concurrently.  With
         ``sink`` the projected fragments are pushed to the callback and the
-        session's ``feed``/``finish`` return empty strings.
+        session's ``feed``/``finish`` return empty output.  ``binary=True``
+        keeps the output channel as raw projected bytes (the byte-native
+        path); the default text mode decodes the emitted bytes -- and only
+        those -- incrementally.
         """
-        return FilterSession(self, sink=sink)
+        return FilterSession(self, sink=sink, binary=binary)
 
     def filter_document(self, text: str, *, measure_memory: bool = False) -> FilterRun:
-        """Prefilter a document held in a string."""
+        """Prefilter a document held in a string (the encode shim)."""
         if measure_memory:
             tracemalloc.start()
         output, stats = self.runtime.filter_text(text)
+        if measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            stats.peak_memory_bytes = peak
+        return FilterRun(output=output, stats=stats, compilation=self.compilation)
+
+    def filter_bytes(self, data: bytes, *, measure_memory: bool = False) -> FilterRun:
+        """Prefilter a UTF-8 document held in bytes, returning projected bytes.
+
+        The byte-native one-shot path: no decode or encode happens at all,
+        and the output is a byte-exact concatenation of regions of ``data``.
+        """
+        if measure_memory:
+            tracemalloc.start()
+        output, stats = self.runtime.filter_bytes(data)
         if measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
@@ -216,36 +243,66 @@ class SmpPrefilter:
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         measure_memory: bool = False,
-        sink: OutputSink | None = None,
+        sink: AnySink | None = None,
+        binary: bool = False,
     ) -> FilterRun:
         """Prefilter a document stored on disk, reading ``chunk_size`` chunks.
 
-        The file is never materialised as a whole: it flows through a
-        streaming session in O(chunk + carry window) memory.
+        The file is read in *binary* -- the matchers run directly on the
+        disk bytes and the input is never decoded -- and never materialised
+        as a whole: it flows through a streaming session in O(chunk + carry
+        window) memory.  With ``binary=True`` the projected output stays
+        ``bytes`` as well.
         """
-        with open(path, "r", encoding="utf-8") as handle:
+        return self.filter_stream(
+            file_chunks(path, chunk_size),
+            chunk_size=chunk_size,
+            measure_memory=measure_memory,
+            sink=sink,
+            binary=binary,
+        )
+
+    def filter_mmap(
+        self,
+        path: str,
+        *,
+        measure_memory: bool = False,
+        sink: AnySink | None = None,
+        binary: bool = False,
+    ) -> FilterRun:
+        """Prefilter a memory-mapped document (zero-copy search buffer).
+
+        The whole map is handed to the session as a single chunk: searches
+        run against the mapped pages (paged in and out by the OS) and only
+        the projected slices are ever copied onto the heap.  The map is
+        closed before this method returns (:meth:`filter_stream` drains the
+        session inside the ``with`` block).
+        """
+        with open_mmap(path) as mapping:
             return self.filter_stream(
-                handle,
-                chunk_size=chunk_size,
+                [mapping],
                 measure_memory=measure_memory,
                 sink=sink,
+                binary=binary,
             )
 
     def filter_stream(
         self,
-        chunks: Iterable[str] | IO[str],
+        chunks: "Iterable[str | bytes] | IO[str] | IO[bytes]",
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         measure_memory: bool = False,
-        sink: OutputSink | None = None,
+        sink: AnySink | None = None,
+        binary: bool = False,
     ) -> FilterRun:
         """Prefilter a document provided as chunks or a file object.
 
-        The input is processed incrementally through a :class:`FilterSession`
-        in O(chunk + carry window) memory -- the carry-over window is bounded
-        by the longest suspended keyword search plus the longest open tag.
-        File objects are read in ``chunk_size`` pieces; iterables are
-        consumed as produced.  All character-based statistics are identical
+        Chunks may be ``bytes`` (native) or ``str`` (encoded on entry); the
+        input is processed incrementally through a :class:`FilterSession`
+        in O(chunk + carry window) memory -- the carry-over window is
+        bounded by the longest suspended keyword search plus the longest
+        open tag.  File objects are read in ``chunk_size`` pieces; iterables
+        are consumed as produced.  All byte-based statistics are identical
         to a :meth:`filter_document` run over the concatenated input.
 
         With ``sink`` the projected fragments are pushed to the callback as
@@ -254,7 +311,7 @@ class SmpPrefilter:
         """
         if measure_memory:
             tracemalloc.start()
-        run = self.session(sink=sink).run(chunks, chunk_size)
+        run = self.session(sink=sink, binary=binary).run(chunks, chunk_size)
         if measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
@@ -279,14 +336,23 @@ class FilterSession:
     Wraps a :class:`~repro.core.runtime.RuntimeStream` with a private
     runtime, so sessions are independent of each other and of the owning
     prefilter's one-shot runtime.  Use :meth:`feed`/:meth:`finish` directly,
-    or :meth:`run` to drive a whole chunk iterable.
+    or :meth:`run` to drive a whole chunk iterable.  Chunks may be ``bytes``
+    (the native path) or ``str`` (encoded on entry); ``binary`` selects the
+    output type (projected ``bytes`` vs incrementally decoded ``str``).
     """
 
-    def __init__(self, prefilter: SmpPrefilter, sink: OutputSink | None = None) -> None:
+    def __init__(
+        self,
+        prefilter: SmpPrefilter,
+        sink: AnySink | None = None,
+        *,
+        binary: bool = False,
+    ) -> None:
         self.prefilter = prefilter
+        self.binary = binary
         self._stream: RuntimeStream = SmpRuntime(
             prefilter.tables, backend=prefilter.backend
-        ).stream(sink=sink)
+        ).stream(sink=sink, binary=binary)
 
     @property
     def stats(self) -> RunStatistics:
@@ -300,21 +366,20 @@ class FilterSession:
 
     @property
     def buffered_chars(self) -> int:
-        """Input characters currently retained in the carry-over window."""
+        """Input bytes currently retained in the carry-over window."""
         return self._stream.buffered_chars
 
-    def feed(self, chunk: str) -> str:
+    def feed(self, chunk):
         """Process one input chunk; returns the newly emitted output."""
         return self._stream.feed(chunk)
 
-    def finish(self) -> str:
+    def finish(self):
         """Signal end of input; returns the remaining output."""
         return self._stream.finish()
 
-    def run(self, chunks: Iterable[str] | IO[str],
-            chunk_size: int = DEFAULT_CHUNK_SIZE) -> FilterRun:
+    def run(self, chunks, chunk_size: int = DEFAULT_CHUNK_SIZE) -> FilterRun:
         """Feed all of ``chunks`` and finish; returns the :class:`FilterRun`."""
-        pieces: list[str] = []
+        pieces = []
         for chunk in iter_chunks(chunks, chunk_size):
             emitted = self.feed(chunk)
             if emitted:
@@ -322,8 +387,9 @@ class FilterSession:
         emitted = self.finish()
         if emitted:
             pieces.append(emitted)
+        empty = b"" if self.binary else ""
         return FilterRun(
-            output="".join(pieces),
+            output=empty.join(pieces),
             stats=self.stats,
             compilation=self.prefilter.compilation,
         )

@@ -9,16 +9,29 @@ action ``T[q']``.  Bachelor tags are processed as an opening immediately
 followed by a closing tag; tag names that are prefixes of longer tag names
 are disambiguated during the end-of-tag scan.
 
-Execution is *incremental*: :meth:`SmpRuntime.stream` returns a
+Execution is *byte-native*: the canonical chunk type is ``bytes`` and every
+offset is an absolute byte offset of the UTF-8 input stream.  The matcher
+automata are compiled from UTF-8 keywords and run directly on the wire/disk
+representation -- no ``bytes -> str`` decode ever happens on the hot path.
+Feeding ``str`` chunks still works as a thin *encode shim* (the chunk is
+UTF-8 encoded on entry), and in text mode (the default) the emitted
+projection is decoded incrementally -- only the bytes actually copied to
+output are ever decoded.  UTF-8 chunk boundaries need no special handling
+here: a multi-byte sequence carries no ``<`` byte, so tag keywords can
+neither start nor end inside one, and partial sequences simply ride along
+in the carry-over window like any other undecided bytes.
+
+Execution is also *incremental*: :meth:`SmpRuntime.stream` returns a
 :class:`RuntimeStream` -- a resumable state machine with ``feed(chunk) ->
 emitted output`` and ``finish()`` -- that holds only a bounded carry-over
 window of the input (the longest suspended keyword search plus the longest
 open tag, see :mod:`repro.core.stream`).  Keyword searches that hit the end
 of the buffered window mid-candidate suspend through the matchers'
 ``find_chunk`` contract and resume once more input arrives, so every
-character-based statistic (comparisons, shifts, jumps, local scans) is
+byte-based statistic (comparisons, shifts, jumps, local scans) is
 bit-identical no matter how the input is chunked.  :meth:`SmpRuntime.
-filter_text` is a thin one-chunk wrapper over the same machine.
+filter_text` / :meth:`SmpRuntime.filter_bytes` are thin one-chunk wrappers
+over the same machine.
 
 A second execution mode serves the multi-query engine
 (:mod:`repro.core.multi`): :class:`DrivenStream` runs the same Figure-4
@@ -28,7 +41,7 @@ all queries.  The driven stream replays exactly the
 decisions a private :class:`RuntimeStream` would have made -- initial-jump
 accounting, false-match rejection, transitions, copy actions -- so its
 output and its structural statistics are byte-identical to an independent
-run, while the character-scanning work happens only once per document.
+run, while the byte-scanning work happens only once per document.
 
 Input contract: the document must be valid with respect to the DTD the tables
 were compiled from, and -- like the paper's prototype -- must not hide markup
@@ -38,8 +51,9 @@ inside comments or CDATA sections (character data must escape ``<``).
 from __future__ import annotations
 
 import time
-from typing import Callable, NamedTuple
+from typing import Callable, NamedTuple, Union
 
+from repro.core.sources import Utf8SlidingDecoder
 from repro.core.stats import RunStatistics
 from repro.core.stream import ChunkCursor
 from repro.core.tables import Action, RuntimeTables
@@ -47,24 +61,35 @@ from repro.dtd.automaton import CLOSE, OPEN, Symbol
 from repro.errors import RuntimeFilterError
 from repro.matching.base import MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
 from repro.matching.factory import make_matcher
-from repro.xml.escape import is_name_char
+from repro.xml.escape import is_name_byte
 
-#: Output callback type: receives projected-document fragments in order.
+#: Output callback types: text mode delivers decoded ``str`` fragments,
+#: binary mode the raw projected ``bytes``.
 OutputSink = Callable[[str], None]
+ByteOutputSink = Callable[[bytes], None]
+AnySink = Union[OutputSink, ByteOutputSink]
+
+#: Byte values of the structural characters the local scans compare.
+_GT = 0x3E        # '>'
+_SLASH = 0x2F     # '/'
+_DQUOTE = 0x22    # '"'
+_SQUOTE = 0x27    # "'"
+#: Quote byte value -> one-byte needle for the cursor's C-level ``find``.
+_QUOTE_NEEDLES = {_DQUOTE: b'"', _SQUOTE: b"'"}
 
 
 class _MatchedTag(NamedTuple):
     """A tag located in the input by the frontier search."""
 
-    keyword: str
+    keyword: bytes
     symbol: Symbol
-    start: int          # offset of '<'
-    end: int            # offset of the final '>'
+    start: int          # byte offset of '<'
+    end: int            # byte offset of the final '>'
     is_bachelor: bool
 
 
 class SmpRuntime:
-    """Executes the runtime algorithm over strings or chunked streams.
+    """Executes the runtime algorithm over strings, bytes or chunked streams.
 
     Parameters
     ----------
@@ -94,7 +119,7 @@ class SmpRuntime:
     def _matcher(self, state: int) -> SingleKeywordMatcher | MultiKeywordMatcher | None:
         matcher = self._matchers.get(state)
         if matcher is None:
-            vocabulary = self.tables.V(state)
+            vocabulary = self.tables.vocabulary_bytes.get(state, ())
             if not vocabulary:
                 return None
             matcher = make_matcher(vocabulary, backend=self.backend)
@@ -115,23 +140,38 @@ class SmpRuntime:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
-    def stream(self, sink: OutputSink | None = None) -> "RuntimeStream":
+    def stream(
+        self, sink: AnySink | None = None, *, binary: bool = False
+    ) -> "RuntimeStream":
         """Start a resumable filtering run over chunked input.
 
         When ``sink`` is given every projected fragment is delivered to it
         as soon as it is safe to emit and ``feed``/``finish`` return empty
-        strings; otherwise the fragments are returned from ``feed``.
+        output; otherwise the fragments are returned from ``feed``.  With
+        ``binary=True`` the output channel carries the projected bytes
+        verbatim; the default text mode decodes the emitted bytes
+        incrementally (and only those).
         """
-        return RuntimeStream(self, sink=sink)
+        return RuntimeStream(self, sink=sink, binary=binary)
 
     def filter_text(self, text: str) -> tuple[str, RunStatistics]:
         """Prefilter ``text`` and return ``(projected document, statistics)``.
 
-        Thin one-chunk wrapper over :meth:`stream`; all character-based
+        Thin one-chunk wrapper over :meth:`stream`; all byte-based
         statistics are identical to a chunked run over the same input.
         """
         stream = self.stream()
         output = stream.feed(text)
+        return output + stream.finish(), stream.stats
+
+    def filter_bytes(self, data: bytes) -> tuple[bytes, RunStatistics]:
+        """Prefilter UTF-8 ``data`` and return ``(projected bytes, stats)``.
+
+        The byte-native one-shot path: no decode or encode happens at all;
+        the output is a byte-exact subsequence of regions of ``data``.
+        """
+        stream = self.stream(binary=True)
+        output = stream.feed(data)
         return output + stream.finish(), stream.stats
 
 
@@ -140,19 +180,27 @@ class _FilterStreamBase:
 
     the output channel (sink or accumulated fragments), the copy-region
     bookkeeping and the Figure-4 transition/action application.  Both
-    subclasses read document text exclusively through the ``ChunkCursor``
-    they were given, in absolute offsets.
+    subclasses read document bytes exclusively through the ``ChunkCursor``
+    they were given, in absolute byte offsets.  Emission is byte-first:
+    fragments are byte slices of the input window; a text-mode channel
+    decodes them incrementally on delivery (output-only decode).
     """
 
     def __init__(
-        self, tables: RuntimeTables, window: ChunkCursor, sink: OutputSink | None
+        self,
+        tables: RuntimeTables,
+        window: ChunkCursor,
+        sink: AnySink | None,
+        binary: bool = False,
     ) -> None:
         self._tables = tables
         self._window = window
         self._sink = sink
+        self._binary = binary
+        self._decoder = None if binary else Utf8SlidingDecoder()
         self.stats = RunStatistics()
-        self._out: list[str] = []
-        self._emitted_chars = 0
+        self._out: list[bytes] = []
+        self._emitted_bytes = 0
         self._copy_active = False
         self._copy_tag = ""
         self._copy_emitted = 0
@@ -163,23 +211,48 @@ class _FilterStreamBase:
         """True once :meth:`finish` has completed (or a feed failed)."""
         return self._finished
 
+    @property
+    def binary(self) -> bool:
+        """True when the output channel carries raw bytes."""
+        return self._binary
+
     # ------------------------------------------------------------------
     # Output channel
     # ------------------------------------------------------------------
-    def _emit(self, fragment: str) -> None:
+    def _emit(self, fragment: bytes) -> None:
         if not fragment:
             return
-        self._emitted_chars += len(fragment)
-        if self._sink is not None:
-            self._sink(fragment)
-        else:
+        self._emitted_bytes += len(fragment)
+        sink = self._sink
+        if sink is None:
             self._out.append(fragment)
+        elif self._binary:
+            sink(fragment)
+        else:
+            text = self._decoder.decode(fragment)
+            if text:
+                sink(text)
 
-    def _take_output(self) -> str:
+    def _take_output(self):
+        """Fragments emitted since the last call, as one ``bytes``/``str``."""
         if not self._out:
-            return ""
-        output = "".join(self._out)
+            return b"" if self._binary else ""
+        output = b"".join(self._out)
         self._out.clear()
+        if self._binary:
+            return output
+        return self._decoder.decode(output)
+
+    def _flush_output(self):
+        """Final :meth:`_take_output`: also drains the text decoder."""
+        output = self._take_output()
+        if not self._binary:
+            tail = self._decoder.finish()
+            if tail:
+                if self._sink is not None:
+                    self._sink(tail)
+                else:
+                    output += tail
         return output
 
     # ------------------------------------------------------------------
@@ -287,7 +360,8 @@ class _FilterStreamBase:
 class RuntimeStream(_FilterStreamBase):
     """One resumable execution of the Figure-4 algorithm.
 
-    Feed the document in arbitrary chunks::
+    Feed the document in arbitrary chunks -- ``bytes`` natively, or ``str``
+    through the encode shim::
 
         stream = runtime.stream()
         for chunk in chunks:
@@ -300,8 +374,14 @@ class RuntimeStream(_FilterStreamBase):
     the un-emitted head of an active copy region.
     """
 
-    def __init__(self, runtime: SmpRuntime, sink: OutputSink | None = None) -> None:
-        super().__init__(runtime.tables, ChunkCursor(), sink)
+    def __init__(
+        self,
+        runtime: SmpRuntime,
+        sink: AnySink | None = None,
+        *,
+        binary: bool = False,
+    ) -> None:
+        super().__init__(runtime.tables, ChunkCursor(binary=True), sink, binary)
         self._runtime = runtime
         self._keep_from = 0
         self._done = False
@@ -313,13 +393,20 @@ class RuntimeStream(_FilterStreamBase):
     # ------------------------------------------------------------------
     @property
     def buffered_chars(self) -> int:
-        """Number of input characters currently retained in the window."""
+        """Number of input bytes currently retained in the window."""
         return len(self._window)
 
-    def feed(self, chunk: str) -> str:
-        """Process one input chunk; returns the output emitted so far."""
+    #: Bytes retained in the carry-over window (the native spelling).
+    buffered_bytes = buffered_chars
+
+    def feed(self, chunk):
+        """Process one input chunk (``bytes`` or ``str``); returns the
+        output emitted so far (``bytes`` in binary mode, ``str`` otherwise).
+        """
         if self._finished:
             raise RuntimeFilterError("cannot feed a finished runtime stream")
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
         started = time.perf_counter()
         self.stats.input_size += len(chunk)
         self._window.append(chunk)
@@ -332,7 +419,7 @@ class RuntimeStream(_FilterStreamBase):
         self.stats.run_seconds += time.perf_counter() - started
         return self._take_output()
 
-    def finish(self) -> str:
+    def finish(self):
         """Signal end of input; returns the remaining output.
 
         Raises :class:`RuntimeFilterError` when the input ended before the
@@ -346,8 +433,8 @@ class RuntimeStream(_FilterStreamBase):
         self._advance()
         self._finished = True
         self._runtime._collect_matcher_statistics(self.stats)
-        output = self._take_output()
-        self.stats.output_size = self._emitted_chars
+        output = self._flush_output()
+        self.stats.output_size = self._emitted_bytes
         self.stats.run_seconds += time.perf_counter() - started
         return output
 
@@ -372,7 +459,7 @@ class RuntimeStream(_FilterStreamBase):
         if self._copy_active:
             # A suspended search may place its resume point beyond the data
             # received so far; the copy region can only be emitted up to the
-            # characters that actually arrived.
+            # bytes that actually arrived.
             flush_to = min(floor, self._window.end)
             if flush_to > self._copy_emitted:
                 self._emit(self._window.slice(self._copy_emitted, flush_to))
@@ -436,12 +523,15 @@ class RuntimeStream(_FilterStreamBase):
 
         Matches whose tag name merely extends the searched keyword (the
         ``Abstract`` / ``AbstractText`` case) are rejected and the search is
-        resumed just past the false match.  Yields whenever the decision
-        needs input beyond the buffered window.
+        resumed just past the false match.  Every byte >= 0x80 counts as a
+        name byte (it belongs to a multi-byte UTF-8 name character), so the
+        rejection test never depends on where a chunk split a sequence.
+        Yields whenever the decision needs input beyond the buffered window.
         """
         window = self._window
         stats = self.stats
         tables = self._runtime.tables
+        keyword_symbols = tables.keyword_symbols_bytes[state]
         position = cursor
         while True:
             pending: PendingSearch | None = None
@@ -469,13 +559,13 @@ class RuntimeStream(_FilterStreamBase):
             while after >= window.end and not window.eof:
                 self._keep_from = match.position
                 yield
-            if after < window.end and is_name_char(window.char(after)):
+            if after < window.end and is_name_byte(window.char(after)):
                 # A longer tag name, e.g. "<AbstractText" while scanning for
                 # "<Abstract": resume just past the false match.
                 stats.local_scan_chars += 1
                 position = match.position + 1
                 continue
-            symbol = tables.keyword_symbols[state][keyword]
+            symbol = keyword_symbols[keyword]
             end, is_bachelor = yield from self._scan_tag_end(after, match.position)
             if end is None:
                 return None
@@ -505,15 +595,16 @@ class RuntimeStream(_FilterStreamBase):
                 yield
             if cursor >= window.end:
                 return None, False
-            character = window.char(cursor)
+            byte = window.char(cursor)
             stats.local_scan_chars += 1
-            if character == ">":
-                is_bachelor = cursor > position and window.char(cursor - 1) == "/"
+            if byte == _GT:
+                is_bachelor = cursor > position and window.char(cursor - 1) == _SLASH
                 return cursor, is_bachelor
-            if character in ('"', "'"):
+            if byte == _DQUOTE or byte == _SQUOTE:
+                needle = _QUOTE_NEEDLES[byte]
                 search_from = cursor + 1
                 while True:
-                    closing = window.find(character, search_from)
+                    closing = window.find(needle, search_from)
                     if closing >= 0:
                         break
                     if window.eof:
@@ -542,16 +633,23 @@ class DrivenStream(_FilterStreamBase):
     the shared scan -- that is the work the engine saves -- so this stream's
     statistics carry the structural counters only.
 
-    The stream never reads the window below :meth:`keep_floor`; the engine
-    uses that floor (over all queries) to discard buffered input.
+    Keywords are the UTF-8 byte keywords of the shared scan; all offsets
+    are absolute byte offsets into the shared binary window.  The stream
+    never reads the window below :meth:`keep_floor`; the engine uses that
+    floor (over all queries) to discard buffered input.
     """
 
     def __init__(
-        self, tables: RuntimeTables, window: ChunkCursor, sink: OutputSink | None = None
+        self,
+        tables: RuntimeTables,
+        window: ChunkCursor,
+        sink: AnySink | None = None,
+        *,
+        binary: bool = False,
     ) -> None:
-        super().__init__(tables, window, sink)
+        super().__init__(tables, window, sink, binary)
         self._state = tables.initial_state
-        self._vocabulary = tables.keyword_symbols.get(self._state, {})
+        self._vocabulary = tables.keyword_symbols_bytes.get(self._state, {})
         self._transitions = tables.transition.get(self._state, {})
         self._jumps = tables.jumps
         self._actions = tables.actions
@@ -568,8 +666,8 @@ class DrivenStream(_FilterStreamBase):
         """True once the runtime automaton reached a final state."""
         return self._done
 
-    def subscription_keywords(self) -> tuple[str, ...]:
-        """The keywords of the current state's frontier vocabulary.
+    def subscription_keywords(self) -> tuple[bytes, ...]:
+        """The byte keywords of the current state's frontier vocabulary.
 
         The engine subscribes each stream to exactly these keywords and
         refreshes the subscription whenever :meth:`push_token` reports a
@@ -579,7 +677,7 @@ class DrivenStream(_FilterStreamBase):
         """
         if self._done:
             return ()
-        return self._tables.vocabulary.get(self._state, ())
+        return self._tables.vocabulary_bytes.get(self._state, ())
 
     def keep_floor(self) -> int | None:
         """Lowest absolute offset this stream may still read from the window.
@@ -606,7 +704,7 @@ class DrivenStream(_FilterStreamBase):
             self._search_from += jump
         self._pending_jump = False
 
-    def push_false_match(self, keyword: str, start: int) -> None:
+    def push_false_match(self, keyword: bytes, start: int) -> None:
         """Deliver one false-match occurrence (tag name extends ``keyword``).
 
         The searching runtime pays one local-scan comparison for a false
@@ -629,13 +727,13 @@ class DrivenStream(_FilterStreamBase):
         self.stats.local_scan_chars += 1
 
     def push_token(
-        self, keyword: str, start: int, end: int, is_bachelor: bool, scan_chars: int
+        self, keyword: bytes, start: int, end: int, is_bachelor: bool, scan_chars: int
     ) -> bool:
         """Consider one valid scanned token (document order).
 
         ``end`` is the offset of the closing ``>`` and ``scan_chars`` the
         end-of-tag scan span (``end - start - len(keyword) + 1``: every
-        character a private end-of-tag scan reads, counted once).  Returns
+        byte a private end-of-tag scan reads, counted once).  Returns
         True when the token was accepted -- a transition was taken and the
         frontier vocabulary may have changed -- so the engine can refresh
         this stream's keyword subscription.
@@ -695,7 +793,7 @@ class DrivenStream(_FilterStreamBase):
                     stats.tokens_copied += 1
         tables = self._tables
         self._state = next_state
-        self._vocabulary = tables.keyword_symbols.get(next_state, {})
+        self._vocabulary = tables.keyword_symbols_bytes.get(next_state, {})
         self._transitions = tables.transition.get(next_state, {})
         self._search_from = end
         self._pending_jump = True
@@ -715,11 +813,11 @@ class DrivenStream(_FilterStreamBase):
             self._emit(self._window.slice(self._copy_emitted, limit))
             self._copy_emitted = limit
 
-    def take_output(self) -> str:
+    def take_output(self):
         """Output fragments emitted since the last call (sink-less mode)."""
         return self._take_output()
 
-    def finish(self) -> str:
+    def finish(self):
         """End of input: validate acceptance and return remaining output."""
         if self._finished:
             raise RuntimeFilterError("driven stream is already finished")
@@ -728,6 +826,6 @@ class DrivenStream(_FilterStreamBase):
             raise self._incomplete_error()
         if self._copy_active:
             raise self._unclosed_copy_error()
-        output = self._take_output()
-        self.stats.output_size = self._emitted_chars
+        output = self._flush_output()
+        self.stats.output_size = self._emitted_bytes
         return output

@@ -1,0 +1,278 @@
+"""Byte-oriented input subsystem of the streaming SMP runtime.
+
+The paper reduces XML prefiltering to raw string matching, so the matcher
+automata can run directly on the wire/disk representation: UTF-8 bytes.
+This module provides the byte sources that feed the byte-native runtime
+without ever paying the ``bytes -> str`` decode-and-copy:
+
+* :func:`file_chunks` -- buffered binary reads of ``chunk_size`` pieces;
+* :func:`mmap_chunks` / :func:`open_mmap` -- memory-mapped files: with
+  ``chunk_size=None`` the *whole map* becomes the runtime's search buffer
+  (searches run against the mapped pages; only output slices materialise);
+* :func:`stdin_chunks` -- the process's binary stdin;
+* :func:`socket_chunks` -- anything with ``recv`` (sockets, socket-likes);
+* :func:`iter_byte_chunks` -- the uniform dispatcher over all byte shapes.
+
+Incremental UTF-8 handling
+--------------------------
+Byte chunk boundaries fall anywhere, including inside a multi-byte UTF-8
+sequence.  The byte-native matchers do not care -- tag keywords are ASCII
+and a UTF-8 continuation byte can never start one -- but any place that
+*decodes* must respect code-point boundaries:
+
+* :class:`Utf8ChunkAligner` re-aligns a byte-chunk stream so every emitted
+  chunk ends on a code-point boundary (it carries the trailing partial
+  sequence into the next chunk).  Used to feed ``str`` consumers (the
+  incremental tokenizer) from byte sources without ever splitting a
+  character.
+* :class:`Utf8SlidingDecoder` wraps an incremental UTF-8 decoder for the
+  *output* side: the filter runtimes emit raw byte slices of the document,
+  and the text-mode API decodes exactly those emitted slices -- the only
+  bytes that are ever decoded on the byte path.
+
+Both are thin, allocation-light wrappers; :func:`utf8_boundary` is the
+underlying pure function (the longest prefix that is a whole number of
+UTF-8 sequences).
+"""
+
+from __future__ import annotations
+
+import codecs
+import sys
+from typing import IO, Iterable, Iterator
+
+from repro.core.stream import DEFAULT_CHUNK_SIZE
+
+try:  # pragma: no cover - mmap exists on all supported platforms
+    import mmap as _mmap
+except ImportError:  # pragma: no cover
+    _mmap = None  # type: ignore[assignment]
+
+
+def have_mmap() -> bool:
+    """True when the platform provides :mod:`mmap`."""
+    return _mmap is not None
+
+
+# ----------------------------------------------------------------------
+# Byte sources
+# ----------------------------------------------------------------------
+def file_chunks(path: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Read the file at ``path`` as binary ``chunk_size`` chunks (no decode)."""
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+
+def open_mmap(path: str):
+    """Memory-map the file at ``path`` read-only and return the map.
+
+    The caller owns the map (use ``with open_mmap(path) as mm:``).  An
+    empty file cannot be mapped, and a platform without :mod:`mmap` cannot
+    map at all; both surface as :class:`~repro.errors.ReproError` so the
+    CLI and other catch-all consumers report them cleanly.
+    """
+    from repro.errors import ReproError
+
+    if _mmap is None:  # pragma: no cover - platform without mmap
+        raise ReproError("mmap is not available on this platform")
+    with open(path, "rb") as handle:
+        try:
+            return _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        except ValueError as error:
+            raise ReproError(f"cannot mmap {path!r}: {error}") from error
+
+
+def mmap_chunks(
+    path: str, chunk_size: int | None = DEFAULT_CHUNK_SIZE
+) -> Iterator[bytes]:
+    """Yield the file at ``path`` from a memory map.
+
+    With an integer ``chunk_size`` the map is sliced into byte chunks (one
+    copy from the page cache each, no decode).  ``chunk_size=None`` yields
+    the *map object itself* as a single chunk: the runtime's search buffer
+    is then the mapped pages and no heap copy of the document ever exists.
+    In that mode the map is closed only after the consumer finished with
+    the generator, so drive the filter to completion before disposing it
+    (the one-shot ``filter_mmap`` entry points do this correctly).
+    """
+    mapping = open_mmap(path)
+    try:
+        if chunk_size is None:
+            yield mapping
+        else:
+            if chunk_size <= 0:
+                raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+            for start in range(0, len(mapping), chunk_size):
+                yield mapping[start:start + chunk_size]
+    finally:
+        mapping.close()
+
+
+def stdin_chunks(chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Read the process's binary stdin in ``chunk_size`` chunks."""
+    stream = getattr(sys.stdin, "buffer", sys.stdin)
+    while True:
+        chunk = stream.read(chunk_size)
+        if not chunk:
+            return
+        yield chunk
+
+
+def socket_chunks(connection, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Receive byte chunks from ``connection`` until the peer shuts down.
+
+    ``connection`` is anything with ``recv(size) -> bytes`` returning
+    ``b""`` at end of stream (a connected socket, or a test double).
+    """
+    while True:
+        chunk = connection.recv(chunk_size)
+        if not chunk:
+            return
+        yield chunk
+
+
+def iter_byte_chunks(
+    source: "bytes | bytearray | memoryview | IO[bytes] | Iterable[bytes]",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[bytes]:
+    """Uniform byte-chunk stream over the supported byte input shapes.
+
+    ``source`` may be a bytes-like object (sliced), a binary file-like
+    object with ``read``, a socket-like object with ``recv``, or an
+    iterable of byte chunks (passed through).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        for start in range(0, len(source), chunk_size):
+            yield source[start:start + chunk_size]
+        return
+    read = getattr(source, "read", None)
+    if callable(read):
+        while True:
+            chunk = read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+        return
+    recv = getattr(source, "recv", None)
+    if callable(recv):
+        yield from socket_chunks(source, chunk_size)
+        return
+    for chunk in source:
+        if chunk:
+            yield chunk
+
+
+# ----------------------------------------------------------------------
+# Incremental UTF-8 handling
+# ----------------------------------------------------------------------
+def utf8_boundary(data: bytes) -> int:
+    """Length of the longest prefix of ``data`` holding whole UTF-8 sequences.
+
+    Looks at most three bytes back from the end (a UTF-8 sequence is at
+    most four bytes): if the data ends inside a multi-byte sequence, the
+    returned length excludes that partial tail.  Invalid encodings are not
+    detected here -- they surface as ``UnicodeDecodeError`` when the bytes
+    are eventually decoded.
+    """
+    length = len(data)
+    if not length:
+        return 0
+    # Find the last non-continuation byte within the final four positions.
+    index = length - 1
+    floor = max(0, length - 4)
+    while index >= floor and 0x80 <= data[index] < 0xC0:
+        index -= 1
+    if index < floor:
+        # Four continuation bytes in a row can never be a split sequence;
+        # pass them through and let the eventual decode report them.
+        return length
+    byte = data[index]
+    if byte < 0x80:
+        # ASCII last-lead position: any trailing continuation bytes are
+        # invalid on their own, not a split sequence -- pass them through.
+        return length
+    expected = 2 if byte < 0xE0 else 3 if byte < 0xF0 else 4
+    return length if length - index >= expected else index
+
+
+class Utf8ChunkAligner:
+    """Re-align a byte-chunk stream onto UTF-8 code-point boundaries.
+
+    ``push(chunk)`` returns the aligned bytes ready for decoding (possibly
+    ``b""``); a trailing partial multi-byte sequence is withheld and
+    prepended to the next chunk.  ``finish()`` returns the final remainder
+    -- non-empty only when the stream ended mid-sequence, which callers
+    surface as a decode error.
+    """
+
+    __slots__ = ("_tail",)
+
+    def __init__(self) -> None:
+        self._tail = b""
+
+    def push(self, chunk: bytes) -> bytes:
+        data = self._tail + chunk if self._tail else chunk
+        cut = utf8_boundary(data)
+        self._tail = data[cut:]
+        return data[:cut]
+
+    def finish(self) -> bytes:
+        tail, self._tail = self._tail, b""
+        return tail
+
+
+def align_utf8_chunks(chunks: Iterable[bytes]) -> Iterator[bytes]:
+    """Yield the chunk stream re-aligned to UTF-8 code-point boundaries."""
+    aligner = Utf8ChunkAligner()
+    for chunk in chunks:
+        aligned = aligner.push(chunk)
+        if aligned:
+            yield aligned
+    tail = aligner.finish()
+    if tail:
+        yield tail  # let the consumer's decoder report the malformed tail
+
+
+class Utf8SlidingDecoder:
+    """Incremental UTF-8 decoder for byte fragments split anywhere.
+
+    One instance per output channel: ``decode`` accepts fragments whose
+    boundaries may fall inside a multi-byte sequence and returns the
+    decodable prefix as ``str``; ``finish`` flushes and raises
+    ``UnicodeDecodeError`` on a dangling partial sequence.
+    """
+
+    __slots__ = ("_decode",)
+
+    def __init__(self) -> None:
+        self._decode = codecs.getincrementaldecoder("utf-8")().decode
+
+    def decode(self, fragment: bytes) -> str:
+        return self._decode(fragment)
+
+    def finish(self) -> str:
+        return self._decode(b"", True)
+
+
+def decode_chunks(chunks: Iterable[bytes]) -> Iterator[str]:
+    """Decode a byte-chunk stream to ``str`` chunks incrementally.
+
+    The boundary handling never splits a character: each emitted ``str``
+    chunk corresponds to the decodable prefix available so far.  This is
+    the compatibility bridge from byte sources to ``str``-consuming layers
+    (the incremental tokenizer); the filter hot path never uses it.
+    """
+    decoder = Utf8SlidingDecoder()
+    for chunk in chunks:
+        text = decoder.decode(chunk)
+        if text:
+            yield text
+    tail = decoder.finish()
+    if tail:
+        yield tail

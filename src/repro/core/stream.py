@@ -5,14 +5,23 @@ documents from 10 MB to 5 GB (Table I) because the runtime only ever looks at
 a bounded window of the input.  This module provides the two pieces that make
 the Python reproduction genuinely incremental:
 
-* :class:`ChunkCursor` -- a sliding text window addressed by *absolute* stream
+* :class:`ChunkCursor` -- a sliding window addressed by *absolute* stream
   offsets.  Producers append fixed-size chunks at the end; the consumer
   discards everything below a retention floor once it can no longer be
   needed.  The retained carry-over window is sized by the consumer (for the
   SMP runtime: the longest suspended keyword search plus the longest open
   tag), so peak memory is O(chunk + carry window) instead of O(document).
 * :func:`iter_chunks` -- a uniform way to turn files, file-like objects,
-  whole strings and chunk iterables into a stream of string chunks.
+  whole strings/byte strings and chunk iterables into a chunk stream.
+
+The cursor is *polymorphic over the chunk type*: it holds ``str`` chunks or
+``bytes``-like chunks (``bytes``, ``bytearray``, ``mmap``) with the same
+API, adopting the type of the first appended chunk.  The byte-native SMP
+runtime always feeds it ``bytes`` (see :mod:`repro.core.sources` for the
+input subsystem); the incremental tokenizer keeps feeding ``str``.  For a
+binary cursor :meth:`ChunkCursor.char` returns the byte *value* (an ``int``,
+like ``bytes`` indexing does) and :meth:`ChunkCursor.slice` returns
+``bytes``.
 
 Everything downstream (the resumable matchers, :class:`~repro.core.runtime.
 RuntimeStream`, the incremental tokenizer) speaks absolute offsets so that
@@ -27,12 +36,15 @@ the dead prefix reaches half of it, so the total copying across a stream of
 n characters is O(n) amortised regardless of chunk size (every character is
 merged at most once and compacted away at most a constant number of times).
 Consumers that need a contiguous string for C-level searches call
-:meth:`ChunkCursor.view`, which merges the pending segments on demand.
+:meth:`ChunkCursor.view`, which merges the pending segments on demand.  A
+single appended ``mmap`` chunk is used as the merged buffer directly (no
+copy): searches run against the mapped pages and only the slices actually
+copied to output materialise as ``bytes``.
 """
 
 from __future__ import annotations
 
-from typing import IO, Iterable, Iterator
+from typing import IO, AnyStr, Iterable, Iterator
 
 #: Default chunk size of the streaming entry points (64 KiB, the fixed-size
 #: read buffer the paper's prototype uses).
@@ -51,27 +63,60 @@ class ChunkCursor:
     ``append`` extends the window on the right, ``discard_to`` shrinks it on
     the left.  Consumers must never read below the highest ``discard_to``
     floor they have announced.
+
+    ``binary`` selects the chunk type up front (``True`` -> ``bytes``,
+    ``False`` -> ``str``); without it the cursor adopts the type of the
+    first appended chunk.  All offsets are in the native units of that type
+    (bytes for a binary cursor, characters for a text cursor).
     """
 
-    __slots__ = ("base", "eof", "_buffer", "_start", "_segments", "_segments_length")
+    __slots__ = (
+        "base", "eof", "_buffer", "_start", "_segments", "_segments_length",
+        "_adopt",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, *, binary: bool | None = None) -> None:
         self.base: int = 0
         self.eof: bool = False
-        #: Merged text; ``_buffer[_start:]`` is its live part.
-        self._buffer: str = ""
-        #: Dead-prefix length inside ``_buffer`` (characters below ``base``).
+        #: Merged text; ``_buffer[_start:]`` is its live part.  Its type is
+        #: the cursor's chunk type (``b""`` for binary cursors).
+        self._buffer = b"" if binary else ""
+        #: True until the chunk type is fixed -- by an explicit ``binary``
+        #: argument or by the first appended chunk.
+        self._adopt = binary is None
+        #: Dead-prefix length inside ``_buffer`` (units below ``base``).
         self._start: int = 0
         #: Appended chunks not merged into ``_buffer`` yet.
-        self._segments: list[str] = []
+        self._segments: list = []
         self._segments_length: int = 0
 
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def append(self, chunk: str) -> None:
-        """Append ``chunk`` at the end of the window (O(1))."""
+    def append(self, chunk) -> None:
+        """Append ``chunk`` at the end of the window (O(1)).
+
+        A cursor constructed without ``binary`` adopts the type of its
+        *first* chunk (``str`` vs bytes-like), so ``ChunkCursor()`` works
+        for both text and byte streams.  Once the type is fixed -- by the
+        constructor argument or that first chunk -- appending the other
+        type raises ``TypeError`` immediately; the type never silently
+        flips back, even when the window is fully drained.
+        """
         if chunk:
+            if isinstance(chunk, memoryview):
+                # memoryview lacks ``find``; materialise it once up front.
+                chunk = bytes(chunk)
+            if self._adopt:
+                if isinstance(chunk, str) != isinstance(self._buffer, str):
+                    self._buffer = "" if isinstance(chunk, str) else b""
+                self._adopt = False
+            elif isinstance(chunk, str) != isinstance(self._buffer, str):
+                raise TypeError(
+                    f"cannot append {type(chunk).__name__!r} chunk to a "
+                    f"{'text' if isinstance(self._buffer, str) else 'binary'} "
+                    "cursor"
+                )
             self._segments.append(chunk)
             self._segments_length += len(chunk)
 
@@ -83,12 +128,17 @@ class ChunkCursor:
     # Consumer side
     # ------------------------------------------------------------------
     @property
+    def binary(self) -> bool:
+        """True when the cursor holds bytes-like chunks."""
+        return not isinstance(self._buffer, str)
+
+    @property
     def end(self) -> int:
         """Absolute offset one past the last buffered character."""
         return self.base + len(self._buffer) - self._start + self._segments_length
 
     @property
-    def text(self) -> str:
+    def text(self):
         """The live window as one string (copies; prefer :meth:`view`)."""
         return self._merged()[self._start:]
 
@@ -103,7 +153,7 @@ class ChunkCursor:
             return
         limit = self.end
         if position >= limit:
-            self._buffer = ""
+            self._buffer = self._buffer[:0]
             self._start = 0
             self._segments.clear()
             self._segments_length = 0
@@ -117,7 +167,7 @@ class ChunkCursor:
             # any fully dead segments without copying, then promote the first
             # partially live segment to be the new merged buffer.
             dead = self._start - buffer_length
-            self._buffer = ""
+            self._buffer = self._buffer[:0]
             self._start = 0
             while self._segments and dead >= len(self._segments[0]):
                 dead -= len(self._segments[0])
@@ -131,7 +181,7 @@ class ChunkCursor:
             self._buffer = self._buffer[self._start:]
             self._start = 0
 
-    def view(self) -> tuple[str, int]:
+    def view(self):
         """``(buffer, buffer_base)``: one contiguous string plus the absolute
         offset of its first character.
 
@@ -143,8 +193,12 @@ class ChunkCursor:
         """
         return self._merged(), self.base - self._start
 
-    def char(self, position: int) -> str:
-        """The character at absolute offset ``position``."""
+    def char(self, position: int):
+        """The character at absolute offset ``position``.
+
+        For a binary cursor this is the byte *value* (an ``int``), exactly
+        like indexing a ``bytes`` object.
+        """
         local = position - self.base + self._start
         if local < len(self._buffer):
             return self._buffer[local]
@@ -155,7 +209,7 @@ class ChunkCursor:
             local -= len(segment)
         raise IndexError(f"offset {position} is outside the buffered window")
 
-    def slice(self, start: int, stop: int) -> str:
+    def slice(self, start: int, stop: int):
         """The characters in ``[start, stop)`` (absolute offsets)."""
         low = start - self.base + self._start
         high = stop - self.base + self._start
@@ -163,12 +217,14 @@ class ChunkCursor:
             return self._buffer[low:high]
         return self._merged()[low:high]
 
-    def find(self, needle: str, start: int, stop: int | None = None) -> int:
-        """``str.find`` in absolute coordinates; returns -1 when absent.
+    def find(self, needle, start: int, stop: int | None = None) -> int:
+        """``find`` in absolute coordinates; returns -1 when absent.
 
-        When the probed region lies inside the merged buffer -- or the whole
-        window is a single appended chunk -- the search runs directly on that
-        string, avoiding any materialisation per probe.
+        ``needle`` must match the cursor's chunk type (``bytes`` needles on
+        a binary cursor).  When the probed region lies inside the merged
+        buffer -- or the whole window is a single appended chunk -- the
+        search runs directly on that object, avoiding any materialisation
+        per probe.
         """
         buffer_length = len(self._buffer)
         low = max(start - self.base, 0) + self._start
@@ -192,33 +248,37 @@ class ChunkCursor:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _merged(self) -> str:
+    def _merged(self):
         """Merge any pending segments into the buffer and return it."""
         if self._segments:
             if self._buffer:
                 self._segments.insert(0, self._buffer)
-            self._buffer = (
-                self._segments[0] if len(self._segments) == 1
-                else "".join(self._segments)
-            )
+            if len(self._segments) == 1:
+                self._buffer = self._segments[0]
+            else:
+                empty = "" if isinstance(self._buffer, str) else b""
+                self._buffer = empty.join(self._segments)
             self._segments.clear()
             self._segments_length = 0
         return self._buffer
 
 
 def iter_chunks(
-    source: str | IO[str] | Iterable[str], chunk_size: int = DEFAULT_CHUNK_SIZE
-) -> Iterator[str]:
-    """Yield string chunks from any of the supported input shapes.
+    source: AnyStr | IO[AnyStr] | Iterable[AnyStr],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[AnyStr]:
+    """Yield chunks from any of the supported input shapes, ``str`` or bytes.
 
-    ``source`` may be a whole string (sliced into ``chunk_size`` pieces), a
-    file-like object with ``read`` (read in ``chunk_size`` pieces), or an
-    iterable of string chunks (passed through unchanged -- the caller already
-    chose a chunking).
+    ``source`` may be a whole string or bytes-like object (sliced into
+    ``chunk_size`` pieces), a file-like object with ``read`` (text or
+    binary, read in ``chunk_size`` pieces), or an iterable of chunks
+    (passed through unchanged -- the caller already chose a chunking).
+    Byte-oriented sources with richer semantics (``mmap``, sockets, binary
+    stdin) live in :mod:`repro.core.sources`.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    if isinstance(source, str):
+    if isinstance(source, (str, bytes, bytearray, memoryview)):
         for start in range(0, len(source), chunk_size):
             yield source[start:start + chunk_size]
         return
@@ -236,6 +296,11 @@ def iter_chunks(
 
 
 def open_chunks(path: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[str]:
-    """Read the file at ``path`` as a stream of ``chunk_size`` chunks."""
+    """Read the file at ``path`` as a stream of ``chunk_size`` str chunks.
+
+    This is the *decoding* text path; the byte-native equivalents
+    (:func:`repro.core.sources.file_chunks`, ``mmap_chunks``) skip the
+    ``bytes -> str`` copy entirely and are what the filter entry points use.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         yield from iter_chunks(handle, chunk_size)

@@ -58,6 +58,15 @@ class RuntimeTables:
     #: Abstract / AbstractText special case); used by the runtime's
     #: end-of-tag verification.
     prefix_tags: frozenset[str] = field(default_factory=frozenset)
+    #: UTF-8 mirrors of ``vocabulary`` / ``keyword_symbols`` for the
+    #: byte-native runtime (tag keywords are ASCII, so the encode is a
+    #: bijection); built lazily on first access and cached.
+    _vocabulary_bytes: dict[int, tuple[bytes, ...]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _keyword_symbols_bytes: dict[int, dict[bytes, Symbol]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Convenience accessors (named after the paper's tables)
@@ -77,6 +86,40 @@ class RuntimeTables:
     def T(self, state: int) -> Action:  # noqa: N802 - paper name
         """Action of ``state``."""
         return self.actions.get(state, Action.NOP)
+
+    # ------------------------------------------------------------------
+    # Byte-native mirrors
+    # ------------------------------------------------------------------
+    def _ensure_byte_tables(self) -> None:
+        if self._vocabulary_bytes is None:
+            # Concurrent sessions share one tables object: build both dicts
+            # fully, publish the guard field (_vocabulary_bytes) last, so a
+            # racing reader never observes a half-initialised pair.
+            keyword_symbols = {
+                state: {
+                    keyword.encode("utf-8"): symbol
+                    for keyword, symbol in symbols.items()
+                }
+                for state, symbols in self.keyword_symbols.items()
+            }
+            vocabulary = {
+                state: tuple(keyword.encode("utf-8") for keyword in keywords)
+                for state, keywords in self.vocabulary.items()
+            }
+            self._keyword_symbols_bytes = keyword_symbols
+            self._vocabulary_bytes = vocabulary
+
+    @property
+    def vocabulary_bytes(self) -> dict[int, tuple[bytes, ...]]:
+        """Frontier vocabularies as UTF-8 keywords (byte-native runtime)."""
+        self._ensure_byte_tables()
+        return self._vocabulary_bytes
+
+    @property
+    def keyword_symbols_bytes(self) -> dict[int, dict[bytes, Symbol]]:
+        """``keyword_symbols`` keyed by UTF-8 keywords (byte-native runtime)."""
+        self._ensure_byte_tables()
+        return self._keyword_symbols_bytes
 
     @property
     def initial_state(self) -> int:

@@ -30,6 +30,18 @@ with the grown window resumes the search exactly where it stopped; the
 instrumented algorithms guarantee that the comparison and shift counters of a
 chunked search are bit-identical to a whole-document search, which is what
 keeps the paper's character-based statistics invariant under chunking.
+
+Byte-native operation
+---------------------
+Every matcher is *polymorphic over the text type*: compiled from ``str``
+keywords it searches ``str`` text, compiled from ``bytes`` keywords it
+searches ``bytes``-like text (``bytes``, ``mmap``) with identical match
+sequences and statistics -- indexing either type yields comparable elements
+(characters vs byte values), which is all the algorithms use.  The
+byte-native SMP runtime compiles its frontier vocabularies as UTF-8
+keywords and runs the automata directly on the wire/disk representation;
+the counters then count bytes, which coincides with characters on the
+ASCII tag keywords and documents of the paper's workloads.
 """
 
 from __future__ import annotations

@@ -102,14 +102,24 @@ class CommentzWalterMatcher(MultiKeywordMatcher):
         return self._bad_character.get(character, self._min_length)
 
     def _nodes_with_words(self) -> list[tuple[str, _CwNode]]:
-        """Return ``(word, node)`` pairs where ``word`` spells root -> node."""
+        """Return ``(word, node)`` pairs where ``word`` spells root -> node.
+
+        Trie edges are keyed by text *elements* -- characters for ``str``
+        keywords, byte values (``int``) for ``bytes`` keywords -- so the
+        path word is rebuilt with the keyword type's constructor.
+        """
+        empty = self.keywords[0][:0]
+        join = (
+            "".join if isinstance(empty, str)
+            else bytes  # a list of byte values -> bytes
+        )
         result: list[tuple[str, _CwNode]] = []
-        stack: list[tuple[str, _CwNode]] = [("", self._root)]
+        stack: list[tuple[list, _CwNode]] = [([], self._root)]
         while stack:
-            word, node = stack.pop()
-            result.append((word, node))
+            path, node = stack.pop()
+            result.append((join(path), node))
             for character, child in node.children.items():
-                stack.append((word + character, child))
+                stack.append((path + [character], child))
         return result
 
     def _compute_good_suffix_shifts(self) -> None:

@@ -60,7 +60,21 @@ def trie_regex(keywords: Iterable[str]) -> str:
     optional continuation), so the compiled pattern decides each candidate
     position in one forward pass; greedy optional groups make longer
     continuations win over an accepting prefix.
+
+    ``bytes`` keywords produce a ``bytes`` pattern (the byte-native shared
+    scan): the trie is built over the latin-1 rendering -- a bijection on
+    byte values -- and the emitted pattern is encoded back.
     """
+    keyword_list = list(keywords)
+    if keyword_list and isinstance(keyword_list[0], (bytes, bytearray)):
+        pattern = trie_regex(
+            [keyword.decode("latin-1") for keyword in keyword_list]
+        )
+        return pattern.encode("latin-1")
+    return _trie_regex_str(keyword_list)
+
+
+def _trie_regex_str(keywords: Iterable[str]) -> str:
     trie: dict = {}
     for keyword in sorted(keywords):
         node = trie
@@ -128,8 +142,9 @@ class KeywordDispatcher:
         self.prefixes: dict[str, tuple[str, ...]] = proper_prefix_table(
             self.keywords
         )
-        #: The union automaton: one C-level pass per window.
-        self.pattern: re.Pattern[str] = re.compile(trie_regex(self.keywords))
+        #: The union automaton: one C-level pass per window (a ``bytes``
+        #: pattern when the vocabularies are ``bytes`` keywords).
+        self.pattern = re.compile(trie_regex(self.keywords))
         self._matcher: SingleKeywordMatcher | MultiKeywordMatcher = make_matcher(
             self.keywords, backend=backend
         )

@@ -24,13 +24,15 @@ extract_paths_from_xpath`); compiled plans are shared through the
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
 from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
+from repro.core.sources import decode_chunks, file_chunks, open_mmap
 from repro.core.stats import CompilationStatistics, RunStatistics
-from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks, open_chunks
+from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.dtd.model import Dtd
 from repro.projection.extraction import extract_paths_from_xpath
 from repro.projection.paths import ProjectionPath
@@ -99,15 +101,19 @@ class XPathPipeline:
 
     def run(
         self,
-        source: str | IO[str] | Iterable[str],
+        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> PipelineOutcome:
-        """Filter and evaluate ``source`` (string, file object or chunks).
+        """Filter and evaluate ``source`` (string, bytes, file object or
+        chunks).
 
         The document is prefiltered incrementally and every projected
         fragment is pushed straight into the streaming evaluator's session,
-        so no whole-document (or whole-projection) string ever exists.
+        so no whole-document (or whole-projection) string ever exists.  The
+        prefilter stage is byte-native: byte sources are searched as-is and
+        only the projected fragments -- the bytes actually copied -- are
+        decoded for the evaluator.
         """
         evaluation = self.engine.session()
         session = self.prefilter.session(sink=evaluation.feed)
@@ -122,20 +128,43 @@ class XPathPipeline:
             compilation=self.prefilter.compilation,
         )
 
+    def run_bytes(
+        self, data: bytes, *, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> PipelineOutcome:
+        """Run the pipeline over an in-memory UTF-8 byte document."""
+        return self.run(data, chunk_size=chunk_size)
+
     def run_file(
         self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> PipelineOutcome:
-        """Run the pipeline over a document stored on disk."""
-        return self.run(open_chunks(path, chunk_size), chunk_size=chunk_size)
+        """Run the pipeline over a document stored on disk.
+
+        The file is read in binary; the input is never decoded.
+        """
+        return self.run(file_chunks(path, chunk_size), chunk_size=chunk_size)
+
+    def run_mmap(self, path: str) -> PipelineOutcome:
+        """Run the pipeline over a memory-mapped document (zero-copy
+        prefilter window; only projected fragments reach the heap).
+        :meth:`run` drains the filter inside the ``with`` block, so the
+        map is closed before this method returns."""
+        with open_mmap(path) as mapping:
+            return self.run([mapping])
 
     def evaluate_unfiltered(
         self,
-        source: str | IO[str] | Iterable[str],
+        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> list[ResultItem]:
-        """Evaluate the query without prefiltering (the Figure 7(b) baseline)."""
-        return self.engine.evaluate_chunks(iter_chunks(source, chunk_size))
+        """Evaluate the query without prefiltering (the Figure 7(b) baseline).
+
+        Byte chunks are decoded incrementally on UTF-8 boundaries for the
+        ``str``-based tokenizer -- this baseline pays the decode copy the
+        prefiltered byte path avoids.
+        """
+        chunks = iter_chunks(source, chunk_size)
+        return self.engine.evaluate_chunks(_text_chunks(chunks))
 
     @classmethod
     def multi(
@@ -156,6 +185,25 @@ class XPathPipeline:
         return MultiXPathPipeline(
             dtd, queries, backend=backend, use_plan_cache=use_plan_cache
         )
+
+
+def _text_chunks(chunks):
+    """Pass ``str`` chunks through; decode byte streams incrementally.
+
+    A single source never mixes types, so the first chunk decides: ``str``
+    streams pass through unchanged, byte streams go through the shared
+    :func:`repro.core.sources.decode_chunks` bridge (which never splits a
+    code point across emitted chunks).
+    """
+    iterator = iter(chunks)
+    first = next(iterator, None)
+    if first is None:
+        return
+    if isinstance(first, str):
+        yield first
+        yield from iterator
+    else:
+        yield from decode_chunks(itertools.chain([first], iterator))
 
 
 @dataclass
@@ -200,16 +248,17 @@ class MultiXPathPipeline:
 
     def run(
         self,
-        source: str | IO[str] | Iterable[str],
+        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> MultiPipelineOutcome:
         """Filter and evaluate ``source`` against every query at once.
 
-        The document is prefiltered incrementally in one pass; each query's
-        projected fragments flow straight into its private streaming
-        evaluator session, so no whole-document (or whole-projection)
-        string ever exists.
+        The document is prefiltered incrementally in one byte-native pass;
+        each query's projected fragments flow straight into its private
+        streaming evaluator session, so no whole-document (or
+        whole-projection) string ever exists and only the copied fragments
+        are decoded.
         """
         evaluations = [engine.session() for engine in self.engines]
         session = self.prefilter_engine.session(
@@ -238,5 +287,8 @@ class MultiXPathPipeline:
     def run_file(
         self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> MultiPipelineOutcome:
-        """Run the multi-query pipeline over a document stored on disk."""
-        return self.run(open_chunks(path, chunk_size), chunk_size=chunk_size)
+        """Run the multi-query pipeline over a document stored on disk.
+
+        The file is read in binary; the input is never decoded.
+        """
+        return self.run(file_chunks(path, chunk_size), chunk_size=chunk_size)

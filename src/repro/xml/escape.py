@@ -58,6 +58,21 @@ def is_name_char(character: str) -> bool:
     return character.isalnum() or character in ("_", ":", "-", ".")
 
 
+#: Per-byte-value verdicts of :func:`is_name_byte`.  ASCII bytes follow
+#: :func:`is_name_char`; every byte >= 0x80 counts as a name byte because it
+#: belongs to a multi-byte UTF-8 sequence (non-ASCII name characters), which
+#: keeps the byte-native runtime's "tag name extends the keyword" test
+#: aligned with the character-level test on conforming documents.
+_NAME_BYTE_TABLE = tuple(
+    byte >= 0x80 or is_name_char(chr(byte)) for byte in range(256)
+)
+
+
+def is_name_byte(byte: int) -> bool:
+    """True if UTF-8 byte value ``byte`` may occur inside an XML name."""
+    return _NAME_BYTE_TABLE[byte]
+
+
 def is_valid_name(name: str) -> bool:
     """True if ``name`` is a well-formed XML name (ASCII subset)."""
     if not name:

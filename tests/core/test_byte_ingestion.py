@@ -1,0 +1,356 @@
+"""Byte-native ingestion: bytes/str equivalence and UTF-8 edge cases.
+
+The defining property of the byte-native refactor: filtering the UTF-8
+encoding of a document through any byte entry point (``filter_bytes``,
+binary sessions, ``filter_file``'s binary reads, ``filter_mmap``) produces
+*byte-identical* output and *identical* statistics to the ``str`` shim --
+for every workload, every chunking, and in particular for inputs whose
+multi-byte UTF-8 sequences are split across arbitrary chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import MultiQueryEngine, SmpPrefilter
+from repro.core.stream import iter_chunks
+from repro.workloads import load_dataset
+from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+from repro.workloads.xmark import XMARK_QUERIES, xmark_dtd
+
+BACKENDS = ("instrumented", "native")
+
+
+def stats_tuple(stats):
+    return (
+        stats.input_size,
+        stats.output_size,
+        stats.char_comparisons,
+        stats.local_scan_chars,
+        stats.shifts,
+        stats.shift_total,
+        stats.initial_jumps,
+        stats.initial_jump_chars,
+        stats.tokens_matched,
+        stats.tokens_copied,
+        stats.regions_copied,
+        stats.searches if hasattr(stats, "searches") else 0,
+    )
+
+
+@pytest.fixture(scope="module")
+def medline_document():
+    return load_dataset("medline", size_bytes=120_000)
+
+
+@pytest.fixture(scope="module")
+def xmark_document():
+    return load_dataset("xmark", size_bytes=120_000)
+
+
+# ----------------------------------------------------------------------
+# Workload equivalence: bytes path vs str shim
+# ----------------------------------------------------------------------
+class TestBytesVsStrEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("query", sorted(MEDLINE_QUERIES))
+    def test_medline_whole_document(self, medline_document, backend, query):
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES[query], backend=backend
+        )
+        reference = plan.filter_document(medline_document)
+        byte_run = plan.filter_bytes(medline_document.encode("utf-8"))
+        assert byte_run.output == reference.output.encode("utf-8")
+        assert stats_tuple(byte_run.stats) == stats_tuple(reference.stats)
+
+    @pytest.mark.parametrize("query", ("XM1", "XM6", "XM14", "XM20"))
+    def test_xmark_whole_document(self, xmark_document, query):
+        plan = SmpPrefilter.cached_for_query(
+            xmark_dtd(), XMARK_QUERIES[query], backend="native"
+        )
+        reference = plan.filter_document(xmark_document)
+        byte_run = plan.filter_bytes(xmark_document.encode("utf-8"))
+        assert byte_run.output == reference.output.encode("utf-8")
+        assert stats_tuple(byte_run.stats) == stats_tuple(reference.stats)
+
+    @pytest.mark.parametrize("chunk_size", (1, 7, 4096, 65536))
+    def test_medline_chunked_bytes(self, medline_document, chunk_size):
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        reference = plan.filter_document(medline_document)
+        data = medline_document.encode("utf-8")
+        streamed = plan.filter_stream(
+            iter_chunks(data, chunk_size), binary=True
+        )
+        assert streamed.output == reference.output.encode("utf-8")
+        assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
+
+    def test_text_mode_session_accepts_byte_chunks(self, medline_document):
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M4"], backend="native"
+        )
+        reference = plan.filter_document(medline_document)
+        run = plan.filter_stream(iter_chunks(medline_document.encode(), 4096))
+        assert run.output == reference.output
+        assert stats_tuple(run.stats) == stats_tuple(reference.stats)
+
+    def test_binary_sink_receives_projected_bytes(self, medline_document):
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        fragments: list[bytes] = []
+        session = plan.session(sink=fragments.append, binary=True)
+        session.feed(medline_document.encode("utf-8"))
+        session.finish()
+        expected = plan.filter_document(medline_document).output.encode("utf-8")
+        assert b"".join(fragments) == expected
+        assert all(isinstance(fragment, bytes) for fragment in fragments)
+
+    def test_filter_file_reads_binary(self, tmp_path, medline_document):
+        path = tmp_path / "medline.xml"
+        path.write_text(medline_document, encoding="utf-8")
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        reference = plan.filter_document(medline_document)
+        from_file = plan.filter_file(str(path), chunk_size=4096)
+        assert from_file.output == reference.output
+        assert stats_tuple(from_file.stats) == stats_tuple(reference.stats)
+        binary = plan.filter_file(str(path), chunk_size=4096, binary=True)
+        assert binary.output == reference.output.encode("utf-8")
+
+    def test_filter_mmap_zero_copy_window(self, tmp_path, medline_document):
+        path = tmp_path / "medline.xml"
+        path.write_text(medline_document, encoding="utf-8")
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        reference = plan.filter_document(medline_document)
+        mapped = plan.filter_mmap(str(path))
+        assert mapped.output == reference.output
+        assert stats_tuple(mapped.stats) == stats_tuple(reference.stats)
+        mapped_binary = plan.filter_mmap(str(path), binary=True)
+        assert mapped_binary.output == reference.output.encode("utf-8")
+
+
+class TestMultiQueryBytePath:
+    @pytest.mark.parametrize("names", (("M2", "M5"), ("M1", "M3", "M4")))
+    def test_filter_bytes_matches_str_engine(self, medline_document, names):
+        engine = MultiQueryEngine(
+            medline_dtd(), [MEDLINE_QUERIES[name] for name in names],
+            backend="native",
+        )
+        reference = engine.filter_document(medline_document)
+        byte_run = engine.filter_bytes(medline_document.encode("utf-8"))
+        for text_out, byte_out, text_stats, byte_stats in zip(
+            reference.outputs, byte_run.outputs, reference.stats, byte_run.stats
+        ):
+            assert byte_out == text_out.encode("utf-8")
+            assert stats_tuple(byte_stats) == stats_tuple(text_stats)
+
+    def test_filter_mmap_matches_filter_file(self, tmp_path, medline_document):
+        path = tmp_path / "medline.xml"
+        path.write_text(medline_document, encoding="utf-8")
+        engine = MultiQueryEngine(
+            medline_dtd(),
+            [MEDLINE_QUERIES["M2"], MEDLINE_QUERIES["M5"]],
+            backend="native",
+        )
+        from_file = engine.filter_file(str(path), chunk_size=4096)
+        mapped = engine.filter_mmap(str(path))
+        assert mapped.outputs == from_file.outputs
+        for mapped_stats, file_stats in zip(mapped.stats, from_file.stats):
+            assert stats_tuple(mapped_stats) == stats_tuple(file_stats)
+
+    def test_binary_sinks(self, medline_document):
+        engine = MultiQueryEngine(
+            medline_dtd(),
+            [MEDLINE_QUERIES["M2"], MEDLINE_QUERIES["M5"]],
+            backend="native",
+        )
+        reference = engine.filter_document(medline_document)
+        collected: list[list[bytes]] = [[], []]
+        session = engine.session(
+            sinks=[collected[0].append, collected[1].append], binary=True
+        )
+        for chunk in iter_chunks(medline_document.encode("utf-8"), 4096):
+            session.feed(chunk)
+        session.finish()
+        for fragments, expected in zip(collected, reference.outputs):
+            assert b"".join(fragments) == expected.encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# UTF-8 edge cases: multi-byte sequences split across chunk boundaries
+# ----------------------------------------------------------------------
+#: Content mixing 2-byte (é, ß), 3-byte (☃, 日本語, €) and 4-byte (𝄞, 🜚)
+#: UTF-8 sequences, plus XML-escaped markup characters.
+_MULTIBYTE_TEXT = "café ß ☃ 日本語 € \U0001d11e \U0001f71a &amp;"
+
+UTF8_DTD_TEXT = """<!DOCTYPE site [
+<!ELEMENT site (item+, tail)>
+<!ELEMENT item (name, description)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT tail EMPTY>
+]>"""
+
+#: The ``tail`` anchor keeps the runtime automaton non-final until the end
+#: of the document (the Figure-4 loop stops at the first accepting state),
+#: so every item's description region is actually copied.
+UTF8_PATHS = ("//item//description#", "/site/tail#")
+
+
+def _utf8_document(items: int = 8) -> str:
+    parts = ["\ufeff<site>"]  # leading BOM: scanned past like prolog bytes
+    for index in range(items):
+        parts.append(
+            f"<item><name>n{index} {_MULTIBYTE_TEXT}</name>"
+            f"<description>d{index} {_MULTIBYTE_TEXT} {_MULTIBYTE_TEXT}"
+            f"</description></item>"
+        )
+    parts.append("<tail/></site>")
+    return "".join(parts)
+
+
+def _compile_utf8_plan(backend: str) -> SmpPrefilter:
+    from repro.dtd.model import Dtd
+
+    return SmpPrefilter.compile(
+        Dtd.parse(UTF8_DTD_TEXT),
+        list(UTF8_PATHS),
+        backend=backend,
+        add_default_paths=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def utf8_plan():
+    return _compile_utf8_plan("native")
+
+
+@pytest.fixture(scope="module")
+def utf8_plan_instrumented():
+    return _compile_utf8_plan("instrumented")
+
+
+class TestUtf8ChunkBoundaries:
+    """Satellite acceptance: 2/3/4-byte sequences and a BOM split across
+    arbitrary chunk boundaries are byte-identical to whole-document runs."""
+
+    def test_document_contains_all_sequence_lengths(self):
+        data = _utf8_document().encode("utf-8")
+        lead_lengths = set()
+        for byte in data:
+            if byte < 0x80:
+                lead_lengths.add(1)
+            elif 0xC0 <= byte < 0xE0:
+                lead_lengths.add(2)
+            elif 0xE0 <= byte < 0xF0:
+                lead_lengths.add(3)
+            elif byte >= 0xF0:
+                lead_lengths.add(4)
+        assert lead_lengths == {1, 2, 3, 4}
+        assert data.startswith(b"\xef\xbb\xbf")  # the UTF-8 BOM
+
+    def test_projection_is_not_vacuous(self, utf8_plan):
+        """Every item's multi-byte description region is actually copied --
+        guards the whole class against passing on empty projections."""
+        run = utf8_plan.filter_bytes(_utf8_document(items=8).encode("utf-8"))
+        assert run.stats.regions_copied == 8
+        assert _MULTIBYTE_TEXT.encode("utf-8") in run.output
+
+    @pytest.mark.parametrize("chunk_size", list(range(1, 9)) + [13, 61, 257])
+    def test_every_small_chunk_size(self, utf8_plan, chunk_size):
+        document = _utf8_document()
+        data = document.encode("utf-8")
+        whole = utf8_plan.filter_bytes(data)
+        assert whole.output  # never compare empty projections
+        chunked = utf8_plan.filter_stream(
+            iter_chunks(data, chunk_size), binary=True
+        )
+        assert chunked.output == whole.output
+        assert stats_tuple(chunked.stats) == stats_tuple(whole.stats)
+        # And the str shim agrees byte for byte after encoding.
+        assert whole.output == utf8_plan.filter_document(document).output.encode()
+
+    def test_random_chunkings_property(self, utf8_plan):
+        document = _utf8_document(items=12)
+        data = document.encode("utf-8")
+        whole = utf8_plan.filter_bytes(data)
+        rng = random.Random(0xBEEF)
+        for _ in range(25):
+            pieces = []
+            position = 0
+            while position < len(data):
+                size = rng.choice((1, 2, 3, 4, 5, 17, 64, 1024))
+                pieces.append(data[position:position + size])
+                position += size
+            run = utf8_plan.filter_stream(pieces, binary=True)
+            assert run.output == whole.output
+            assert stats_tuple(run.stats) == stats_tuple(whole.stats)
+
+    def test_boundaries_inside_every_multibyte_sequence(self, utf8_plan):
+        """Split exactly inside each multi-byte sequence at least once."""
+        document = _utf8_document(items=2)
+        data = document.encode("utf-8")
+        whole = utf8_plan.filter_bytes(data)
+        # Every split position that lands inside a multi-byte sequence.
+        inside = [
+            index for index in range(1, len(data))
+            if 0x80 <= data[index] < 0xC0
+        ]
+        assert inside, "document must contain multi-byte sequences"
+        for split in inside:
+            run = utf8_plan.filter_stream(
+                [data[:split], data[split:]], binary=True
+            )
+            assert run.output == whole.output
+            assert stats_tuple(run.stats) == stats_tuple(whole.stats)
+
+    def test_instrumented_backend_agrees(self, utf8_plan_instrumented):
+        document = _utf8_document()
+        data = document.encode("utf-8")
+        whole = utf8_plan_instrumented.filter_bytes(data)
+        for chunk_size in (1, 3, 64):
+            run = utf8_plan_instrumented.filter_stream(
+                iter_chunks(data, chunk_size), binary=True
+            )
+            assert run.output == whole.output
+            assert stats_tuple(run.stats) == stats_tuple(whole.stats)
+
+    def test_text_mode_decodes_only_projection(self, utf8_plan):
+        """Text-mode output over split multi-byte input equals the shim."""
+        document = _utf8_document()
+        data = document.encode("utf-8")
+        expected = utf8_plan.filter_document(document).output
+        for chunk_size in (1, 2, 5, 127):
+            run = utf8_plan.filter_stream(iter_chunks(data, chunk_size))
+            assert run.output == expected
+
+    def test_multi_query_engine_on_split_utf8(self):
+        from repro.dtd.model import Dtd
+
+        dtd = Dtd.parse(UTF8_DTD_TEXT)
+        document = _utf8_document()
+        data = document.encode("utf-8")
+        plans = [
+            SmpPrefilter.compile(
+                dtd, [path, "/site/tail#"], backend="native",
+                add_default_paths=False,
+            )
+            for path in ("//item//description#", "//item//name#")
+        ]
+        engine = MultiQueryEngine(dtd, plans, backend="native")
+        whole = engine.filter_bytes(data)
+        assert all(output for output in whole.outputs)
+        for chunk_size in (1, 3, 7, 256):
+            run = engine.filter_stream(
+                iter_chunks(data, chunk_size), binary=True
+            )
+            assert run.outputs == whole.outputs
+            for chunked_stats, whole_stats in zip(run.stats, whole.stats):
+                assert stats_tuple(chunked_stats) == stats_tuple(whole_stats)

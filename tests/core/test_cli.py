@@ -158,3 +158,132 @@ class TestMultiQueryCli:
         code = main(["--query", "/a/b", medline_file])
         assert code == 1
         assert "need --dtd" in capsys.readouterr().err
+
+    def test_output_files_are_binary_and_byte_identical(
+        self, tmp_path, medline_file
+    ):
+        from repro.core.prefilter import SmpPrefilter
+        from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+        base = tmp_path / "projected"
+        code = main([
+            "--query", "M2",
+            "--input", medline_file, "--output", str(base),
+            "--backend", "native",
+        ])
+        assert code == 0
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        with open(medline_file, "rb") as handle:
+            expected = plan.filter_bytes(handle.read()).output
+        assert (tmp_path / "projected.M2.xml").read_bytes() == expected
+
+    def test_output_files_closed_on_error_path(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Per-query sinks must be closed even when filtering fails."""
+        import builtins
+
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<MedlineCitationSet><MedlineCitation>",
+                       encoding="utf-8")
+        opened = []
+        real_open = builtins.open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", tracking_open)
+        code = main([
+            "--query", "M2", "--query", "M5",
+            "--input", str(bad), "--output", str(tmp_path / "out"),
+            "--backend", "native",
+        ])
+        assert code == 1
+        assert "repro:" in capsys.readouterr().err
+        sinks = [h for h in opened if getattr(h, "name", "").endswith(".xml")
+                 and "out." in getattr(h, "name", "")]
+        assert sinks, "expected per-query output files to have been opened"
+        assert all(handle.closed for handle in opened)
+
+
+class TestTextOnlyStdout:
+    def test_multi_query_sections_decode_split_utf8(self, tmp_path,
+                                                    monkeypatch):
+        """Buffered fragments may end mid-UTF-8-sequence; a text-only
+        stdout (no ``.buffer``) must still decode the sections cleanly."""
+        import io
+
+        dtd_path = tmp_path / "utf8.dtd"
+        dtd_path.write_text(
+            "<!DOCTYPE site [<!ELEMENT site (item+)>"
+            "<!ELEMENT item (description)>"
+            "<!ELEMENT description (#PCDATA)>]>",
+            encoding="utf-8",
+        )
+        document = tmp_path / "utf8.xml"
+        document.write_text(
+            "<site>" + "<item><description>café ☃ 日本語 \U0001f71a"
+            "</description></item>" * 4 + "</site>",
+            encoding="utf-8",
+        )
+        fake_stdout = io.StringIO()  # deliberately has no .buffer
+        monkeypatch.setattr("sys.stdout", fake_stdout)
+        code = main([
+            "--dtd", str(dtd_path), "--query", "/site/item/description",
+            "--input", str(document), "--chunk-size", "1",
+            "--backend", "native",
+        ])
+        assert code == 0
+        assert "café ☃ 日本語 \U0001f71a" in fake_stdout.getvalue()
+
+
+class TestMmapCli:
+    def test_mmap_requires_input(self, capsys, dtd_file):
+        with pytest.raises(SystemExit):
+            main([dtd_file, "/site#", "--mmap"])
+
+    def test_mmap_empty_file_exits_cleanly(self, tmp_path, capsys, dtd_file):
+        empty = tmp_path / "empty.xml"
+        empty.write_bytes(b"")
+        code = main([dtd_file, "/site#", "--input", str(empty), "--mmap"])
+        assert code == 1
+        assert "repro:" in capsys.readouterr().err
+
+    def test_mmap_matches_chunked_run(self, tmp_path, dtd_file, document_file,
+                                      site_dtd, figure2_document):
+        chunked_path = tmp_path / "chunked.xml"
+        mapped_path = tmp_path / "mapped.xml"
+        assert main([
+            dtd_file, "//australia//description#",
+            "--input", document_file, "--output", str(chunked_path),
+            "--chunk-size", "16",
+        ]) == 0
+        assert main([
+            dtd_file, "//australia//description#",
+            "--input", document_file, "--output", str(mapped_path),
+            "--mmap",
+        ]) == 0
+        assert mapped_path.read_bytes() == chunked_path.read_bytes()
+        assert mapped_path.read_text(encoding="utf-8") == expected_output(
+            site_dtd, figure2_document
+        )
+
+    def test_mmap_multi_query(self, tmp_path, capsys):
+        from repro.workloads import load_dataset
+
+        path = tmp_path / "medline.xml"
+        path.write_text(load_dataset("medline", size_bytes=60_000),
+                        encoding="utf-8")
+        code = main(["--query", "M2", "--input", str(path), "--mmap",
+                     "--backend", "native"])
+        plain = capsys.readouterr()
+        assert code == 0
+        code = main(["--query", "M2", "--input", str(path),
+                     "--backend", "native"])
+        chunked = capsys.readouterr()
+        assert code == 0
+        assert plain.out == chunked.out
