@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import SmpPrefilter
+from repro import api
 from repro.pipeline import XPathPipeline
 from repro.workloads.medline import MEDLINE_QUERIES, MEDLINE_QUERY_ORDER, \
     generate_medline_document, medline_dtd
@@ -48,15 +48,18 @@ def main() -> None:
     for name in MEDLINE_QUERY_ORDER:
         spec = MEDLINE_QUERIES[name]
         engine = StreamingXPathEngine(spec.query)
-        prefilter = SmpPrefilter.compile(dtd, spec.parsed_paths(), backend="native",
-                                         add_default_paths=False)
+        prefilter_engine = api.Engine(
+            api.Query.from_spec(dtd, spec, backend="native")
+        )
 
         start = time.perf_counter()
         alone_results = engine.evaluate(document)
         alone_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        projected = prefilter.filter_document(document).output
+        projected = prefilter_engine.run(
+            api.Source.from_text(document)
+        ).single.output
         smp_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -69,7 +72,9 @@ def main() -> None:
             dtd, spec.query, backend="native", paths=spec.parsed_paths()
         )
         start = time.perf_counter()
-        outcome = streaming_pipeline.run(document, chunk_size=64 * 1024)
+        outcome = streaming_pipeline.evaluate(
+            api.Source.from_text(document, chunk_size=64 * 1024)
+        )
         stream_seconds = time.perf_counter() - start
 
         def rendered(items):

@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Dtd, SmpPrefilter
+from repro import Dtd, SmpPrefilter, api
 
 SITE_DTD = """<!DOCTYPE site [
 <!ELEMENT site (regions)>
@@ -55,7 +55,9 @@ def main() -> None:
     print(prefilter.describe_tables())
     print()
 
-    run = prefilter.filter_document(DOCUMENT)
+    # The unified dataflow API: Source -> Query -> Engine -> Sink.
+    engine = api.Engine(api.Query.from_plan(prefilter, label="australia"))
+    run = engine.run(api.Source.from_text(DOCUMENT)).single
     print("Input document  :", DOCUMENT)
     print("Projected output:", run.output)
     print()

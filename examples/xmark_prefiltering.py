@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import SmpPrefilter
+from repro import api
 from repro.workloads.xmark import XMARK_QUERIES, generate_xmark_document_of_size, xmark_dtd
 from repro.xpath import InMemoryQueryEngine, string_value
 
@@ -41,21 +41,20 @@ def main() -> None:
     print("-" * len(header))
     for name in QUERIES:
         spec = XMARK_QUERIES[name]
-        prefilter = SmpPrefilter.compile(dtd, spec.parsed_paths(), add_default_paths=False)
-        run = prefilter.filter_document(document)
+        query = api.Query.from_spec(dtd, spec, backend="instrumented")
+        run = api.Engine(query).run(api.Source.from_text(document)).single
         stats = run.stats
         print(
             f"{name:<6} {run.output_size:>10,} {100 * stats.projection_ratio:>6.1f}% "
-            f"{prefilter.states_summary():>12} {stats.average_shift:>6.2f} "
+            f"{run.compilation.states_label():>12} {stats.average_shift:>6.2f} "
             f"{stats.initial_jump_ratio:>7.2f}% {stats.char_comparison_ratio:>11.2f}%"
         )
 
     # Figure 7(a) in miniature: the query result is identical on the
     # projected document, but the engine loads a far smaller tree.
     spec = XMARK_QUERIES["XM13"]
-    prefilter = SmpPrefilter.compile(dtd, spec.parsed_paths(), backend="native",
-                                     add_default_paths=False)
-    projected = prefilter.filter_document(document).output
+    query = api.Query.from_spec(dtd, spec, backend="native")
+    projected = api.Engine(query).run(api.Source.from_text(document)).single.output
     engine = InMemoryQueryEngine()
     full = engine.run(spec.xpath, document)
     pruned = engine.run(spec.xpath, projected)

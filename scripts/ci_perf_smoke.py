@@ -14,7 +14,11 @@ job stays fast and robust to runner noise:
 * the shared-scan multi-query engine regressing toward the N-sessions
   baseline -- at N=4 (M2-M5) its wall time must not exceed 0.75x of running
   the four sessions sequentially (the committed BENCH_multiquery.json
-  records >= 2x; 0.75x catches real regressions, not noise).
+  records >= 2x; 0.75x catches real regressions, not noise);
+* the unified dataflow API (repro.api, PR 4) growing overhead over the
+  direct session loop it wraps -- at 1 MiB bytes chunks the
+  ``Engine.run(Source.from_bytes(...))`` path must reach at least
+  ``API_FLOOR`` (0.95x) of the direct ``session().run`` throughput.
 
 Run from the repository root::
 
@@ -37,6 +41,10 @@ BYTES_NOISE_SLACK = 1.10
 MULTI_QUERIES = ("M2", "M3", "M4", "M5")
 #: Shared-scan wall time must not exceed this fraction of the baseline.
 MULTI_BOUND = 0.75
+#: Minimum throughput of the repro.api path relative to the direct session
+#: loop (the API is a thin orchestration layer; 5% covers real overhead,
+#: the timer-noise slack is shared with the other gates).
+API_FLOOR = 0.95
 ROUNDS = 5
 
 
@@ -52,7 +60,7 @@ def best_of(callable_, rounds=ROUNDS) -> float:
 def main() -> int:
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     sys.path.insert(0, os.path.join(repo_root, "src"))
-    from repro import MultiQueryEngine, SmpPrefilter
+    from repro import SmpPrefilter
     from repro.core.stream import iter_chunks
     from repro.workloads import load_dataset
     from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
@@ -111,16 +119,62 @@ def main() -> int:
         print(f"OK: bytes path >= 1.0x the str path within noise "
               f"({ratio:.2f}x, slack {BYTES_NOISE_SLACK}x)")
 
+    # --- repro.api path vs the direct session loop ------------------------
+    from repro import api
+
+    api_engine = api.Engine(
+        api.Query.from_plan(plan, label="M2")
+    )
+    api_run = api_engine.run(
+        api.Source.from_bytes(document_bytes, chunk_size=large_chunk),
+        binary=True,
+    )
+    direct_run = plan.session(binary=True).run(
+        iter_chunks(document_bytes, large_chunk)
+    )
+    if api_run.single.output != direct_run.output:
+        print("FAIL: repro.api output differs from the direct session path")
+        failures += 1
+    # Interleaved rounds: alternating the two paths keeps machine noise
+    # from landing on one side of the comparison.
+    api_wall = direct_wall = float("inf")
+    for _ in range(2 * ROUNDS):
+        started = time.perf_counter()
+        plan.session(binary=True).run(iter_chunks(document_bytes, large_chunk))
+        direct_wall = min(direct_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        api_engine.run(
+            api.Source.from_bytes(document_bytes, chunk_size=large_chunk),
+            binary=True,
+        )
+        api_wall = min(api_wall, time.perf_counter() - started)
+    ratio = direct_wall / api_wall  # api throughput relative to direct
+    print(f"1 MiB chunks: direct session {direct_wall * 1000:.1f} ms, "
+          f"repro.api {api_wall * 1000:.1f} ms (api {ratio:.2f}x direct, "
+          f"floor {API_FLOOR}x x noise slack {BYTES_NOISE_SLACK})")
+    if api_wall * API_FLOOR > direct_wall * BYTES_NOISE_SLACK:
+        print(f"FAIL: the repro.api path runs below {API_FLOOR}x of the "
+              "direct session throughput -- the dataflow layer grew "
+              "per-chunk overhead")
+        failures += 1
+    else:
+        print(f"OK: repro.api >= {API_FLOOR}x direct-session throughput "
+              f"within noise ({ratio:.2f}x)")
+
     # --- shared-scan multi-query vs N sessions ----------------------------
     specs = [MEDLINE_QUERIES[name] for name in MULTI_QUERIES]
-    engine = MultiQueryEngine(dtd, specs, backend="native")
+    engine = api.Engine(
+        [api.Query.from_spec(dtd, spec, backend="native") for spec in specs]
+    )
     plans = [
         SmpPrefilter.cached_for_query(dtd, spec, backend="native")
         for spec in specs
     ]
 
     def shared():
-        return engine.filter_stream(iter_chunks(document, 64 * 1024))
+        return engine.run(
+            api.Source.from_text(document, chunk_size=64 * 1024)
+        )
 
     def baseline():
         return [

@@ -6,38 +6,61 @@ DTD parsing and DTD automata, the projection semantics of Section III, a
 token-based reference projector, SAX-style tokenization, in-memory and
 streaming XPath engines, and synthetic XMark / MEDLINE workloads.
 
-Quickstart -- one-shot filtering of an in-memory document::
+Quickstart -- the unified dataflow API (Source → Query → Engine → Sink)::
 
-    from repro import Dtd, SmpPrefilter
+    from repro import Dtd, api
 
     dtd = Dtd.parse(open("site.dtd").read())
-    prefilter = SmpPrefilter.compile(dtd, ["//australia//description#"])
-    run = prefilter.filter_document(xml_text)
-    print(run.output)
-    print(run.stats.char_comparison_ratio, "% of characters inspected")
+    engine = api.Engine(api.Query("//australia//description", dtd))
 
-Streaming -- the same prefilter over a document of any size, in
-O(chunk + carry window) memory with identical statistics.  The execution
-core is *byte-native*: files are read (or memory-mapped) in binary, the
-matcher automata run directly on the UTF-8 bytes, and only the bytes
-copied to output are ever decoded (``str`` chunks keep working through a
-thin encode shim)::
+    run = engine.run(api.Source.from_file("site.xml"))     # O(chunk) memory
+    print(run.single.output)                               # the projection
+    print(run.single.stats.char_comparison_ratio, "% of bytes inspected")
 
-    run = prefilter.filter_file("site.xml", chunk_size=64 * 1024)
-    run = prefilter.filter_mmap("site.xml")            # zero-copy window
-    run = prefilter.filter_bytes(payload)              # bytes in, bytes out
+Sources cover every input shape with uniform chunk-size/alignment options
+(``from_text``, ``from_bytes``, ``from_file``, ``from_mmap``,
+``from_stdin``, ``from_socket``, ``from_iter``); sinks stream the
+projection anywhere (``FileSink``, ``CollectSink``, ``CallbackSink``,
+``NullSink``).  N queries share **one** document scan, each with its own
+labelled sink::
 
-    # or drive a session by hand (e.g. from a socket):
-    session = prefilter.session(binary=True)
-    for chunk in repro.core.sources.socket_chunks(connection):
-        sys.stdout.buffer.write(session.feed(chunk))
-    sys.stdout.buffer.write(session.finish())
+    engine = api.Engine([api.Query(q, dtd) for q in queries])
+    engine.run(api.Source.from_mmap("site.xml"),
+               sinks={label: api.FileSink(f"{label}.xml") for label in engine.labels})
 
-End-to-end query answering (prefilter -> project -> evaluate) without any
-whole-document string lives in :class:`repro.pipeline.XPathPipeline`; the
-same functionality is available from the shell as ``python -m repro``.
+Sessions are incremental and *live*: ``feed``/``finish`` chunk by chunk,
+with mid-stream query management::
+
+    session = engine.open(live=True, binary=True)
+    for chunk in chunks:
+        session.feed(chunk)
+    handle = session.attach(api.Query("//person//name", dtd))   # hot attach
+    session.detach(handle)                                      # hot detach
+
+The asyncio bridge (:mod:`repro.aio`) serves the same dataflow over
+sockets -- ``await aio.serve(engine)`` multiplexes one document in, N
+labelled projection streams out, with sink backpressure -- and the
+end-to-end pipeline (prefilter → project → evaluate) lives in
+:class:`repro.pipeline.XPathPipeline`.  The same functionality is available
+from the shell as ``python -m repro``.  The pre-PR4 ``filter_*``/``run_*``
+methods survive as deprecated byte-identical shims over :mod:`repro.api`.
 """
 
+from repro import api
+from repro.api import (
+    CallbackSink,
+    CollectSink,
+    Engine,
+    EngineRun,
+    FileSink,
+    NullSink,
+    Query,
+    QueryHandle,
+    QueryResult,
+    Session,
+    Sink,
+    Source,
+)
 from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
@@ -70,36 +93,50 @@ from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
 from repro.projection.paths import ProjectionPath, parse_projection_paths
 from repro.projection.reference import ReferenceProjector
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CallbackSink",
+    "CollectSink",
     "CompilationError",
     "CompilationStatistics",
     "DEFAULT_CHUNK_SIZE",
     "Dtd",
-    "FilterSession",
     "DtdRecursionError",
     "DtdSyntaxError",
     "DtdValidationError",
+    "Engine",
+    "EngineRun",
+    "FileSink",
     "FilterRun",
+    "FilterSession",
     "MatchingError",
     "MultiQueryEngine",
     "MultiQueryRun",
     "MultiQuerySession",
+    "NullSink",
     "ProjectionPath",
     "ProjectionPathError",
+    "Query",
     "QueryError",
+    "QueryHandle",
+    "QueryResult",
     "QuerySpec",
     "ReferenceProjector",
     "ReproError",
     "RunStatistics",
     "RuntimeFilterError",
+    "Session",
+    "Sink",
     "SmpPrefilter",
+    "Source",
     "WorkloadError",
     "XPathSyntaxError",
     "XmlSyntaxError",
     "__version__",
+    "aio",
     "align_utf8_chunks",
+    "api",
     "decode_chunks",
     "extract_paths_from_xpath",
     "file_chunks",
@@ -110,3 +147,12 @@ __all__ = [
     "socket_chunks",
     "stdin_chunks",
 ]
+
+
+def __getattr__(name):
+    # ``repro.aio`` pulls in asyncio; import it only when first touched.
+    if name == "aio":
+        import repro.aio as aio
+
+        return aio
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,36 @@
+"""Warn-once deprecation plumbing for the legacy entry points.
+
+The PR-4 dataflow redesign (:mod:`repro.api`) turned the accumulated
+``filter_*`` / ``run_*`` method matrix into thin delegating shims.  Every
+shim calls :func:`warn_legacy` exactly once per process so long-running
+services logging warnings are nudged toward the Source → Query → Engine →
+Sink spelling without drowning in repeats.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim names that have already warned in this process.
+_warned: set[str] = set()
+
+
+def warn_legacy(name: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``name``.
+
+    ``replacement`` names the :mod:`repro.api` spelling the caller should
+    migrate to; it is embedded in the message verbatim.
+    """
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_warned() -> None:
+    """Forget which shims warned (test isolation helper)."""
+    _warned.clear()

@@ -1,0 +1,392 @@
+"""Asyncio serving bridge over the unified dataflow API.
+
+The SMP prefilter is CPU-light per byte (that is the paper's point), which
+makes it a natural fit for serving XML streams from an event loop: the
+blocking edges are the *network*, not the filter.  This module provides the
+two asynchronous entry points the roadmap asked for:
+
+* :func:`async_run` — drive a :class:`repro.api.Engine` from a (sync or
+  async) chunk source, delivering every projected fragment through
+  ``await sink.write(...)``.  A slow consumer therefore backpressures the
+  whole dataflow: the next chunk is not fed until the sinks accepted the
+  previous output.
+* :func:`serve` — a one-socket-in / N-labelled-streams-out server: each
+  connection streams one XML document in, and every query of the engine
+  streams its projection back as labelled frames over the same socket,
+  multiplexed with a tiny length-prefixed framing (see :func:`write_frame`).
+  ``await writer.drain()`` between chunks propagates socket backpressure
+  into the filter loop.
+
+Example — three queries over one socket::
+
+    import asyncio
+    from repro import api, aio
+
+    engine = api.Engine([api.Query(q, dtd) for q in queries])
+
+    async def main():
+        server = await aio.serve(engine, host="127.0.0.1", port=8043)
+        async with server:
+            await server.serve_forever()
+
+    asyncio.run(main())
+
+and from a client::
+
+    outputs = await aio.request("127.0.0.1", 8043, api.Source.from_file("doc.xml"))
+    # {label: projected bytes, ...}
+
+The filtering itself runs inline on the event loop (it is a tight C-backed
+scan over each chunk); for many concurrent connections on multi-core
+machines, run one process per core behind a load balancer in the usual
+asyncio deployment shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import struct
+from typing import Callable, Mapping, Sequence, Union
+
+from repro import api
+from repro.core.stream import DEFAULT_CHUNK_SIZE
+from repro.errors import QueryError, ReproError
+
+__all__ = [
+    "FRAME_DATA",
+    "FRAME_END",
+    "FRAME_ERROR",
+    "AsyncCallbackSink",
+    "AsyncCollectSink",
+    "AsyncSink",
+    "StreamWriterSink",
+    "async_run",
+    "read_frame",
+    "request",
+    "serve",
+    "write_frame",
+]
+
+
+# ----------------------------------------------------------------------
+# Async sinks
+# ----------------------------------------------------------------------
+class AsyncSink:
+    """An ``await``-able output endpoint; slow sinks backpressure the run."""
+
+    #: Chunk-type preference: True = bytes, False = str, None = either.
+    binary: bool | None = None
+
+    async def write(self, fragment) -> None:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Called exactly once when the run finishes (or is abandoned)."""
+
+
+class AsyncCollectSink(AsyncSink):
+    """Accumulate fragments in memory; :meth:`value` joins them.
+
+    Mode-agnostic (``binary=None``); :func:`async_run` stamps the resolved
+    output mode onto :attr:`binary` so :meth:`value` returns the right
+    empty value even when nothing was projected.
+    """
+
+    def __init__(self) -> None:
+        self.fragments: list = []
+
+    async def write(self, fragment) -> None:
+        self.fragments.append(fragment)
+
+    def value(self):
+        if not self.fragments:
+            return b"" if self.binary else ""
+        empty = b"" if isinstance(self.fragments[0], bytes) else ""
+        return empty.join(self.fragments)
+
+
+class StreamWriterSink(AsyncSink):
+    """Stream projected bytes into an :class:`asyncio.StreamWriter`.
+
+    ``write`` writes and then ``await``\\ s :meth:`~asyncio.StreamWriter.
+    drain`, so a slow peer throttles the filter loop — this is the
+    backpressure edge of the serving bridge.
+    """
+
+    binary = True
+
+    def __init__(self, writer: asyncio.StreamWriter, *,
+                 close_writer: bool = False) -> None:
+        self._writer = writer
+        self._close_writer = close_writer
+
+    async def write(self, fragment: bytes) -> None:
+        self._writer.write(fragment)
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._close_writer:
+            self._writer.close()
+            with contextlib.suppress(ConnectionError):
+                await self._writer.wait_closed()
+
+
+class AsyncCallbackSink(AsyncSink):
+    """Adapt an ``async def callback(fragment)`` to the sink protocol."""
+
+    def __init__(self, callback, *, binary: bool | None = None) -> None:
+        self.write = callback
+        self.binary = binary
+
+
+AnyAsyncSink = Union[AsyncSink, Callable, None]
+
+
+def _as_async_sink(sink: AnyAsyncSink) -> AsyncSink | None:
+    if sink is None or isinstance(sink, AsyncSink):
+        return sink
+    if callable(sink):
+        return AsyncCallbackSink(sink)
+    raise QueryError(f"cannot interpret {sink!r} as an async sink")
+
+
+def _normalize_async_sinks(
+    sinks: "AnyAsyncSink | Sequence[AnyAsyncSink] | Mapping[str, AnyAsyncSink]",
+    labels: Sequence[str],
+) -> list[AsyncSink | None] | None:
+    return api._normalize_sinks(
+        sinks, labels, coerce=_as_async_sink, sink_type=AsyncSink
+    )
+
+
+# ----------------------------------------------------------------------
+# async_run
+# ----------------------------------------------------------------------
+async def async_run(
+    source,
+    engine: api.Engine,
+    sinks: "AnyAsyncSink | Sequence[AnyAsyncSink] | Mapping[str, AnyAsyncSink]" = None,
+    *,
+    binary: bool | None = None,
+    live: bool = False,
+    chunk_size: int | None = None,
+) -> api.EngineRun:
+    """Run the dataflow with ``await``-based sinks (backpressure-aware).
+
+    ``source`` may be a :class:`repro.api.Source`, any raw value
+    :meth:`repro.api.Source.of` understands, or an **async iterable** of
+    chunks (e.g. chunks arriving from an :class:`asyncio.StreamReader`).
+    After every fed chunk, each query's newly emitted fragment is delivered
+    via ``await sink.write(fragment)`` before the next chunk is read — a
+    slow sink therefore throttles the whole run.  Queries without a sink
+    accumulate their output on the returned :class:`repro.api.EngineRun`.
+    """
+    sink_list = _normalize_async_sinks(sinks, engine.labels)
+    binary = api._resolve_binary(binary, sink_list)
+    for sink in sink_list or ():
+        if sink is not None and sink.binary is None:
+            sink.binary = binary  # mode-agnostic sinks adopt the run's mode
+    session = engine.open(binary=binary, live=live)
+    if sink_list is None:
+        sink_list = [None] * len(session.handles)
+    pieces: list[list] = [[] for _ in session.handles]
+
+    async def dispatch(outputs: list) -> None:
+        while len(pieces) < len(outputs):
+            pieces.append([])
+            sink_list.append(None)
+        for index, fragment in enumerate(outputs):
+            if not fragment:
+                continue
+            sink = sink_list[index] if index < len(sink_list) else None
+            if sink is None:
+                pieces[index].append(fragment)
+            else:
+                await sink.write(fragment)
+
+    try:
+        if hasattr(source, "__aiter__"):
+            async for chunk in source:
+                await dispatch(session.feed(chunk))
+        else:
+            with api.Source.of(source, chunk_size=chunk_size).open() as chunks:
+                for chunk in chunks:
+                    await dispatch(session.feed(chunk))
+                await dispatch(session.finish())
+        if not session.finished:
+            await dispatch(session.finish())
+    finally:
+        session.close()
+        for sink in sink_list:
+            if sink is not None:
+                await sink.close()
+    empty = b"" if binary else ""
+    results = [
+        api.QueryResult(
+            label=handle.label,
+            output=empty.join(parts),
+            stats=stats,
+            compilation=session._compilation(index),
+        )
+        for index, (handle, parts, stats) in enumerate(
+            zip(session.handles, pieces, session.stats)
+        )
+    ]
+    return api.EngineRun(results=results, scan_stats=session.scan_stats)
+
+
+# ----------------------------------------------------------------------
+# Framing: one socket in, N labelled streams out
+# ----------------------------------------------------------------------
+#: Frame header: kind (1 byte), label length (2 bytes), payload length
+#: (4 bytes), network byte order; label and payload bytes follow.
+FRAME_HEADER = struct.Struct("!BHI")
+FRAME_DATA = 0    #: a projected fragment for the labelled query
+FRAME_END = 1     #: the labelled query's stream is complete
+FRAME_ERROR = 2   #: the run failed; payload is the error message
+
+
+def write_frame(writer: asyncio.StreamWriter, kind: int, label: bytes,
+                payload: bytes) -> None:
+    """Serialize one frame onto ``writer`` (buffer only; drain separately)."""
+    writer.write(FRAME_HEADER.pack(kind, len(label), len(payload)))
+    if label:
+        writer.write(label)
+    if payload:
+        writer.write(payload)
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one frame; returns ``(kind, label, payload)`` or None at EOF."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise
+    kind, label_length, payload_length = FRAME_HEADER.unpack(header)
+    label = await reader.readexactly(label_length) if label_length else b""
+    payload = (
+        await reader.readexactly(payload_length) if payload_length else b""
+    )
+    return kind, label, payload
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+async def serve(
+    engine: api.Engine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> asyncio.Server:
+    """Serve the engine's queries over TCP: one document per connection.
+
+    A client streams one UTF-8 XML document and half-closes the write side
+    (``write_eof``); the server streams back every query's projection as
+    labelled :data:`FRAME_DATA` frames interleaved in emission order,
+    closing each stream with :data:`FRAME_END` — N labelled output streams
+    multiplexed over the one socket.  Filter failures (non-conforming
+    documents) produce one :data:`FRAME_ERROR` frame.  ``await drain()``
+    after each fed chunk propagates the client's read backpressure into the
+    filter loop.
+
+    Returns the started :class:`asyncio.Server` (use ``server.sockets`` for
+    the bound port when ``port=0``).
+    """
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        await handle_connection(engine, reader, writer, chunk_size=chunk_size)
+
+    return await asyncio.start_server(handle, host=host, port=port)
+
+
+async def handle_connection(
+    engine: api.Engine,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> None:
+    """Filter one connection's document; used by :func:`serve` per client."""
+    session = engine.open(binary=True)
+    labels = [handle.label.encode("utf-8") for handle in session.handles]
+    try:
+        while True:
+            chunk = await reader.read(chunk_size)
+            if not chunk:
+                break
+            _write_outputs(writer, labels, session.feed(chunk))
+            await writer.drain()
+        _write_outputs(writer, labels, session.finish())
+        for label in labels:
+            write_frame(writer, FRAME_END, label, b"")
+        await writer.drain()
+    except ReproError as error:
+        write_frame(writer, FRAME_ERROR, b"", str(error).encode("utf-8"))
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+    finally:
+        session.close()
+        writer.close()
+        with contextlib.suppress(ConnectionError):
+            await writer.wait_closed()
+
+
+def _write_outputs(writer: asyncio.StreamWriter, labels: list[bytes],
+                   outputs: list) -> None:
+    for label, fragment in zip(labels, outputs):
+        if fragment:
+            write_frame(writer, FRAME_DATA, label, fragment)
+
+
+async def request(
+    host: str,
+    port: int,
+    source,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> dict[str, bytes]:
+    """Client for :func:`serve`: send one document, demux the responses.
+
+    Streams ``source`` (a :class:`repro.api.Source` or raw value) to the
+    server, half-closes, and collects every labelled stream until all
+    :data:`FRAME_END` frames arrived.  Returns ``{label: projected bytes}``;
+    a :data:`FRAME_ERROR` frame raises :class:`~repro.errors.ReproError`.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        with api.Source.of(source, chunk_size=chunk_size).open() as chunks:
+            for chunk in chunks:
+                if isinstance(chunk, str):
+                    chunk = chunk.encode("utf-8")
+                writer.write(chunk)
+                await writer.drain()
+        writer.write_eof()
+        outputs: dict[str, list[bytes]] = {}
+        # Read to connection close: the client cannot know the label set up
+        # front (a label whose only frame is its END may arrive last), and
+        # the server closes the connection right after the END frames.
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                break
+            kind, label_bytes, payload = frame
+            label = label_bytes.decode("utf-8")
+            if kind == FRAME_ERROR:
+                raise ReproError(
+                    f"server error: {payload.decode('utf-8', 'replace')}"
+                )
+            if kind == FRAME_DATA:
+                outputs.setdefault(label, []).append(payload)
+            elif kind == FRAME_END:
+                outputs.setdefault(label, [])
+        return {label: b"".join(parts) for label, parts in outputs.items()}
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError):
+            await writer.wait_closed()

@@ -1,0 +1,1110 @@
+"""The unified dataflow API: Source → Query → Engine → Sink.
+
+Three generations of entry points grew on top of the SMP prefilter — the
+``filter_document/bytes/file/mmap/stream`` matrix on
+:class:`~repro.core.prefilter.SmpPrefilter`, the same matrix again on
+:class:`~repro.core.multi.MultiQueryEngine`, and the ``run_*`` variants of
+:class:`~repro.pipeline.XPathPipeline`.  Every new input kind multiplied
+every engine kind.  This module collapses that surface into four composable
+pieces:
+
+* :class:`Source` — *where the bytes come from*: text, bytes, files, memory
+  maps, stdin, sockets or arbitrary chunk iterables, with uniform
+  chunk-size and UTF-8-alignment options (:mod:`repro.core.sources`
+  underneath).
+* :class:`Query` — *what to project*: an XPath expression or explicit
+  projection paths plus the DTD and matcher options.  Hashable, and its
+  compiled plan is shared through the existing
+  :meth:`~repro.core.prefilter.SmpPrefilter.cached` plan cache.
+* :class:`Engine` — one or more queries compiled into an executable plan.
+  :meth:`Engine.open` returns a :class:`Session` (``feed``/``finish``/
+  ``run``) that supports **live** :meth:`Session.attach` /
+  :meth:`Session.detach` of queries mid-document on the shared-scan path.
+* :class:`Sink` — *where the projection goes*: collecting buffers, files,
+  callbacks or nothing, one per query (labelled) in multi-query runs.
+
+One document, one query, zero to done::
+
+    from repro import Dtd, api
+
+    dtd = Dtd.parse(open("site.dtd").read())
+    run = api.Engine(api.Query("//australia//description", dtd)).run(
+        api.Source.from_file("site.xml")
+    )
+    print(run.single.output)
+
+N queries over one shared byte scan, each streaming into its own file::
+
+    engine = api.Engine([api.Query(q, dtd) for q in queries])
+    engine.run(api.Source.from_mmap("site.xml"),
+               sinks=[api.FileSink(f"out.{i}.xml") for i in range(len(queries))])
+
+Live query management on an open stream::
+
+    session = engine.open(live=True, binary=True)
+    for chunk in chunks:
+        session.feed(chunk)
+        ...
+    handle = session.attach(api.Query("//person//name", dtd))  # mid-document
+    ...
+    session.detach(handle)
+
+The asyncio serving bridge (``await``-based sinks with backpressure and a
+one-socket-in / N-labelled-streams-out server) lives in :mod:`repro.aio`.
+The legacy ``filter_*`` / ``run_*`` methods survive as deprecated shims
+delegating to this module, byte-identical in output and statistics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import IO, Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.core.multi import MultiQueryEngine, MultiQuerySession
+from repro.core.prefilter import FilterSession, SmpPrefilter
+from repro.core.sources import (
+    align_utf8_chunks,
+    file_chunks,
+    open_mmap,
+    socket_chunks,
+    stdin_chunks,
+)
+from repro.core.stats import CompilationStatistics, RunStatistics
+from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
+from repro.dtd.model import Dtd
+from repro.errors import QueryError, ReproError
+from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
+from repro.projection.paths import ProjectionPath
+
+#: Matcher backend of the dataflow API (the wall-clock oriented choice; the
+#: paper's ``"instrumented"`` configuration remains available per query).
+DEFAULT_BACKEND = "native"
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "CallbackSink",
+    "CollectSink",
+    "Engine",
+    "EngineRun",
+    "FileSink",
+    "NullSink",
+    "Query",
+    "QueryHandle",
+    "QueryResult",
+    "Session",
+    "Sink",
+    "Source",
+]
+
+
+# ----------------------------------------------------------------------
+# Source
+# ----------------------------------------------------------------------
+class Source:
+    """A uniform, resource-safe description of chunked document input.
+
+    A source knows how to produce the document's chunks and how long the
+    backing resource (file handle, memory map, socket) must stay alive:
+    :meth:`open` returns a context manager yielding the chunk iterable, and
+    the resource is released only when the context exits — *after* the
+    consumer finished the document, so zero-copy windows (mmap) stay valid
+    through ``Session.finish``.
+
+    Construct sources through the ``from_*`` class methods (or
+    :meth:`Source.of` to auto-dispatch on a raw value).  Sources over
+    re-readable inputs (text, bytes, files, maps) may be opened any number
+    of times; one-shot streams (stdin, sockets, iterables) raise
+    :class:`~repro.errors.ReproError` on a second open.
+    """
+
+    def __init__(
+        self,
+        opener: Callable[[], "contextlib.AbstractContextManager[Iterable]"],
+        *,
+        kind: str,
+        repeatable: bool = False,
+    ) -> None:
+        self._opener = opener
+        self.kind = kind
+        self.repeatable = repeatable
+        self._consumed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Source(kind={self.kind!r}, repeatable={self.repeatable})"
+
+    def open(self) -> "contextlib.AbstractContextManager[Iterable]":
+        """A context manager yielding the chunk iterable.
+
+        Resources backing the chunks are held until the context exits, so
+        drive the session to completion (including ``finish``) inside it.
+        """
+        if self._consumed and not self.repeatable:
+            raise ReproError(
+                f"{self.kind} source was already consumed and cannot be "
+                "re-opened"
+            )
+        self._consumed = True
+        return self._opener()
+
+    def chunks(self) -> Iterator:
+        """The chunk stream, for consumers that manage no resources.
+
+        Equivalent to iterating inside :meth:`open`; the backing resource
+        is released when the iterator is exhausted or closed, so consumers
+        that buffer chunk objects beyond the iteration (the mmap zero-copy
+        window) must use :meth:`open` instead.
+        """
+        with self.open() as chunks:
+            yield from chunks
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str, *, chunk_size: int | None = None) -> "Source":
+        """A ``str`` document (the encode shim); one chunk unless sliced."""
+        return cls(
+            lambda: contextlib.nullcontext(_sliced(text, chunk_size)),
+            kind="text",
+            repeatable=True,
+        )
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: "bytes | bytearray | memoryview",
+        *,
+        chunk_size: int | None = None,
+        align_utf8: bool = False,
+    ) -> "Source":
+        """An in-memory UTF-8 byte document; one chunk unless sliced."""
+        return cls(
+            lambda: contextlib.nullcontext(
+                _aligned(_sliced(data, chunk_size), align_utf8)
+            ),
+            kind="bytes",
+            repeatable=True,
+        )
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        align_utf8: bool = False,
+    ) -> "Source":
+        """Binary ``chunk_size`` reads of the file at ``path`` (no decode)."""
+        return cls(
+            lambda: contextlib.nullcontext(
+                _aligned(file_chunks(path, chunk_size), align_utf8)
+            ),
+            kind="file",
+            repeatable=True,
+        )
+
+    @classmethod
+    def from_mmap(cls, path: str, *, chunk_size: int | None = None) -> "Source":
+        """A memory-mapped document.
+
+        With the default ``chunk_size=None`` the whole map is handed to the
+        consumer as a single chunk: the matchers search the mapped pages
+        directly and only projected slices are copied to the heap.  The map
+        stays open for the lifetime of the :meth:`open` context.
+        """
+
+        @contextlib.contextmanager
+        def opener():
+            mapping = open_mmap(path)
+            try:
+                if chunk_size is None:
+                    yield (mapping,)
+                else:
+                    yield (
+                        mapping[start:start + chunk_size]
+                        for start in range(0, len(mapping), chunk_size)
+                    )
+            finally:
+                mapping.close()
+
+        return cls(opener, kind="mmap", repeatable=True)
+
+    @classmethod
+    def from_stdin(
+        cls, *, chunk_size: int = DEFAULT_CHUNK_SIZE, align_utf8: bool = False
+    ) -> "Source":
+        """The process's binary stdin (one-shot)."""
+        return cls(
+            lambda: contextlib.nullcontext(
+                _aligned(stdin_chunks(chunk_size), align_utf8)
+            ),
+            kind="stdin",
+        )
+
+    @classmethod
+    def from_socket(
+        cls,
+        connection,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        align_utf8: bool = False,
+    ) -> "Source":
+        """Chunks received from anything with ``recv`` (one-shot)."""
+        return cls(
+            lambda: contextlib.nullcontext(
+                _aligned(socket_chunks(connection, chunk_size), align_utf8)
+            ),
+            kind="socket",
+        )
+
+    @classmethod
+    def from_iter(
+        cls,
+        chunks: "Iterable | IO[str] | IO[bytes]",
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        align_utf8: bool = False,
+    ) -> "Source":
+        """An iterable of chunks or a file-like object (one-shot).
+
+        Whole strings/bytes are sliced, file objects read in ``chunk_size``
+        pieces, iterables passed through as produced (see
+        :func:`repro.core.stream.iter_chunks`).
+        """
+        return cls(
+            lambda: contextlib.nullcontext(
+                _aligned(iter_chunks(chunks, chunk_size), align_utf8)
+            ),
+            kind="iter",
+        )
+
+    @classmethod
+    def of(cls, source, *, chunk_size: int | None = None) -> "Source":
+        """Coerce ``source`` to a :class:`Source`.
+
+        Existing sources pass through; ``str`` becomes :meth:`from_text`,
+        bytes-likes :meth:`from_bytes` (both as a single chunk unless
+        ``chunk_size`` is given); everything else — file objects, sockets,
+        chunk iterables — goes through :meth:`from_iter`.
+        """
+        if isinstance(source, Source):
+            return source
+        if isinstance(source, str):
+            return cls.from_text(source, chunk_size=chunk_size)
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            return cls.from_bytes(source, chunk_size=chunk_size)
+        return cls.from_iter(
+            source, chunk_size=chunk_size or DEFAULT_CHUNK_SIZE
+        )
+
+
+def _sliced(data, chunk_size):
+    if chunk_size is None:
+        return (data,)
+    return iter_chunks(data, chunk_size)
+
+
+def _aligned(chunks, align_utf8: bool):
+    return align_utf8_chunks(chunks) if align_utf8 else chunks
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+class Query:
+    """A hashable query specification: what to project, against which DTD.
+
+    Construct from an XPath expression (projection paths are extracted with
+    the Marian & Siméon rules), from explicit projection paths
+    (:meth:`from_paths`), from a workload spec (:meth:`from_spec`) or from a
+    prebuilt plan (:meth:`from_plan`).  Two equal queries hash equally and
+    :meth:`plan` resolves both to the *same* compiled
+    :class:`~repro.core.prefilter.SmpPrefilter` through the existing plan
+    cache, so engines built over overlapping query sets compile each query
+    once.
+    """
+
+    __slots__ = (
+        "dtd", "paths", "xpath", "backend", "add_default_paths", "label",
+        "_prebuilt", "_cached_plan",
+    )
+
+    def __init__(
+        self,
+        xpath: str,
+        dtd: Dtd,
+        *,
+        backend: str = DEFAULT_BACKEND,
+        label: str | None = None,
+    ) -> None:
+        paths = extract_paths_from_xpath(str(xpath))
+        self._init(
+            dtd=dtd,
+            paths=paths,
+            xpath=str(xpath),
+            backend=backend,
+            add_default_paths=False,
+            label=str(xpath) if label is None else label,
+            prebuilt=None,
+        )
+
+    def _init(self, *, dtd, paths, xpath, backend, add_default_paths, label,
+              prebuilt) -> None:
+        self.dtd = dtd
+        self.paths: tuple[str, ...] = tuple(str(path) for path in paths)
+        self.xpath = xpath
+        self.backend = backend
+        self.add_default_paths = add_default_paths
+        self.label = label
+        self._prebuilt: SmpPrefilter | None = prebuilt
+        self._cached_plan: SmpPrefilter | None = prebuilt
+
+    @classmethod
+    def from_paths(
+        cls,
+        dtd: Dtd,
+        paths: Sequence[ProjectionPath | str],
+        *,
+        backend: str = DEFAULT_BACKEND,
+        add_default_paths: bool = True,
+        label: str | None = None,
+    ) -> "Query":
+        """A query given directly as projection paths."""
+        self = object.__new__(cls)
+        path_strings = tuple(str(path) for path in paths)
+        self._init(
+            dtd=dtd,
+            paths=path_strings,
+            xpath=None,
+            backend=backend,
+            add_default_paths=add_default_paths,
+            label=" ".join(path_strings) if label is None else label,
+            prebuilt=None,
+        )
+        return self
+
+    @classmethod
+    def from_spec(
+        cls,
+        dtd: Dtd,
+        spec: QuerySpec,
+        *,
+        backend: str = DEFAULT_BACKEND,
+        label: str | None = None,
+    ) -> "Query":
+        """A query from one of the workload specifications (``M2``, ``XM5``...)."""
+        self = object.__new__(cls)
+        self._init(
+            dtd=dtd,
+            paths=tuple(str(path) for path in spec.parsed_paths()),
+            xpath=spec.xpath,
+            backend=backend,
+            add_default_paths=False,
+            label=spec.name if label is None else label,
+            prebuilt=None,
+        )
+        return self
+
+    @classmethod
+    def from_plan(
+        cls, prefilter: SmpPrefilter, *, label: str | None = None
+    ) -> "Query":
+        """Wrap an already-compiled plan (identity-keyed, never recompiled)."""
+        self = object.__new__(cls)
+        self._init(
+            dtd=prefilter.dtd,
+            paths=tuple(str(path) for path in prefilter.paths),
+            xpath=None,
+            backend=prefilter.backend,
+            add_default_paths=False,
+            label="plan" if label is None else label,
+            prebuilt=prefilter,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        if self._prebuilt is not None:
+            return ("plan", id(self._prebuilt), self.label)
+        return (
+            id(self.dtd),
+            tuple(sorted(self.paths)),
+            self.backend,
+            self.add_default_paths,
+            self.label,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query(label={self.label!r}, paths={self.paths!r})"
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def plan(self) -> SmpPrefilter:
+        """The compiled prefilter, resolved through the shared plan cache."""
+        if self._cached_plan is None:
+            self._cached_plan = SmpPrefilter.cached(
+                self.dtd,
+                self.paths,
+                backend=self.backend,
+                add_default_paths=self.add_default_paths,
+            )
+        return self._cached_plan
+
+
+def as_query(query: "Query | SmpPrefilter | str", dtd: Dtd | None = None,
+             *, backend: str = DEFAULT_BACKEND) -> Query:
+    """Coerce ``query`` to a :class:`Query`.
+
+    Accepts queries, prebuilt plans, and — when ``dtd`` is given — XPath
+    strings or workload :class:`~repro.projection.extraction.QuerySpec`
+    objects.
+    """
+    if isinstance(query, Query):
+        return query
+    if isinstance(query, SmpPrefilter):
+        return Query.from_plan(query)
+    if isinstance(query, QuerySpec):
+        if dtd is None:
+            raise QueryError("a QuerySpec needs a DTD to become a Query")
+        return Query.from_spec(dtd, query, backend=backend)
+    if isinstance(query, str):
+        if dtd is None:
+            raise QueryError("an XPath string needs a DTD to become a Query")
+        return Query(query, dtd, backend=backend)
+    raise QueryError(f"cannot interpret {query!r} as a query")
+
+
+# ----------------------------------------------------------------------
+# Sink
+# ----------------------------------------------------------------------
+class Sink:
+    """Where projected fragments go.
+
+    ``write`` receives each fragment as soon as it is safe to emit
+    (projected ``bytes`` in binary sessions, incrementally decoded ``str``
+    otherwise); ``close`` is called exactly once when the owning session
+    finishes or is abandoned.  ``binary`` declares the fragment type the
+    sink wants (``None`` = either), which :meth:`Engine.open` uses to pick
+    the session's output mode when the caller does not say.
+
+    Sinks are context managers (``close`` on exit) so resource-owning sinks
+    compose with ``contextlib.ExitStack``.
+    """
+
+    #: Chunk-type preference: True = bytes, False = str, None = either.
+    binary: bool | None = None
+
+    def write(self, fragment) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; idempotent."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CollectSink(Sink):
+    """Accumulate fragments in memory; :meth:`value` joins them.
+
+    The sink is mode-agnostic (``binary=None``); the session it is handed
+    to stamps its resolved output mode onto :attr:`binary`, so
+    :meth:`value` returns the right empty value even when nothing was
+    projected.
+    """
+
+    def __init__(self) -> None:
+        self.fragments: list = []
+
+    def write(self, fragment) -> None:
+        self.fragments.append(fragment)
+
+    def value(self):
+        """All fragments as one ``bytes``/``str`` (empty value when none)."""
+        if not self.fragments:
+            return b"" if self.binary else ""
+        empty = b"" if isinstance(self.fragments[0], bytes) else ""
+        return empty.join(self.fragments)
+
+
+class FileSink(Sink):
+    """Stream projected bytes into a file.
+
+    ``target`` is a path (opened ``"wb"`` immediately, closed by
+    :meth:`close`) or an open file-like object (borrowed: written to, never
+    closed, unless ``close_target=True``).
+    """
+
+    binary = True
+
+    def __init__(self, target, *, close_target: bool | None = None) -> None:
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._stream = open(target, "wb")
+            self._owns = True if close_target is None else close_target
+        else:
+            self._stream = target
+            self._owns = bool(close_target)
+        self.write = self._stream.write
+
+    def close(self) -> None:
+        if self._owns and not self._stream.closed:
+            self._stream.close()
+        elif not self._owns:
+            try:
+                self._stream.flush()
+            except ValueError:  # pragma: no cover - closed underneath us
+                pass
+
+
+class CallbackSink(Sink):
+    """Adapt a plain callable to the sink protocol."""
+
+    def __init__(self, callback: Callable, *, binary: bool | None = None,
+                 on_close: Callable[[], None] | None = None) -> None:
+        self.write = callback
+        self.binary = binary
+        self._on_close = on_close
+
+    def close(self) -> None:
+        if self._on_close is not None:
+            on_close, self._on_close = self._on_close, None
+            on_close()
+
+
+class NullSink(Sink):
+    """Discard the projection (statistics-only runs)."""
+
+    def write(self, fragment) -> None:
+        pass
+
+
+AnySinkSpec = Union[Sink, Callable, None]
+
+
+def _as_sink(sink: AnySinkSpec) -> Sink | None:
+    if sink is None or isinstance(sink, Sink):
+        return sink
+    if callable(sink):
+        return CallbackSink(sink)
+    raise QueryError(f"cannot interpret {sink!r} as a sink")
+
+
+def _normalize_sinks(
+    sinks: "AnySinkSpec | Sequence[AnySinkSpec] | Mapping[str, AnySinkSpec]",
+    labels: Sequence[str],
+    *,
+    coerce: Callable = _as_sink,
+    sink_type: type = Sink,
+) -> list | None:
+    """One sink slot per query label, in engine order (or None for none).
+
+    ``coerce``/``sink_type`` let :mod:`repro.aio` reuse the same shape
+    handling (single sink, sequence, label mapping) for async sinks.
+    """
+    if sinks is None:
+        return None
+    if isinstance(sinks, Mapping):
+        unknown = set(sinks) - set(labels)
+        if unknown:
+            raise QueryError(f"sinks for unknown query labels: {sorted(unknown)}")
+        return [coerce(sinks.get(label)) for label in labels]
+    if isinstance(sinks, sink_type) or callable(sinks):
+        if len(labels) != 1:
+            raise QueryError(
+                f"one sink for {len(labels)} queries; pass a sequence or a "
+                "label mapping"
+            )
+        return [coerce(sinks)]
+    sink_list = [coerce(sink) for sink in sinks]
+    if len(sink_list) != len(labels):
+        raise QueryError(
+            f"expected {len(labels)} sinks, got {len(sink_list)}"
+        )
+    return sink_list
+
+
+def _resolve_binary(binary: bool | None, sinks: "list | None") -> bool:
+    """Pick the session output mode from the sinks' ``binary`` preferences
+    (sync or async sinks — only the attribute is read)."""
+    if binary is not None:
+        return binary
+    if sinks:
+        preferences = {
+            sink.binary for sink in sinks
+            if sink is not None and sink.binary is not None
+        }
+        if len(preferences) > 1:
+            raise QueryError(
+                "sinks disagree on bytes vs text output; pass binary=... "
+                "explicitly"
+            )
+        if preferences:
+            return preferences.pop()
+    return False
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class QueryResult:
+    """One query's share of an engine run."""
+
+    label: str
+    output: "str | bytes"
+    stats: RunStatistics
+    compilation: CompilationStatistics = field(
+        default_factory=CompilationStatistics
+    )
+
+    @property
+    def output_size(self) -> int:
+        """Size of the projected output (characters or bytes)."""
+        return len(self.output)
+
+
+@dataclass
+class EngineRun:
+    """The result of running an engine over one document."""
+
+    results: list[QueryResult]
+    #: The once-paid shared-scan counters (None on the searching path,
+    #: where the matcher counters live on the per-query statistics).
+    scan_stats: RunStatistics | None = None
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, key) -> QueryResult:
+        if isinstance(key, str):
+            for result in self.results:
+                if result.label == key:
+                    return result
+            raise KeyError(key)
+        return self.results[key]
+
+    @property
+    def single(self) -> QueryResult:
+        """The only result of a single-query run."""
+        if len(self.results) != 1:
+            raise QueryError(
+                f"run carries {len(self.results)} results; index by label"
+            )
+        return self.results[0]
+
+    @property
+    def labels(self) -> list[str]:
+        return [result.label for result in self.results]
+
+    @property
+    def outputs(self) -> list:
+        return [result.output for result in self.results]
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class Engine:
+    """One or more queries compiled into an executable dataflow plan.
+
+    Parameters
+    ----------
+    queries:
+        A :class:`Query` (or prebuilt :class:`SmpPrefilter`), or a sequence
+        of them.  All queries must share one DTD object.
+    mode:
+        ``"search"`` — the single-query searching runtime (Boyer-Moore /
+        Commentz-Walter frontier searches; full matcher statistics).  Only
+        valid for exactly one query.
+        ``"shared"`` — the shared-scan runtime (one union-automaton pass
+        feeding N driven streams; supports live attach/detach).
+        ``"auto"`` (default) — ``"search"`` for one query, ``"shared"``
+        otherwise.
+
+    The engine is immutable and reusable: every :meth:`open`/:meth:`run`
+    gets its own session, any number of which may run concurrently.
+    """
+
+    def __init__(
+        self,
+        queries: "Query | SmpPrefilter | Sequence[Query | SmpPrefilter]",
+        *,
+        mode: str = "auto",
+    ) -> None:
+        if isinstance(queries, (Query, SmpPrefilter)):
+            queries = [queries]
+        normalized = [as_query(query) for query in queries]
+        if not normalized:
+            raise QueryError("an Engine needs at least one query")
+        if mode not in ("auto", "search", "shared"):
+            raise QueryError(f"unknown engine mode {mode!r}")
+        if mode == "search" and len(normalized) != 1:
+            raise QueryError("mode='search' supports exactly one query")
+        dtd = normalized[0].dtd
+        for query in normalized[1:]:
+            if query.dtd is not dtd:
+                raise QueryError("all queries of one engine must share a DTD")
+        self.queries: tuple[Query, ...] = tuple(normalized)
+        self.dtd = dtd
+        self.mode = mode
+        self.labels: list[str] = [query.label for query in normalized]
+        self.plans: list[SmpPrefilter] = [query.plan() for query in normalized]
+        self._multi: MultiQueryEngine | None = None
+
+    @classmethod
+    def _wrap_multi(cls, multi: MultiQueryEngine) -> "Engine":
+        """An engine over an existing shared-scan engine (the legacy shims)."""
+        self = cls(
+            [
+                Query.from_plan(plan, label=label)
+                for plan, label in zip(multi.prefilters, multi.labels)
+            ],
+            mode="shared",
+        )
+        self._multi = multi
+        return self
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+    def _shared_engine(self) -> MultiQueryEngine:
+        if self._multi is None:
+            multi = MultiQueryEngine(
+                self.dtd, self.plans, backend=self.queries[0].backend
+            )
+            multi.labels = list(self.labels)
+            self._multi = multi
+        return self._multi
+
+    def open(
+        self,
+        *,
+        sinks: "AnySinkSpec | Sequence[AnySinkSpec] | Mapping[str, AnySinkSpec]" = None,
+        binary: bool | None = None,
+        live: bool = False,
+    ) -> "Session":
+        """Open a streaming :class:`Session` for one document.
+
+        ``sinks`` routes each query's fragments to its endpoint (a single
+        sink, a sequence in query order, or a ``{label: sink}`` mapping);
+        without sinks, ``feed``/``finish`` return the emitted output.
+        ``binary`` selects bytes vs text output; ``None`` adopts the sinks'
+        preference (default text).  ``live=True`` forces the shared-scan
+        machinery even for a single query, enabling mid-document
+        :meth:`Session.attach` / :meth:`Session.detach`.
+        """
+        sink_list = _normalize_sinks(sinks, self.labels)
+        resolved_binary = _resolve_binary(binary, sink_list)
+        shared = self.mode == "shared" or live or (
+            self.mode == "auto" and len(self.queries) > 1
+        )
+        return Session(self, sink_list, binary=resolved_binary, shared=shared)
+
+    def run(
+        self,
+        source,
+        *,
+        sinks: "AnySinkSpec | Sequence[AnySinkSpec] | Mapping[str, AnySinkSpec]" = None,
+        binary: bool | None = None,
+        live: bool = False,
+        chunk_size: int | None = None,
+        measure_memory: bool = False,
+    ) -> EngineRun:
+        """Run the whole dataflow: open a session, drive ``source``, finish.
+
+        ``source`` may be a :class:`Source` or any raw value
+        :meth:`Source.of` understands.  With ``measure_memory`` the peak
+        traced allocation lands on the run's scan statistics (shared mode)
+        or the single query's statistics (search mode).
+        """
+        source = Source.of(source, chunk_size=chunk_size)
+        if measure_memory:
+            tracemalloc.start()
+        try:
+            session = self.open(sinks=sinks, binary=binary, live=live)
+            run = session.run(source)
+        finally:
+            if measure_memory:
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+        if measure_memory:
+            target = run.scan_stats if run.scan_stats is not None \
+                else run.results[0].stats
+            target.peak_memory_bytes = peak
+        return run
+
+
+# ----------------------------------------------------------------------
+# Session
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class QueryHandle:
+    """A live query inside a :class:`Session` (returned by ``attach`` too)."""
+
+    session: "Session"
+    index: int
+    query: Query
+    label: str
+
+    @property
+    def stats(self) -> RunStatistics:
+        """The query's structural statistics so far."""
+        return self.session.stats[self.index]
+
+    @property
+    def attached_at(self) -> int:
+        """Absolute input byte offset the query started observing from."""
+        return self.session._attach_offset(self.index)
+
+    @property
+    def detached(self) -> bool:
+        return self.session._is_detached(self.index)
+
+    @property
+    def accepted(self) -> bool:
+        """True once the query's runtime automaton reached a final state.
+
+        Queries attached mid-document may legitimately never accept (their
+        automaton missed the document root); ``finish`` does not validate
+        them — this flag tells.
+        """
+        return self.session._is_accepted(self.index)
+
+
+class Session:
+    """One document flowing through an engine: feed, finish, attach, detach.
+
+    ``feed(chunk)`` returns the list of newly emitted per-query outputs (in
+    handle order; empty entries for sink-routed or detached queries);
+    ``finish()`` returns the remaining outputs, validates acceptance and
+    closes the sinks.  :meth:`run` drives a whole :class:`Source`.  On the
+    shared-scan path (multi-query engines, or ``open(live=True)``)
+    :meth:`attach` adds a query mid-document and :meth:`detach` removes one;
+    the searching path raises :class:`~repro.errors.QueryError` for both.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sinks: list[Sink | None] | None,
+        *,
+        binary: bool,
+        shared: bool,
+    ) -> None:
+        self.engine = engine
+        self.binary = binary
+        self._sinks: list[Sink | None] = list(sinks) if sinks else [
+            None for _ in engine.queries
+        ]
+        for sink in self._sinks:
+            if sink is not None and sink.binary is None:
+                sink.binary = binary  # mode-agnostic sinks adopt ours
+        self._closed = False
+        callbacks = [
+            None if sink is None else sink.write for sink in self._sinks
+        ]
+        self._single: FilterSession | None = None
+        self._shared: MultiQuerySession | None = None
+        if shared:
+            self._shared = engine._shared_engine().session(
+                sinks=callbacks, binary=binary
+            )
+        else:
+            self._single = engine.plans[0].session(
+                sink=callbacks[0], binary=binary
+            )
+        self.handles: list[QueryHandle] = [
+            QueryHandle(session=self, index=index, query=query, label=label)
+            for index, (query, label) in enumerate(
+                zip(engine.queries, engine.labels)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> list[str]:
+        return [handle.label for handle in self.handles]
+
+    @property
+    def stats(self) -> list[RunStatistics]:
+        """Per-query statistics, in handle order."""
+        if self._shared is not None:
+            return self._shared.stats
+        return [self._single.stats]
+
+    @property
+    def scan_stats(self) -> RunStatistics | None:
+        """The once-paid shared-scan counters (None on the searching path)."""
+        if self._shared is not None:
+            return self._shared.scan_stats
+        return None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Input bytes currently retained in the carry-over window."""
+        if self._shared is not None:
+            return self._shared.buffered_bytes
+        return self._single.buffered_bytes
+
+    @property
+    def finished(self) -> bool:
+        if self._shared is not None:
+            return self._shared.finished
+        return self._single.finished
+
+    def _attach_offset(self, index: int) -> int:
+        if self._shared is not None:
+            return self._shared.attach_offset(index)
+        return 0
+
+    def _is_detached(self, index: int) -> bool:
+        return self._shared is not None and not self._shared.is_attached(index)
+
+    def _is_accepted(self, index: int) -> bool:
+        if self._shared is not None:
+            return self._shared.accepted(index)
+        return self._single.accepted
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, chunk) -> list:
+        """Process one chunk; returns per-query emitted output (handle order)."""
+        if self._shared is not None:
+            return self._shared.feed(chunk)
+        return [self._single.feed(chunk)]
+
+    def finish(self) -> list:
+        """End of input: validate acceptance, close sinks, return the rest."""
+        try:
+            if self._shared is not None:
+                outputs = self._shared.finish()
+            else:
+                outputs = [self._single.finish()]
+        finally:
+            self.close()
+        return outputs
+
+    def close(self) -> None:
+        """Close every sink exactly once (also safe to call on abandon)."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self._sinks:
+            if sink is not None:
+                sink.close()
+
+    def run(self, source) -> EngineRun:
+        """Drive a whole :class:`Source` through the session.
+
+        Feeds every chunk inside the source's resource context (so
+        zero-copy windows stay valid through ``finish``), closes the sinks
+        on every exit path, and returns the per-query results.
+        """
+        source = Source.of(source)
+        pieces: list[list] = [[] for _ in self.handles]
+        try:
+            with source.open() as chunks:
+                for chunk in chunks:
+                    self._gather(self.feed(chunk), pieces)
+                self._gather(self.finish(), pieces)
+        finally:
+            self.close()
+        empty = b"" if self.binary else ""
+        results = [
+            QueryResult(
+                label=handle.label,
+                output=empty.join(parts),
+                stats=stats,
+                compilation=self._compilation(index),
+            )
+            for index, (handle, parts, stats) in enumerate(
+                zip(self.handles, pieces, self.stats)
+            )
+        ]
+        return EngineRun(results=results, scan_stats=self.scan_stats)
+
+    def _gather(self, outputs: list, pieces: list[list]) -> None:
+        while len(pieces) < len(outputs):
+            pieces.append([])
+        for index, emitted in enumerate(outputs):
+            if emitted:
+                pieces[index].append(emitted)
+
+    def _compilation(self, index: int) -> CompilationStatistics:
+        if self._shared is not None:
+            return self._shared.prefilters[index].compilation
+        return self.engine.plans[index].compilation
+
+    # ------------------------------------------------------------------
+    # Live query management (shared-scan sessions)
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        query: "Query | SmpPrefilter",
+        *,
+        sink: AnySinkSpec = None,
+        label: str | None = None,
+    ) -> QueryHandle:
+        """Attach a query to the live stream, mid-document.
+
+        The query starts observing at the session's current dispatch
+        frontier (``handle.attached_at``): its output and structural
+        statistics equal a fresh session fed only the input from that byte
+        offset on.  Only available on shared-scan sessions — open the
+        engine with ``mode="shared"`` or ``open(live=True)``.
+        """
+        if self._shared is None:
+            raise QueryError(
+                "live attach needs a shared-scan session; build the Engine "
+                "with mode='shared' or call open(live=True)"
+            )
+        query = as_query(query)
+        sink_obj = _as_sink(sink)
+        index = self._shared.attach(
+            query.plan(),
+            sink=None if sink_obj is None else sink_obj.write,
+            label=label if label is not None else query.label,
+        )
+        self._sinks.append(sink_obj)
+        handle = QueryHandle(
+            session=self,
+            index=index,
+            query=query,
+            label=self._shared.labels[index],
+        )
+        self.handles.append(handle)
+        return handle
+
+    def detach(self, handle: QueryHandle):
+        """Detach a live query; returns its pending un-taken output.
+
+        The query's statistics freeze and it emits nothing further; its
+        handle (and feed slot) remain, reporting ``detached``.
+        """
+        if self._shared is None:
+            raise QueryError("detach needs a shared-scan session")
+        if handle.session is not self:
+            raise QueryError("handle belongs to a different session")
+        return self._shared.detach(handle.index)

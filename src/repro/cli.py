@@ -1,5 +1,10 @@
 """Command line interface: ``python -m repro``.
 
+The CLI is a thin shell over the unified dataflow API (:mod:`repro.api`):
+the input becomes a ``Source`` (file, binary stdin, or memory map), each
+query a ``Query`` compiled into one ``Engine``, and the output streams
+through ``Sink`` objects (per-query files or stdout).
+
 Single-query mode filters an XML document (stdin or ``--input``) against a
 DTD and a set of projection paths, writing the projected document to stdout
 (or ``--output``).  The document flows through the *byte-native* streaming
@@ -43,13 +48,11 @@ import contextlib
 import json
 import re
 import sys
-import tracemalloc
 from typing import Sequence
 
-from repro.core.multi import MultiQueryEngine
-from repro.core.prefilter import SmpPrefilter
-from repro.core.sources import Utf8SlidingDecoder, open_mmap
-from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
+from repro import api
+from repro.core.sources import Utf8SlidingDecoder
+from repro.core.stream import DEFAULT_CHUNK_SIZE
 from repro.dtd.model import Dtd
 from repro.errors import ReproError
 from repro.matching.factory import available_backends
@@ -186,38 +189,39 @@ class _Sink:
         self._stream.flush()
 
 
-def _feed_session(session, arguments, document) -> None:
-    """Drive ``session`` from the chunked document or a memory map."""
+def _document_source(arguments) -> "api.Source":
+    """The input document as a :class:`repro.api.Source`."""
     if arguments.mmap:
-        with open_mmap(arguments.input) as mapping:
-            session.feed(mapping)
-            session.finish()
-        return
-    for chunk in iter_chunks(document, arguments.chunk_size):
-        session.feed(chunk)
-    session.finish()
+        return api.Source.from_mmap(arguments.input)
+    if arguments.input:
+        return api.Source.from_file(
+            arguments.input, chunk_size=arguments.chunk_size
+        )
+    # Binary stdin when available; text-only doubles (tests) pass through
+    # the str encode shim.
+    stream = getattr(sys.stdin, "buffer", sys.stdin)
+    return api.Source.from_iter(stream, chunk_size=arguments.chunk_size)
 
 
-def _run_filter(arguments, document, output_stream) -> int:
+def _run_filter(arguments, source, output_stream) -> int:
     dtd_path, paths = arguments.positional[0], arguments.positional[1:]
     with open(dtd_path, "r", encoding="utf-8") as handle:
         dtd = Dtd.parse(handle.read())
-    prefilter = SmpPrefilter.cached(
+    query = api.Query.from_paths(
         dtd,
         paths,
         backend=arguments.backend,
         add_default_paths=not arguments.no_default_paths,
     )
+    engine = api.Engine(query)
     sink = _Sink(output_stream)
-    if arguments.measure_memory:
-        tracemalloc.start()
-    session = prefilter.session(sink=sink.write, binary=sink.binary)
-    _feed_session(session, arguments, document)
-    stats = session.stats
-    if arguments.measure_memory:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        stats.peak_memory_bytes = peak
+    run = engine.run(
+        source,
+        sinks=[api.CallbackSink(sink.write)],
+        binary=sink.binary,
+        measure_memory=arguments.measure_memory,
+    )
+    stats = run.single.stats
     sink.flush()
     if arguments.stats_json:
         payload = stats.as_dict()
@@ -227,7 +231,7 @@ def _run_filter(arguments, document, output_stream) -> int:
         payload["mmap"] = bool(arguments.mmap)
         print(json.dumps(payload, sort_keys=True), file=sys.stderr)
     if arguments.stats:
-        print(_render_stats(stats, prefilter.compilation), file=sys.stderr)
+        print(_render_stats(stats, run.single.compilation), file=sys.stderr)
     return 0
 
 
@@ -286,52 +290,53 @@ def _query_output_paths(base: str, labels: Sequence[str]) -> list[str]:
     return paths
 
 
-def _run_multi(arguments, document, output_stream) -> int:
+def _run_multi(arguments, source, output_stream) -> int:
     dtd, queries = _resolve_queries(arguments)
-    engine = MultiQueryEngine(dtd, queries, backend=arguments.backend)
+    engine = api.Engine(
+        [
+            api.Query.from_spec(dtd, query, backend=arguments.backend)
+            if not isinstance(query, str)
+            else api.Query(query, dtd, backend=arguments.backend)
+            for query in queries
+        ],
+        mode="shared",
+    )
     labels = engine.labels
 
-    buffers: list[list[bytes]] | None = None
+    buffers: list["api.CollectSink"] | None = None
     # Per-query output files are opened through an ExitStack so every
     # already-open file is closed on *any* error path -- including a failure
     # while opening a later file or mid-filtering -- and written in binary:
     # the byte path never re-encodes the projection.
     with contextlib.ExitStack() as stack:
         if arguments.output:
-            handles = [
-                stack.enter_context(open(path, "wb"))
+            sinks: list["api.Sink"] = [
+                stack.enter_context(api.FileSink(path))
                 for path in _query_output_paths(arguments.output, labels)
             ]
-            sinks = [handle.write for handle in handles]
         else:
-            buffers = [[] for _ in labels]
-            sinks = [fragments.append for fragments in buffers]
-
-        if arguments.measure_memory:
-            tracemalloc.start()
-        try:
-            session = engine.session(sinks=sinks, binary=True)
-            _feed_session(session, arguments, document)
-        finally:
-            if arguments.measure_memory:
-                _, peak = tracemalloc.get_traced_memory()
-                tracemalloc.stop()
-        if arguments.measure_memory:
-            session.scan_stats.peak_memory_bytes = peak
+            buffers = [api.CollectSink() for _ in labels]
+            sinks = list(buffers)
+        run = engine.run(
+            source,
+            sinks=sinks,
+            binary=True,
+            measure_memory=arguments.measure_memory,
+        )
 
     if buffers is not None:
         sink = _Sink(output_stream)
-        for label, fragments in zip(labels, buffers):
+        for label, collected in zip(labels, buffers):
             sink.write_text(f"==> {label} <==\n")
             if sink.binary:
-                for fragment in fragments:
+                for fragment in collected.fragments:
                     sink.write(fragment)
             else:
                 # Buffered fragments can end mid-UTF-8-sequence (copy
                 # regions flush at arbitrary byte offsets), so a text-only
                 # stream needs an incremental decoder per query.
                 decoder = Utf8SlidingDecoder()
-                for fragment in fragments:
+                for fragment in collected.fragments:
                     sink.write(decoder.decode(fragment))
                 tail = decoder.finish()
                 if tail:
@@ -344,18 +349,17 @@ def _run_multi(arguments, document, output_stream) -> int:
             "backend": arguments.backend,
             "chunk_size": float(arguments.chunk_size),
             "mmap": bool(arguments.mmap),
-            "scan": session.scan_stats.as_dict(),
+            "scan": run.scan_stats.as_dict(),
             "queries": {
-                label: stats.as_dict()
-                for label, stats in zip(labels, session.stats)
+                result.label: result.stats.as_dict() for result in run
             },
         }
         payload["scan"]["peak_memory_bytes"] = float(
-            session.scan_stats.peak_memory_bytes
+            run.scan_stats.peak_memory_bytes
         )
         print(json.dumps(payload, sort_keys=True), file=sys.stderr)
     if arguments.stats:
-        scan = session.scan_stats
+        scan = run.scan_stats
         print(
             f"shared scan:       {scan.input_size} bytes, "
             f"{scan.tokens_matched} tokens, "
@@ -365,9 +369,10 @@ def _run_multi(arguments, document, output_stream) -> int:
         if scan.peak_memory_bytes:
             print(f"peak traced memory: {scan.peak_memory_bytes} bytes",
                   file=sys.stderr)
-        for label, stats, plan in zip(labels, session.stats, engine.prefilters):
-            print(f"--- {label} ---", file=sys.stderr)
-            print(_render_stats(stats, plan.compilation), file=sys.stderr)
+        for result in run:
+            print(f"--- {result.label} ---", file=sys.stderr)
+            print(_render_stats(result.stats, result.compilation),
+                  file=sys.stderr)
     return 0
 
 
@@ -396,20 +401,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--mmap requires an --input file")
     try:
         with contextlib.ExitStack() as stack:
-            if arguments.mmap:
-                document = None  # the sessions map the file themselves
-            elif arguments.input:
-                # Binary reads: the byte-native core never decodes input.
-                document = stack.enter_context(open(arguments.input, "rb"))
-            else:
-                document = getattr(sys.stdin, "buffer", sys.stdin)
+            source = _document_source(arguments)
             if arguments.output and not arguments.query:
                 output = stack.enter_context(open(arguments.output, "wb"))
             else:
                 output = sys.stdout
             if arguments.query:
-                return _run_multi(arguments, document, output)
-            return _run_filter(arguments, document, output)
+                return _run_multi(arguments, source, output)
+            return _run_filter(arguments, source, output)
     except FileNotFoundError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2

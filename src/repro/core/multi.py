@@ -12,9 +12,14 @@ one :class:`~repro.core.runtime.DrivenStream` per query from the shared hit
 stream::
 
     engine = MultiQueryEngine(dtd, [q2, q5, q7], backend="native")
-    run = engine.filter_file("medline.xml")
-    for label, output, stats in run:
-        ...
+    session = engine.session()
+    for chunk in chunks:
+        session.feed(chunk)
+    session.finish()
+
+(The public one-shot spelling is ``repro.api.Engine([q2, q5, q7]).run(
+source)``; the legacy ``filter_*`` methods remain as deprecated shims
+over it.)
 
 Equivalence: each driven stream replays exactly the decisions its private
 :class:`~repro.core.runtime.RuntimeStream` would have made, so per-query
@@ -51,15 +56,14 @@ all (``binary=True``).
 from __future__ import annotations
 
 import time
-import tracemalloc
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro._deprecation import warn_legacy
 from repro.core.prefilter import SmpPrefilter
 from repro.core.runtime import AnySink, DrivenStream
-from repro.core.sources import file_chunks, open_mmap
 from repro.core.stats import CompilationStatistics, RunStatistics
-from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks
+from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor
 from repro.core.tables import RuntimeTables
 from repro.dtd.model import Dtd
 from repro.errors import QueryError, RuntimeFilterError
@@ -179,20 +183,55 @@ class MultiQueryEngine:
         return MultiQuerySession(self, sinks=sinks, binary=binary)
 
     # ------------------------------------------------------------------
-    # One-shot entry points
+    # One-shot entry points (deprecated shims over repro.api)
     # ------------------------------------------------------------------
+    def _api_run(
+        self, source, *, sinks=None, binary=False, measure_memory=False
+    ) -> MultiQueryRun:
+        """Delegate a one-shot run to the unified dataflow API."""
+        from repro import api
+
+        run = api.Engine._wrap_multi(self).run(
+            source, sinks=sinks, binary=binary, measure_memory=measure_memory
+        )
+        return MultiQueryRun(
+            labels=run.labels,
+            outputs=run.outputs,
+            stats=[result.stats for result in run.results],
+            scan_stats=run.scan_stats,
+            compilations=[result.compilation for result in run.results],
+        )
+
     def filter_document(
         self, text: str, *, measure_memory: bool = False
     ) -> MultiQueryRun:
-        """Filter a whole in-memory document against every query."""
-        return self.filter_stream([text], measure_memory=measure_memory)
+        """Filter a whole in-memory document against every query.
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_text(...))``.
+        """
+        warn_legacy("MultiQueryEngine.filter_document",
+                    "repro.api.Engine.run(api.Source.from_text(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_text(text), measure_memory=measure_memory
+        )
 
     def filter_bytes(
         self, data: bytes, *, measure_memory: bool = False, binary: bool = True
     ) -> MultiQueryRun:
-        """Filter a whole in-memory UTF-8 byte document (byte-native path)."""
-        return self.filter_stream(
-            [data], measure_memory=measure_memory, binary=binary
+        """Filter a whole in-memory UTF-8 byte document (byte-native path).
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_bytes(...))``.
+        """
+        warn_legacy("MultiQueryEngine.filter_bytes",
+                    "repro.api.Engine.run(api.Source.from_bytes(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_bytes(data),
+            measure_memory=measure_memory,
+            binary=binary,
         )
 
     def filter_file(
@@ -205,10 +244,16 @@ class MultiQueryEngine:
         binary: bool = False,
     ) -> MultiQueryRun:
         """Filter a document stored on disk, reading binary ``chunk_size``
-        chunks (the input is never decoded)."""
-        return self.filter_stream(
-            file_chunks(path, chunk_size),
-            chunk_size=chunk_size,
+        chunks (the input is never decoded).
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_file(...))``.
+        """
+        warn_legacy("MultiQueryEngine.filter_file",
+                    "repro.api.Engine.run(api.Source.from_file(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_file(path, chunk_size=chunk_size),
             sinks=sinks,
             measure_memory=measure_memory,
             binary=binary,
@@ -223,14 +268,20 @@ class MultiQueryEngine:
         binary: bool = False,
     ) -> MultiQueryRun:
         """Filter a memory-mapped document: the shared scan runs directly
-        over the mapped pages and only projected slices reach the heap."""
-        with open_mmap(path) as mapping:
-            return self.filter_stream(
-                [mapping],
-                sinks=sinks,
-                measure_memory=measure_memory,
-                binary=binary,
-            )
+        over the mapped pages and only projected slices reach the heap.
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_mmap(...))``.
+        """
+        warn_legacy("MultiQueryEngine.filter_mmap",
+                    "repro.api.Engine.run(api.Source.from_mmap(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_mmap(path),
+            sinks=sinks,
+            measure_memory=measure_memory,
+            binary=binary,
+        )
 
     def filter_stream(
         self,
@@ -244,32 +295,18 @@ class MultiQueryEngine:
         """Filter chunked input against every query in one document pass.
 
         Chunks may be ``bytes`` (native) or ``str`` (encoded on entry).
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_iter(...))``.
         """
-        if measure_memory:
-            tracemalloc.start()
-        try:
-            session = self.session(sinks=sinks, binary=binary)
-            pieces: list[list] = [[] for _ in self.prefilters]
-            for chunk in iter_chunks(chunks, chunk_size):
-                for index, emitted in enumerate(session.feed(chunk)):
-                    if emitted:
-                        pieces[index].append(emitted)
-            for index, emitted in enumerate(session.finish()):
-                if emitted:
-                    pieces[index].append(emitted)
-        finally:
-            if measure_memory:
-                _, peak = tracemalloc.get_traced_memory()
-                tracemalloc.stop()
-        if measure_memory:
-            session.scan_stats.peak_memory_bytes = peak
-        empty = b"" if binary else ""
-        return MultiQueryRun(
-            labels=list(self.labels),
-            outputs=[empty.join(fragments) for fragments in pieces],
-            stats=session.stats,
-            scan_stats=session.scan_stats,
-            compilations=[plan.compilation for plan in self.prefilters],
+        warn_legacy("MultiQueryEngine.filter_stream",
+                    "repro.api.Engine.run(api.Source.from_iter(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_iter(chunks, chunk_size=chunk_size),
+            sinks=sinks,
+            measure_memory=measure_memory,
+            binary=binary,
         )
 
 
@@ -281,6 +318,15 @@ class MultiQuerySession:
     union automaton.  ``feed`` returns the list of newly emitted per-query
     outputs (empty strings when sinks are used); ``finish`` validates
     acceptance for every query and returns the remaining outputs.
+
+    Query membership is *live*: :meth:`attach` adds a query mid-document
+    (it observes the stream from the current dispatch frontier on, exactly
+    as a fresh session fed only the remaining input) and :meth:`detach`
+    freezes one (no further output, no further statistics mutation).  The
+    dynamic subscription registry already treats membership per keyword, so
+    attach/detach reduce to subscription edits plus — when an attached
+    query brings new keywords — a session-local rebuild of the union scan
+    automaton.
     """
 
     def __init__(
@@ -296,6 +342,10 @@ class MultiQuerySession:
             )
         self.engine = engine
         self.binary = binary
+        #: Per-session plan list (the engine's, plus attached queries).
+        self.prefilters: list[SmpPrefilter] = list(engine.prefilters)
+        #: Per-session labels (the engine's, plus attached queries).
+        self.labels: list[str] = list(engine.labels)
         self._window = ChunkCursor(binary=True)
         self._streams = [
             DrivenStream(
@@ -307,6 +357,11 @@ class MultiQuerySession:
             for index, plan in enumerate(engine.prefilters)
         ]
         self._dispatcher = engine.dispatcher
+        #: Owner index -> full keyword vocabulary; session-local so attached
+        #: queries can extend the union automaton.
+        self._vocabularies: dict[int, set[bytes]] = dict(engine.vocabularies)
+        self._detached: list[bool] = [False] * len(self._streams)
+        self._attach_offsets: list[int] = [0] * len(self._streams)
         #: Absolute offset the union scan resumes from; every token
         #: starting below it has been dispatched.
         self._scan_from = 0
@@ -338,9 +393,107 @@ class MultiQuerySession:
         return self._finished
 
     @property
-    def buffered_chars(self) -> int:
-        """Input characters currently retained in the shared window."""
+    def buffered_bytes(self) -> int:
+        """Input bytes currently retained in the shared window."""
         return len(self._window)
+
+    @property
+    def buffered_chars(self) -> int:
+        """Deprecated alias of :attr:`buffered_bytes` (binary sessions
+        always counted bytes)."""
+        warn_legacy("MultiQuerySession.buffered_chars",
+                    "MultiQuerySession.buffered_bytes")
+        return self.buffered_bytes
+
+    def is_attached(self, index: int) -> bool:
+        """True while query ``index`` still participates in the scan."""
+        return not self._detached[index]
+
+    def attach_offset(self, index: int) -> int:
+        """Absolute byte offset query ``index`` started observing from."""
+        return self._attach_offsets[index]
+
+    def accepted(self, index: int) -> bool:
+        """True once query ``index``'s runtime automaton reached a final
+        state (mid-document attached queries may legitimately never do)."""
+        return self._streams[index].accepted
+
+    # ------------------------------------------------------------------
+    # Live query membership
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        prefilter: SmpPrefilter,
+        *,
+        sink: AnySink | None = None,
+        label: str | None = None,
+    ) -> int:
+        """Attach one more compiled query to the live stream.
+
+        The new query observes the document from the current dispatch
+        frontier (the returned index's :meth:`attach_offset`): its output
+        and structural statistics are identical to a fresh session fed only
+        the input from that byte offset on.  Keywords the union automaton
+        does not already scan trigger a session-local dispatcher rebuild.
+        Returns the query's stream index (its handle for :meth:`detach`).
+        """
+        if self._finished:
+            raise RuntimeFilterError(
+                "cannot attach to a finished multi-query session"
+            )
+        index = len(self._streams)
+        attached_at = self._scan_from
+        stream = DrivenStream(
+            prefilter.tables,
+            self._window,
+            sink=sink,
+            binary=self.binary,
+            start_at=attached_at,
+        )
+        # The bytes already buffered beyond the frontier will be scanned on
+        # the query's behalf, so they count as its input.
+        stream.stats.input_size = max(0, self._window.end - attached_at)
+        self._streams.append(stream)
+        self.prefilters.append(prefilter)
+        self.labels.append(f"Q{index + 1}" if label is None else label)
+        self._detached.append(False)
+        self._attach_offsets.append(attached_at)
+        self._subscribed.append(())
+        vocabulary = _all_keywords(prefilter.tables)
+        self._vocabularies[index] = vocabulary
+        if not vocabulary.issubset(self._dispatcher.keywords):
+            self._dispatcher = KeywordDispatcher(
+                {
+                    owner: keywords
+                    for owner, keywords in self._vocabularies.items()
+                    if not self._detached[owner]
+                },
+                backend=self.engine.backend,
+            )
+        self._resubscribe(index)
+        return index
+
+    def detach(self, index: int):
+        """Detach query ``index`` from the live stream.
+
+        The query stops receiving occurrences immediately: no further
+        output is emitted and its statistics freeze.  Returns the pending
+        un-taken output (sink-routed queries return the empty value).  The
+        slot stays in ``feed``/``finish`` return lists as empty output.
+        """
+        if not 0 <= index < len(self._streams):
+            raise QueryError(f"no query with handle {index}")
+        if self._detached[index]:
+            raise QueryError(f"query {self.labels[index]!r} is already detached")
+        for keyword in self._subscribed[index]:
+            self._subscribers[keyword].remove(index)
+        self._subscribed[index] = ()
+        self._detached[index] = True
+        stream = self._streams[index]
+        # The stream will never reach finish(); seal its output counter at
+        # the bytes actually emitted so the frozen statistics are complete.
+        stream.stats.output_size = stream.emitted_bytes
+        return stream.take_output()
 
     # ------------------------------------------------------------------
     # Feeding
@@ -354,21 +507,28 @@ class MultiQuerySession:
             chunk = chunk.encode("utf-8")
         started = time.perf_counter()
         length = len(chunk)
+        detached = self._detached
         self.scan_stats.input_size += length
-        for stream in self._streams:
-            stream.stats.input_size += length
+        for index, stream in enumerate(self._streams):
+            if not detached[index]:
+                stream.stats.input_size += length
         self._window.append(chunk)
         self._process()
         self._trim()
         self.scan_stats.run_seconds += time.perf_counter() - started
-        return [stream.take_output() for stream in self._streams]
+        empty = b"" if self.binary else ""
+        return [
+            empty if detached[index] else stream.take_output()
+            for index, stream in enumerate(self._streams)
+        ]
 
     def finish(self) -> list:
         """Signal end of input; returns the remaining per-query output.
 
-        Raises :class:`RuntimeFilterError` when any query's automaton did
-        not accept (the document does not conform to the DTD) or when the
-        document ends inside a tag.
+        Raises :class:`RuntimeFilterError` when any attached query's
+        automaton did not accept (the document does not conform to the DTD)
+        or when the document ends inside a tag.  Detached queries are not
+        validated and contribute empty output.
         """
         if self._finished:
             raise RuntimeFilterError("multi-query session is already finished")
@@ -376,7 +536,16 @@ class MultiQuerySession:
         self._window.close()
         self._process()
         self._finished = True
-        outputs = [stream.finish() for stream in self._streams]
+        empty = b"" if self.binary else ""
+        detached = self._detached
+        # Queries attached mid-document legitimately may not accept (their
+        # automaton never saw the document root): flush them unvalidated;
+        # :meth:`accepted` reports whether they reached a final state.
+        outputs = [
+            empty if detached[index]
+            else stream.finish(validate=self._attach_offsets[index] == 0)
+            for index, stream in enumerate(self._streams)
+        ]
         stats = self.scan_stats
         stats.output_size = sum(stream.stats.output_size for stream in self._streams)
         stats.run_seconds += time.perf_counter() - started
@@ -538,7 +707,10 @@ class MultiQuerySession:
         window = self._window
         frontier = min(self._scan_from, window.end)
         floor = frontier
-        for stream in self._streams:
+        detached = self._detached
+        for index, stream in enumerate(self._streams):
+            if detached[index]:
+                continue
             stream.flush_copy(frontier)
             stream_floor = stream.keep_floor()
             if stream_floor is not None and stream_floor < floor:

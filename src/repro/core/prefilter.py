@@ -16,9 +16,11 @@ the lookup tables of Figure 3.  The compiled object is a reusable *plan*
 10 MB to 5 GB); :meth:`SmpPrefilter.cached` memoises plans keyed by
 ``(DTD, paths, backend)`` so independent callers share one compilation.
 
-Documents are filtered either in one shot (:meth:`filter_document` /
-:meth:`filter_bytes`) or incrementally in O(chunk + carry window) memory
-through the streaming session API::
+One-shot filtering lives in the unified dataflow API
+(``repro.api.Engine(Query.from_plan(plan)).run(source)``; the legacy
+:meth:`filter_document` / :meth:`filter_bytes` / ... methods are deprecated
+byte-identical shims over it).  Incremental filtering in O(chunk + carry
+window) memory goes through the streaming session API::
 
     session = prefilter.session()
     for chunk in chunks:          # bytes chunks natively, str via the shim
@@ -41,13 +43,12 @@ from __future__ import annotations
 
 import threading
 import time
-import tracemalloc
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
+from repro._deprecation import warn_legacy
 from repro.core.runtime import AnySink, RuntimeStream, SmpRuntime
-from repro.core.sources import file_chunks, open_mmap
 from repro.core.static_analysis import AnalysisResult, StaticAnalyzer
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
@@ -211,31 +212,55 @@ class SmpPrefilter:
         """
         return FilterSession(self, sink=sink, binary=binary)
 
+    def _api_run(
+        self, source, *, sink=None, binary=False, measure_memory=False
+    ) -> FilterRun:
+        """Delegate a one-shot run to the unified dataflow API."""
+        from repro import api
+
+        engine = api.Engine(api.Query.from_plan(self))
+        run = engine.run(
+            source,
+            sinks=None if sink is None else [sink],
+            binary=binary,
+            measure_memory=measure_memory,
+        )
+        return FilterRun(
+            output=run.single.output,
+            stats=run.single.stats,
+            compilation=self.compilation,
+        )
+
     def filter_document(self, text: str, *, measure_memory: bool = False) -> FilterRun:
-        """Prefilter a document held in a string (the encode shim)."""
-        if measure_memory:
-            tracemalloc.start()
-        output, stats = self.runtime.filter_text(text)
-        if measure_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-            stats.peak_memory_bytes = peak
-        return FilterRun(output=output, stats=stats, compilation=self.compilation)
+        """Prefilter a document held in a string (the encode shim).
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_text(...))``.
+        """
+        warn_legacy("SmpPrefilter.filter_document",
+                    "repro.api.Engine.run(api.Source.from_text(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_text(text), measure_memory=measure_memory
+        )
 
     def filter_bytes(self, data: bytes, *, measure_memory: bool = False) -> FilterRun:
         """Prefilter a UTF-8 document held in bytes, returning projected bytes.
 
         The byte-native one-shot path: no decode or encode happens at all,
         and the output is a byte-exact concatenation of regions of ``data``.
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_bytes(...))``.
         """
-        if measure_memory:
-            tracemalloc.start()
-        output, stats = self.runtime.filter_bytes(data)
-        if measure_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-            stats.peak_memory_bytes = peak
-        return FilterRun(output=output, stats=stats, compilation=self.compilation)
+        warn_legacy("SmpPrefilter.filter_bytes",
+                    "repro.api.Engine.run(api.Source.from_bytes(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_bytes(data),
+            binary=True,
+            measure_memory=measure_memory,
+        )
 
     def filter_file(
         self,
@@ -253,13 +278,18 @@ class SmpPrefilter:
         as a whole: it flows through a streaming session in O(chunk + carry
         window) memory.  With ``binary=True`` the projected output stays
         ``bytes`` as well.
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_file(...))``.
         """
-        return self.filter_stream(
-            file_chunks(path, chunk_size),
-            chunk_size=chunk_size,
-            measure_memory=measure_memory,
+        warn_legacy("SmpPrefilter.filter_file",
+                    "repro.api.Engine.run(api.Source.from_file(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_file(path, chunk_size=chunk_size),
             sink=sink,
             binary=binary,
+            measure_memory=measure_memory,
         )
 
     def filter_mmap(
@@ -275,16 +305,20 @@ class SmpPrefilter:
         The whole map is handed to the session as a single chunk: searches
         run against the mapped pages (paged in and out by the OS) and only
         the projected slices are ever copied onto the heap.  The map is
-        closed before this method returns (:meth:`filter_stream` drains the
-        session inside the ``with`` block).
+        closed before this method returns.
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_mmap(...))``.
         """
-        with open_mmap(path) as mapping:
-            return self.filter_stream(
-                [mapping],
-                measure_memory=measure_memory,
-                sink=sink,
-                binary=binary,
-            )
+        warn_legacy("SmpPrefilter.filter_mmap",
+                    "repro.api.Engine.run(api.Source.from_mmap(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_mmap(path),
+            sink=sink,
+            binary=binary,
+            measure_memory=measure_memory,
+        )
 
     def filter_stream(
         self,
@@ -308,15 +342,19 @@ class SmpPrefilter:
         With ``sink`` the projected fragments are pushed to the callback as
         they are emitted and the returned :class:`FilterRun` carries an empty
         ``output`` (the statistics still record the emitted size).
+
+        .. deprecated:: use ``repro.api.Engine.run(Source.from_iter(...))``.
         """
-        if measure_memory:
-            tracemalloc.start()
-        run = self.session(sink=sink, binary=binary).run(chunks, chunk_size)
-        if measure_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-            run.stats.peak_memory_bytes = peak
-        return run
+        warn_legacy("SmpPrefilter.filter_stream",
+                    "repro.api.Engine.run(api.Source.from_iter(...))")
+        from repro import api
+
+        return self._api_run(
+            api.Source.from_iter(chunks, chunk_size=chunk_size),
+            sink=sink,
+            binary=binary,
+            measure_memory=measure_memory,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -365,9 +403,22 @@ class FilterSession:
         return self._stream.finished
 
     @property
-    def buffered_chars(self) -> int:
+    def accepted(self) -> bool:
+        """True once the runtime automaton reached a final state."""
+        return self._stream.accepted
+
+    @property
+    def buffered_bytes(self) -> int:
         """Input bytes currently retained in the carry-over window."""
-        return self._stream.buffered_chars
+        return self._stream.buffered_bytes
+
+    @property
+    def buffered_chars(self) -> int:
+        """Deprecated alias of :attr:`buffered_bytes` (the retained window
+        was always counted in bytes since the byte-native rewrite)."""
+        warn_legacy("FilterSession.buffered_chars",
+                    "FilterSession.buffered_bytes")
+        return self.buffered_bytes
 
     def feed(self, chunk):
         """Process one input chunk; returns the newly emitted output."""

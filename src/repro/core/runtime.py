@@ -216,6 +216,11 @@ class _FilterStreamBase:
         """True when the output channel carries raw bytes."""
         return self._binary
 
+    @property
+    def emitted_bytes(self) -> int:
+        """Projected bytes emitted so far (sink-routed bytes included)."""
+        return self._emitted_bytes
+
     # ------------------------------------------------------------------
     # Output channel
     # ------------------------------------------------------------------
@@ -385,6 +390,7 @@ class RuntimeStream(_FilterStreamBase):
         self._runtime = runtime
         self._keep_from = 0
         self._done = False
+        self._failed = False
         runtime.reset_matcher_statistics()
         self._machine = self._run()
 
@@ -392,12 +398,17 @@ class RuntimeStream(_FilterStreamBase):
     # Public API
     # ------------------------------------------------------------------
     @property
-    def buffered_chars(self) -> int:
+    def buffered_bytes(self) -> int:
         """Number of input bytes currently retained in the window."""
         return len(self._window)
 
-    #: Bytes retained in the carry-over window (the native spelling).
-    buffered_bytes = buffered_chars
+    #: Pre-byte-native spelling of :attr:`buffered_bytes`.
+    buffered_chars = buffered_bytes
+
+    @property
+    def accepted(self) -> bool:
+        """True once the runtime automaton reached a final state."""
+        return self._done and not self._failed
 
     def feed(self, chunk):
         """Process one input chunk (``bytes`` or ``str``); returns the
@@ -451,6 +462,7 @@ class RuntimeStream(_FilterStreamBase):
             self._keep_from = self._window.end
         except Exception:
             self._done = True
+            self._failed = True
             self._finished = True
             raise
 
@@ -637,6 +649,11 @@ class DrivenStream(_FilterStreamBase):
     are absolute byte offsets into the shared binary window.  The stream
     never reads the window below :meth:`keep_floor`; the engine uses that
     floor (over all queries) to discard buffered input.
+
+    ``start_at`` positions the stream's search origin at an absolute byte
+    offset: occurrences starting below it are skipped unseen, exactly as a
+    fresh stream whose input began there.  The multi-query engine uses this
+    to attach queries to a live stream mid-document.
     """
 
     def __init__(
@@ -646,6 +663,7 @@ class DrivenStream(_FilterStreamBase):
         sink: AnySink | None = None,
         *,
         binary: bool = False,
+        start_at: int = 0,
     ) -> None:
         super().__init__(tables, window, sink, binary)
         self._state = tables.initial_state
@@ -656,7 +674,7 @@ class DrivenStream(_FilterStreamBase):
         self._final_states = frozenset(
             state.state_id for state in tables.automaton.states if state.is_final
         )
-        self._search_from = 0
+        self._search_from = start_at
         self._pending_jump = True
         self._last_position = -1
         self._done = self._state in self._final_states
@@ -817,15 +835,22 @@ class DrivenStream(_FilterStreamBase):
         """Output fragments emitted since the last call (sink-less mode)."""
         return self._take_output()
 
-    def finish(self):
-        """End of input: validate acceptance and return remaining output."""
+    def finish(self, *, validate: bool = True):
+        """End of input: validate acceptance and return remaining output.
+
+        ``validate=False`` skips the acceptance and open-copy-region checks
+        (an open region is dropped unemitted).  The multi-query engine uses
+        it for queries attached mid-document, whose automata legitimately
+        never saw the document root.
+        """
         if self._finished:
             raise RuntimeFilterError("driven stream is already finished")
         self._finished = True
-        if not self._done and not self._tables.is_final(self._state):
-            raise self._incomplete_error()
-        if self._copy_active:
-            raise self._unclosed_copy_error()
+        if validate:
+            if not self._done and not self._tables.is_final(self._state):
+                raise self._incomplete_error()
+            if self._copy_active:
+                raise self._unclosed_copy_error()
         output = self._flush_output()
         self.stats.output_size = self._emitted_bytes
         return output

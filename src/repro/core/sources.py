@@ -3,7 +3,9 @@
 The paper reduces XML prefiltering to raw string matching, so the matcher
 automata can run directly on the wire/disk representation: UTF-8 bytes.
 This module provides the byte sources that feed the byte-native runtime
-without ever paying the ``bytes -> str`` decode-and-copy:
+without ever paying the ``bytes -> str`` decode-and-copy (the user-facing
+wrapper with uniform chunk-size/alignment options and resource-safe open
+contexts is :class:`repro.api.Source`, built on these generators):
 
 * :func:`file_chunks` -- buffered binary reads of ``chunk_size`` pieces;
 * :func:`mmap_chunks` / :func:`open_mmap` -- memory-mapped files: with

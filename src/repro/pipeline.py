@@ -10,11 +10,16 @@ the document -- or its projection -- in one string::
 
     from repro.pipeline import XPathPipeline
 
+    from repro.api import Source
+
     pipeline = XPathPipeline(dtd, "/site/people/person/name", backend="native")
-    outcome = pipeline.run_file("site.xml")          # O(chunk) memory
+    outcome = pipeline.evaluate(Source.from_file("site.xml"))  # O(chunk) memory
     for item in outcome.results:
         print(item.serialize())
     print(outcome.filter_stats.projection_ratio)
+
+    # any Source works: from_mmap, from_socket, from_stdin, raw values...
+    outcome = pipeline.evaluate(Source.from_mmap("site.xml"))
 
 Projection paths are extracted from the query with the Marian & Siméon
 extraction of Example 4 (:func:`repro.projection.extraction.
@@ -28,9 +33,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
+from repro import api
+from repro._deprecation import warn_legacy
 from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
-from repro.core.sources import decode_chunks, file_chunks, open_mmap
+from repro.core.sources import decode_chunks
 from repro.core.stats import CompilationStatistics, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.dtd.model import Dtd
@@ -99,6 +106,35 @@ class XPathPipeline:
             dtd, projection_paths, backend=backend, add_default_paths=False
         )
 
+    def evaluate(
+        self,
+        source,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> PipelineOutcome:
+        """Filter and evaluate a :class:`repro.api.Source` (or raw value).
+
+        The document is prefiltered incrementally through the unified
+        dataflow API and every projected fragment is pushed straight into
+        the streaming evaluator's session, so no whole-document (or
+        whole-projection) string ever exists.  The prefilter stage is
+        byte-native: byte sources are searched as-is and only the projected
+        fragments -- the bytes actually copied -- are decoded for the
+        evaluator.
+        """
+        evaluation = self.engine.session()
+        run = api.Engine(api.Query.from_plan(self.prefilter)).run(
+            api.Source.of(source, chunk_size=chunk_size),
+            sinks=[api.CallbackSink(evaluation.feed, binary=False)],
+        )
+        results = evaluation.finish()
+        return PipelineOutcome(
+            results=results,
+            filter_stats=run.single.stats,
+            streaming_stats=evaluation.stats,
+            compilation=self.prefilter.compilation,
+        )
+
     def run(
         self,
         source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
@@ -108,31 +144,25 @@ class XPathPipeline:
         """Filter and evaluate ``source`` (string, bytes, file object or
         chunks).
 
-        The document is prefiltered incrementally and every projected
-        fragment is pushed straight into the streaming evaluator's session,
-        so no whole-document (or whole-projection) string ever exists.  The
-        prefilter stage is byte-native: byte sources are searched as-is and
-        only the projected fragments -- the bytes actually copied -- are
-        decoded for the evaluator.
+        .. deprecated:: use :meth:`evaluate` with a ``repro.api.Source``.
         """
-        evaluation = self.engine.session()
-        session = self.prefilter.session(sink=evaluation.feed)
-        for chunk in iter_chunks(source, chunk_size):
-            session.feed(chunk)
-        session.finish()
-        results = evaluation.finish()
-        return PipelineOutcome(
-            results=results,
-            filter_stats=session.stats,
-            streaming_stats=evaluation.stats,
-            compilation=self.prefilter.compilation,
-        )
+        warn_legacy("XPathPipeline.run",
+                    "XPathPipeline.evaluate(repro.api.Source.of(...))")
+        return self.evaluate(source, chunk_size=chunk_size)
 
     def run_bytes(
         self, data: bytes, *, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> PipelineOutcome:
-        """Run the pipeline over an in-memory UTF-8 byte document."""
-        return self.run(data, chunk_size=chunk_size)
+        """Run the pipeline over an in-memory UTF-8 byte document.
+
+        .. deprecated:: use :meth:`evaluate` with ``Source.from_bytes``.
+        """
+        warn_legacy("XPathPipeline.run_bytes",
+                    "XPathPipeline.evaluate(repro.api.Source.from_bytes(...))")
+        return self.evaluate(
+            api.Source.from_bytes(data, chunk_size=chunk_size),
+            chunk_size=chunk_size,
+        )
 
     def run_file(
         self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
@@ -140,16 +170,25 @@ class XPathPipeline:
         """Run the pipeline over a document stored on disk.
 
         The file is read in binary; the input is never decoded.
+
+        .. deprecated:: use :meth:`evaluate` with ``Source.from_file``.
         """
-        return self.run(file_chunks(path, chunk_size), chunk_size=chunk_size)
+        warn_legacy("XPathPipeline.run_file",
+                    "XPathPipeline.evaluate(repro.api.Source.from_file(...))")
+        return self.evaluate(
+            api.Source.from_file(path, chunk_size=chunk_size),
+            chunk_size=chunk_size,
+        )
 
     def run_mmap(self, path: str) -> PipelineOutcome:
         """Run the pipeline over a memory-mapped document (zero-copy
         prefilter window; only projected fragments reach the heap).
-        :meth:`run` drains the filter inside the ``with`` block, so the
-        map is closed before this method returns."""
-        with open_mmap(path) as mapping:
-            return self.run([mapping])
+
+        .. deprecated:: use :meth:`evaluate` with ``Source.from_mmap``.
+        """
+        warn_legacy("XPathPipeline.run_mmap",
+                    "XPathPipeline.evaluate(repro.api.Source.from_mmap(...))")
+        return self.evaluate(api.Source.from_mmap(path))
 
     def evaluate_unfiltered(
         self,
@@ -246,13 +285,14 @@ class MultiXPathPipeline:
             dtd, self.queries, backend=backend, use_plan_cache=use_plan_cache
         )
 
-    def run(
+    def evaluate(
         self,
-        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
+        source,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> MultiPipelineOutcome:
-        """Filter and evaluate ``source`` against every query at once.
+        """Filter and evaluate a :class:`repro.api.Source` against every
+        query at once.
 
         The document is prefiltered incrementally in one byte-native pass;
         each query's projected fragments flow straight into its private
@@ -261,28 +301,41 @@ class MultiXPathPipeline:
         are decoded.
         """
         evaluations = [engine.session() for engine in self.engines]
-        session = self.prefilter_engine.session(
-            sinks=[evaluation.feed for evaluation in evaluations]
+        run = api.Engine._wrap_multi(self.prefilter_engine).run(
+            api.Source.of(source, chunk_size=chunk_size),
+            sinks=[
+                api.CallbackSink(evaluation.feed, binary=False)
+                for evaluation in evaluations
+            ],
         )
-        for chunk in iter_chunks(source, chunk_size):
-            session.feed(chunk)
-        session.finish()
         outcomes = [
             PipelineOutcome(
                 results=evaluation.finish(),
-                filter_stats=stats,
+                filter_stats=result.stats,
                 streaming_stats=evaluation.stats,
-                compilation=plan.compilation,
+                compilation=result.compilation,
             )
-            for evaluation, stats, plan in zip(
-                evaluations, session.stats, self.prefilter_engine.prefilters
-            )
+            for evaluation, result in zip(evaluations, run.results)
         ]
         return MultiPipelineOutcome(
             queries=list(self.queries),
             outcomes=outcomes,
-            scan_stats=session.scan_stats,
+            scan_stats=run.scan_stats,
         )
+
+    def run(
+        self,
+        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> MultiPipelineOutcome:
+        """Filter and evaluate ``source`` against every query at once.
+
+        .. deprecated:: use :meth:`evaluate` with a ``repro.api.Source``.
+        """
+        warn_legacy("MultiXPathPipeline.run",
+                    "MultiXPathPipeline.evaluate(repro.api.Source.of(...))")
+        return self.evaluate(source, chunk_size=chunk_size)
 
     def run_file(
         self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
@@ -290,5 +343,14 @@ class MultiXPathPipeline:
         """Run the multi-query pipeline over a document stored on disk.
 
         The file is read in binary; the input is never decoded.
+
+        .. deprecated:: use :meth:`evaluate` with ``Source.from_file``.
         """
-        return self.run(file_chunks(path, chunk_size), chunk_size=chunk_size)
+        warn_legacy(
+            "MultiXPathPipeline.run_file",
+            "MultiXPathPipeline.evaluate(repro.api.Source.from_file(...))",
+        )
+        return self.evaluate(
+            api.Source.from_file(path, chunk_size=chunk_size),
+            chunk_size=chunk_size,
+        )

@@ -1,0 +1,209 @@
+"""The asyncio serving bridge: async_run backpressure and the frame server.
+
+``repro.aio`` must deliver byte-identical projections through ``await``-based
+sinks, and ``serve`` must round-trip one socket in / N labelled streams out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import aio, api
+from repro.errors import ReproError
+from repro.workloads import load_dataset
+from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+
+@pytest.fixture(scope="module")
+def medline_document():
+    return load_dataset("medline", size_bytes=100_000)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dtd = medline_dtd()
+    return api.Engine(
+        [
+            api.Query.from_spec(dtd, MEDLINE_QUERIES[name])
+            for name in ("M2", "M4", "M5")
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def expected(engine, medline_document):
+    run = engine.run(
+        api.Source.from_bytes(medline_document.encode("utf-8")), binary=True
+    )
+    return {result.label: result.output for result in run}
+
+
+class TestAsyncRun:
+    def test_matches_the_sync_engine(self, engine, medline_document, expected):
+        async def main():
+            return await aio.async_run(
+                api.Source.from_bytes(medline_document.encode("utf-8"),
+                                      chunk_size=4096),
+                engine,
+                binary=True,
+            )
+
+        run = asyncio.run(main())
+        assert {result.label: result.output for result in run} == expected
+        assert run.scan_stats is not None
+
+    def test_async_sinks_receive_every_fragment(
+        self, engine, medline_document, expected
+    ):
+        async def main():
+            sinks = {label: aio.AsyncCollectSink() for label in engine.labels}
+            run = await aio.async_run(
+                medline_document.encode("utf-8"), engine, sinks, binary=True
+            )
+            return sinks, run
+
+        sinks, run = asyncio.run(main())
+        assert {label: sink.value() for label, sink in sinks.items()} == expected
+        assert all(result.output == b"" for result in run)  # routed away
+
+    def test_async_iterable_source_with_backpressure(
+        self, engine, medline_document, expected
+    ):
+        """Chunks arrive asynchronously; a deliberately slow sink must see
+        every fragment in order (the write is awaited before more input)."""
+
+        async def produce(data, size):
+            for start in range(0, len(data), size):
+                await asyncio.sleep(0)
+                yield data[start:start + size]
+
+        class SlowSink(aio.AsyncSink):
+            binary = True
+
+            def __init__(self):
+                self.fragments = []
+
+            async def write(self, fragment):
+                await asyncio.sleep(0)
+                self.fragments.append(fragment)
+
+        async def main():
+            sinks = [SlowSink() for _ in engine.labels]
+            await aio.async_run(
+                produce(medline_document.encode("utf-8"), 2048),
+                engine,
+                sinks,
+                binary=True,
+            )
+            return sinks
+
+        sinks = asyncio.run(main())
+        assert {
+            label: b"".join(sink.fragments)
+            for label, sink in zip(engine.labels, sinks)
+        } == expected
+
+
+class TestServe:
+    def test_round_trips_n_labelled_streams_over_one_socket(
+        self, engine, medline_document, expected
+    ):
+        async def main():
+            server = await aio.serve(engine, host="127.0.0.1", port=0,
+                                     chunk_size=4096)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                return await aio.request(
+                    "127.0.0.1",
+                    port,
+                    api.Source.from_bytes(medline_document.encode("utf-8"),
+                                          chunk_size=2048),
+                )
+
+        outputs = asyncio.run(main())
+        assert outputs == expected
+
+    def test_two_sequential_connections_are_independent(
+        self, engine, medline_document, expected
+    ):
+        async def main():
+            server = await aio.serve(engine, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                first = await aio.request(
+                    "127.0.0.1", port, medline_document.encode("utf-8")
+                )
+                second = await aio.request(
+                    "127.0.0.1", port, medline_document.encode("utf-8")
+                )
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first == expected
+        assert second == expected
+
+    def test_request_returns_every_label_even_without_output(
+        self, medline_document
+    ):
+        """Labels whose only frame is their END must not be dropped."""
+        dtd = medline_dtd()
+        # CollectionTitle is declared but never generated: both queries
+        # project nothing, so the response is END frames only.
+        empty = api.Engine([
+            api.Query.from_paths(dtd, ["//CollectionTitle#"],
+                                 add_default_paths=False, label="e1"),
+            api.Query.from_paths(dtd, ["//CollectionTitle#"],
+                                 add_default_paths=False, label="e2"),
+        ])
+
+        async def main():
+            server = await aio.serve(empty, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                return await aio.request(
+                    "127.0.0.1", port, medline_document.encode("utf-8")
+                )
+
+        outputs = asyncio.run(main())
+        assert outputs == {"e1": b"", "e2": b""}
+
+    def test_non_conforming_document_yields_an_error_frame(self, engine):
+        async def main():
+            server = await aio.serve(engine, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                return await aio.request(
+                    "127.0.0.1", port,
+                    b"<MedlineCitationSet><MedlineCitation>",
+                )
+
+        with pytest.raises(ReproError, match="server error"):
+            asyncio.run(main())
+
+    def test_frame_round_trip(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            payloads = []
+
+            class Collector:
+                def write(self, data):
+                    reader.feed_data(data)
+
+            writer = Collector()
+            aio.write_frame(writer, aio.FRAME_DATA, b"M2", b"<x/>")
+            aio.write_frame(writer, aio.FRAME_END, b"M2", b"")
+            reader.feed_eof()
+            while True:
+                frame = await aio.read_frame(reader)
+                if frame is None:
+                    break
+                payloads.append(frame)
+            return payloads
+
+        frames = asyncio.run(main())
+        assert frames == [
+            (aio.FRAME_DATA, b"M2", b"<x/>"),
+            (aio.FRAME_END, b"M2", b""),
+        ]

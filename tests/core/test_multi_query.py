@@ -130,7 +130,7 @@ class TestEngineBehaviour:
         high_water = 0
         for chunk in iter_chunks(medline_document, chunk_size):
             session.feed(chunk)
-            high_water = max(high_water, session.buffered_chars)
+            high_water = max(high_water, session.buffered_bytes)
         session.finish()
         # The retained window is the carry-over (suspended scan tail plus
         # un-flushed copy regions), never the document.

@@ -176,7 +176,7 @@ class TestFilterSession:
         session.feed(figure2_document)
         for _ in range(50):
             session.feed("\n" * 100)
-        assert session.buffered_chars < 100
+        assert session.buffered_bytes < 100
         session.finish()
 
     def test_bounded_buffer_during_streaming(self, site_prefilter, figure2_document):
@@ -184,7 +184,7 @@ class TestFilterSession:
         high_water = 0
         for index in range(0, len(figure2_document), 8):
             session.feed(figure2_document[index:index + 8])
-            high_water = max(high_water, session.buffered_chars)
+            high_water = max(high_water, session.buffered_bytes)
         session.finish()
         # The carry-over window stays near the chunk size, never the document.
         assert high_water < len(figure2_document) // 2

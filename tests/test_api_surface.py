@@ -1,0 +1,42 @@
+"""The public API surface is a reviewed artifact, not an accident.
+
+``repro.__all__`` must match the checked-in ``tests/api_surface.txt`` line
+for line: adding (or dropping) a public name without updating the fixture
+file fails CI, so surface growth is always a conscious, reviewed decision.
+Every listed name must also resolve, so ``__all__`` cannot drift from the
+actual module contents.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import repro
+
+SURFACE_FILE = pathlib.Path(__file__).parent / "api_surface.txt"
+
+
+def test_public_surface_matches_the_checked_in_inventory():
+    expected = SURFACE_FILE.read_text(encoding="utf-8").split()
+    actual = sorted(repro.__all__)
+    assert actual == expected, (
+        "repro.__all__ changed; if intentional, update tests/api_surface.txt "
+        "in the same commit"
+    )
+
+
+def test_all_is_sorted_and_duplicate_free():
+    assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_dataflow_api_is_reexported_at_top_level():
+    """The PR-4 dataflow classes are first-class citizens of ``repro``."""
+    assert repro.Source is repro.api.Source
+    assert repro.Query is repro.api.Query
+    assert repro.Engine is repro.api.Engine
+    assert repro.Sink is repro.api.Sink
