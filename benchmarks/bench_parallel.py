@@ -1,0 +1,210 @@
+"""Parallel sharded execution and buffer-reuse ingestion benchmarks.
+
+Two series, persisted as ``benchmarks/results/BENCH_parallel.json``:
+
+* **jobs sweep** -- a generated multi-document MEDLINE corpus filtered by
+  ``Engine(mode="parallel", jobs=N)`` for N in 1/2/4/8: wall time,
+  throughput and the speedup over ``jobs=1``.  On a multi-core machine the
+  speedup tracks the worker count until it saturates the cores (the run
+  records ``cpu_count`` so the trajectory is interpretable); correctness
+  (byte-identical merge) is asserted on every row.
+* **buffer-reuse A/B** -- the single-stream chunk-size sweep run twice,
+  with fresh-``bytes`` reads vs pooled ``readinto`` buffers, quantifying
+  the allocator churn removed by :class:`repro.core.sources.BufferPool`.
+
+Scaling assertions are gated on the available CPU count: a 1-core
+container cannot (and must not pretend to) show multi-core speedups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import api
+from repro.bench import TableReporter, throughput_mb_per_second, write_json_report
+from repro.core.sources import BufferPool
+from repro.workloads.medline import (
+    MEDLINE_QUERIES,
+    generate_medline_document,
+    medline_dtd,
+)
+
+JOBS_SWEEP = (1, 2, 4, 8)
+CORPUS_DOCUMENTS = 8
+CORPUS_DOCUMENT_BYTES = 750_000
+AB_CHUNK_SIZES = (64 * 1024, 1024 * 1024)
+ROUNDS = 3
+
+_CPU_COUNT = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+    else (os.cpu_count() or 1)
+
+_REPORTER = TableReporter(
+    title="Parallel sharded corpus execution (MEDLINE, M2+M5)",
+    columns=["Jobs", "Wall s", "MB/s", "Speedup vs jobs=1"],
+)
+_AB_REPORTER = TableReporter(
+    title="Buffer-reuse A/B: pooled readinto vs fresh bytes (MEDLINE, M2)",
+    columns=["Chunk KiB", "Fresh s", "Pooled s", "Pooled/Fresh"],
+)
+
+_JOBS_ROWS: list[dict[str, float]] = []
+_AB_ROWS: list[dict[str, float]] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+    if _AB_REPORTER.rows:
+        _AB_REPORTER.emit()
+    if _JOBS_ROWS or _AB_ROWS:
+        write_json_report("BENCH_parallel.json", {
+            "workload": "medline",
+            "queries": ["M2", "M5"],
+            "backend": "native",
+            "cpu_count": float(_CPU_COUNT),
+            "corpus_documents": float(CORPUS_DOCUMENTS),
+            "corpus_document_bytes": float(CORPUS_DOCUMENT_BYTES),
+            "jobs_sweep": _JOBS_ROWS,
+            "buffer_reuse_ab": _AB_ROWS,
+        })
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A deterministic multi-document corpus on disk."""
+    directory = tmp_path_factory.mktemp("parallel-corpus")
+    paths = []
+    citations = max(10, CORPUS_DOCUMENT_BYTES // 1650)
+    for index in range(CORPUS_DOCUMENTS):
+        document = generate_medline_document(
+            citations=citations, seed=1000 + index
+        )
+        path = directory / f"doc{index:02d}.xml"
+        path.write_text(document, encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+@pytest.fixture(scope="module")
+def corpus_bytes(corpus):
+    return sum(os.path.getsize(path) for path in corpus)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    dtd = medline_dtd()
+    return [
+        api.Query.from_spec(dtd, MEDLINE_QUERIES[name], backend="native")
+        for name in ("M2", "M5")
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_outputs(corpus, queries):
+    run = api.Engine(queries).run(api.Source.from_paths(corpus), binary=True)
+    return run.outputs
+
+
+def best_of(callable_, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.mark.parametrize("jobs", JOBS_SWEEP)
+def test_jobs_sweep(benchmark, jobs, corpus, corpus_bytes, queries,
+                    reference_outputs):
+    engine = api.Engine(queries, mode="parallel", jobs=jobs)
+
+    def run():
+        return engine.run(api.Source.from_paths(corpus), binary=True)
+
+    wall, result = best_of(run)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.outputs == reference_outputs  # the merge is byte-identical
+    assert result.jobs == jobs
+
+    throughput = throughput_mb_per_second(corpus_bytes, wall)
+    baseline = next(
+        (row["wall_seconds"] for row in _JOBS_ROWS if row["jobs"] == 1), wall
+    )
+    speedup = baseline / wall if wall else 0.0
+    _REPORTER.add_row(jobs, wall, throughput, speedup)
+    _JOBS_ROWS.append({
+        "jobs": float(jobs),
+        "corpus_bytes": float(corpus_bytes),
+        "wall_seconds": wall,
+        "throughput_mb_per_second": throughput,
+        "speedup_vs_jobs1": speedup,
+    })
+
+    # Scaling bounds, gated on the hardware actually having the cores: the
+    # merge-correctness assertion above runs everywhere, the speedup bound
+    # only where a speedup is physically possible.
+    if jobs == 4 and _CPU_COUNT >= 4:
+        assert speedup >= 2.5, (
+            f"jobs=4 reached only {speedup:.2f}x over jobs=1 on "
+            f"{_CPU_COUNT} CPUs (bound 2.5x)"
+        )
+    elif jobs == 2 and _CPU_COUNT >= 2:
+        assert speedup >= 1.4, (
+            f"jobs=2 reached only {speedup:.2f}x over jobs=1 on "
+            f"{_CPU_COUNT} CPUs (bound 1.4x)"
+        )
+
+
+@pytest.mark.parametrize("chunk_size", AB_CHUNK_SIZES)
+def test_buffer_reuse_ab(benchmark, chunk_size, corpus, queries):
+    """Pooled ``readinto`` ingestion vs fresh ``bytes`` reads, single stream."""
+    engine = api.Engine(queries[:1])
+    path = corpus[0]
+    size = os.path.getsize(path)
+
+    def run_fresh():
+        return engine.run(
+            api.Source.from_file(path, chunk_size=chunk_size), binary=True
+        )
+
+    pool = BufferPool(chunk_size, capacity=2)
+
+    def run_pooled():
+        return engine.run(
+            api.Source.from_file(path, chunk_size=chunk_size, pool=pool),
+            binary=True,
+        )
+
+    fresh_output = run_fresh().single.output
+    assert run_pooled().single.output == fresh_output
+
+    fresh_wall, _ = best_of(run_fresh, rounds=5)
+    pooled_wall, _ = best_of(run_pooled, rounds=5)
+    benchmark.pedantic(run_pooled, rounds=1, iterations=1)
+    ratio = pooled_wall / fresh_wall if fresh_wall else 1.0
+    _AB_REPORTER.add_row(chunk_size / 1024, fresh_wall, pooled_wall, ratio)
+    _AB_ROWS.append({
+        "chunk_size": float(chunk_size),
+        "input_bytes": float(size),
+        "fresh_wall_seconds": fresh_wall,
+        "pooled_wall_seconds": pooled_wall,
+        "fresh_throughput_mb_per_second":
+            throughput_mb_per_second(size, fresh_wall),
+        "pooled_throughput_mb_per_second":
+            throughput_mb_per_second(size, pooled_wall),
+        "pooled_over_fresh_wall_ratio": ratio,
+    })
+    # The pooled path must never regress below the fresh path (generous
+    # slack for timer noise; the win grows with the chunk size).
+    assert pooled_wall <= fresh_wall * 1.15, (
+        f"pooled readinto ingestion slower than fresh reads at "
+        f"{chunk_size >> 10} KiB chunks: {pooled_wall * 1000:.1f} vs "
+        f"{fresh_wall * 1000:.1f} ms"
+    )

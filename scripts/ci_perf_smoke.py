@@ -18,7 +18,14 @@ job stays fast and robust to runner noise:
 * the unified dataflow API (repro.api, PR 4) growing overhead over the
   direct session loop it wraps -- at 1 MiB bytes chunks the
   ``Engine.run(Source.from_bytes(...))`` path must reach at least
-  ``API_FLOOR`` (0.95x) of the direct ``session().run`` throughput.
+  ``API_FLOOR`` (0.95x) of the direct ``session().run`` throughput;
+* the pooled ``readinto`` byte path (PR 5) regressing below the
+  fresh-``bytes`` read path -- at 1 MiB chunks buffer reuse must be at
+  least 1.0x within noise (it strictly removes allocations);
+* the parallel sharded engine (PR 5) losing its scaling -- on a runner
+  with >= ``PARALLEL_MIN_CPUS`` CPUs, ``jobs=4`` over a small corpus must
+  finish in at most ``PARALLEL_BOUND`` (0.6x) of the sequential wall time
+  (skipped, loudly, on smaller machines where no speedup is physical).
 
 Run from the repository root::
 
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 import time
 
 DOCUMENT_BYTES = 1_500_000
@@ -45,6 +53,13 @@ MULTI_BOUND = 0.75
 #: loop (the API is a thin orchestration layer; 5% covers real overhead,
 #: the timer-noise slack is shared with the other gates).
 API_FLOOR = 0.95
+#: The jobs=4 corpus wall time must be at most this fraction of jobs=1.
+PARALLEL_BOUND = 0.6
+#: CPUs needed before the parallel bound is meaningful.
+PARALLEL_MIN_CPUS = 4
+#: Corpus of the parallel smoke: documents x bytes (small, CI-friendly).
+PARALLEL_DOCUMENTS = 8
+PARALLEL_DOCUMENT_BYTES = 400_000
 ROUNDS = 5
 
 
@@ -160,6 +175,110 @@ def main() -> int:
     else:
         print(f"OK: repro.api >= {API_FLOOR}x direct-session throughput "
               f"within noise ({ratio:.2f}x)")
+
+    # --- pooled readinto vs fresh-bytes reads at 1 MiB chunks -------------
+    from repro.core.sources import BufferPool
+
+    document_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-perf-smoke-"), "medline.xml"
+    )
+    with open(document_path, "wb") as handle:
+        handle.write(document_bytes)
+
+    from repro import api
+
+    pool_engine = api.Engine(api.Query.from_plan(plan, label="M2"))
+    fresh_wall = best_of(
+        lambda: pool_engine.run(
+            api.Source.from_file(document_path, chunk_size=large_chunk),
+            binary=True,
+        )
+    )
+    reuse_pool = BufferPool(large_chunk, capacity=2)
+    pooled_wall = best_of(
+        lambda: pool_engine.run(
+            api.Source.from_file(
+                document_path, chunk_size=large_chunk, pool=reuse_pool
+            ),
+            binary=True,
+        )
+    )
+    ratio = fresh_wall / pooled_wall
+    print(f"1 MiB chunks: fresh reads {fresh_wall * 1000:.1f} ms, "
+          f"pooled readinto {pooled_wall * 1000:.1f} ms "
+          f"(pooled {ratio:.2f}x fresh)")
+    # Nominal bound: pooled >= 1.0x fresh (buffer reuse strictly removes a
+    # per-chunk allocation); the shared noise slack absorbs timer jitter.
+    if pooled_wall > fresh_wall * BYTES_NOISE_SLACK:
+        print(f"FAIL: the pooled byte path runs below 1.0x of the unpooled "
+              f"path at 1 MiB chunks ({pooled_wall * 1000:.1f} ms > "
+              f"{fresh_wall * 1000:.1f} ms x {BYTES_NOISE_SLACK}) -- buffer "
+              "reuse has regressed")
+        failures += 1
+    else:
+        print(f"OK: pooled readinto >= 1.0x fresh reads within noise "
+              f"({ratio:.2f}x, slack {BYTES_NOISE_SLACK}x)")
+
+    # --- parallel sharded corpus: jobs=4 vs sequential --------------------
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    from repro.workloads.medline import generate_medline_document
+
+    corpus_dir = tempfile.mkdtemp(prefix="repro-perf-corpus-")
+    corpus_paths = []
+    citations = max(10, PARALLEL_DOCUMENT_BYTES // 1650)
+    for index in range(PARALLEL_DOCUMENTS):
+        path = os.path.join(corpus_dir, f"doc{index}.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(generate_medline_document(
+                citations=citations, seed=3000 + index
+            ))
+        corpus_paths.append(path)
+
+    corpus_queries = [api.Query.from_plan(plan, label="M2")]
+    sequential_engine = api.Engine(corpus_queries)
+    parallel_engine = api.Engine(corpus_queries, mode="parallel", jobs=4)
+    sequential_run = sequential_engine.run(
+        api.Source.from_paths(corpus_paths), binary=True
+    )
+    parallel_run = parallel_engine.run(
+        api.Source.from_paths(corpus_paths), binary=True
+    )
+    if parallel_run.outputs != sequential_run.outputs:
+        print("FAIL: parallel corpus output differs from sequential")
+        failures += 1
+    else:
+        print("OK: parallel corpus output byte-identical to sequential")
+    if cpu_count >= PARALLEL_MIN_CPUS:
+        sequential_wall = best_of(
+            lambda: sequential_engine.run(
+                api.Source.from_paths(corpus_paths), binary=True
+            ),
+            rounds=3,
+        )
+        parallel_wall = best_of(
+            lambda: parallel_engine.run(
+                api.Source.from_paths(corpus_paths), binary=True
+            ),
+            rounds=3,
+        )
+        ratio = parallel_wall / sequential_wall
+        print(f"corpus x{PARALLEL_DOCUMENTS}: sequential "
+              f"{sequential_wall * 1000:.1f} ms, jobs=4 "
+              f"{parallel_wall * 1000:.1f} ms (ratio {ratio:.2f}, bound "
+              f"{PARALLEL_BOUND})")
+        if ratio > PARALLEL_BOUND:
+            print(f"FAIL: jobs=4 wall time exceeds {PARALLEL_BOUND}x of the "
+                  "sequential corpus run -- parallel scaling has regressed")
+            failures += 1
+        else:
+            print(f"OK: jobs=4 runs the corpus "
+                  f"{sequential_wall / parallel_wall:.2f}x faster than "
+                  "sequential")
+    else:
+        print(f"SKIP: parallel speedup bound needs >= {PARALLEL_MIN_CPUS} "
+              f"CPUs (runner has {cpu_count}); correctness was still "
+              "checked above")
 
     # --- shared-scan multi-query vs N sessions ----------------------------
     specs = [MEDLINE_QUERIES[name] for name in MULTI_QUERIES]

@@ -46,10 +46,12 @@ from the shell as ``python -m repro``.  The pre-PR4 ``filter_*``/``run_*``
 methods survive as deprecated byte-identical shims over :mod:`repro.api`.
 """
 
-from repro import api
+from repro import api, parallel
 from repro.api import (
     CallbackSink,
     CollectSink,
+    CorpusRun,
+    DocumentRun,
     Engine,
     EngineRun,
     FileSink,
@@ -64,12 +66,14 @@ from repro.api import (
 from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
+    BufferPool,
     align_utf8_chunks,
     decode_chunks,
     file_chunks,
     iter_byte_chunks,
     mmap_chunks,
     socket_chunks,
+    split_documents,
     stdin_chunks,
 )
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
@@ -89,6 +93,7 @@ from repro.errors import (
     XPathSyntaxError,
     XmlSyntaxError,
 )
+from repro.parallel import ParallelExecutionError, WorkerPool
 from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
 from repro.projection.paths import ProjectionPath, parse_projection_paths
 from repro.projection.reference import ReferenceProjector
@@ -96,14 +101,17 @@ from repro.projection.reference import ReferenceProjector
 __version__ = "1.1.0"
 
 __all__ = [
+    "BufferPool",
     "CallbackSink",
     "CollectSink",
+    "CorpusRun",
     "CompilationError",
     "CompilationStatistics",
     "DEFAULT_CHUNK_SIZE",
     "Dtd",
     "DtdRecursionError",
     "DtdSyntaxError",
+    "DocumentRun",
     "DtdValidationError",
     "Engine",
     "EngineRun",
@@ -115,6 +123,7 @@ __all__ = [
     "MultiQueryRun",
     "MultiQuerySession",
     "NullSink",
+    "ParallelExecutionError",
     "ProjectionPath",
     "ProjectionPathError",
     "Query",
@@ -130,6 +139,7 @@ __all__ = [
     "Sink",
     "SmpPrefilter",
     "Source",
+    "WorkerPool",
     "WorkloadError",
     "XPathSyntaxError",
     "XmlSyntaxError",
@@ -143,8 +153,10 @@ __all__ = [
     "iter_byte_chunks",
     "iter_chunks",
     "mmap_chunks",
+    "parallel",
     "parse_projection_paths",
     "socket_chunks",
+    "split_documents",
     "stdin_chunks",
 ]
 

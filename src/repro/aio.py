@@ -36,10 +36,13 @@ and from a client::
     outputs = await aio.request("127.0.0.1", 8043, api.Source.from_file("doc.xml"))
     # {label: projected bytes, ...}
 
-The filtering itself runs inline on the event loop (it is a tight C-backed
-scan over each chunk); for many concurrent connections on multi-core
-machines, run one process per core behind a load balancer in the usual
-asyncio deployment shape.
+By default the filtering runs inline on the event loop (it is a tight
+C-backed scan over each chunk).  For multi-core serving pass
+``serve(engine, workers=N)``: every connection's session then lives inside
+a :class:`repro.parallel.WorkerPool` worker process and each ``feed`` is
+dispatched through ``run_in_executor`` -- the loop only shuttles chunks
+and frames while N cores filter concurrently, with per-connection frame
+ordering unchanged (sticky worker routing, sequential awaits).
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import struct
+import threading
 from typing import Callable, Mapping, Sequence, Union
 
 from repro import api
@@ -247,14 +251,29 @@ FRAME_END = 1     #: the labelled query's stream is complete
 FRAME_ERROR = 2   #: the run failed; payload is the error message
 
 
+#: Reused header scratch of :func:`write_frame` -- packed in place and
+#: immediately copied into the frame, so no per-frame header allocation.
+#: Thread-local: event loops in different threads never share a scratch.
+_HEADER_SCRATCH = threading.local()
+
+
 def write_frame(writer: asyncio.StreamWriter, kind: int, label: bytes,
                 payload: bytes) -> None:
-    """Serialize one frame onto ``writer`` (buffer only; drain separately)."""
-    writer.write(FRAME_HEADER.pack(kind, len(label), len(payload)))
-    if label:
-        writer.write(label)
-    if payload:
-        writer.write(payload)
+    """Serialize one frame onto ``writer`` (buffer only; drain separately).
+
+    The frame is assembled into a single ``write`` call (header packed into
+    a reused scratch buffer), which keeps the transport buffer from
+    fragmenting into three tiny writes per frame.
+    """
+    try:
+        header = _HEADER_SCRATCH.buffer
+    except AttributeError:
+        header = _HEADER_SCRATCH.buffer = bytearray(FRAME_HEADER.size)
+    FRAME_HEADER.pack_into(header, 0, kind, len(label), len(payload))
+    if label or payload:
+        writer.write(b"".join((header, label, payload)))
+    else:
+        writer.write(bytes(header))
 
 
 async def read_frame(reader: asyncio.StreamReader):
@@ -282,6 +301,8 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 0,
+    worker_pool=None,
 ) -> asyncio.Server:
     """Serve the engine's queries over TCP: one document per connection.
 
@@ -294,15 +315,32 @@ async def serve(
     after each fed chunk propagates the client's read backpressure into the
     filter loop.
 
+    With ``workers=N`` (or an explicit :class:`repro.parallel.WorkerPool`
+    via ``worker_pool``) every connection's session lives inside a worker
+    *process* and each ``feed`` is dispatched through ``run_in_executor``:
+    the byte-scanning CPU work leaves the event loop, so N cores serve N
+    connections concurrently while the loop only shuttles chunks and
+    frames.  A connection's chunks always reach its one worker in order,
+    so per-connection frame ordering is identical to in-loop filtering.
+    The created pool is exposed as ``server.worker_pool``; close it
+    (``server.worker_pool.close()``) when done serving.
+
     Returns the started :class:`asyncio.Server` (use ``server.sockets`` for
     the bound port when ``port=0``).
     """
+    if workers and worker_pool is None:
+        from repro.parallel import WorkerPool
+
+        worker_pool = WorkerPool(engine, workers)
 
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
-        await handle_connection(engine, reader, writer, chunk_size=chunk_size)
+        await handle_connection(engine, reader, writer,
+                                chunk_size=chunk_size, worker_pool=worker_pool)
 
-    return await asyncio.start_server(handle, host=host, port=port)
+    server = await asyncio.start_server(handle, host=host, port=port)
+    server.worker_pool = worker_pool
+    return server
 
 
 async def handle_connection(
@@ -311,18 +349,51 @@ async def handle_connection(
     writer: asyncio.StreamWriter,
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    worker_pool=None,
 ) -> None:
-    """Filter one connection's document; used by :func:`serve` per client."""
-    session = engine.open(binary=True)
-    labels = [handle.label.encode("utf-8") for handle in session.handles]
+    """Filter one connection's document; used by :func:`serve` per client.
+
+    With ``worker_pool`` the session lives in a worker process and every
+    ``feed``/``finish`` round-trips through the default executor, keeping
+    the event loop free for other connections.
+    """
+    session = None
     try:
+        # Session setup is inside the error envelope: with a worker pool it
+        # round-trips to another process and can fail (dead worker, closed
+        # pool) -- the client still deserves its FRAME_ERROR and a closed
+        # connection rather than a hang.
+        if worker_pool is not None:
+            loop = asyncio.get_running_loop()
+            session = await loop.run_in_executor(
+                None, lambda: worker_pool.open_session(binary=True)
+            )
+            labels = [label.encode("utf-8") for label in session.labels]
+
+            async def feed(chunk):
+                return await loop.run_in_executor(None, session.feed, chunk)
+
+            async def finish():
+                return await loop.run_in_executor(None, session.finish)
+        else:
+            session = engine.open(binary=True)
+            labels = [
+                handle.label.encode("utf-8") for handle in session.handles
+            ]
+
+            async def feed(chunk):
+                return session.feed(chunk)
+
+            async def finish():
+                return session.finish()
+
         while True:
             chunk = await reader.read(chunk_size)
             if not chunk:
                 break
-            _write_outputs(writer, labels, session.feed(chunk))
+            _write_outputs(writer, labels, await feed(chunk))
             await writer.drain()
-        _write_outputs(writer, labels, session.finish())
+        _write_outputs(writer, labels, await finish())
         for label in labels:
             write_frame(writer, FRAME_END, label, b"")
         await writer.drain()
@@ -331,7 +402,8 @@ async def handle_connection(
         with contextlib.suppress(ConnectionError):
             await writer.drain()
     finally:
-        session.close()
+        if session is not None:
+            session.close()
         writer.close()
         with contextlib.suppress(ConnectionError):
             await writer.wait_closed()

@@ -58,6 +58,8 @@ delegating to this module, byte-identical in output and statistics.
 from __future__ import annotations
 
 import contextlib
+import glob as _glob
+import os
 import tracemalloc
 from dataclasses import dataclass, field
 from typing import IO, Callable, Iterable, Iterator, Mapping, Sequence, Union
@@ -65,10 +67,12 @@ from typing import IO, Callable, Iterable, Iterator, Mapping, Sequence, Union
 from repro.core.multi import MultiQueryEngine, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
+    BufferPool,
     align_utf8_chunks,
     file_chunks,
     open_mmap,
     socket_chunks,
+    split_documents,
     stdin_chunks,
 )
 from repro.core.stats import CompilationStatistics, RunStatistics
@@ -86,6 +90,8 @@ __all__ = [
     "DEFAULT_BACKEND",
     "CallbackSink",
     "CollectSink",
+    "CorpusRun",
+    "DocumentRun",
     "Engine",
     "EngineRun",
     "FileSink",
@@ -119,6 +125,11 @@ class Source:
     :class:`~repro.errors.ReproError` on a second open.
     """
 
+    #: True for multi-document corpus sources (``from_paths``/``from_dir``/
+    #: ``from_records``), which are driven through :meth:`documents` by the
+    #: parallel engine instead of :meth:`open`.
+    corpus: bool = False
+
     def __init__(
         self,
         opener: Callable[[], "contextlib.AbstractContextManager[Iterable]"],
@@ -130,6 +141,7 @@ class Source:
         self.kind = kind
         self.repeatable = repeatable
         self._consumed = False
+        self._documents: Callable[[], Iterator] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Source(kind={self.kind!r}, repeatable={self.repeatable})"
@@ -195,11 +207,21 @@ class Source:
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         align_utf8: bool = False,
+        pool: "BufferPool | bool | None" = None,
     ) -> "Source":
-        """Binary ``chunk_size`` reads of the file at ``path`` (no decode)."""
+        """Binary ``chunk_size`` reads of the file at ``path`` (no decode).
+
+        ``pool`` enables zero-copy buffer reuse: the file is read via
+        ``readinto`` into recycled :class:`~repro.core.sources.BufferPool`
+        buffers instead of allocating a fresh ``bytes`` per chunk.  Pass a
+        pool to share buffers across sources, or ``True`` for a private
+        pool sized to ``chunk_size``.
+        """
+        buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(file_chunks(path, chunk_size), align_utf8)
+                _aligned(file_chunks(path, chunk_size, pool=buffers),
+                         align_utf8)
             ),
             kind="file",
             repeatable=True,
@@ -233,12 +255,21 @@ class Source:
 
     @classmethod
     def from_stdin(
-        cls, *, chunk_size: int = DEFAULT_CHUNK_SIZE, align_utf8: bool = False
+        cls,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        align_utf8: bool = False,
+        pool: "BufferPool | bool | None" = None,
     ) -> "Source":
-        """The process's binary stdin (one-shot)."""
+        """The process's binary stdin (one-shot).
+
+        ``pool`` reads via ``readinto`` into recycled buffers (see
+        :meth:`from_file`).
+        """
+        buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(stdin_chunks(chunk_size), align_utf8)
+                _aligned(stdin_chunks(chunk_size, pool=buffers), align_utf8)
             ),
             kind="stdin",
         )
@@ -250,11 +281,19 @@ class Source:
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         align_utf8: bool = False,
+        pool: "BufferPool | bool | None" = None,
     ) -> "Source":
-        """Chunks received from anything with ``recv`` (one-shot)."""
+        """Chunks received from anything with ``recv`` (one-shot).
+
+        ``pool`` receives via ``recv_into`` into recycled buffers (see
+        :meth:`from_file`); connections without ``recv_into`` fall back to
+        plain ``recv``.
+        """
+        buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(socket_chunks(connection, chunk_size), align_utf8)
+                _aligned(socket_chunks(connection, chunk_size, pool=buffers),
+                         align_utf8)
             ),
             kind="socket",
         )
@@ -280,6 +319,114 @@ class Source:
             kind="iter",
         )
 
+    # ------------------------------------------------------------------
+    # Corpus constructors (multi-document workloads)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Sequence[str],
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "Source":
+        """A corpus of documents, one per file path, in the given order.
+
+        Corpus sources feed multi-document engine runs -- most usefully
+        ``Engine(mode="parallel", jobs=N)``, which shards the documents
+        across worker processes; any other engine mode runs them
+        sequentially.  The per-document output order is always the corpus
+        order, whatever the execution mode.
+        """
+        path_list = [os.fspath(path) for path in paths]
+        if not path_list:
+            raise QueryError("a corpus needs at least one document path")
+
+        def documents():
+            for path in path_list:
+                yield path, ("path", path, chunk_size)
+
+        return cls._corpus(documents, kind="corpus-paths", repeatable=True)
+
+    @classmethod
+    def from_dir(
+        cls,
+        directory: str,
+        *,
+        pattern: str = "*.xml",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "Source":
+        """A corpus of the files matching ``pattern`` under ``directory``.
+
+        Matches are sorted, so the corpus (and therefore the merged output)
+        is deterministic regardless of directory enumeration order.
+        """
+        matches = sorted(_glob.glob(os.path.join(os.fspath(directory), pattern)))
+        if not matches:
+            raise QueryError(
+                f"no documents match {pattern!r} under {os.fspath(directory)!r}"
+            )
+        return cls.from_paths(matches, chunk_size=chunk_size)
+
+    @classmethod
+    def from_records(
+        cls,
+        source,
+        *,
+        end_tag: "bytes | str",
+        chunk_size: int | None = None,
+    ) -> "Source":
+        """A corpus from one concatenated record stream (MEDLINE style).
+
+        ``source`` (a :class:`Source` or any raw value :meth:`of`
+        understands) carries many complete documents back to back; the
+        stream is split at each ``end_tag`` (the records' closing root tag,
+        e.g. ``b"</MedlineCitationSet>"``) into one in-memory document blob
+        per record -- the unit the parallel engine shards across workers.
+        One-shot unless the underlying source is repeatable.
+        """
+        raw = cls.of(source, chunk_size=chunk_size)
+
+        def documents():
+            with raw.open() as chunks:
+                for index, blob in enumerate(split_documents(chunks, end_tag)):
+                    yield f"record[{index}]", ("blob", blob)
+
+        return cls._corpus(
+            documents, kind="corpus-records", repeatable=raw.repeatable
+        )
+
+    @classmethod
+    def _corpus(cls, documents: Callable[[], Iterator], *, kind: str,
+                repeatable: bool) -> "Source":
+        def opener():
+            raise ReproError(
+                f"{kind} sources hold many documents; run them through an "
+                "Engine (e.g. mode='parallel') instead of opening a single "
+                "chunk stream"
+            )
+
+        self = cls(opener, kind=kind, repeatable=repeatable)
+        self.corpus = True
+        self._documents = documents
+        return self
+
+    def documents(self) -> Iterator[tuple[str, tuple]]:
+        """The corpus work items: ``(name, payload)`` per document.
+
+        ``payload`` is the picklable descriptor the parallel workers
+        resolve back to a per-document source (``("path", path,
+        chunk_size)`` or ``("blob", bytes)``).  Non-corpus sources raise.
+        """
+        if self._documents is None:
+            raise ReproError(f"{self.kind} source is not a corpus")
+        if self._consumed and not self.repeatable:
+            raise ReproError(
+                f"{self.kind} source was already consumed and cannot be "
+                "re-opened"
+            )
+        self._consumed = True
+        return self._documents()
+
     @classmethod
     def of(cls, source, *, chunk_size: int | None = None) -> "Source":
         """Coerce ``source`` to a :class:`Source`.
@@ -304,6 +451,16 @@ def _sliced(data, chunk_size):
     if chunk_size is None:
         return (data,)
     return iter_chunks(data, chunk_size)
+
+
+def _resolve_pool(pool: "BufferPool | bool | None",
+                  chunk_size: int) -> BufferPool | None:
+    """``pool=True`` means a private pool sized to the source's chunks."""
+    if pool is True:
+        return BufferPool(chunk_size)
+    if pool is False:
+        return None
+    return pool
 
 
 def _aligned(chunks, align_utf8: bool):
@@ -720,6 +877,78 @@ class EngineRun:
         return [result.output for result in self.results]
 
 
+@dataclass
+class DocumentRun:
+    """One document's share of a corpus run."""
+
+    index: int
+    name: str
+    run: EngineRun
+
+    @property
+    def results(self) -> list[QueryResult]:
+        return self.run.results
+
+    def __getitem__(self, key) -> QueryResult:
+        return self.run[key]
+
+
+@dataclass
+class CorpusRun:
+    """The result of running an engine over a multi-document corpus.
+
+    ``documents`` holds the per-document runs in corpus order;
+    ``results`` the per-query aggregate: outputs concatenated across
+    documents (in corpus order -- byte-identical to filtering the
+    documents sequentially) and statistics summed with
+    :meth:`~repro.core.stats.RunStatistics.merge`.  ``jobs`` records the
+    worker count the corpus actually ran with (1 = in-process).
+    """
+
+    documents: list[DocumentRun]
+    results: list[QueryResult]
+    scan_stats: RunStatistics | None = None
+    jobs: int = 1
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, key) -> QueryResult:
+        if isinstance(key, str):
+            for result in self.results:
+                if result.label == key:
+                    return result
+            raise KeyError(key)
+        return self.results[key]
+
+    @property
+    def single(self) -> QueryResult:
+        """The only aggregate result of a single-query corpus run."""
+        if len(self.results) != 1:
+            raise QueryError(
+                f"run carries {len(self.results)} results; index by label"
+            )
+        return self.results[0]
+
+    @property
+    def labels(self) -> list[str]:
+        return [result.label for result in self.results]
+
+    @property
+    def outputs(self) -> list:
+        return [result.output for result in self.results]
+
+    def document(self, name: str) -> DocumentRun:
+        """The run of the document called ``name`` (path or record name)."""
+        for document in self.documents:
+            if document.name == name:
+                return document
+        raise KeyError(name)
+
+
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
@@ -737,8 +966,19 @@ class Engine:
         valid for exactly one query.
         ``"shared"`` — the shared-scan runtime (one union-automaton pass
         feeding N driven streams; supports live attach/detach).
+        ``"parallel"`` — the multi-process sharded runtime: :meth:`run`
+        takes a *corpus* source (``Source.from_paths``/``from_dir``/
+        ``from_records``) and shards its documents across ``jobs`` worker
+        processes (:mod:`repro.parallel`), each running byte-native
+        sessions over its shard; the order-preserving merge keeps output
+        and aggregated statistics byte-identical to sequential execution.
         ``"auto"`` (default) — ``"search"`` for one query, ``"shared"``
-        otherwise.
+        otherwise (and the sequential per-document loop for corpus
+        sources).
+    jobs:
+        Worker process count for ``mode="parallel"`` (default: the CPUs
+        available to this process).  ``jobs=1`` runs the corpus in-process,
+        with no worker processes and no pickling.
 
     The engine is immutable and reusable: every :meth:`open`/:meth:`run`
     gets its own session, any number of which may run concurrently.
@@ -749,16 +989,22 @@ class Engine:
         queries: "Query | SmpPrefilter | Sequence[Query | SmpPrefilter]",
         *,
         mode: str = "auto",
+        jobs: int | None = None,
     ) -> None:
         if isinstance(queries, (Query, SmpPrefilter)):
             queries = [queries]
         normalized = [as_query(query) for query in queries]
         if not normalized:
             raise QueryError("an Engine needs at least one query")
-        if mode not in ("auto", "search", "shared"):
+        if mode not in ("auto", "search", "shared", "parallel"):
             raise QueryError(f"unknown engine mode {mode!r}")
         if mode == "search" and len(normalized) != 1:
             raise QueryError("mode='search' supports exactly one query")
+        if jobs is not None:
+            if mode != "parallel":
+                raise QueryError("jobs=... needs mode='parallel'")
+            if jobs < 1:
+                raise QueryError(f"jobs must be >= 1, got {jobs}")
         dtd = normalized[0].dtd
         for query in normalized[1:]:
             if query.dtd is not dtd:
@@ -766,6 +1012,7 @@ class Engine:
         self.queries: tuple[Query, ...] = tuple(normalized)
         self.dtd = dtd
         self.mode = mode
+        self.jobs = jobs
         self.labels: list[str] = [query.label for query in normalized]
         self.plans: list[SmpPrefilter] = [query.plan() for query in normalized]
         self._multi: MultiQueryEngine | None = None
@@ -811,7 +1058,18 @@ class Engine:
         preference (default text).  ``live=True`` forces the shared-scan
         machinery even for a single query, enabling mid-document
         :meth:`Session.attach` / :meth:`Session.detach`.
+
+        A ``mode="parallel"`` engine has no single-document session of its
+        own; its workers open in-process sessions over the same plans (use
+        a ``"search"``/``"shared"`` engine, or :func:`repro.parallel.
+        WorkerPool.open_session` for a session living in a worker).
         """
+        if self.mode == "parallel":
+            raise QueryError(
+                "mode='parallel' engines run corpus sources; open() needs a "
+                "search/shared engine (see repro.parallel.WorkerPool."
+                "open_session for worker-resident sessions)"
+            )
         sink_list = _normalize_sinks(sinks, self.labels)
         resolved_binary = _resolve_binary(binary, sink_list)
         shared = self.mode == "shared" or live or (
@@ -835,8 +1093,30 @@ class Engine:
         :meth:`Source.of` understands.  With ``measure_memory`` the peak
         traced allocation lands on the run's scan statistics (shared mode)
         or the single query's statistics (search mode).
+
+        A *corpus* source (``Source.from_paths``/``from_dir``/
+        ``from_records``) runs document by document and returns a
+        :class:`CorpusRun`: sharded across worker processes on a
+        ``mode="parallel"`` engine, sequentially in-process otherwise —
+        with byte-identical merged output either way.
         """
         source = Source.of(source, chunk_size=chunk_size)
+        if source.corpus or self.mode == "parallel":
+            if not source.corpus:
+                raise QueryError(
+                    "mode='parallel' shards documents, so it needs a corpus "
+                    "Source (from_paths/from_dir/from_records); wrap a "
+                    "single document in Source.from_paths([path])"
+                )
+            if live:
+                raise QueryError("live attach/detach is per-session; corpus "
+                                 "runs do not support live=True")
+            if measure_memory:
+                raise QueryError(
+                    "measure_memory traces one process; it is not supported "
+                    "for corpus runs"
+                )
+            return self._run_corpus(source, sinks=sinks, binary=binary)
         if measure_memory:
             tracemalloc.start()
         try:
@@ -851,6 +1131,96 @@ class Engine:
                 else run.results[0].stats
             target.peak_memory_bytes = peak
         return run
+
+    def _run_corpus(
+        self,
+        source: Source,
+        *,
+        sinks,
+        binary: bool | None,
+    ) -> CorpusRun:
+        """Drive a corpus source document by document (sharded or not).
+
+        The parallel path and the sequential path share this merge loop:
+        outcomes arrive in corpus order (see
+        :func:`repro.parallel.execute_corpus`), per-query outputs are
+        concatenated in that order and statistics summed, so the two paths
+        are byte-identical by construction.
+        """
+        from repro import parallel
+
+        sink_list = _normalize_sinks(sinks, self.labels)
+        resolved_binary = _resolve_binary(binary, sink_list)
+        for sink in sink_list or ():
+            if sink is not None and sink.binary is None:
+                sink.binary = resolved_binary
+        if self.mode == "parallel":
+            jobs = self.jobs if self.jobs is not None else parallel.default_jobs()
+        else:
+            jobs = 1
+        documents: list[DocumentRun] = []
+        pieces: list[list] = [[] for _ in self.labels]
+        aggregates = [RunStatistics() for _ in self.labels]
+        scan_total: RunStatistics | None = None
+        try:
+            outcomes = parallel.execute_corpus(
+                self,
+                source.documents(),
+                jobs=jobs,
+            )
+            empty_value = b"" if resolved_binary else ""
+            for outcome in outcomes:
+                doc_results: list[QueryResult] = []
+                for index, (label, output, stats) in enumerate(
+                    zip(self.labels, outcome.outputs, outcome.stats)
+                ):
+                    value = output if resolved_binary else output.decode("utf-8")
+                    sink = sink_list[index] if sink_list else None
+                    if sink is not None:
+                        # Sink-routed queries stream: nothing is retained,
+                        # neither on the aggregate nor per document (same
+                        # contract as Session.run), so corpus memory stays
+                        # bounded by one document's output.
+                        if value:
+                            sink.write(value)
+                        value = empty_value
+                    elif value:
+                        pieces[index].append(value)
+                    aggregates[index].merge(stats)
+                    doc_results.append(QueryResult(
+                        label=label,
+                        output=value,
+                        stats=stats,
+                        compilation=self.plans[index].compilation,
+                    ))
+                if outcome.scan_stats is not None:
+                    if scan_total is None:
+                        scan_total = RunStatistics()
+                    scan_total.merge(outcome.scan_stats)
+                documents.append(DocumentRun(
+                    index=outcome.index,
+                    name=outcome.name,
+                    run=EngineRun(results=doc_results,
+                                  scan_stats=outcome.scan_stats),
+                ))
+        finally:
+            for sink in sink_list or ():
+                if sink is not None:
+                    sink.close()
+        empty = b"" if resolved_binary else ""
+        results = [
+            QueryResult(
+                label=label,
+                output=empty.join(parts),
+                stats=aggregate,
+                compilation=plan.compilation,
+            )
+            for label, parts, aggregate, plan in zip(
+                self.labels, pieces, aggregates, self.plans
+            )
+        ]
+        return CorpusRun(documents=documents, results=results,
+                         scan_stats=scan_total, jobs=jobs)
 
 
 # ----------------------------------------------------------------------

@@ -508,6 +508,7 @@ class MultiQuerySession:
         started = time.perf_counter()
         length = len(chunk)
         detached = self._detached
+        borrowed = isinstance(chunk, (bytearray, memoryview))
         self.scan_stats.input_size += length
         for index, stream in enumerate(self._streams):
             if not detached[index]:
@@ -515,6 +516,10 @@ class MultiQuerySession:
         self._window.append(chunk)
         self._process()
         self._trim()
+        if borrowed:
+            # A mutable chunk (recycled read buffer) may be overwritten by
+            # the producer after this call: own the retained suffix now.
+            self._window.seal()
         self.scan_stats.run_seconds += time.perf_counter() - started
         empty = b"" if self.binary else ""
         return [

@@ -420,6 +420,7 @@ class RuntimeStream(_FilterStreamBase):
             chunk = chunk.encode("utf-8")
         started = time.perf_counter()
         self.stats.input_size += len(chunk)
+        borrowed = isinstance(chunk, (bytearray, memoryview))
         self._window.append(chunk)
         self._advance()
         if self._done:
@@ -427,6 +428,10 @@ class RuntimeStream(_FilterStreamBase):
             # comments) is ignored and must not accumulate in the window.
             self._keep_from = self._window.end
         self._trim()
+        if borrowed:
+            # A mutable chunk (recycled read buffer) may be overwritten by
+            # the producer after this call: own the retained suffix now.
+            self._window.seal()
         self.stats.run_seconds += time.perf_counter() - started
         return self._take_output()
 

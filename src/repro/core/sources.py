@@ -57,10 +57,125 @@ def have_mmap() -> bool:
 
 
 # ----------------------------------------------------------------------
+# Buffer reuse
+# ----------------------------------------------------------------------
+class BufferPool:
+    """Recycled ``bytearray`` read buffers for ``readinto`` ingestion.
+
+    A plain ``handle.read(chunk_size)`` allocates a fresh ``bytes`` object
+    per chunk; at large chunk sizes that allocator churn dominates the
+    ingestion cost.  A pool hands out fixed-size ``bytearray`` buffers that
+    sources fill in place (``readinto``/``recv_into``) and return when the
+    stream ends, so a million-chunk run touches a handful of buffers total.
+
+    The pooled chunk is *borrowed*: it is only valid until the consumer asks
+    the source for the next chunk.  The streaming runtimes uphold this by
+    :meth:`~repro.core.stream.ChunkCursor.seal`-ing their window after every
+    mutable chunk -- only the small carry-over suffix is copied, which is
+    the entire point of the exercise.
+
+    ``allocated``/``reused`` count buffer handouts and make the recycling
+    observable (tests and the A/B benchmark assert on them).  The pool is
+    not thread-safe; share one pool per thread (or per worker process).
+    """
+
+    __slots__ = ("buffer_size", "capacity", "allocated", "reused", "_free")
+
+    def __init__(self, buffer_size: int = DEFAULT_CHUNK_SIZE,
+                 capacity: int = 4) -> None:
+        if buffer_size <= 0:
+            raise ValueError(f"buffer_size must be positive, got {buffer_size}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.buffer_size = buffer_size
+        self.capacity = capacity
+        self.allocated = 0
+        self.reused = 0
+        self._free: list[bytearray] = []
+
+    def acquire(self) -> bytearray:
+        """A ``buffer_size`` bytearray: recycled when possible, fresh otherwise."""
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.allocated += 1
+        return bytearray(self.buffer_size)
+
+    def release(self, buffer: bytearray) -> None:
+        """Return ``buffer`` to the pool (dropped when the pool is full)."""
+        if len(buffer) == self.buffer_size and len(self._free) < self.capacity:
+            self._free.append(buffer)
+
+
+def _fill(readinto, buffer: bytearray) -> int:
+    """Fill ``buffer`` from ``readinto`` until full or end of stream."""
+    filled = readinto(buffer)
+    if not filled:
+        return 0
+    length = len(buffer)
+    view = None
+    while filled < length:
+        if view is None:
+            view = memoryview(buffer)
+        count = readinto(view[filled:])
+        if not count:
+            break
+        filled += count
+    return filled
+
+
+def _check_pool_size(pool: BufferPool, chunk_size: int) -> None:
+    """Reject a pool whose buffers do not match the requested chunking."""
+    if pool.buffer_size != chunk_size:
+        raise ValueError(
+            f"buffer pool holds {pool.buffer_size}-byte buffers but the "
+            f"source asked for {chunk_size}-byte chunks; size the pool to "
+            "the chunk size (one pool per distinct chunk size)"
+        )
+
+
+def _pooled_chunks(readinto, pool: BufferPool) -> Iterator[bytes]:
+    """Yield recycled-buffer chunks from a ``readinto`` callable.
+
+    Full buffers are yielded *borrowed* (valid until the next iteration
+    step); a short final fill is yielded as an owned ``bytes`` copy.
+    """
+    buffer = pool.acquire()
+    try:
+        while True:
+            count = _fill(readinto, buffer)
+            if not count:
+                return
+            if count == len(buffer):
+                yield buffer
+            else:
+                yield bytes(memoryview(buffer)[:count])
+                return
+    finally:
+        pool.release(buffer)
+
+
+# ----------------------------------------------------------------------
 # Byte sources
 # ----------------------------------------------------------------------
-def file_chunks(path: str, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
-    """Read the file at ``path`` as binary ``chunk_size`` chunks (no decode)."""
+def file_chunks(
+    path: str,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    pool: BufferPool | None = None,
+) -> Iterator[bytes]:
+    """Read the file at ``path`` as binary ``chunk_size`` chunks (no decode).
+
+    With ``pool`` the file is read via ``readinto`` into recycled buffers
+    (one unbuffered syscall path); the pool's buffers must match
+    ``chunk_size``, so a shared pool cannot silently change a source's
+    chunking.  Without a pool every chunk is a fresh ``bytes`` object.
+    """
+    if pool is not None:
+        _check_pool_size(pool, chunk_size)
+        with open(path, "rb", buffering=0) as handle:
+            yield from _pooled_chunks(handle.readinto, pool)
+        return
     with open(path, "rb") as handle:
         while True:
             chunk = handle.read(chunk_size)
@@ -114,9 +229,22 @@ def mmap_chunks(
         mapping.close()
 
 
-def stdin_chunks(chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
-    """Read the process's binary stdin in ``chunk_size`` chunks."""
+def stdin_chunks(
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    pool: BufferPool | None = None,
+) -> Iterator[bytes]:
+    """Read the process's binary stdin in ``chunk_size`` chunks.
+
+    With ``pool`` (and a stdin that supports ``readinto``) the chunks are
+    recycled pool buffers instead of fresh ``bytes`` per read.
+    """
     stream = getattr(sys.stdin, "buffer", sys.stdin)
+    readinto = getattr(stream, "readinto", None)
+    if pool is not None and readinto is not None:
+        _check_pool_size(pool, chunk_size)
+        yield from _pooled_chunks(readinto, pool)
+        return
     while True:
         chunk = stream.read(chunk_size)
         if not chunk:
@@ -124,12 +252,35 @@ def stdin_chunks(chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
         yield chunk
 
 
-def socket_chunks(connection, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+def socket_chunks(
+    connection,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    pool: BufferPool | None = None,
+) -> Iterator[bytes]:
     """Receive byte chunks from ``connection`` until the peer shuts down.
 
     ``connection`` is anything with ``recv(size) -> bytes`` returning
-    ``b""`` at end of stream (a connected socket, or a test double).
+    ``b""`` at end of stream (a connected socket, or a test double).  With
+    ``pool`` (and a connection that supports ``recv_into``) each datagram
+    lands in a recycled pool buffer; partial fills -- normal on sockets --
+    are yielded as owned copies, full buffers are yielded borrowed.
     """
+    recv_into = getattr(connection, "recv_into", None)
+    if pool is not None and recv_into is not None:
+        _check_pool_size(pool, chunk_size)
+        buffer = pool.acquire()
+        try:
+            while True:
+                count = recv_into(buffer)
+                if not count:
+                    return
+                if count == len(buffer):
+                    yield buffer
+                else:
+                    yield bytes(memoryview(buffer)[:count])
+        finally:
+            pool.release(buffer)
     while True:
         chunk = connection.recv(chunk_size)
         if not chunk:
@@ -168,6 +319,52 @@ def iter_byte_chunks(
     for chunk in source:
         if chunk:
             yield chunk
+
+
+# ----------------------------------------------------------------------
+# Document-boundary splitting of concatenated record streams
+# ----------------------------------------------------------------------
+def split_documents(
+    chunks: "Iterable[bytes | str]", end_tag: "bytes | str"
+) -> Iterator[bytes]:
+    """Split a concatenated multi-document stream at ``end_tag`` boundaries.
+
+    A MEDLINE-style feed ships many complete documents back to back on one
+    byte stream; each document ends with a known closing root tag (e.g.
+    ``b"</MedlineCitationSet>"``).  This generator re-chunks such a stream
+    into one ``bytes`` blob per document -- the corpus unit the parallel
+    engine shards across workers -- holding only the current document's
+    bytes plus one chunk in memory.
+
+    Inter-document whitespace is stripped; trailing non-whitespace after
+    the last ``end_tag`` is yielded as a final (possibly malformed) record
+    so the filter reports it instead of silently dropping input.
+    """
+    tag = end_tag.encode("utf-8") if isinstance(end_tag, str) else bytes(end_tag)
+    if not tag:
+        raise ValueError("end_tag must be non-empty")
+    buffer = bytearray()
+    scanned = 0
+    for chunk in chunks:
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
+        buffer += chunk
+        while True:
+            found = buffer.find(tag, scanned)
+            if found < 0:
+                # No boundary yet; remember how far we scanned (a boundary
+                # cannot start more than ``len(tag) - 1`` bytes back).
+                scanned = max(0, len(buffer) - len(tag) + 1)
+                break
+            cut = found + len(tag)
+            record = bytes(buffer[:cut]).lstrip()
+            del buffer[:cut]
+            scanned = 0
+            if record:
+                yield record
+    tail = bytes(buffer).strip()
+    if tail:
+        yield tail
 
 
 # ----------------------------------------------------------------------

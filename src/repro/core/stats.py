@@ -89,6 +89,29 @@ class RunStatistics:
             return 0.0
         return (self.input_size / 1_000_000.0) / self.run_seconds
 
+    def merge(self, other: "RunStatistics") -> None:
+        """Accumulate ``other`` into this record (corpus aggregation).
+
+        All counters add up -- sizes, comparisons, shifts, jumps, tokens,
+        regions and run time -- so the merge of per-document statistics
+        equals the statistics of filtering the documents back to back; the
+        traced peak takes the maximum (peaks do not add across documents).
+        """
+        self.input_size += other.input_size
+        self.output_size += other.output_size
+        self.char_comparisons += other.char_comparisons
+        self.local_scan_chars += other.local_scan_chars
+        self.shifts += other.shifts
+        self.shift_total += other.shift_total
+        self.initial_jump_chars += other.initial_jump_chars
+        self.initial_jumps += other.initial_jumps
+        self.tokens_matched += other.tokens_matched
+        self.tokens_copied += other.tokens_copied
+        self.regions_copied += other.regions_copied
+        self.run_seconds += other.run_seconds
+        self.peak_memory_bytes = max(self.peak_memory_bytes,
+                                     other.peak_memory_bytes)
+
     def as_dict(self) -> dict[str, float]:
         """All metrics as a flat dictionary (used by the benchmark harness)."""
         return {

@@ -102,11 +102,15 @@ class ChunkCursor:
         constructor argument or that first chunk -- appending the other
         type raises ``TypeError`` immediately; the type never silently
         flips back, even when the window is fully drained.
+
+        Mutable chunks (``bytearray``, ``memoryview``) are held *borrowed*,
+        without copying: searches run directly against them.  A producer
+        that recycles such a buffer (the :class:`repro.core.sources.
+        BufferPool` ``readinto`` path) must not overwrite it before the
+        consumer called :meth:`seal`, which copies the still-needed suffix
+        into owned immutable bytes.
         """
         if chunk:
-            if isinstance(chunk, memoryview):
-                # memoryview lacks ``find``; materialise it once up front.
-                chunk = bytes(chunk)
             if self._adopt:
                 if isinstance(chunk, str) != isinstance(self._buffer, str):
                     self._buffer = "" if isinstance(chunk, str) else b""
@@ -174,7 +178,12 @@ class ChunkCursor:
                 self._segments_length -= len(self._segments[0])
                 del self._segments[0]
             if dead:
-                self._buffer = self._segments.pop(0)
+                promoted = self._segments.pop(0)
+                if type(promoted) is memoryview:
+                    # memoryview lacks ``find``; own it when it becomes the
+                    # searchable merged buffer.
+                    promoted = bytes(promoted)
+                self._buffer = promoted
                 self._segments_length -= len(self._buffer)
                 self._start = dead
         elif self._start >= _COMPACT_MIN and self._start * 2 >= buffer_length:
@@ -210,12 +219,21 @@ class ChunkCursor:
         raise IndexError(f"offset {position} is outside the buffered window")
 
     def slice(self, start: int, stop: int):
-        """The characters in ``[start, stop)`` (absolute offsets)."""
+        """The characters in ``[start, stop)`` (absolute offsets).
+
+        Binary cursors always return owned ``bytes``, even while the window
+        is backed by a borrowed mutable buffer (output fragments outlive the
+        producer's buffer reuse).
+        """
         low = start - self.base + self._start
         high = stop - self.base + self._start
         if high <= len(self._buffer):
-            return self._buffer[low:high]
-        return self._merged()[low:high]
+            part = self._buffer[low:high]
+        else:
+            part = self._merged()[low:high]
+        if type(part) is bytearray or type(part) is memoryview:
+            return bytes(part)
+        return part
 
     def find(self, needle, start: int, stop: int | None = None) -> int:
         """``find`` in absolute coordinates; returns -1 when absent.
@@ -235,8 +253,13 @@ class ChunkCursor:
         )
         if high <= buffer_length:
             found = self._buffer.find(needle, low, high)
-        elif not buffer_length and len(self._segments) == 1:
-            # The window spans a single chunk: search its tail directly.
+        elif (
+            not buffer_length
+            and len(self._segments) == 1
+            and type(self._segments[0]) is not memoryview
+        ):
+            # The window spans a single chunk: search its tail directly
+            # (memoryview lacks ``find`` and goes through the merge below).
             found = self._segments[0].find(needle, low, high)
         else:
             found = self._merged().find(needle, low, high)
@@ -254,13 +277,44 @@ class ChunkCursor:
             if self._buffer:
                 self._segments.insert(0, self._buffer)
             if len(self._segments) == 1:
-                self._buffer = self._segments[0]
+                merged = self._segments[0]
+                if type(merged) is memoryview:
+                    merged = bytes(merged)
+                self._buffer = merged
             else:
                 empty = "" if isinstance(self._buffer, str) else b""
                 self._buffer = empty.join(self._segments)
             self._segments.clear()
             self._segments_length = 0
         return self._buffer
+
+    # ------------------------------------------------------------------
+    # Borrowed-buffer handoff
+    # ------------------------------------------------------------------
+    def seal(self) -> None:
+        """Take ownership of any borrowed mutable chunk data.
+
+        After :meth:`seal` returns, the window no longer references any
+        ``bytearray``/``memoryview`` chunk it was fed: the still-live part
+        is copied into immutable ``bytes`` (typically just the small
+        carry-over suffix -- the processed prefix was already discarded).
+        Producers recycling read buffers (``readinto`` ingestion) call this
+        through the runtime after every fed chunk, which is what bounds the
+        per-chunk allocation to the carry window instead of the chunk size.
+        """
+        if self._segments and any(
+            type(segment) is bytearray or type(segment) is memoryview
+            for segment in self._segments
+        ):
+            # ``join`` over the live pieces produces owned bytes; a single
+            # borrowed segment is promoted and handled below.
+            self._merged()
+        buffer = self._buffer
+        if type(buffer) is bytearray or type(buffer) is memoryview:
+            self._buffer = bytes(
+                memoryview(buffer)[self._start:] if self._start else buffer
+            )
+            self._start = 0
 
 
 def iter_chunks(

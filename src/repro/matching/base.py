@@ -439,6 +439,17 @@ def proper_prefix_table(keywords: Sequence[str]) -> dict[str, tuple[str, ...]]:
     }
 
 
+def as_searchable(text):
+    """``text`` itself when it supports C-level ``find``, else a bytes copy.
+
+    The matchers accept any buffer-protocol window (``bytes``, ``bytearray``,
+    ``mmap`` -- all with native ``find`` -- plus ``memoryview``, which lacks
+    one and is materialised here).  The streaming cursor hands out searchable
+    windows, so the copy only triggers for direct ``memoryview`` callers.
+    """
+    return text if hasattr(text, "find") else bytes(text)
+
+
 def leftmost_longest(matches: Sequence[Match]) -> Match | None:
     """Pick the leftmost match, breaking ties by preferring longer keywords."""
     best: Match | None = None

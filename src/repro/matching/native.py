@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.matching.base import Match, MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
+from repro.matching.base import (
+    Match,
+    MultiKeywordMatcher,
+    PendingSearch,
+    SingleKeywordMatcher,
+    as_searchable,
+)
 
 #: Bounded-probe schedule of the multi-keyword search: ``str.find`` probes
 #: run block by block, starting small (dense match regions stay cheap) and
@@ -38,6 +44,7 @@ class NativeSingleMatcher(SingleKeywordMatcher):
     algorithm_name = "native-find"
 
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        text = as_searchable(text)
         limit = len(text) if end is None else min(end, len(text))
         self.stats.searches += 1
         position = text.find(self.keyword, max(start, 0), limit)
@@ -64,6 +71,7 @@ class NativeSingleMatcher(SingleKeywordMatcher):
         # The spanned-region statistics are computed from the absolute search
         # origin once the search completes, so a chunked search produces the
         # same (approximated) counters as a whole-text one.
+        text = as_searchable(text)
         length = len(self.keyword)
         if pending is None:
             self.stats.searches += 1
@@ -106,6 +114,7 @@ class NativeMultiMatcher(MultiKeywordMatcher):
         )
 
     def find(self, text: str, start: int = 0, end: int | None = None) -> Match | None:
+        text = as_searchable(text)
         limit = len(text) if end is None else min(end, len(text))
         begin = max(start, 0)
         self.stats.searches += 1
@@ -170,6 +179,7 @@ class NativeMultiMatcher(MultiKeywordMatcher):
         # search completes, so chunking does not change them.  An occurrence
         # is only reported once no longer keyword straddling the window end
         # could still beat it (same-position ties prefer the longest).
+        text = as_searchable(text)
         if pending is None:
             self.stats.searches += 1
             begin = resume = start
@@ -199,6 +209,7 @@ class NativeMultiMatcher(MultiKeywordMatcher):
         the results by position (longest keyword first on ties, which the
         longest-first sweep order plus a stable sort preserves).
         """
+        text = as_searchable(text)
         limit = end - base
         low = start - base
         resume = limit if at_eof else max(low, limit + 1 - self.max_keyword_length)

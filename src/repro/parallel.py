@@ -1,0 +1,691 @@
+"""Multi-process sharded execution of the SMP prefilter.
+
+The prefilter is embarrassingly parallel across *documents*: each filter
+session is isolated state over one document, and compiled plans are shared,
+hashable and rebuildable from their (DTD, paths, backend) key through the
+plan cache.  This module shards a multi-document workload across a
+persistent pool of worker processes:
+
+* :class:`EngineSpec` -- a picklable description of an engine.  Workers
+  rebuild the engine once, at startup, through the existing plan cache
+  (under the ``fork`` start method the parent's compiled tables are
+  inherited for free; under ``spawn`` the spec is pickled and recompiled).
+* :class:`WorkerPool` -- ``jobs`` persistent worker processes, each with
+  its own task queue (sticky routing for serving sessions) and a shared
+  result queue drained by a collector thread that resolves
+  :class:`concurrent.futures.Future` objects in the parent.
+* :func:`execute_corpus` -- the corpus driver: submits one task per
+  document (bounded in-flight, so record-split corpora stream), and yields
+  per-document outcomes **in corpus order** regardless of completion order
+  -- the order-preserving merge that makes parallel output byte-identical
+  to sequential execution.
+* :class:`RemoteSession` -- a streaming filter session living inside a
+  worker process (``feed``/``finish`` block on the worker's reply).  The
+  asyncio bridge (:func:`repro.aio.serve` with ``workers=N``) dispatches
+  these through ``run_in_executor`` so the CPU work leaves the event loop.
+
+Inside each worker, document ingestion runs the zero-copy path: one
+recycled :class:`~repro.core.sources.BufferPool` buffer per worker is
+filled via ``readinto`` and fed borrowed to the byte-native session.
+
+The user-facing surface is :class:`repro.api.Engine` with
+``mode="parallel"`` (and ``python -m repro --jobs N``); this module is the
+machinery underneath.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import queue
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+import multiprocessing
+
+from repro.core.sources import BufferPool
+from repro.core.stats import RunStatistics
+from repro.dtd.model import Dtd
+from repro.errors import QueryError, ReproError
+
+__all__ = [
+    "DocumentOutcome",
+    "EngineSpec",
+    "ParallelExecutionError",
+    "RemoteSession",
+    "WorkerPool",
+    "default_jobs",
+    "execute_corpus",
+]
+
+#: Worker command tags (first tuple element of a task-queue message).
+_DOC = "doc"
+_OPEN = "open"
+_FEED = "feed"
+_FINISH = "finish"
+_CLOSE = "close"
+
+#: How many documents may be in flight per worker before the corpus driver
+#: waits for the oldest one -- bounds memory when sharding a record-split
+#: stream whose blobs live in the task queue.
+_PENDING_PER_WORKER = 4
+
+
+def default_jobs() -> int:
+    """The default worker count: the CPUs this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutionError(ReproError):
+    """A sharded run failed; names the failing document.
+
+    ``document`` is the failing path (or record name), ``original`` the
+    worker-side exception when it could be pickled back (also attached as
+    ``__cause__``), and ``worker_traceback`` the worker's formatted
+    traceback for post-mortem logging.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        document: str | None = None,
+        original: BaseException | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.document = document
+        self.original = original
+        self.worker_traceback = worker_traceback
+
+
+# ----------------------------------------------------------------------
+# Engine specification (what crosses the process boundary)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _QuerySpec:
+    """One query of an :class:`EngineSpec`, in plan-cache key terms."""
+
+    paths: tuple[str, ...]
+    backend: str
+    add_default_paths: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable engine description rebuilt via the shared plan cache.
+
+    Captures exactly the plan-cache key of every query (paths, backend,
+    default-path flag) plus the DTD, so a worker's :meth:`build` resolves
+    to one compilation per distinct query per process -- prebuilt plans are
+    re-derived from their compiled path set rather than shipped.
+    """
+
+    dtd: Dtd
+    queries: tuple[_QuerySpec, ...]
+    mode: str = "auto"
+
+    @classmethod
+    def from_engine(cls, engine) -> "EngineSpec":
+        """The spec of a :class:`repro.api.Engine` (any mode)."""
+        specs = []
+        for query in engine.queries:
+            if query._prebuilt is not None:
+                plan = query._prebuilt
+                specs.append(_QuerySpec(
+                    paths=tuple(str(path) for path in plan.paths),
+                    backend=plan.backend,
+                    add_default_paths=False,
+                    label=query.label,
+                ))
+            else:
+                specs.append(_QuerySpec(
+                    paths=query.paths,
+                    backend=query.backend,
+                    add_default_paths=query.add_default_paths,
+                    label=query.label,
+                ))
+        mode = engine.mode if engine.mode in ("search", "shared") else "auto"
+        return cls(dtd=engine.dtd, queries=tuple(specs), mode=mode)
+
+    def build(self):
+        """Compile the engine in this process (plans come from the cache)."""
+        from repro import api
+
+        return api.Engine(
+            [
+                api.Query.from_paths(
+                    self.dtd,
+                    spec.paths,
+                    backend=spec.backend,
+                    add_default_paths=spec.add_default_paths,
+                    label=spec.label,
+                )
+                for spec in self.queries
+            ],
+            mode=self.mode,
+        )
+
+    @property
+    def labels(self) -> list[str]:
+        return [spec.label for spec in self.queries]
+
+
+# ----------------------------------------------------------------------
+# Per-document results
+# ----------------------------------------------------------------------
+@dataclass
+class DocumentOutcome:
+    """One document's share of a corpus run, in worker-neutral terms."""
+
+    index: int
+    name: str
+    outputs: list[bytes]
+    stats: list[RunStatistics]
+    scan_stats: RunStatistics | None = None
+
+
+def _document_payload_source(payload, pools: dict[int, BufferPool]):
+    """Resolve a picklable document descriptor to a :class:`repro.api.Source`.
+
+    Path documents are read with the chunk size their corpus source
+    recorded in the payload, through a recycled buffer pool of exactly
+    that size (one pool per distinct chunk size per worker).
+    """
+    from repro import api
+
+    kind = payload[0]
+    if kind == "path":
+        _, path, chunk_size = payload
+        pool = pools.get(chunk_size)
+        if pool is None:
+            pool = pools[chunk_size] = BufferPool(chunk_size, capacity=2)
+        return api.Source.from_file(path, chunk_size=chunk_size, pool=pool)
+    if kind == "blob":
+        return api.Source.from_bytes(payload[1])
+    raise ReproError(f"unknown document payload kind {kind!r}")
+
+
+def _run_document(engine, payload, pools: dict[int, BufferPool]):
+    """Filter one document; returns the (outputs, stats, scan_stats) triple."""
+    source = _document_payload_source(payload, pools)
+    run = engine.run(source, binary=True)
+    return (
+        [result.output for result in run.results],
+        [result.stats for result in run.results],
+        run.scan_stats,
+    )
+
+
+def _describe_error(error: BaseException):
+    """A picklable description of a worker-side failure."""
+    text = traceback.format_exc()
+    try:
+        pickle.dumps(error)
+    except Exception:
+        return (None, f"{type(error).__name__}: {error}", text)
+    return (error, str(error), text)
+
+
+def _worker_error(description) -> ParallelExecutionError:
+    """Rebuild a worker-side failure description as a raisable error."""
+    original, message, worker_traceback = description
+    error = ParallelExecutionError(
+        message,
+        original=original,
+        worker_traceback=worker_traceback,
+    )
+    if original is not None:
+        error.__cause__ = original
+    return error
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(spec: EngineSpec, tasks, results) -> None:
+    """Worker loop: build the engine once, execute commands until sentinel."""
+    engine = spec.build()
+    pools: dict[int, BufferPool] = {}
+    sessions: dict = {}
+    while True:
+        command = tasks.get()
+        if command is None:
+            break
+        kind = command[0]
+        try:
+            if kind == _DOC:
+                _, request_id, name, payload = command
+                results.put((request_id, True, _run_document(
+                    engine, payload, pools
+                )))
+            elif kind == _OPEN:
+                _, request_id, session_id, binary = command
+                sessions[session_id] = engine.open(binary=binary)
+                results.put((request_id, True, None))
+            elif kind == _FEED:
+                _, request_id, session_id, chunk = command
+                results.put((request_id, True, sessions[session_id].feed(chunk)))
+            elif kind == _FINISH:
+                _, request_id, session_id = command
+                session = sessions.pop(session_id)
+                outputs = session.finish()
+                results.put((request_id, True, (outputs, session.stats,
+                                                session.scan_stats)))
+            elif kind == _CLOSE:
+                session = sessions.pop(command[1], None)
+                if session is not None:
+                    session.close()
+        except BaseException as error:  # noqa: BLE001 - shipped to the caller
+            if kind == _DOC or kind == _FEED or kind == _FINISH or kind == _OPEN:
+                results.put((command[1], False, _describe_error(error)))
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("identifier", "process", "tasks", "outstanding", "sessions")
+
+    def __init__(self, identifier: int, process, tasks) -> None:
+        self.identifier = identifier
+        self.process = process
+        self.tasks = tasks
+        self.outstanding: set[int] = set()
+        self.sessions: int = 0
+
+
+class WorkerPool:
+    """A persistent pool of filter worker processes.
+
+    Each worker holds the compiled engine once and executes whole-document
+    tasks (:meth:`submit_document`) or long-lived streaming sessions
+    (:meth:`open_session`).  One task queue per worker gives sticky routing
+    (a session's commands always reach its worker, in order); one shared
+    result queue feeds a collector thread that resolves the returned
+    futures.  Use as a context manager, or call :meth:`close` /
+    :meth:`terminate`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        jobs: int,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise QueryError(f"a worker pool needs jobs >= 1, got {jobs}")
+        spec = engine if isinstance(engine, EngineSpec) \
+            else EngineSpec.from_engine(engine)
+        self.spec = spec
+        self.jobs = jobs
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._results = self._context.Queue()
+        self._lock = threading.Lock()
+        self._futures: dict[int, tuple] = {}
+        self._request_ids = itertools.count()
+        self._session_ids = itertools.count()
+        self._closed = False
+        self._workers: list[_Worker] = []
+        for identifier in range(jobs):
+            tasks = self._context.Queue()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(spec, tasks, self._results),
+                daemon=True,
+                name=f"repro-filter-worker-{identifier}",
+            )
+            process.start()
+            self._workers.append(_Worker(identifier, process, tasks))
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="repro-pool-collector"
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker: _Worker, build_command: Callable[[int], tuple]):
+        import concurrent.futures
+
+        future = concurrent.futures.Future()
+        with self._lock:
+            if self._closed:
+                raise ReproError("the worker pool is closed")
+            if not worker.process.is_alive():
+                raise ParallelExecutionError(
+                    f"worker {worker.identifier} died unexpectedly"
+                )
+            request_id = next(self._request_ids)
+            self._futures[request_id] = (future, worker)
+            worker.outstanding.add(request_id)
+        worker.tasks.put(build_command(request_id))
+        return future
+
+    def submit_document(self, name: str, payload):
+        """Queue one document; returns a Future of the worker triple.
+
+        Documents go to the worker with the fewest outstanding tasks, so a
+        skewed corpus (one huge document) does not idle the other workers.
+        """
+        with self._lock:
+            worker = min(self._workers, key=lambda w: len(w.outstanding))
+        return self._dispatch(
+            worker, lambda request_id: (_DOC, request_id, name, payload)
+        )
+
+    def open_session(self, *, binary: bool = True) -> "RemoteSession":
+        """Open a streaming filter session inside the least-loaded worker."""
+        with self._lock:
+            worker = min(self._workers, key=lambda w: w.sessions)
+            worker.sessions += 1
+            session_id = next(self._session_ids)
+        try:
+            future = self._dispatch(
+                worker,
+                lambda request_id: (_OPEN, request_id, session_id, binary),
+            )
+            future.result()
+        except BaseException:
+            # A failed open must not skew least-loaded routing forever.
+            with self._lock:
+                worker.sessions -= 1
+            raise
+        return RemoteSession(self, worker, session_id, self.spec.labels)
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._results.get(timeout=0.2)
+            except queue.Empty:
+                if self._check_liveness():
+                    return
+                continue
+            if message is None:
+                return
+            request_id, ok, value = message
+            with self._lock:
+                entry = self._futures.pop(request_id, None)
+                if entry is not None:
+                    entry[1].outstanding.discard(request_id)
+            if entry is None:
+                continue
+            future = entry[0]
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(_worker_error(value))
+
+    def _check_liveness(self) -> bool:
+        """Fail futures of dead workers; returns True when collection is done."""
+        with self._lock:
+            if self._closed and not self._futures:
+                return True
+            dead: list[tuple] = []
+            for worker in self._workers:
+                if worker.outstanding and not worker.process.is_alive():
+                    for request_id in list(worker.outstanding):
+                        entry = self._futures.pop(request_id, None)
+                        if entry is not None:
+                            dead.append((entry[0], worker.identifier))
+                    worker.outstanding.clear()
+        for future, identifier in dead:
+            future.set_exception(ParallelExecutionError(
+                f"worker {identifier} died before finishing its task "
+                "(killed or crashed hard)"
+            ))
+        return False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop the workers (waits for queued tasks to finish)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            worker.tasks.put(None)
+        for worker in self._workers:
+            worker.process.join(timeout=30)
+        self._results.put(None)
+        self._collector.join(timeout=5)
+        for worker in self._workers:
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+        self._fail_outstanding("the worker pool was closed")
+        self._release_queues()
+
+    def terminate(self) -> None:
+        """Kill the workers immediately (queued tasks are abandoned)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            worker.process.terminate()
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+        self._results.put(None)
+        self._collector.join(timeout=5)
+        self._fail_outstanding("the worker pool was terminated")
+        self._release_queues()
+
+    def _release_queues(self) -> None:
+        """Close the queues without joining their feeder threads.
+
+        A task queue may still buffer items whose worker is gone (a killed
+        pool, a crashed worker); its feeder thread then blocks forever on
+        the full pipe, and the default exit-time ``join_thread`` would hang
+        interpreter shutdown on it.  The data is intentionally abandoned --
+        every affected future was already failed.
+        """
+        for worker in self._workers:
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+        self._results.close()
+        self._results.cancel_join_thread()
+
+    def _fail_outstanding(self, reason: str) -> None:
+        with self._lock:
+            entries = list(self._futures.values())
+            self._futures.clear()
+            for worker in self._workers:
+                worker.outstanding.clear()
+        for future, _worker in entries:
+            if not future.done():
+                future.set_exception(ParallelExecutionError(reason))
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+# ----------------------------------------------------------------------
+# Remote streaming sessions (the serving bridge's worker mode)
+# ----------------------------------------------------------------------
+class RemoteSession:
+    """A filter session running inside a worker process.
+
+    ``feed``/``finish`` block until the worker replied (dispatch them
+    through ``run_in_executor`` from asyncio); commands of one session are
+    routed to one worker in order, so per-session output ordering is
+    exactly that of an in-process session.
+    """
+
+    def __init__(self, pool: WorkerPool, worker: _Worker, session_id: int,
+                 labels: list[str]) -> None:
+        self._pool = pool
+        self._worker = worker
+        self._session_id = session_id
+        self.labels = list(labels)
+        self._open = True
+
+    def feed(self, chunk) -> list:
+        """Process one chunk in the worker; returns per-query new output."""
+        chunk = bytes(chunk) if isinstance(chunk, (bytearray, memoryview)) \
+            else chunk
+        future = self._pool._dispatch(
+            self._worker,
+            lambda request_id: (_FEED, request_id, self._session_id, chunk),
+        )
+        return future.result()
+
+    def finish(self) -> list:
+        """Finish in the worker; returns the remaining per-query output."""
+        future = self._pool._dispatch(
+            self._worker,
+            lambda request_id: (_FINISH, request_id, self._session_id),
+        )
+        outputs, self.stats, self.scan_stats = future.result()
+        self._open = False
+        with self._pool._lock:
+            self._worker.sessions -= 1
+        return outputs
+
+    def close(self) -> None:
+        """Drop the worker-side session (idempotent; no reply expected)."""
+        if not self._open:
+            return
+        self._open = False
+        with self._pool._lock:
+            self._worker.sessions -= 1
+            closed = self._pool._closed
+        if not closed and self._worker.process.is_alive():
+            self._worker.tasks.put((_CLOSE, self._session_id))
+
+
+# ----------------------------------------------------------------------
+# Corpus execution
+# ----------------------------------------------------------------------
+def execute_corpus(
+    engine,
+    documents: Iterable[tuple[str, tuple]],
+    *,
+    jobs: int,
+    pool: WorkerPool | None = None,
+) -> Iterator[DocumentOutcome]:
+    """Shard ``documents`` across ``jobs`` workers; yield outcomes in order.
+
+    ``documents`` yields ``(name, payload)`` work items (see
+    ``Source.documents``).  Results are yielded strictly in corpus order --
+    a late-finishing early document holds back later ones (the
+    order-preserving merge) -- while submission stays ahead by a bounded
+    in-flight window, so workers never idle waiting for the merge.
+
+    ``jobs=1`` (without an explicit ``pool``) runs everything in-process:
+    no worker processes, no pickling -- the sequential baseline with the
+    same merge semantics.  A failing document raises
+    :class:`ParallelExecutionError` naming it, whatever the mode.
+    """
+    if pool is None and jobs <= 1:
+        yield from _execute_in_process(engine, documents)
+        return
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(engine, jobs)
+    try:
+        pending: deque[tuple[int, str, object]] = deque()
+        limit = max(2, pool.jobs * _PENDING_PER_WORKER)
+        iterator = enumerate(documents)
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < limit:
+                try:
+                    index, (name, payload) = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.append(
+                    (index, name, pool.submit_document(name, payload))
+                )
+            if not pending:
+                break
+            index, name, future = pending.popleft()
+            try:
+                outputs, stats, scan_stats = future.result()
+            except ParallelExecutionError as error:
+                if error.document is None:
+                    error.document = name
+                raise _named(error, name) from error.original
+            yield DocumentOutcome(
+                index=index, name=name, outputs=outputs, stats=stats,
+                scan_stats=scan_stats,
+            )
+    except BaseException:
+        # Errors and abandoned iteration must not wait for the queued rest
+        # of the corpus; an owned pool is killed, a borrowed one is the
+        # caller's to manage.
+        if owned:
+            pool.terminate()
+        raise
+    else:
+        if owned:
+            pool.close()
+
+
+def _named(error: ParallelExecutionError, name: str) -> ParallelExecutionError:
+    """The pool error re-raised with the failing document named."""
+    if name in str(error):
+        return error
+    renamed = ParallelExecutionError(
+        f"filtering {name!r} failed: {error.original or error}",
+        document=name,
+        original=error.original,
+        worker_traceback=error.worker_traceback,
+    )
+    return renamed
+
+
+def _execute_in_process(engine, documents) -> Iterator[DocumentOutcome]:
+    """The ``jobs=1`` fallback: same semantics, current process, no pickling."""
+    if isinstance(engine, EngineSpec):
+        built = engine.build()
+    elif engine.mode == "parallel":
+        # A parallel-mode engine has no per-document sessions of its own;
+        # rebuild it in an executable mode (plans come from the cache).
+        built = EngineSpec.from_engine(engine).build()
+    else:
+        # The caller's engine already holds compiled plans: use it as is.
+        built = engine
+    pools: dict[int, BufferPool] = {}
+    for index, (name, payload) in enumerate(documents):
+        try:
+            outputs, stats, scan_stats = _run_document(
+                built, payload, pools
+            )
+        except ParallelExecutionError:
+            raise
+        except Exception as error:
+            raise ParallelExecutionError(
+                f"filtering {name!r} failed: {error}",
+                document=name,
+                original=error,
+            ) from error
+        yield DocumentOutcome(
+            index=index, name=name, outputs=outputs, stats=stats,
+            scan_stats=scan_stats,
+        )

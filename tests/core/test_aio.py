@@ -207,3 +207,68 @@ class TestServe:
             (aio.FRAME_DATA, b"M2", b"<x/>"),
             (aio.FRAME_END, b"M2", b""),
         ]
+
+
+class TestServeWorkers:
+    """serve(workers=N): sessions live in worker processes."""
+
+    def test_worker_pool_serving_matches_in_loop(self, engine,
+                                                 medline_document, expected):
+        async def main():
+            server = await aio.serve(engine, port=0, workers=2)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                first, second = await asyncio.gather(
+                    aio.request("127.0.0.1", port, api.Source.from_text(
+                        medline_document, chunk_size=64 * 1024
+                    )),
+                    aio.request("127.0.0.1", port, api.Source.from_text(
+                        medline_document, chunk_size=8 * 1024
+                    )),
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+                server.worker_pool.close()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first == expected
+        assert second == expected
+
+    def test_worker_pool_error_frame(self, engine):
+        async def main():
+            server = await aio.serve(engine, port=0, workers=1)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                await aio.request(
+                    "127.0.0.1", port, api.Source.from_text("<wrong/>")
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+                server.worker_pool.close()
+
+        with pytest.raises(ReproError, match="server error"):
+            asyncio.run(main())
+
+    def test_explicit_pool_is_reused_and_left_open(self, engine,
+                                                   medline_document,
+                                                   expected):
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(engine, jobs=1) as pool:
+            async def main():
+                server = await aio.serve(engine, port=0, worker_pool=pool)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    return await aio.request(
+                        "127.0.0.1", port,
+                        api.Source.from_text(medline_document),
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+            assert asyncio.run(main()) == expected
+            assert asyncio.run(main()) == expected

@@ -287,3 +287,109 @@ class TestMmapCli:
         chunked = capsys.readouterr()
         assert code == 0
         assert plain.out == chunked.out
+
+
+class TestCorpusCli:
+    """--jobs and multi-file corpus runs."""
+
+    @pytest.fixture()
+    def corpus_files(self, tmp_path):
+        from repro.workloads.medline import generate_medline_document
+
+        paths = []
+        for index, citations in enumerate((30, 6, 12)):
+            path = tmp_path / f"doc{index}.xml"
+            path.write_text(
+                generate_medline_document(citations=citations,
+                                          seed=70 + index),
+                encoding="utf-8",
+            )
+            paths.append(str(path))
+        return paths
+
+    def test_sectioned_output_deterministic_across_jobs(self, capsys,
+                                                        corpus_files):
+        argv = ["--query", "M2", "--query", "M5", "--backend", "native"]
+        assert main(argv + ["--jobs", "1"] + corpus_files) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"] + corpus_files) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == sequential
+        for path in corpus_files:
+            for label in ("M2", "M5"):
+                assert f"==> {path} :: {label} <==" in sharded
+
+    def test_sections_match_independent_single_runs(self, capsys,
+                                                    corpus_files):
+        from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+        assert main([
+            "--query", "M2", "--backend", "native", "--jobs", "2",
+        ] + corpus_files) == 0
+        out = capsys.readouterr().out
+        plan = SmpPrefilter.cached_for_query(
+            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
+        )
+        for path in corpus_files:
+            document = open(path, "r", encoding="utf-8").read()
+            expected = plan.session().run([document]).output
+            assert expected in out
+
+    def test_output_base_writes_per_input_per_query_files(self, tmp_path,
+                                                          corpus_files):
+        base = str(tmp_path / "proj")
+        assert main([
+            "--query", "M2", "--query", "M5", "--backend", "native",
+            "--jobs", "2", "--output", base,
+        ] + corpus_files) == 0
+        import os as _os
+
+        for path in corpus_files:
+            stem = _os.path.basename(path)
+            for label in ("M2", "M5"):
+                assert _os.path.exists(f"{base}.{stem}.{label}.xml")
+
+    def test_stats_json_reports_corpus(self, capsys, corpus_files):
+        assert main([
+            "--query", "M2", "--backend", "native", "--jobs", "2",
+            "--stats-json",
+        ] + corpus_files) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.err.strip().splitlines()[-1])
+        assert payload["jobs"] == 2.0
+        assert payload["documents"] == corpus_files
+        assert "M2" in payload["queries"]
+
+    def test_jobs_requires_query_mode(self, capsys, tmp_path):
+        dtd = tmp_path / "x.dtd"
+        dtd.write_text(SITE_DTD_TEXT, encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main([str(dtd), "//australia//description#", "--jobs", "2"])
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_rejects_stdin(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--query", "M2", "--jobs", "2"])
+        assert "stdin" in capsys.readouterr().err
+
+    def test_failing_document_reports_clean_error(self, capsys, tmp_path,
+                                                  corpus_files):
+        poisoned = tmp_path / "poisoned.xml"
+        poisoned.write_text("<wrong/>", encoding="utf-8")
+        code = main([
+            "--query", "M2", "--backend", "native", "--jobs", "2",
+        ] + corpus_files + [str(poisoned)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "repro:" in err
+        assert str(poisoned) in err
+
+    def test_single_input_output_shape_is_jobs_invariant(self, capsys,
+                                                         corpus_files):
+        """--jobs must never change the output framing of one input file."""
+        argv = ["--query", "M2", "--backend", "native", corpus_files[0]]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == plain
+        assert "==> M2 <==" in plain  # single-document framing, no path prefix
