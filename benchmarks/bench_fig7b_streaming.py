@@ -22,6 +22,7 @@ from __future__ import annotations
 import pytest
 
 from repro import SmpPrefilter
+from repro.accel import accel_available
 from repro.bench import (
     TableReporter,
     measure,
@@ -115,11 +116,18 @@ def test_fig7b_row(benchmark, query_name, medline_document, medline_schema):
 
 #: Ingestion modes of the sweep: the str encode shim, the native byte
 #: path, and (one row, no chunking) the memory-mapped whole-file window.
+#: The delivery rows ablate the below-the-interpreter layers one by one on
+#: the 1 MiB byte path: ``pertoken`` (the generator reference), ``batched``
+#: (flat drive loop + vectorized scans), ``accel`` (batched + the C token
+#: kernel) -- all byte-identical in output, differing only in cost.
+DELIVERY_MODES = ("pertoken", "batched", "accel")
 SWEEP_CASES = tuple(
     ("str", chunk_size) for chunk_size in CHUNK_SIZES
 ) + tuple(
     ("bytes", chunk_size) for chunk_size in CHUNK_SIZES
-) + (("mmap", 0),)
+) + (("mmap", 0),) + tuple(
+    (delivery, 1024 * 1024) for delivery in DELIVERY_MODES
+)
 
 
 @pytest.mark.parametrize(("mode", "chunk_size"), SWEEP_CASES,
@@ -137,6 +145,8 @@ def test_chunk_size_sweep(benchmark, mode, chunk_size, medline_document,
     if mode == "mmap":
         mmap_path = tmp_path_factory.mktemp("sweep") / "medline.xml"
         mmap_path.write_bytes(document_bytes)
+    if mode == "accel" and not accel_available():
+        pytest.skip("repro._accel extension not built")
 
     def run_streamed():
         sink_bytes = 0
@@ -155,8 +165,15 @@ def test_chunk_size_sweep(benchmark, mode, chunk_size, medline_document,
                 iter_chunks(document_bytes, chunk_size), sink=sink,
                 binary=True,
             )
-        else:
+        elif mode == "mmap":
             run = prefilter.filter_mmap(str(mmap_path), sink=sink, binary=True)
+        else:  # delivery ablation on the byte path
+            session = prefilter.session(sink=sink, binary=True, delivery=mode)
+            for chunk in iter_chunks(document_bytes, chunk_size):
+                session.feed(chunk)
+            session.finish()
+            assert session.delivery == mode
+            run = session
         return run, sink_bytes
 
     # Peak memory comes from a traced run; wall time from an untraced one

@@ -11,10 +11,17 @@ job stays fast and robust to runner noise:
   chunks feeding ``bytes`` must be at least as fast as feeding ``str``
   (the whole point of byte-native ingestion is dropping the per-chunk
   encode/decode copy, so bytes >= 1.0x str on best-of-N timings);
-* the shared-scan multi-query engine regressing toward the N-sessions
-  baseline -- at N=4 (M2-M5) its wall time must not exceed 0.75x of running
-  the four sessions sequentially (the committed BENCH_multiquery.json
-  records >= 2x; 0.75x catches real regressions, not noise);
+* the shared-scan multi-query engine regressing against the N-sessions
+  baseline -- at N=4 (M2-M5) its wall time must not exceed ``MULTI_BOUND``
+  of running the four sessions sequentially.  The bound was 0.75x while
+  both sides scanned per-token in Python; the C token kernel (PR 6) made
+  independent sessions ~9x faster while the shared engine's per-event
+  dispatch stays in Python, so scan-sharing no longer wins outright at
+  N=4 -- the re-anchored bound (1.6x, measured ~1.25x) still fails loudly
+  if the shared engine returns to its pre-PR-6 cost (~2.2x).  A second
+  bound guards the shared engine's own accelerated scan: with the
+  extension built, the accel union sweep must not run slower than the
+  pure shared loop (measured ~0.8x of it);
 * the unified dataflow API (repro.api, PR 4) growing overhead over the
   direct session loop it wraps -- at 1 MiB bytes chunks the
   ``Engine.run(Source.from_bytes(...))`` path must reach at least
@@ -25,7 +32,14 @@ job stays fast and robust to runner noise:
 * the parallel sharded engine (PR 5) losing its scaling -- on a runner
   with >= ``PARALLEL_MIN_CPUS`` CPUs, ``jobs=4`` over a small corpus must
   finish in at most ``PARALLEL_BOUND`` (0.6x) of the sequential wall time
-  (skipped, loudly, on smaller machines where no speedup is physical).
+  (skipped, loudly, on smaller machines where no speedup is physical);
+* the below-the-interpreter hot path (PR 6) losing its gains -- at 1 MiB
+  bytes chunks the batched delivery must stay at least
+  ``BATCHED_FLOOR`` (1.0x, within noise) of the per-token generator
+  reference, and the C accelerator -- when the extension is built -- at
+  least ``ACCEL_FLOOR`` (1.5x) of the pure batched loop.  When the
+  extension is not importable the accel gate is skipped with a visible
+  notice rather than silently passing.
 
 Run from the repository root::
 
@@ -47,14 +61,23 @@ SWEEP_FACTOR = 2.0
 #: Timer-noise slack of the bytes-vs-str bound (nominal bound: 1.0x).
 BYTES_NOISE_SLACK = 1.10
 MULTI_QUERIES = ("M2", "M3", "M4", "M5")
-#: Shared-scan wall time must not exceed this fraction of the baseline.
-MULTI_BOUND = 0.75
+#: Shared-scan wall time must not exceed this multiple of the N-session
+#: baseline.  Re-anchored for the C token kernel (see the module
+#: docstring): independent sessions now scan in C while the shared
+#: engine's per-event dispatch is Python, so the crossover N moved up.
+MULTI_BOUND = 1.6
 #: Minimum throughput of the repro.api path relative to the direct session
 #: loop (the API is a thin orchestration layer; 5% covers real overhead,
 #: the timer-noise slack is shared with the other gates).
 API_FLOOR = 0.95
 #: The jobs=4 corpus wall time must be at most this fraction of jobs=1.
 PARALLEL_BOUND = 0.6
+#: Batched delivery throughput relative to the per-token generator
+#: (nominal 1.0x -- the flat loop strictly removes generator round-trips;
+#: the shared noise slack absorbs runner jitter).
+BATCHED_FLOOR = 1.0
+#: Accelerated delivery throughput relative to the pure batched loop.
+ACCEL_FLOOR = 1.5
 #: CPUs needed before the parallel bound is meaningful.
 PARALLEL_MIN_CPUS = 4
 #: Corpus of the parallel smoke: documents x bytes (small, CI-friendly).
@@ -134,6 +157,48 @@ def main() -> int:
         print(f"OK: bytes path >= 1.0x the str path within noise "
               f"({ratio:.2f}x, slack {BYTES_NOISE_SLACK}x)")
 
+    # --- delivery modes: batched vs pertoken, accel vs batched ------------
+    from repro.accel import accel_available
+
+    def delivery_wall(delivery):
+        return best_of(
+            lambda: plan.session(binary=True, delivery=delivery).run(
+                iter_chunks(document_bytes, large_chunk)
+            )
+        )
+
+    pertoken_wall = delivery_wall("pertoken")
+    batched_wall = delivery_wall("batched")
+    ratio = pertoken_wall / batched_wall
+    print(f"1 MiB chunks: pertoken {pertoken_wall * 1000:.1f} ms, "
+          f"batched {batched_wall * 1000:.1f} ms (batched {ratio:.2f}x "
+          f"pertoken, floor {BATCHED_FLOOR}x)")
+    if batched_wall * BATCHED_FLOOR > pertoken_wall * BYTES_NOISE_SLACK:
+        print(f"FAIL: batched delivery runs below {BATCHED_FLOOR}x of the "
+              "per-token generator -- the flat drive loop has regressed")
+        failures += 1
+    else:
+        print(f"OK: batched delivery >= {BATCHED_FLOOR}x pertoken within "
+              f"noise ({ratio:.2f}x, slack {BYTES_NOISE_SLACK}x)")
+
+    if accel_available():
+        accel_wall = delivery_wall("accel")
+        ratio = batched_wall / accel_wall
+        print(f"1 MiB chunks: accel {accel_wall * 1000:.1f} ms "
+              f"(accel {ratio:.2f}x batched, floor {ACCEL_FLOOR}x)")
+        if accel_wall * ACCEL_FLOOR > batched_wall:
+            print(f"FAIL: the C accelerator runs below {ACCEL_FLOOR}x of "
+                  "the pure batched loop -- the kernel has regressed")
+            failures += 1
+        else:
+            print(f"OK: accel delivery >= {ACCEL_FLOOR}x batched "
+                  f"({ratio:.2f}x)")
+    else:
+        print("SKIP: repro._accel extension not built (or REPRO_PURE=1); "
+              "the accel >= "
+              f"{ACCEL_FLOOR}x batched gate was NOT checked -- build with "
+              "`python setup.py build_ext --inplace` to enable it")
+
     # --- repro.api path vs the direct session loop ------------------------
     from repro import api
 
@@ -188,21 +253,25 @@ def main() -> int:
     from repro import api
 
     pool_engine = api.Engine(api.Query.from_plan(plan, label="M2"))
-    fresh_wall = best_of(
-        lambda: pool_engine.run(
+    reuse_pool = BufferPool(large_chunk, capacity=2)
+    # Interleaved rounds (see the repro.api gate): sequential best-of
+    # blocks let clock drift land on one side of the comparison.
+    fresh_wall = pooled_wall = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        pool_engine.run(
             api.Source.from_file(document_path, chunk_size=large_chunk),
             binary=True,
         )
-    )
-    reuse_pool = BufferPool(large_chunk, capacity=2)
-    pooled_wall = best_of(
-        lambda: pool_engine.run(
+        fresh_wall = min(fresh_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        pool_engine.run(
             api.Source.from_file(
                 document_path, chunk_size=large_chunk, pool=reuse_pool
             ),
             binary=True,
         )
-    )
+        pooled_wall = min(pooled_wall, time.perf_counter() - started)
     ratio = fresh_wall / pooled_wall
     print(f"1 MiB chunks: fresh reads {fresh_wall * 1000:.1f} ms, "
           f"pooled readinto {pooled_wall * 1000:.1f} ms "
@@ -281,6 +350,8 @@ def main() -> int:
               "checked above")
 
     # --- shared-scan multi-query vs N sessions ----------------------------
+    from repro.core.multi import MultiQueryEngine
+
     specs = [MEDLINE_QUERIES[name] for name in MULTI_QUERIES]
     engine = api.Engine(
         [api.Query.from_spec(dtd, spec, backend="native") for spec in specs]
@@ -311,19 +382,60 @@ def main() -> int:
                   "independent session")
             failures += 1
 
-    shared_wall = best_of(shared)
-    baseline_wall = best_of(baseline)
+    # Interleaved rounds, like the repro.api gate: this runner's clock
+    # drifts enough that back-to-back best-of blocks land noise on one
+    # side of the comparison.
+    shared_wall = baseline_wall = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        shared()
+        shared_wall = min(shared_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        baseline()
+        baseline_wall = min(baseline_wall, time.perf_counter() - started)
     ratio = shared_wall / baseline_wall
     print(f"shared N={len(MULTI_QUERIES)}: {shared_wall * 1000:.1f} ms, "
           f"baseline: {baseline_wall * 1000:.1f} ms "
           f"(ratio {ratio:.2f}, bound {MULTI_BOUND})")
     if ratio > MULTI_BOUND:
         print(f"FAIL: shared-scan wall time exceeds {MULTI_BOUND}x of the "
-              f"{len(MULTI_QUERIES)}-session baseline")
+              f"{len(MULTI_QUERIES)}-session baseline -- the shared "
+              "engine's dispatch loop has regressed")
         failures += 1
     else:
-        print(f"OK: shared scan {baseline_wall / shared_wall:.2f}x faster "
-              "than sequential sessions")
+        print(f"OK: shared scan within {MULTI_BOUND}x of sequential "
+              f"sessions ({ratio:.2f}x)")
+
+    if accel_available():
+        multi_engine = MultiQueryEngine(dtd, specs, backend="native")
+
+        def shared_delivery(delivery):
+            session = multi_engine.session(delivery=delivery)
+            for chunk in iter_chunks(document, 64 * 1024):
+                session.feed(chunk)
+            return session.finish()
+
+        accel_shared = pure_shared = float("inf")
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            shared_delivery("accel")
+            accel_shared = min(accel_shared, time.perf_counter() - started)
+            started = time.perf_counter()
+            shared_delivery("batched")
+            pure_shared = min(pure_shared, time.perf_counter() - started)
+        ratio = pure_shared / accel_shared
+        print(f"shared union sweep: accel {accel_shared * 1000:.1f} ms, "
+              f"pure {pure_shared * 1000:.1f} ms (accel {ratio:.2f}x pure)")
+        if accel_shared > pure_shared * BYTES_NOISE_SLACK:
+            print("FAIL: the accelerated union sweep runs slower than the "
+                  "pure shared loop -- the scan_events kernel has regressed")
+            failures += 1
+        else:
+            print(f"OK: accelerated union sweep >= 1.0x the pure shared "
+                  f"loop within noise ({ratio:.2f}x)")
+    else:
+        print("SKIP: repro._accel extension not built (or REPRO_PURE=1); "
+              "the shared-sweep accel gate was NOT checked")
 
     if failures:
         print(f"{failures} perf-smoke check(s) failed")

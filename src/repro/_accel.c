@@ -1,0 +1,626 @@
+/* Optional C accelerator for the SMP prefilter hot kernels.
+ *
+ * Two kernels move the per-token interpreter work of the reproduction below
+ * the interpreter, with bit-identical results:
+ *
+ * ``find_token``
+ *     The per-state token step of the Figure-4 runtime: frontier keyword
+ *     search (memchr('<') + longest-first memcmp -- equivalent to the
+ *     native backend's leftmost-longest ``bytes.find`` search because every
+ *     frontier keyword is a tag keyword whose '<' appears only at offset
+ *     0), false-match rejection, and the quote-aware end-of-tag scan.  The
+ *     call either completes one token, suspends with an explicit resume
+ *     vector (the C twin of the pure batched driver's ``_PH_*`` phases), or
+ *     reports that no token exists before end of input.  Statistic deltas
+ *     replay the native backend's span-approximated formulas exactly: they
+ *     are computed from the absolute search origin at completion, so they
+ *     are independent of how the input was chunked.
+ *
+ * ``scan_events``
+ *     The union-automaton step of the multi-query shared scan: one sweep
+ *     over the buffered window emitting flat ``(start, keyword_id,
+ *     closing, flags)`` int64 events -- the occurrence stream
+ *     ``pattern.finditer`` plus the extends-check and tag-end scan would
+ *     produce, subscription-blind (the dynamic subscription and dispatch
+ *     semantics stay in Python, where attach/detach live).
+ *
+ * The extension is strictly optional: ``repro.core.runtime`` and
+ * ``repro.core.multi`` fall back to pure-Python batched loops with the same
+ * output and statistics, which the property suite asserts.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <string.h>
+
+#define CAPSULE_NAME "repro._accel.keywords"
+
+/* Resume phases of the token kernel (the protocol between ``find_token``
+ * and the Python driver; SEARCH is split so ``searches`` is counted once
+ * per logical search, like the pure matchers do on ``pending=None``). */
+enum {
+    PH_SEARCH_NEW = 0,
+    PH_SEARCH_RESUME = 1,
+    PH_VERIFY = 2,
+    PH_TAG = 3,
+    PH_QUOTE = 4,
+};
+
+/* Statuses of a ``find_token`` call. */
+enum {
+    ST_TOKEN = 0,
+    ST_SUSPEND = 1,
+    ST_NO_TOKEN = 2,
+};
+
+/* Event flags of ``scan_events``. */
+enum {
+    EV_EXTENDS = 1,   /* tag name extends the keyword: a false match */
+    EV_BACHELOR = 2,  /* the tag ends in '/>' */
+    EV_UNDECIDED = 4, /* the extends verdict needs input beyond the window */
+};
+
+/* Tag-name bytes, replicated from repro.xml.escape.is_name_byte: ASCII
+ * alphanumerics plus "_:-." plus every byte >= 0x80 (it belongs to a
+ * multi-byte UTF-8 name character).  A static table, not locale isalnum. */
+static unsigned char name_byte[256];
+
+static void
+init_name_byte(void)
+{
+    int i;
+    for (i = 0; i < 256; i++) {
+        name_byte[i] = (unsigned char)(
+            (i >= '0' && i <= '9') || (i >= 'A' && i <= 'Z') ||
+            (i >= 'a' && i <= 'z') || i == '_' || i == ':' ||
+            i == '-' || i == '.' || i >= 0x80);
+    }
+}
+
+/* A compiled keyword set (one automaton state's frontier vocabulary, or
+ * the multi-query union vocabulary).  Keywords are stored longest first
+ * (stable on the original order), so the first memcmp hit at a candidate
+ * position is the longest keyword there -- the leftmost-longest rule. */
+typedef struct {
+    Py_ssize_t n;
+    int is_single;          /* single-keyword statistics formulas */
+    Py_ssize_t min_len;
+    Py_ssize_t max_len;
+    Py_ssize_t *lens;       /* [n], longest-first order */
+    const char **kws;       /* [n], pointers into blob */
+    Py_ssize_t *ids;        /* [n], original index of ordered keyword k */
+    Py_ssize_t *len_by_id;  /* [n], keyword length by original index */
+    char *blob;             /* owned copy of all keyword bytes */
+} AccelKeywords;
+
+static void
+keywords_free(AccelKeywords *ak)
+{
+    if (ak == NULL)
+        return;
+    PyMem_Free(ak->lens);
+    PyMem_Free(ak->kws);
+    PyMem_Free(ak->ids);
+    PyMem_Free(ak->len_by_id);
+    PyMem_Free(ak->blob);
+    PyMem_Free(ak);
+}
+
+static void
+keywords_destructor(PyObject *capsule)
+{
+    keywords_free((AccelKeywords *)PyCapsule_GetPointer(capsule, CAPSULE_NAME));
+}
+
+static AccelKeywords *
+keywords_from_capsule(PyObject *capsule)
+{
+    return (AccelKeywords *)PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+}
+
+static PyObject *
+accel_compile_keywords(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *seq_arg;
+    int is_single;
+    if (!PyArg_ParseTuple(args, "Op", &seq_arg, &is_single))
+        return NULL;
+    PyObject *seq = PySequence_Fast(seq_arg, "keywords must be a sequence");
+    if (seq == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    if (n <= 0) {
+        Py_DECREF(seq);
+        PyErr_SetString(PyExc_ValueError, "at least one keyword is required");
+        return NULL;
+    }
+    Py_ssize_t total = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PySequence_Fast_GET_ITEM(seq, i);
+        if (!PyBytes_Check(item) || PyBytes_GET_SIZE(item) == 0) {
+            Py_DECREF(seq);
+            PyErr_SetString(PyExc_TypeError,
+                            "keywords must be non-empty bytes objects");
+            return NULL;
+        }
+        total += PyBytes_GET_SIZE(item);
+    }
+    AccelKeywords *ak = PyMem_Calloc(1, sizeof(AccelKeywords));
+    if (ak == NULL) {
+        Py_DECREF(seq);
+        return PyErr_NoMemory();
+    }
+    ak->n = n;
+    ak->is_single = is_single;
+    ak->lens = PyMem_Malloc((size_t)n * sizeof(Py_ssize_t));
+    ak->kws = PyMem_Malloc((size_t)n * sizeof(const char *));
+    ak->ids = PyMem_Malloc((size_t)n * sizeof(Py_ssize_t));
+    ak->len_by_id = PyMem_Malloc((size_t)n * sizeof(Py_ssize_t));
+    ak->blob = PyMem_Malloc((size_t)total);
+    if (!ak->lens || !ak->kws || !ak->ids || !ak->len_by_id || !ak->blob) {
+        keywords_free(ak);
+        Py_DECREF(seq);
+        return PyErr_NoMemory();
+    }
+    char *cursor = ak->blob;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PySequence_Fast_GET_ITEM(seq, i);
+        Py_ssize_t len = PyBytes_GET_SIZE(item);
+        memcpy(cursor, PyBytes_AS_STRING(item), (size_t)len);
+        ak->kws[i] = cursor;
+        ak->lens[i] = len;
+        ak->ids[i] = i;
+        ak->len_by_id[i] = len;
+        cursor += len;
+    }
+    Py_DECREF(seq);
+    /* Stable insertion sort, longest first (n is a handful of keywords). */
+    for (Py_ssize_t i = 1; i < n; i++) {
+        Py_ssize_t len = ak->lens[i];
+        const char *kw = ak->kws[i];
+        Py_ssize_t id = ak->ids[i];
+        Py_ssize_t j = i;
+        while (j > 0 && ak->lens[j - 1] < len) {
+            ak->lens[j] = ak->lens[j - 1];
+            ak->kws[j] = ak->kws[j - 1];
+            ak->ids[j] = ak->ids[j - 1];
+            j--;
+        }
+        ak->lens[j] = len;
+        ak->kws[j] = kw;
+        ak->ids[j] = id;
+    }
+    ak->max_len = ak->lens[0];
+    ak->min_len = ak->lens[n - 1];
+    PyObject *capsule = PyCapsule_New(ak, CAPSULE_NAME, keywords_destructor);
+    if (capsule == NULL)
+        keywords_free(ak);
+    return capsule;
+}
+
+/* Leftmost-longest occurrence at or after ``from`` (local offsets):
+ * memchr('<') candidates probed longest-first.  Equivalent to the native
+ * backend's per-keyword ``bytes.find`` search because every keyword starts
+ * with '<' and contains it nowhere else, so occurrences start exactly at
+ * '<' bytes.  ``*found_k`` receives the *ordered* keyword slot. */
+static Py_ssize_t
+leftmost(const AccelKeywords *ak, const unsigned char *text, Py_ssize_t from,
+         Py_ssize_t limit, Py_ssize_t *found_k)
+{
+    Py_ssize_t p = from < 0 ? 0 : from;
+    while (p < limit) {
+        const unsigned char *hit =
+            memchr(text + p, '<', (size_t)(limit - p));
+        if (hit == NULL)
+            break;
+        Py_ssize_t c = hit - text;
+        for (Py_ssize_t k = 0; k < ak->n; k++) {
+            Py_ssize_t len = ak->lens[k];
+            if (c + len <= limit &&
+                memcmp(text + c, ak->kws[k], (size_t)len) == 0) {
+                *found_k = k;
+                return c;
+            }
+        }
+        p = c + 1;
+    }
+    *found_k = -1;
+    return -1;
+}
+
+/* Quote-aware scan for the closing '>' at or after ``cur`` (local offsets).
+ * Returns the '>' offset, or -1 with ``*suspend_quote``/``*suspend_cursor``
+ * describing how to resume: quote > 0 means the scan stopped inside a
+ * quoted value opened by that byte; otherwise ``*suspend_cursor`` is the
+ * safe re-scan position for the next window. */
+static Py_ssize_t
+scan_tag_end(const unsigned char *text, Py_ssize_t cur, Py_ssize_t limit,
+             int *suspend_quote, Py_ssize_t *suspend_cursor)
+{
+    *suspend_quote = 0;
+    for (;;) {
+        const unsigned char *gt = cur < limit ?
+            memchr(text + cur, '>', (size_t)(limit - cur)) : NULL;
+        if (gt == NULL) {
+            *suspend_cursor = cur;
+            return -1;
+        }
+        Py_ssize_t lgt = gt - text;
+        const unsigned char *dq =
+            memchr(text + cur, '"', (size_t)(lgt - cur));
+        const unsigned char *sq =
+            memchr(text + cur, '\'', (size_t)(lgt - cur));
+        if (dq == NULL && sq == NULL)
+            return lgt;
+        const unsigned char *q;
+        int qch;
+        if (dq != NULL && (sq == NULL || dq < sq)) {
+            q = dq;
+            qch = '"';
+        }
+        else {
+            q = sq;
+            qch = '\'';
+        }
+        Py_ssize_t qpos = q - text;
+        const unsigned char *close = qpos + 1 < limit ?
+            memchr(text + qpos + 1, qch, (size_t)(limit - qpos - 1)) : NULL;
+        if (close == NULL) {
+            *suspend_quote = qch;
+            *suspend_cursor = limit;
+            return -1;
+        }
+        cur = (close - text) + 1;
+    }
+}
+
+static PyObject *
+accel_find_token(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *capsule;
+    Py_buffer buf;
+    Py_ssize_t tbase, wend, begin, pos, kwi, aux;
+    int eof, phase, quote;
+    if (!PyArg_ParseTuple(args, "Oy*nnpinnnni", &capsule, &buf, &tbase, &wend,
+                          &eof, &phase, &begin, &pos, &kwi, &aux, &quote))
+        return NULL;
+    AccelKeywords *ak = keywords_from_capsule(capsule);
+    if (ak == NULL) {
+        PyBuffer_Release(&buf);
+        return NULL;
+    }
+    const unsigned char *text = (const unsigned char *)buf.buf;
+    Py_ssize_t wlen = wend - tbase;
+    if (wlen > buf.len)
+        wlen = buf.len;
+    if (wlen < 0)
+        wlen = 0;
+
+    Py_ssize_t d_searches = 0, d_comparisons = 0, d_shifts = 0;
+    Py_ssize_t d_shift_total = 0, d_matches = 0, d_local_scan = 0;
+    int status = ST_SUSPEND;
+    int bachelor = 0;
+    Py_ssize_t tag_end = -1;
+    Py_ssize_t keep_from = wend;
+
+    /* Decode the resume vector into local coordinates. */
+    Py_ssize_t lpos = 0, lmatch = -1, lcursor = 0, lquote_from = 0;
+    Py_ssize_t match_id = kwi;
+    switch (phase) {
+    case PH_SEARCH_NEW:
+    case PH_SEARCH_RESUME:
+        lpos = pos - tbase;
+        break;
+    case PH_VERIFY:
+        lmatch = pos - tbase;
+        break;
+    case PH_TAG:
+        lmatch = pos - tbase;
+        lcursor = aux - tbase;
+        break;
+    case PH_QUOTE:
+        lmatch = pos - tbase;
+        lquote_from = aux - tbase;
+        break;
+    default:
+        PyBuffer_Release(&buf);
+        PyErr_Format(PyExc_ValueError, "unknown resume phase %d", phase);
+        return NULL;
+    }
+
+    for (;;) {
+        if (phase == PH_SEARCH_NEW || phase == PH_SEARCH_RESUME) {
+            if (phase == PH_SEARCH_NEW) {
+                d_searches += 1;
+                phase = PH_SEARCH_RESUME;
+            }
+            Py_ssize_t found_k;
+            Py_ssize_t found = leftmost(ak, text, lpos, wlen, &found_k);
+            if (ak->is_single) {
+                if (found < 0) {
+                    if (eof) {
+                        Py_ssize_t spanned = wend - begin;
+                        if (spanned < 0)
+                            spanned = 0;
+                        d_comparisons += spanned / ak->lens[0];
+                        status = ST_NO_TOKEN;
+                        break;
+                    }
+                    Py_ssize_t resume = wend - ak->lens[0] + 1;
+                    if (resume < begin)
+                        resume = begin;
+                    pos = resume;
+                    keep_from = resume;
+                    status = ST_SUSPEND;
+                    break;
+                }
+                Py_ssize_t fabs = found + tbase;
+                Py_ssize_t spanned = fabs - begin + ak->lens[0];
+                Py_ssize_t comp = spanned / ak->lens[0];
+                d_comparisons += comp < 1 ? 1 : comp;
+                Py_ssize_t shift = fabs - begin;
+                if (shift < 1)
+                    shift = 1;
+                d_shifts += 1;
+                d_shift_total += shift;
+                d_matches += 1;
+                lmatch = found;
+                match_id = ak->ids[found_k];
+                phase = PH_VERIFY;
+            }
+            else if (found >= 0 && (eof || found + ak->max_len <= wlen)) {
+                Py_ssize_t fabs = found + tbase;
+                Py_ssize_t spanned = fabs - begin + 1; /* >= 1 */
+                Py_ssize_t comp = spanned / ak->min_len;
+                d_comparisons += comp < 1 ? 1 : comp;
+                Py_ssize_t shift = fabs - begin;
+                if (shift < 1)
+                    shift = 1;
+                d_shifts += 1;
+                d_shift_total += shift;
+                d_matches += 1;
+                lmatch = found;
+                match_id = ak->ids[found_k];
+                phase = PH_VERIFY;
+            }
+            else if (eof) { /* found < 0 at end of input */
+                Py_ssize_t spanned = wend - begin;
+                if (spanned < 0)
+                    spanned = 0;
+                if (spanned) {
+                    Py_ssize_t comp = spanned / ak->min_len;
+                    d_comparisons += comp < 1 ? 1 : comp;
+                }
+                status = ST_NO_TOKEN;
+                break;
+            }
+            else { /* none found, or a longer straddling keyword could win */
+                Py_ssize_t resume = wend - ak->max_len + 1;
+                if (resume < begin)
+                    resume = begin;
+                pos = resume;
+                keep_from = resume;
+                status = ST_SUSPEND;
+                break;
+            }
+        }
+        if (phase == PH_VERIFY) {
+            Py_ssize_t after = lmatch + ak->len_by_id[match_id];
+            if (after >= wlen && !eof) {
+                pos = lmatch + tbase;
+                keep_from = pos;
+                status = ST_SUSPEND;
+                break;
+            }
+            if (after < wlen && name_byte[text[after]]) {
+                /* A longer tag name extends the keyword: false match. */
+                d_local_scan += 1;
+                d_searches += 1; /* the rejection starts a new search */
+                begin = lmatch + tbase + 1;
+                lpos = lmatch + 1;
+                phase = PH_SEARCH_RESUME;
+                continue;
+            }
+            lcursor = after;
+            phase = PH_TAG;
+        }
+        if (phase == PH_QUOTE) {
+            const unsigned char *close = lquote_from < wlen ?
+                memchr(text + lquote_from, quote,
+                       (size_t)(wlen - lquote_from)) : NULL;
+            if (close == NULL) {
+                if (eof) {
+                    status = ST_NO_TOKEN;
+                    break;
+                }
+                pos = lmatch + tbase;
+                aux = wend; /* resume the quote skip from the new bytes */
+                keep_from = pos;
+                status = ST_SUSPEND;
+                break;
+            }
+            lcursor = (close - text) + 1;
+            phase = PH_TAG;
+        }
+        /* PH_TAG: quote-aware scan for the closing '>'. */
+        {
+            int suspend_quote;
+            Py_ssize_t suspend_cursor;
+            Py_ssize_t lend = scan_tag_end(text, lcursor, wlen,
+                                           &suspend_quote, &suspend_cursor);
+            if (lend < 0) {
+                if (eof) {
+                    status = ST_NO_TOKEN;
+                    break;
+                }
+                pos = lmatch + tbase;
+                keep_from = pos;
+                if (suspend_quote) {
+                    phase = PH_QUOTE;
+                    quote = suspend_quote;
+                    aux = wend;
+                }
+                else {
+                    phase = PH_TAG;
+                    aux = suspend_cursor + tbase;
+                }
+                status = ST_SUSPEND;
+                break;
+            }
+            Py_ssize_t after = lmatch + ak->len_by_id[match_id];
+            d_local_scan += lend - after + 1;
+            bachelor = lend > after && text[lend - 1] == '/';
+            pos = lmatch + tbase;
+            tag_end = lend + tbase;
+            keep_from = tag_end;
+            status = ST_TOKEN;
+            break;
+        }
+    }
+
+    kwi = match_id;
+    PyBuffer_Release(&buf);
+    return Py_BuildValue("(iinnnninninnnnnn)", status, phase, begin, pos, kwi,
+                         aux, quote, keep_from, tag_end, bachelor, d_searches,
+                         d_comparisons, d_shifts, d_shift_total, d_matches,
+                         d_local_scan);
+}
+
+static PyObject *
+accel_scan_events(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *capsule;
+    Py_buffer buf, out;
+    Py_ssize_t tbase, scan_from;
+    int eof;
+    if (!PyArg_ParseTuple(args, "Oy*nnpw*", &capsule, &buf, &tbase,
+                          &scan_from, &eof, &out))
+        return NULL;
+    AccelKeywords *ak = keywords_from_capsule(capsule);
+    if (ak == NULL) {
+        PyBuffer_Release(&buf);
+        PyBuffer_Release(&out);
+        return NULL;
+    }
+    if (out.len % sizeof(int64_t) != 0) {
+        PyBuffer_Release(&buf);
+        PyBuffer_Release(&out);
+        PyErr_SetString(PyExc_ValueError,
+                        "event buffer must hold int64 items");
+        return NULL;
+    }
+    const unsigned char *text = (const unsigned char *)buf.buf;
+    Py_ssize_t wlen = buf.len;
+    int64_t *events = (int64_t *)out.buf;
+    Py_ssize_t cap = (Py_ssize_t)(out.len / (4 * sizeof(int64_t)));
+    /* No occurrence starting at or past the holdback is reported: a longer
+     * union keyword could still straddle the window end there. */
+    Py_ssize_t holdback = eof ? wlen : wlen - ak->max_len + 1;
+    Py_ssize_t p = scan_from - tbase;
+    if (p < 0)
+        p = 0;
+    Py_ssize_t count = 0;
+    int done = 1;
+    Py_ssize_t next_from = tbase + holdback;
+
+    while (p < holdback) {
+        const unsigned char *hit =
+            memchr(text + p, '<', (size_t)(wlen - p));
+        if (hit == NULL)
+            break;
+        Py_ssize_t c = hit - text;
+        if (c >= holdback)
+            break;
+        Py_ssize_t found_k = -1;
+        for (Py_ssize_t k = 0; k < ak->n; k++) {
+            Py_ssize_t len = ak->lens[k];
+            if (c + len <= wlen &&
+                memcmp(text + c, ak->kws[k], (size_t)len) == 0) {
+                found_k = k;
+                break;
+            }
+        }
+        if (found_k < 0) {
+            p = c + 1;
+            continue;
+        }
+        if (count >= cap) {
+            done = 0;
+            next_from = c + tbase;
+            break;
+        }
+        Py_ssize_t after = c + ak->lens[found_k];
+        int64_t flags = 0;
+        Py_ssize_t closing = -1;
+        if (after >= wlen && !eof) {
+            flags = EV_UNDECIDED; /* the extends verdict needs more input */
+        }
+        else if (after < wlen && name_byte[text[after]]) {
+            flags = EV_EXTENDS; /* false match for every subscriber */
+        }
+        else {
+            int suspend_quote;
+            Py_ssize_t suspend_cursor;
+            closing = scan_tag_end(text, after, wlen,
+                                   &suspend_quote, &suspend_cursor);
+            if (closing > after && text[closing - 1] == '/')
+                flags |= EV_BACHELOR;
+        }
+        events[4 * count] = (int64_t)(c + tbase);
+        events[4 * count + 1] = (int64_t)ak->ids[found_k];
+        events[4 * count + 2] = closing < 0 ? -1 : (int64_t)(closing + tbase);
+        events[4 * count + 3] = flags;
+        count += 1;
+        p = after; /* the union scan is non-overlapping (finditer) */
+    }
+
+    PyBuffer_Release(&buf);
+    PyBuffer_Release(&out);
+    return Py_BuildValue("(nni)", count, next_from, done);
+}
+
+static PyMethodDef accel_methods[] = {
+    {"compile_keywords", accel_compile_keywords, METH_VARARGS,
+     "compile_keywords(keywords, is_single) -> capsule\n\n"
+     "Compile a sequence of non-empty bytes keywords (tag keywords: '<'\n"
+     "only at offset 0) into the C search structure used by find_token\n"
+     "and scan_events.  Keyword ids are the original sequence indices."},
+    {"find_token", accel_find_token, METH_VARARGS,
+     "find_token(capsule, buf, tbase, wend, eof, phase, begin, pos, kwi,\n"
+     "           aux, quote)\n"
+     "-> (status, phase, begin, pos, kwi, aux, quote, keep_from, tag_end,\n"
+     "    bachelor, d_searches, d_comparisons, d_shifts, d_shift_total,\n"
+     "    d_matches, d_local_scan)\n\n"
+     "One resumable token step: frontier search, false-match rejection\n"
+     "and end-of-tag scan over one buffered window (absolute offsets;\n"
+     "buf[0] sits at absolute offset tbase).  status 0 = token complete,\n"
+     "1 = suspended (resume vector in phase..quote), 2 = no token before\n"
+     "end of input.  The d_* fields are statistic deltas replaying the\n"
+     "native backend formulas."},
+    {"scan_events", accel_scan_events, METH_VARARGS,
+     "scan_events(capsule, buf, tbase, scan_from, eof, out)\n"
+     "-> (count, next_from, done)\n\n"
+     "Union-scan one window into flat int64 events of 4 fields each:\n"
+     "(start, keyword_id, closing_or_minus1, flags) with flags 1=extends\n"
+     "(false match), 2=bachelor, 4=undecided.  Writes into the int64\n"
+     "buffer 'out' (capacity len(out)//4 events); done=0 means the\n"
+     "buffer filled and the scan should continue from next_from."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._accel",
+    "C hot-path kernels for the SMP prefilter (optional; see repro.accel).",
+    -1,
+    accel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__accel(void)
+{
+    init_name_byte();
+    return PyModule_Create(&accel_module);
+}

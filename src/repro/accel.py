@@ -1,0 +1,60 @@
+"""Loader for the optional ``repro._accel`` C extension.
+
+The hot kernels of the SMP runtime -- per-state token location (frontier
+search, false-match rejection, quote-aware end-of-tag scan) and the
+multi-query union scan -- have a C implementation in ``src/repro/_accel.c``,
+built best-effort by ``setup.py`` (``python setup.py build_ext --inplace``).
+The extension is strictly optional: every execution path has a pure-Python
+batched implementation with byte-identical output *and* statistics, which
+the property suite asserts.
+
+Gating:
+
+* ``REPRO_PURE=1`` (any non-empty value) in the environment forces the pure
+  path even when the extension is importable -- the CI fallback leg and the
+  benchmark ablation use this.
+* When the extension was never built (or fails to import), the loader
+  silently reports it as unavailable.
+
+The environment variable is read lazily on first use, so test code may set
+``REPRO_PURE`` before touching the filter entry points.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Sentinel distinguishing "not probed yet" from "probed, unavailable".
+_UNSET = object()
+_module = _UNSET
+
+
+def load_accel():
+    """The ``repro._accel`` module, or ``None`` when unavailable/disabled.
+
+    The probe result is cached; flipping ``REPRO_PURE`` after the first
+    call has no effect (use :func:`reset` in tests).
+    """
+    global _module
+    if _module is _UNSET:
+        if os.environ.get("REPRO_PURE"):
+            _module = None
+        else:
+            try:
+                from repro import _accel  # noqa: F401  (built best-effort)
+            except ImportError:
+                _module = None
+            else:
+                _module = _accel
+    return _module
+
+
+def accel_available() -> bool:
+    """True when the C kernels will actually be used."""
+    return load_accel() is not None
+
+
+def reset() -> None:
+    """Forget the cached probe (re-reads ``REPRO_PURE`` on next use)."""
+    global _module
+    _module = _UNSET

@@ -56,12 +56,14 @@ all (``binary=True``).
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro._deprecation import warn_legacy
+from repro.accel import load_accel
 from repro.core.prefilter import SmpPrefilter
-from repro.core.runtime import AnySink, DrivenStream
+from repro.core.runtime import AnySink, DrivenStream, resolve_delivery
 from repro.core.stats import CompilationStatistics, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor
 from repro.core.tables import RuntimeTables
@@ -172,6 +174,7 @@ class MultiQueryEngine:
         *,
         sinks: Sequence[AnySink | None] | None = None,
         binary: bool = False,
+        delivery: "str | None" = None,
     ) -> "MultiQuerySession":
         """Open a streaming session for one document.
 
@@ -179,8 +182,14 @@ class MultiQueryEngine:
         own callback (one entry per query, ``None`` entries accumulate); the
         per-feed return values are then empty for those queries.  With
         ``binary=True`` every output channel carries raw projected bytes.
+        ``delivery`` selects the union-scan delivery mode (see
+        :data:`repro.core.runtime.DELIVERIES`): ``"accel"`` runs the scan
+        through the optional C kernel, anything else the pure batched
+        loop; both are byte-identical in output and statistics.
         """
-        return MultiQuerySession(self, sinks=sinks, binary=binary)
+        return MultiQuerySession(
+            self, sinks=sinks, binary=binary, delivery=delivery
+        )
 
     # ------------------------------------------------------------------
     # One-shot entry points (deprecated shims over repro.api)
@@ -335,6 +344,7 @@ class MultiQuerySession:
         sinks: Sequence[AnySink | None] | None = None,
         *,
         binary: bool = False,
+        delivery: "str | None" = None,
     ) -> None:
         if sinks is not None and len(sinks) != len(engine.prefilters):
             raise QueryError(
@@ -376,8 +386,20 @@ class MultiQuerySession:
         #: (old, new) vocabulary tuples -> (removals, additions); transitions
         #: cycle through few distinct state pairs, so diffs are computed once.
         self._diff_cache: dict[tuple, tuple[tuple[bytes, ...], tuple[bytes, ...]]] = {}
+        # The union scan runs through the optional C kernel when requested
+        # (or by default when available); the pure loop is the fallback and
+        # the reference -- both are byte-identical in output and counters.
+        self._accel = (
+            load_accel() if resolve_delivery(delivery) == "accel" else None
+        )
+        self._events: array | None = None  # reusable flat C event buffer
         for index in range(len(self._streams)):
             self._resubscribe(index)
+
+    @property
+    def delivery(self) -> str:
+        """The effective delivery mode of the shared union scan."""
+        return "accel" if self._accel is not None else "batched"
 
     # ------------------------------------------------------------------
     # Introspection
@@ -570,6 +592,122 @@ class MultiQuerySession:
         early -- leaving the scan position on the undecidable hit -- when a
         decision needs input beyond the buffered window.
         """
+        if self._accel is not None:
+            capsule = self._dispatcher.accel_capsule(self._accel)
+            if capsule is not None:
+                self._process_accel(capsule)
+                return
+        self._process_pure()
+
+    def _process_accel(self, capsule) -> None:
+        """The :meth:`_process_pure` pass with the scan sweep done in C.
+
+        ``repro._accel.scan_events`` performs the occurrence sweep, the
+        extends-check and the end-of-tag scan subscription-blind, filling a
+        reusable flat int64 event array; this loop keeps everything dynamic
+        -- subscription probes, dispatch, resubscription, prefix expansion
+        -- in Python, processing events in the same order and with the
+        same early-return points as the pure loop.
+        """
+        window = self._window
+        streams = self._streams
+        subscribers = self._subscribers
+        dispatcher = self._dispatcher
+        keywords = dispatcher.keywords
+        keyword_lengths = dispatcher.keyword_lengths
+        prefix_lists = dispatcher.prefixes_by_index
+        get_subscribed = subscribers.get
+        resubscribe = self._resubscribe
+        scan_stats = self.scan_stats
+        text, base = window.view()
+        eof = window.eof
+        length = len(text)
+        holdback = length if eof else length - dispatcher.max_keyword_length + 1
+        if self._scan_from - base >= holdback:
+            return
+        scanned_from = self._scan_from
+        events = self._events
+        if events is None:
+            events = self._events = array("q", bytes(8 * 4 * 512))
+        scan_events = self._accel.scan_events
+        position = self._scan_from
+        tokens = 0
+        try:
+            while True:
+                count, next_from, done = scan_events(
+                    capsule, text, base, position, eof, events
+                )
+                for cursor in range(0, 4 * count, 4):
+                    keyword_id = events[cursor + 1]
+                    keyword = keywords[keyword_id]
+                    subscribed = get_subscribed(keyword)
+                    if subscribed:
+                        start = events[cursor]
+                        flags = events[cursor + 3]
+                        if flags & 4:
+                            # The extends verdict needs input beyond the
+                            # window.
+                            self._scan_from = start
+                            scan_stats.char_comparisons += start - scanned_from
+                            return
+                        if flags & 1:
+                            # False match: the tag name extends the keyword.
+                            for owner in subscribed:
+                                streams[owner].push_false_match(keyword, start)
+                        elif (closing := events[cursor + 2]) < 0:
+                            if eof:
+                                raise RuntimeFilterError(
+                                    f"tag starting at offset {start} is never "
+                                    "closed; the document is not well formed"
+                                )
+                            self._scan_from = start
+                            scan_stats.char_comparisons += start - scanned_from
+                            return
+                        else:
+                            tokens += 1
+                            scan_chars = (
+                                closing - (start + keyword_lengths[keyword_id]) + 1
+                            )
+                            bachelor = flags & 2
+                            if len(subscribed) == 1:
+                                # Single owner: no deferred-resubscription
+                                # bookkeeping (the subscriber list is not
+                                # iterated past the push).
+                                owner = subscribed[0]
+                                if streams[owner].push_token(
+                                    keyword, start, closing, bachelor, scan_chars
+                                ):
+                                    resubscribe(owner)
+                            else:
+                                changed = [
+                                    owner for owner in subscribed
+                                    if streams[owner].push_token(
+                                        keyword, start, closing, bachelor,
+                                        scan_chars,
+                                    )
+                                ]
+                                for owner in changed:
+                                    resubscribe(owner)
+                        prefixes = prefix_lists[keyword_id]
+                    elif not (prefixes := prefix_lists[keyword_id]):
+                        continue
+                    else:
+                        start = events[cursor]
+                    for prefix in prefixes:
+                        prefix_subscribed = get_subscribed(prefix)
+                        if prefix_subscribed:
+                            for owner in prefix_subscribed:
+                                streams[owner].push_false_match(prefix, start)
+                if done:
+                    break
+                position = next_from  # the event buffer filled: keep sweeping
+            self._scan_from = base + holdback
+            scan_stats.char_comparisons += self._scan_from - scanned_from
+        finally:
+            scan_stats.tokens_matched += tokens
+
+    def _process_pure(self) -> None:
+        """Pure-Python union scan (the reference of :meth:`_process_accel`)."""
         window = self._window
         streams = self._streams
         subscribers = self._subscribers
@@ -659,22 +797,26 @@ class MultiQuerySession:
         """Window-local closing-``>`` scan skipping quoted attribute values.
 
         Mirrors the searching runtime's end-of-tag scan; returns -1 when the
-        tag is still incomplete in the buffered bytes.
+        tag is still incomplete in the buffered bytes.  Vectorized: candidate
+        ``>`` and quote positions come from C-level ``find`` instead of a
+        per-byte loop.
         """
         cursor = position
-        length = len(text)
-        while cursor < length:
-            byte = text[cursor]
-            if byte == 0x3E:  # '>'
-                return cursor
-            if byte == 0x22 or byte == 0x27:  # '"' / "'"
-                quote_end = text.find(b'"' if byte == 0x22 else b"'", cursor + 1)
-                if quote_end < 0:
-                    return -1
-                cursor = quote_end + 1
-                continue
-            cursor += 1
-        return -1
+        while True:
+            gt = text.find(b">", cursor)
+            if gt < 0:
+                return -1
+            dq = text.find(b'"', cursor, gt)
+            sq = text.find(b"'", cursor, gt)
+            if dq < 0 and sq < 0:
+                return gt
+            if dq >= 0 and (sq < 0 or dq < sq):
+                quote_end = text.find(b'"', dq + 1)
+            else:
+                quote_end = text.find(b"'", sq + 1)
+            if quote_end < 0:
+                return -1
+            cursor = quote_end + 1
 
     def _resubscribe(self, index: int) -> None:
         """Refresh one stream's keyword subscription after a transition."""

@@ -198,7 +198,11 @@ class SmpPrefilter:
         return self._runtime
 
     def session(
-        self, *, sink: AnySink | None = None, binary: bool = False
+        self,
+        *,
+        sink: AnySink | None = None,
+        binary: bool = False,
+        delivery: str | None = None,
     ) -> "FilterSession":
         """Open a streaming filter session for one document.
 
@@ -208,9 +212,11 @@ class SmpPrefilter:
         session's ``feed``/``finish`` return empty output.  ``binary=True``
         keeps the output channel as raw projected bytes (the byte-native
         path); the default text mode decodes the emitted bytes -- and only
-        those -- incrementally.
+        those -- incrementally.  ``delivery`` selects the token-event
+        delivery mode (see :data:`repro.core.runtime.DELIVERIES`); the
+        default picks the fastest available path.
         """
-        return FilterSession(self, sink=sink, binary=binary)
+        return FilterSession(self, sink=sink, binary=binary, delivery=delivery)
 
     def _api_run(
         self, source, *, sink=None, binary=False, measure_memory=False
@@ -385,12 +391,18 @@ class FilterSession:
         sink: AnySink | None = None,
         *,
         binary: bool = False,
+        delivery: str | None = None,
     ) -> None:
         self.prefilter = prefilter
         self.binary = binary
         self._stream: RuntimeStream = SmpRuntime(
             prefilter.tables, backend=prefilter.backend
-        ).stream(sink=sink, binary=binary)
+        ).stream(sink=sink, binary=binary, delivery=delivery)
+
+    @property
+    def delivery(self) -> str:
+        """The effective token-event delivery mode of this session."""
+        return self._stream.delivery
 
     @property
     def stats(self) -> RunStatistics:

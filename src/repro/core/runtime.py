@@ -53,6 +53,7 @@ from __future__ import annotations
 import time
 from typing import Callable, NamedTuple, Union
 
+from repro.accel import load_accel
 from repro.core.sources import Utf8SlidingDecoder
 from repro.core.stats import RunStatistics
 from repro.core.stream import ChunkCursor
@@ -76,6 +77,47 @@ _DQUOTE = 0x22    # '"'
 _SQUOTE = 0x27    # "'"
 #: Quote byte value -> one-byte needle for the cursor's C-level ``find``.
 _QUOTE_NEEDLES = {_DQUOTE: b'"', _SQUOTE: b"'"}
+
+#: Token-event delivery modes of :class:`RuntimeStream`:
+#:
+#: * ``"batched"`` -- the flat explicit-state drive loop: one tight Python
+#:   loop per fed window instead of one generator round-trip per token.
+#:   Issues the *identical* matcher ``find_chunk`` call sequence as the
+#:   per-token path, so output and every statistic are byte-identical.
+#: * ``"accel"`` -- the batched loop with the per-state token kernel of the
+#:   optional ``repro._accel`` C extension (``"native"`` backend only;
+#:   other backends fall back to the pure batched loop per state).
+#: * ``"pertoken"`` -- the legacy generator machine, kept as the reference
+#:   implementation the property suite compares against.
+DELIVERIES = ("batched", "accel", "pertoken")
+
+
+def resolve_delivery(delivery: "str | None") -> str:
+    """Resolve a delivery request to an effective mode.
+
+    ``None`` selects ``"accel"`` when the C extension is importable (and
+    ``REPRO_PURE`` is unset), else ``"batched"``; an explicit ``"accel"``
+    request degrades to ``"batched"`` when the extension is unavailable,
+    so call sites never have to probe the build themselves.
+    """
+    if delivery is None:
+        return "accel" if load_accel() is not None else "batched"
+    if delivery not in DELIVERIES:
+        raise ValueError(
+            f"unknown delivery {delivery!r}; expected one of {DELIVERIES}"
+        )
+    if delivery == "accel" and load_accel() is None:
+        return "batched"
+    return delivery
+
+
+#: Resume phases of the batched drive loop (what the generator machine keeps
+#: in its frame, kept explicitly so a window's tokens run without yields).
+_PH_TOKEN = 0    # top of the token loop: wait-for-input, jump, new search
+_PH_SEARCH = 1   # frontier search in progress (``_pending`` may be set)
+_PH_VERIFY = 2   # match found, awaiting the byte after the keyword
+_PH_TAG = 3      # scanning right for the closing '>'
+_PH_QUOTE = 4    # inside a quoted attribute value
 
 
 class _MatchedTag(NamedTuple):
@@ -141,7 +183,11 @@ class SmpRuntime:
     # Entry points
     # ------------------------------------------------------------------
     def stream(
-        self, sink: AnySink | None = None, *, binary: bool = False
+        self,
+        sink: AnySink | None = None,
+        *,
+        binary: bool = False,
+        delivery: "str | None" = None,
     ) -> "RuntimeStream":
         """Start a resumable filtering run over chunked input.
 
@@ -150,9 +196,12 @@ class SmpRuntime:
         output; otherwise the fragments are returned from ``feed``.  With
         ``binary=True`` the output channel carries the projected bytes
         verbatim; the default text mode decodes the emitted bytes
-        incrementally (and only those).
+        incrementally (and only those).  ``delivery`` selects the
+        token-event delivery mode (see :data:`DELIVERIES`); the default
+        picks the fastest available path, which is byte-identical in
+        output and statistics to the per-token reference.
         """
-        return RuntimeStream(self, sink=sink, binary=binary)
+        return RuntimeStream(self, sink=sink, binary=binary, delivery=delivery)
 
     def filter_text(self, text: str) -> tuple[str, RunStatistics]:
         """Prefilter ``text`` and return ``(projected document, statistics)``.
@@ -361,6 +410,12 @@ class _FilterStreamBase:
             "the document does not conform to the DTD"
         )
 
+    def _no_token_error(self) -> RuntimeFilterError:
+        return RuntimeFilterError(
+            "no frontier token found before end of input; the document "
+            "does not conform to the DTD the prefilter was compiled for"
+        )
+
 
 class RuntimeStream(_FilterStreamBase):
     """One resumable execution of the Figure-4 algorithm.
@@ -385,6 +440,7 @@ class RuntimeStream(_FilterStreamBase):
         sink: AnySink | None = None,
         *,
         binary: bool = False,
+        delivery: "str | None" = None,
     ) -> None:
         super().__init__(runtime.tables, ChunkCursor(binary=True), sink, binary)
         self._runtime = runtime
@@ -392,7 +448,45 @@ class RuntimeStream(_FilterStreamBase):
         self._done = False
         self._failed = False
         runtime.reset_matcher_statistics()
-        self._machine = self._run()
+        self._delivery = resolve_delivery(delivery)
+        if self._delivery == "accel" and runtime.backend != "native":
+            # The C token kernel replays the native backend's statistics
+            # formulas; other backends run the pure batched loop.
+            self._delivery = "batched"
+        if self._delivery == "pertoken":
+            self._machine = self._run()
+        else:
+            self._machine = None
+            # Explicit resume state of the batched drive loop.
+            self._state = runtime.tables.initial_state
+            self._phase = _PH_TOKEN
+            self._cursor = 0          # next search origin ('>' of last token)
+            self._matcher_obj = None  # matcher of the current search
+            self._search_pos = 0      # current search position
+            self._pending: PendingSearch | None = None
+            self._match_pos = 0       # '<' offset of the current match
+            self._keyword = b""
+            self._tag_cursor = 0      # end-of-tag scan position
+            self._quote = b""         # open quote needle (suspended skip)
+            self._quote_from = 0      # quote-skip resume offset
+            if self._delivery == "accel":
+                self._accel_mod = load_accel()
+                #: state -> (capsule, keywords, symbols, matcher) of the C
+                #: token kernel (compiled lazily, like the matcher cache).
+                self._accel_ctx: dict[int, tuple] = {}
+                self._ctx = None      # context of the suspended token
+                # C-side resume vector (absolute offsets / keyword index).
+                self._c_phase = 0
+                self._c_begin = 0
+                self._c_pos = 0
+                self._c_kwi = 0
+                self._c_aux = 0
+                self._c_quote = 0
+
+    @property
+    def delivery(self) -> str:
+        """The effective token-event delivery mode of this stream."""
+        return self._delivery
 
     # ------------------------------------------------------------------
     # Public API
@@ -461,8 +555,19 @@ class RuntimeStream(_FilterStreamBase):
         if self._done:
             return
         try:
-            next(self._machine)
-        except StopIteration:
+            if self._machine is not None:
+                try:
+                    next(self._machine)
+                    return
+                except StopIteration:
+                    pass
+            else:
+                if self._delivery == "accel":
+                    accepted = self._drive_accel()
+                else:
+                    accepted = self._drive()
+                if not accepted:
+                    return
             self._done = True
             self._keep_from = self._window.end
         except Exception:
@@ -482,6 +587,337 @@ class RuntimeStream(_FilterStreamBase):
                 self._emit(self._window.slice(self._copy_emitted, flush_to))
                 self._copy_emitted = flush_to
         self._window.discard_to(floor)
+
+    # ------------------------------------------------------------------
+    # Batched delivery: the flat explicit-state drive loop
+    # ------------------------------------------------------------------
+    def _token_transition(
+        self,
+        state: int,
+        keyword: bytes,
+        symbol: Symbol,
+        start: int,
+        end: int,
+        bachelor: bool,
+    ) -> int:
+        """Take the transition for one accepted token and apply its action.
+
+        The inlined per-token fast path of the drive loop (same semantics
+        as :meth:`_transition` / :meth:`_apply_action`, minus the
+        ``_MatchedTag`` allocation for the common non-bachelor case).
+        """
+        if bachelor and symbol[0] == OPEN:
+            return self._transition(
+                state, _MatchedTag(keyword, symbol, start, end, True)
+            )
+        tables = self._tables
+        next_state = tables.transition.get(state, {}).get(symbol)
+        if next_state is None:
+            raise self._transition_error(state, symbol, start)
+        action = tables.actions.get(next_state)
+        if action is not None and action is not Action.NOP:
+            stats = self.stats
+            if action is Action.COPY_ON:
+                if not self._copy_active:
+                    self._copy_active = True
+                    self._copy_tag = symbol[1]
+                    self._copy_emitted = start
+            elif action is Action.COPY_OFF:
+                if self._copy_active and symbol[1] == self._copy_tag:
+                    self._emit(self._window.slice(self._copy_emitted, end + 1))
+                    stats.regions_copied += 1
+                    stats.tokens_copied += 1
+                    self._copy_active = False
+                    self._copy_tag = ""
+                    self._copy_emitted = 0
+                elif not self._copy_active:
+                    # Asymmetric table entries degrade gracefully to
+                    # copying the closing tag itself.
+                    self._emit(self._window.slice(start, end + 1))
+                    stats.tokens_copied += 1
+            elif not self._copy_active:  # Action.COPY_TAG
+                self._emit(self._window.slice(start, end + 1))
+                stats.tokens_copied += 1
+        return next_state
+
+    def _drive(self) -> bool:
+        """Run the Figure-4 loop over the buffered window without yields.
+
+        The explicit-state twin of :meth:`_run`: one call consumes every
+        token decidable from the buffered input in a single tight loop,
+        suspends by returning ``False`` (resume state held in instance
+        fields, phase constants ``_PH_*``) and returns ``True`` once the
+        automaton accepted.  It issues the *identical* matcher
+        ``find_chunk`` call sequence and the identical per-span
+        ``local_scan_chars`` accounting as the per-token generator, so
+        output and every statistic are byte-identical for any chunking.
+        """
+        runtime = self._runtime
+        tables = runtime.tables
+        is_final = tables.is_final
+        jumps = tables.jumps
+        keyword_symbols = tables.keyword_symbols_bytes
+        stats = self.stats
+        window = self._window
+        find = window.find
+        text, tbase = window.view()
+        wend = window.end
+        eof = window.eof
+        state = self._state
+        phase = self._phase
+        try:
+            while True:
+                if phase == _PH_TOKEN:
+                    if is_final(state):
+                        if self._copy_active:
+                            raise self._unclosed_copy_error()
+                        return True
+                    cursor = self._cursor
+                    if cursor >= wend:
+                        if eof:
+                            raise self._incomplete_error()
+                        self._keep_from = cursor
+                        return False
+                    jump = jumps.get(state, 0)
+                    if jump:
+                        stats.initial_jumps += 1
+                        stats.initial_jump_chars += jump
+                        cursor += jump
+                    matcher = runtime._matcher(state)
+                    if matcher is None:
+                        raise RuntimeFilterError(
+                            f"runtime state {state} has an empty frontier "
+                            "vocabulary but is not final; the document does "
+                            "not conform to the DTD"
+                        )
+                    self._matcher_obj = matcher
+                    self._search_pos = cursor
+                    self._pending = None
+                    phase = _PH_SEARCH
+
+                if phase == _PH_SEARCH:
+                    outcome = self._matcher_obj.find_chunk(
+                        text,
+                        tbase,
+                        self._search_pos,
+                        wend,
+                        at_eof=eof,
+                        pending=self._pending,
+                    )
+                    if isinstance(outcome, PendingSearch):
+                        self._pending = outcome
+                        self._keep_from = outcome.keep_from
+                        return False
+                    if outcome is None:
+                        raise self._no_token_error()
+                    self._pending = None
+                    self._match_pos = outcome.position
+                    self._keyword = outcome.keyword
+                    phase = _PH_VERIFY
+
+                if phase == _PH_VERIFY:
+                    after = self._match_pos + len(self._keyword)
+                    if after >= wend and not eof:
+                        self._keep_from = self._match_pos
+                        return False
+                    if after < wend and is_name_byte(text[after - tbase]):
+                        # A longer tag name ("<AbstractText" while scanning
+                        # for "<Abstract"): resume past the false match.
+                        stats.local_scan_chars += 1
+                        self._search_pos = self._match_pos + 1
+                        self._pending = None
+                        phase = _PH_SEARCH
+                        continue
+                    self._tag_cursor = after
+                    phase = _PH_TAG
+
+                if phase == _PH_QUOTE:
+                    closing = find(self._quote, self._quote_from)
+                    if closing < 0:
+                        if eof:
+                            raise self._no_token_error()
+                        self._quote_from = wend
+                        self._keep_from = self._match_pos
+                        return False
+                    self._tag_cursor = closing + 1
+                    phase = _PH_TAG
+
+                # _PH_TAG: scan right for the closing '>' (quote-aware).
+                cursor = self._tag_cursor
+                while True:
+                    gt = find(b">", cursor)
+                    if gt < 0:
+                        if eof:
+                            raise self._no_token_error()
+                        self._tag_cursor = cursor
+                        self._keep_from = self._match_pos
+                        phase = _PH_TAG
+                        return False
+                    dq = find(b'"', cursor, gt)
+                    sq = find(b"'", cursor, gt)
+                    if dq < 0 and sq < 0:
+                        end = gt
+                        break
+                    if dq >= 0 and (sq < 0 or dq < sq):
+                        quote_at, needle = dq, b'"'
+                    else:
+                        quote_at, needle = sq, b"'"
+                    closing = find(needle, quote_at + 1)
+                    if closing < 0:
+                        if eof:
+                            raise self._no_token_error()
+                        self._quote = needle
+                        self._quote_from = wend
+                        self._keep_from = self._match_pos
+                        phase = _PH_QUOTE
+                        return False
+                    cursor = closing + 1
+
+                # Token complete: transition, action, next search origin.
+                keyword = self._keyword
+                start = self._match_pos
+                after = start + len(keyword)
+                stats.local_scan_chars += end - after + 1
+                bachelor = end > after and text[end - 1 - tbase] == _SLASH
+                stats.tokens_matched += 1
+                state = self._token_transition(
+                    state, keyword, keyword_symbols[state][keyword],
+                    start, end, bachelor,
+                )
+                self._cursor = end
+                self._keep_from = end
+                phase = _PH_TOKEN
+        finally:
+            self._state = state
+            self._phase = phase
+
+    # ------------------------------------------------------------------
+    # Accelerated delivery: the C token kernel (repro._accel)
+    # ------------------------------------------------------------------
+    def _accel_context(self, state: int) -> tuple:
+        """Compile the C search context of one automaton state (cached).
+
+        ``(capsule, keywords, symbols, matcher)``: the capsule drives the
+        C kernel, the keyword/symbol tuples decode its keyword indices,
+        and the matcher is the pure backend whose statistics the kernel's
+        deltas are replayed into (so aggregated counters stay identical).
+        """
+        matcher = self._runtime._matcher(state)
+        is_single = isinstance(matcher, SingleKeywordMatcher)
+        keywords = (
+            (matcher.keyword,) if is_single else tuple(matcher.keywords)
+        )
+        symbols_map = self._tables.keyword_symbols_bytes[state]
+        ctx = (
+            self._accel_mod.compile_keywords(list(keywords), is_single),
+            keywords,
+            tuple(symbols_map[keyword] for keyword in keywords),
+            matcher,
+        )
+        self._accel_ctx[state] = ctx
+        return ctx
+
+    def _drive_accel(self) -> bool:
+        """The :meth:`_drive` loop with the per-token work done in C.
+
+        The Python side keeps the automaton step (transitions, actions,
+        jump statistics); each ``find_token`` call runs frontier search,
+        false-match rejection and the quote-aware end-of-tag scan below
+        the interpreter, returning either one completed token, an explicit
+        resume vector (stored in the ``_c_*`` fields), or "no token".
+        Statistic deltas replay the native backend's formulas, so output
+        and counters are byte-identical to the pure paths.
+        """
+        runtime = self._runtime
+        tables = runtime.tables
+        is_final = tables.is_final
+        jumps = tables.jumps
+        stats = self.stats
+        window = self._window
+        text, tbase = window.view()
+        wend = window.end
+        eof = window.eof
+        find_token = self._accel_mod.find_token
+        state = self._state
+        phase = self._phase
+        try:
+            while True:
+                if phase == _PH_TOKEN:
+                    if is_final(state):
+                        if self._copy_active:
+                            raise self._unclosed_copy_error()
+                        return True
+                    cursor = self._cursor
+                    if cursor >= wend:
+                        if eof:
+                            raise self._incomplete_error()
+                        self._keep_from = cursor
+                        return False
+                    jump = jumps.get(state, 0)
+                    if jump:
+                        stats.initial_jumps += 1
+                        stats.initial_jump_chars += jump
+                        cursor += jump
+                    ctx = self._accel_ctx.get(state)
+                    if ctx is None:
+                        if runtime._matcher(state) is None:
+                            raise RuntimeFilterError(
+                                f"runtime state {state} has an empty frontier "
+                                "vocabulary but is not final; the document "
+                                "does not conform to the DTD"
+                            )
+                        ctx = self._accel_context(state)
+                    self._ctx = ctx
+                    self._c_phase = 0  # SEARCH_NEW: counts one search
+                    self._c_begin = cursor
+                    self._c_pos = cursor
+                    phase = _PH_SEARCH
+
+                # _PH_SEARCH stands for the whole C-driven section here:
+                # the kernel advances through its own verify/tag/quote
+                # phases and reports them in the returned resume vector.
+                ctx = self._ctx
+                (
+                    status, c_phase, c_begin, c_pos, c_kwi, c_aux, c_quote,
+                    keep_from, tag_end, bachelor,
+                    d_searches, d_comparisons, d_shifts, d_shift_total,
+                    d_matches, d_local_scan,
+                ) = find_token(
+                    ctx[0], text, tbase, wend, eof,
+                    self._c_phase, self._c_begin, self._c_pos,
+                    self._c_kwi, self._c_aux, self._c_quote,
+                )
+                matcher_stats = ctx[3].stats
+                matcher_stats.searches += d_searches
+                matcher_stats.comparisons += d_comparisons
+                matcher_stats.shifts += d_shifts
+                matcher_stats.shift_total += d_shift_total
+                matcher_stats.matches += d_matches
+                stats.local_scan_chars += d_local_scan
+                if status == 1:  # suspended: more input needed
+                    self._c_phase = c_phase
+                    self._c_begin = c_begin
+                    self._c_pos = c_pos
+                    self._c_kwi = c_kwi
+                    self._c_aux = c_aux
+                    self._c_quote = c_quote
+                    self._keep_from = keep_from
+                    return False
+                if status == 2:
+                    raise self._no_token_error()
+                # Token complete: transition, action, next search origin.
+                keyword = ctx[1][c_kwi]
+                stats.tokens_matched += 1
+                state = self._token_transition(
+                    state, keyword, ctx[2][c_kwi], c_pos, tag_end,
+                    bool(bachelor),
+                )
+                self._cursor = tag_end
+                self._keep_from = tag_end
+                phase = _PH_TOKEN
+        finally:
+            self._state = state
+            self._phase = phase
 
     # ------------------------------------------------------------------
     # The Figure-4 state machine (a generator that yields for more input)
@@ -513,10 +949,7 @@ class RuntimeStream(_FilterStreamBase):
                 )
             matched = yield from self._locate_tag(cursor, state, matcher)
             if matched is None:
-                raise RuntimeFilterError(
-                    "no frontier token found before end of input; the document "
-                    "does not conform to the DTD the prefilter was compiled for"
-                )
+                raise self._no_token_error()
             stats.tokens_matched += 1
             state = self._transition(state, matched)
             cursor = matched.end
@@ -602,37 +1035,45 @@ class RuntimeStream(_FilterStreamBase):
         the tag is a bachelor tag (``.../>``); yields while the tag is still
         incomplete in the buffered window (the whole tag is retained so the
         copy actions can replay it).
+
+        The scan is vectorized: candidate ``>`` and quote positions come
+        from the cursor's C-level ``find`` and ``local_scan_chars`` is
+        accounted per span (``end - position + 1``: every scanned byte
+        exactly once, the same total the per-byte loop produced).
         """
         window = self._window
-        stats = self.stats
         cursor = position
         while True:
-            while cursor >= window.end and not window.eof:
+            gt = window.find(b">", cursor)
+            while gt < 0:
+                if window.eof:
+                    return None, False
                 self._keep_from = tag_start
                 yield
-            if cursor >= window.end:
-                return None, False
-            byte = window.char(cursor)
-            stats.local_scan_chars += 1
-            if byte == _GT:
-                is_bachelor = cursor > position and window.char(cursor - 1) == _SLASH
-                return cursor, is_bachelor
-            if byte == _DQUOTE or byte == _SQUOTE:
-                needle = _QUOTE_NEEDLES[byte]
-                search_from = cursor + 1
-                while True:
-                    closing = window.find(needle, search_from)
-                    if closing >= 0:
-                        break
-                    if window.eof:
-                        return None, False
-                    search_from = window.end
-                    self._keep_from = tag_start
-                    yield
-                stats.local_scan_chars += closing - cursor
-                cursor = closing + 1
-                continue
-            cursor += 1
+                gt = window.find(b">", cursor)
+            dq = window.find(b'"', cursor, gt)
+            sq = window.find(b"'", cursor, gt)
+            if dq < 0 and sq < 0:
+                end = gt
+                break
+            if dq >= 0 and (sq < 0 or dq < sq):
+                quote_at, needle = dq, b'"'
+            else:
+                quote_at, needle = sq, b"'"
+            search_from = quote_at + 1
+            while True:
+                closing = window.find(needle, search_from)
+                if closing >= 0:
+                    break
+                if window.eof:
+                    return None, False
+                search_from = window.end
+                self._keep_from = tag_start
+                yield
+            cursor = closing + 1
+        self.stats.local_scan_chars += end - position + 1
+        is_bachelor = end > position and window.char(end - 1) == _SLASH
+        return end, is_bachelor
 
 
 class DrivenStream(_FilterStreamBase):

@@ -142,12 +142,23 @@ class KeywordDispatcher:
         self.prefixes: dict[str, tuple[str, ...]] = proper_prefix_table(
             self.keywords
         )
+        #: :attr:`prefixes` and keyword lengths re-indexed by keyword id --
+        #: the event id space of ``scan_ids`` / the C ``scan_events`` kernel
+        #: -- so the per-event hot loop never hashes keyword bytes.
+        self.prefixes_by_index: tuple[tuple[str, ...], ...] = tuple(
+            self.prefixes[keyword] for keyword in self.keywords
+        )
+        self.keyword_lengths: tuple[int, ...] = tuple(
+            len(keyword) for keyword in self.keywords
+        )
         #: The union automaton: one C-level pass per window (a ``bytes``
         #: pattern when the vocabularies are ``bytes`` keywords).
         self.pattern = re.compile(trie_regex(self.keywords))
         self._matcher: SingleKeywordMatcher | MultiKeywordMatcher = make_matcher(
             self.keywords, backend=backend
         )
+        # Lazily compiled C search structure (see :meth:`accel_capsule`).
+        self._accel_capsule = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -164,6 +175,22 @@ class KeywordDispatcher:
     def stats(self) -> MatchStatistics:
         """Counters of the reference union matcher (:meth:`scan` path)."""
         return self._matcher.stats
+
+    def accel_capsule(self, accel_mod):
+        """The union vocabulary compiled for the C scan kernel (cached).
+
+        ``accel_mod`` is the loaded ``repro._accel`` module (see
+        :func:`repro.accel.load_accel`).  Returns ``None`` when the
+        vocabulary is not byte keywords -- the C kernels scan raw byte
+        windows only.  Event keyword ids index :attr:`keywords`.
+        """
+        capsule = self._accel_capsule
+        if capsule is None:
+            if not isinstance(self.keywords[0], bytes):
+                return None
+            capsule = accel_mod.compile_keywords(list(self.keywords), False)
+            self._accel_capsule = capsule
+        return capsule
 
     # ------------------------------------------------------------------
     # Reference scanning (matcher layer)
@@ -182,3 +209,19 @@ class KeywordDispatcher:
         the test suite asserts.
         """
         return self._matcher.collect_chunk(text, base, start, end, at_eof=at_eof)
+
+    def scan_ids(
+        self, text: str, base: int, start: int, end: int, *, at_eof: bool,
+        out=None,
+    ):
+        """The :meth:`scan` stream as a flat ``array('q')`` of events.
+
+        Delegates to the union matcher's ``collect_chunk_ids`` contract:
+        event ``i`` is ``(events[2*i], events[2*i + 1])`` -- absolute
+        offset plus an id indexing :attr:`keywords` (the matcher is built
+        over exactly that tuple).  ``out`` recycles a caller-owned array.
+        Returns ``(events, count, resume)``.
+        """
+        return self._matcher.collect_chunk_ids(
+            text, base, start, end, at_eof=at_eof, out=out
+        )

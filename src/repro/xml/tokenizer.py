@@ -16,6 +16,7 @@ token kinds.
 
 from __future__ import annotations
 
+import re
 from dataclasses import replace
 from typing import Iterable, Iterator
 
@@ -24,6 +25,14 @@ from repro.xml.escape import is_name_char, is_name_start_char
 from repro.xml.tokens import Token, TokenKind
 
 _WHITESPACE = " \t\r\n"
+
+#: ASCII run of XML name characters -- exactly the characters for which
+#: :func:`is_name_char` is true in the ASCII range.  The predicate itself
+#: accepts non-ASCII alphanumerics (``str.isalnum``), which no regex class
+#: reproduces, so :meth:`XmlTokenizer._scan_name` consumes ASCII runs with
+#: this pattern and falls back to the per-character predicate only on
+#: non-ASCII name characters.
+_ASCII_NAME_RUN = re.compile(r"[0-9A-Za-z_:.\-]*")
 
 
 class TokenizerStatistics:
@@ -197,26 +206,37 @@ class XmlTokenizer:
         return token, end + 3
 
     def _read_doctype(self, position: int) -> tuple[Token, int]:
+        # Vectorized bracket-depth scan: candidate delimiters come from
+        # C-level ``find`` instead of a per-character loop, processed in
+        # text order so the depth bookkeeping is unchanged.
         text = self._text
         length = self._length
         cursor = position + len("<!DOCTYPE")
         depth = 0
-        while cursor < length:
-            character = text[cursor]
-            if character == "[":
+        while True:
+            gt = text.find(">", cursor)
+            limit = length if gt < 0 else gt
+            lb = text.find("[", cursor, limit)
+            rb = text.find("]", cursor, limit)
+            if lb >= 0 and (rb < 0 or lb < rb):
                 depth += 1
-            elif character == "]":
+                cursor = lb + 1
+                continue
+            if rb >= 0:
                 depth -= 1
-            elif character == ">" and depth <= 0:
+                cursor = rb + 1
+                continue
+            if gt < 0:
+                raise XmlSyntaxError("unterminated DOCTYPE declaration", position)
+            if depth <= 0:
                 token = Token(
                     kind=TokenKind.DOCTYPE,
-                    text=text[position + len("<!DOCTYPE"):cursor].strip(),
+                    text=text[position + len("<!DOCTYPE"):gt].strip(),
                     start=position if self._track_positions else 0,
-                    end=cursor + 1 if self._track_positions else 0,
+                    end=gt + 1 if self._track_positions else 0,
                 )
-                return token, cursor + 1
-            cursor += 1
-        raise XmlSyntaxError("unterminated DOCTYPE declaration", position)
+                return token, gt + 1
+            cursor = gt + 1  # a '>' inside the internal subset
 
     def _read_end_tag(self, position: int) -> tuple[Token, int]:
         text = self._text
@@ -302,9 +322,15 @@ class XmlTokenizer:
         if cursor >= length or not is_name_start_char(text[cursor]):
             raise XmlSyntaxError(f"invalid {context} name", cursor)
         cursor += 1
-        while cursor < length and is_name_char(text[cursor]):
-            cursor += 1
-        return cursor
+        while True:
+            # ASCII runs in one C-level regex step; only non-ASCII name
+            # characters (Unicode alphanumerics) take the per-character
+            # predicate, then the run scan resumes.
+            cursor = _ASCII_NAME_RUN.match(text, cursor, length).end()
+            if cursor < length and is_name_char(text[cursor]):
+                cursor += 1
+                continue
+            return cursor
 
     # ------------------------------------------------------------------
     # Character data
@@ -496,24 +522,41 @@ class TokenizerSession:
                 if prefix.startswith(buffer[offset:offset + len(prefix)]):
                     return -1  # still ambiguous: wait for the full prefix
             if buffer.startswith("<!DOCTYPE", offset):
+                # Same vectorized bracket-depth scan as the batch reader,
+                # with the depth carried across suspensions.
                 cursor = offset + max(self._scan, 9)
-                while cursor < length:
-                    character = buffer[cursor]
-                    if character == "[":
-                        self._doctype_depth += 1
-                    elif character == "]":
-                        self._doctype_depth -= 1
-                    elif character == ">" and self._doctype_depth <= 0:
-                        return cursor + 1
-                    cursor += 1
-                self._scan = cursor - offset
-                return -1
+                depth = self._doctype_depth
+                while True:
+                    gt = buffer.find(">", cursor)
+                    limit = length if gt < 0 else gt
+                    lb = buffer.find("[", cursor, limit)
+                    rb = buffer.find("]", cursor, limit)
+                    if lb >= 0 and (rb < 0 or lb < rb):
+                        depth += 1
+                        cursor = lb + 1
+                        continue
+                    if rb >= 0:
+                        depth -= 1
+                        cursor = rb + 1
+                        continue
+                    if gt >= 0 and depth <= 0:
+                        self._doctype_depth = depth
+                        return gt + 1
+                    if gt < 0:
+                        self._doctype_depth = depth
+                        self._scan = length - offset
+                        return -1
+                    cursor = gt + 1  # a '>' inside the internal subset
             if "<!DOCTYPE".startswith(buffer[offset:offset + 9]):
                 return -1
             return length  # unrecognised declaration: the reader raises
         # A start or end tag: scan for '>' outside quoted attribute values.
+        # Vectorized like the runtime's end-of-tag scan: candidate '>' and
+        # quote positions come from C-level ``find``, and an opened quote is
+        # recorded even when no '>' is in the window so the resumed scan
+        # skips a quoted '>' in the next chunk correctly.
         cursor = offset + max(self._scan, 1)
-        while cursor < length:
+        while True:
             if self._quote:
                 closing = buffer.find(self._quote, cursor)
                 if closing < 0:
@@ -521,15 +564,19 @@ class TokenizerSession:
                     return -1
                 self._quote = ""
                 cursor = closing + 1
-                continue
-            character = buffer[cursor]
-            if character == ">":
-                return cursor + 1
-            if character in ('"', "'"):
-                self._quote = character
-            cursor += 1
-        self._scan = cursor - offset
-        return -1
+            gt = buffer.find(">", cursor)
+            limit = length if gt < 0 else gt
+            dq = buffer.find('"', cursor, limit)
+            sq = buffer.find("'", cursor, limit)
+            if dq < 0 and sq < 0:
+                if gt < 0:
+                    self._scan = length - offset
+                    return -1
+                return gt + 1
+            if dq >= 0 and (sq < 0 or dq < sq):
+                self._quote, cursor = '"', dq + 1
+            else:
+                self._quote, cursor = "'", sq + 1
 
 
 def iter_tokens(chunks: Iterable[str]) -> Iterator[Token]:
