@@ -46,7 +46,7 @@ from the shell as ``python -m repro``.  The pre-PR4 ``filter_*``/``run_*``
 methods survive as deprecated byte-identical shims over :mod:`repro.api`.
 """
 
-from repro import api, parallel
+from repro import api, faults, parallel
 from repro.api import (
     CallbackSink,
     CollectSink,
@@ -67,6 +67,7 @@ from repro.core.multi import MultiQueryEngine, MultiQueryRun, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
     BufferPool,
+    RetryPolicy,
     align_utf8_chunks,
     decode_chunks,
     file_chunks,
@@ -89,11 +90,13 @@ from repro.errors import (
     QueryError,
     ReproError,
     RuntimeFilterError,
+    SourceError,
     WorkloadError,
     XPathSyntaxError,
     XmlSyntaxError,
 )
-from repro.parallel import ParallelExecutionError, WorkerPool
+from repro.faults import FaultPlan
+from repro.parallel import DocumentFailure, ParallelExecutionError, WorkerPool
 from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
 from repro.projection.paths import ProjectionPath, parse_projection_paths
 from repro.projection.reference import ReferenceProjector
@@ -111,10 +114,12 @@ __all__ = [
     "Dtd",
     "DtdRecursionError",
     "DtdSyntaxError",
+    "DocumentFailure",
     "DocumentRun",
     "DtdValidationError",
     "Engine",
     "EngineRun",
+    "FaultPlan",
     "FileSink",
     "FilterRun",
     "FilterSession",
@@ -133,12 +138,14 @@ __all__ = [
     "QuerySpec",
     "ReferenceProjector",
     "ReproError",
+    "RetryPolicy",
     "RunStatistics",
     "RuntimeFilterError",
     "Session",
     "Sink",
     "SmpPrefilter",
     "Source",
+    "SourceError",
     "WorkerPool",
     "WorkloadError",
     "XPathSyntaxError",
@@ -149,6 +156,7 @@ __all__ = [
     "api",
     "decode_chunks",
     "extract_paths_from_xpath",
+    "faults",
     "file_chunks",
     "iter_byte_chunks",
     "iter_chunks",

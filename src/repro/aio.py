@@ -15,7 +15,10 @@ two asynchronous entry points the roadmap asked for:
   streams its projection back as labelled frames over the same socket,
   multiplexed with a tiny length-prefixed framing (see :func:`write_frame`).
   ``await writer.drain()`` between chunks propagates socket backpressure
-  into the filter loop.
+  into the filter loop.  Per-connection hardening knobs (``idle_timeout``,
+  ``feed_timeout``, ``write_limit``) bound how long a stalled peer or a
+  hung worker can pin a connection, and :func:`shutdown` drains in-flight
+  documents before tearing the server down.
 
 Example — three queries over one socket::
 
@@ -69,6 +72,7 @@ __all__ = [
     "read_frame",
     "request",
     "serve",
+    "shutdown",
     "write_frame",
 ]
 
@@ -295,6 +299,24 @@ async def read_frame(reader: asyncio.StreamReader):
 # ----------------------------------------------------------------------
 # The server
 # ----------------------------------------------------------------------
+class _ServeTimeout(Exception):
+    """Internal: a per-connection timeout fired (reported as FRAME_ERROR).
+
+    Deliberately *not* ``TimeoutError``: the builtin is an ``OSError``
+    subclass, and the handler swallows socket-level ``OSError`` quietly --
+    a timeout must instead reach the client as an error frame.
+    """
+
+
+async def _timed(awaitable, timeout: "float | None", what: str):
+    if timeout is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout)
+    except asyncio.TimeoutError:
+        raise _ServeTimeout(what) from None
+
+
 async def serve(
     engine: api.Engine,
     *,
@@ -303,6 +325,9 @@ async def serve(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 0,
     worker_pool=None,
+    idle_timeout: "float | None" = None,
+    feed_timeout: "float | None" = None,
+    write_limit: "int | None" = None,
 ) -> asyncio.Server:
     """Serve the engine's queries over TCP: one document per connection.
 
@@ -323,24 +348,85 @@ async def serve(
     frames.  A connection's chunks always reach its one worker in order,
     so per-connection frame ordering is identical to in-loop filtering.
     The created pool is exposed as ``server.worker_pool``; close it
-    (``server.worker_pool.close()``) when done serving.
+    (``server.worker_pool.close()``) when done serving, or let
+    :func:`shutdown` do both.
+
+    Hardening knobs (all default off, preserving pre-existing behaviour):
+
+    * ``idle_timeout`` — seconds to wait for the *client's next chunk*; on
+      expiry the client gets a :data:`FRAME_ERROR` and the connection
+      closes, so an abandoned half-open connection cannot pin a session
+      (or a pool worker) forever.
+    * ``feed_timeout`` — seconds allowed per ``feed``/``finish`` call
+      (relevant with ``worker_pool``, where each call round-trips to a
+      worker process that may have died or hung).
+    * ``write_limit`` — high-water mark in bytes for the per-connection
+      transport buffer.  ``drain()`` then blocks as soon as this many
+      bytes are un-acked, bounding the frames in flight towards a slow
+      consumer instead of buffering the whole projection in memory.
+
+    Every connection handler task is tracked on ``server.connections``;
+    :func:`shutdown` uses that set to drain in-flight documents before
+    tearing the server down.
 
     Returns the started :class:`asyncio.Server` (use ``server.sockets`` for
     the bound port when ``port=0``).
     """
+    owns_pool = False
     if workers and worker_pool is None:
         from repro.parallel import WorkerPool
 
         worker_pool = WorkerPool(engine, workers)
+        owns_pool = True
+
+    connections: set[asyncio.Task] = set()
 
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
-        await handle_connection(engine, reader, writer,
-                                chunk_size=chunk_size, worker_pool=worker_pool)
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            await handle_connection(
+                engine, reader, writer, chunk_size=chunk_size,
+                worker_pool=worker_pool, idle_timeout=idle_timeout,
+                feed_timeout=feed_timeout, write_limit=write_limit,
+            )
+        finally:
+            connections.discard(task)
 
     server = await asyncio.start_server(handle, host=host, port=port)
     server.worker_pool = worker_pool
+    server.connections = connections
+    server._owns_worker_pool = owns_pool
     return server
+
+
+async def shutdown(server: asyncio.Server, *,
+                   timeout: "float | None" = None) -> None:
+    """Gracefully stop a :func:`serve` server: drain, then tear down.
+
+    Closes the listening socket first (new connections are refused
+    immediately), then waits up to ``timeout`` seconds for the in-flight
+    connection handlers tracked on ``server.connections`` to finish their
+    documents.  Handlers still running after the deadline are cancelled.
+    A worker pool that :func:`serve` created itself (``workers=N``) is
+    closed as well; an explicitly supplied ``worker_pool`` stays open --
+    its owner decides its lifetime.
+    """
+    server.close()
+    pending = {
+        task for task in getattr(server, "connections", ())
+        if not task.done()
+    }
+    if pending:
+        done, stragglers = await asyncio.wait(pending, timeout=timeout)
+        for task in stragglers:
+            task.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
+    pool = getattr(server, "worker_pool", None)
+    if pool is not None and getattr(server, "_owns_worker_pool", False):
+        await asyncio.get_running_loop().run_in_executor(None, pool.close)
 
 
 async def handle_connection(
@@ -350,14 +436,25 @@ async def handle_connection(
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     worker_pool=None,
+    idle_timeout: "float | None" = None,
+    feed_timeout: "float | None" = None,
+    write_limit: "int | None" = None,
 ) -> None:
     """Filter one connection's document; used by :func:`serve` per client.
 
     With ``worker_pool`` the session lives in a worker process and every
     ``feed``/``finish`` round-trips through the default executor, keeping
     the event loop free for other connections.
+
+    Failure containment is per connection: a malformed document, a timeout
+    or any unexpected error produces one :data:`FRAME_ERROR` frame and a
+    clean close; a client that vanished mid-stream (reset, abort, EOF at
+    the TCP layer) is dropped quietly.  Neither case disturbs the other
+    connections or the server itself.
     """
     session = None
+    if write_limit is not None:
+        writer.transport.set_write_buffer_limits(high=write_limit)
     try:
         # Session setup is inside the error envelope: with a worker pool it
         # round-trips to another process and can fail (dead worker, closed
@@ -388,24 +485,43 @@ async def handle_connection(
                 return session.finish()
 
         while True:
-            chunk = await reader.read(chunk_size)
+            chunk = await _timed(
+                reader.read(chunk_size), idle_timeout,
+                f"idle timeout: no data from client for {idle_timeout} s",
+            )
             if not chunk:
                 break
-            _write_outputs(writer, labels, await feed(chunk))
+            outputs = await _timed(
+                feed(chunk), feed_timeout,
+                f"feed timeout: filter made no progress in {feed_timeout} s",
+            )
+            _write_outputs(writer, labels, outputs)
             await writer.drain()
-        _write_outputs(writer, labels, await finish())
+        outputs = await _timed(
+            finish(), feed_timeout,
+            f"feed timeout: finish made no progress in {feed_timeout} s",
+        )
+        _write_outputs(writer, labels, outputs)
         for label in labels:
             write_frame(writer, FRAME_END, label, b"")
         await writer.drain()
-    except ReproError as error:
-        write_frame(writer, FRAME_ERROR, b"", str(error).encode("utf-8"))
-        with contextlib.suppress(ConnectionError):
+    except asyncio.CancelledError:
+        raise
+    except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        pass  # the client went away mid-stream; nobody left to tell
+    except Exception as error:  # noqa: BLE001 -- error frame, not task death
+        message = str(error) or error.__class__.__name__
+        if not isinstance(error, (ReproError, _ServeTimeout)):
+            message = f"{error.__class__.__name__}: {message}"
+        with contextlib.suppress(OSError):
+            write_frame(writer, FRAME_ERROR, b"", message.encode("utf-8"))
             await writer.drain()
     finally:
         if session is not None:
-            session.close()
+            with contextlib.suppress(Exception):
+                session.close()
         writer.close()
-        with contextlib.suppress(ConnectionError):
+        with contextlib.suppress(OSError):
             await writer.wait_closed()
 
 

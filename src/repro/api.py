@@ -68,6 +68,7 @@ from repro.core.multi import MultiQueryEngine, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
     BufferPool,
+    RetryPolicy,
     align_utf8_chunks,
     file_chunks,
     open_mmap,
@@ -99,6 +100,7 @@ __all__ = [
     "Query",
     "QueryHandle",
     "QueryResult",
+    "RetryPolicy",
     "Session",
     "Sink",
     "Source",
@@ -208,6 +210,7 @@ class Source:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         align_utf8: bool = False,
         pool: "BufferPool | bool | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> "Source":
         """Binary ``chunk_size`` reads of the file at ``path`` (no decode).
 
@@ -215,12 +218,16 @@ class Source:
         ``readinto`` into recycled :class:`~repro.core.sources.BufferPool`
         buffers instead of allocating a fresh ``bytes`` per chunk.  Pass a
         pool to share buffers across sources, or ``True`` for a private
-        pool sized to ``chunk_size``.
+        pool sized to ``chunk_size``.  ``retry`` retries transient
+        mid-stream I/O errors in place with backoff (a
+        :class:`~repro.core.sources.RetryPolicy`); unrecoverable mid-stream
+        errors surface as :class:`~repro.errors.SourceError`.
         """
         buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(file_chunks(path, chunk_size, pool=buffers),
+                _aligned(file_chunks(path, chunk_size, pool=buffers,
+                                     retry=retry),
                          align_utf8)
             ),
             kind="file",
@@ -260,16 +267,18 @@ class Source:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         align_utf8: bool = False,
         pool: "BufferPool | bool | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> "Source":
         """The process's binary stdin (one-shot).
 
-        ``pool`` reads via ``readinto`` into recycled buffers (see
-        :meth:`from_file`).
+        ``pool`` reads via ``readinto`` into recycled buffers, ``retry``
+        retries transient mid-stream I/O errors (see :meth:`from_file`).
         """
         buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(stdin_chunks(chunk_size, pool=buffers), align_utf8)
+                _aligned(stdin_chunks(chunk_size, pool=buffers, retry=retry),
+                         align_utf8)
             ),
             kind="stdin",
         )
@@ -282,17 +291,21 @@ class Source:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         align_utf8: bool = False,
         pool: "BufferPool | bool | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> "Source":
         """Chunks received from anything with ``recv`` (one-shot).
 
         ``pool`` receives via ``recv_into`` into recycled buffers (see
         :meth:`from_file`); connections without ``recv_into`` fall back to
-        plain ``recv``.
+        plain ``recv``.  ``retry`` retries transient receive errors
+        (``ECONNRESET``/timeouts) in place; unrecoverable ones surface as
+        :class:`~repro.errors.SourceError` with the byte offset reached.
         """
         buffers = _resolve_pool(pool, chunk_size)
         return cls(
             lambda: contextlib.nullcontext(
-                _aligned(socket_chunks(connection, chunk_size, pool=buffers),
+                _aligned(socket_chunks(connection, chunk_size, pool=buffers,
+                                       retry=retry),
                          align_utf8)
             ),
             kind="socket",
@@ -903,12 +916,25 @@ class CorpusRun:
     documents sequentially) and statistics summed with
     :meth:`~repro.core.stats.RunStatistics.merge`.  ``jobs`` records the
     worker count the corpus actually ran with (1 = in-process).
+
+    ``failures`` quarantines the documents that failed under
+    ``on_error="collect"``: a list of
+    :class:`repro.parallel.DocumentFailure` (path/record name, attempt
+    count, cause) in corpus order.  Healthy documents' output is unchanged
+    by a quarantine; with the default ``on_error="raise"`` the list is
+    always empty.
     """
 
     documents: list[DocumentRun]
     results: list[QueryResult]
     scan_stats: RunStatistics | None = None
     jobs: int = 1
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no document was quarantined."""
+        return not self.failures
 
     def __iter__(self) -> Iterator[QueryResult]:
         return iter(self.results)
@@ -1086,6 +1112,9 @@ class Engine:
         live: bool = False,
         chunk_size: int | None = None,
         measure_memory: bool = False,
+        on_error: str = "raise",
+        retry: "RetryPolicy | None" = None,
+        deadline: float | None = None,
     ) -> EngineRun:
         """Run the whole dataflow: open a session, drive ``source``, finish.
 
@@ -1098,7 +1127,16 @@ class Engine:
         ``from_records``) runs document by document and returns a
         :class:`CorpusRun`: sharded across worker processes on a
         ``mode="parallel"`` engine, sequentially in-process otherwise —
-        with byte-identical merged output either way.
+        with byte-identical merged output either way.  Corpus runs take
+        the fault-tolerance knobs (see
+        :func:`repro.parallel.execute_corpus` for full semantics):
+        ``retry`` resubmits documents whose failure was transient (dead
+        worker, retryable I/O) with exponential backoff; ``deadline``
+        bounds each document's wall-clock seconds (the hung worker is
+        killed and replaced); ``on_error`` decides what a (still) failing
+        document does — ``"raise"`` aborts the run, ``"skip"`` drops it,
+        ``"collect"`` quarantines it into ``CorpusRun.failures`` while
+        healthy documents' output is unchanged.
         """
         source = Source.of(source, chunk_size=chunk_size)
         if source.corpus or self.mode == "parallel":
@@ -1116,7 +1154,15 @@ class Engine:
                     "measure_memory traces one process; it is not supported "
                     "for corpus runs"
                 )
-            return self._run_corpus(source, sinks=sinks, binary=binary)
+            return self._run_corpus(source, sinks=sinks, binary=binary,
+                                    on_error=on_error, retry=retry,
+                                    deadline=deadline)
+        if on_error != "raise" or retry is not None or deadline is not None:
+            raise QueryError(
+                "on_error/retry/deadline are corpus-run policies; "
+                "single-document sources take a retry= on their "
+                "Source.from_* constructor instead"
+            )
         if measure_memory:
             tracemalloc.start()
         try:
@@ -1138,6 +1184,9 @@ class Engine:
         *,
         sinks,
         binary: bool | None,
+        on_error: str = "raise",
+        retry: "RetryPolicy | None" = None,
+        deadline: float | None = None,
     ) -> CorpusRun:
         """Drive a corpus source document by document (sharded or not).
 
@@ -1159,6 +1208,7 @@ class Engine:
         else:
             jobs = 1
         documents: list[DocumentRun] = []
+        failures: list = []
         pieces: list[list] = [[] for _ in self.labels]
         aggregates = [RunStatistics() for _ in self.labels]
         scan_total: RunStatistics | None = None
@@ -1167,9 +1217,15 @@ class Engine:
                 self,
                 source.documents(),
                 jobs=jobs,
+                retry=retry,
+                on_error=on_error,
+                deadline=deadline,
             )
             empty_value = b"" if resolved_binary else ""
             for outcome in outcomes:
+                if outcome.failure is not None:
+                    failures.append(outcome.failure)
+                    continue
                 doc_results: list[QueryResult] = []
                 for index, (label, output, stats) in enumerate(
                     zip(self.labels, outcome.outputs, outcome.stats)
@@ -1220,7 +1276,8 @@ class Engine:
             )
         ]
         return CorpusRun(documents=documents, results=results,
-                         scan_stats=scan_total, jobs=jobs)
+                         scan_stats=scan_total, jobs=jobs,
+                         failures=failures)
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,13 @@ Without ``--output`` the per-query projections are printed as labelled
 sections (``==> M2 <==`` ...); with ``--output BASE`` each query streams
 into its own ``BASE.<label>.xml`` file (binary, constant memory).
 
+Corpus runs are fault-tolerant on request: ``--retries N`` (with
+``--retry-backoff``) retries transiently failing documents -- interrupted
+reads, crashed workers -- and ``--on-error {raise,skip,collect}`` decides
+what happens to documents that still fail.  ``collect`` prints one
+``repro: failed: ...`` line per poisoned document and exits with status 3
+while the healthy documents' output stays byte-identical.
+
 ``--stats`` prints the run's statistics (the paper's table columns) to
 stderr; ``--stats-json`` emits them as one machine-readable JSON object.
 ``--measure-memory`` additionally reports the peak traced allocation size,
@@ -130,6 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
              "directly (zero-copy window; requires --input)",
     )
     parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "collect"),
+        default="raise",
+        help="corpus-run policy for documents that keep failing after the "
+             "retry budget: raise aborts the run (default), skip drops "
+             "them, collect reports them on stderr and exits with status 3 "
+             "while the healthy documents' output is unchanged",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient I/O failures (interrupted reads, reset "
+             "connections, crashed workers) up to N times per document "
+             "with exponential backoff (default: 0, fail fast)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="initial delay between retries, doubled per attempt "
+             "(default: 0.05)",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="write the projected document to FILE instead of stdout; in "
@@ -202,18 +235,31 @@ class _Sink:
         self._stream.flush()
 
 
+def _retry_policy(arguments) -> "api.RetryPolicy | None":
+    """The --retries/--retry-backoff flags as a :class:`api.RetryPolicy`."""
+    if not arguments.retries:
+        return None
+    return api.RetryPolicy(
+        retries=arguments.retries, backoff=arguments.retry_backoff
+    )
+
+
 def _document_source(arguments) -> "api.Source":
     """The input document as a :class:`repro.api.Source`."""
+    retry = _retry_policy(arguments)
     if arguments.mmap:
         return api.Source.from_mmap(arguments.input)
     if arguments.input:
         return api.Source.from_file(
-            arguments.input, chunk_size=arguments.chunk_size
+            arguments.input, chunk_size=arguments.chunk_size, retry=retry
         )
     # Binary stdin when available; text-only doubles (tests) pass through
-    # the str encode shim.
-    stream = getattr(sys.stdin, "buffer", sys.stdin)
-    return api.Source.from_iter(stream, chunk_size=arguments.chunk_size)
+    # the str encode shim (which has no retryable byte layer).
+    if hasattr(sys.stdin, "buffer"):
+        return api.Source.from_stdin(
+            chunk_size=arguments.chunk_size, retry=retry
+        )
+    return api.Source.from_iter(sys.stdin, chunk_size=arguments.chunk_size)
 
 
 def _run_filter(arguments, source, output_stream) -> int:
@@ -349,11 +395,19 @@ def _run_corpus(arguments, inputs: Sequence[str], output_stream) -> int:
     Each input gets its own labelled section on stdout (``==> input ::
     label <==``) or, with ``--output BASE``, its own
     ``BASE.<input>.<label>.xml`` file per query.
+
+    ``--retries`` retries transiently failing documents (worker crashes,
+    interrupted reads); ``--on-error`` decides what happens to documents
+    that still fail: abort the run (``raise``, default), drop them
+    (``skip``), or report them and exit 3 (``collect``) -- healthy
+    documents' output is identical in every mode.
     """
     engine = _corpus_engine(arguments)
     run = engine.run(
         api.Source.from_paths(inputs, chunk_size=arguments.chunk_size),
         binary=True,
+        retry=_retry_policy(arguments),
+        on_error=arguments.on_error,
     )
     labels = engine.labels
 
@@ -398,6 +452,15 @@ def _run_corpus(arguments, inputs: Sequence[str], output_stream) -> int:
             print(f"--- {result.label} (aggregate) ---", file=sys.stderr)
             print(_render_stats(result.stats, result.compilation),
                   file=sys.stderr)
+    if run.failures:
+        for failure in run.failures:
+            print(
+                f"repro: failed: {failure.name} "
+                f"(after {failure.attempts} attempt"
+                f"{'s' if failure.attempts != 1 else ''}): {failure.cause}",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 
@@ -490,6 +553,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--chunk-size must be positive")
     if arguments.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if arguments.retries < 0:
+        parser.error("--retries must be >= 0")
+    if arguments.retry_backoff < 0:
+        parser.error("--retry-backoff must be >= 0")
     corpus_inputs: list[str] = []
     if arguments.query:
         if arguments.positional and arguments.input:
@@ -530,6 +597,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
     if arguments.mmap and not arguments.input and not corpus_inputs:
         parser.error("--mmap requires an --input file")
+    if arguments.on_error != "raise" and not corpus_inputs:
+        parser.error(
+            "--on-error is a corpus-run policy (--query mode with several "
+            "input files); a single document either filters or fails"
+        )
     try:
         if corpus_inputs:
             return _run_corpus(arguments, corpus_inputs, sys.stdout)

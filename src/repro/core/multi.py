@@ -392,6 +392,8 @@ class MultiQuerySession:
         self._accel = (
             load_accel() if resolve_delivery(delivery) == "accel" else None
         )
+        if delivery == "accel" and self._accel is None:
+            self.scan_stats.accel_degraded = 1
         self._events: array | None = None  # reusable flat C event buffer
         for index in range(len(self._streams)):
             self._resubscribe(index)

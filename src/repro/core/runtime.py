@@ -51,6 +51,7 @@ inside comments or CDATA sections (character data must escape ``<``).
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Callable, NamedTuple, Union
 
 from repro.accel import load_accel
@@ -92,13 +93,43 @@ _QUOTE_NEEDLES = {_DQUOTE: b'"', _SQUOTE: b"'"}
 DELIVERIES = ("batched", "accel", "pertoken")
 
 
+#: Once-per-process latch of the explicit-``"accel"``-unavailable warning:
+#: every degraded stream records the fact in its statistics, but only the
+#: first one warns (a corpus run would otherwise emit thousands).
+_accel_degrade_warned = False
+
+
+def reset_accel_degrade_warning() -> None:
+    """Re-arm the once-per-process accel-degrade warning (test helper)."""
+    global _accel_degrade_warned
+    _accel_degrade_warned = False
+
+
+def _warn_accel_degraded() -> None:
+    global _accel_degrade_warned
+    if not _accel_degrade_warned:
+        _accel_degrade_warned = True
+        warnings.warn(
+            "delivery='accel' was requested but the repro._accel C "
+            "extension is not importable in this build; falling back to "
+            "the pure-Python 'batched' delivery (byte-identical output, "
+            "lower throughput).  Warned once per process; each degraded "
+            "run also sets RunStatistics.accel_degraded.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def resolve_delivery(delivery: "str | None") -> str:
     """Resolve a delivery request to an effective mode.
 
     ``None`` selects ``"accel"`` when the C extension is importable (and
     ``REPRO_PURE`` is unset), else ``"batched"``; an explicit ``"accel"``
     request degrades to ``"batched"`` when the extension is unavailable,
-    so call sites never have to probe the build themselves.
+    so call sites never have to probe the build themselves.  The explicit
+    degrade emits a once-per-process :class:`RuntimeWarning` and is
+    recorded on the run's :class:`~repro.core.stats.RunStatistics` as
+    ``accel_degraded`` by the stream that resolves it.
     """
     if delivery is None:
         return "accel" if load_accel() is not None else "batched"
@@ -107,6 +138,7 @@ def resolve_delivery(delivery: "str | None") -> str:
             f"unknown delivery {delivery!r}; expected one of {DELIVERIES}"
         )
     if delivery == "accel" and load_accel() is None:
+        _warn_accel_degraded()
         return "batched"
     return delivery
 
@@ -449,6 +481,11 @@ class RuntimeStream(_FilterStreamBase):
         self._failed = False
         runtime.reset_matcher_statistics()
         self._delivery = resolve_delivery(delivery)
+        if delivery == "accel" and self._delivery != "accel":
+            # Explicit request degraded because the extension is missing
+            # (the non-native-backend fallback below is a documented
+            # semantic, not a degradation, and stays unflagged).
+            self.stats.accel_degraded = 1
         if self._delivery == "accel" and runtime.backend != "native":
             # The C token kernel replays the native backend's statistics
             # formulas; other backends run the pure batched loop.

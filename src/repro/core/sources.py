@@ -40,10 +40,15 @@ UTF-8 sequences).
 from __future__ import annotations
 
 import codecs
+import errno
 import sys
+import time
+from dataclasses import dataclass
 from typing import IO, Iterable, Iterator
 
+from repro import faults
 from repro.core.stream import DEFAULT_CHUNK_SIZE
+from repro.errors import SourceError
 
 try:  # pragma: no cover - mmap exists on all supported platforms
     import mmap as _mmap
@@ -54,6 +59,122 @@ except ImportError:  # pragma: no cover
 def have_mmap() -> bool:
     """True when the platform provides :mod:`mmap`."""
     return _mmap is not None
+
+
+# ----------------------------------------------------------------------
+# Transient-I/O retry
+# ----------------------------------------------------------------------
+#: errno values that describe transient conditions a retry can clear.
+TRANSIENT_ERRNOS = frozenset({
+    errno.EINTR,
+    errno.EAGAIN,
+    errno.EWOULDBLOCK,
+    errno.ECONNRESET,
+    errno.ECONNABORTED,
+    errno.ENETRESET,
+    errno.ETIMEDOUT,
+    errno.EPIPE,
+})
+
+
+def is_transient(error: BaseException) -> bool:
+    """True when ``error`` is worth retrying (interrupt/reset/timeout class)."""
+    if isinstance(error, SourceError):
+        return error.transient
+    if isinstance(error, (InterruptedError, ConnectionResetError,
+                          ConnectionAbortedError, TimeoutError)):
+        return True
+    if isinstance(error, OSError):
+        return error.errno in TRANSIENT_ERRNOS
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient failures.
+
+    Used in two places: byte sources retry individual transient reads
+    (``EINTR``/``ECONNRESET``/timeouts -- see :data:`TRANSIENT_ERRNOS`)
+    in place, and the parallel corpus engine resubmits a document whose
+    worker died or whose error was transient.  The policy is deliberately
+    deterministic (no jitter): attempt ``n`` (1-based) sleeps
+    ``min(backoff * multiplier**(n-1), max_backoff)`` seconds, and at most
+    ``retries`` retries happen after the first attempt.
+
+    ``RetryPolicy()`` gives 3 retries at 0.05 s/0.1 s/0.2 s --
+    ``RetryPolicy(retries=0)`` disables retrying while keeping the uniform
+    :class:`~repro.errors.SourceError` wrapping.
+    """
+
+    retries: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return min(self.backoff * self.multiplier ** (attempt - 1),
+                   self.max_backoff)
+
+
+class _ReadGuard:
+    """Retry/wrap state shared by one streaming read loop.
+
+    Every low-level read goes through :meth:`read`: an armed fault plan may
+    inject a failure first, a transient ``OSError`` is retried per the
+    policy, and anything unrecoverable is re-raised as a
+    :class:`~repro.errors.SourceError` carrying the byte offset reached.
+    """
+
+    __slots__ = ("kind", "retry", "socket", "offset", "attempt")
+
+    def __init__(self, kind: str, retry: RetryPolicy | None,
+                 *, socket: bool = False) -> None:
+        self.kind = kind
+        self.retry = retry
+        self.socket = socket
+        self.offset = 0
+        self.attempt = 1
+
+    def read(self, operation, *args):
+        while True:
+            try:
+                if faults._STATE is not None:
+                    if self.socket:
+                        faults.maybe_socket_reset(self.offset)
+                    else:
+                        faults.maybe_io_error(self.kind, self.offset)
+                result = operation(*args)
+            except OSError as error:
+                self.failed(error)
+                continue
+            self.attempt = 1
+            if result:
+                self.offset += result if isinstance(result, int) else len(result)
+            return result
+
+    def failed(self, error: OSError) -> None:
+        """Sleep-and-return for a retryable error, raise SourceError otherwise."""
+        transient = is_transient(error)
+        if (transient and self.retry is not None
+                and self.attempt <= self.retry.retries):
+            time.sleep(self.retry.delay(self.attempt))
+            self.attempt += 1
+            return
+        raise SourceError(
+            f"{self.kind} read failed at byte {self.offset}: {error}",
+            offset=self.offset,
+            transient=transient,
+            attempts=self.attempt,
+        ) from error
 
 
 # ----------------------------------------------------------------------
@@ -107,9 +228,15 @@ class BufferPool:
             self._free.append(buffer)
 
 
-def _fill(readinto, buffer: bytearray) -> int:
-    """Fill ``buffer`` from ``readinto`` until full or end of stream."""
-    filled = readinto(buffer)
+def _fill(readinto, buffer: bytearray, guard: _ReadGuard | None = None) -> int:
+    """Fill ``buffer`` from ``readinto`` until full or end of stream.
+
+    With ``guard`` every partial read is individually retried/wrapped, so a
+    transient error after a short ``readinto`` resumes exactly where the
+    stream left off instead of losing the partial fill.
+    """
+    read = readinto if guard is None else (lambda part: guard.read(readinto, part))
+    filled = read(buffer)
     if not filled:
         return 0
     length = len(buffer)
@@ -117,7 +244,7 @@ def _fill(readinto, buffer: bytearray) -> int:
     while filled < length:
         if view is None:
             view = memoryview(buffer)
-        count = readinto(view[filled:])
+        count = read(view[filled:])
         if not count:
             break
         filled += count
@@ -134,7 +261,8 @@ def _check_pool_size(pool: BufferPool, chunk_size: int) -> None:
         )
 
 
-def _pooled_chunks(readinto, pool: BufferPool) -> Iterator[bytes]:
+def _pooled_chunks(readinto, pool: BufferPool,
+                   guard: _ReadGuard | None = None) -> Iterator[bytes]:
     """Yield recycled-buffer chunks from a ``readinto`` callable.
 
     Full buffers are yielded *borrowed* (valid until the next iteration
@@ -143,7 +271,7 @@ def _pooled_chunks(readinto, pool: BufferPool) -> Iterator[bytes]:
     buffer = pool.acquire()
     try:
         while True:
-            count = _fill(readinto, buffer)
+            count = _fill(readinto, buffer, guard)
             if not count:
                 return
             if count == len(buffer):
@@ -163,6 +291,7 @@ def file_chunks(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     *,
     pool: BufferPool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[bytes]:
     """Read the file at ``path`` as binary ``chunk_size`` chunks (no decode).
 
@@ -170,15 +299,21 @@ def file_chunks(
     (one unbuffered syscall path); the pool's buffers must match
     ``chunk_size``, so a shared pool cannot silently change a source's
     chunking.  Without a pool every chunk is a fresh ``bytes`` object.
+
+    Mid-stream ``OSError`` is surfaced as :class:`~repro.errors.SourceError`
+    carrying the byte offset reached; with ``retry`` transient errors
+    (see :data:`TRANSIENT_ERRNOS`) are retried in place with backoff first.
+    Open-time errors (missing file, permissions) are *not* wrapped.
     """
+    guard = _ReadGuard("file", retry)
     if pool is not None:
         _check_pool_size(pool, chunk_size)
         with open(path, "rb", buffering=0) as handle:
-            yield from _pooled_chunks(handle.readinto, pool)
+            yield from _pooled_chunks(handle.readinto, pool, guard)
         return
     with open(path, "rb") as handle:
         while True:
-            chunk = handle.read(chunk_size)
+            chunk = guard.read(handle.read, chunk_size)
             if not chunk:
                 return
             yield chunk
@@ -233,20 +368,25 @@ def stdin_chunks(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     *,
     pool: BufferPool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[bytes]:
     """Read the process's binary stdin in ``chunk_size`` chunks.
 
     With ``pool`` (and a stdin that supports ``readinto``) the chunks are
-    recycled pool buffers instead of fresh ``bytes`` per read.
+    recycled pool buffers instead of fresh ``bytes`` per read.  Mid-stream
+    ``OSError`` (a signal-interrupted pipe read, a dropped upstream) is
+    surfaced as :class:`~repro.errors.SourceError` with the byte offset
+    reached; ``retry`` retries transient errors in place first.
     """
     stream = getattr(sys.stdin, "buffer", sys.stdin)
     readinto = getattr(stream, "readinto", None)
+    guard = _ReadGuard("stdin", retry)
     if pool is not None and readinto is not None:
         _check_pool_size(pool, chunk_size)
-        yield from _pooled_chunks(readinto, pool)
+        yield from _pooled_chunks(readinto, pool, guard)
         return
     while True:
-        chunk = stream.read(chunk_size)
+        chunk = guard.read(stream.read, chunk_size)
         if not chunk:
             return
         yield chunk
@@ -257,6 +397,7 @@ def socket_chunks(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     *,
     pool: BufferPool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[bytes]:
     """Receive byte chunks from ``connection`` until the peer shuts down.
 
@@ -265,14 +406,20 @@ def socket_chunks(
     ``pool`` (and a connection that supports ``recv_into``) each datagram
     lands in a recycled pool buffer; partial fills -- normal on sockets --
     are yielded as owned copies, full buffers are yielded borrowed.
+
+    A mid-stream ``OSError`` (``ECONNRESET``, timeouts, ...) is surfaced
+    as :class:`~repro.errors.SourceError` carrying the byte offset reached
+    instead of leaking the raw error; ``retry`` retries transient errors
+    in place with backoff first.
     """
     recv_into = getattr(connection, "recv_into", None)
+    guard = _ReadGuard("socket", retry, socket=True)
     if pool is not None and recv_into is not None:
         _check_pool_size(pool, chunk_size)
         buffer = pool.acquire()
         try:
             while True:
-                count = recv_into(buffer)
+                count = guard.read(recv_into, buffer)
                 if not count:
                     return
                 if count == len(buffer):
@@ -282,7 +429,7 @@ def socket_chunks(
         finally:
             pool.release(buffer)
     while True:
-        chunk = connection.recv(chunk_size)
+        chunk = guard.read(connection.recv, chunk_size)
         if not chunk:
             return
         yield chunk
@@ -291,12 +438,16 @@ def socket_chunks(
 def iter_byte_chunks(
     source: "bytes | bytearray | memoryview | IO[bytes] | Iterable[bytes]",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[bytes]:
     """Uniform byte-chunk stream over the supported byte input shapes.
 
     ``source`` may be a bytes-like object (sliced), a binary file-like
     object with ``read``, a socket-like object with ``recv``, or an
-    iterable of byte chunks (passed through).
+    iterable of byte chunks (passed through).  Stream-shaped inputs get the
+    same :class:`~repro.errors.SourceError` wrapping (and optional
+    transient-``retry``) as the dedicated source generators.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -306,15 +457,16 @@ def iter_byte_chunks(
         return
     read = getattr(source, "read", None)
     if callable(read):
+        guard = _ReadGuard("stream", retry)
         while True:
-            chunk = read(chunk_size)
+            chunk = guard.read(read, chunk_size)
             if not chunk:
                 return
             yield chunk
         return
     recv = getattr(source, "recv", None)
     if callable(recv):
-        yield from socket_chunks(source, chunk_size)
+        yield from socket_chunks(source, chunk_size, retry=retry)
         return
     for chunk in source:
         if chunk:

@@ -45,6 +45,12 @@ class RunStatistics:
     regions_copied: int = 0
     run_seconds: float = 0.0
     peak_memory_bytes: int = 0
+    #: Number of runs folded into this record that asked for the C token
+    #: kernel (``delivery="accel"``) but ran the pure batched loop because
+    #: ``repro._accel`` is not importable.  Excluded from :meth:`as_dict`:
+    #: the degrade changes throughput, never output or paper counters, so
+    #: delivery-equivalence comparisons must not see it.
+    accel_degraded: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics (the paper's table columns)
@@ -111,6 +117,7 @@ class RunStatistics:
         self.run_seconds += other.run_seconds
         self.peak_memory_bytes = max(self.peak_memory_bytes,
                                      other.peak_memory_bytes)
+        self.accel_degraded += other.accel_degraded
 
     def as_dict(self) -> dict[str, float]:
         """All metrics as a flat dictionary (used by the benchmark harness)."""

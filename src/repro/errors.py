@@ -33,6 +33,42 @@ class XmlSyntaxError(ReproError):
         self.position = position
 
 
+class SourceError(ReproError):
+    """Raised when a byte source fails while a stream is being read.
+
+    Wraps the raw ``OSError`` family raised mid-chunk by file, stdin and
+    socket sources so callers can resume or report uniformly instead of
+    catching platform-specific errno soup.  Open-time failures (for example
+    ``FileNotFoundError``) are *not* wrapped: they describe the request, not
+    the stream.
+
+    Attributes
+    ----------
+    offset:
+        Absolute byte offset reached in the stream before the failure, i.e.
+        how many bytes were successfully delivered.
+    transient:
+        ``True`` when the underlying error is a transient condition
+        (``EINTR``/``ECONNRESET``/timeouts/...) that a retry could clear.
+    attempts:
+        Number of read attempts made at this offset (``> 1`` when a
+        :class:`~repro.core.sources.RetryPolicy` was active and exhausted).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: int = 0,
+        transient: bool = False,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.transient = transient
+        self.attempts = attempts
+
+
 class DtdSyntaxError(ReproError):
     """Raised when a DTD document cannot be parsed."""
 

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for chaos-testing the execution layers.
+
+The module exposes seeded, injectable failure points that the test suite
+(and the CI chaos leg) can arm via a :class:`FaultPlan`:
+
+* **worker crash** -- a pool worker hard-exits (``os._exit``) right before
+  processing a document, as if the OOM killer or a segfault took it down;
+* **worker hang** -- a worker blocks and *ignores* ``SIGTERM``, exercising
+  the supervisor's per-document deadline and the pool's ``terminate`` →
+  ``kill`` teardown escalation;
+* **I/O error mid-chunk** -- file/stdin reads raise a transient ``OSError``
+  (``EINTR``) between chunks, exercising :class:`~repro.core.sources.RetryPolicy`;
+* **socket reset** -- ``socket_chunks`` raises ``ConnectionResetError``;
+* **corrupted / truncated bytes** -- pure helpers (:func:`flip_bits`,
+  :func:`truncate`, :func:`inject_garbage`) that deterministically damage a
+  payload for malformed-input property tests;
+* **slow consumer/producer** -- :func:`delay_chunks` wraps a chunk iterator
+  with deterministic sleeps.
+
+Design rules
+------------
+
+* **Deterministic.**  Every decision comes from a ``random.Random`` seeded
+  with ``(plan.seed, scope, site)``.  The same plan + the same scope replays
+  the same faults.  Worker processes arm themselves with a per-worker scope
+  (fresh for every respawn), so a crashed-and-respawned worker does not
+  deterministically crash in a loop.
+* **Zero production overhead when disarmed.**  Hot paths guard every
+  injection site with a single module-global ``is None`` check
+  (:func:`active`); nothing else runs when no plan is armed.
+* **Faults travel the real failure paths.**  Injected I/O errors are raised
+  *inside* the source read loop so they flow through exactly the retry /
+  wrap / resubmit machinery a real error would.
+
+Example::
+
+    plan = FaultPlan(seed=1234, worker_crash=0.3, io_error=0.1)
+    with faults.injected(plan):
+        run = engine.run(corpus, retry=RetryPolicy(retries=4))
+
+``WorkerPool`` captures the armed plan at construction and ships it to the
+workers, so arming in the parent is enough even under the ``spawn`` start
+method.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "FaultPlan",
+    "arm",
+    "disarm",
+    "injected",
+    "active",
+    "flip_bits",
+    "truncate",
+    "inject_garbage",
+    "delay_chunks",
+]
+
+CRASH_EXIT_CODE = 70  # EX_SOFTWARE; what an injected worker crash exits with
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of which faults to inject, and how often.
+
+    All rates are per-opportunity probabilities in ``[0, 1]`` drawn from a
+    deterministic per-``(seed, scope, site)`` RNG:
+
+    ``worker_crash``
+        Checked once per document task inside a pool worker; fires
+        ``os._exit(CRASH_EXIT_CODE)``.
+    ``worker_hang``
+        Checked once per document task; the worker ignores ``SIGTERM`` and
+        sleeps ``hang_seconds`` (then continues, if it is still alive).
+    ``io_error``
+        Checked once per chunk in ``file_chunks``/``stdin_chunks``; raises
+        a transient ``OSError(EINTR)``.
+    ``socket_reset``
+        Checked once per chunk in ``socket_chunks``; raises
+        ``ConnectionResetError``.
+    ``max_triggers``
+        Per-process cap on the total number of faults fired (``None`` =
+        unlimited).  Useful to guarantee forward progress, e.g. "each worker
+        hangs at most once".
+    """
+
+    seed: int = 0
+    worker_crash: float = 0.0
+    worker_hang: float = 0.0
+    hang_seconds: float = 3600.0
+    io_error: float = 0.0
+    socket_reset: float = 0.0
+    max_triggers: int | None = None
+
+    def any_source_faults(self) -> bool:
+        return self.io_error > 0.0 or self.socket_reset > 0.0
+
+
+class _FaultState:
+    """Armed plan + per-site deterministic RNGs for this process."""
+
+    __slots__ = ("plan", "scope", "_rngs", "triggers")
+
+    def __init__(self, plan: FaultPlan, scope: str) -> None:
+        self.plan = plan
+        self.scope = scope
+        self._rngs: dict[str, random.Random] = {}
+        self.triggers = 0
+
+    def fire(self, site: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        cap = self.plan.max_triggers
+        if cap is not None and self.triggers >= cap:
+            return False
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}:{self.scope}:{site}")
+            self._rngs[site] = rng
+        if rng.random() >= rate:
+            return False
+        self.triggers += 1
+        return True
+
+
+_STATE: _FaultState | None = None
+
+
+def arm(plan: FaultPlan, *, scope: str = "main") -> None:
+    """Arm ``plan`` for this process.
+
+    ``scope`` namespaces the RNG streams; worker processes arm with a
+    per-worker scope so each draws an independent, reproducible sequence.
+    """
+
+    global _STATE
+    _STATE = _FaultState(plan, scope)
+
+
+def disarm() -> None:
+    """Remove the armed plan (injection sites become no-ops again)."""
+
+    global _STATE
+    _STATE = None
+
+
+def active() -> FaultPlan | None:
+    """The armed plan, or ``None``.  This is the hot-path guard."""
+
+    state = _STATE
+    return None if state is None else state.plan
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan, *, scope: str = "main") -> Iterator[FaultPlan]:
+    """Context manager: arm ``plan`` on entry, disarm on exit."""
+
+    arm(plan, scope=scope)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+# ---------------------------------------------------------------------------
+# Injection sites (called by the execution layers behind an ``active()`` /
+# ``_STATE is not None`` guard).
+# ---------------------------------------------------------------------------
+
+
+def worker_chaos() -> None:
+    """Crash or hang the current worker process, per the armed plan.
+
+    Called by the pool worker loop once per document task.  A crash is a
+    hard ``os._exit`` (no cleanup, queues left mid-state) so the supervisor
+    sees exactly what a segfaulted worker looks like.  A hang installs
+    ``SIG_IGN`` for ``SIGTERM`` first, so only ``SIGKILL`` (the pool's
+    escalation path) can reclaim the process.
+    """
+
+    state = _STATE
+    if state is None:
+        return
+    plan = state.plan
+    if state.fire("worker_crash", plan.worker_crash):
+        os._exit(CRASH_EXIT_CODE)
+    if state.fire("worker_hang", plan.worker_hang):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(plan.hang_seconds)
+
+
+def maybe_io_error(kind: str, offset: int) -> None:
+    """Raise a transient ``OSError`` for a ``kind`` read at ``offset``."""
+
+    state = _STATE
+    if state is None:
+        return
+    if state.fire("io_error", state.plan.io_error):
+        raise OSError(
+            errno.EINTR, f"injected transient I/O error ({kind} read at byte {offset})"
+        )
+
+
+def maybe_socket_reset(offset: int) -> None:
+    """Raise ``ConnectionResetError`` for a socket read at ``offset``."""
+
+    state = _STATE
+    if state is None:
+        return
+    if state.fire("socket_reset", state.plan.socket_reset):
+        raise ConnectionResetError(
+            errno.ECONNRESET, f"injected connection reset (socket read at byte {offset})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic byte-corruption helpers (pure functions; used by the
+# malformed-input property tests and usable from any harness).
+# ---------------------------------------------------------------------------
+
+
+def flip_bits(data: bytes, *, seed: int, flips: int = 1) -> bytes:
+    """Return ``data`` with ``flips`` deterministic single-bit flips."""
+
+    if not data or flips <= 0:
+        return data
+    rng = random.Random(f"flip:{seed}")
+    damaged = bytearray(data)
+    for _ in range(flips):
+        position = rng.randrange(len(damaged))
+        damaged[position] ^= 1 << rng.randrange(8)
+    return bytes(damaged)
+
+
+def truncate(data: bytes, *, seed: int) -> bytes:
+    """Return a deterministic strict prefix of ``data`` (possibly empty)."""
+
+    if not data:
+        return data
+    rng = random.Random(f"truncate:{seed}")
+    return data[: rng.randrange(len(data))]
+
+
+def inject_garbage(data: bytes, *, seed: int, length: int = 8) -> bytes:
+    """Insert ``length`` deterministic random bytes somewhere in ``data``."""
+
+    rng = random.Random(f"garbage:{seed}")
+    position = rng.randrange(len(data) + 1)
+    garbage = bytes(rng.randrange(256) for _ in range(length))
+    return data[:position] + garbage + data[position:]
+
+
+def delay_chunks(
+    chunks: Iterable[bytes], *, seconds: float, every: int = 1
+) -> Iterator[bytes]:
+    """Yield ``chunks`` sleeping ``seconds`` before every ``every``-th chunk.
+
+    Simulates a slow producer (wrap a source) or, fed to a writer, a slow
+    consumer -- useful for exercising backpressure and idle/feed timeouts.
+    """
+
+    for index, chunk in enumerate(chunks):
+        if every > 0 and index % every == 0:
+            time.sleep(seconds)
+        yield chunk

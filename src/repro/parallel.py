@@ -35,11 +35,13 @@ machinery underneath.
 
 from __future__ import annotations
 
+import concurrent.futures
 import itertools
 import os
 import pickle
 import queue
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
@@ -47,12 +49,14 @@ from typing import Callable, Iterable, Iterator
 
 import multiprocessing
 
-from repro.core.sources import BufferPool
+from repro import faults
+from repro.core.sources import BufferPool, RetryPolicy, is_transient
 from repro.core.stats import RunStatistics
 from repro.dtd.model import Dtd
 from repro.errors import QueryError, ReproError
 
 __all__ = [
+    "DocumentFailure",
     "DocumentOutcome",
     "EngineSpec",
     "ParallelExecutionError",
@@ -74,6 +78,10 @@ _CLOSE = "close"
 #: stream whose blobs live in the task queue.
 _PENDING_PER_WORKER = 4
 
+#: Grace period between teardown escalation steps (``terminate`` has been
+#: sent / ``kill`` has been sent -> how long to wait for the exit).
+_KILL_GRACE = 5.0
+
 
 def default_jobs() -> int:
     """The default worker count: the CPUs this process may run on."""
@@ -89,7 +97,12 @@ class ParallelExecutionError(ReproError):
     ``document`` is the failing path (or record name), ``original`` the
     worker-side exception when it could be pickled back (also attached as
     ``__cause__``), and ``worker_traceback`` the worker's formatted
-    traceback for post-mortem logging.
+    traceback for post-mortem logging.  ``transient`` marks failures a
+    resubmission could clear -- a worker that died mid-task, an expired
+    per-document deadline, or a transient I/O error
+    (:func:`repro.core.sources.is_transient`) -- as opposed to a poisoned
+    document that will fail the same way every time.  ``attempts`` counts
+    how many times the document was tried when retry was enabled.
     """
 
     def __init__(
@@ -99,11 +112,15 @@ class ParallelExecutionError(ReproError):
         document: str | None = None,
         original: BaseException | None = None,
         worker_traceback: str | None = None,
+        transient: bool = False,
+        attempts: int = 1,
     ) -> None:
         super().__init__(message)
         self.document = document
         self.original = original
         self.worker_traceback = worker_traceback
+        self.transient = transient
+        self.attempts = attempts
 
 
 # ----------------------------------------------------------------------
@@ -183,14 +200,40 @@ class EngineSpec:
 # Per-document results
 # ----------------------------------------------------------------------
 @dataclass
+class DocumentFailure:
+    """One quarantined document of a corpus run (``on_error != "raise"``).
+
+    ``name`` is the document path or record name, ``attempts`` how many
+    times it was tried (retry included), and ``error`` the final
+    :class:`ParallelExecutionError` -- its ``original``/``worker_traceback``
+    carry the root cause.
+    """
+
+    index: int
+    name: str
+    attempts: int
+    error: ParallelExecutionError
+
+    @property
+    def cause(self) -> BaseException:
+        """The most specific exception available for this failure."""
+        return self.error.original or self.error
+
+
+@dataclass
 class DocumentOutcome:
-    """One document's share of a corpus run, in worker-neutral terms."""
+    """One document's share of a corpus run, in worker-neutral terms.
+
+    ``failure`` is set (and ``outputs``/``stats`` are empty) when the
+    document was quarantined under ``on_error="collect"``.
+    """
 
     index: int
     name: str
     outputs: list[bytes]
     stats: list[RunStatistics]
     scan_stats: RunStatistics | None = None
+    failure: DocumentFailure | None = None
 
 
 def _document_payload_source(payload, pools: dict[int, BufferPool]):
@@ -228,20 +271,22 @@ def _run_document(engine, payload, pools: dict[int, BufferPool]):
 def _describe_error(error: BaseException):
     """A picklable description of a worker-side failure."""
     text = traceback.format_exc()
+    transient = is_transient(error)
     try:
         pickle.dumps(error)
     except Exception:
-        return (None, f"{type(error).__name__}: {error}", text)
-    return (error, str(error), text)
+        return (None, f"{type(error).__name__}: {error}", text, transient)
+    return (error, str(error), text, transient)
 
 
 def _worker_error(description) -> ParallelExecutionError:
     """Rebuild a worker-side failure description as a raisable error."""
-    original, message, worker_traceback = description
+    original, message, worker_traceback, transient = description
     error = ParallelExecutionError(
         message,
         original=original,
         worker_traceback=worker_traceback,
+        transient=transient,
     )
     if original is not None:
         error.__cause__ = original
@@ -251,8 +296,18 @@ def _worker_error(description) -> ParallelExecutionError:
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(spec: EngineSpec, tasks, results) -> None:
-    """Worker loop: build the engine once, execute commands until sentinel."""
+def _worker_main(spec: EngineSpec, tasks, results,
+                 fault_plan=None, worker_uid: int = 0) -> None:
+    """Worker loop: build the engine once, execute commands until sentinel.
+
+    ``fault_plan`` is the :class:`repro.faults.FaultPlan` armed in the
+    parent when the pool was created (``None`` in production): armed here
+    with a per-worker scope so every worker -- including respawned ones,
+    which get a fresh ``worker_uid`` -- draws its own deterministic fault
+    sequence.
+    """
+    if fault_plan is not None:
+        faults.arm(fault_plan, scope=f"worker-{worker_uid}")
     engine = spec.build()
     pools: dict[int, BufferPool] = {}
     sessions: dict = {}
@@ -261,6 +316,8 @@ def _worker_main(spec: EngineSpec, tasks, results) -> None:
         if command is None:
             break
         kind = command[0]
+        if kind == _DOC and fault_plan is not None:
+            faults.worker_chaos()
         try:
             if kind == _DOC:
                 _, request_id, name, payload = command
@@ -295,10 +352,12 @@ def _worker_main(spec: EngineSpec, tasks, results) -> None:
 class _Worker:
     """Parent-side handle of one worker process."""
 
-    __slots__ = ("identifier", "process", "tasks", "outstanding", "sessions")
+    __slots__ = ("identifier", "uid", "process", "tasks", "outstanding",
+                 "sessions")
 
-    def __init__(self, identifier: int, process, tasks) -> None:
+    def __init__(self, identifier: int, uid: int, process, tasks) -> None:
         self.identifier = identifier
+        self.uid = uid
         self.process = process
         self.tasks = tasks
         self.outstanding: set[int] = set()
@@ -306,7 +365,7 @@ class _Worker:
 
 
 class WorkerPool:
-    """A persistent pool of filter worker processes.
+    """A persistent, supervised pool of filter worker processes.
 
     Each worker holds the compiled engine once and executes whole-document
     tasks (:meth:`submit_document`) or long-lived streaming sessions
@@ -315,6 +374,18 @@ class WorkerPool:
     result queue feeds a collector thread that resolves the returned
     futures.  Use as a context manager, or call :meth:`close` /
     :meth:`terminate`.
+
+    **Supervision** (``supervise=True``, the default): a worker that dies
+    mid-task -- crash, OOM kill, injected fault -- is detected by the
+    collector's liveness pass, its in-flight futures fail with a
+    *transient* :class:`ParallelExecutionError` (so :func:`execute_corpus`
+    can resubmit under a :class:`~repro.core.sources.RetryPolicy`), and a
+    replacement process is spawned into the same slot so the pool never
+    shrinks.  Streaming sessions are worker-resident state and cannot be
+    transparently replayed: their commands fail with a transient error and
+    the caller re-opens.  Teardown escalates ``join(timeout)`` →
+    ``terminate()`` → ``kill()`` so a hung worker (even one ignoring
+    ``SIGTERM``) can never leak past :meth:`close`/:meth:`terminate`.
     """
 
     def __init__(
@@ -323,6 +394,8 @@ class WorkerPool:
         jobs: int,
         *,
         start_method: str | None = None,
+        supervise: bool = True,
+        shutdown_timeout: float = 30.0,
     ) -> None:
         if jobs < 1:
             raise QueryError(f"a worker pool needs jobs >= 1, got {jobs}")
@@ -339,37 +412,54 @@ class WorkerPool:
         self._futures: dict[int, tuple] = {}
         self._request_ids = itertools.count()
         self._session_ids = itertools.count()
+        self._worker_uids = itertools.count()
+        self._supervise = supervise
+        self._shutdown_timeout = shutdown_timeout
+        self._fault_plan = faults.active()
+        self._retired_queues: list = []
         self._closed = False
         self._workers: list[_Worker] = []
         for identifier in range(jobs):
-            tasks = self._context.Queue()
-            process = self._context.Process(
-                target=_worker_main,
-                args=(spec, tasks, self._results),
-                daemon=True,
-                name=f"repro-filter-worker-{identifier}",
-            )
-            process.start()
-            self._workers.append(_Worker(identifier, process, tasks))
+            self._workers.append(self._spawn(identifier))
         self._collector = threading.Thread(
             target=self._collect, daemon=True, name="repro-pool-collector"
         )
         self._collector.start()
 
+    def _spawn(self, identifier: int) -> _Worker:
+        """Start one worker process for slot ``identifier``."""
+        uid = next(self._worker_uids)
+        tasks = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self.spec, tasks, self._results, self._fault_plan, uid),
+            daemon=True,
+            name=f"repro-filter-worker-{identifier}",
+        )
+        process.start()
+        return _Worker(identifier, uid, process, tasks)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, worker: _Worker, build_command: Callable[[int], tuple]):
-        import concurrent.futures
-
+    def _dispatch(self, worker: _Worker, build_command: Callable[[int], tuple],
+                  *, sticky: bool = False):
         future = concurrent.futures.Future()
         with self._lock:
             if self._closed:
                 raise ReproError("the worker pool is closed")
-            if not worker.process.is_alive():
-                raise ParallelExecutionError(
-                    f"worker {worker.identifier} died unexpectedly"
-                )
+            current = self._workers[worker.identifier]
+            if worker is not current or not worker.process.is_alive():
+                if sticky or not self._supervise:
+                    raise ParallelExecutionError(
+                        f"worker {worker.identifier} died unexpectedly",
+                        transient=True,
+                    )
+                # Supervised stateless dispatch: route to the slot's current
+                # worker.  It may itself be dead (not yet repaired) -- the
+                # liveness pass then fails the future as transient and the
+                # corpus driver resubmits.
+                worker = current
             request_id = next(self._request_ids)
             self._futures[request_id] = (future, worker)
             worker.outstanding.add(request_id)
@@ -384,12 +474,24 @@ class WorkerPool:
         """
         with self._lock:
             worker = min(self._workers, key=lambda w: len(w.outstanding))
+        if self._supervise and not worker.process.is_alive():
+            # Repair eagerly instead of queueing onto a corpse.
+            self._check_liveness()
+            with self._lock:
+                worker = min(self._workers, key=lambda w: len(w.outstanding))
         return self._dispatch(
             worker, lambda request_id: (_DOC, request_id, name, payload)
         )
 
     def open_session(self, *, binary: bool = True) -> "RemoteSession":
         """Open a streaming filter session inside the least-loaded worker."""
+        if self._supervise:
+            with self._lock:
+                repair = any(
+                    not worker.process.is_alive() for worker in self._workers
+                )
+            if repair:
+                self._check_liveness()
         with self._lock:
             worker = min(self._workers, key=lambda w: w.sessions)
             worker.sessions += 1
@@ -406,6 +508,30 @@ class WorkerPool:
                 worker.sessions -= 1
             raise
         return RemoteSession(self, worker, session_id, self.spec.labels)
+
+    def abandon(self, future) -> bool:
+        """Kill the worker holding ``future``'s request (deadline expiry).
+
+        The worker is presumed hung, so it is SIGKILLed outright; the
+        liveness pass fails its in-flight futures with a transient error
+        and (under supervision) spawns a replacement into the slot.
+        Returns ``False`` when the future was no longer in flight --
+        i.e. it completed in the race window and nothing was killed.
+        """
+        with self._lock:
+            worker = None
+            for entry in self._futures.values():
+                if entry[0] is future:
+                    worker = entry[1]
+                    break
+        if worker is None:
+            return False
+        process = worker.process
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=_KILL_GRACE)
+        self._check_liveness()
+        return True
 
     # ------------------------------------------------------------------
     # Result collection
@@ -434,22 +560,36 @@ class WorkerPool:
                 future.set_exception(_worker_error(value))
 
     def _check_liveness(self) -> bool:
-        """Fail futures of dead workers; returns True when collection is done."""
+        """Repair dead workers; returns True when collection is done.
+
+        A dead worker's in-flight futures fail with a *transient*
+        :class:`ParallelExecutionError` (the task may simply not have been
+        attempted); under supervision a replacement process is spawned into
+        the slot so pool capacity is restored.  The dead worker's task
+        queue is retired, not closed: a racing dispatch may still hold a
+        reference, and its items are abandoned with the dead worker anyway
+        (every affected future is failed here).
+        """
         with self._lock:
             if self._closed and not self._futures:
                 return True
             dead: list[tuple] = []
-            for worker in self._workers:
-                if worker.outstanding and not worker.process.is_alive():
-                    for request_id in list(worker.outstanding):
-                        entry = self._futures.pop(request_id, None)
-                        if entry is not None:
-                            dead.append((entry[0], worker.identifier))
-                    worker.outstanding.clear()
+            for slot, worker in enumerate(self._workers):
+                if worker.process.is_alive():
+                    continue
+                for request_id in list(worker.outstanding):
+                    entry = self._futures.pop(request_id, None)
+                    if entry is not None:
+                        dead.append((entry[0], worker.identifier))
+                worker.outstanding.clear()
+                if self._supervise and not self._closed:
+                    self._retired_queues.append(worker.tasks)
+                    self._workers[slot] = self._spawn(worker.identifier)
         for future, identifier in dead:
             future.set_exception(ParallelExecutionError(
                 f"worker {identifier} died before finishing its task "
-                "(killed or crashed hard)"
+                "(killed or crashed hard)",
+                transient=True,
             ))
         return False
 
@@ -457,37 +597,61 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drain and stop the workers (waits for queued tasks to finish)."""
+        """Drain and stop the workers (waits for queued tasks to finish).
+
+        Workers get the shutdown sentinel and ``shutdown_timeout`` seconds
+        to drain; whatever is still alive is escalated ``terminate()`` →
+        ``kill()``, so a hung worker (a blocked ``feed``, a masked
+        ``SIGTERM``) can delay shutdown but never prevent it.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         for worker in self._workers:
             worker.tasks.put(None)
-        for worker in self._workers:
-            worker.process.join(timeout=30)
+        self._escalate(self._shutdown_timeout)
         self._results.put(None)
         self._collector.join(timeout=5)
-        for worker in self._workers:
-            if worker.process.is_alive():  # pragma: no cover - stuck worker
-                worker.process.terminate()
         self._fail_outstanding("the worker pool was closed")
         self._release_queues()
 
     def terminate(self) -> None:
-        """Kill the workers immediately (queued tasks are abandoned)."""
+        """Kill the workers immediately (queued tasks are abandoned).
+
+        ``terminate()`` (SIGTERM) is escalated to ``kill()`` (SIGKILL) for
+        any worker that does not exit within the shutdown timeout.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for worker in self._workers:
-            worker.process.terminate()
-        for worker in self._workers:
-            worker.process.join(timeout=5)
+        self._escalate(0.0)
         self._results.put(None)
         self._collector.join(timeout=5)
         self._fail_outstanding("the worker pool was terminated")
         self._release_queues()
+
+    def _escalate(self, join_timeout: float) -> None:
+        """``join(timeout)`` → ``terminate()`` → ``kill()`` the workers."""
+        if join_timeout > 0:
+            deadline = time.monotonic() + join_timeout
+            for worker in self._workers:
+                remaining = deadline - time.monotonic()
+                worker.process.join(timeout=max(0.0, remaining))
+        stubborn = [w for w in self._workers if w.process.is_alive()]
+        for worker in stubborn:
+            worker.process.terminate()
+        grace = min(self._shutdown_timeout, _KILL_GRACE)
+        deadline = time.monotonic() + max(0.1, grace)
+        for worker in stubborn:
+            remaining = deadline - time.monotonic()
+            worker.process.join(timeout=max(0.0, remaining))
+        hardened = [w for w in stubborn if w.process.is_alive()]
+        for worker in hardened:
+            worker.process.kill()
+        for worker in hardened:
+            worker.process.join(timeout=_KILL_GRACE)
 
     def _release_queues(self) -> None:
         """Close the queues without joining their feeder threads.
@@ -498,6 +662,10 @@ class WorkerPool:
         interpreter shutdown on it.  The data is intentionally abandoned --
         every affected future was already failed.
         """
+        for tasks in self._retired_queues:
+            tasks.close()
+            tasks.cancel_join_thread()
+        self._retired_queues.clear()
         for worker in self._workers:
             worker.tasks.close()
             worker.tasks.cancel_join_thread()
@@ -551,6 +719,7 @@ class RemoteSession:
         future = self._pool._dispatch(
             self._worker,
             lambda request_id: (_FEED, request_id, self._session_id, chunk),
+            sticky=True,
         )
         return future.result()
 
@@ -559,6 +728,7 @@ class RemoteSession:
         future = self._pool._dispatch(
             self._worker,
             lambda request_id: (_FINISH, request_id, self._session_id),
+            sticky=True,
         )
         outputs, self.stats, self.scan_stats = future.result()
         self._open = False
@@ -581,12 +751,25 @@ class RemoteSession:
 # ----------------------------------------------------------------------
 # Corpus execution
 # ----------------------------------------------------------------------
+_ON_ERROR_POLICIES = ("raise", "skip", "collect")
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in _ON_ERROR_POLICIES:
+        raise QueryError(
+            f"on_error must be one of {_ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+
+
 def execute_corpus(
     engine,
     documents: Iterable[tuple[str, tuple]],
     *,
     jobs: int,
     pool: WorkerPool | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    deadline: float | None = None,
 ) -> Iterator[DocumentOutcome]:
     """Shard ``documents`` across ``jobs`` workers; yield outcomes in order.
 
@@ -596,19 +779,46 @@ def execute_corpus(
     order-preserving merge) -- while submission stays ahead by a bounded
     in-flight window, so workers never idle waiting for the merge.
 
+    Fault tolerance:
+
+    ``retry``
+        A :class:`~repro.core.sources.RetryPolicy`: a document whose
+        failure is *transient* (its worker died, its deadline expired, or
+        the underlying error is retryable I/O) is resubmitted after the
+        policy's backoff, up to ``retry.retries`` times.  Resubmission
+        happens at the head of the merge, so corpus order -- and therefore
+        byte-identity with a sequential run -- is preserved.
+    ``on_error``
+        What to do with a document that (still) fails: ``"raise"`` aborts
+        the run (the default, and the pre-fault-tolerance behavior);
+        ``"skip"`` drops it silently; ``"collect"`` yields a
+        :class:`DocumentOutcome` whose ``failure`` field quarantines the
+        document (path, attempts, cause) while the run continues.
+    ``deadline``
+        Per-document wall-clock budget in seconds.  An expired document's
+        worker is presumed hung and killed (SIGKILL -- it may be ignoring
+        ``SIGTERM``), the slot is respawned, and the document is treated
+        as a transient failure (so ``retry`` applies).  Ignored by the
+        in-process ``jobs=1`` path, which has no worker to kill.
+
     ``jobs=1`` (without an explicit ``pool``) runs everything in-process:
     no worker processes, no pickling -- the sequential baseline with the
     same merge semantics.  A failing document raises
     :class:`ParallelExecutionError` naming it, whatever the mode.
     """
+    _check_on_error(on_error)
     if pool is None and jobs <= 1:
-        yield from _execute_in_process(engine, documents)
+        yield from _execute_in_process(
+            engine, documents, retry=retry, on_error=on_error
+        )
         return
     owned = pool is None
     if owned:
         pool = WorkerPool(engine, jobs)
     try:
-        pending: deque[tuple[int, str, object]] = deque()
+        # Entries are [index, name, payload, future, attempts]; the payload
+        # is kept so a transient failure can be resubmitted.
+        pending: deque[list] = deque()
         limit = max(2, pool.jobs * _PENDING_PER_WORKER)
         iterator = enumerate(documents)
         exhausted = False
@@ -620,21 +830,62 @@ def execute_corpus(
                     exhausted = True
                     break
                 pending.append(
-                    (index, name, pool.submit_document(name, payload))
+                    [index, name, payload,
+                     pool.submit_document(name, payload), 1]
                 )
             if not pending:
                 break
-            index, name, future = pending.popleft()
-            try:
-                outputs, stats, scan_stats = future.result()
-            except ParallelExecutionError as error:
+            entry = pending.popleft()
+            index, name, payload = entry[0], entry[1], entry[2]
+            outcome = error = None
+            while True:
+                try:
+                    outputs, stats, scan_stats = entry[3].result(
+                        timeout=deadline
+                    )
+                    outcome = DocumentOutcome(
+                        index=index, name=name, outputs=outputs,
+                        stats=stats, scan_stats=scan_stats,
+                    )
+                    break
+                except concurrent.futures.TimeoutError:
+                    if not pool.abandon(entry[3]) and entry[3].done():
+                        continue  # completed in the race window
+                    error = ParallelExecutionError(
+                        f"document {name!r} exceeded the {deadline} s "
+                        "deadline (worker killed)",
+                        document=name,
+                        transient=True,
+                    )
+                except ParallelExecutionError as failure:
+                    error = failure
+                if (error.transient and retry is not None
+                        and entry[4] <= retry.retries):
+                    time.sleep(retry.delay(entry[4]))
+                    entry[4] += 1
+                    try:
+                        entry[3] = pool.submit_document(name, payload)
+                    except ParallelExecutionError as failure:
+                        error = failure
+                        break
+                    continue
+                break
+            if outcome is not None:
+                yield outcome
+                continue
+            error.attempts = entry[4]
+            if on_error == "raise":
                 if error.document is None:
                     error.document = name
                 raise _named(error, name) from error.original
-            yield DocumentOutcome(
-                index=index, name=name, outputs=outputs, stats=stats,
-                scan_stats=scan_stats,
-            )
+            if on_error == "collect":
+                yield DocumentOutcome(
+                    index=index, name=name, outputs=[], stats=[],
+                    failure=DocumentFailure(
+                        index=index, name=name, attempts=entry[4],
+                        error=_named(error, name),
+                    ),
+                )
     except BaseException:
         # Errors and abandoned iteration must not wait for the queued rest
         # of the corpus; an owned pool is killed, a borrowed one is the
@@ -656,12 +907,21 @@ def _named(error: ParallelExecutionError, name: str) -> ParallelExecutionError:
         document=name,
         original=error.original,
         worker_traceback=error.worker_traceback,
+        transient=error.transient,
+        attempts=error.attempts,
     )
     return renamed
 
 
-def _execute_in_process(engine, documents) -> Iterator[DocumentOutcome]:
+def _execute_in_process(
+    engine,
+    documents,
+    *,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+) -> Iterator[DocumentOutcome]:
     """The ``jobs=1`` fallback: same semantics, current process, no pickling."""
+    _check_on_error(on_error)
     if isinstance(engine, EngineSpec):
         built = engine.build()
     elif engine.mode == "parallel":
@@ -673,19 +933,47 @@ def _execute_in_process(engine, documents) -> Iterator[DocumentOutcome]:
         built = engine
     pools: dict[int, BufferPool] = {}
     for index, (name, payload) in enumerate(documents):
-        try:
-            outputs, stats, scan_stats = _run_document(
-                built, payload, pools
+        attempts = 1
+        while True:
+            try:
+                outputs, stats, scan_stats = _run_document(
+                    built, payload, pools
+                )
+                outcome = DocumentOutcome(
+                    index=index, name=name, outputs=outputs, stats=stats,
+                    scan_stats=scan_stats,
+                )
+                error = None
+                break
+            except Exception as raw:
+                if (is_transient(raw) and retry is not None
+                        and attempts <= retry.retries):
+                    time.sleep(retry.delay(attempts))
+                    attempts += 1
+                    continue
+                outcome = None
+                if isinstance(raw, ParallelExecutionError):
+                    error = raw
+                else:
+                    error = ParallelExecutionError(
+                        f"filtering {name!r} failed: {raw}",
+                        document=name,
+                        original=raw,
+                        transient=is_transient(raw),
+                        attempts=attempts,
+                    )
+                    error.__cause__ = raw
+                break
+        if outcome is not None:
+            yield outcome
+            continue
+        error.attempts = attempts
+        if on_error == "raise":
+            raise error from error.original
+        if on_error == "collect":
+            yield DocumentOutcome(
+                index=index, name=name, outputs=[], stats=[],
+                failure=DocumentFailure(
+                    index=index, name=name, attempts=attempts, error=error,
+                ),
             )
-        except ParallelExecutionError:
-            raise
-        except Exception as error:
-            raise ParallelExecutionError(
-                f"filtering {name!r} failed: {error}",
-                document=name,
-                original=error,
-            ) from error
-        yield DocumentOutcome(
-            index=index, name=name, outputs=outputs, stats=stats,
-            scan_stats=scan_stats,
-        )

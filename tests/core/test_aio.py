@@ -272,3 +272,169 @@ class TestServeWorkers:
 
             assert asyncio.run(main()) == expected
             assert asyncio.run(main()) == expected
+
+
+class TestServeHardening:
+    """Per-connection failure containment and graceful shutdown."""
+
+    @staticmethod
+    async def _start(engine, **kwargs):
+        server = await aio.serve(engine, host="127.0.0.1", port=0, **kwargs)
+        return server, server.sockets[0].getsockname()[1]
+
+    def test_mid_stream_reset_does_not_disturb_other_connections(
+        self, engine, medline_document, expected
+    ):
+        import socket as socketmod
+        import struct
+
+        async def main():
+            server, port = await self._start(engine)
+            try:
+                # A client that aborts hard mid-document (RST, via
+                # SO_LINGER zero) while another streams normally.
+                raw = socketmod.socket()
+                raw.connect(("127.0.0.1", port))
+                raw.sendall(medline_document.encode("utf-8")[:1000])
+                raw.setsockopt(socketmod.SOL_SOCKET, socketmod.SO_LINGER,
+                               struct.pack("ii", 1, 0))
+                raw.close()
+                await asyncio.sleep(0.05)
+                return await aio.request(
+                    "127.0.0.1", port,
+                    api.Source.from_text(medline_document),
+                )
+            finally:
+                await aio.shutdown(server, timeout=5.0)
+
+        assert asyncio.run(main()) == expected
+
+    def test_malformed_document_leaves_connection_reusable(self, engine):
+        async def main():
+            server, port = await self._start(engine)
+            try:
+                with pytest.raises(ReproError, match="server error"):
+                    await aio.request(
+                        "127.0.0.1", port,
+                        api.Source.from_bytes(b"\x00garbage not xml\xff"),
+                    )
+                # The server survived; a healthy request still works.
+                return await aio.request(
+                    "127.0.0.1", port, api.Source.from_text(
+                        "<MedlineCitationSet></MedlineCitationSet>"
+                    )
+                )
+            finally:
+                await aio.shutdown(server, timeout=5.0)
+
+        outputs = asyncio.run(main())
+        assert set(outputs) == set(engine.labels)
+
+    def test_idle_timeout_sends_error_frame(self, engine, medline_document):
+        async def main():
+            server, port = await self._start(engine, idle_timeout=0.3)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(medline_document.encode("utf-8")[:100])
+                await writer.drain()
+                # ... and then never sends the rest.
+                kinds = []
+                while True:
+                    frame = await asyncio.wait_for(
+                        aio.read_frame(reader), 5.0
+                    )
+                    if frame is None:
+                        break
+                    kinds.append(frame[0])
+                    if frame[0] == aio.FRAME_ERROR:
+                        assert b"idle timeout" in frame[2]
+                        break
+                writer.close()
+                return kinds
+            finally:
+                await aio.shutdown(server, timeout=5.0)
+
+        assert aio.FRAME_ERROR in asyncio.run(main())
+
+    def test_graceful_shutdown_drains_inflight_then_refuses(
+        self, engine, medline_document, expected
+    ):
+        async def main():
+            server, port = await self._start(engine)
+            data = medline_document.encode("utf-8")
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def slow_client():
+                for start in range(0, len(data), 8192):
+                    writer.write(data[start:start + 8192])
+                    await writer.drain()
+                    await asyncio.sleep(0.01)
+                writer.write_eof()
+                outputs = {}
+                while True:
+                    frame = await aio.read_frame(reader)
+                    if frame is None:
+                        break
+                    kind, label, payload = frame
+                    if kind == aio.FRAME_DATA:
+                        outputs.setdefault(
+                            label.decode("utf-8"), []
+                        ).append(payload)
+                    elif kind == aio.FRAME_END:
+                        outputs.setdefault(label.decode("utf-8"), [])
+                writer.close()
+                return {
+                    label: b"".join(parts)
+                    for label, parts in outputs.items()
+                }
+
+            task = asyncio.create_task(slow_client())
+            await asyncio.sleep(0.03)  # the document is mid-flight
+            await aio.shutdown(server, timeout=30.0)
+            outputs = await task  # the in-flight document completed
+            refused = False
+            try:
+                _, probe = await asyncio.wait_for(
+                    asyncio.open_connection("127.0.0.1", port), 1.0
+                )
+                probe.close()
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                refused = True
+            return outputs, refused
+
+        outputs, refused = asyncio.run(main())
+        assert outputs == expected
+        assert refused
+
+    def test_shutdown_cancels_stragglers_after_timeout(self, engine):
+        async def main():
+            server, port = await self._start(engine)
+            # A connection that sends nothing and never closes: with no
+            # idle timeout it would pin the handler forever.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await asyncio.sleep(0.05)
+            started = asyncio.get_running_loop().time()
+            await aio.shutdown(server, timeout=0.2)
+            elapsed = asyncio.get_running_loop().time() - started
+            writer.close()
+            assert not server.connections
+            return elapsed
+
+        assert asyncio.run(main()) < 5.0
+
+    def test_write_limit_accepted(self, engine, medline_document, expected):
+        async def main():
+            server, port = await self._start(
+                engine, write_limit=4096, feed_timeout=30.0
+            )
+            try:
+                return await aio.request(
+                    "127.0.0.1", port,
+                    api.Source.from_text(medline_document),
+                )
+            finally:
+                await aio.shutdown(server, timeout=5.0)
+
+        assert asyncio.run(main()) == expected

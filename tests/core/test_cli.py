@@ -393,3 +393,79 @@ class TestCorpusCli:
         assert main(argv + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == plain
         assert "==> M2 <==" in plain  # single-document framing, no path prefix
+
+
+class TestFaultToleranceCli:
+    @pytest.fixture()
+    def corpus(self, tmp_path):
+        from repro.workloads.medline import generate_medline_document
+
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"doc{index}.xml"
+            path.write_text(
+                generate_medline_document(citations=4 + index,
+                                          seed=30 + index),
+                encoding="utf-8",
+            )
+            paths.append(str(path))
+        return paths
+
+    @pytest.fixture()
+    def poisoned(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_bytes(b"<MedlineCitationSet><broken")
+        return str(path)
+
+    def test_collect_reports_and_exits_3(self, capsys, corpus, poisoned):
+        healthy_code = main(["--query", "M2", *corpus])
+        assert healthy_code == 0
+        healthy = capsys.readouterr().out
+
+        code = main([
+            "--query", "M2", "--on-error", "collect",
+            corpus[0], poisoned, corpus[1], corpus[2],
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "bad.xml" in captured.err
+        assert "failed" in captured.err
+        assert captured.out == healthy  # healthy output unchanged
+
+    def test_skip_drops_poisoned_and_exits_0(self, capsys, corpus, poisoned):
+        main(["--query", "M2", *corpus])
+        healthy = capsys.readouterr().out
+        code = main([
+            "--query", "M2", "--on-error", "skip",
+            corpus[0], poisoned, corpus[1], corpus[2],
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == healthy
+
+    def test_default_raise_exits_1(self, capsys, corpus, poisoned):
+        code = main(["--query", "M2", corpus[0], poisoned])
+        assert code == 1
+        assert "bad.xml" in capsys.readouterr().err
+
+    def test_retries_accepted_for_corpus_and_single_doc(
+        self, capsys, corpus
+    ):
+        assert main([
+            "--query", "M2", "--retries", "2", "--retry-backoff", "0.01",
+            *corpus,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "--query", "M2", "--retries", "2", "--input", corpus[0],
+        ]) == 0
+        capsys.readouterr()
+
+    def test_on_error_rejected_outside_corpus_mode(self, capsys, corpus):
+        with pytest.raises(SystemExit):
+            main(["--query", "M2", "--on-error", "skip", corpus[0]])
+        assert "corpus" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys, corpus):
+        with pytest.raises(SystemExit):
+            main(["--query", "M2", "--retries", "-1", *corpus])
