@@ -14,14 +14,17 @@ job stays fast and robust to runner noise:
 * the shared-scan multi-query engine regressing against the N-sessions
   baseline -- at N=4 (M2-M5) its wall time must not exceed ``MULTI_BOUND``
   of running the four sessions sequentially.  The bound was 0.75x while
-  both sides scanned per-token in Python; the C token kernel (PR 6) made
-  independent sessions ~9x faster while the shared engine's per-event
-  dispatch stays in Python, so scan-sharing no longer wins outright at
-  N=4 -- the re-anchored bound (1.6x, measured ~1.25x) still fails loudly
-  if the shared engine returns to its pre-PR-6 cost (~2.2x).  A second
-  bound guards the shared engine's own accelerated scan: with the
-  extension built, the accel union sweep must not run slower than the
-  pure shared loop (measured ~0.8x of it);
+  both sides scanned per-token in Python, then 1.6x after the PR 6 C
+  token kernel made independent sessions ~9x faster while the shared
+  engine still dispatched per event in Python.  The native
+  ``step_events`` stepper (C DrivenStream stepping + emit-span batching)
+  restored the shared advantage, so the bound is re-anchored to 1.0x
+  (measured ~0.55x): shared N=4 must beat four independent accelerated
+  sessions outright.  The gate needs the extension (both sides
+  accelerated) and is skipped with a visible notice when it is unbuilt;
+  byte-identity is still checked.  A second bound guards the shared
+  engine's own accelerated scan: with the extension built, the accel
+  union sweep must not run slower than the pure shared loop;
 * the unified dataflow API (repro.api, PR 4) growing overhead over the
   direct session loop it wraps -- at 1 MiB bytes chunks the
   ``Engine.run(Source.from_bytes(...))`` path must reach at least
@@ -62,10 +65,11 @@ SWEEP_FACTOR = 2.0
 BYTES_NOISE_SLACK = 1.10
 MULTI_QUERIES = ("M2", "M3", "M4", "M5")
 #: Shared-scan wall time must not exceed this multiple of the N-session
-#: baseline.  Re-anchored for the C token kernel (see the module
-#: docstring): independent sessions now scan in C while the shared
-#: engine's per-event dispatch is Python, so the crossover N moved up.
-MULTI_BOUND = 1.6
+#: baseline.  Re-anchored for the native step_events stepper (see the
+#: module docstring): with scan AND per-stream dispatch below the
+#: interpreter, sharing the document pass must win outright at N=4.
+#: Checked only with the extension built (both sides accelerated).
+MULTI_BOUND = 1.0
 #: Minimum throughput of the repro.api path relative to the direct session
 #: loop (the API is a thin orchestration layer; 5% covers real overhead,
 #: the timer-noise slack is shared with the other gates).
@@ -382,29 +386,36 @@ def main() -> int:
                   "independent session")
             failures += 1
 
-    # Interleaved rounds, like the repro.api gate: this runner's clock
-    # drifts enough that back-to-back best-of blocks land noise on one
-    # side of the comparison.
-    shared_wall = baseline_wall = float("inf")
-    for _ in range(ROUNDS):
-        started = time.perf_counter()
-        shared()
-        shared_wall = min(shared_wall, time.perf_counter() - started)
-        started = time.perf_counter()
-        baseline()
-        baseline_wall = min(baseline_wall, time.perf_counter() - started)
-    ratio = shared_wall / baseline_wall
-    print(f"shared N={len(MULTI_QUERIES)}: {shared_wall * 1000:.1f} ms, "
-          f"baseline: {baseline_wall * 1000:.1f} ms "
-          f"(ratio {ratio:.2f}, bound {MULTI_BOUND})")
-    if ratio > MULTI_BOUND:
-        print(f"FAIL: shared-scan wall time exceeds {MULTI_BOUND}x of the "
-              f"{len(MULTI_QUERIES)}-session baseline -- the shared "
-              "engine's dispatch loop has regressed")
-        failures += 1
+    if accel_available():
+        # Interleaved rounds, like the repro.api gate: this runner's clock
+        # drifts enough that back-to-back best-of blocks land noise on one
+        # side of the comparison.
+        shared_wall = baseline_wall = float("inf")
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            shared()
+            shared_wall = min(shared_wall, time.perf_counter() - started)
+            started = time.perf_counter()
+            baseline()
+            baseline_wall = min(baseline_wall, time.perf_counter() - started)
+        ratio = shared_wall / baseline_wall
+        print(f"shared N={len(MULTI_QUERIES)}: {shared_wall * 1000:.1f} ms, "
+              f"baseline: {baseline_wall * 1000:.1f} ms "
+              f"(ratio {ratio:.2f}, bound {MULTI_BOUND})")
+        if ratio > MULTI_BOUND * BYTES_NOISE_SLACK:
+            print(f"FAIL: shared-scan wall time exceeds {MULTI_BOUND}x of "
+                  f"the {len(MULTI_QUERIES)}-session baseline -- the native "
+                  "step dispatch has regressed")
+            failures += 1
+        else:
+            print(f"OK: shared scan within {MULTI_BOUND}x of sequential "
+                  f"accelerated sessions ({ratio:.2f}x, slack "
+                  f"{BYTES_NOISE_SLACK}x)")
     else:
-        print(f"OK: shared scan within {MULTI_BOUND}x of sequential "
-              f"sessions ({ratio:.2f}x)")
+        print("SKIP: repro._accel extension not built (or REPRO_PURE=1); "
+              f"the shared N=4 <= {MULTI_BOUND}x independent-sessions gate "
+              "was NOT checked (it compares two accelerated paths) -- "
+              "byte-identity was still verified above")
 
     if accel_available():
         multi_engine = MultiQueryEngine(dtd, specs, backend="native")

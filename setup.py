@@ -39,7 +39,7 @@ class optional_build_ext(build_ext):
 
 setup(
     name="repro-smp-prefilter",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of streaming XML prefiltering via string matching "
         "(Koch, Scherzinger, Schweikardt; ICDE 2008)"

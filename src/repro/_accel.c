@@ -581,6 +581,692 @@ accel_scan_events(PyObject *Py_UNUSED(self), PyObject *args)
     return Py_BuildValue("(nni)", count, next_from, done);
 }
 
+/* ====================================================================
+ * Native DrivenStream stepping (the multi-query shared-scan hot loop)
+ * ==================================================================== */
+
+#define STEP_CAPSULE_NAME "repro._accel.step"
+
+/* Per-stream state block layout (int64 slots, stride SS_STRIDE).  The
+ * Python side exports a DrivenStream into one block before a step_events
+ * call and imports it (state fields plus the d_* statistic deltas) after. */
+enum {
+    SS_ACTIVE = 0,          /* 1 while the stream takes part in dispatch */
+    SS_ROW = 1,             /* current automaton state, as a table row */
+    SS_SEARCH_FROM = 2,     /* absolute search origin (cursor) */
+    SS_PENDING_JUMP = 3,    /* table-J jump not yet resolved in this state */
+    SS_LAST_POS = 4,        /* last false-match position (dedupe), or -1 */
+    SS_COPY_ACTIVE = 5,     /* inside an open copy region */
+    SS_COPY_TAG = 6,        /* interned tag id of the open region */
+    SS_COPY_EMITTED = 7,    /* absolute offset the region is emitted up to */
+    SS_D_LOCAL_SCAN = 8,    /* local_scan_chars delta */
+    SS_D_TOKENS_MATCHED = 9,
+    SS_D_TOKENS_COPIED = 10,
+    SS_D_REGIONS = 11,      /* regions_copied delta */
+    SS_D_JUMPS = 12,        /* initial_jumps delta */
+    SS_D_JUMP_CHARS = 13,   /* initial_jump_chars delta */
+    SS_DONE = 14,           /* automaton reached a final state */
+    SS_STRIDE = 16,
+};
+
+/* Statuses of a ``step_events`` call. */
+enum {
+    STEP_DONE = 0,        /* window fully dispatched up to the holdback */
+    STEP_SUSPEND = 1,     /* a decision needs input beyond the window */
+    STEP_UNCLOSED_EOF = 2, /* a subscribed tag never closes before EOF */
+    STEP_BAIL = 3,        /* a transition error: replay the event in Python */
+    STEP_SPANS_FULL = 4,  /* span buffer full: apply spans, call again */
+};
+
+/* Action codes (repro.core.tables.Action, flattened by compile order). */
+enum {
+    ACT_NOP = 0,
+    ACT_COPY_TAG = 1,
+    ACT_COPY_ON = 2,
+    ACT_COPY_OFF = 3,
+};
+
+/* Per-cell flags of the (state row, union keyword id) decision table. */
+enum {
+    CF_OPEN = 1,          /* the symbol opens a tag: the bachelor path applies */
+    CF_BACHELOR_COPY = 2, /* a bachelor tag here is emitted (wants copy) */
+};
+
+/* One stream's Figure-4 decision logic flattened over the *union* keyword
+ * id space: every per-event decision (vocabulary membership, transition,
+ * action, bachelor open+close pair) is one row*K + kid lookup. */
+typedef struct {
+    Py_ssize_t S;       /* state rows */
+    Py_ssize_t K;       /* union keyword count (must match the scan capsule) */
+    int64_t *next;      /* [S*K] next row, or -1 when not in the vocabulary */
+    int64_t *action;    /* [S*K] action code of the target state */
+    int64_t *tagid;     /* [S*K] interned tag-name id of the symbol */
+    int64_t *cellflags; /* [S*K] CF_* bits */
+    int64_t *b_next;    /* [S*K] row after the bachelor close pair, or -2
+                         * when the close transition is missing (bail) */
+    int64_t *jump;      /* [S] table-J jump on entering the row */
+    int64_t *is_final;  /* [S] 1 when the row is accepting */
+} StepTables;
+
+static void
+step_tables_free(StepTables *t)
+{
+    if (t == NULL)
+        return;
+    PyMem_Free(t->next);
+    PyMem_Free(t->action);
+    PyMem_Free(t->tagid);
+    PyMem_Free(t->cellflags);
+    PyMem_Free(t->b_next);
+    PyMem_Free(t->jump);
+    PyMem_Free(t->is_final);
+    PyMem_Free(t);
+}
+
+static void
+step_destructor(PyObject *capsule)
+{
+    step_tables_free(
+        (StepTables *)PyCapsule_GetPointer(capsule, STEP_CAPSULE_NAME));
+}
+
+static int64_t *
+copy_i64(const Py_buffer *src, Py_ssize_t items, const char *what)
+{
+    if (src->len != items * (Py_ssize_t)sizeof(int64_t)) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s table must hold exactly %zd int64 items", what, items);
+        return NULL;
+    }
+    int64_t *out = PyMem_Malloc((size_t)src->len);
+    if (out == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+    memcpy(out, src->buf, (size_t)src->len);
+    return out;
+}
+
+static PyObject *
+accel_compile_step(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    Py_buffer next, action, tagid, cellflags, b_next, jump, is_final;
+    Py_ssize_t S, K;
+    if (!PyArg_ParseTuple(args, "y*y*y*y*y*y*y*nn", &next, &action, &tagid,
+                          &cellflags, &b_next, &jump, &is_final, &S, &K))
+        return NULL;
+    PyObject *capsule = NULL;
+    StepTables *t = NULL;
+    if (S <= 0 || K <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "step tables need at least one state and one keyword");
+        goto done;
+    }
+    t = PyMem_Calloc(1, sizeof(StepTables));
+    if (t == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    t->S = S;
+    t->K = K;
+    if ((t->next = copy_i64(&next, S * K, "next")) == NULL ||
+        (t->action = copy_i64(&action, S * K, "action")) == NULL ||
+        (t->tagid = copy_i64(&tagid, S * K, "tagid")) == NULL ||
+        (t->cellflags = copy_i64(&cellflags, S * K, "cellflags")) == NULL ||
+        (t->b_next = copy_i64(&b_next, S * K, "b_next")) == NULL ||
+        (t->jump = copy_i64(&jump, S, "jump")) == NULL ||
+        (t->is_final = copy_i64(&is_final, S, "final")) == NULL)
+        goto done;
+    capsule = PyCapsule_New(t, STEP_CAPSULE_NAME, step_destructor);
+    if (capsule != NULL)
+        t = NULL; /* owned by the capsule now */
+done:
+    if (capsule == NULL)
+        step_tables_free(t);
+    PyBuffer_Release(&next);
+    PyBuffer_Release(&action);
+    PyBuffer_Release(&tagid);
+    PyBuffer_Release(&cellflags);
+    PyBuffer_Release(&b_next);
+    PyBuffer_Release(&jump);
+    PyBuffer_Release(&is_final);
+    return capsule;
+}
+
+/* DrivenStream.push_false_match: one rejected occurrence of keyword
+ * ``kid`` at ``abs_start`` (the tag name extends the keyword, or the
+ * keyword is a shadowed prefix of the scanned occurrence). */
+static void
+step_false_match(int64_t *st, const StepTables *tab, Py_ssize_t kid,
+                 Py_ssize_t abs_start)
+{
+    if (!st[SS_ACTIVE])
+        return;
+    int64_t row = st[SS_ROW];
+    if (tab->next[row * tab->K + kid] < 0)
+        return; /* not in this stream's current frontier vocabulary */
+    if (st[SS_PENDING_JUMP]) {
+        int64_t j = tab->jump[row];
+        if (j) {
+            st[SS_D_JUMPS] += 1;
+            st[SS_D_JUMP_CHARS] += j;
+            st[SS_SEARCH_FROM] += j;
+        }
+        st[SS_PENDING_JUMP] = 0;
+    }
+    if (abs_start < st[SS_SEARCH_FROM])
+        return;
+    if (abs_start == st[SS_LAST_POS])
+        return; /* shadowed by a longer keyword at the same position */
+    st[SS_LAST_POS] = abs_start;
+    st[SS_D_LOCAL_SCAN] += 1;
+}
+
+static PyObject *
+accel_step_events(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *capsule, *steps;
+    Py_buffer state, pstarts, pids, buf, spans;
+    Py_ssize_t tbase, scan_from;
+    int eof;
+    if (!PyArg_ParseTuple(args, "OOw*y*y*y*nnpw*", &capsule, &steps, &state,
+                          &pstarts, &pids, &buf, &tbase, &scan_from, &eof,
+                          &spans))
+        return NULL;
+    PyObject *result = NULL;
+    StepTables **tabs = NULL;
+    AccelKeywords *ak = keywords_from_capsule(capsule);
+    if (ak == NULL)
+        goto done;
+    if (state.len % (SS_STRIDE * sizeof(int64_t)) != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "state array must hold 16-int64 stream blocks");
+        goto done;
+    }
+    Py_ssize_t nstreams =
+        state.len / (SS_STRIDE * (Py_ssize_t)sizeof(int64_t));
+    if (!PyTuple_Check(steps) || PyTuple_GET_SIZE(steps) != nstreams) {
+        PyErr_SetString(PyExc_ValueError,
+                        "step programs do not match the state array");
+        goto done;
+    }
+    if (pstarts.len < (ak->n + 1) * (Py_ssize_t)sizeof(int64_t)) {
+        PyErr_SetString(PyExc_ValueError, "prefix-start table too small");
+        goto done;
+    }
+    tabs = PyMem_Malloc((size_t)(nstreams ? nstreams : 1) *
+                        sizeof(StepTables *));
+    if (tabs == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (Py_ssize_t s = 0; s < nstreams; s++) {
+        PyObject *item = PyTuple_GET_ITEM(steps, s);
+        if (item == Py_None) {
+            tabs[s] = NULL;
+            continue;
+        }
+        StepTables *t =
+            (StepTables *)PyCapsule_GetPointer(item, STEP_CAPSULE_NAME);
+        if (t == NULL)
+            goto done;
+        if (t->K != ak->n) {
+            PyErr_SetString(PyExc_ValueError,
+                            "stale step program: keyword spaces differ");
+            goto done;
+        }
+        tabs[s] = t;
+    }
+
+    const unsigned char *text = (const unsigned char *)buf.buf;
+    Py_ssize_t wlen = buf.len;
+    int64_t *st_all = (int64_t *)state.buf;
+    const int64_t *prefix_starts = (const int64_t *)pstarts.buf;
+    const int64_t *prefix_ids = (const int64_t *)pids.buf;
+    int64_t *span_out = (int64_t *)spans.buf;
+    Py_ssize_t span_cap = spans.len / (3 * (Py_ssize_t)sizeof(int64_t));
+    Py_ssize_t span_count = 0;
+    Py_ssize_t tokens_delta = 0;
+    Py_ssize_t holdback = eof ? wlen : wlen - ak->max_len + 1;
+    Py_ssize_t p = scan_from - tbase;
+    if (p < 0)
+        p = 0;
+    int status = STEP_DONE;
+    Py_ssize_t next_from = tbase + holdback;
+
+    while (p < holdback) {
+        const unsigned char *hit =
+            memchr(text + p, '<', (size_t)(wlen - p));
+        if (hit == NULL)
+            break;
+        Py_ssize_t c = hit - text;
+        if (c >= holdback)
+            break;
+        Py_ssize_t found_k = -1;
+        for (Py_ssize_t k = 0; k < ak->n; k++) {
+            Py_ssize_t len = ak->lens[k];
+            if (c + len <= wlen &&
+                memcmp(text + c, ak->kws[k], (size_t)len) == 0) {
+                found_k = k;
+                break;
+            }
+        }
+        if (found_k < 0) {
+            p = c + 1;
+            continue;
+        }
+        Py_ssize_t kid = ak->ids[found_k];
+        Py_ssize_t after = c + ak->lens[found_k];
+        Py_ssize_t abs_start = c + tbase;
+
+        /* Subscription probe: some live stream's current frontier
+         * vocabulary contains this keyword (== the Python registry). */
+        int sub_any = 0;
+        for (Py_ssize_t s = 0; s < nstreams; s++) {
+            int64_t *st = st_all + s * SS_STRIDE;
+            const StepTables *tab = tabs[s];
+            if (tab == NULL || !st[SS_ACTIVE])
+                continue;
+            if (tab->next[st[SS_ROW] * tab->K + kid] >= 0) {
+                sub_any = 1;
+                break;
+            }
+        }
+        if (!sub_any)
+            goto prefixes; /* the prefix expansion still applies */
+        if (after >= wlen && !eof) {
+            /* The extends verdict needs input beyond the window. */
+            status = STEP_SUSPEND;
+            next_from = abs_start;
+            goto out;
+        }
+        if (after < wlen && name_byte[text[after]]) {
+            /* False match: the tag name extends the keyword. */
+            for (Py_ssize_t s = 0; s < nstreams; s++) {
+                if (tabs[s] != NULL)
+                    step_false_match(st_all + s * SS_STRIDE, tabs[s], kid,
+                                     abs_start);
+            }
+            goto prefixes;
+        }
+        {
+            int suspend_quote;
+            Py_ssize_t suspend_cursor;
+            Py_ssize_t closing = scan_tag_end(text, after, wlen,
+                                              &suspend_quote, &suspend_cursor);
+            if (closing < 0) {
+                status = eof ? STEP_UNCLOSED_EOF : STEP_SUSPEND;
+                next_from = abs_start;
+                goto out;
+            }
+            if (span_count + nstreams > span_cap) {
+                /* Worst case one span per stream on this event: apply the
+                 * batched spans in Python and continue from here. */
+                status = STEP_SPANS_FULL;
+                next_from = abs_start;
+                goto out;
+            }
+            int bachelor = closing > after && text[closing - 1] == '/';
+            Py_ssize_t scan_chars = closing - after + 1;
+            Py_ssize_t abs_end = closing + tbase;
+            if (bachelor) {
+                /* Bail precheck: a bachelor open whose close transition is
+                 * missing raises in Python.  Detect it *before* mutating
+                 * any stream so the event replays identically there. */
+                for (Py_ssize_t s = 0; s < nstreams; s++) {
+                    int64_t *st = st_all + s * SS_STRIDE;
+                    const StepTables *tab = tabs[s];
+                    if (tab == NULL || !st[SS_ACTIVE])
+                        continue;
+                    int64_t row = st[SS_ROW];
+                    Py_ssize_t cell = row * tab->K + kid;
+                    if (tab->next[cell] < 0)
+                        continue;
+                    int64_t eff = st[SS_SEARCH_FROM] +
+                        (st[SS_PENDING_JUMP] ? tab->jump[row] : 0);
+                    if (abs_start < eff || abs_start == st[SS_LAST_POS])
+                        continue;
+                    if ((tab->cellflags[cell] & CF_OPEN) &&
+                        tab->b_next[cell] < 0) {
+                        status = STEP_BAIL;
+                        next_from = abs_start;
+                        goto out;
+                    }
+                }
+            }
+            tokens_delta += 1;
+            for (Py_ssize_t s = 0; s < nstreams; s++) {
+                int64_t *st = st_all + s * SS_STRIDE;
+                const StepTables *tab = tabs[s];
+                if (tab == NULL || !st[SS_ACTIVE])
+                    continue;
+                int64_t row = st[SS_ROW];
+                Py_ssize_t cell = row * tab->K + kid;
+                int64_t nx = tab->next[cell];
+                if (nx < 0)
+                    continue;
+                if (st[SS_PENDING_JUMP]) {
+                    int64_t j = tab->jump[row];
+                    if (j) {
+                        st[SS_D_JUMPS] += 1;
+                        st[SS_D_JUMP_CHARS] += j;
+                        st[SS_SEARCH_FROM] += j;
+                    }
+                    st[SS_PENDING_JUMP] = 0;
+                }
+                if (abs_start < st[SS_SEARCH_FROM])
+                    continue;
+                if (abs_start == st[SS_LAST_POS])
+                    continue;
+                st[SS_D_LOCAL_SCAN] += scan_chars;
+                st[SS_D_TOKENS_MATCHED] += 1;
+                int64_t flags = tab->cellflags[cell];
+                int64_t newrow;
+                if (bachelor && (flags & CF_OPEN)) {
+                    /* Open and close behaviour in one step (Figure 4); the
+                     * tag is emitted at most once, and not at all inside
+                     * an active copy region. */
+                    if (!st[SS_COPY_ACTIVE] && (flags & CF_BACHELOR_COPY)) {
+                        span_out[3 * span_count] = (int64_t)s;
+                        span_out[3 * span_count + 1] = (int64_t)abs_start;
+                        span_out[3 * span_count + 2] = (int64_t)(abs_end + 1);
+                        span_count += 1;
+                        st[SS_D_TOKENS_COPIED] += 1;
+                    }
+                    newrow = tab->b_next[cell];
+                }
+                else {
+                    newrow = nx;
+                    int64_t act = tab->action[cell];
+                    if (act == ACT_COPY_ON) {
+                        if (!st[SS_COPY_ACTIVE]) {
+                            st[SS_COPY_ACTIVE] = 1;
+                            st[SS_COPY_TAG] = tab->tagid[cell];
+                            st[SS_COPY_EMITTED] = abs_start;
+                        }
+                    }
+                    else if (act == ACT_COPY_OFF) {
+                        if (st[SS_COPY_ACTIVE] &&
+                            tab->tagid[cell] == st[SS_COPY_TAG]) {
+                            span_out[3 * span_count] = (int64_t)s;
+                            span_out[3 * span_count + 1] = st[SS_COPY_EMITTED];
+                            span_out[3 * span_count + 2] =
+                                (int64_t)(abs_end + 1);
+                            span_count += 1;
+                            st[SS_D_REGIONS] += 1;
+                            st[SS_D_TOKENS_COPIED] += 1;
+                            st[SS_COPY_ACTIVE] = 0;
+                            st[SS_COPY_TAG] = 0;
+                            st[SS_COPY_EMITTED] = 0;
+                        }
+                        else if (!st[SS_COPY_ACTIVE]) {
+                            /* Asymmetric table entries degrade gracefully
+                             * to copying the closing tag itself. */
+                            span_out[3 * span_count] = (int64_t)s;
+                            span_out[3 * span_count + 1] = (int64_t)abs_start;
+                            span_out[3 * span_count + 2] =
+                                (int64_t)(abs_end + 1);
+                            span_count += 1;
+                            st[SS_D_TOKENS_COPIED] += 1;
+                        }
+                    }
+                    else if (act == ACT_COPY_TAG) {
+                        if (!st[SS_COPY_ACTIVE]) {
+                            span_out[3 * span_count] = (int64_t)s;
+                            span_out[3 * span_count + 1] = (int64_t)abs_start;
+                            span_out[3 * span_count + 2] =
+                                (int64_t)(abs_end + 1);
+                            span_count += 1;
+                            st[SS_D_TOKENS_COPIED] += 1;
+                        }
+                    }
+                }
+                st[SS_ROW] = newrow;
+                st[SS_SEARCH_FROM] = abs_end;
+                st[SS_PENDING_JUMP] = 1;
+                st[SS_LAST_POS] = -1;
+                if (tab->is_final[newrow]) {
+                    st[SS_DONE] = 1;
+                    st[SS_ACTIVE] = 0;
+                }
+            }
+        }
+    prefixes:
+        /* Union keywords that are prefixes of this occurrence co-occur at
+         * its position and are always false matches there. */
+        for (Py_ssize_t pi = prefix_starts[kid]; pi < prefix_starts[kid + 1];
+             pi++) {
+            Py_ssize_t pid = (Py_ssize_t)prefix_ids[pi];
+            for (Py_ssize_t s = 0; s < nstreams; s++) {
+                if (tabs[s] != NULL)
+                    step_false_match(st_all + s * SS_STRIDE, tabs[s], pid,
+                                     abs_start);
+            }
+        }
+        p = after; /* the union scan is non-overlapping (finditer) */
+    }
+
+out:
+    result = Py_BuildValue("(innn)", status, next_from, span_count,
+                           tokens_delta);
+done:
+    PyMem_Free(tabs);
+    PyBuffer_Release(&state);
+    PyBuffer_Release(&pstarts);
+    PyBuffer_Release(&pids);
+    PyBuffer_Release(&buf);
+    PyBuffer_Release(&spans);
+    return result;
+}
+
+/* ====================================================================
+ * Tokenizer boundary kernel (TokenizerSession's completeness scan)
+ * ==================================================================== */
+
+/* ``str.find(needle, from)`` over a byte window, needle length 2-3. */
+static Py_ssize_t
+find_sub(const unsigned char *text, Py_ssize_t from, Py_ssize_t limit,
+         const char *needle, Py_ssize_t nlen)
+{
+    Py_ssize_t p = from < 0 ? 0 : from;
+    while (p + nlen <= limit) {
+        const unsigned char *hit =
+            memchr(text + p, (unsigned char)needle[0],
+                   (size_t)(limit - p - nlen + 1));
+        if (hit == NULL)
+            return -1;
+        Py_ssize_t c = hit - text;
+        if (memcmp(text + c, needle, (size_t)nlen) == 0)
+            return c;
+        p = c + 1;
+    }
+    return -1;
+}
+
+static Py_ssize_t
+find_byte(const unsigned char *text, Py_ssize_t from, Py_ssize_t limit,
+          int ch)
+{
+    if (from >= limit)
+        return -1;
+    const unsigned char *hit =
+        memchr(text + from, ch, (size_t)(limit - from));
+    return hit == NULL ? -1 : hit - text;
+}
+
+/* C port of ``TokenizerSession._markup_end`` over a UCS1 buffer: the end
+ * offset of the markup construct at ``text[offset]``, or -1 (needs more
+ * input) with the resumable (scan, depth, quote) state advanced exactly
+ * like the Python scan does. */
+static Py_ssize_t
+str_markup_end(const unsigned char *text, Py_ssize_t L, Py_ssize_t offset,
+               Py_ssize_t *scan, Py_ssize_t *depth, int *quote)
+{
+    if (L - offset < 2)
+        return -1;
+    unsigned char second = text[offset + 1];
+    if (second == '?') {
+        Py_ssize_t from = offset + (*scan > 2 ? *scan : 2);
+        Py_ssize_t found = find_sub(text, from, L, "?>", 2);
+        if (found < 0) {
+            Py_ssize_t ns = L - offset - 1;
+            *scan = ns > 2 ? ns : 2;
+            return -1;
+        }
+        return found + 2;
+    }
+    if (second == '!') {
+        static const struct {
+            const char *prefix;
+            Py_ssize_t plen;
+            const char *term;
+            Py_ssize_t tlen;
+            Py_ssize_t body;
+        } decls[2] = {
+            {"<!--", 4, "-->", 3, 4},
+            {"<![CDATA[", 9, "]]>", 3, 9},
+        };
+        Py_ssize_t avail = L - offset;
+        for (int d = 0; d < 2; d++) {
+            Py_ssize_t n = decls[d].plen < avail ? decls[d].plen : avail;
+            if (memcmp(text + offset, decls[d].prefix, (size_t)n) == 0) {
+                if (avail < decls[d].plen)
+                    return -1; /* still ambiguous: wait for the full prefix */
+                Py_ssize_t from = offset +
+                    (*scan > decls[d].body ? *scan : decls[d].body);
+                Py_ssize_t found =
+                    find_sub(text, from, L, decls[d].term, decls[d].tlen);
+                if (found < 0) {
+                    Py_ssize_t ns = L - offset - decls[d].tlen + 1;
+                    *scan = ns > decls[d].body ? ns : decls[d].body;
+                    return -1;
+                }
+                return found + decls[d].tlen;
+            }
+        }
+        {
+            Py_ssize_t n = avail < 9 ? avail : 9;
+            if (memcmp(text + offset, "<!DOCTYPE", (size_t)n) == 0) {
+                if (avail < 9)
+                    return -1;
+                /* Bracket-depth scan with the depth carried across
+                 * suspensions, like the Python loop. */
+                Py_ssize_t cursor = offset + (*scan > 9 ? *scan : 9);
+                Py_ssize_t dep = *depth;
+                for (;;) {
+                    Py_ssize_t gt = find_byte(text, cursor, L, '>');
+                    Py_ssize_t limit = gt < 0 ? L : gt;
+                    Py_ssize_t lb = find_byte(text, cursor, limit, '[');
+                    Py_ssize_t rb = find_byte(text, cursor, limit, ']');
+                    if (lb >= 0 && (rb < 0 || lb < rb)) {
+                        dep += 1;
+                        cursor = lb + 1;
+                        continue;
+                    }
+                    if (rb >= 0) {
+                        dep -= 1;
+                        cursor = rb + 1;
+                        continue;
+                    }
+                    if (gt >= 0 && dep <= 0) {
+                        *depth = dep;
+                        return gt + 1;
+                    }
+                    if (gt < 0) {
+                        *depth = dep;
+                        *scan = L - offset;
+                        return -1;
+                    }
+                    cursor = gt + 1; /* a '>' inside the internal subset */
+                }
+            }
+        }
+        return L; /* unrecognised declaration: the reader raises */
+    }
+    /* A start or end tag: scan for '>' outside quoted attribute values. */
+    {
+        Py_ssize_t cursor = offset + (*scan > 1 ? *scan : 1);
+        for (;;) {
+            if (*quote) {
+                Py_ssize_t closing = find_byte(text, cursor, L, *quote);
+                if (closing < 0) {
+                    *scan = L - offset;
+                    return -1;
+                }
+                *quote = 0;
+                cursor = closing + 1;
+            }
+            Py_ssize_t gt = find_byte(text, cursor, L, '>');
+            Py_ssize_t limit = gt < 0 ? L : gt;
+            Py_ssize_t dq = find_byte(text, cursor, limit, '"');
+            Py_ssize_t sq = find_byte(text, cursor, limit, '\'');
+            if (dq < 0 && sq < 0) {
+                if (gt < 0) {
+                    *scan = L - offset;
+                    return -1;
+                }
+                return gt + 1;
+            }
+            if (dq >= 0 && (sq < 0 || dq < sq)) {
+                *quote = '"';
+                cursor = dq + 1;
+            }
+            else {
+                *quote = '\'';
+                cursor = sq + 1;
+            }
+        }
+    }
+}
+
+static PyObject *
+accel_scan_str_tokens(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *textobj;
+    int eof, quote;
+    Py_ssize_t scan, depth;
+    if (!PyArg_ParseTuple(args, "Opnni", &textobj, &eof, &scan, &depth,
+                          &quote))
+        return NULL;
+    if (!PyUnicode_Check(textobj)) {
+        PyErr_SetString(PyExc_TypeError, "expected a str buffer");
+        return NULL;
+    }
+    if (PyUnicode_KIND(textobj) != PyUnicode_1BYTE_KIND)
+        Py_RETURN_NONE; /* non-latin-1 text: the Python loop handles it */
+    Py_ssize_t L = PyUnicode_GET_LENGTH(textobj);
+    if (eof) {
+        /* At end of input every buffered token is complete (or raises in
+         * the reader); no resume state survives. */
+        return Py_BuildValue("(nnni)", L, (Py_ssize_t)0, (Py_ssize_t)0, 0);
+    }
+    const unsigned char *text =
+        (const unsigned char *)PyUnicode_1BYTE_DATA(textobj);
+    Py_ssize_t offset = 0;
+    while (offset < L) {
+        if (text[offset] == '<') {
+            Py_ssize_t end =
+                str_markup_end(text, L, offset, &scan, &depth, &quote);
+            if (end < 0)
+                break;
+            offset = end;
+        }
+        else {
+            Py_ssize_t lt = find_byte(text, offset + scan, L, '<');
+            if (lt < 0) {
+                scan = L - offset;
+                break;
+            }
+            offset = lt;
+        }
+        /* The incoming resume state belongs to the head token only. */
+        scan = 0;
+        depth = 0;
+        quote = 0;
+    }
+    return Py_BuildValue("(nnni)", offset, scan, depth, quote);
+}
+
 static PyMethodDef accel_methods[] = {
     {"compile_keywords", accel_compile_keywords, METH_VARARGS,
      "compile_keywords(keywords, is_single) -> capsule\n\n"
@@ -607,6 +1293,34 @@ static PyMethodDef accel_methods[] = {
      "(false match), 2=bachelor, 4=undecided.  Writes into the int64\n"
      "buffer 'out' (capacity len(out)//4 events); done=0 means the\n"
      "buffer filled and the scan should continue from next_from."},
+    {"compile_step", accel_compile_step, METH_VARARGS,
+     "compile_step(next, action, tagid, cellflags, b_next, jump, final,\n"
+     "             S, K) -> capsule\n\n"
+     "Compile one stream's flat Figure-4 step tables (int64 buffers of\n"
+     "S*K cells / S rows over the union keyword id space of the scan\n"
+     "capsule) into an owned C structure for step_events.  The buffers\n"
+     "are copied; the capsule owns the copy."},
+    {"step_events", accel_step_events, METH_VARARGS,
+     "step_events(scan_capsule, step_capsules, state, prefix_starts,\n"
+     "            prefix_ids, buf, tbase, scan_from, eof, spans)\n"
+     "-> (status, next_from, span_count, tokens_delta)\n\n"
+     "The integrated shared-scan dispatch loop: union occurrence sweep,\n"
+     "per-stream subscription probe, Figure-4 state transition and the\n"
+     "output-span decisions in one C pass.  'state' holds one 16-int64\n"
+     "block per stream (see the SS_* layout); decided copy spans are\n"
+     "written into 'spans' as (stream, start, end_exclusive) triples.\n"
+     "status: 0 done, 1 suspend at next_from, 2 unclosed tag at EOF\n"
+     "(next_from = tag start), 3 bail to the Python path (transition\n"
+     "error; nothing was mutated for the offending event), 4 span\n"
+     "buffer full (apply spans, call again from next_from)."},
+    {"scan_str_tokens", accel_scan_str_tokens, METH_VARARGS,
+     "scan_str_tokens(text, eof, scan, doctype_depth, quote)\n"
+     "-> (complete_until, scan, doctype_depth, quote) or None\n\n"
+     "Tokenizer boundary sweep over a str buffer (latin-1 storage only;\n"
+     "returns None for wider text): complete_until is the offset up to\n"
+     "which the buffer holds only complete tokens, the remaining fields\n"
+     "are the resumable completeness-scan state of the incomplete tail\n"
+     "(TokenizerSession._markup_end semantics)."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -63,7 +63,13 @@ from typing import Sequence
 from repro._deprecation import warn_legacy
 from repro.accel import load_accel
 from repro.core.prefilter import SmpPrefilter
-from repro.core.runtime import AnySink, DrivenStream, resolve_delivery
+from repro.core.runtime import (
+    AnySink,
+    DrivenStream,
+    StepProgram,
+    compile_step_tables,
+    resolve_delivery,
+)
 from repro.core.stats import CompilationStatistics, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor
 from repro.core.tables import RuntimeTables
@@ -94,6 +100,43 @@ def _all_keywords(tables: RuntimeTables) -> set[bytes]:
     for vocabulary in tables.vocabulary_bytes.values():
         keywords.update(vocabulary)
     return keywords
+
+
+class _NativeStep:
+    """Cached native-stepping context of one (dispatcher, stream set) pair.
+
+    Holds everything the C ``step_events`` kernel consumes per call: the
+    per-stream :class:`~repro.core.runtime.StepProgram` capsules (compiled
+    once per distinct runtime-table object over the dispatcher's union
+    keyword space), the shared 16-slot-per-stream state array and the
+    reusable span output buffer.  Rebuilt whenever the dispatcher changes
+    (an attach brought new keywords) or the stream count changes.
+    """
+
+    __slots__ = (
+        "dispatcher", "count", "programs", "capsules", "state", "spans",
+        "prefix_starts", "prefix_ids",
+    )
+
+    def __init__(self, dispatcher, prefilters, accel_mod) -> None:
+        self.dispatcher = dispatcher
+        self.count = len(prefilters)
+        shared: dict[int, StepProgram] = {}
+        programs: list[StepProgram] = []
+        for plan in prefilters:
+            tables = plan.tables
+            program = shared.get(id(tables))
+            if program is None:
+                program = shared[id(tables)] = compile_step_tables(
+                    tables, dispatcher.keywords, accel_mod
+                )
+            programs.append(program)
+        self.programs = programs
+        self.capsules = tuple(program.capsule for program in programs)
+        self.state = array("q", bytes(8 * 16 * self.count))
+        self.spans = array("q", bytes(8 * 3 * max(64, 4 * self.count)))
+        self.prefix_starts = dispatcher.prefix_starts
+        self.prefix_ids = dispatcher.prefix_ids
 
 
 class MultiQueryEngine:
@@ -386,14 +429,22 @@ class MultiQuerySession:
         #: (old, new) vocabulary tuples -> (removals, additions); transitions
         #: cycle through few distinct state pairs, so diffs are computed once.
         self._diff_cache: dict[tuple, tuple[tuple[bytes, ...], tuple[bytes, ...]]] = {}
-        # The union scan runs through the optional C kernel when requested
-        # (or by default when available); the pure loop is the fallback and
-        # the reference -- both are byte-identical in output and counters.
-        self._accel = (
-            load_accel() if resolve_delivery(delivery) == "accel" else None
-        )
+        # Delivery tiers of the shared scan (all byte-identical in output
+        # and counters): "pertoken" keeps everything in Python (the
+        # reference loop), "batched" runs the union sweep through the C
+        # scan kernel with per-event dispatch in Python, and "accel" also
+        # steps the driven streams natively (scan + dispatch + transition
+        # + span emission in one C loop).
+        self._mode = resolve_delivery(delivery)
+        self._accel = load_accel() if self._mode != "pertoken" else None
         if delivery == "accel" and self._accel is None:
             self.scan_stats.accel_degraded = 1
+        self._native_ok = (
+            self._mode == "accel"
+            and self._accel is not None
+            and hasattr(self._accel, "step_events")
+        )
+        self._native: _NativeStep | None = None
         self._events: array | None = None  # reusable flat C event buffer
         for index in range(len(self._streams)):
             self._resubscribe(index)
@@ -401,7 +452,9 @@ class MultiQuerySession:
     @property
     def delivery(self) -> str:
         """The effective delivery mode of the shared union scan."""
-        return "accel" if self._accel is not None else "batched"
+        if self._accel is None:
+            return "pertoken" if self._mode == "pertoken" else "batched"
+        return self._mode
 
     # ------------------------------------------------------------------
     # Introspection
@@ -597,9 +650,105 @@ class MultiQuerySession:
         if self._accel is not None:
             capsule = self._dispatcher.accel_capsule(self._accel)
             if capsule is not None:
-                self._process_accel(capsule)
+                if self._native_ok:
+                    self._process_native(capsule)
+                else:
+                    self._process_accel(capsule)
                 return
         self._process_pure()
+
+    def _process_native(self, capsule) -> None:
+        """The fully native pass: scan, dispatch and stepping in one C loop.
+
+        ``repro._accel.step_events`` consumes the union sweep directly --
+        occurrence scan, subscription probe, per-stream Figure-4 transition
+        and the output-span decisions all happen below the interpreter --
+        and emits batched ``(stream, start, end)`` copy spans this loop
+        applies to the sinks in bulk.  Stream state crosses the boundary
+        through flat 16-slot blocks (:meth:`DrivenStream.export_native` /
+        ``import_native``); subscriptions are refreshed once per call
+        rather than per transition, which is safe because the kernel
+        performs the equivalent vocabulary probe on its own tables.  The
+        kernel bails back to :meth:`_process_accel` for the rare event it
+        cannot settle (a transition error), which replays it in Python and
+        raises the identical diagnostics.
+        """
+        window = self._window
+        dispatcher = self._dispatcher
+        text, base = window.view()
+        eof = window.eof
+        length = len(text)
+        holdback = length if eof else length - dispatcher.max_keyword_length + 1
+        if self._scan_from - base >= holdback:
+            return
+        native = self._native
+        if (
+            native is None
+            or native.dispatcher is not dispatcher
+            or native.count != len(self._streams)
+        ):
+            native = self._native = _NativeStep(
+                dispatcher, self.prefilters, self._accel
+            )
+        streams = self._streams
+        detached = self._detached
+        state = native.state
+        spans = native.spans
+        programs = native.programs
+        for index, stream in enumerate(streams):
+            block = 16 * index
+            if detached[index]:
+                for slot in range(block, block + 16):
+                    state[slot] = 0
+            else:
+                stream.export_native(state, block, programs[index])
+        scanned_from = self._scan_from
+        position = self._scan_from
+        step_events = self._accel.step_events
+        status = 0
+        next_from = base + holdback
+        tokens = 0
+        try:
+            while True:
+                status, next_from, span_count, tokens_delta = step_events(
+                    capsule, native.capsules, state, native.prefix_starts,
+                    native.prefix_ids, text, base, position, eof, spans,
+                )
+                tokens += tokens_delta
+                for cursor in range(0, 3 * span_count, 3):
+                    streams[spans[cursor]].emit_span(
+                        spans[cursor + 1], spans[cursor + 2]
+                    )
+                if status == 4:  # span buffer full: apply and keep sweeping
+                    position = next_from
+                    continue
+                break
+        finally:
+            self.scan_stats.tokens_matched += tokens
+            for index, stream in enumerate(streams):
+                if not detached[index]:
+                    stream.import_native(state, 16 * index, programs[index])
+                    self._resubscribe(index)
+        if status == 0:
+            self._scan_from = base + holdback
+            self.scan_stats.char_comparisons += self._scan_from - scanned_from
+            return
+        if status == 1:
+            # A decision needs input beyond the window: suspend on it.
+            self._scan_from = next_from
+            self.scan_stats.char_comparisons += next_from - scanned_from
+            return
+        if status == 2:
+            raise RuntimeFilterError(
+                f"tag starting at offset {next_from} is never closed; the "
+                "document is not well formed"
+            )
+        # status == 3: a transition the tables cannot take.  The kernel
+        # stopped *before* mutating any stream on the offending event;
+        # the Python path replays it with full registry order and raises
+        # the identical transition error.
+        self._scan_from = next_from
+        self._process_accel(capsule)
 
     def _process_accel(self, capsule) -> None:
         """The :meth:`_process_pure` pass with the scan sweep done in C.
@@ -671,25 +820,15 @@ class MultiQuerySession:
                                 closing - (start + keyword_lengths[keyword_id]) + 1
                             )
                             bachelor = flags & 2
-                            if len(subscribed) == 1:
-                                # Single owner: no deferred-resubscription
-                                # bookkeeping (the subscriber list is not
-                                # iterated past the push).
-                                owner = subscribed[0]
+                            changed = [
+                                owner for owner in subscribed
                                 if streams[owner].push_token(
-                                    keyword, start, closing, bachelor, scan_chars
-                                ):
-                                    resubscribe(owner)
-                            else:
-                                changed = [
-                                    owner for owner in subscribed
-                                    if streams[owner].push_token(
-                                        keyword, start, closing, bachelor,
-                                        scan_chars,
-                                    )
-                                ]
-                                for owner in changed:
-                                    resubscribe(owner)
+                                    keyword, start, closing, bachelor,
+                                    scan_chars,
+                                )
+                            ]
+                            for owner in changed:
+                                resubscribe(owner)
                         prefixes = prefix_lists[keyword_id]
                     elif not (prefixes := prefix_lists[keyword_id]):
                         continue

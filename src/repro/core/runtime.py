@@ -50,8 +50,10 @@ inside comments or CDATA sections (character data must escape ``<``).
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
+from array import array
 from typing import Callable, NamedTuple, Union
 
 from repro.accel import load_accel
@@ -130,9 +132,24 @@ def resolve_delivery(delivery: "str | None") -> str:
     degrade emits a once-per-process :class:`RuntimeWarning` and is
     recorded on the run's :class:`~repro.core.stats.RunStatistics` as
     ``accel_degraded`` by the stream that resolves it.
+
+    When no delivery is requested in code, the ``REPRO_DELIVERY``
+    environment variable (``pertoken`` / ``batched`` / ``accel``) forces
+    one -- mirroring ``REPRO_PURE`` -- so benchmarks and CI legs can pin
+    a delivery without code changes.  A bogus value raises
+    :class:`ValueError` naming the variable.
     """
     if delivery is None:
-        return "accel" if load_accel() is not None else "batched"
+        forced = os.environ.get("REPRO_DELIVERY")
+        if forced is not None and forced != "":
+            if forced not in DELIVERIES:
+                raise ValueError(
+                    f"REPRO_DELIVERY={forced!r} is not a delivery; "
+                    f"expected one of {DELIVERIES}"
+                )
+            delivery = forced
+        else:
+            return "accel" if load_accel() is not None else "batched"
     if delivery not in DELIVERIES:
         raise ValueError(
             f"unknown delivery {delivery!r}; expected one of {DELIVERIES}"
@@ -1113,6 +1130,125 @@ class RuntimeStream(_FilterStreamBase):
         return end, is_bachelor
 
 
+#: :class:`~repro.core.tables.Action` -> flat code used by the native step
+#: tables (must mirror the ``ACT_*`` enum in ``_accel.c``).
+_ACTION_CODE = {
+    Action.NOP: 0,
+    Action.COPY_TAG: 1,
+    Action.COPY_ON: 2,
+    Action.COPY_OFF: 3,
+}
+
+#: Cell flags of the native step tables (the ``CF_*`` enum in ``_accel.c``).
+_CF_OPEN = 1
+_CF_BACHELOR_COPY = 2
+
+
+class StepProgram(NamedTuple):
+    """One stream's Figure-4 decision logic compiled for ``step_events``.
+
+    The C kernel works on flat int64 tables indexed by ``row * K + kid``
+    (``row`` a densified automaton state, ``kid`` a *union* keyword id of
+    the engine's :class:`~repro.matching.dispatch.KeywordDispatcher`); this
+    record keeps the capsule owning those tables plus the id mappings needed
+    to translate a :class:`DrivenStream` in and out of its native state
+    block.  Compiled once per (tables, union vocabulary) pair and shared by
+    every stream of the same plan.
+    """
+
+    capsule: object                 #: ``repro._accel.step`` capsule
+    state_rows: "dict[int, int]"    #: automaton state id -> table row
+    state_ids: "tuple[int, ...]"    #: table row -> automaton state id
+    tag_ids: "dict[str, int]"       #: tag name -> interned id (0 = none)
+    tag_names: "tuple[str, ...]"    #: interned id -> tag name
+
+
+def compile_step_tables(
+    tables: RuntimeTables, keywords: "tuple[bytes, ...]", accel_mod
+) -> StepProgram:
+    """Flatten ``tables`` over the union keyword space for the C stepper.
+
+    ``keywords`` is the dispatcher's union vocabulary (the event id space
+    of ``scan_events``); keywords of other queries simply stay out of this
+    stream's table rows (``next == -1``), which is exactly the subscription
+    test the Python registry performs.  The bachelor open+close pair is
+    resolved here so the kernel takes both transitions in one step; a
+    missing close transition is encoded as ``-2`` and makes the kernel bail
+    to the Python path, which raises the identical error.
+    """
+    rows: dict[int, int] = {}
+    state_ids: list[int] = []
+    for state in tables.automaton.states:
+        rows[state.state_id] = len(state_ids)
+        state_ids.append(state.state_id)
+    state_count = len(state_ids)
+    keyword_count = len(keywords)
+    keyword_index = {keyword: index for index, keyword in enumerate(keywords)}
+    cells = state_count * keyword_count
+    next_tab = array("q", [-1]) * cells
+    action_tab = array("q", bytes(8 * cells))
+    tagid_tab = array("q", bytes(8 * cells))
+    flags_tab = array("q", bytes(8 * cells))
+    b_next_tab = array("q", [-2]) * cells
+    jump_tab = array("q", bytes(8 * state_count))
+    final_tab = array("q", bytes(8 * state_count))
+    tag_ids: dict[str, int] = {}
+    tag_names: list[str] = [""]
+
+    def intern(tag: str) -> int:
+        tag_id = tag_ids.get(tag)
+        if tag_id is None:
+            tag_id = len(tag_names)
+            tag_ids[tag] = tag_id
+            tag_names.append(tag)
+        return tag_id
+
+    for state_id, row in rows.items():
+        jump_tab[row] = tables.J(state_id)
+        final_tab[row] = 1 if tables.is_final(state_id) else 0
+        for keyword, symbol in tables.keyword_symbols_bytes.get(
+            state_id, {}
+        ).items():
+            kid = keyword_index.get(keyword)
+            if kid is None:
+                continue
+            cell = row * keyword_count + kid
+            # The vocabulary is built from the transition table, so the
+            # lookup cannot miss; a KeyError here means broken tables.
+            next_state = tables.transition[state_id][symbol]
+            next_tab[cell] = rows[next_state]
+            action_tab[cell] = _ACTION_CODE[tables.T(next_state)]
+            kind, tag = symbol
+            tagid_tab[cell] = intern(tag)
+            flags = 0
+            if kind == OPEN:
+                flags |= _CF_OPEN
+                close_state = tables.transition.get(next_state, {}).get(
+                    (CLOSE, tag)
+                )
+                if close_state is not None:
+                    b_next_tab[cell] = rows[close_state]
+                    open_action = tables.T(next_state)
+                    close_action = tables.T(close_state)
+                    wants_copy = (
+                        open_action in (Action.COPY_TAG, Action.COPY_ON)
+                        or close_action in (Action.COPY_TAG, Action.COPY_OFF)
+                    ) and not (
+                        open_action is Action.NOP
+                        and close_action is Action.NOP
+                    )
+                    if wants_copy:
+                        flags |= _CF_BACHELOR_COPY
+            flags_tab[cell] = flags
+    capsule = accel_mod.compile_step(
+        next_tab, action_tab, tagid_tab, flags_tab, b_next_tab, jump_tab,
+        final_tab, state_count, keyword_count,
+    )
+    return StepProgram(
+        capsule, rows, tuple(state_ids), tag_ids, tuple(tag_names)
+    )
+
+
 class DrivenStream(_FilterStreamBase):
     """Figure-4 execution driven by externally supplied keyword hits.
 
@@ -1302,6 +1438,63 @@ class DrivenStream(_FilterStreamBase):
         if next_state in self._final_states:
             self._done = True
         return True
+
+    # ------------------------------------------------------------------
+    # Native stepping (the C ``step_events`` kernel)
+    # ------------------------------------------------------------------
+    def export_native(self, out, base: int, program: StepProgram) -> None:
+        """Write this stream's state into one 16-slot native step block.
+
+        ``out`` is the engine's shared ``array('q')`` and ``base`` the
+        block's first slot.  The statistic-delta slots are zeroed; the
+        kernel accumulates into them and :meth:`import_native` folds them
+        back into :attr:`stats`.
+        """
+        out[base] = 0 if self._done else 1
+        out[base + 1] = program.state_rows[self._state]
+        out[base + 2] = self._search_from
+        out[base + 3] = 1 if self._pending_jump else 0
+        out[base + 4] = self._last_position
+        out[base + 5] = 1 if self._copy_active else 0
+        out[base + 6] = (
+            program.tag_ids[self._copy_tag] if self._copy_active else 0
+        )
+        out[base + 7] = self._copy_emitted
+        for slot in range(base + 8, base + 16):
+            out[slot] = 0
+
+    def import_native(self, block, base: int, program: StepProgram) -> None:
+        """Fold one native step block back into this stream's state."""
+        stats = self.stats
+        stats.local_scan_chars += block[base + 8]
+        stats.tokens_matched += block[base + 9]
+        stats.tokens_copied += block[base + 10]
+        stats.regions_copied += block[base + 11]
+        stats.initial_jumps += block[base + 12]
+        stats.initial_jump_chars += block[base + 13]
+        state = program.state_ids[block[base + 1]]
+        if state != self._state:
+            tables = self._tables
+            self._state = state
+            self._vocabulary = tables.keyword_symbols_bytes.get(state, {})
+            self._transitions = tables.transition.get(state, {})
+        self._search_from = block[base + 2]
+        self._pending_jump = bool(block[base + 3])
+        self._last_position = block[base + 4]
+        self._copy_active = bool(block[base + 5])
+        self._copy_tag = (
+            program.tag_names[block[base + 6]] if self._copy_active else ""
+        )
+        self._copy_emitted = block[base + 7]
+        if block[base + 14]:
+            self._done = True
+
+    def emit_span(self, start: int, end: int) -> None:
+        """Emit one window slice decided by the native step kernel.
+
+        ``end`` is exclusive (the kernel emits ``tag_end + 1`` spans).
+        """
+        self._emit(self._window.slice(start, end))
 
     def flush_copy(self, limit: int) -> None:
         """Emit the open copy region up to ``limit``.

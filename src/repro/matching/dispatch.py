@@ -40,6 +40,7 @@ matcher-backed :meth:`KeywordDispatcher.scan` path makes no such assumption.
 from __future__ import annotations
 
 import re
+from array import array
 from typing import Iterable, Mapping
 
 from repro.errors import MatchingError
@@ -151,6 +152,24 @@ class KeywordDispatcher:
         self.keyword_lengths: tuple[int, ...] = tuple(
             len(keyword) for keyword in self.keywords
         )
+        #: Keyword -> id over :attr:`keywords` (the shared event id space).
+        self.keyword_index: dict[str, int] = {
+            keyword: index for index, keyword in enumerate(self.keywords)
+        }
+        #: :attr:`prefixes_by_index` flattened into CSR-style int64 arrays
+        #: for the native ``step_events`` kernel: the prefix ids of keyword
+        #: ``k`` are ``prefix_ids[prefix_starts[k]:prefix_starts[k + 1]]``.
+        starts = array("q", bytes(8 * (len(self.keywords) + 1)))
+        ids: list[int] = []
+        for index in range(len(self.keywords)):
+            starts[index] = len(ids)
+            ids.extend(
+                self.keyword_index[prefix]
+                for prefix in self.prefixes_by_index[index]
+            )
+        starts[len(self.keywords)] = len(ids)
+        self.prefix_starts = starts
+        self.prefix_ids = array("q", ids)
         #: The union automaton: one C-level pass per window (a ``bytes``
         #: pattern when the vocabularies are ``bytes`` keywords).
         self.pattern = re.compile(trie_regex(self.keywords))

@@ -20,6 +20,7 @@ import re
 from dataclasses import replace
 from typing import Iterable, Iterator
 
+from repro.accel import load_accel
 from repro.errors import XmlSyntaxError
 from repro.xml.escape import is_name_char, is_name_start_char
 from repro.xml.tokens import Token, TokenKind
@@ -389,6 +390,15 @@ class TokenizerSession:
         self._scan = 0              # local offset the delimiter scan reached
         self._doctype_depth = 0     # bracket depth inside <!DOCTYPE ... >
         self._quote = ""            # open quote character inside a tag
+        # Optional C boundary kernel: one vectorized pass per fed window
+        # finds how far the buffer holds only complete tokens, so the
+        # drain loop never re-scans per token in Python (latin-1 buffers
+        # only; the kernel declines wider text and the loop takes over).
+        accel = load_accel()
+        self._boundary = (
+            getattr(accel, "scan_str_tokens", None)
+            if accel is not None else None
+        )
         self.stats = TokenizerStatistics()
 
     # ------------------------------------------------------------------
@@ -432,6 +442,29 @@ class TokenizerSession:
         # rather than quadratic time.
         tokens: list[Token] = []
         offset = 0
+        boundary = self._boundary
+        if boundary is not None and self._buffer:
+            result = boundary(
+                self._buffer, self._eof, self._scan, self._doctype_depth,
+                ord(self._quote) if self._quote else 0,
+            )
+            if result is not None:
+                # One C pass found the complete-token frontier (and the
+                # resume state of the incomplete tail): the readers below
+                # run without any per-token completeness re-scan.
+                complete_until, scan, depth, quote = result
+                while offset < complete_until:
+                    consumed = self._read_at(offset, tokens)
+                    if consumed <= 0:
+                        break
+                    offset += consumed
+                if offset:
+                    self._buffer = self._buffer[offset:]
+                    self._base += offset
+                self._scan = scan
+                self._doctype_depth = depth
+                self._quote = chr(quote) if quote else ""
+                return tokens
         while True:
             consumed = self._extract_one(offset, tokens)
             if consumed == 0:
@@ -455,15 +488,33 @@ class TokenizerSession:
         if buffer[offset] == "<":
             if not self._eof and self._markup_end(buffer, offset) < 0:
                 return 0
-            reader = self._scratch._read_markup
         else:
             lt = buffer.find("<", offset + self._scan)
             if lt < 0 and not self._eof:
                 self._scan = length - offset
                 return 0
-            reader = self._scratch._read_text
+        consumed = self._read_at(offset, tokens)
+        self._scan = 0
+        self._doctype_depth = 0
+        self._quote = ""
+        return consumed
+
+    def _read_at(self, offset: int, tokens: list[Token]) -> int:
+        """Run the batch reader on the complete token at ``offset``.
+
+        The caller has already decided the token is complete (or that end
+        of input makes the reader's own error the right outcome); this
+        performs the read, the error/offset rebasing and the
+        well-formedness bookkeeping, and returns the characters consumed.
+        """
+        buffer = self._buffer
+        reader = (
+            self._scratch._read_markup
+            if buffer[offset] == "<"
+            else self._scratch._read_text
+        )
         self._scratch._text = buffer
-        self._scratch._length = length
+        self._scratch._length = len(buffer)
         try:
             token, end = reader(offset)
         except XmlSyntaxError as error:
@@ -471,9 +522,6 @@ class TokenizerSession:
                 message = str(error).rsplit(" (at offset ", 1)[0]
                 raise XmlSyntaxError(message, error.position + self._base) from None
             raise
-        self._scan = 0
-        self._doctype_depth = 0
-        self._quote = ""
         if token is not None:
             if self._track_positions and self._base:
                 token = replace(

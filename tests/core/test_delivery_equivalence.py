@@ -21,6 +21,7 @@ from repro.accel import accel_available
 from repro.core.multi import MultiQueryEngine
 from repro.core.runtime import DELIVERIES, resolve_delivery
 from repro.matching.factory import available_backends, make_matcher
+from repro.projection.extraction import QuerySpec
 from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
 from repro.workloads.medline.generator import generate_medline_document_of_size
 from repro.workloads.xmark import XMARK_QUERIES, xmark_dtd
@@ -142,6 +143,33 @@ class TestSingleQueryDeliveries:
             resolve_delivery("bogus")
         assert set(DELIVERIES) == {"batched", "accel", "pertoken"}
 
+    def test_repro_delivery_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELIVERY", "pertoken")
+        assert resolve_delivery(None) == "pertoken"
+        monkeypatch.setenv("REPRO_DELIVERY", "batched")
+        assert resolve_delivery(None) == "batched"
+        monkeypatch.setenv("REPRO_DELIVERY", "accel")
+        assert resolve_delivery(None) in ("accel", "batched")
+        # An explicit delivery argument always wins over the environment.
+        monkeypatch.setenv("REPRO_DELIVERY", "pertoken")
+        assert resolve_delivery("batched") == "batched"
+        # The empty string means "unset", matching REPRO_PURE's convention.
+        monkeypatch.setenv("REPRO_DELIVERY", "")
+        assert resolve_delivery(None) in ("accel", "batched")
+        monkeypatch.setenv("REPRO_DELIVERY", "bogus")
+        with pytest.raises(ValueError, match="REPRO_DELIVERY"):
+            resolve_delivery(None)
+
+    def test_repro_delivery_reaches_sessions(self, medline_corpus, monkeypatch):
+        dtd, data = medline_corpus
+        plan = SmpPrefilter.compile_for_query(
+            dtd, MEDLINE_QUERIES["M2"], backend="native"
+        )
+        monkeypatch.setenv("REPRO_DELIVERY", "pertoken")
+        assert plan.session(binary=True).delivery == "pertoken"
+        engine = MultiQueryEngine(dtd, [MEDLINE_QUERIES["M2"]], backend="native")
+        assert engine.session(binary=True).delivery == "pertoken"
+
 
 class TestMultiQueryDeliveries:
     def multi_outputs(self, engine, data, sizes, rng, delivery):
@@ -179,6 +207,25 @@ class TestMultiQueryDeliveries:
         assert accelerated[:3] == reference[:3]
 
     @accel_only
+    @pytest.mark.parametrize("delivery", ("batched", "accel"))
+    @pytest.mark.parametrize("chunking", CHUNKINGS, ids=str)
+    def test_multi_deliveries_match_pertoken(self, medline_corpus, chunking, delivery):
+        """Every shared-scan tier reproduces the per-token reference exactly:
+        outputs, all eleven per-stream statistics, and the union scan stats."""
+        dtd, data = medline_corpus
+        engine = MultiQueryEngine(
+            dtd, list(MEDLINE_QUERIES.values()), backend="native"
+        )
+        reference = self.multi_outputs(
+            engine, data, chunking, random.Random(11), "pertoken"
+        )
+        subject = self.multi_outputs(
+            engine, data, chunking, random.Random(11), delivery
+        )
+        assert reference[3] == "pertoken" and subject[3] == delivery
+        assert subject[:3] == reference[:3]
+
+    @accel_only
     def test_accel_union_scan_with_attach_detach(self, medline_corpus):
         dtd, data = medline_corpus
         specs = list(MEDLINE_QUERIES.values())
@@ -203,7 +250,90 @@ class TestMultiQueryDeliveries:
                 stats_tuple(session.scan_stats),
             )
 
-        assert run("accel") == run("batched")
+        assert run("accel") == run("batched") == run("pertoken")
+
+    @accel_only
+    def test_generated_64_query_stress(self, medline_corpus):
+        """64 generated queries through one native step program.
+
+        Every declared MEDLINE element yields two descendant-path variants;
+        the first 64 that compile run as one shared session, stressing the
+        widest step tables and span batches the suite produces (the span
+        buffer can overflow mid-token-event, exercising the SPANS_FULL
+        resume).  Output and statistics must match the per-token loop.
+        """
+        dtd, data = medline_corpus
+        specs = []
+        for element in sorted(dtd.elements):
+            for variant, path in (
+                ("a", f"/MedlineCitationSet//{element}"),
+                ("b", f"//{element}"),
+            ):
+                spec = QuerySpec(
+                    name=f"G-{variant}-{element}",
+                    query=path,
+                    projection_paths=(path + "#", "/*"),
+                )
+                try:
+                    SmpPrefilter.compile_for_query(dtd, spec, backend="native")
+                except Exception:
+                    continue  # unprojectable declarations are not the point
+                specs.append(spec)
+                if len(specs) == 64:
+                    break
+            if len(specs) == 64:
+                break
+        assert len(specs) == 64, "the MEDLINE DTD no longer yields 64 queries"
+        engine = MultiQueryEngine(dtd, specs, backend="native")
+        for chunking in ([17, 63], [65536]):
+            reference = self.multi_outputs(
+                engine, data, chunking, random.Random(13), "pertoken"
+            )
+            for delivery in ("batched", "accel"):
+                subject = self.multi_outputs(
+                    engine, data, chunking, random.Random(13), delivery
+                )
+                assert subject[3] == delivery
+                assert subject[:3] == reference[:3], (delivery, chunking)
+
+    @accel_only
+    def test_native_attach_detach_mid_span_batch(self, medline_corpus):
+        """Attach/detach at awkward offsets while the native stepper runs.
+
+        Unlike the three-phase test above, membership here changes at
+        *every* feed boundary with tiny chunks, so export/import of the
+        per-stream state blocks happens while jumps are pending and copy
+        regions are open.
+        """
+        dtd, data = medline_corpus
+        specs = list(MEDLINE_QUERIES.values())
+
+        def run(delivery):
+            engine = MultiQueryEngine(dtd, specs[:1], backend="native")
+            session = engine.session(binary=True, delivery=delivery)
+            rng = random.Random(17)
+            attached = [0]
+            position = 0
+            step = max(1, len(data) // 23)
+            while position < len(data):
+                session.feed(data[position:position + step])
+                position += step
+                roll = rng.random()
+                if roll < 0.3 and len(attached) < len(specs):
+                    index = session.attach(SmpPrefilter.compile_for_query(
+                        dtd, specs[len(attached)], backend="native"
+                    ))
+                    attached.append(index)
+                elif roll < 0.4 and len(attached) > 1:
+                    session.detach(attached.pop(rng.randrange(len(attached))))
+            outputs = session.finish()
+            return (
+                outputs,
+                [stats_tuple(stats) for stats in session.stats],
+                stats_tuple(session.scan_stats),
+            )
+
+        assert run("accel") == run("batched") == run("pertoken")
 
 
 class TestCollectChunkIds:

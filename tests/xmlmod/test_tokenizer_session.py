@@ -6,9 +6,14 @@ import random
 
 import pytest
 
+from repro.accel import accel_available
 from repro.errors import XmlSyntaxError
 from repro.xml.tokenizer import TokenizerSession, XmlTokenizer, iter_tokens
 from repro.workloads.xmark import generate_xmark_document
+
+accel_only = pytest.mark.skipif(
+    not accel_available(), reason="repro._accel extension not built"
+)
 
 PROLOG_DOCUMENT = (
     '<?xml version="1.0" encoding="utf-8"?>\n'
@@ -95,3 +100,85 @@ class TestErrors:
         session.finish()
         with pytest.raises(XmlSyntaxError):
             session.feed("<b/>")
+
+
+@accel_only
+class TestBoundaryKernel:
+    """The C token-boundary kernel against the pure `_extract_one` loop.
+
+    The kernel only finds *complete-token* boundaries; classification and
+    token construction stay in Python, so the two paths must agree on
+    every token, every statistic, and every resumption state -- including
+    the markup forms the boundary scanner special-cases (PIs, comments,
+    CDATA, DOCTYPE internal subsets, quoted attribute values with ``>``).
+    """
+
+    DOCUMENTS = (
+        PROLOG_DOCUMENT,
+        # Quote state suspended mid-attribute, '>' inside quotes, CDATA
+        # with stray ']]' runs, PI whose '?' can land on a chunk edge.
+        "<r a='1' b=\"x>y\"><![CDATA[ ]] ]>] ]]><?p q??></r>",
+        # DOCTYPE bracket depth carried across chunk boundaries.
+        "<!DOCTYPE r [<!ELEMENT r (#PCDATA)><!-- d c -->]>\n<r>t</r>",
+    )
+
+    @staticmethod
+    def drive(session, text, size):
+        tokens = []
+        for chunk in chunked(text, size):
+            tokens.extend(session.feed(chunk))
+        tokens.extend(session.finish())
+        return tokens
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, 10_000])
+    def test_kernel_matches_pure_fallback(self, chunk_size):
+        for document in self.DOCUMENTS:
+            kernel = TokenizerSession()
+            assert kernel._boundary is not None
+            fallback = TokenizerSession()
+            fallback._boundary = None  # force the pure per-token loop
+            assert (
+                self.drive(kernel, document, chunk_size)
+                == self.drive(fallback, document, chunk_size)
+            )
+            assert kernel.stats.characters_read == fallback.stats.characters_read
+            assert kernel.stats.tokens_emitted == fallback.stats.tokens_emitted
+
+    def test_kernel_declines_non_latin1_buffers(self):
+        # U+2603 widens the str buffer beyond UCS1, so the kernel returns
+        # None and the session transparently takes the pure path -- the
+        # token stream must not change.
+        document = "<a>café ☃<b/></a>"
+        reference = list(XmlTokenizer(document).tokens())
+        for chunk_size in (1, 3, 64):
+            tokens, _ = session_tokens(document, chunk_size)
+            assert tokens == reference
+
+    def test_kernel_random_documents(self):
+        rng = random.Random(11)
+        for _ in range(3):
+            document = generate_xmark_document(
+                scale=rng.uniform(0.002, 0.008), seed=rng.randint(0, 9999)
+            )
+            size = rng.choice([2, 17, 256])
+            kernel = TokenizerSession()
+            fallback = TokenizerSession()
+            fallback._boundary = None
+            assert (
+                self.drive(kernel, document, size)
+                == self.drive(fallback, document, size)
+            )
+
+    def test_kernel_error_offsets_match_pure(self):
+        document = "<a>ok</a><a>dup</a>"
+        positions = []
+        for boundary in (True, False):
+            session = TokenizerSession()
+            if not boundary:
+                session._boundary = None
+            with pytest.raises(XmlSyntaxError) as caught:
+                for chunk in chunked(document, 3):
+                    session.feed(chunk)
+                session.finish()
+            positions.append(caught.value.position)
+        assert positions[0] == positions[1]
