@@ -448,6 +448,42 @@ def main() -> int:
         print("SKIP: repro._accel extension not built (or REPRO_PURE=1); "
               "the shared-sweep accel gate was NOT checked")
 
+    # --- generated workload throughput (informational, no gate) -----------
+    # Tracks shared-scan throughput over a seed-deterministic generated
+    # workload (repro.workloads.get "gen:" address) release over release;
+    # benchmarks/bench_generated.py records the full depth/fanout/query
+    # sweeps.  Print-only: generated schemas change shape across seeds, so
+    # a hard bound here would gate on workload shape, not on the engine.
+    from repro import workloads
+
+    generated = workloads.get(
+        "gen:depth=8,fanout=4,seed=31,records=4,record_bytes=120000,"
+        "queries=8"
+    )
+    generated_stream = generated.stream()
+    generated_specs = [
+        generated.query(name)
+        for name in generated.query_order
+        if "phantom" not in name and "never" not in name
+    ][:4]
+    generated_engine = MultiQueryEngine(
+        generated.dtd, generated_specs, backend="native"
+    )
+
+    def generated_shared():
+        session = generated_engine.session(binary=True)
+        for chunk in iter_chunks(generated_stream, 64 * 1024):
+            session.feed(chunk)
+        return session.finish()
+
+    generated_wall = best_of(generated_shared, rounds=3)
+    print(f"INFO: generated workload (depth=8 fanout=4 seed=31, "
+          f"N={len(generated_specs)} queries, "
+          f"{len(generated_stream) / 1e6:.1f} MB): "
+          f"{generated_wall * 1000:.1f} ms "
+          f"({len(generated_stream) / 1e6 / generated_wall:.0f} MB/s) "
+          "-- informational, not gated")
+
     if failures:
         print(f"{failures} perf-smoke check(s) failed")
         return 1

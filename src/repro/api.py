@@ -74,6 +74,7 @@ from repro.core.sources import (
     open_mmap,
     socket_chunks,
     split_documents,
+    split_jsonl,
     stdin_chunks,
 )
 from repro.core.stats import CompilationStatistics, RunStatistics
@@ -406,6 +407,37 @@ class Source:
 
         return cls._corpus(
             documents, kind="corpus-records", repeatable=raw.repeatable
+        )
+
+    @classmethod
+    def from_jsonl(
+        cls,
+        source,
+        *,
+        transform: Callable,
+        chunk_size: int | None = None,
+    ) -> "Source":
+        """A corpus from a JSON-Lines stream, one record per line.
+
+        ``transform`` maps each raw JSONL record (``bytes``, the line
+        without its newline) to the XML document (``bytes`` or ``str``)
+        the runtime filters — e.g.
+        :func:`repro.workloads.json_records.json_record_to_xml`.  It runs
+        in the parent process, so the workers of a parallel engine receive
+        ready-made XML blobs and the callable need not be picklable.
+        """
+        raw = cls.of(source, chunk_size=chunk_size)
+
+        def documents():
+            with raw.open() as chunks:
+                for index, line in enumerate(split_jsonl(chunks)):
+                    blob = transform(line)
+                    if isinstance(blob, str):
+                        blob = blob.encode("utf-8")
+                    yield f"jsonl[{index}]", ("blob", blob)
+
+        return cls._corpus(
+            documents, kind="corpus-jsonl", repeatable=raw.repeatable
         )
 
     @classmethod

@@ -547,6 +547,19 @@ def _run_multi(arguments, source, output_stream) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch: the workload-generator subsystem ships its own
+    # parsers (`python -m repro generate ...` / `python -m repro fuzz ...`);
+    # everything else stays on the original flag-based filter CLI.
+    if argv and argv[0] == "generate":
+        from repro.workloads.generate import main as generate_main
+
+        return generate_main(list(argv[1:]))
+    if argv and argv[0] == "fuzz":
+        from repro.workloads.fuzz import main as fuzz_main
+
+        return fuzz_main(list(argv[1:]))
     parser = build_parser()
     arguments = parser.parse_args(argv)
     if arguments.chunk_size <= 0:

@@ -519,6 +519,33 @@ def split_documents(
         yield tail
 
 
+def split_jsonl(chunks: "Iterable[bytes | str]") -> Iterator[bytes]:
+    """Split a JSON-Lines stream into one ``bytes`` record per line.
+
+    JSONL forbids raw newlines inside a record (they are escaped as
+    ``\\n`` in string literals), so the record boundary is simply ``\\n``
+    — no tag scanning and no backoff needed.  Blank lines are skipped; a
+    trailing line without a final newline is yielded as the last record.
+    Memory holds one record plus one chunk, like :func:`split_documents`.
+    """
+    buffer = bytearray()
+    for chunk in chunks:
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
+        buffer += chunk
+        while True:
+            found = buffer.find(b"\n")
+            if found < 0:
+                break
+            record = bytes(buffer[:found]).strip()
+            del buffer[:found + 1]
+            if record:
+                yield record
+    tail = bytes(buffer).strip()
+    if tail:
+        yield tail
+
+
 # ----------------------------------------------------------------------
 # Incremental UTF-8 handling
 # ----------------------------------------------------------------------

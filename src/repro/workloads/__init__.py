@@ -1,4 +1,12 @@
-"""Synthetic experimental workloads (XMark-like and MEDLINE-like)."""
+"""Synthetic experimental workloads: builtin corpora and the generator.
+
+Builtin (XMark-like, MEDLINE-like) corpora load through
+:func:`load_dataset`; the generator subsystem (:mod:`.schema`,
+:mod:`.generate`, :mod:`.queries`, :mod:`.json_records`,
+:mod:`.fuzz`) builds seed-deterministic corpora with matched query sets.
+:func:`get` addresses both families uniformly (``"xmark"`` vs
+``"gen:depth=12,fanout=4,seed=7"`` vs ``"json:records=8"``).
+"""
 
 from repro.workloads.datasets import (
     DEFAULT_DOCUMENT_BYTES,
@@ -7,11 +15,14 @@ from repro.workloads.datasets import (
     default_document_bytes,
     load_dataset,
 )
+from repro.workloads.registry import Workload, get
 
 __all__ = [
     "DEFAULT_DOCUMENT_BYTES",
     "DatasetSpec",
+    "Workload",
     "clear_caches",
     "default_document_bytes",
+    "get",
     "load_dataset",
 ]

@@ -1,0 +1,353 @@
+"""Seed-deterministic document/corpus generation over generated schemas.
+
+:mod:`repro.workloads.schema` expands a :class:`~repro.workloads.schema.
+SchemaSpec` into a concrete DTD; this module renders documents that
+conform to it.  A :class:`DocumentSpec` controls the corpus shape —
+record count, target record size, repetition width, attribute payload
+size, and the densities of UTF-8 multi-byte text, CDATA sections,
+comments, and DOCTYPE prologues.
+
+Satisfiability by construction: record 0 of every corpus is the
+**coverage record** — it realises every declared child position
+(required, ``?``, ``*`` and ``+`` each at least once, phantoms excepted)
+and plants each element's sentinel token as the exact text of one of its
+occurrences.  Every absolute path in the schema's feasibility matrix
+therefore occurs in every corpus, so every query the matched generator
+derives from that matrix is satisfiable.  Phantom elements and the
+schema's ``never_token`` stay absent by construction, keeping the
+unsatisfiable controls honest.
+
+The generator emits children strictly in declaration order, so documents
+are valid under the generated DTD — the prefilter's static analysis
+assumes DTD-conformant input (the paper's premise), and the generator
+must not violate it.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import WorkloadError
+from repro.workloads.schema import (
+    GeneratedSchema,
+    SchemaSpec,
+    build_schema,
+    format_kv,
+    parse_kv,
+)
+
+#: ASCII word pool for text content (never contains sentinel substrings:
+#: sentinels are ``zq...x`` and no pool word starts with ``zq``).
+_WORDS = (
+    "data", "stream", "filter", "query", "match", "token", "record",
+    "node", "index", "value", "path", "prefix", "scan", "shift",
+)
+
+#: Multi-byte pool: 2-byte (é, ø), 3-byte (CJK, Greek, Cyrillic) and
+#: 4-byte (emoji, Gothic) UTF-8 sequences, so adversarial chunk splits
+#: can land inside every encoded length.
+_UTF8_WORDS = (
+    "thé", "øst", "naïve", "données", "日本語", "χαίρε", "привет",
+    "데이터", "𝔡𝔞𝔱𝔞", "🦉🦋", "𐌰𐌱𐌲",
+)
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """Parameters of one generated corpus over a schema.
+
+    ``record_bytes`` is a *target*: records are padded up to it with the
+    schema's starred ``filler`` leaf (0 means natural size).  Densities
+    are probabilities in [0, 1]; ``doctype`` prepends an XML declaration
+    plus the schema's own DOCTYPE (internal subset) to each record.
+    """
+
+    seed: int = 0
+    records: int = 4
+    record_bytes: int = 0
+    repeat_max: int = 2
+    attr_bytes: int = 12
+    utf8: float = 0.0
+    cdata: float = 0.0
+    comments: float = 0.0
+    doctype: bool = False
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise WorkloadError(f"records must be >= 1, got {self.records}")
+        if self.record_bytes < 0:
+            raise WorkloadError(
+                f"record_bytes must be >= 0, got {self.record_bytes}"
+            )
+        if self.repeat_max < 1:
+            raise WorkloadError(
+                f"repeat_max must be >= 1, got {self.repeat_max}"
+            )
+        if self.attr_bytes < 1:
+            raise WorkloadError(
+                f"attr_bytes must be >= 1, got {self.attr_bytes}"
+            )
+        for name in ("utf8", "cdata", "comments"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{name} density must be in [0, 1], got {value}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "DocumentSpec":
+        return cls(**parse_kv(text, cls, prefix="doc"))
+
+    def key(self) -> str:
+        return format_kv("doc", self)
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+class _RecordWriter:
+    """Renders one DTD-valid record of a generated schema."""
+
+    def __init__(self, schema: GeneratedSchema, spec: DocumentSpec,
+                 rng: Random, *, coverage: bool) -> None:
+        self._schema = schema
+        self._spec = spec
+        self._rng = rng
+        self._coverage = coverage
+        self._pieces: list[str] = []
+
+    def render(self) -> str:
+        self._emit_element(self._schema.root)
+        return "".join(self._pieces)
+
+    # ------------------------------------------------------------------
+    def _emit_element(self, name: str) -> None:
+        schema, rng, spec = self._schema, self._rng, self._spec
+        info = schema.elements[name]
+        if info.is_leaf and not info.has_text:
+            value = self._attr_value()
+            self._pieces.append(
+                f'<{name} {info.attribute}="{value}"/>'
+            )
+            return
+        if info.is_leaf:
+            self._pieces.append(f"<{name}>")
+            self._emit_text(name)
+            self._pieces.append(f"</{name}>")
+            return
+        self._pieces.append(f"<{name}>")
+        for child in info.children:
+            if child.name in schema.phantom_names:
+                continue  # declared `?`, never emitted
+            if child.name == schema.filler and name == schema.root:
+                continue  # padding appended by generate_records
+            for _ in range(self._repeat(child.occurrence)):
+                self._maybe_comment()
+                self._emit_element(child.name)
+        self._maybe_comment()
+        self._pieces.append(f"</{name}>")
+
+    def _repeat(self, occurrence: str) -> int:
+        rng, spec = self._rng, self._spec
+        if occurrence == "":
+            return 1
+        if occurrence == "?":
+            return 1 if self._coverage else rng.randint(0, 1)
+        if occurrence == "+":
+            return 2 if self._coverage else rng.randint(1, spec.repeat_max)
+        # "*"
+        return 1 if self._coverage else rng.randint(0, spec.repeat_max)
+
+    def _emit_text(self, name: str) -> None:
+        rng, spec = self._rng, self._spec
+        sentinel = self._schema.elements[name].sentinel
+        plant = sentinel is not None and (
+            self._coverage or rng.random() < 0.1
+        )
+        if plant:
+            # Exact-text occurrence: the whole content is the sentinel.  In
+            # the coverage record EVERY text leaf carries its exact
+            # sentinel, so every (ancestor, leaf) predicate pair realised
+            # by the schema satisfies `leaf/text()="<sentinel>"` there.
+            self._pieces.append(sentinel)
+            return
+        words = [self._word() for _ in range(rng.randint(1, 4))]
+        if sentinel is not None and rng.random() < 0.15:
+            # contains() fodder: sentinel embedded mid-text.
+            words.insert(rng.randrange(len(words) + 1), sentinel)
+        text = " ".join(words)
+        if rng.random() < spec.cdata:
+            self._pieces.append(f"<![CDATA[{text}]]>")
+        else:
+            self._pieces.append(_escape_text(text))
+
+    def _word(self) -> str:
+        rng, spec = self._rng, self._spec
+        if spec.utf8 and rng.random() < spec.utf8:
+            return rng.choice(_UTF8_WORDS)
+        return rng.choice(_WORDS)
+
+    def _attr_value(self) -> str:
+        rng, spec = self._rng, self._spec
+        words: list[str] = []
+        length = 0
+        while length < spec.attr_bytes:
+            word = self._word()
+            words.append(word)
+            length += len(word.encode("utf-8")) + 1
+        return _escape_attr(" ".join(words))[:max(1, spec.attr_bytes)]
+
+    def _maybe_comment(self) -> None:
+        rng, spec = self._rng, self._spec
+        if spec.comments and rng.random() < spec.comments:
+            words = " ".join(self._word() for _ in range(rng.randint(1, 3)))
+            self._pieces.append(f"<!-- {words} -->")
+
+
+def generate_records(schema: GeneratedSchema,
+                     spec: DocumentSpec) -> list[bytes]:
+    """The corpus as a list of UTF-8 record documents (record 0 = coverage).
+
+    Deterministic in ``(schema.spec, spec)``: the RNG is derived from both
+    seeds and nothing else.
+    """
+    rng = Random(("records", schema.spec.seed, schema.spec.key(),
+                  spec.seed, spec.key()).__repr__())
+    records: list[bytes] = []
+    for index in range(spec.records):
+        writer = _RecordWriter(
+            schema, spec, rng, coverage=(index == 0)
+        )
+        text = writer.render()
+        text = _pad_record(schema, spec, rng, text)
+        if spec.doctype:
+            text = (
+                '<?xml version="1.0" encoding="UTF-8"?>\n'
+                + schema.dtd_text + "\n" + text
+            )
+        records.append(text.encode("utf-8"))
+    return records
+
+
+def _pad_record(schema: GeneratedSchema, spec: DocumentSpec, rng: Random,
+                text: str) -> str:
+    """Pad ``text`` toward ``spec.record_bytes`` with trailing filler leaves.
+
+    The filler is the root's final starred text leaf, so insertion before
+    the closing root tag keeps the record DTD-valid.
+    """
+    if not spec.record_bytes:
+        return text
+    close = f"</{schema.root}>"
+    assert text.endswith(close)
+    body, filler = text[:-len(close)], schema.filler
+    pieces = [body]
+    size = len(body.encode("utf-8")) + len(close)
+    while size < spec.record_bytes:
+        words = " ".join(
+            (rng.choice(_UTF8_WORDS) if spec.utf8 and rng.random() < spec.utf8
+             else rng.choice(_WORDS))
+            for _ in range(8)
+        )
+        piece = f"<{filler}>{_escape_text(words)}</{filler}>"
+        pieces.append(piece)
+        size += len(piece.encode("utf-8"))
+    pieces.append(close)
+    return "".join(pieces)
+
+
+def generate_document(schema: GeneratedSchema, spec: DocumentSpec) -> bytes:
+    """A single document: the corpus's coverage record."""
+    if spec.records != 1:
+        spec = DocumentSpec(**{**_asdict(spec), "records": 1})
+    return generate_records(schema, spec)[0]
+
+
+def generate_stream(schema: GeneratedSchema, spec: DocumentSpec) -> bytes:
+    """The corpus as one concatenated record stream (newline-separated),
+    ready for ``Source.from_records(..., end_tag=schema.end_tag)``."""
+    return b"\n".join(generate_records(schema, spec)) + b"\n"
+
+
+def _asdict(spec: DocumentSpec) -> dict:
+    from dataclasses import asdict
+
+    return asdict(spec)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro generate ...
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro generate`` — emit a generated corpus (and DTD)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro generate",
+        description=(
+            "Generate a seed-deterministic XML corpus (schema + documents) "
+            "for differential fuzzing and benchmarking."
+        ),
+    )
+    parser.add_argument(
+        "--schema", default="",
+        help="schema spec, e.g. 'depth=6,fanout=3,seed=7' "
+             "(keys: %s)" % ",".join(
+                 f.name for f in __import__("dataclasses").fields(SchemaSpec)
+             ),
+    )
+    parser.add_argument(
+        "--document", default="",
+        help="document spec, e.g. 'records=8,record_bytes=4096,utf8=0.1'",
+    )
+    parser.add_argument(
+        "--out", default="-",
+        help="output path for the record stream ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--dtd", default=None, metavar="PATH",
+        help="also write the generated DTD text to PATH",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=0, metavar="N",
+        help="also print N generated XPath queries (one per line, stderr)",
+    )
+    parser.add_argument(
+        "--query-seed", type=int, default=0,
+        help="seed for --queries (default 0)",
+    )
+    options = parser.parse_args(argv)
+
+    schema = build_schema(SchemaSpec.parse(options.schema))
+    spec = DocumentSpec.parse(options.document)
+    stream = generate_stream(schema, spec)
+
+    if options.dtd:
+        with open(options.dtd, "w", encoding="utf-8") as handle:
+            handle.write(schema.dtd_text + "\n")
+    if options.queries:
+        from repro.workloads.queries import generate_queries
+
+        queries = generate_queries(
+            schema, seed=options.query_seed, count=options.queries
+        )
+        for query in queries:
+            print(f"{query.name}\t{query.xpath}", file=sys.stderr)
+
+    if options.out == "-":
+        sys.stdout.buffer.write(stream)
+    else:
+        with open(options.out, "wb") as handle:
+            handle.write(stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

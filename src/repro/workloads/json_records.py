@@ -1,0 +1,247 @@
+"""JSON/JSONL record generation mapped onto the XML runtime.
+
+The prefilter runtime speaks one grammar — XML token events — but the
+corpus machinery (record splitting, per-document filtering, parallel
+sharding) is grammar-agnostic.  This module proves that by mapping a
+second grammar onto the same runtime: a seed-deterministic JSONL generator
+emits records of a fixed field shape, :func:`json_record_to_xml` maps each
+JSON record onto an equivalent XML document (keys become elements, arrays
+repeated elements, scalars escaped text), and the generated DTD describes
+the mapped shape so the full prefilter pipeline — projection, static
+analysis, string matching — runs unchanged.
+
+``Source.from_jsonl(stream, transform=json_record_to_xml)`` turns any
+JSONL byte stream into a corpus the :class:`~repro.api.Engine` can run
+sequentially or in parallel; :mod:`repro.workloads.fuzz` includes a
+``json`` scenario that holds this path to the same byte-identity
+obligations as the native XML paths.
+
+The mapped record shape (fixed; :class:`JsonSpec` parameterises sizes and
+densities, not the shape)::
+
+    {"id": 7, "name": "...", "tags": ["...", ...],
+     "meta": {"author": "...", "year": 1987}, "note": "..."?}
+
+which maps to::
+
+    <record><id>7</id><name>...</name><tags><tag>...</tag>...</tags>
+    <meta><author>...</author><year>1987</year></meta><note>...</note>
+    </record>
+
+Record 0 is the coverage record: every field present, every sentinel
+planted as exact text, so the fixed query set is satisfiable by
+construction (and ``JX_phantom``/``JX_never`` stay unsatisfiable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from random import Random
+
+from repro.dtd.model import Dtd
+from repro.errors import WorkloadError
+from repro.workloads.generate import _escape_text  # same escaping rules
+from repro.workloads.queries import GeneratedQuery
+from repro.workloads.schema import format_kv, parse_kv
+
+#: Sentinel tokens the coverage record plants (exact text of the field).
+SENTINELS = {
+    "name": "zqjname0x",
+    "author": "zqjauthor0x",
+    "tag": "zqjtag0x",
+    "note": "zqjnote0x",
+}
+
+#: Token that never occurs in any generated record.
+NEVER_TOKEN = "zqjneverx"
+
+_WORDS = (
+    "alpha", "bravo", "delta", "gamma", "omega", "sigma", "kappa",
+    "lambda", "vector", "tensor",
+)
+_UTF8_WORDS = ("méta", "süß", "データ", "πλη", "код", "🦆")
+
+#: The DTD of the mapped shape.  ``extra`` is the declared-but-never-
+#: emitted phantom control (the M1 shape for the JSON grammar).
+DTD_TEXT = """<!DOCTYPE record [
+<!ELEMENT record (id, name, tags, meta, note?, extra?)>
+<!ELEMENT id (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT tags (tag*)>
+<!ELEMENT tag (#PCDATA)>
+<!ELEMENT meta (author, year)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT extra (#PCDATA)>
+]>"""
+
+_DTD: Dtd | None = None
+
+
+def json_dtd() -> Dtd:
+    """The parsed DTD of the mapped record shape (memoised)."""
+    global _DTD
+    if _DTD is None:
+        _DTD = Dtd.parse(DTD_TEXT)
+    return _DTD
+
+
+@dataclass(frozen=True)
+class JsonSpec:
+    """Parameters of one generated JSONL corpus."""
+
+    seed: int = 0
+    records: int = 6
+    tags_max: int = 3
+    note_density: float = 0.5
+    utf8: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise WorkloadError(f"records must be >= 1, got {self.records}")
+        if self.tags_max < 0:
+            raise WorkloadError(f"tags_max must be >= 0, got {self.tags_max}")
+        for name in ("note_density", "utf8"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "JsonSpec":
+        return cls(**parse_kv(text, cls, prefix="json"))
+
+    def key(self) -> str:
+        return format_kv("json", self)
+
+
+def generate_json_records(spec: JsonSpec) -> list[dict]:
+    """The corpus as Python dicts (record 0 = coverage, sentinels exact)."""
+    rng = Random(("json-records", spec.seed, spec.key()).__repr__())
+
+    def word() -> str:
+        if spec.utf8 and rng.random() < spec.utf8:
+            return rng.choice(_UTF8_WORDS)
+        return rng.choice(_WORDS)
+
+    def words(low: int, high: int) -> str:
+        return " ".join(word() for _ in range(rng.randint(low, high)))
+
+    records: list[dict] = []
+    for index in range(spec.records):
+        coverage = index == 0
+        record: dict = {
+            "id": index,
+            "name": SENTINELS["name"] if coverage else words(1, 3),
+            "tags": (
+                [SENTINELS["tag"], words(1, 1)] if coverage
+                else [words(1, 1) for _ in range(rng.randint(0, spec.tags_max))]
+            ),
+            "meta": {
+                "author": SENTINELS["author"] if coverage else words(1, 2),
+                "year": 1900 + rng.randint(0, 125),
+            },
+        }
+        if coverage or rng.random() < spec.note_density:
+            record["note"] = (
+                SENTINELS["note"] if coverage
+                else words(2, 5)
+            )
+        records.append(record)
+    return records
+
+
+def generate_jsonl(spec: JsonSpec) -> bytes:
+    """The corpus as a JSONL byte stream (one record per line)."""
+    lines = [
+        json.dumps(record, ensure_ascii=False, separators=(",", ":"))
+        for record in generate_json_records(spec)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# JSON -> XML mapping
+# ----------------------------------------------------------------------
+def json_to_xml(value, name: str) -> str:
+    """Map one JSON value onto XML: keys to elements, arrays to repeats.
+
+    Dict keys are emitted in insertion order (the generator's field
+    order), so mapped documents follow the DTD's content-model sequences.
+    Array items repeat the singular element name (``tags`` holds ``tag``
+    children; other plurals repeat their own name).
+    """
+    if isinstance(value, dict):
+        inner = "".join(
+            json_to_xml(child, key) for key, child in value.items()
+        )
+        return f"<{name}>{inner}</{name}>"
+    if isinstance(value, list):
+        item_name = name[:-1] if name.endswith("s") and len(name) > 1 else name
+        items = "".join(json_to_xml(item, item_name) for item in value)
+        return f"<{name}>{items}</{name}>"
+    if value is None:
+        return f"<{name}/>"
+    if value is True or value is False:
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    return f"<{name}>{_escape_text(text)}</{name}>"
+
+
+def json_record_to_xml(line: bytes) -> bytes:
+    """The :meth:`Source.from_jsonl` transform: one JSONL line to XML."""
+    record = json.loads(line)
+    return json_to_xml(record, "record").encode("utf-8")
+
+
+def xml_records(spec: JsonSpec) -> list[bytes]:
+    """The mapped XML documents, in corpus order (reference view)."""
+    return [
+        json_to_xml(record, "record").encode("utf-8")
+        for record in generate_json_records(spec)
+    ]
+
+
+# ----------------------------------------------------------------------
+# The matched query set for the mapped grammar
+# ----------------------------------------------------------------------
+def json_queries() -> list[GeneratedQuery]:
+    """The fixed query families over the mapped shape.
+
+    Satisfiable by construction against any :func:`generate_json_records`
+    corpus (the coverage record plants every sentinel); the phantom and
+    never-token controls are unsatisfiable by construction.
+    """
+    queries = [
+        GeneratedQuery("J0_spine", "/record/meta/author", "spine", True),
+        GeneratedQuery("J1_descendant", "/record//tag", "descendant", True),
+        GeneratedQuery(
+            "J2_predicate",
+            f'/record/meta[author/text()="{SENTINELS["author"]}"]/year',
+            "predicate", True,
+        ),
+        GeneratedQuery(
+            "J3_contains",
+            f'/record[contains(name/text(),"{SENTINELS["name"]}")]/name',
+            "contains", True,
+        ),
+        GeneratedQuery(
+            "J4_disjunction",
+            f'/record[name/text()="{NEVER_TOKEN}" or '
+            f'name/text()="{SENTINELS["name"]}"]/tags',
+            "disjunction", True,
+        ),
+        GeneratedQuery("J5_phantom", "/record//extra", "phantom", False),
+        GeneratedQuery(
+            "J6_never",
+            f'/record/note[contains(text(),"{NEVER_TOKEN}")]',
+            "never", False,
+        ),
+    ]
+    for query in queries:
+        query.spec()  # parse now, as the generated families do
+    return queries

@@ -1,0 +1,269 @@
+"""Matched XPath query generation over generated schemas.
+
+Queries are drawn from the schema's feasibility matrix
+(:meth:`~repro.workloads.schema.GeneratedSchema.matrix`), so every
+*satisfiable* query targets a path that the coverage record of every
+generated corpus realises, and every predicate compares against a
+sentinel token the coverage record plants as exact text.  Deliberately
+unsatisfiable controls come in two flavours:
+
+``phantom``
+    Targets a declared-but-never-emitted element — the M1 shape: the
+    prefilter's static analysis admits the path, the data never does, and
+    the output must be empty.
+``never``
+    A structurally-satisfiable path guarded by a predicate comparing
+    against the schema's ``never_token``, which no document contains.
+    Prefiltering is conservative, so output need not be empty — these are
+    differential controls only (all execution paths must still agree).
+
+The ``overlap`` family targets element-name groups where one tag keyword
+is a prefix of another (the paper's ``Abstract``/``AbstractText``
+pathology), which stresses longest-match verification in the matchers and
+prefix expansion in the shared scan.
+
+Every generated XPath string is parsed at generation time
+(:func:`repro.projection.extraction.spec_from_xpath`), so a grammar
+mismatch fails in the generator, not in the consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import WorkloadError
+from repro.projection.extraction import QuerySpec, spec_from_xpath
+from repro.workloads.schema import GeneratedSchema
+
+#: Query families, in the deterministic round-robin order the generator
+#: cycles through when building a mixed set.
+FAMILIES = (
+    "spine", "descendant", "predicate", "contains", "disjunction",
+    "attribute", "overlap",
+)
+
+#: Unsatisfiable-control families.
+CONTROL_FAMILIES = ("phantom", "never")
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One generated query: XPath text plus its provenance."""
+
+    name: str
+    xpath: str
+    family: str
+    satisfiable: bool
+
+    def spec(self) -> QuerySpec:
+        """The executable :class:`QuerySpec` (parses and validates)."""
+        return spec_from_xpath(
+            self.name,
+            self.xpath,
+            f"generated {self.family} query "
+            f"({'satisfiable' if self.satisfiable else 'control'})",
+        )
+
+
+def generate_queries(schema: GeneratedSchema, *, seed: int, count: int,
+                     unsat_ratio: float = 0.2) -> list[GeneratedQuery]:
+    """``count`` queries over ``schema``, deterministic in ``seed``.
+
+    Roughly ``unsat_ratio`` of the set are unsatisfiable controls
+    (alternating phantom/never); the rest cycle through :data:`FAMILIES`.
+    Duplicate XPath strings are skipped, so the returned set may be
+    shorter than ``count`` on tiny schemas — callers that need an exact
+    count should check ``len()``.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if not 0.0 <= unsat_ratio <= 1.0:
+        raise WorkloadError(
+            f"unsat_ratio must be in [0, 1], got {unsat_ratio}"
+        )
+    rng = Random(("queries", schema.spec.key(), seed).__repr__())
+    builder = _QueryBuilder(schema, rng)
+    controls = int(round(count * unsat_ratio))
+    plan = [CONTROL_FAMILIES[index % len(CONTROL_FAMILIES)]
+            for index in range(controls)]
+    plan += [FAMILIES[index % len(FAMILIES)]
+             for index in range(count - controls)]
+    queries: list[GeneratedQuery] = []
+    seen: set[str] = set()
+
+    def draw(family: str) -> str | None:
+        for _ in range(8):
+            xpath = builder.build(family)
+            if xpath is not None and xpath not in seen:
+                return xpath
+        return None
+
+    for planned in plan:
+        # A family can run dry on tiny schemas (one phantom element means
+        # one distinct phantom query); fall back to related families so
+        # the set still reaches ``count`` whenever distinct queries exist.
+        fallbacks = (CONTROL_FAMILIES if planned in CONTROL_FAMILIES
+                     else FAMILIES)
+        candidates = (planned,) + tuple(
+            name for name in fallbacks if name != planned
+        ) + (FAMILIES if planned in CONTROL_FAMILIES else ())
+        for family in candidates:
+            xpath = draw(family)
+            if xpath is None:
+                continue
+            seen.add(xpath)
+            name = f"G{len(queries):03d}_{family}"
+            query = GeneratedQuery(
+                name=name,
+                xpath=xpath,
+                family=family,
+                satisfiable=family not in CONTROL_FAMILIES,
+            )
+            query.spec()  # parse now: grammar drift fails in the generator
+            queries.append(query)
+            break
+    return queries
+
+
+class _QueryBuilder:
+    """Draws one query per family from the feasibility matrix."""
+
+    def __init__(self, schema: GeneratedSchema, rng: Random) -> None:
+        self._schema = schema
+        self._rng = rng
+        matrix = schema.matrix()
+        self._paths = matrix["paths"]
+        self._emitted = sorted(matrix["emitted"])
+        self._sentinels = matrix["sentinels"]
+        self._never = matrix["never_token"]
+        self._overlap = [
+            tuple(name for name in group if name in matrix["emitted"])
+            for group in matrix["overlap_groups"]
+        ]
+        self._overlap = [group for group in self._overlap if group]
+        elements = schema.elements
+        #: (parent, text-leaf-child) pairs — predicate targets.
+        self._predicate_sites = [
+            (name, child.name)
+            for name in self._emitted
+            for child in elements[name].children
+            if elements[child.name].has_text
+            and child.name in self._sentinels
+        ]
+        #: (parent, empty-child-with-attribute) pairs.
+        self._attribute_sites = [
+            (name, child.name, elements[child.name].attribute)
+            for name in self._emitted
+            for child in elements[name].children
+            if elements[child.name].attribute is not None
+        ]
+        self._text_leaves = sorted(
+            name for name in self._emitted
+            if elements[name].has_text and name in self._sentinels
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, family: str) -> str | None:
+        try:
+            return getattr(self, f"_build_{family}")()
+        except AttributeError:  # pragma: no cover - family list is closed
+            raise WorkloadError(f"unknown query family {family!r}") from None
+
+    def _abs_path(self, name: str) -> str:
+        """A random absolute child-axis path to ``name``."""
+        return "/" + "/".join(self._rng.choice(self._paths[name]))
+
+    def _abs_descendant(self, name: str) -> str:
+        """An absolute path to ``name`` with a descendant shortcut."""
+        path = list(self._rng.choice(self._paths[name]))
+        if len(path) <= 2:
+            return f"/{path[0]}//{path[-1]}" if len(path) == 2 else "/" + path[0]
+        # Cut the middle: /root//tail, keeping a realised suffix.
+        cut = self._rng.randrange(1, len(path) - 1)
+        keep = self._rng.randrange(cut + 1, len(path))
+        head = "/".join(path[:cut])
+        tail = "/".join(path[keep:])
+        return f"/{head}//{tail}"
+
+    def _pick(self, options):
+        return self._rng.choice(options) if options else None
+
+    # Families ---------------------------------------------------------
+    def _build_spine(self) -> str:
+        return self._abs_path(self._rng.choice(self._emitted))
+
+    def _build_descendant(self) -> str:
+        return self._abs_descendant(self._rng.choice(self._emitted))
+
+    def _build_predicate(self) -> str | None:
+        site = self._pick(self._predicate_sites)
+        if site is None:
+            return None
+        parent, leaf = site
+        sentinel = self._sentinels[leaf]
+        base = (self._abs_descendant(parent) if self._rng.random() < 0.5
+                else self._abs_path(parent))
+        suffixes = [
+            child.name for child in self._schema.elements[parent].children
+            if child.name != leaf
+            and child.name not in self._schema.phantom_names
+        ]
+        suffix = f"/{self._rng.choice(suffixes)}" if (
+            suffixes and self._rng.random() < 0.5) else ""
+        return f'{base}[{leaf}/text()="{sentinel}"]{suffix}'
+
+    def _build_contains(self) -> str | None:
+        leaf = self._pick(self._text_leaves)
+        if leaf is None:
+            return None
+        sentinel = self._sentinels[leaf]
+        return f'{self._abs_descendant(leaf)}[contains(text(),"{sentinel}")]'
+
+    def _build_disjunction(self) -> str | None:
+        site = self._pick(self._predicate_sites)
+        if site is None:
+            return None
+        parent, leaf = site
+        sentinel = self._sentinels[leaf]
+        other = self._pick(self._text_leaves)
+        if other is None:
+            return None
+        clause = f'{leaf}/text()="{sentinel}"'
+        alt = f'{leaf}/text()="{self._never}"'
+        if self._rng.random() < 0.5:
+            return f"{self._abs_path(parent)}[{clause} or {alt}]"
+        return f"{self._abs_path(parent)}[{alt} or {clause}]"
+
+    def _build_attribute(self) -> str | None:
+        site = self._pick(self._attribute_sites)
+        if site is None:
+            return None
+        parent, child, attribute = site
+        base = self._abs_path(parent)
+        if self._rng.random() < 0.5:
+            return f"{base}/{child}[@{attribute}]"
+        return f"{base}[{child}]/{child}"
+
+    def _build_overlap(self) -> str | None:
+        group = self._pick(self._overlap)
+        if group is None:
+            return None
+        name = self._rng.choice(group)
+        return self._abs_descendant(name)
+
+    # Controls ---------------------------------------------------------
+    def _build_phantom(self) -> str | None:
+        if not self._schema.phantom_names:
+            return None
+        phantom = self._rng.choice(self._schema.phantom_names)
+        return f"/{self._schema.root}//{phantom}"
+
+    def _build_never(self) -> str | None:
+        leaf = self._pick(self._text_leaves)
+        if leaf is None:
+            return None
+        base = self._abs_descendant(leaf)
+        if self._rng.random() < 0.5:
+            return f'{base}[text()="{self._never}"]'
+        return f'{base}[contains(text(),"{self._never}")]'

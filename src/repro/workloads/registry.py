@@ -1,0 +1,218 @@
+"""One registry for builtin and generated workloads.
+
+Benches and tests used to address the two builtin corpora
+(:func:`repro.workloads.datasets.load_dataset`) and generated corpora
+through different code paths.  :func:`get` unifies them behind one
+address scheme:
+
+``workloads.get("xmark")`` / ``workloads.get("medline")``
+    The builtin synthetic corpora, DTDs and paper query sets (M1-M5,
+    XM1-XM20), sized like :func:`load_dataset` sizes them.
+``workloads.get("gen:depth=12,fanout=4,seed=7")``
+    A generated workload: schema from the ``gen:`` spec keys
+    (:class:`~repro.workloads.schema.SchemaSpec`), corpus from the
+    document keys (:class:`~repro.workloads.generate.DocumentSpec`), and
+    a matched query set drawn from the feasibility matrix.  Unknown keys
+    raise; both key families may be mixed in one address.
+``workloads.get("json:records=8,seed=3")``
+    The JSONL second grammar mapped onto the XML runtime
+    (:mod:`repro.workloads.json_records`).
+
+Every address resolves to the same :class:`Workload` shape — name, DTD,
+query specs, record end tag, and ``document()``/``records()``/
+``stream()`` accessors — so callers can iterate workloads without caring
+which family they came from.  Equal addresses resolve to equal content
+(generated workloads are seed-deterministic; builtin ones are cached by
+:mod:`repro.workloads.datasets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Mapping
+
+from repro.dtd.model import Dtd
+from repro.errors import WorkloadError
+from repro.projection.extraction import QuerySpec
+
+#: Built-in workload names (the non-prefixed addresses).
+BUILTIN = ("medline", "xmark")
+
+#: Generated-workload address prefixes.
+PREFIXES = ("gen", "json")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One addressable workload: corpus accessors plus query specs."""
+
+    name: str
+    dtd: Dtd
+    queries: Mapping[str, QuerySpec]
+    query_order: tuple[str, ...]
+    end_tag: bytes
+    _records: Callable[[], list[bytes]]
+
+    def records(self) -> list[bytes]:
+        """The corpus as one XML document (``bytes``) per record."""
+        return self._records()
+
+    def stream(self) -> bytes:
+        """The corpus as one concatenated record stream."""
+        return b"\n".join(self.records()) + b"\n"
+
+    def document(self) -> bytes:
+        """The first record — a single representative document."""
+        return self.records()[0]
+
+    def query(self, name: str) -> QuerySpec:
+        return self.queries[name]
+
+
+def get(address: str, *, size_bytes: int | None = None,
+        seed: int = 42) -> Workload:
+    """Resolve a workload address (see the module docstring).
+
+    ``size_bytes``/``seed`` apply to the builtin corpora only (they map
+    onto :func:`~repro.workloads.datasets.load_dataset`); generated
+    addresses carry their sizing and seeds in the address itself.
+    """
+    address = address.strip()
+    if ":" in address:
+        prefix, _, rest = address.partition(":")
+        if prefix == "gen":
+            return _generated(rest)
+        if prefix == "json":
+            return _json(rest)
+        raise WorkloadError(
+            f"unknown workload prefix {prefix!r}; expected one of {PREFIXES}"
+        )
+    if address in BUILTIN:
+        return _builtin(address, size_bytes=size_bytes, seed=seed)
+    raise WorkloadError(
+        f"unknown workload {address!r}; expected one of {BUILTIN} or a "
+        f"'gen:'/'json:' spec address"
+    )
+
+
+# ----------------------------------------------------------------------
+# Builtin corpora
+# ----------------------------------------------------------------------
+def _builtin(name: str, *, size_bytes: int | None, seed: int) -> Workload:
+    from repro.workloads.datasets import load_dataset
+
+    if name == "medline":
+        from repro.workloads.medline import (
+            MEDLINE_QUERIES,
+            MEDLINE_QUERY_ORDER,
+            medline_dtd,
+        )
+
+        dtd = medline_dtd()
+        queries: Mapping[str, QuerySpec] = MEDLINE_QUERIES
+        order = tuple(MEDLINE_QUERY_ORDER)
+        end_tag = b"</MedlineCitationSet>"
+    else:
+        from repro.workloads.xmark import (
+            XMARK_QUERIES,
+            XMARK_QUERY_ORDER,
+            xmark_dtd,
+        )
+
+        dtd = xmark_dtd()
+        queries = XMARK_QUERIES
+        order = tuple(XMARK_QUERY_ORDER)
+        end_tag = b"</site>"
+
+    def records() -> list[bytes]:
+        # The builtin datasets are single sized documents; the corpus
+        # view is that one record (MEDLINE-style streams concatenate it).
+        return [load_dataset(name, size_bytes, seed=seed).encode("utf-8")]
+
+    return Workload(
+        name=name, dtd=dtd, queries=queries, query_order=order,
+        end_tag=end_tag, _records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generated corpora
+# ----------------------------------------------------------------------
+def _split_spec_keys(text: str) -> tuple[dict, dict, dict]:
+    """Route mixed ``k=v`` keys to schema / document / query kwargs."""
+    from repro.workloads.generate import DocumentSpec
+    from repro.workloads.schema import SchemaSpec, parse_kv
+
+    schema_keys = {field.name for field in fields(SchemaSpec)}
+    document_keys = {field.name for field in fields(DocumentSpec)}
+    query_keys = {"queries", "unsat_ratio"}
+    schema_kwargs: dict = {}
+    document_kwargs: dict = {}
+    query_kwargs: dict = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key = pair.partition("=")[0].strip()
+        if key == "seed":
+            value = parse_kv(pair, SchemaSpec)
+            schema_kwargs.update(value)
+            document_kwargs.update(value)
+        elif key in schema_keys:
+            schema_kwargs.update(parse_kv(pair, SchemaSpec))
+        elif key in document_keys:
+            document_kwargs.update(parse_kv(pair, DocumentSpec))
+        elif key in query_keys:
+            query_kwargs.update(parse_kv(
+                pair, DocumentSpec,
+                extra={"queries": int, "unsat_ratio": float},
+            ))
+        else:
+            raise WorkloadError(
+                f"unknown workload spec key {key!r}; expected schema keys "
+                f"{sorted(schema_keys)}, document keys "
+                f"{sorted(document_keys)} or query keys {sorted(query_keys)}"
+            )
+    return schema_kwargs, document_kwargs, query_kwargs
+
+
+def _generated(text: str) -> Workload:
+    from repro.workloads.generate import DocumentSpec, generate_records
+    from repro.workloads.queries import generate_queries
+    from repro.workloads.schema import SchemaSpec, build_schema
+
+    schema_kwargs, document_kwargs, query_kwargs = _split_spec_keys(text)
+    schema = build_schema(SchemaSpec(**schema_kwargs))
+    document_spec = DocumentSpec(**document_kwargs)
+    generated = generate_queries(
+        schema,
+        seed=document_spec.seed,
+        count=query_kwargs.get("queries", 8),
+        unsat_ratio=query_kwargs.get("unsat_ratio", 0.2),
+    )
+    queries = {query.name: query.spec() for query in generated}
+    return Workload(
+        name=f"gen:{text}",
+        dtd=schema.dtd,
+        queries=queries,
+        query_order=tuple(query.name for query in generated),
+        end_tag=schema.end_tag,
+        _records=lambda: generate_records(schema, document_spec),
+    )
+
+
+def _json(text: str) -> Workload:
+    from repro.workloads import json_records
+    from repro.workloads.schema import parse_kv
+
+    spec = json_records.JsonSpec(**parse_kv(text, json_records.JsonSpec))
+    generated = json_records.json_queries()
+    queries = {query.name: query.spec() for query in generated}
+    return Workload(
+        name=f"json:{text}",
+        dtd=json_records.json_dtd(),
+        queries=queries,
+        query_order=tuple(query.name for query in generated),
+        end_tag=b"</record>",
+        _records=lambda: json_records.xml_records(spec),
+    )

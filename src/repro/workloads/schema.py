@@ -1,0 +1,552 @@
+"""Seed-deterministic schema generation for synthetic workloads.
+
+Every correctness and performance claim in this repository used to be
+two-corpus-shaped (MEDLINE, XMark).  This module is the schema half of the
+DeepBench-style generator subsystem (:mod:`repro.workloads.generate`
+produces documents, :mod:`repro.workloads.queries` matched queries,
+:mod:`repro.workloads.fuzz` drives differential fuzzing): a
+:class:`SchemaSpec` describes a family of non-recursive DTDs — nesting
+depth, fanout, element-name alphabet, unrolled-recursion chains, attribute
+density — and :func:`build_schema` expands it into a concrete
+:class:`GeneratedSchema` whose DTD text parses and validates with the
+repository's own :class:`~repro.dtd.model.Dtd` machinery.
+
+The schema carries its own **feasibility matrix** (:meth:`GeneratedSchema.
+matrix`): for every declared element the absolute root paths it can occur
+under, the sentinel text token the document generator plants for it, and
+the phantom elements that are declared but never emitted.  The query
+generator draws from that matrix, so every generated query is satisfiable
+by construction (and the phantom/never-token queries are unsatisfiable by
+construction — the M1-style controls).
+
+Determinism contract: the same :class:`SchemaSpec` (including its seed)
+always produces the same schema, on every platform and Python version —
+nothing here consults time, hashing randomisation, or global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from functools import lru_cache
+from random import Random
+from typing import Iterator, Mapping
+
+from repro.dtd.model import Dtd
+from repro.errors import WorkloadError
+
+#: Element-name alphabets the spec can ask for.  ``plain`` gives short
+#: distinct syllable words, ``overlap`` grows names that are prefixes of
+#: each other (the paper's ``Abstract``/``AbstractText`` pathology, taken
+#: to keyword-overlap families), ``long`` gives 24-40 character names so
+#: tag keywords dominate the byte stream.
+ALPHABETS = ("plain", "overlap", "long")
+
+_CONSONANTS = "bdfgklmnprstvz"
+_VOWELS = "aeiou"
+
+
+@dataclass(frozen=True)
+class SchemaSpec:
+    """Parameters of one generated schema family.
+
+    ``depth``
+        Length of the required "spine" chain from the root to the deepest
+        element; the element tree always realises this full depth.
+    ``fanout``
+        Children per spine element (the spine child plus ``fanout - 1``
+        satellites: text leaves, attribute-bearing EMPTY elements, small
+        internal forks).
+    ``chain``
+        Extra unrolled-recursion chain below the deepest spine element —
+        the DTD must stay non-recursive (the paper requires it), so deep
+        recursion scenarios are expressed as a chain of distinct
+        single-child elements.
+    ``alphabet``
+        Element-name style, one of :data:`ALPHABETS`.
+    ``leaf_pool``
+        Size of the shared text-leaf name pool; shared leaves occur under
+        several parents (XMark's ``name``/``description`` effect), which
+        exercises multi-context dispatch.
+    ``phantoms``
+        Declared-but-never-generated elements (optional children of the
+        root) — targets for deliberately-unsatisfiable control queries.
+    ``attr_density``
+        Probability that a satellite position becomes an EMPTY element
+        with a required attribute.
+    """
+
+    seed: int = 0
+    depth: int = 4
+    fanout: int = 3
+    chain: int = 0
+    alphabet: str = "plain"
+    leaf_pool: int = 3
+    phantoms: int = 1
+    attr_density: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise WorkloadError(f"depth must be >= 1, got {self.depth}")
+        if self.fanout < 1:
+            raise WorkloadError(f"fanout must be >= 1, got {self.fanout}")
+        if self.chain < 0:
+            raise WorkloadError(f"chain must be >= 0, got {self.chain}")
+        if self.alphabet not in ALPHABETS:
+            raise WorkloadError(
+                f"unknown alphabet {self.alphabet!r}; expected one of "
+                f"{ALPHABETS}"
+            )
+        if self.leaf_pool < 1:
+            raise WorkloadError(f"leaf_pool must be >= 1, got {self.leaf_pool}")
+        if self.phantoms < 0:
+            raise WorkloadError(f"phantoms must be >= 0, got {self.phantoms}")
+        if not 0.0 <= self.attr_density <= 1.0:
+            raise WorkloadError(
+                f"attr_density must be in [0, 1], got {self.attr_density}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "SchemaSpec":
+        """Parse a ``"depth=12,fanout=4,seed=7"`` spec string.
+
+        Unknown keys raise :class:`~repro.errors.WorkloadError`; a leading
+        ``gen:`` prefix (the registry address form) is accepted.
+        """
+        return cls(**parse_kv(text, cls, prefix="gen"))
+
+    def key(self) -> str:
+        """The canonical ``gen:...`` registry address of this spec."""
+        return format_kv("gen", self)
+
+
+def parse_kv(text: str, spec_type, *, prefix: str | None = None,
+             extra: Mapping[str, type] | None = None) -> dict:
+    """Parse ``k=v,k=v`` into a kwargs dict typed after ``spec_type`` fields.
+
+    Values are coerced to the dataclass field's type (int/float/str/bool).
+    ``extra`` admits additional non-dataclass keys with explicit types.
+    Shared by the schema/document spec parsers and the workload registry.
+    """
+    text = text.strip()
+    if prefix and text.startswith(prefix + ":"):
+        text = text[len(prefix) + 1:]
+    types: dict[str, type] = {
+        field.name: type(getattr(spec_type, field.name, field.default))
+        for field in fields(spec_type)
+    }
+    if extra:
+        types.update(extra)
+    kwargs: dict = {}
+    if not text:
+        return kwargs
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" not in pair:
+            raise WorkloadError(
+                f"malformed spec entry {pair!r}; expected key=value"
+            )
+        key, _, value = pair.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key not in types:
+            raise WorkloadError(
+                f"unknown spec key {key!r}; expected one of "
+                f"{sorted(types)}"
+            )
+        kind = types[key]
+        try:
+            if kind is bool:
+                if value.lower() not in ("0", "1", "true", "false"):
+                    raise ValueError(value)
+                kwargs[key] = value.lower() in ("1", "true")
+            elif kind is int:
+                kwargs[key] = int(value)
+            elif kind is float:
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = value
+        except ValueError as error:
+            raise WorkloadError(
+                f"spec key {key!r} expects {kind.__name__}, got {value!r}"
+            ) from error
+    return kwargs
+
+
+def format_kv(prefix: str, spec) -> str:
+    """Format a dataclass spec as its canonical ``prefix:k=v,...`` address.
+
+    Only the fields that differ from the default are listed, in field
+    order, so equal specs format equally and the address stays short.
+    """
+    parts = []
+    for field in fields(spec):
+        value = getattr(spec, field.name)
+        if value != field.default:
+            parts.append(f"{field.name}={value}")
+    return f"{prefix}:{','.join(parts)}"
+
+
+# ----------------------------------------------------------------------
+# Schema elements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChildRef:
+    """One child position in a content model: name plus occurrence marker."""
+
+    name: str
+    occurrence: str = ""  # "", "?", "*", "+"
+
+
+@dataclass(frozen=True)
+class ElementInfo:
+    """One declared element of a generated schema."""
+
+    name: str
+    children: tuple[ChildRef, ...] = ()
+    has_text: bool = False
+    attribute: str | None = None
+    #: The unique text token the document generator plants for this element
+    #: (coverage record), making ``text()``/``contains()`` predicates
+    #: against it satisfiable by construction.
+    sentinel: str | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class GeneratedSchema:
+    """A concrete generated schema: declarations, DTD, feasibility matrix."""
+
+    def __init__(self, spec: SchemaSpec, root: str,
+                 elements: "dict[str, ElementInfo]",
+                 phantom_names: tuple[str, ...],
+                 filler: str) -> None:
+        self.spec = spec
+        self.root = root
+        self.elements = elements
+        self.phantom_names = phantom_names
+        #: The starred text leaf of the root that absorbs size padding.
+        self.filler = filler
+        #: Predicate token that never occurs in any generated document.
+        self.never_token = f"zqnever{spec.seed}x"
+        self._paths: dict[str, tuple[tuple[str, ...], ...]] | None = None
+        self._dtd: Dtd | None = None
+
+    # ------------------------------------------------------------------
+    # DTD
+    # ------------------------------------------------------------------
+    @property
+    def dtd_text(self) -> str:
+        """The schema as DTD text (a ``<!DOCTYPE ...>`` declaration)."""
+        lines = [f"<!DOCTYPE {self.root} ["]
+        for info in self.elements.values():
+            if info.is_leaf and info.has_text:
+                model = "(#PCDATA)"
+            elif info.is_leaf:
+                model = "EMPTY"
+            else:
+                model = "(" + ", ".join(
+                    child.name + child.occurrence for child in info.children
+                ) + ")"
+            lines.append(f"<!ELEMENT {info.name} {model}>")
+            if info.attribute:
+                lines.append(
+                    f"<!ATTLIST {info.name} {info.attribute} CDATA #REQUIRED>"
+                )
+        lines.append("]>")
+        return "\n".join(lines)
+
+    @property
+    def dtd(self) -> Dtd:
+        """The parsed, validated (non-recursive) DTD."""
+        if self._dtd is None:
+            self._dtd = Dtd.parse(self.dtd_text)
+        return self._dtd
+
+    # ------------------------------------------------------------------
+    # Feasibility matrix
+    # ------------------------------------------------------------------
+    def paths(self) -> dict[str, tuple[tuple[str, ...], ...]]:
+        """Absolute root paths per element name (the reachability matrix).
+
+        Shared leaves occur under several parents, so an element may have
+        many absolute paths; every returned path is realised by the
+        coverage record of any document generated from this schema.
+        """
+        if self._paths is not None:
+            return self._paths
+        collected: dict[str, list[tuple[str, ...]]] = {
+            name: [] for name in self.elements
+        }
+
+        def walk(name: str, prefix: tuple[str, ...]) -> None:
+            path = prefix + (name,)
+            collected[name].append(path)
+            for child in self.elements[name].children:
+                walk(child.name, path)
+
+        walk(self.root, ())
+        self._paths = {
+            name: tuple(paths) for name, paths in collected.items()
+        }
+        return self._paths
+
+    def matrix(self) -> dict:
+        """The feasibility matrix the query generator draws from."""
+        emitted = {
+            name for name in self.elements if name not in self.phantom_names
+        }
+        return {
+            "root": self.root,
+            "paths": self.paths(),
+            "emitted": emitted,
+            "phantoms": tuple(self.phantom_names),
+            "sentinels": {
+                name: info.sentinel
+                for name, info in self.elements.items()
+                if info.sentinel is not None
+            },
+            "never_token": self.never_token,
+            "overlap_groups": self.overlap_groups(),
+        }
+
+    def overlap_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Element-name families where one name is a prefix of another.
+
+        These are the pathological keyword-overlap targets: the matchers'
+        longest-first verification and the shared scan's prefix-expansion
+        tables both key off exactly this situation.
+        """
+        names = sorted(self.elements)
+        groups: list[tuple[str, ...]] = []
+        index = 0
+        while index < len(names):
+            base = names[index]
+            family = [base]
+            cursor = index + 1
+            while cursor < len(names) and names[cursor].startswith(base):
+                family.append(names[cursor])
+                cursor += 1
+            if len(family) > 1:
+                groups.append(tuple(family))
+            index = cursor if cursor > index + 1 else index + 1
+        return tuple(groups)
+
+    def iter_text_elements(self) -> Iterator[ElementInfo]:
+        """The PCDATA leaves, in declaration order (phantoms excluded)."""
+        for info in self.elements.values():
+            if info.has_text and info.name not in self.phantom_names:
+                yield info
+
+    @property
+    def end_tag(self) -> bytes:
+        """The record-stream boundary marker (the root's closing tag)."""
+        return f"</{self.root}>".encode("ascii")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeneratedSchema(root={self.root!r}, "
+            f"elements={len(self.elements)}, spec={self.spec.key()!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Name generation
+# ----------------------------------------------------------------------
+class _Names:
+    """Deterministic unique element-name factory per alphabet style."""
+
+    def __init__(self, rng: Random, alphabet: str) -> None:
+        self._rng = rng
+        self._alphabet = alphabet
+        self._seen: set[str] = set()
+
+    def _word(self, syllables: int) -> str:
+        rng = self._rng
+        return "".join(
+            rng.choice(_CONSONANTS) + rng.choice(_VOWELS)
+            for _ in range(syllables)
+        )
+
+    def fresh(self, *, parent: str | None = None) -> str:
+        """A new unique name; ``overlap`` extends the parent's name."""
+        for _ in range(64):
+            if self._alphabet == "long":
+                name = self._word(self._rng.randint(12, 20))
+            elif self._alphabet == "overlap" and parent is not None:
+                # The child's tag is the parent's tag plus a short suffix,
+                # so nested keywords are prefixes of each other.
+                name = parent + self._word(1)
+                if len(name) > 48:
+                    name = self._word(2)
+            else:
+                name = self._word(self._rng.randint(2, 4))
+            if name not in self._seen:
+                self._seen.add(name)
+                return name
+        raise WorkloadError("name alphabet exhausted")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Schema construction
+# ----------------------------------------------------------------------
+_OCCURRENCES = ("", "?", "*", "+")
+
+
+@lru_cache(maxsize=32)
+def build_schema(spec: SchemaSpec) -> GeneratedSchema:
+    """Expand ``spec`` into a concrete schema (memoised per spec).
+
+    The element tree is budgeted linearly in ``depth``/``fanout``/``chain``
+    (a full ``fanout**depth`` tree would explode): a required spine runs to
+    the full depth, every spine element carries ``fanout - 1`` satellite
+    children, and the unrolled-recursion chain hangs below the deepest
+    spine element.  The root additionally declares the phantom controls
+    and the trailing starred ``filler`` text leaf used for size padding.
+    """
+    rng = Random(("schema", spec.seed, spec.depth, spec.fanout, spec.chain,
+                  spec.alphabet, spec.leaf_pool, spec.phantoms,
+                  round(spec.attr_density, 6)).__repr__())
+    names = _Names(rng, spec.alphabet)
+    elements: dict[str, ElementInfo] = {}
+    sentinel_count = 0
+
+    def sentinel_for(name: str) -> str:
+        nonlocal sentinel_count
+        sentinel_count += 1
+        return f"zq{sentinel_count}{_safe(name)}x"
+
+    # Shared text-leaf pool: the same leaf name occurs under many parents.
+    pool: list[str] = []
+    for _ in range(spec.leaf_pool):
+        name = names.fresh()
+        pool.append(name)
+        elements[name] = ElementInfo(
+            name=name, has_text=True, sentinel=sentinel_for(name)
+        )
+
+    def make_leaf(parent: str) -> str:
+        if pool and rng.random() < 0.5:
+            return rng.choice(pool)
+        name = names.fresh(parent=parent)
+        elements[name] = ElementInfo(
+            name=name, has_text=True, sentinel=sentinel_for(name)
+        )
+        return name
+
+    def make_empty(parent: str) -> str:
+        name = names.fresh(parent=parent)
+        elements[name] = ElementInfo(
+            name=name, attribute="k" + _safe(name)[:8]
+        )
+        return name
+
+    def make_fork(parent: str) -> str:
+        """A small internal element with one or two leaf children."""
+        name = names.fresh(parent=parent)
+        children = tuple(
+            ChildRef(make_leaf(name), rng.choice(_OCCURRENCES))
+            for _ in range(rng.randint(1, 2))
+        )
+        elements[name] = ElementInfo(name=name, children=children)
+        return name
+
+    def satellites(parent: str, count: int) -> list[ChildRef]:
+        refs: list[ChildRef] = []
+        for _ in range(count):
+            roll = rng.random()
+            if roll < spec.attr_density:
+                child = make_empty(parent)
+            elif roll < spec.attr_density + 0.15:
+                child = make_fork(parent)
+            else:
+                child = make_leaf(parent)
+            refs.append(ChildRef(child, rng.choice(_OCCURRENCES)))
+        return refs
+
+    # Spine, deepest first so declarations can reference existing names.
+    spine = [names.fresh() for _ in range(spec.depth)]
+    for level in range(spec.depth - 1, -1, -1):
+        name = spine[level]
+        children: list[ChildRef] = []
+        if level + 1 < spec.depth:
+            children.append(ChildRef(spine[level + 1]))  # required
+        if level == spec.depth - 1 and spec.chain:
+            # Unrolled recursion: a required chain of single-child elements
+            # ending in a text leaf.
+            chain_names = [names.fresh(parent=name)
+                           for _ in range(spec.chain)]
+            tail = make_leaf(chain_names[-1])
+            for position in range(spec.chain - 1, -1, -1):
+                link = chain_names[position]
+                below = (chain_names[position + 1]
+                         if position + 1 < spec.chain else tail)
+                elements[link] = ElementInfo(
+                    name=link, children=(ChildRef(below),)
+                )
+            children.append(ChildRef(chain_names[0]))
+        children.extend(satellites(name, max(0, spec.fanout - 1)))
+        if not children:
+            elements[name] = ElementInfo(
+                name=name, has_text=True, sentinel=sentinel_for(name)
+            )
+        else:
+            elements[name] = ElementInfo(name=name, children=tuple(children))
+    root = spine[0]
+
+    # Phantoms: declared, reachable in the DTD, never emitted.
+    phantom_names = []
+    for _ in range(spec.phantoms):
+        name = names.fresh()
+        elements[name] = ElementInfo(
+            name=name, has_text=True, sentinel=None
+        )
+        phantom_names.append(name)
+
+    # Filler: the trailing starred text leaf of the root (size padding).
+    filler = names.fresh()
+    elements[filler] = ElementInfo(
+        name=filler, has_text=True, sentinel=sentinel_for(filler)
+    )
+
+    root_children = list(elements[root].children)
+    root_children.extend(ChildRef(name, "?") for name in phantom_names)
+    root_children.append(ChildRef(filler, "*"))
+    elements[root] = ElementInfo(name=root, children=tuple(root_children))
+
+    # Prune declarations unreachable from the root (a pool leaf the random
+    # walk never referenced) — they could never be emitted, so keeping
+    # them would only pollute the feasibility matrix with dead rows.
+    reachable: set[str] = set()
+    frontier = [root]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier.extend(child.name for child in elements[name].children)
+
+    # Declaration order: root first (cosmetic; the DOCTYPE names the root).
+    ordered: dict[str, ElementInfo] = {root: elements[root]}
+    for name, info in elements.items():
+        if name != root and name in reachable:
+            ordered[name] = info
+
+    schema = GeneratedSchema(
+        spec=spec,
+        root=root,
+        elements=ordered,
+        phantom_names=tuple(phantom_names),
+        filler=filler,
+    )
+    # Parsing validates referential integrity and non-recursiveness now,
+    # so a bad expansion fails at build time, not first use.
+    schema.dtd
+    return schema
+
+
+def _safe(name: str) -> str:
+    return "".join(char for char in name if char.isalnum())

@@ -229,3 +229,96 @@ class TestBinaryChunkCursor:
         assert not cursor.binary
         assert cursor.char(6) == "w"
         assert cursor.find("world", 0) == 6
+
+
+# ----------------------------------------------------------------------
+# Record-stream splitting (generated corpora)
+# ----------------------------------------------------------------------
+class TestSplitDocumentsGeneratedStreams:
+    """The generator subsystem feeds split_documents adversarial streams:
+    end tags landing exactly on chunk edges, records larger than the chunk
+    size, and whitespace-joined record boundaries."""
+
+    def test_end_tag_exactly_on_chunk_edges(self):
+        from repro.core.sources import split_documents
+
+        records = [b"<r><a>%d</a></r>" % index for index in range(5)]
+        stream = b"".join(records)
+        tag = b"</r>"
+        # Chunk boundaries placed exactly at each end-tag end, each end-tag
+        # start, and one byte into the tag.
+        for offsets in (
+            [stream.find(tag, start) + len(tag)
+             for start in range(0, len(stream), len(records[0]))],
+            [stream.find(tag, start)
+             for start in range(0, len(stream), len(records[0]))],
+            [stream.find(tag, start) + 1
+             for start in range(0, len(stream), len(records[0]))],
+        ):
+            cuts = sorted({o for o in offsets if 0 < o < len(stream)})
+            chunks, previous = [], 0
+            for cut in cuts:
+                chunks.append(stream[previous:cut])
+                previous = cut
+            chunks.append(stream[previous:])
+            assert list(split_documents(chunks, tag)) == records
+
+    def test_record_larger_than_chunk_size(self):
+        from repro.core.sources import split_documents
+
+        big = b"<r><x>" + b"y" * 10_000 + b"</x></r>"
+        small = b"<r><x>z</x></r>"
+        stream = big + b"\n" + small + b"\n" + big
+        for chunk_size in (1, 7, 64, 512):
+            chunks = [
+                stream[start:start + chunk_size]
+                for start in range(0, len(stream), chunk_size)
+            ]
+            assert list(split_documents(chunks, b"</r>")) == [big, small, big]
+
+    def test_generated_stream_round_trips(self):
+        from repro.core.sources import split_documents
+        from repro.workloads.generate import DocumentSpec, generate_records
+        from repro.workloads.schema import SchemaSpec, build_schema
+
+        schema = build_schema(SchemaSpec(seed=5, depth=4, fanout=3))
+        records = generate_records(
+            schema, DocumentSpec(seed=2, records=6, record_bytes=700)
+        )
+        stream = b"\n".join(records) + b"\n"
+        for chunk_size in (3, 41, 1024):
+            chunks = [
+                stream[start:start + chunk_size]
+                for start in range(0, len(stream), chunk_size)
+            ]
+            assert list(split_documents(chunks, schema.end_tag)) == records
+
+
+class TestSplitJsonl:
+    def test_basic_lines_and_blank_skipping(self):
+        from repro.core.sources import split_jsonl
+
+        stream = b'{"a":1}\n\n{"b":2}\n{"c":3}'
+        assert list(split_jsonl([stream])) == [
+            b'{"a":1}', b'{"b":2}', b'{"c":3}',
+        ]
+
+    def test_any_chunking_round_trips(self):
+        from repro.core.sources import split_jsonl
+        from repro.workloads.json_records import JsonSpec, generate_jsonl
+
+        stream = generate_jsonl(JsonSpec(seed=3, records=7, utf8=0.3))
+        expected = [line for line in stream.split(b"\n") if line.strip()]
+        for chunk_size in (1, 2, 13, 255, len(stream)):
+            chunks = [
+                stream[start:start + chunk_size]
+                for start in range(0, len(stream), chunk_size)
+            ]
+            assert list(split_jsonl(chunks)) == expected
+
+    def test_str_chunks_and_missing_trailing_newline(self):
+        from repro.core.sources import split_jsonl
+
+        assert list(split_jsonl(['{"a":1}\n{"b"', ":2}"])) == [
+            b'{"a":1}', b'{"b":2}',
+        ]

@@ -1,0 +1,161 @@
+"""The differential-fuzz driver: determinism, detection, repro lines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.fuzz import (
+    CHUNK_FLAVORS,
+    SCENARIOS,
+    adversarial_chunks,
+    available_deliveries,
+    main as fuzz_main,
+    run_case,
+    run_fuzz,
+)
+
+
+class TestAdversarialChunks:
+    PAYLOAD = "le <thé>🦉 øst</thé> données".encode("utf-8")
+
+    def test_every_flavor_round_trips(self):
+        import random
+
+        for flavor in CHUNK_FLAVORS:
+            rng = random.Random(1)
+            chunks = adversarial_chunks(self.PAYLOAD, flavor, rng)
+            assert b"".join(chunks) == self.PAYLOAD
+            assert all(chunks), f"{flavor} produced an empty chunk"
+
+    def test_tiny_chunks_are_tiny(self):
+        chunks = adversarial_chunks(self.PAYLOAD, "tiny")
+        assert max(len(chunk) for chunk in chunks) <= 3
+
+    def test_midtag_cuts_after_every_open_angle(self):
+        chunks = adversarial_chunks(self.PAYLOAD, "midtag")
+        for chunk in chunks[:-1]:
+            assert chunk.endswith(b"<")
+
+    def test_midutf8_cuts_inside_characters(self):
+        chunks = adversarial_chunks(self.PAYLOAD, "midutf8")
+        assert any(
+            chunk[0] & 0xC0 == 0x80 for chunk in chunks[1:]
+        ), "no split landed inside a multi-byte character"
+
+    def test_unknown_flavor_raises(self):
+        with pytest.raises(WorkloadError, match="unknown chunk flavor"):
+            adversarial_chunks(b"x", "jumbo")
+
+
+class TestRunFuzz:
+    def test_small_budget_run_is_clean(self):
+        report = run_fuzz(seed=101, budget=24, scenarios=("baseline",))
+        assert report.ok
+        assert report.pairs >= 24
+        assert report.deliveries == available_deliveries()
+
+    def test_same_seed_same_report(self):
+        first = run_fuzz(seed=55, budget=30,
+                         scenarios=("baseline", "utf8")).to_dict()
+        second = run_fuzz(seed=55, budget=30,
+                          scenarios=("baseline", "utf8")).to_dict()
+        assert first == second
+
+    def test_different_seeds_pick_different_cases(self):
+        first = run_fuzz(seed=1, budget=10, scenarios=("baseline",))
+        second = run_fuzz(seed=2, budget=10, scenarios=("baseline",))
+        assert (first.cases[0].case_seed != second.cases[0].case_seed)
+
+    def test_case_seed_repro_mode_runs_exactly_once(self):
+        report = run_fuzz(seed=0, budget=10_000, scenarios=("wide",),
+                          case_seed=4242)
+        assert len(report.cases) == 1
+        assert report.cases[0].case_seed == 4242
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(WorkloadError, match="unknown scenario"):
+            run_fuzz(seed=0, budget=1, scenarios=("nope",))
+        with pytest.raises(WorkloadError, match="unknown scenario"):
+            run_case("nope", 1)
+
+    def test_json_scenario_holds_the_second_grammar_to_the_contract(self):
+        report = run_fuzz(seed=77, budget=1, scenarios=("json",))
+        assert report.ok
+        assert report.pairs > 0
+
+    def test_every_scenario_cell_runs_clean_once(self):
+        # One case per scenario; the CI fuzz leg runs the bigger sweep.
+        for name in SCENARIOS:
+            result = run_case(name, 9090, jobs=2)
+            assert not result.divergences, (name, result.divergences[:1])
+
+
+class TestKnownDivergenceInjection:
+    """The harness must catch a seeded corruption and report its seed."""
+
+    INJECT_SEED = 1234
+
+    def test_injected_divergence_is_caught_and_addressable(self):
+        report = run_fuzz(seed=7, budget=10, scenarios=("baseline",),
+                          inject_seed=self.INJECT_SEED)
+        assert not report.ok, "seeded corruption was not detected"
+        divergence = report.divergences[0]
+        assert divergence.inject_seed == self.INJECT_SEED
+        assert f"--inject-seed {self.INJECT_SEED}" in divergence.repro
+        assert f"--case-seed {divergence.case_seed}" in divergence.repro
+        assert f"--only {divergence.scenario}" in divergence.repro
+        # Only chunked comparisons see the corrupted bytes.
+        for item in report.divergences:
+            assert "chunked" in item.comparison
+
+    def test_repro_line_reproduces_the_divergence(self):
+        report = run_fuzz(seed=7, budget=10, scenarios=("baseline",),
+                          inject_seed=self.INJECT_SEED)
+        first = report.divergences[0]
+        again = run_case(first.scenario, first.case_seed,
+                         inject_seed=self.INJECT_SEED)
+        assert any(
+            item.query == first.query
+            and item.comparison == first.comparison
+            for item in again.divergences
+        )
+
+    def test_clean_run_of_the_same_case_has_no_divergences(self):
+        report = run_fuzz(seed=7, budget=10, scenarios=("baseline",))
+        assert report.ok
+
+
+class TestFuzzCli:
+    def test_cli_clean_run_exits_zero_and_writes_report(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "report.json"
+        code = fuzz_main([
+            "--seed", "3", "--budget", "10", "--only", "baseline",
+            "--report", str(path), "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "divergences=0" in captured.out
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["pairs"] >= 10
+
+    def test_cli_reports_divergences_with_exit_code_4(self, capsys):
+        code = fuzz_main([
+            "--seed", "3", "--budget", "10", "--only", "baseline",
+            "--inject-seed", "1234", "--quiet",
+        ])
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "DIVERGENCE" in captured.out
+        assert "--inject-seed 1234" in captured.out
+
+    def test_cli_dispatch_through_repro_main(self, capsys):
+        from repro.cli import main
+
+        code = main(["fuzz", "--seed", "3", "--budget", "5",
+                     "--only", "wide", "--quiet"])
+        assert code == 0

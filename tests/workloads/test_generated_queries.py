@@ -1,0 +1,112 @@
+"""Matched query generation: satisfiability by construction."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.prefilter import SmpPrefilter
+from repro.errors import WorkloadError
+from repro.workloads.generate import DocumentSpec, generate_records
+from repro.workloads.queries import (
+    CONTROL_FAMILIES,
+    FAMILIES,
+    generate_queries,
+)
+from repro.workloads.schema import SchemaSpec, build_schema
+
+
+def _hollow(output: str, root: str) -> bool:
+    """True when the output carries no content beyond empty root wrappers."""
+    return re.fullmatch(
+        r"\s*(<%s>\s*</%s>\s*)*" % (root, root), output
+    ) is not None
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_schema(
+        SchemaSpec(seed=13, depth=5, fanout=3, chain=2, alphabet="overlap")
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus(schema):
+    records = generate_records(
+        schema, DocumentSpec(seed=4, records=3, record_bytes=1500)
+    )
+    return b"\n".join(records).decode("utf-8")
+
+
+class TestGenerateQueries:
+    def test_deterministic(self, schema):
+        first = generate_queries(schema, seed=21, count=16)
+        second = generate_queries(schema, seed=21, count=16)
+        assert [(q.name, q.xpath) for q in first] == \
+            [(q.name, q.xpath) for q in second]
+        third = generate_queries(schema, seed=22, count=16)
+        assert [q.xpath for q in first] != [q.xpath for q in third]
+
+    def test_requested_count_and_mix(self, schema):
+        queries = generate_queries(schema, seed=3, count=20, unsat_ratio=0.25)
+        assert len(queries) == 20
+        families = {q.family for q in queries}
+        assert families & set(CONTROL_FAMILIES)
+        assert len(families & set(FAMILIES)) >= 4
+        controls = [q for q in queries if not q.satisfiable]
+        assert len(controls) == 5
+
+    def test_every_query_parses_into_a_spec(self, schema):
+        for query in generate_queries(schema, seed=7, count=24):
+            spec = query.spec()
+            assert spec.projection_paths
+
+    def test_satisfiable_queries_produce_output(self, schema, corpus):
+        queries = generate_queries(schema, seed=9, count=24)
+        for query in queries:
+            if not query.satisfiable:
+                continue
+            plan = SmpPrefilter.cached_for_query(
+                schema.dtd, query.spec(), backend="native"
+            )
+            output = plan.session().run([corpus]).output
+            assert not _hollow(output, schema.root), (query.name, query.xpath)
+
+    def test_phantom_controls_produce_no_content(self, schema, corpus):
+        queries = generate_queries(schema, seed=9, count=24)
+        phantoms = [q for q in queries if q.family == "phantom"]
+        assert phantoms
+        for query in phantoms:
+            plan = SmpPrefilter.cached_for_query(
+                schema.dtd, query.spec(), backend="native"
+            )
+            output = plan.session().run([corpus]).output
+            assert _hollow(output, schema.root), (query.name, output[:200])
+
+    def test_never_controls_reference_the_never_token(self, schema):
+        queries = generate_queries(schema, seed=5, count=20, unsat_ratio=0.4)
+        nevers = [q for q in queries if q.family == "never"]
+        assert nevers
+        for query in nevers:
+            assert schema.never_token in query.xpath
+
+    def test_overlap_family_targets_prefix_groups(self):
+        overlapping = build_schema(
+            SchemaSpec(seed=2, depth=6, fanout=4, alphabet="overlap")
+        )
+        queries = generate_queries(overlapping, seed=1, count=30)
+        overlap = [q for q in queries if q.family == "overlap"]
+        assert overlap
+        group_names = {
+            name for group in overlapping.overlap_groups() for name in group
+        }
+        for query in overlap:
+            last = query.xpath.rsplit("/", 1)[-1]
+            assert last in group_names
+
+    def test_validation(self, schema):
+        with pytest.raises(WorkloadError, match="count must be >= 1"):
+            generate_queries(schema, seed=1, count=0)
+        with pytest.raises(WorkloadError, match="unsat_ratio"):
+            generate_queries(schema, seed=1, count=4, unsat_ratio=2.0)

@@ -1,0 +1,141 @@
+"""The JSONL second grammar: generation, mapping, corpus integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.prefilter import SmpPrefilter
+from repro.workloads.json_records import (
+    JsonSpec,
+    NEVER_TOKEN,
+    SENTINELS,
+    generate_json_records,
+    generate_jsonl,
+    json_dtd,
+    json_queries,
+    json_record_to_xml,
+    json_to_xml,
+    xml_records,
+)
+
+
+class TestJsonGeneration:
+    def test_deterministic(self):
+        spec = JsonSpec(seed=9, records=6, utf8=0.3)
+        assert generate_jsonl(spec) == generate_jsonl(spec)
+        assert generate_jsonl(spec) != generate_jsonl(JsonSpec(seed=10,
+                                                              records=6))
+
+    def test_every_line_is_valid_json(self):
+        stream = generate_jsonl(JsonSpec(seed=1, records=5, utf8=0.4))
+        lines = [line for line in stream.split(b"\n") if line]
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) >= {"id", "name", "tags", "meta"}
+
+    def test_coverage_record_plants_sentinels(self):
+        records = generate_json_records(JsonSpec(seed=3, records=4))
+        coverage = records[0]
+        assert coverage["name"] == SENTINELS["name"]
+        assert SENTINELS["tag"] in coverage["tags"]
+        assert coverage["meta"]["author"] == SENTINELS["author"]
+        assert coverage["note"] == SENTINELS["note"]
+
+    def test_never_token_is_absent(self):
+        stream = generate_jsonl(JsonSpec(seed=5, records=10))
+        assert NEVER_TOKEN.encode() not in stream
+
+
+class TestJsonToXmlMapping:
+    def test_mapping_shape(self):
+        xml = json_to_xml(
+            {"id": 1, "name": "a<b&c", "tags": ["x", "y"],
+             "meta": {"author": "z", "year": 2001}},
+            "record",
+        )
+        assert xml.startswith("<record><id>1</id><name>a&lt;b&amp;c</name>")
+        assert "<tags><tag>x</tag><tag>y</tag></tags>" in xml
+        assert "<meta><author>z</author><year>2001</year></meta>" in xml
+
+    def test_null_and_booleans(self):
+        assert json_to_xml(None, "x") == "<x/>"
+        assert json_to_xml(True, "x") == "<x>true</x>"
+        assert json_to_xml(False, "x") == "<x>false</x>"
+
+    def test_mapped_documents_fit_the_dtd(self):
+        # Every mapped record's element structure is declared in the DTD.
+        dtd = json_dtd()
+        for record in xml_records(JsonSpec(seed=7, records=6)):
+            text = record.decode("utf-8")
+            for name in ("record", "id", "name", "tags", "meta"):
+                assert f"<{name}>" in text or f"<{name}/>" in text or \
+                    f"<{name}" in text
+            assert dtd.root_name == "record"
+
+
+class TestJsonCorpusIntegration:
+    def test_from_jsonl_matches_per_record_filtering(self):
+        spec = JsonSpec(seed=11, records=6, utf8=0.2)
+        stream = generate_jsonl(spec)
+        records = xml_records(spec)
+        dtd = json_dtd()
+        queries = json_queries()
+        plans = [
+            SmpPrefilter.cached_for_query(dtd, q.spec(), backend="native")
+            for q in queries
+        ]
+        engine_queries = [
+            api.Query.from_plan(plan, label=q.name)
+            for q, plan in zip(queries, plans)
+        ]
+        corpus = api.Engine(engine_queries).run(
+            api.Source.from_jsonl(
+                stream, transform=json_record_to_xml, chunk_size=64
+            ),
+            binary=True,
+        )
+        for position, plan in enumerate(plans):
+            expected = b"".join(
+                plan.session(binary=True).run([record]).output
+                for record in records
+            )
+            assert corpus.results[position].output == expected
+
+    def test_parallel_jsonl_corpus_is_byte_identical(self):
+        spec = JsonSpec(seed=13, records=8)
+        stream = generate_jsonl(spec)
+        queries = [
+            api.Query.from_spec(json_dtd(), q.spec()) for q in json_queries()
+        ]
+
+        def source():
+            return api.Source.from_jsonl(
+                stream, transform=json_record_to_xml
+            )
+
+        sequential = api.Engine(queries).run(source(), binary=True)
+        parallel = api.Engine(queries, mode="parallel", jobs=2).run(
+            source(), binary=True
+        )
+        assert [r.output for r in parallel.results] == \
+            [r.output for r in sequential.results]
+        assert parallel.jobs == 2
+
+    def test_satisfiable_and_control_queries_behave(self):
+        spec = JsonSpec(seed=17, records=5)
+        stream = b"".join(xml_records(spec))
+        dtd = json_dtd()
+        for query in json_queries():
+            plan = SmpPrefilter.cached_for_query(
+                dtd, query.spec(), backend="native"
+            )
+            output = plan.session(binary=True).run([stream]).output
+            body = output.replace(b"<record></record>", b"").strip()
+            if query.satisfiable:
+                assert body, (query.name, query.xpath)
+            elif query.family == "phantom":
+                assert not body, (query.name, output[:200])

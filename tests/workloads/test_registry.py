@@ -1,0 +1,81 @@
+"""The unified workload registry: builtin and generated addresses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.core.prefilter import SmpPrefilter
+from repro.errors import WorkloadError
+
+
+class TestBuiltinAddresses:
+    def test_medline_matches_load_dataset(self):
+        workload = workloads.get("medline", size_bytes=120_000, seed=42)
+        document = workloads.load_dataset("medline", 120_000, seed=42)
+        assert workload.document() == document.encode("utf-8")
+        assert workload.query_order == ("M1", "M2", "M3", "M4", "M5")
+        assert workload.end_tag == b"</MedlineCitationSet>"
+
+    def test_xmark_queries_run_against_its_corpus(self):
+        workload = workloads.get("xmark", size_bytes=120_000)
+        plan = SmpPrefilter.cached_for_query(
+            workload.dtd, workload.query("XM1"), backend="native"
+        )
+        run = plan.session(binary=True).run([workload.document()])
+        assert run.stats.input_size > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            workloads.get("mediline")
+        with pytest.raises(WorkloadError, match="unknown workload prefix"):
+            workloads.get("gen2:depth=3")
+
+
+class TestGeneratedAddresses:
+    ADDRESS = "gen:depth=6,fanout=4,seed=7,records=3,record_bytes=900,queries=10"
+
+    def test_equal_addresses_resolve_to_equal_corpora(self):
+        first = workloads.get(self.ADDRESS)
+        second = workloads.get(self.ADDRESS)
+        assert first.records() == second.records()
+        assert first.query_order == second.query_order
+
+    def test_mixed_schema_document_and_query_keys_route(self):
+        workload = workloads.get(self.ADDRESS)
+        assert len(workload.records()) == 3
+        assert len(workload.queries) == 10
+        assert all(len(record) >= 900 for record in workload.records())
+
+    def test_generated_queries_run_against_generated_corpus(self):
+        workload = workloads.get(self.ADDRESS)
+        stream = workload.stream()
+        for name in workload.query_order:
+            plan = SmpPrefilter.cached_for_query(
+                workload.dtd, workload.query(name), backend="native"
+            )
+            run = plan.session(binary=True).run([stream])
+            assert run.stats.input_size == len(stream)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload spec key"):
+            workloads.get("gen:depth=3,sidewalks=9")
+
+    def test_stream_is_the_joined_records(self):
+        workload = workloads.get("gen:depth=3,seed=1,records=2")
+        records = workload.records()
+        assert workload.stream() == b"\n".join(records) + b"\n"
+
+
+class TestJsonAddresses:
+    def test_json_workload_round_trips(self):
+        workload = workloads.get("json:records=5,seed=2")
+        assert len(workload.records()) == 5
+        assert workload.end_tag == b"</record>"
+        for record in workload.records():
+            assert record.startswith(b"<record>")
+        plan = SmpPrefilter.cached_for_query(
+            workload.dtd, workload.query("J0_spine"), backend="native"
+        )
+        run = plan.session(binary=True).run([workload.stream()])
+        assert b"<author>" in run.output

@@ -1,0 +1,172 @@
+"""The schema/document generator: determinism, DTD validity, coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.model import Dtd
+from repro.errors import WorkloadError
+from repro.workloads.generate import (
+    DocumentSpec,
+    generate_document,
+    generate_records,
+    generate_stream,
+)
+from repro.workloads.schema import (
+    ChildRef,
+    SchemaSpec,
+    build_schema,
+    parse_kv,
+)
+from repro.xml.tokenizer import tokenize
+
+
+def fresh_schema(**kwargs):
+    build_schema.cache_clear()
+    return build_schema(SchemaSpec(**kwargs))
+
+
+class TestSchemaSpec:
+    def test_parse_round_trips_the_canonical_key(self):
+        spec = SchemaSpec.parse("gen:depth=12,fanout=4,seed=7")
+        assert spec.depth == 12 and spec.fanout == 4 and spec.seed == 7
+        assert SchemaSpec.parse(spec.key()) == spec
+
+    def test_unknown_key_and_bad_value_raise(self):
+        with pytest.raises(WorkloadError, match="unknown spec key"):
+            SchemaSpec.parse("depht=3")
+        with pytest.raises(WorkloadError, match="expects int"):
+            SchemaSpec.parse("depth=deep")
+        with pytest.raises(WorkloadError, match="depth must be >= 1"):
+            SchemaSpec(depth=0)
+        with pytest.raises(WorkloadError, match="unknown alphabet"):
+            SchemaSpec(alphabet="runes")
+
+    def test_parse_kv_rejects_malformed_entries(self):
+        with pytest.raises(WorkloadError, match="key=value"):
+            parse_kv("depth", SchemaSpec)
+
+
+class TestBuildSchema:
+    def test_same_spec_same_schema(self):
+        first = fresh_schema(seed=11, depth=6, fanout=4, chain=3)
+        text = first.dtd_text
+        second = fresh_schema(seed=11, depth=6, fanout=4, chain=3)
+        assert second.dtd_text == text
+        assert second.phantom_names == first.phantom_names
+
+    def test_different_seeds_differ(self):
+        assert (fresh_schema(seed=1).dtd_text
+                != fresh_schema(seed=2).dtd_text)
+
+    def test_dtd_parses_and_is_non_recursive(self):
+        for seed in range(4):
+            schema = fresh_schema(
+                seed=seed, depth=5, fanout=3, chain=2,
+                alphabet=("overlap" if seed % 2 else "plain"),
+            )
+            dtd = Dtd.parse(schema.dtd_text)  # validates non-recursion
+            assert dtd.root_name == schema.root
+
+    def test_depth_and_chain_are_realised(self):
+        schema = fresh_schema(seed=3, depth=9, fanout=2, chain=4)
+        longest = max(
+            len(path) for paths in schema.paths().values() for path in paths
+        )
+        # Spine depth plus the unrolled chain plus its leaf.
+        assert longest >= 9 + 4
+
+    def test_overlap_alphabet_produces_prefix_families(self):
+        schema = fresh_schema(seed=5, depth=6, fanout=4, alphabet="overlap")
+        assert schema.overlap_groups(), "expected prefix-overlapping names"
+
+    def test_every_declared_element_is_reachable(self):
+        schema = fresh_schema(seed=7, depth=5, fanout=4)
+        for name, paths in schema.paths().items():
+            assert paths, f"unreachable declaration {name}"
+
+    def test_phantoms_are_optional_root_children(self):
+        schema = fresh_schema(seed=9, phantoms=2)
+        root_children = {
+            child.name: child for child in schema.elements[schema.root].children
+        }
+        for phantom in schema.phantom_names:
+            assert root_children[phantom] == ChildRef(phantom, "?")
+
+
+class TestGenerateRecords:
+    def test_deterministic(self):
+        schema = fresh_schema(seed=1, depth=4, fanout=3)
+        spec = DocumentSpec(seed=2, records=4, record_bytes=800, utf8=0.2)
+        assert (generate_records(schema, spec)
+                == generate_records(schema, spec))
+
+    def test_records_are_well_formed_for_the_repo_tokenizer(self):
+        schema = fresh_schema(seed=4, depth=5, fanout=3, chain=2)
+        spec = DocumentSpec(
+            seed=6, records=3, record_bytes=1200,
+            utf8=0.3, cdata=0.3, comments=0.3, doctype=True,
+        )
+        for record in generate_records(schema, spec):
+            tokens = list(tokenize(record.decode("utf-8")))
+            assert tokens, "empty token stream"
+
+    def test_record_bytes_is_a_floor(self):
+        schema = fresh_schema(seed=4, depth=3, fanout=2)
+        spec = DocumentSpec(seed=1, records=3, record_bytes=2000)
+        for record in generate_records(schema, spec):
+            assert len(record) >= 2000
+
+    def test_coverage_record_realises_every_emitted_element(self):
+        schema = fresh_schema(seed=8, depth=5, fanout=4, chain=2)
+        coverage = generate_document(
+            schema, DocumentSpec(seed=0, records=1)
+        ).decode("utf-8")
+        for name in schema.elements:
+            if name in schema.phantom_names or name == schema.filler:
+                continue
+            assert f"<{name}" in coverage, name
+
+    def test_coverage_record_plants_every_sentinel_exactly(self):
+        schema = fresh_schema(seed=8, depth=4, fanout=3)
+        coverage = generate_document(
+            schema, DocumentSpec(seed=0, records=1)
+        ).decode("utf-8")
+        for info in schema.iter_text_elements():
+            if info.name == schema.filler:
+                continue  # filler only appears as size padding
+            assert f">{info.sentinel}<" in coverage, info.name
+
+    def test_phantoms_and_never_token_stay_absent(self):
+        schema = fresh_schema(seed=12, depth=4, fanout=3, phantoms=2)
+        spec = DocumentSpec(seed=3, records=5, record_bytes=1500)
+        stream = generate_stream(schema, spec).decode("utf-8")
+        for phantom in schema.phantom_names:
+            assert f"<{phantom}" not in stream
+        assert schema.never_token not in stream
+
+    def test_utf8_density_emits_multibyte(self):
+        schema = fresh_schema(seed=2, depth=4, fanout=3)
+        record = generate_records(
+            schema, DocumentSpec(seed=1, records=1, record_bytes=2000,
+                                 utf8=0.8),
+        )[0]
+        assert any(byte >= 0x80 for byte in record)
+        record.decode("utf-8")  # still valid UTF-8
+
+    def test_markup_densities_emit_markup(self):
+        schema = fresh_schema(seed=2, depth=4, fanout=3)
+        stream = generate_stream(
+            schema, DocumentSpec(seed=5, records=4, record_bytes=1500,
+                                 cdata=0.6, comments=0.6, doctype=True),
+        )
+        assert b"<![CDATA[" in stream
+        assert b"<!--" in stream
+        assert stream.count(b"<?xml") == 4
+        assert stream.count(b"<!DOCTYPE") == 4
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError, match="records must be >= 1"):
+            DocumentSpec(records=0)
+        with pytest.raises(WorkloadError, match="density"):
+            DocumentSpec(cdata=1.5)
