@@ -56,10 +56,10 @@ def test_ablation_jump_offsets(benchmark, query_name, dataset,
     )
     without_jumps.tables.jumps = {state: 0 for state in without_jumps.tables.jumps}
 
-    on_run = with_jumps.filter_document(document)
-    off_run = without_jumps.filter_document(document)
+    on_run = with_jumps.session().run(document)
+    off_run = without_jumps.session().run(document)
     benchmark.pedantic(
-        lambda: with_jumps.filter_document(document), rounds=1, iterations=1,
+        lambda: with_jumps.session().run(document), rounds=1, iterations=1,
     )
 
     _REPORTER.add_row(

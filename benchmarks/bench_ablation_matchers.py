@@ -48,9 +48,9 @@ def test_ablation_backend(benchmark, backend, ablation_document, xmark_schema):
     prefilter = SmpPrefilter.compile(
         xmark_schema, spec.parsed_paths(), backend=backend, add_default_paths=False,
     )
-    run = measure(lambda: prefilter.filter_document(ablation_document), trace_memory=False)
+    run = measure(lambda: prefilter.session().run(ablation_document), trace_memory=False)
     benchmark.pedantic(
-        lambda: prefilter.filter_document(ablation_document), rounds=1, iterations=1,
+        lambda: prefilter.session().run(ablation_document), rounds=1, iterations=1,
     )
     stats = run.result.stats
     _REPORTER.add_row(
@@ -70,9 +70,9 @@ def test_skipping_beats_character_by_character(ablation_document, xmark_schema):
     paths = spec.parsed_paths()
     instrumented = SmpPrefilter.compile(
         xmark_schema, paths, backend="instrumented", add_default_paths=False,
-    ).filter_document(ablation_document)
+    ).session().run(ablation_document)
     naive = SmpPrefilter.compile(
         xmark_schema, paths, backend="naive", add_default_paths=False,
-    ).filter_document(ablation_document)
+    ).session().run(ablation_document)
     assert instrumented.output == naive.output
     assert instrumented.stats.total_comparisons < naive.stats.total_comparisons / 2

@@ -1,0 +1,180 @@
+"""Checkpoint overhead: durability cost vs checkpoint interval.
+
+The scenario is the serving loop of ``aio.serve_records``: a MEDLINE
+record feed flowing through the 4-query shared scan (M2-M5), with the
+session checkpointed durably (atomic write + fsync, see
+:func:`repro.checkpoint.write_checkpoint`) every N records.  The sweep
+measures the wall-time overhead over the identical uncheckpointed run
+for N in 1/4/16/64 and persists the series as
+``benchmarks/results/BENCH_checkpoint.json``.
+
+Capture itself (``session.checkpoint()`` without a path) is separately
+measured and is effectively free -- the cost is durability: one fsynced
+file replace per interval.  That cost is fixed per checkpoint, so the
+overhead fraction is ``ckpt_cost / (interval x record work)``; the
+**gated bound** is the recovery contract the README advertises: at a
+64-record interval the overhead must stay <= 5 %.  Byte-identity of the
+checkpointed run's output against the uncheckpointed reference is
+asserted on every row.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import api
+from repro.bench import throughput_mb_per_second, TableReporter, write_json_report
+from repro.workloads import load_dataset
+from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
+
+DOCUMENT_BYTES = 16_000_000
+RECORD_BYTES = 64 * 1024
+QUERIES = ("M2", "M3", "M4", "M5")
+INTERVALS = (64, 16, 4, 1)
+#: Gated: overhead of checkpointing every 64 records vs no checkpoints.
+OVERHEAD_BOUND_AT_64 = 0.05
+ROUNDS = 3
+
+_REPORTER = TableReporter(
+    title="Checkpoint interval sweep (MEDLINE feed, shared M2-M5, fsync per checkpoint)",
+    columns=["Interval", "Checkpoints", "Wall s", "MB/s", "Overhead"],
+)
+_ROWS: list[dict[str, float]] = []
+_CAPTURE: list[float] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    yield
+    if _REPORTER.rows:
+        _REPORTER.emit()
+    if _ROWS or _CAPTURE:
+        write_json_report("BENCH_checkpoint.json", {
+            "workload": "medline",
+            "queries": list(QUERIES),
+            "backend": "native",
+            "document_bytes": float(DOCUMENT_BYTES),
+            "record_bytes": float(RECORD_BYTES),
+            "overhead_bound_at_64": OVERHEAD_BOUND_AT_64,
+            "capture_only_seconds": _CAPTURE[0] if _CAPTURE else None,
+            "interval_sweep": _ROWS,
+        })
+
+
+@pytest.fixture(scope="module")
+def records():
+    document = load_dataset("medline", size_bytes=DOCUMENT_BYTES).encode("utf-8")
+    return [
+        document[offset:offset + RECORD_BYTES]
+        for offset in range(0, len(document), RECORD_BYTES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dtd = medline_dtd()
+    return api.Engine([
+        api.Query.from_spec(dtd, MEDLINE_QUERIES[name], backend="native")
+        for name in QUERIES
+    ])
+
+
+@pytest.fixture(scope="module")
+def reference(engine, records):
+    run = engine.run(api.Source.from_bytes(b"".join(records)), binary=True)
+    return run.outputs
+
+
+def _drive(engine, records, checkpoint_path, interval):
+    """Feed the record stream, checkpointing durably every ``interval``."""
+    collected = [[] for _ in range(len(QUERIES))]
+    session = engine.open(
+        sinks=[api.CallbackSink(pieces.append) for pieces in collected],
+        binary=True,
+    )
+    taken = 0
+    for index, record in enumerate(records, start=1):
+        session.feed(record)
+        if interval and index % interval == 0:
+            session.checkpoint(checkpoint_path)
+            taken += 1
+    session.finish()
+    return [b"".join(pieces) for pieces in collected], taken
+
+
+def _best_of(callable_, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def baseline(engine, records, reference):
+    wall, (outputs, taken) = _best_of(
+        lambda: _drive(engine, records, None, 0)
+    )
+    assert taken == 0
+    assert outputs == reference
+    return wall
+
+
+def test_capture_without_durability_is_free(engine, records):
+    """``session.checkpoint()`` (no path) must cost microseconds, not ms."""
+    session = engine.open(binary=True)
+    session.feed(records[0])
+    rounds = 200
+    started = time.perf_counter()
+    for _ in range(rounds):
+        session.checkpoint()
+    per_capture = (time.perf_counter() - started) / rounds
+    _CAPTURE.append(per_capture)
+    assert per_capture < 0.005, (
+        f"in-memory state capture costs {per_capture * 1e3:.2f} ms -- "
+        "export_state grew pathological copying"
+    )
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_interval_sweep(benchmark, interval, engine, records, reference,
+                        baseline, tmp_path):
+    checkpoint_path = str(tmp_path / "sweep.ckpt")
+
+    def run():
+        return _drive(engine, records, checkpoint_path, interval)
+
+    wall, (outputs, taken) = _best_of(run)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outputs == reference  # checkpointing never changes the bytes
+    assert taken == len(records) // interval
+
+    overhead = (wall - baseline) / baseline if baseline else 0.0
+    stream_bytes = sum(len(record) for record in records)
+    _REPORTER.add_row(
+        interval, taken, wall,
+        throughput_mb_per_second(stream_bytes, wall),
+        f"{overhead * 100:+.1f}%",
+    )
+    _ROWS.append({
+        "interval": float(interval),
+        "checkpoints_taken": float(taken),
+        "wall_seconds": wall,
+        "baseline_wall_seconds": baseline,
+        "throughput_mb_per_second":
+            throughput_mb_per_second(stream_bytes, wall),
+        "overhead_vs_no_checkpoint": overhead,
+    })
+
+    if interval == 64:
+        assert overhead <= OVERHEAD_BOUND_AT_64, (
+            f"checkpointing every 64 records costs {overhead * 100:.1f}% "
+            f"over the uncheckpointed run (bound "
+            f"{OVERHEAD_BOUND_AT_64 * 100:.0f}%) -- the durable write has "
+            "grown too expensive for the serving loop"
+        )

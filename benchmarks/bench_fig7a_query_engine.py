@@ -71,7 +71,7 @@ def test_fig7a_point(benchmark, index, documents, memory_limit, xmark_schema):
     alone_status, _ = alone.result
 
     # Sequential prefilter + evaluation (the paper's "SMP+QizX" setup).
-    smp = measure(lambda: prefilter.filter_document(document), trace_memory=False)
+    smp = measure(lambda: prefilter.session().run(document), trace_memory=False)
     projected = smp.result.output
 
     def run_pipelined():
@@ -82,7 +82,7 @@ def test_fig7a_point(benchmark, index, documents, memory_limit, xmark_schema):
 
     pipelined = measure(run_pipelined, trace_memory=False)
     pipeline_status, _ = pipelined.result
-    benchmark.pedantic(lambda: prefilter.filter_document(document), rounds=1, iterations=1)
+    benchmark.pedantic(lambda: prefilter.session().run(document), rounds=1, iterations=1)
 
     _REPORTER.add_row(
         megabytes(size),

@@ -30,6 +30,7 @@ from repro.bench import (
     throughput_mb_per_second,
     write_json_report,
 )
+from repro.core.sources import open_mmap
 from repro.core.stream import iter_chunks
 from repro.workloads.medline import MEDLINE_QUERIES, MEDLINE_QUERY_ORDER
 from repro.xpath import StreamingXPathEngine
@@ -81,12 +82,12 @@ def test_fig7b_row(benchmark, query_name, medline_document, medline_schema):
     input_size = len(medline_document)
 
     alone = measure(lambda: engine.evaluate(medline_document), trace_memory=False)
-    smp = measure(lambda: prefilter.filter_document(medline_document), trace_memory=False)
+    smp = measure(lambda: prefilter.session().run(medline_document), trace_memory=False)
     projected = smp.result.output
     piped = measure(lambda: engine.evaluate(projected), trace_memory=False)
     benchmark.pedantic(
         lambda: StreamingXPathEngine(spec.query).evaluate(
-            prefilter.filter_document(medline_document).output
+            prefilter.session().run(medline_document).output
         ),
         rounds=1,
         iterations=1,
@@ -156,17 +157,11 @@ def test_chunk_size_sweep(benchmark, mode, chunk_size, medline_document,
             sink_bytes += len(fragment)
 
         if mode == "str":
-            run = prefilter.filter_stream(
-                iter_chunks(medline_document, chunk_size), sink=sink,
-                binary=True,
-            )
+            run = prefilter.session(sink=sink, binary=True).run(iter_chunks(medline_document, chunk_size))
         elif mode == "bytes":
-            run = prefilter.filter_stream(
-                iter_chunks(document_bytes, chunk_size), sink=sink,
-                binary=True,
-            )
+            run = prefilter.session(sink=sink, binary=True).run(iter_chunks(document_bytes, chunk_size))
         elif mode == "mmap":
-            run = prefilter.filter_mmap(str(mmap_path), sink=sink, binary=True)
+            run = prefilter.session(sink=sink, binary=True).run([open_mmap(str(mmap_path))])
         else:  # delivery ablation on the byte path
             session = prefilter.session(sink=sink, binary=True, delivery=mode)
             for chunk in iter_chunks(document_bytes, chunk_size):

@@ -124,7 +124,7 @@ def test_multiquery_row(benchmark, names, medline_document, medline_schema):
     input_size = len(medline_document)
 
     def shared():
-        return engine.filter_stream(iter_chunks(medline_document, CHUNK_SIZE))
+        return engine.session().run(iter_chunks(medline_document, CHUNK_SIZE))
 
     def sequential():
         return [
@@ -276,9 +276,7 @@ def test_multiquery_stress_row(benchmark, count, xmark_document, xmark_schema):
     input_size = len(document_bytes)
 
     def shared():
-        return engine.filter_stream(
-            iter_chunks(document_bytes, CHUNK_SIZE), binary=True
-        )
+        return engine.session(binary=True).run(iter_chunks(document_bytes, CHUNK_SIZE))
 
     def sequential():
         return [

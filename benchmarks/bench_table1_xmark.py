@@ -39,7 +39,7 @@ def test_table1_row(benchmark, query_name, xmark_document, xmark_schema):
     )
 
     def run():
-        return prefilter.filter_document(xmark_document)
+        return prefilter.session().run(xmark_document)
 
     measurement = measure(run)
     run_result = measurement.result

@@ -32,7 +32,7 @@ def test_table2_row(benchmark, query_name, medline_document, medline_schema):
     )
 
     def run():
-        return prefilter.filter_document(medline_document)
+        return prefilter.session().run(medline_document)
 
     measurement = measure(run)
     run_result = measurement.result

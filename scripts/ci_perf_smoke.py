@@ -484,6 +484,46 @@ def main() -> int:
           f"({len(generated_stream) / 1e6 / generated_wall:.0f} MB/s) "
           "-- informational, not gated")
 
+    # --- durable checkpoint overhead (informational, no gate) --------------
+    # Tracks the cost of checkpointing the serving loop every 64 records
+    # (64 KiB feed frames through the 4-query shared scan, one fsynced
+    # atomic write per checkpoint).  The gated <= 5% bound lives in
+    # benchmarks/bench_checkpoint.py with a full interval sweep; this row
+    # just keeps the number visible per push.
+    ckpt_engine = api.Engine(
+        [api.Query.from_spec(dtd, spec, backend="native") for spec in specs]
+    )
+    ckpt_records = [
+        document_bytes[offset:offset + 64 * 1024]
+        for offset in range(0, len(document_bytes), 64 * 1024)
+    ]
+    ckpt_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-perf-ckpt-"), "smoke.ckpt"
+    )
+
+    def checkpointed(interval):
+        session = ckpt_engine.open(binary=True)
+        for index, record in enumerate(ckpt_records, start=1):
+            session.feed(record)
+            if interval and index % interval == 0:
+                session.checkpoint(ckpt_path)
+        session.finish()
+
+    plain_wall = ckpt_wall = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        checkpointed(0)
+        plain_wall = min(plain_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        checkpointed(64)
+        ckpt_wall = min(ckpt_wall, time.perf_counter() - started)
+    overhead = (ckpt_wall - plain_wall) / plain_wall if plain_wall else 0.0
+    print(f"INFO: checkpoint every 64 records (shared N={len(specs)}, "
+          f"{len(ckpt_records)} x 64 KiB frames): plain "
+          f"{plain_wall * 1000:.1f} ms, checkpointed "
+          f"{ckpt_wall * 1000:.1f} ms ({overhead * 100:+.1f}% overhead) "
+          "-- informational, gated in benchmarks/bench_checkpoint.py")
+
     if failures:
         print(f"{failures} perf-smoke check(s) failed")
         return 1

@@ -42,13 +42,17 @@ sockets -- ``await aio.serve(engine)`` multiplexes one document in, N
 labelled projection streams out, with sink backpressure -- and the
 end-to-end pipeline (prefilter → project → evaluate) lives in
 :class:`repro.pipeline.XPathPipeline`.  The same functionality is available
-from the shell as ``python -m repro``.  The pre-PR4 ``filter_*``/``run_*``
-methods survive as deprecated byte-identical shims over :mod:`repro.api`.
+from the shell as ``python -m repro``.  Any live session can be captured
+to a durable, checksummed :class:`Checkpoint` (``session.checkpoint(path)``)
+and resumed after a crash via ``engine.open(resume=path)``; corpus runs
+journal per-document results for exactly-once restart
+(:mod:`repro.checkpoint`).
 """
 
 from repro import api, faults, parallel
 from repro.api import (
     CallbackSink,
+    Checkpoint,
     CollectSink,
     CorpusRun,
     DocumentRun,
@@ -81,6 +85,7 @@ from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
 from repro.dtd.model import Dtd
 from repro.errors import (
+    CheckpointError,
     CompilationError,
     DtdRecursionError,
     DtdSyntaxError,
@@ -107,6 +112,8 @@ __all__ = [
     "BufferPool",
     "CallbackSink",
     "CollectSink",
+    "Checkpoint",
+    "CheckpointError",
     "CorpusRun",
     "CompilationError",
     "CompilationStatistics",

@@ -52,18 +52,21 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import struct
 import threading
 from typing import Callable, Mapping, Sequence, Union
 
 from repro import api
 from repro.core.stream import DEFAULT_CHUNK_SIZE
-from repro.errors import QueryError, ReproError
+from repro.errors import CheckpointError, QueryError, ReproError
 
 __all__ = [
     "FRAME_DATA",
     "FRAME_END",
     "FRAME_ERROR",
+    "FRAME_RECORD",
+    "FRAME_RESUME",
     "AsyncCallbackSink",
     "AsyncCollectSink",
     "AsyncSink",
@@ -71,7 +74,9 @@ __all__ = [
     "async_run",
     "read_frame",
     "request",
+    "request_records",
     "serve",
+    "serve_records",
     "shutdown",
     "write_frame",
 ]
@@ -253,6 +258,8 @@ FRAME_HEADER = struct.Struct("!BHI")
 FRAME_DATA = 0    #: a projected fragment for the labelled query
 FRAME_END = 1     #: the labelled query's stream is complete
 FRAME_ERROR = 2   #: the run failed; payload is the error message
+FRAME_RESUME = 3  #: server → client: committed input offset to resume from
+FRAME_RECORD = 4  #: one record fully projected + checkpointed; payload = index
 
 
 #: Reused header scratch of :func:`write_frame` -- packed in place and
@@ -530,6 +537,257 @@ def _write_outputs(writer: asyncio.StreamWriter, labels: list[bytes],
     for label, fragment in zip(labels, outputs):
         if fragment:
             write_frame(writer, FRAME_DATA, label, fragment)
+
+
+# ----------------------------------------------------------------------
+# Record streams: checkpoint at record boundaries, resume after reconnect
+# ----------------------------------------------------------------------
+async def serve_records(
+    engine: api.Engine,
+    *,
+    end_tag: "bytes | str",
+    checkpoint: "str | os.PathLike",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    idle_timeout: "float | None" = None,
+) -> asyncio.Server:
+    """Serve a resumable record stream (MEDLINE-style ``tail`` feeds).
+
+    A client streams many concatenated documents (records, each ending in
+    ``end_tag``, the unit :meth:`repro.api.Source.from_records` splits on).
+    The server filters each complete record through a fresh session, frames
+    every query's projection back (:data:`FRAME_DATA` per label, then one
+    :data:`FRAME_RECORD` whose payload is the decimal record index), and
+    **checkpoints at the record boundary**: after each record the committed
+    input offset and record index are written atomically to ``checkpoint``
+    (checksummed, see :mod:`repro.checkpoint`).
+
+    Resume-after-reconnect: on every new connection the server first sends
+    a :data:`FRAME_RESUME` frame whose payload is the committed input
+    offset in decimal ASCII.  A reconnecting client seeks its stream to
+    that offset and continues — records the server already projected and
+    checkpointed are never re-sent and never re-emitted (exactly-once
+    output across reconnects).  Bytes after the last committed boundary
+    (a partially transmitted record) are re-sent by the client and
+    re-filtered from scratch.
+
+    A checkpoint file that exists but fails its checksum, or that was
+    captured under a different query set or ``end_tag``, raises
+    :class:`~repro.errors.CheckpointError` at connection time (reported to
+    the client as a :data:`FRAME_ERROR`) — it is never silently ignored.
+    """
+    from repro.checkpoint import read_checkpoint, write_checkpoint
+
+    end = end_tag.encode("utf-8") if isinstance(end_tag, str) else bytes(end_tag)
+    checkpoint_path = os.fspath(checkpoint)
+    fingerprints = engine._query_fingerprints()
+    connections: set[asyncio.Task] = set()
+    lock = asyncio.Lock()  # one committing connection at a time
+
+    def load_state() -> tuple[int, int]:
+        if not os.path.exists(checkpoint_path):
+            return 0, 0
+        snapshot = read_checkpoint(checkpoint_path)
+        if snapshot.get("kind") != "records":
+            raise CheckpointError(
+                f"{checkpoint_path!r} is not a record-stream checkpoint"
+            )
+        if snapshot.get("query_hashes") != fingerprints:
+            raise CheckpointError(
+                "record-stream checkpoint was captured under a different "
+                "query set; refusing to resume"
+            )
+        if snapshot.get("end_tag") != end:
+            raise CheckpointError(
+                "record-stream checkpoint was captured with a different "
+                "record end tag; refusing to resume"
+            )
+        return int(snapshot["input_offset"]), int(snapshot["record_index"])
+
+    def commit(offset: int, index: int) -> None:
+        write_checkpoint(checkpoint_path, {
+            "kind": "records",
+            "version": 1,
+            "input_offset": offset,
+            "record_index": index,
+            "query_hashes": fingerprints,
+            "end_tag": end,
+        })
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            async with lock:
+                await _handle_records(
+                    engine, reader, writer, end=end,
+                    load_state=load_state, commit=commit,
+                    chunk_size=chunk_size, idle_timeout=idle_timeout,
+                )
+        finally:
+            connections.discard(task)
+
+    server = await asyncio.start_server(handle, host=host, port=port)
+    server.worker_pool = None
+    server.connections = connections
+    server._owns_worker_pool = False
+    return server
+
+
+async def _handle_records(
+    engine: api.Engine,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    *,
+    end: bytes,
+    load_state,
+    commit,
+    chunk_size: int,
+    idle_timeout: "float | None",
+) -> None:
+    """One record-stream connection: resume handshake, filter, commit."""
+    loop_labels = [label.encode("utf-8") for label in engine.labels]
+    try:
+        offset, record_index = load_state()
+        write_frame(writer, FRAME_RESUME, b"", str(offset).encode("ascii"))
+        await writer.drain()
+
+        buffer = bytearray()
+        while True:
+            chunk = await _timed(
+                reader.read(chunk_size), idle_timeout,
+                f"idle timeout: no data from client for {idle_timeout} s",
+            )
+            if not chunk:
+                break
+            buffer += chunk
+            while True:
+                position = buffer.find(end)
+                if position < 0:
+                    break
+                record = bytes(buffer[:position + len(end)])
+                del buffer[:position + len(end)]
+                session = engine.open(binary=True)
+                try:
+                    pieces: list[list] = [[] for _ in loop_labels]
+                    for outputs in (session.feed(record), session.finish()):
+                        for index, fragment in enumerate(outputs):
+                            if fragment:
+                                pieces[index].append(fragment)
+                finally:
+                    session.close()
+                for label, parts in zip(loop_labels, pieces):
+                    if parts:
+                        write_frame(writer, FRAME_DATA, label, b"".join(parts))
+                offset += len(record)
+                commit(offset, record_index + 1)
+                write_frame(
+                    writer, FRAME_RECORD, b"",
+                    str(record_index).encode("ascii"),
+                )
+                record_index += 1
+                await writer.drain()
+        for label in loop_labels:
+            write_frame(writer, FRAME_END, label, b"")
+        await writer.drain()
+    except asyncio.CancelledError:
+        raise
+    except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        pass  # the client went away; its unprocessed tail is re-sent later
+    except Exception as error:  # noqa: BLE001 -- error frame, not task death
+        message = str(error) or error.__class__.__name__
+        if not isinstance(error, (ReproError, _ServeTimeout)):
+            message = f"{error.__class__.__name__}: {message}"
+        with contextlib.suppress(OSError):
+            write_frame(writer, FRAME_ERROR, b"", message.encode("utf-8"))
+            await writer.drain()
+    finally:
+        writer.close()
+        with contextlib.suppress(OSError):
+            await writer.wait_closed()
+
+
+async def request_records(
+    host: str,
+    port: int,
+    source,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> "tuple[int, dict[int, dict[str, bytes]]]":
+    """Client for :func:`serve_records`: stream records, honour resume.
+
+    Reads the server's :data:`FRAME_RESUME` offset first, skips that many
+    bytes of ``source`` (records the server already committed), streams
+    the rest and collects the per-record projections.  Returns
+    ``(resume_offset, {record_index: {label: bytes}})`` — the caller can
+    verify exactly-once processing across reconnects by unioning the maps.
+
+    A producer that died mid-record simply streams a truncated ``source``:
+    the server projects and commits every *complete* record it received,
+    and the bytes after the last record boundary are re-sent on the next
+    connection (the :data:`FRAME_RESUME` offset never points mid-record).
+    """
+    from repro.checkpoint import resume_chunks
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        frame = await read_frame(reader)
+        if frame is not None and frame[0] == FRAME_ERROR:
+            raise ReproError(
+                f"server error: {frame[2].decode('utf-8', 'replace')}"
+            )
+        if frame is None or frame[0] != FRAME_RESUME:
+            raise ReproError("server did not offer a resume offset")
+        resume_offset = int(frame[2].decode("ascii"))
+
+        records: dict[int, dict[str, bytes]] = {}
+        pending: dict[str, list[bytes]] = {}
+
+        async def pump() -> None:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                kind, label_bytes, payload = frame
+                if kind == FRAME_ERROR:
+                    raise ReproError(
+                        f"server error: {payload.decode('utf-8', 'replace')}"
+                    )
+                if kind == FRAME_DATA:
+                    label = label_bytes.decode("utf-8")
+                    pending.setdefault(label, []).append(payload)
+                elif kind == FRAME_RECORD:
+                    index = int(payload.decode("ascii"))
+                    records[index] = {
+                        label: b"".join(parts)
+                        for label, parts in pending.items()
+                    }
+                    pending.clear()
+
+        # Frames are consumed concurrently with the upload so a projection
+        # larger than the socket buffers cannot deadlock the exchange.
+        pump_task = asyncio.ensure_future(pump())
+        try:
+            with api.Source.of(source, chunk_size=chunk_size).open() as chunks:
+                for chunk in resume_chunks(chunks, resume_offset):
+                    if isinstance(chunk, str):
+                        chunk = chunk.encode("utf-8")
+                    writer.write(chunk)
+                    await writer.drain()
+            writer.write_eof()
+            await pump_task
+        finally:
+            if not pump_task.done():
+                pump_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await pump_task
+        return resume_offset, records
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
 
 
 async def request(

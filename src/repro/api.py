@@ -51,8 +51,11 @@ Live query management on an open stream::
 
 The asyncio serving bridge (``await``-based sinks with backpressure and a
 one-socket-in / N-labelled-streams-out server) lives in :mod:`repro.aio`.
-The legacy ``filter_*`` / ``run_*`` methods survive as deprecated shims
-delegating to this module, byte-identical in output and statistics.
+Durable crash recovery is built in: :meth:`Session.checkpoint` captures a
+live session into a :class:`repro.checkpoint.Checkpoint`,
+``Engine.open(resume=...)`` restores one, and corpus runs journal merged
+documents (``Engine.run(..., journal=path)``) so a killed run resumed with
+the same journal skips completed documents with exactly-once output.
 """
 
 from __future__ import annotations
@@ -61,9 +64,15 @@ import contextlib
 import glob as _glob
 import os
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import IO, Callable, Iterable, Iterator, Mapping, Sequence, Union
 
+from repro.checkpoint import (
+    Checkpoint,
+    CorpusJournal,
+    query_fingerprint,
+    read_checkpoint,
+)
 from repro.core.multi import MultiQueryEngine, MultiQuerySession
 from repro.core.prefilter import FilterSession, SmpPrefilter
 from repro.core.sources import (
@@ -80,7 +89,7 @@ from repro.core.sources import (
 from repro.core.stats import CompilationStatistics, RunStatistics
 from repro.core.stream import DEFAULT_CHUNK_SIZE, iter_chunks
 from repro.dtd.model import Dtd
-from repro.errors import QueryError, ReproError
+from repro.errors import CheckpointError, QueryError, ReproError
 from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
 from repro.projection.paths import ProjectionPath
 
@@ -91,6 +100,7 @@ DEFAULT_BACKEND = "native"
 __all__ = [
     "DEFAULT_BACKEND",
     "CallbackSink",
+    "Checkpoint",
     "CollectSink",
     "CorpusRun",
     "DocumentRun",
@@ -1100,12 +1110,21 @@ class Engine:
             self._multi = multi
         return self._multi
 
+    def _query_fingerprints(self) -> list[str]:
+        """Stable digests of the engine's query set (checkpoint identity)."""
+        return [
+            query_fingerprint(query.paths, query.backend,
+                              query.add_default_paths, query.label)
+            for query in self.queries
+        ]
+
     def open(
         self,
         *,
         sinks: "AnySinkSpec | Sequence[AnySinkSpec] | Mapping[str, AnySinkSpec]" = None,
         binary: bool | None = None,
         live: bool = False,
+        resume: "Checkpoint | dict | str | os.PathLike | None" = None,
     ) -> "Session":
         """Open a streaming :class:`Session` for one document.
 
@@ -1116,6 +1135,19 @@ class Engine:
         preference (default text).  ``live=True`` forces the shared-scan
         machinery even for a single query, enabling mid-document
         :meth:`Session.attach` / :meth:`Session.detach`.
+
+        ``resume`` restores a checkpoint captured by
+        :meth:`Session.checkpoint` — a :class:`~repro.checkpoint.Checkpoint`,
+        its raw snapshot dictionary, or a checkpoint file path.  The
+        engine's query set must match the one the checkpoint was captured
+        under (verified by fingerprint; :class:`~repro.errors.CheckpointError`
+        otherwise), queries that had been attached mid-document are
+        re-attached (their sinks are not persisted — route them again if
+        needed), and the session continues exactly where the capture left
+        off: feed it the original input from
+        ``Checkpoint.input_offset`` on (:func:`repro.checkpoint.resume_chunks`)
+        and output and statistics stay byte-identical to an uninterrupted
+        run.
 
         A ``mode="parallel"`` engine has no single-document session of its
         own; its workers open in-process sessions over the same plans (use
@@ -1128,12 +1160,45 @@ class Engine:
                 "search/shared engine (see repro.parallel.WorkerPool."
                 "open_session for worker-resident sessions)"
             )
+        resume_data = None
+        if resume is not None:
+            if isinstance(resume, Checkpoint):
+                resume_data = resume.snapshot
+            elif isinstance(resume, dict):
+                resume_data = resume
+            else:
+                resume_data = read_checkpoint(os.fspath(resume))
+            if resume_data.get("kind") != "session":
+                raise CheckpointError(
+                    f"cannot resume a {resume_data.get('kind')!r} snapshot "
+                    "as a streaming session"
+                )
+            if list(resume_data.get("query_hashes", ())) != \
+                    self._query_fingerprints():
+                raise CheckpointError(
+                    "checkpoint was captured under a different query set; "
+                    "open it with an engine built over the same queries"
+                )
+            if binary is None:
+                binary = bool(resume_data.get("binary", False))
         sink_list = _normalize_sinks(sinks, self.labels)
         resolved_binary = _resolve_binary(binary, sink_list)
         shared = self.mode == "shared" or live or (
             self.mode == "auto" and len(self.queries) > 1
         )
-        return Session(self, sink_list, binary=resolved_binary, shared=shared)
+        if resume_data is not None:
+            if resolved_binary != bool(resume_data.get("binary", False)):
+                raise CheckpointError(
+                    "checkpoint was captured in "
+                    f"{'binary' if resume_data.get('binary') else 'text'} "
+                    "output mode; resume with the same mode"
+                )
+            shared = resume_data.get("mode") == "shared"
+        session = Session(self, sink_list, binary=resolved_binary,
+                          shared=shared)
+        if resume_data is not None:
+            session._restore(resume_data)
+        return session
 
     def run(
         self,
@@ -1147,6 +1212,7 @@ class Engine:
         on_error: str = "raise",
         retry: "RetryPolicy | None" = None,
         deadline: float | None = None,
+        journal: "str | os.PathLike | None" = None,
     ) -> EngineRun:
         """Run the whole dataflow: open a session, drive ``source``, finish.
 
@@ -1169,6 +1235,17 @@ class Engine:
         document does — ``"raise"`` aborts the run, ``"skip"`` drops it,
         ``"collect"`` quarantines it into ``CorpusRun.failures`` while
         healthy documents' output is unchanged.
+
+        ``journal`` makes a corpus run *resumable*: every merged document
+        success is appended to the JSONL journal at that path
+        (:class:`repro.checkpoint.CorpusJournal`), and a run restarted
+        with the same journal — e.g. after a hard process kill — replays
+        the journaled documents instead of re-executing them, so each
+        document's output lands in the merged result exactly once.
+        Failed documents are never journaled (they are re-attempted on
+        resume, composing with ``retry``/``on_error``); a journal written
+        for a different query set or output mode is rejected with
+        :class:`~repro.errors.CheckpointError`.
         """
         source = Source.of(source, chunk_size=chunk_size)
         if source.corpus or self.mode == "parallel":
@@ -1188,12 +1265,14 @@ class Engine:
                 )
             return self._run_corpus(source, sinks=sinks, binary=binary,
                                     on_error=on_error, retry=retry,
-                                    deadline=deadline)
-        if on_error != "raise" or retry is not None or deadline is not None:
+                                    deadline=deadline, journal=journal)
+        if on_error != "raise" or retry is not None or deadline is not None \
+                or journal is not None:
             raise QueryError(
-                "on_error/retry/deadline are corpus-run policies; "
+                "on_error/retry/deadline/journal are corpus-run policies; "
                 "single-document sources take a retry= on their "
-                "Source.from_* constructor instead"
+                "Source.from_* constructor instead (and checkpoint through "
+                "Session.checkpoint)"
             )
         if measure_memory:
             tracemalloc.start()
@@ -1219,6 +1298,7 @@ class Engine:
         on_error: str = "raise",
         retry: "RetryPolicy | None" = None,
         deadline: float | None = None,
+        journal: "str | os.PathLike | None" = None,
     ) -> CorpusRun:
         """Drive a corpus source document by document (sharded or not).
 
@@ -1226,7 +1306,9 @@ class Engine:
         outcomes arrive in corpus order (see
         :func:`repro.parallel.execute_corpus`), per-query outputs are
         concatenated in that order and statistics summed, so the two paths
-        are byte-identical by construction.
+        are byte-identical by construction.  With a ``journal``, completed
+        documents found in it are replayed instead of re-run and fresh
+        successes are appended to it as they merge.
         """
         from repro import parallel
 
@@ -1244,15 +1326,26 @@ class Engine:
         pieces: list[list] = [[] for _ in self.labels]
         aggregates = [RunStatistics() for _ in self.labels]
         scan_total: RunStatistics | None = None
+        journal_store: CorpusJournal | None = None
         try:
-            outcomes = parallel.execute_corpus(
-                self,
-                source.documents(),
-                jobs=jobs,
-                retry=retry,
-                on_error=on_error,
-                deadline=deadline,
-            )
+            if journal is not None:
+                journal_store = CorpusJournal.resume(
+                    os.fspath(journal), self._query_fingerprints(),
+                    resolved_binary,
+                )
+                outcomes = self._journaled_outcomes(
+                    source, journal_store, jobs=jobs, retry=retry,
+                    on_error=on_error, deadline=deadline,
+                )
+            else:
+                outcomes = parallel.execute_corpus(
+                    self,
+                    source.documents(),
+                    jobs=jobs,
+                    retry=retry,
+                    on_error=on_error,
+                    deadline=deadline,
+                )
             empty_value = b"" if resolved_binary else ""
             for outcome in outcomes:
                 if outcome.failure is not None:
@@ -1292,6 +1385,8 @@ class Engine:
                                   scan_stats=outcome.scan_stats),
                 ))
         finally:
+            if journal_store is not None:
+                journal_store.close()
             for sink in sink_list or ():
                 if sink is not None:
                     sink.close()
@@ -1310,6 +1405,82 @@ class Engine:
         return CorpusRun(documents=documents, results=results,
                          scan_stats=scan_total, jobs=jobs,
                          failures=failures)
+
+    def _journaled_outcomes(
+        self,
+        source: Source,
+        journal: CorpusJournal,
+        *,
+        jobs: int,
+        retry: "RetryPolicy | None",
+        on_error: str,
+        deadline: float | None,
+    ) -> Iterator:
+        """Corpus outcomes with journal replay/record woven in.
+
+        Documents already recorded in the journal are served from it
+        (outputs and statistics exactly as first merged); the rest run
+        through :func:`repro.parallel.execute_corpus` as usual, their
+        indices mapped back from the compacted work list to corpus
+        positions, and each fresh success is journaled before it is
+        yielded to the merge.  The two ordered streams interleave back
+        into strict corpus order.
+        """
+        from repro import parallel
+
+        items = list(source.documents())
+        completed = journal.completed
+        todo = [item for index, item in enumerate(items)
+                if index not in completed]
+        original_index = [index for index in range(len(items))
+                          if index not in completed]
+        replay_order = sorted(index for index in completed
+                              if 0 <= index < len(items))
+        fresh = iter(parallel.execute_corpus(
+            self, todo, jobs=jobs, retry=retry, on_error=on_error,
+            deadline=deadline,
+        )) if todo else iter(())
+        next_fresh = next(fresh, None)
+        replay_at = 0
+        while replay_at < len(replay_order) or next_fresh is not None:
+            if next_fresh is not None:
+                fresh_index = original_index[next_fresh.index]
+            else:
+                fresh_index = None
+            if fresh_index is None or (
+                replay_at < len(replay_order)
+                and replay_order[replay_at] < fresh_index
+            ):
+                index = replay_order[replay_at]
+                replay_at += 1
+                entry = completed[index]
+                scan_state = entry.get("scan_stats")
+                yield parallel.DocumentOutcome(
+                    index=index,
+                    name=entry.get("name", f"document[{index}]"),
+                    outputs=list(entry.get("outputs", ())),
+                    stats=[RunStatistics.from_state(state)
+                           for state in entry.get("stats", ())],
+                    scan_stats=RunStatistics.from_state(scan_state)
+                    if scan_state else None,
+                )
+                continue
+            outcome = next_fresh
+            next_fresh = next(fresh, None)
+            failure = outcome.failure
+            if failure is not None:
+                failure = replace(failure, index=fresh_index)
+            outcome = replace(outcome, index=fresh_index, failure=failure)
+            if outcome.failure is None:
+                journal.record(
+                    fresh_index,
+                    outcome.name,
+                    outcome.outputs,
+                    [stats.export_state() for stats in outcome.stats],
+                    outcome.scan_stats.export_state()
+                    if outcome.scan_stats is not None else None,
+                )
+            yield outcome
 
 
 # ----------------------------------------------------------------------
@@ -1473,6 +1644,100 @@ class Session:
         for sink in self._sinks:
             if sink is not None:
                 sink.close()
+
+    # ------------------------------------------------------------------
+    # Durable checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: "str | os.PathLike | None" = None) -> Checkpoint:
+        """Capture the session's complete resume state.
+
+        Returns a :class:`~repro.checkpoint.Checkpoint` (atomically written
+        to ``path`` when given) holding everything a fresh process needs to
+        continue this exact run: the carry-over window bytes, tokenizer and
+        per-query automaton state — including queries attached or detached
+        mid-document — and every statistics counter.  Restore it with
+        ``Engine.open(resume=...)`` on an engine built over the same query
+        set, re-feed the input from :attr:`Checkpoint.input_offset` on, and
+        output and statistics are byte-identical to an uninterrupted run.
+
+        Checkpoints are taken at chunk boundaries (between ``feed`` calls);
+        under ``delivery="pertoken"`` the captured state may trail the last
+        fed byte, in which case :attr:`Checkpoint.input_offset` and
+        :attr:`Checkpoint.output_sizes` point the resume driver at the
+        exact replay position.  A finished or closed session cannot be
+        checkpointed (:class:`~repro.errors.CheckpointError`).
+        """
+        if self._closed or self.finished:
+            raise CheckpointError(
+                "cannot checkpoint a finished or closed session"
+            )
+        if self._shared is not None:
+            mode = "shared"
+            state = self._shared.export_state()
+            streams = state["streams"]
+        else:
+            mode = "single"
+            state = self._single.export_state()
+            streams = [state]
+        attached = []
+        for handle in self.handles[len(self.engine.queries):]:
+            query = handle.query
+            attached.append({
+                "label": handle.label,
+                "paths": list(query.paths),
+                "backend": query.backend,
+                "add_default_paths": query.add_default_paths,
+            })
+        snapshot = {
+            "kind": "session",
+            "mode": mode,
+            "binary": self.binary,
+            "input_offset": int(state["input_offset"]),
+            "query_hashes": self.engine._query_fingerprints(),
+            "attached": attached,
+            "output_sizes": [self._flushed_size(s) for s in streams],
+            "state": state,
+        }
+        checkpoint = Checkpoint(snapshot)
+        if path is not None:
+            checkpoint.save(os.fspath(path))
+        return checkpoint
+
+    def _flushed_size(self, stream_state: dict) -> int:
+        """Output bytes the captured stream had already delivered.
+
+        In text mode the decoder may hold a partial UTF-8 sequence that is
+        counted in ``emitted_bytes`` but was not yet part of any returned
+        ``str`` — the resume driver truncates prior output to this size
+        (measured in encoded bytes).
+        """
+        emitted = int(stream_state.get("emitted_bytes", 0))
+        if not self.binary:
+            decoder = stream_state.get("decoder")
+            if decoder:
+                emitted -= len(decoder[0])
+        return emitted
+
+    def _restore(self, data: dict) -> None:
+        """Restore a session-kind snapshot into this fresh session."""
+        for recipe in data.get("attached", ()):
+            query = Query.from_paths(
+                self.engine.dtd,
+                recipe["paths"],
+                backend=recipe["backend"],
+                add_default_paths=recipe["add_default_paths"],
+                label=recipe["label"],
+            )
+            self.attach(query, label=recipe["label"])
+        state = data.get("state")
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                "session checkpoint carries no state snapshot"
+            )
+        if self._shared is not None:
+            self._shared.import_state(state)
+        else:
+            self._single.import_state(state)
 
     def run(self, source) -> EngineRun:
         """Drive a whole :class:`Source` through the session.

@@ -1,0 +1,486 @@
+"""Durable session checkpoints: versioned, checksummed, atomically written.
+
+The paper's whole pitch is that the streaming state of an SMP prefilter is
+*tiny* -- an automaton state, a handful of cursor offsets and the bounded
+carry-over window -- and resumable at any byte boundary.  This module makes
+that state durable: a :class:`Checkpoint` is a snapshot of a complete
+streaming session (cursor carry-over bytes, tokenizer/runtime state, the
+per-query stream states, all statistics counters and the attached query
+set, keyed by plan hashes) that survives a process kill and restores into a
+fresh process with byte-identical continuation.
+
+File format (version 1)
+-----------------------
+A checkpoint file is one header line followed by an exact-length payload::
+
+    REPRO-CHECKPOINT v1 <sha256-hex> <payload-length>\n
+    <payload bytes ...>
+
+The payload is canonical JSON (sorted keys, no whitespace drift) encoding
+the snapshot dictionary; embedded byte strings are wrapped as
+``{"__b64__": "..."}`` markers.  The header commits to both the payload
+length and its SHA-256, so *any* torn write (truncation at an arbitrary
+byte), bit flip or concatenation damage is detected on read and rejected
+with :class:`~repro.errors.CheckpointError` -- a checkpoint is restored
+whole or not at all, never partially.
+
+Writes are atomic: the payload goes to a temporary file in the target
+directory, is flushed and ``fsync``-ed, and then ``os.replace``-d over the
+destination, so a crash mid-write leaves either the old checkpoint or the
+new one, never a hybrid.
+
+The snapshot dictionaries themselves are produced and consumed by the
+execution layers (``RuntimeStream.export_state`` /
+``MultiQuerySession.export_state`` and friends); this module is only the
+durable envelope plus the :class:`Checkpoint` convenience wrapper used by
+:meth:`repro.api.Session.checkpoint` and ``repro.api.Engine.open(resume=...)``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CorpusJournal",
+    "JOURNAL_MAGIC",
+    "JOURNAL_VERSION",
+    "decode_payload",
+    "encode_payload",
+    "query_fingerprint",
+    "read_checkpoint",
+    "resume_chunks",
+    "write_checkpoint",
+]
+
+CHECKPOINT_MAGIC = b"REPRO-CHECKPOINT"
+CHECKPOINT_VERSION = 1
+
+JOURNAL_MAGIC = "repro-corpus"
+JOURNAL_VERSION = 1
+
+#: Refuse to parse absurd header claims (a corrupted length field must not
+#: make the reader allocate unbounded memory).
+_MAX_PAYLOAD = 1 << 31
+
+
+# ----------------------------------------------------------------------
+# JSON payload encoding (bytes-aware)
+# ----------------------------------------------------------------------
+def _mark_bytes(value):
+    """Recursively wrap ``bytes`` values as base64 markers for JSON."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"__b64__": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {key: _mark_bytes(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_mark_bytes(item) for item in value]
+    return value
+
+
+def _unmark_bytes(value):
+    """Invert :func:`_mark_bytes` after JSON parsing."""
+    if isinstance(value, dict):
+        if set(value) == {"__b64__"}:
+            return base64.b64decode(value["__b64__"])
+        return {key: _unmark_bytes(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_unmark_bytes(item) for item in value]
+    return value
+
+
+def encode_payload(snapshot: dict) -> bytes:
+    """Serialise a snapshot dictionary to canonical checkpoint payload bytes."""
+    try:
+        marked = _mark_bytes(snapshot)
+        text = json.dumps(marked, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"session state is not serialisable: {error}"
+        ) from error
+    return text.encode("utf-8")
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse checkpoint payload bytes back into the snapshot dictionary."""
+    try:
+        value = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint payload is not valid JSON: {error}"
+        ) from error
+    if not isinstance(value, dict):
+        raise CheckpointError("checkpoint payload is not a snapshot object")
+    return _unmark_bytes(value)
+
+
+# ----------------------------------------------------------------------
+# The durable envelope
+# ----------------------------------------------------------------------
+def write_checkpoint(path: str, snapshot: dict) -> None:
+    """Atomically write ``snapshot`` as a checkpoint file at ``path``.
+
+    The payload is written to a temporary sibling, flushed and fsync-ed,
+    then renamed over ``path`` (``os.replace``), so a crash mid-write never
+    leaves a half-written checkpoint under the destination name.
+    """
+    payload = encode_payload(snapshot)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = b"%s v%d %s %d\n" % (
+        CHECKPOINT_MAGIC, CHECKPOINT_VERSION, digest.encode("ascii"),
+        len(payload),
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=".checkpoint-", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        with _suppress_oserror():
+            os.unlink(temp_path)
+        raise
+
+
+class _suppress_oserror:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc_info):
+        return exc_type is not None and issubclass(exc_type, OSError)
+
+
+def read_checkpoint(path: str) -> dict:
+    """Read and verify the checkpoint at ``path``; return its snapshot.
+
+    Raises :class:`~repro.errors.CheckpointError` for *any* damage: missing
+    or malformed header, unsupported version, truncated payload, trailing
+    garbage, or checksum mismatch.  A damaged checkpoint is never partially
+    restored.
+    """
+    try:
+        with open(path, "rb") as handle:
+            header = handle.readline(256)
+            rest = handle.read(_MAX_PAYLOAD)
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {error}"
+        ) from error
+    parts = header.split()
+    if (
+        len(parts) != 4
+        or parts[0] != CHECKPOINT_MAGIC
+        or not header.endswith(b"\n")
+    ):
+        raise CheckpointError(
+            f"{path!r} is not a checkpoint file (bad or truncated header)"
+        )
+    if parts[1] != b"v%d" % CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {parts[1].decode('ascii', 'replace')!r} "
+            f"in {path!r} (this build reads v{CHECKPOINT_VERSION})"
+        )
+    try:
+        length = int(parts[3])
+    except ValueError:
+        length = -1
+    if length < 0 or length > _MAX_PAYLOAD:
+        raise CheckpointError(f"corrupt checkpoint length field in {path!r}")
+    if len(rest) != length:
+        raise CheckpointError(
+            f"checkpoint {path!r} is damaged: payload is {len(rest)} bytes, "
+            f"header promises {length} (torn write or trailing garbage)"
+        )
+    digest = hashlib.sha256(rest).hexdigest().encode("ascii")
+    if digest != parts[2]:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its checksum; refusing to restore "
+            "corrupted session state"
+        )
+    return decode_payload(rest)
+
+
+class Checkpoint:
+    """A verified, in-memory session checkpoint.
+
+    Obtained from :meth:`repro.api.Session.checkpoint` (a fresh snapshot)
+    or :meth:`Checkpoint.load` (read back from disk, checksum-verified).
+    ``snapshot`` is the raw state dictionary the execution layers restore
+    from; the convenience properties expose the resume coordinates the
+    driving loop needs (where to re-feed the input from, how much output
+    the checkpointed run had already emitted).
+    """
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: dict) -> None:
+        self.snapshot = snapshot
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Read, verify and wrap the checkpoint file at ``path``."""
+        return cls(read_checkpoint(os.fspath(path)))
+
+    def save(self, path: str) -> None:
+        """Atomically write this checkpoint to ``path``."""
+        write_checkpoint(os.fspath(path), self.snapshot)
+
+    # ------------------------------------------------------------------
+    # Resume coordinates
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """Snapshot kind: ``"session"`` (streaming) snapshots today."""
+        return self.snapshot.get("kind", "session")
+
+    @property
+    def input_offset(self) -> int:
+        """Absolute input byte offset to re-feed the source from.
+
+        Everything below this offset is already folded into the captured
+        state; resuming means feeding the source's bytes from here on.
+        """
+        return int(self.snapshot.get("input_offset", 0))
+
+    @property
+    def output_sizes(self) -> list[int]:
+        """Per-query output sizes (bytes/chars) already emitted at capture.
+
+        A resume driver appending to the original output must truncate it
+        to these sizes first: the checkpoint may be older than the crash
+        point, in which case the resumed session legitimately re-emits the
+        output produced between capture and crash.
+        """
+        return [int(size) for size in self.snapshot.get("output_sizes", [])]
+
+    @property
+    def query_hashes(self) -> list[str]:
+        """Digests of the query set the checkpoint was captured under."""
+        return list(self.snapshot.get("query_hashes", []))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Checkpoint(kind={self.kind!r}, "
+            f"input_offset={self.input_offset})"
+        )
+
+
+def query_fingerprint(paths, backend: str, add_default_paths: bool,
+                      label: str) -> str:
+    """A stable digest of one query's plan-cache identity.
+
+    Checkpoints store one fingerprint per attached query;
+    ``Engine.open(resume=...)`` refuses (``CheckpointError``) to restore
+    into an engine whose query set does not match, because the captured
+    automaton state rows are only meaningful against the same compiled
+    tables.  DTD object identity cannot cross processes, so the
+    fingerprint hashes the query's observable identity: its sorted path
+    strings, backend and flags.
+    """
+    text = "\x1f".join(
+        [",".join(sorted(str(path) for path in paths)), backend,
+         "1" if add_default_paths else "0", label]
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+def resume_chunks(chunks, offset: int):
+    """Skip the first ``offset`` input bytes of a chunk iterable.
+
+    The resume driver's input shim: a restored session already holds
+    everything below the checkpoint's :attr:`Checkpoint.input_offset`, so
+    the original source is replayed with that prefix dropped.  ``str``
+    chunks are UTF-8 encoded first (offsets are byte offsets).  Raises
+    :class:`~repro.errors.CheckpointError` when the source ends before the
+    offset -- the checkpoint cannot belong to this input.
+    """
+    remaining = int(offset)
+    for chunk in chunks:
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
+        if remaining:
+            if len(chunk) <= remaining:
+                remaining -= len(chunk)
+                continue
+            chunk = chunk[remaining:]
+            remaining = 0
+        yield chunk
+    if remaining:
+        raise CheckpointError(
+            f"input source ended {remaining} bytes before the checkpoint's "
+            "resume offset; the checkpoint does not belong to this input"
+        )
+
+
+class CorpusJournal:
+    """Append-only JSONL journal of merged corpus-run outcomes.
+
+    One line per *merged* document success (written after the parent has
+    folded the document's outputs into the run, so a journaled document is
+    exactly-once by construction)::
+
+        {"journal":"repro-corpus","version":1,"queries":[...],"binary":...}
+        {"index":0,"name":"a.xml","outputs":[...],"stats":[...],"scan_stats":...}
+        ...
+
+    Durability model: every record is flushed to the OS (no fsync) -- the
+    page cache survives a SIGKILL of the process, which is the failure this
+    journal exists for; a machine-level crash at worst loses trailing
+    records, which are then simply re-executed.  On resume the journal is
+    replayed: completed documents are served from their journaled outputs
+    instead of being re-run, a torn or unparseable tail line is discarded
+    as in-flight work (the file is truncated back to the last valid line
+    before appending), and a header whose query fingerprints do not match
+    the resuming engine raises :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, path: str, query_hashes: list[str], binary: bool) -> None:
+        self.path = os.fspath(path)
+        self.query_hashes = list(query_hashes)
+        self.binary = bool(binary)
+        #: Original corpus index -> journaled record (outputs unmarked).
+        self.completed: dict[int, dict] = {}
+        self._handle = None
+
+    @classmethod
+    def resume(cls, path: str, query_hashes, binary: bool) -> "CorpusJournal":
+        """Open (or create) the journal at ``path`` for one corpus run.
+
+        An existing journal is verified against the engine's query
+        fingerprints and replayed into :attr:`completed`; a fresh file gets
+        the header line.  The returned journal is open for appending.
+        """
+        journal = cls(path, list(query_hashes), binary)
+        if os.path.exists(journal.path) and os.path.getsize(journal.path) > 0:
+            valid_end = journal._load_existing()
+            handle = open(journal.path, "r+b")
+            handle.truncate(valid_end)
+            handle.seek(valid_end)
+            journal._handle = handle
+        else:
+            journal._handle = open(journal.path, "wb")
+            journal._write_line(
+                {
+                    "journal": JOURNAL_MAGIC,
+                    "version": JOURNAL_VERSION,
+                    "queries": journal.query_hashes,
+                    "binary": journal.binary,
+                }
+            )
+        return journal
+
+    def _load_existing(self) -> int:
+        """Replay the journal; returns the end offset of the valid prefix."""
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        position = 0
+        header_seen = False
+        while True:
+            newline = data.find(b"\n", position)
+            if newline < 0:
+                break  # unterminated tail: in-flight write, discard
+            line = data[position : newline]
+            try:
+                entry = _unmark_bytes(json.loads(line.decode("utf-8")))
+                if not isinstance(entry, dict):
+                    raise ValueError("not an object")
+            except (UnicodeDecodeError, ValueError):
+                break  # damaged tail: discard from here on
+            if not header_seen:
+                if (
+                    entry.get("journal") != JOURNAL_MAGIC
+                    or entry.get("version") != JOURNAL_VERSION
+                ):
+                    raise CheckpointError(
+                        f"{self.path!r} is not a v{JOURNAL_VERSION} corpus "
+                        "journal"
+                    )
+                if list(entry.get("queries", [])) != self.query_hashes:
+                    raise CheckpointError(
+                        f"corpus journal {self.path!r} was written for a "
+                        "different query set; refusing to resume"
+                    )
+                if bool(entry.get("binary")) != self.binary:
+                    raise CheckpointError(
+                        f"corpus journal {self.path!r} was written in a "
+                        "different output mode; refusing to resume"
+                    )
+                header_seen = True
+            else:
+                try:
+                    index = int(entry["index"])
+                except (KeyError, TypeError, ValueError):
+                    break
+                self.completed[index] = entry
+            position = newline + 1
+        if not header_seen:
+            raise CheckpointError(
+                f"{self.path!r} is not a corpus journal (no valid header)"
+            )
+        return position
+
+    def _write_line(self, entry: dict) -> None:
+        text = json.dumps(
+            _mark_bytes(entry), sort_keys=True, separators=(",", ":")
+        )
+        self._handle.write(text.encode("utf-8") + b"\n")
+        self._handle.flush()
+
+    def record(
+        self,
+        index: int,
+        name: str,
+        outputs,
+        stats,
+        scan_stats=None,
+    ) -> None:
+        """Journal one merged document success.
+
+        ``outputs`` are the per-query outputs (``bytes`` or ``str``),
+        ``stats`` the per-query statistic state dictionaries
+        (:meth:`~repro.core.stats.RunStatistics.export_state`), and
+        ``scan_stats`` the shared-scan state dictionary, if any.
+        """
+        self._write_line(
+            {
+                "index": int(index),
+                "name": name,
+                "outputs": list(outputs),
+                "stats": list(stats),
+                "scan_stats": scan_stats,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CorpusJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def is_serialisable(value: Any) -> bool:
+    """True when ``value`` survives the checkpoint payload round trip."""
+    try:
+        encode_payload({"probe": value})
+    except CheckpointError:
+        return False
+    return True

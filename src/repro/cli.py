@@ -163,6 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 0.05)",
     )
     parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="durable recovery state: in single-document modes, write a "
+             "checksummed checkpoint to PATH after every input chunk "
+             "(requires --input and --output); in corpus mode (--query "
+             "with several input files), journal per-document results to "
+             "PATH so a restarted run with the same flag skips "
+             "already-completed documents",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a crashed single-document run from the checkpoint at "
+             "PATH: the --output file(s) are truncated to the checkpointed "
+             "length and filtering continues from the recorded input "
+             "offset; in corpus mode, synonym for --checkpoint PATH",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="write the projected document to FILE instead of stdout; in "
@@ -408,6 +426,7 @@ def _run_corpus(arguments, inputs: Sequence[str], output_stream) -> int:
         binary=True,
         retry=_retry_policy(arguments),
         on_error=arguments.on_error,
+        journal=arguments.checkpoint or arguments.resume,
     )
     labels = engine.labels
 
@@ -461,6 +480,111 @@ def _run_corpus(arguments, inputs: Sequence[str], output_stream) -> int:
                 file=sys.stderr,
             )
         return 3
+    return 0
+
+
+def _checkpointed_engine(arguments) -> "api.Engine":
+    """The engine of a checkpointed single-document run (any query mode)."""
+    if arguments.query:
+        dtd, queries = _resolve_queries(arguments)
+        return api.Engine(
+            _build_queries(arguments, dtd, queries), mode="shared"
+        )
+    dtd_path, paths = arguments.positional[0], arguments.positional[1:]
+    with open(dtd_path, "r", encoding="utf-8") as handle:
+        dtd = Dtd.parse(handle.read())
+    return api.Engine(api.Query.from_paths(
+        dtd,
+        paths,
+        backend=arguments.backend,
+        add_default_paths=not arguments.no_default_paths,
+    ))
+
+
+def _run_checkpointed(arguments) -> int:
+    """A single-document run with durable crash recovery.
+
+    The projection streams into the ``--output`` file(s); after every input
+    chunk the complete session state (automaton, carry window, statistics,
+    flushed output sizes) is written atomically to the ``--checkpoint``
+    file.  ``--resume PATH`` restarts after a crash: the output files are
+    truncated back to the checkpointed flushed sizes, the input file is
+    reopened at the recorded offset, and filtering continues -- the final
+    bytes and statistics are identical to an uninterrupted run.
+    """
+    engine = _checkpointed_engine(arguments)
+    if arguments.query:
+        out_paths = _query_output_paths(arguments.output, engine.labels)
+    else:
+        out_paths = [arguments.output]
+
+    resume = None
+    flushed = [0] * len(out_paths)
+    if arguments.resume:
+        resume = api.Checkpoint.load(arguments.resume)
+        if len(resume.output_sizes) != len(out_paths):
+            raise ReproError(
+                f"checkpoint records {len(resume.output_sizes)} output "
+                f"stream(s); this invocation has {len(out_paths)}"
+            )
+        flushed = [int(size) for size in resume.output_sizes]
+
+    with contextlib.ExitStack() as stack:
+        handles = []
+        for path, size in zip(out_paths, flushed):
+            if resume is not None:
+                handle = stack.enter_context(open(path, "r+b"))
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() < size:
+                    raise ReproError(
+                        f"cannot resume: {path} is shorter than the "
+                        f"checkpointed {size} bytes"
+                    )
+                handle.truncate(size)
+                handle.seek(size)
+            else:
+                handle = stack.enter_context(open(path, "wb"))
+            handles.append(handle)
+        session = engine.open(
+            sinks=[api.CallbackSink(handle.write) for handle in handles],
+            binary=True,
+            resume=resume,
+        )
+        offset = resume.input_offset if resume is not None else 0
+        with open(arguments.input, "rb") as infile:
+            infile.seek(offset)
+            while True:
+                chunk = infile.read(arguments.chunk_size)
+                if not chunk:
+                    break
+                session.feed(chunk)
+                if arguments.checkpoint:
+                    for handle in handles:
+                        handle.flush()
+                    session.checkpoint(arguments.checkpoint)
+        session.finish()
+        stats = list(session.stats)
+        scan = session.scan_stats
+        session.close()
+
+    if arguments.stats_json:
+        payload = {
+            "backend": arguments.backend,
+            "chunk_size": float(arguments.chunk_size),
+            "resumed": resume is not None,
+            "queries": {
+                label: one.as_dict()
+                for label, one in zip(engine.labels, stats)
+            },
+        }
+        if scan is not None:
+            payload["scan"] = scan.as_dict()
+        print(json.dumps(payload, sort_keys=True), file=sys.stderr)
+    if arguments.stats:
+        for index, (label, one) in enumerate(zip(engine.labels, stats)):
+            print(f"--- {label} ---", file=sys.stderr)
+            print(_render_stats(one, engine.plans[index].compilation),
+                  file=sys.stderr)
     return 0
 
 
@@ -615,9 +739,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--on-error is a corpus-run policy (--query mode with several "
             "input files); a single document either filters or fails"
         )
+    checkpointed = bool(arguments.checkpoint or arguments.resume)
+    if checkpointed and not corpus_inputs:
+        if not arguments.input or not arguments.output:
+            parser.error(
+                "--checkpoint/--resume need --input FILE and --output FILE "
+                "(resumable byte accounting requires seekable files)"
+            )
+        if arguments.mmap:
+            parser.error(
+                "--checkpoint/--resume stream chunked reads; drop --mmap"
+            )
+        if arguments.measure_memory:
+            parser.error(
+                "--measure-memory is not available with --checkpoint/--resume"
+            )
     try:
         if corpus_inputs:
             return _run_corpus(arguments, corpus_inputs, sys.stdout)
+        if checkpointed:
+            return _run_checkpointed(arguments)
         with contextlib.ExitStack() as stack:
             source = _document_source(arguments)
             if arguments.output and not arguments.query:

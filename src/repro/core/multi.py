@@ -18,8 +18,7 @@ stream::
     session.finish()
 
 (The public one-shot spelling is ``repro.api.Engine([q2, q5, q7]).run(
-source)``; the legacy ``filter_*`` methods remain as deprecated shims
-over it.)
+source)``.)
 
 Equivalence: each driven stream replays exactly the decisions its private
 :class:`~repro.core.runtime.RuntimeStream` would have made, so per-query
@@ -60,7 +59,6 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro._deprecation import warn_legacy
 from repro.accel import load_accel
 from repro.core.prefilter import SmpPrefilter
 from repro.core.runtime import (
@@ -71,10 +69,10 @@ from repro.core.runtime import (
     resolve_delivery,
 )
 from repro.core.stats import CompilationStatistics, RunStatistics
-from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor
+from repro.core.stream import DEFAULT_CHUNK_SIZE, ChunkCursor, iter_chunks
 from repro.core.tables import RuntimeTables
 from repro.dtd.model import Dtd
-from repro.errors import QueryError, RuntimeFilterError
+from repro.errors import CheckpointError, QueryError, RuntimeFilterError
 from repro.matching.dispatch import KeywordDispatcher
 from repro.projection.extraction import QuerySpec, extract_paths_from_xpath
 from repro.xml.escape import is_name_byte
@@ -235,7 +233,7 @@ class MultiQueryEngine:
         )
 
     # ------------------------------------------------------------------
-    # One-shot entry points (deprecated shims over repro.api)
+    # One-shot entry point (delegates to repro.api)
     # ------------------------------------------------------------------
     def _api_run(
         self, source, *, sinks=None, binary=False, measure_memory=False
@@ -252,113 +250,6 @@ class MultiQueryEngine:
             stats=[result.stats for result in run.results],
             scan_stats=run.scan_stats,
             compilations=[result.compilation for result in run.results],
-        )
-
-    def filter_document(
-        self, text: str, *, measure_memory: bool = False
-    ) -> MultiQueryRun:
-        """Filter a whole in-memory document against every query.
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_text(...))``.
-        """
-        warn_legacy("MultiQueryEngine.filter_document",
-                    "repro.api.Engine.run(api.Source.from_text(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_text(text), measure_memory=measure_memory
-        )
-
-    def filter_bytes(
-        self, data: bytes, *, measure_memory: bool = False, binary: bool = True
-    ) -> MultiQueryRun:
-        """Filter a whole in-memory UTF-8 byte document (byte-native path).
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_bytes(...))``.
-        """
-        warn_legacy("MultiQueryEngine.filter_bytes",
-                    "repro.api.Engine.run(api.Source.from_bytes(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_bytes(data),
-            measure_memory=measure_memory,
-            binary=binary,
-        )
-
-    def filter_file(
-        self,
-        path: str,
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        sinks: Sequence[AnySink | None] | None = None,
-        measure_memory: bool = False,
-        binary: bool = False,
-    ) -> MultiQueryRun:
-        """Filter a document stored on disk, reading binary ``chunk_size``
-        chunks (the input is never decoded).
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_file(...))``.
-        """
-        warn_legacy("MultiQueryEngine.filter_file",
-                    "repro.api.Engine.run(api.Source.from_file(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_file(path, chunk_size=chunk_size),
-            sinks=sinks,
-            measure_memory=measure_memory,
-            binary=binary,
-        )
-
-    def filter_mmap(
-        self,
-        path: str,
-        *,
-        sinks: Sequence[AnySink | None] | None = None,
-        measure_memory: bool = False,
-        binary: bool = False,
-    ) -> MultiQueryRun:
-        """Filter a memory-mapped document: the shared scan runs directly
-        over the mapped pages and only projected slices reach the heap.
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_mmap(...))``.
-        """
-        warn_legacy("MultiQueryEngine.filter_mmap",
-                    "repro.api.Engine.run(api.Source.from_mmap(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_mmap(path),
-            sinks=sinks,
-            measure_memory=measure_memory,
-            binary=binary,
-        )
-
-    def filter_stream(
-        self,
-        chunks,
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        sinks: Sequence[AnySink | None] | None = None,
-        measure_memory: bool = False,
-        binary: bool = False,
-    ) -> MultiQueryRun:
-        """Filter chunked input against every query in one document pass.
-
-        Chunks may be ``bytes`` (native) or ``str`` (encoded on entry).
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_iter(...))``.
-        """
-        warn_legacy("MultiQueryEngine.filter_stream",
-                    "repro.api.Engine.run(api.Source.from_iter(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_iter(chunks, chunk_size=chunk_size),
-            sinks=sinks,
-            measure_memory=measure_memory,
-            binary=binary,
         )
 
 
@@ -474,14 +365,6 @@ class MultiQuerySession:
         """Input bytes currently retained in the shared window."""
         return len(self._window)
 
-    @property
-    def buffered_chars(self) -> int:
-        """Deprecated alias of :attr:`buffered_bytes` (binary sessions
-        always counted bytes)."""
-        warn_legacy("MultiQuerySession.buffered_chars",
-                    "MultiQuerySession.buffered_bytes")
-        return self.buffered_bytes
-
     def is_attached(self, index: int) -> bool:
         """True while query ``index`` still participates in the scan."""
         return not self._detached[index]
@@ -494,6 +377,98 @@ class MultiQuerySession:
         """True once query ``index``'s runtime automaton reached a final
         state (mid-document attached queries may legitimately never do)."""
         return self._streams[index].accepted
+
+    # ------------------------------------------------------------------
+    # Checkpoint: capture and restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Capture the whole session -- shared window, union-scan cursor,
+        every per-query stream -- as plain data.
+
+        Valid at any feed boundary: the union scan's batch contract never
+        suspends mid-candidate between feeds, so the snapshot is exact and
+        independent of the delivery mode it was captured under.
+        """
+        if self._finished:
+            raise CheckpointError(
+                "cannot checkpoint a finished multi-query session"
+            )
+        window = self._window
+        return {
+            "kind": "multi",
+            "binary": self.binary,
+            "input_offset": self.scan_stats.input_size,
+            "scan_from": self._scan_from,
+            "window": {
+                "base": window.base,
+                "data": (
+                    window.slice(window.base, window.end)
+                    if window.end > window.base else b""
+                ),
+                "eof": window.eof,
+            },
+            "scan_stats": self.scan_stats.export_state(),
+            "streams": [stream.export_state() for stream in self._streams],
+            "detached": list(self._detached),
+            "attach_offsets": list(self._attach_offsets),
+            "labels": list(self.labels),
+            "finished": self._finished,
+        }
+
+    def import_state(self, snapshot: dict) -> None:
+        """Restore a snapshot captured by :meth:`export_state`.
+
+        Must be called on a fresh session built over the same query set
+        (queries attached after construction must be re-attached first --
+        the restore then overwrites every stream's mutable state, including
+        its attach offset).  Keyword subscriptions and the native stepping
+        context are rebuilt from the restored automaton states.
+        """
+        if snapshot.get("kind") != "multi":
+            raise CheckpointError("snapshot is not a multi-query checkpoint")
+        if self.scan_stats.input_size or len(self._window) or self._window.base:
+            raise CheckpointError(
+                "import_state requires a freshly constructed session"
+            )
+        if bool(snapshot["binary"]) != self.binary:
+            captured = "binary" if snapshot["binary"] else "text"
+            raise CheckpointError(
+                f"checkpoint was captured in {captured} output mode; "
+                "restore with the same mode"
+            )
+        streams_state = snapshot["streams"]
+        if len(streams_state) != len(self._streams):
+            raise CheckpointError(
+                f"checkpoint holds {len(streams_state)} queries but this "
+                f"session has {len(self._streams)}; re-attach the same "
+                "query set before restoring"
+            )
+        window_state = snapshot["window"]
+        window = self._window
+        window.rebase(int(window_state["base"]))
+        data = window_state["data"]
+        if data:
+            window.append(bytes(data))
+        if window_state["eof"]:
+            window.close()
+        self.scan_stats = RunStatistics.from_state(snapshot["scan_stats"])
+        self._scan_from = int(snapshot["scan_from"])
+        self._detached = [bool(flag) for flag in snapshot["detached"]]
+        self._attach_offsets = [
+            int(offset) for offset in snapshot["attach_offsets"]
+        ]
+        self.labels = [str(label) for label in snapshot["labels"]]
+        for stream, state in zip(self._streams, streams_state):
+            stream.import_state(state)
+        self._finished = bool(snapshot["finished"])
+        # Subscriptions follow the restored automaton states; the native
+        # stepping context is rebuilt lazily on the next feed.
+        self._subscribers = {}
+        self._subscribed = [() for _ in self._streams]
+        for index in range(len(self._streams)):
+            if not self._detached[index]:
+                self._resubscribe(index)
+        self._native = None
 
     # ------------------------------------------------------------------
     # Live query membership
@@ -632,6 +607,33 @@ class MultiQuerySession:
         stats.output_size = sum(stream.stats.output_size for stream in self._streams)
         stats.run_seconds += time.perf_counter() - started
         return outputs
+
+    def run(self, chunks, chunk_size: int = DEFAULT_CHUNK_SIZE) -> MultiQueryRun:
+        """Feed all of ``chunks`` and finish; returns the :class:`MultiQueryRun`.
+
+        ``chunks`` is anything :func:`repro.core.stream.iter_chunks`
+        understands -- a whole document (``str``/``bytes``), a file object,
+        or an iterable of chunks.
+        """
+        pieces: list[list] = [[] for _ in self._streams]
+        for chunk in iter_chunks(chunks, chunk_size):
+            self._gather(self.feed(chunk), pieces)
+        self._gather(self.finish(), pieces)
+        empty = b"" if self.binary else ""
+        return MultiQueryRun(
+            labels=list(self.labels),
+            outputs=[empty.join(parts) for parts in pieces],
+            stats=list(self.stats),
+            scan_stats=self.scan_stats,
+            compilations=[plan.compilation for plan in self.prefilters],
+        )
+
+    def _gather(self, outputs: list, pieces: list[list]) -> None:
+        while len(pieces) < len(outputs):
+            pieces.append([])
+        for index, emitted in enumerate(outputs):
+            if emitted:
+                pieces[index].append(emitted)
 
     # ------------------------------------------------------------------
     # The shared scan loop

@@ -6,9 +6,10 @@ This is the public entry point of the reproduction::
 
     dtd = Dtd.parse(dtd_text)
     prefilter = SmpPrefilter.compile(dtd, ["//australia//description#"])
-    result = prefilter.filter_document(xml_text)
-    print(result.output)          # the projected document
-    print(result.stats.char_comparison_ratio)
+    session = prefilter.session()
+    output = session.feed(xml_text) + session.finish()
+    print(output)                 # the projected document
+    print(session.stats.char_comparison_ratio)
 
 ``SmpPrefilter.compile`` runs the static analysis of Section IV and builds
 the lookup tables of Figure 3.  The compiled object is a reusable *plan*
@@ -17,26 +18,24 @@ the lookup tables of Figure 3.  The compiled object is a reusable *plan*
 ``(DTD, paths, backend)`` so independent callers share one compilation.
 
 One-shot filtering lives in the unified dataflow API
-(``repro.api.Engine(Query.from_plan(plan)).run(source)``; the legacy
-:meth:`filter_document` / :meth:`filter_bytes` / ... methods are deprecated
-byte-identical shims over it).  Incremental filtering in O(chunk + carry
-window) memory goes through the streaming session API::
+(``repro.api.Engine(Query.from_plan(plan)).run(source)``).  Incremental
+filtering in O(chunk + carry window) memory goes through the streaming
+session API::
 
     session = prefilter.session()
     for chunk in chunks:          # bytes chunks natively, str via the shim
         out.write(session.feed(chunk))
     out.write(session.finish())
-    session.stats               # identical to a filter_document run
+    session.stats               # identical to a one-shot run
 
 The execution core is byte-native (:mod:`repro.core.runtime`): ``str``
 input is UTF-8 encoded on entry and only the bytes actually copied to the
-projection are ever decoded back.  :meth:`filter_file` therefore reads in
-*binary* (no decode copy), :meth:`filter_mmap` runs the matchers directly
-over a memory-mapped file, and ``binary=True`` on any entry point keeps
-the output as raw projected bytes.  :meth:`filter_stream` wraps the
-session loop with a configurable ``chunk_size``; each session owns its
-runtime, so any number of sessions compiled from the same plan can run
-concurrently.
+projection are ever decoded back; ``binary=True`` on any entry point keeps
+the output as raw projected bytes.  Each session owns its runtime, so any
+number of sessions compiled from the same plan can run concurrently, and
+a live session can be captured/restored through
+:meth:`FilterSession.export_state` / :meth:`FilterSession.import_state`
+(see :mod:`repro.checkpoint` for the durable on-disk format).
 """
 
 from __future__ import annotations
@@ -45,9 +44,8 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Sequence
+from typing import Sequence
 
-from repro._deprecation import warn_legacy
 from repro.core.runtime import AnySink, RuntimeStream, SmpRuntime
 from repro.core.static_analysis import AnalysisResult, StaticAnalyzer
 from repro.core.stats import CompilationStatistics, FilterRun, RunStatistics
@@ -237,131 +235,6 @@ class SmpPrefilter:
             compilation=self.compilation,
         )
 
-    def filter_document(self, text: str, *, measure_memory: bool = False) -> FilterRun:
-        """Prefilter a document held in a string (the encode shim).
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_text(...))``.
-        """
-        warn_legacy("SmpPrefilter.filter_document",
-                    "repro.api.Engine.run(api.Source.from_text(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_text(text), measure_memory=measure_memory
-        )
-
-    def filter_bytes(self, data: bytes, *, measure_memory: bool = False) -> FilterRun:
-        """Prefilter a UTF-8 document held in bytes, returning projected bytes.
-
-        The byte-native one-shot path: no decode or encode happens at all,
-        and the output is a byte-exact concatenation of regions of ``data``.
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_bytes(...))``.
-        """
-        warn_legacy("SmpPrefilter.filter_bytes",
-                    "repro.api.Engine.run(api.Source.from_bytes(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_bytes(data),
-            binary=True,
-            measure_memory=measure_memory,
-        )
-
-    def filter_file(
-        self,
-        path: str,
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        measure_memory: bool = False,
-        sink: AnySink | None = None,
-        binary: bool = False,
-    ) -> FilterRun:
-        """Prefilter a document stored on disk, reading ``chunk_size`` chunks.
-
-        The file is read in *binary* -- the matchers run directly on the
-        disk bytes and the input is never decoded -- and never materialised
-        as a whole: it flows through a streaming session in O(chunk + carry
-        window) memory.  With ``binary=True`` the projected output stays
-        ``bytes`` as well.
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_file(...))``.
-        """
-        warn_legacy("SmpPrefilter.filter_file",
-                    "repro.api.Engine.run(api.Source.from_file(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_file(path, chunk_size=chunk_size),
-            sink=sink,
-            binary=binary,
-            measure_memory=measure_memory,
-        )
-
-    def filter_mmap(
-        self,
-        path: str,
-        *,
-        measure_memory: bool = False,
-        sink: AnySink | None = None,
-        binary: bool = False,
-    ) -> FilterRun:
-        """Prefilter a memory-mapped document (zero-copy search buffer).
-
-        The whole map is handed to the session as a single chunk: searches
-        run against the mapped pages (paged in and out by the OS) and only
-        the projected slices are ever copied onto the heap.  The map is
-        closed before this method returns.
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_mmap(...))``.
-        """
-        warn_legacy("SmpPrefilter.filter_mmap",
-                    "repro.api.Engine.run(api.Source.from_mmap(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_mmap(path),
-            sink=sink,
-            binary=binary,
-            measure_memory=measure_memory,
-        )
-
-    def filter_stream(
-        self,
-        chunks: "Iterable[str | bytes] | IO[str] | IO[bytes]",
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        measure_memory: bool = False,
-        sink: AnySink | None = None,
-        binary: bool = False,
-    ) -> FilterRun:
-        """Prefilter a document provided as chunks or a file object.
-
-        Chunks may be ``bytes`` (native) or ``str`` (encoded on entry); the
-        input is processed incrementally through a :class:`FilterSession`
-        in O(chunk + carry window) memory -- the carry-over window is
-        bounded by the longest suspended keyword search plus the longest
-        open tag.  File objects are read in ``chunk_size`` pieces; iterables
-        are consumed as produced.  All byte-based statistics are identical
-        to a :meth:`filter_document` run over the concatenated input.
-
-        With ``sink`` the projected fragments are pushed to the callback as
-        they are emitted and the returned :class:`FilterRun` carries an empty
-        ``output`` (the statistics still record the emitted size).
-
-        .. deprecated:: use ``repro.api.Engine.run(Source.from_iter(...))``.
-        """
-        warn_legacy("SmpPrefilter.filter_stream",
-                    "repro.api.Engine.run(api.Source.from_iter(...))")
-        from repro import api
-
-        return self._api_run(
-            api.Source.from_iter(chunks, chunk_size=chunk_size),
-            sink=sink,
-            binary=binary,
-            measure_memory=measure_memory,
-        )
-
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -424,13 +297,17 @@ class FilterSession:
         """Input bytes currently retained in the carry-over window."""
         return self._stream.buffered_bytes
 
-    @property
-    def buffered_chars(self) -> int:
-        """Deprecated alias of :attr:`buffered_bytes` (the retained window
-        was always counted in bytes since the byte-native rewrite)."""
-        warn_legacy("FilterSession.buffered_chars",
-                    "FilterSession.buffered_bytes")
-        return self.buffered_bytes
+    def export_state(self) -> dict:
+        """Capture the session's complete resume state as plain data.
+
+        Delegates to the underlying runtime stream; see
+        :meth:`repro.core.runtime.RuntimeStream.export_state`.
+        """
+        return self._stream.export_state()
+
+    def import_state(self, snapshot: dict) -> None:
+        """Restore a snapshot into this freshly opened session."""
+        self._stream.import_state(snapshot)
 
     def feed(self, chunk):
         """Process one input chunk; returns the newly emitted output."""

@@ -62,8 +62,13 @@ from repro.core.stats import RunStatistics
 from repro.core.stream import ChunkCursor
 from repro.core.tables import Action, RuntimeTables
 from repro.dtd.automaton import CLOSE, OPEN, Symbol
-from repro.errors import RuntimeFilterError
-from repro.matching.base import MultiKeywordMatcher, PendingSearch, SingleKeywordMatcher
+from repro.errors import CheckpointError, RuntimeFilterError
+from repro.matching.base import (
+    Match,
+    MultiKeywordMatcher,
+    PendingSearch,
+    SingleKeywordMatcher,
+)
 from repro.matching.factory import make_matcher
 from repro.xml.escape import is_name_byte
 
@@ -167,6 +172,61 @@ _PH_SEARCH = 1   # frontier search in progress (``_pending`` may be set)
 _PH_VERIFY = 2   # match found, awaiting the byte after the keyword
 _PH_TAG = 3      # scanning right for the closing '>'
 _PH_QUOTE = 4    # inside a quoted attribute value
+
+
+def _freeze_state_value(value):
+    """Turn a matcher's opaque resume state into checkpoint-safe data.
+
+    The suspended-search contract (:class:`~repro.matching.base.
+    PendingSearch`) keeps backend-specific state: plain ints (generic and
+    native backends), tuples of ints, and tuples carrying a
+    :class:`~repro.matching.base.Match` (Commentz-Walter's best-so-far).
+    All of those serialise losslessly.  Anything else -- notably the live
+    trie node the Aho-Corasick backend suspends on -- cannot travel to
+    another process and raises :class:`CheckpointError`.
+    """
+    if value is None or isinstance(value, (int, str, bytes)):
+        return value
+    if isinstance(value, Match):
+        return ["__m__", value.position, value.keyword, value.keyword_index]
+    if isinstance(value, tuple):
+        return ["__t__"] + [_freeze_state_value(item) for item in value]
+    raise CheckpointError(
+        f"suspended search state of type {type(value).__name__!r} is not "
+        "serialisable; this matcher backend cannot checkpoint mid-search"
+    )
+
+
+def _thaw_state_value(value):
+    if isinstance(value, list):
+        if value and value[0] == "__m__":
+            return Match(
+                position=int(value[1]),
+                keyword=value[2],
+                keyword_index=int(value[3]),
+            )
+        if value and value[0] == "__t__":
+            return tuple(_thaw_state_value(item) for item in value[1:])
+        return tuple(_thaw_state_value(item) for item in value)
+    return value
+
+
+def _freeze_pending(pending: "PendingSearch | None"):
+    if pending is None:
+        return None
+    return {
+        "keep_from": pending.keep_from,
+        "state": _freeze_state_value(pending.state),
+    }
+
+
+def _thaw_pending(value) -> "PendingSearch | None":
+    if value is None:
+        return None
+    return PendingSearch(
+        keep_from=int(value["keep_from"]),
+        state=_thaw_state_value(value["state"]),
+    )
 
 
 class _MatchedTag(NamedTuple):
@@ -359,6 +419,69 @@ class _FilterStreamBase:
         return output
 
     # ------------------------------------------------------------------
+    # Checkpoint plumbing shared by both stream kinds
+    # ------------------------------------------------------------------
+    def _export_common(self, carry_low: "int | None" = None,
+                       *, with_window: bool = True) -> dict:
+        """The output-channel / copy-region / statistics part of a snapshot.
+
+        ``carry_low`` bounds the carry-over bytes captured from the window
+        (default: everything the window retains); ``with_window=False``
+        omits the window entirely (driven streams share the session's
+        window, which is snapshotted once at session level).
+        """
+        window = self._window
+        snapshot = {
+            "binary": self._binary,
+            "stats": self.stats.export_state(),
+            "emitted_bytes": self._emitted_bytes,
+            "copy_active": self._copy_active,
+            "copy_tag": self._copy_tag,
+            "copy_emitted": self._copy_emitted,
+            "out": [bytes(fragment) for fragment in self._out],
+            "decoder": (
+                None if self._binary else list(self._decoder.export_state())
+            ),
+            "finished": self._finished,
+        }
+        if with_window:
+            low = window.base
+            if carry_low is not None:
+                low = max(window.base, min(carry_low, window.end))
+            snapshot["window"] = {
+                "base": low,
+                "data": window.slice(low, window.end) if window.end > low else b"",
+                "eof": window.eof,
+            }
+        return snapshot
+
+    def _import_common(self, snapshot: dict, *, with_window: bool = True) -> None:
+        if bool(snapshot["binary"]) != self._binary:
+            captured = "binary" if snapshot["binary"] else "text"
+            raise CheckpointError(
+                f"checkpoint was captured in {captured} output mode; "
+                "restore with the same mode"
+            )
+        if with_window:
+            window_state = snapshot["window"]
+            window = self._window
+            window.rebase(int(window_state["base"]))
+            data = window_state["data"]
+            if data:
+                window.append(bytes(data))
+            if window_state["eof"]:
+                window.close()
+        self.stats = RunStatistics.from_state(snapshot["stats"])
+        self._emitted_bytes = int(snapshot["emitted_bytes"])
+        self._copy_active = bool(snapshot["copy_active"])
+        self._copy_tag = str(snapshot["copy_tag"])
+        self._copy_emitted = int(snapshot["copy_emitted"])
+        self._out = [bytes(fragment) for fragment in snapshot["out"]]
+        if not self._binary and snapshot.get("decoder") is not None:
+            self._decoder.import_state(snapshot["decoder"])
+        self._finished = bool(snapshot["finished"])
+
+    # ------------------------------------------------------------------
     # Transitions and actions
     # ------------------------------------------------------------------
     def _transition(self, state: int, matched: _MatchedTag) -> int:
@@ -508,6 +631,10 @@ class RuntimeStream(_FilterStreamBase):
             # formulas; other backends run the pure batched loop.
             self._delivery = "batched"
         if self._delivery == "pertoken":
+            #: Last checkpointable snapshot published by the generator and
+            #: the resume state consumed at its (lazy) start.
+            self._pt_snapshot: dict | None = None
+            self._pt_resume: dict | None = None
             self._machine = self._run()
         else:
             self._machine = None
@@ -549,9 +676,6 @@ class RuntimeStream(_FilterStreamBase):
     def buffered_bytes(self) -> int:
         """Number of input bytes currently retained in the window."""
         return len(self._window)
-
-    #: Pre-byte-native spelling of :attr:`buffered_bytes`.
-    buffered_chars = buffered_bytes
 
     @property
     def accepted(self) -> bool:
@@ -641,6 +765,232 @@ class RuntimeStream(_FilterStreamBase):
                 self._emit(self._window.slice(self._copy_emitted, flush_to))
                 self._copy_emitted = flush_to
         self._window.discard_to(floor)
+
+    # ------------------------------------------------------------------
+    # Checkpoint: capture and restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Capture this stream's complete resume state as plain data.
+
+        Valid at any feed boundary.  The batched and accel deliveries keep
+        explicit resume fields, so the snapshot is exact; the per-token
+        generator cannot be reified directly, so it *publishes* a snapshot
+        at its two input-wait points (token boundary, suspended frontier
+        search) and this method returns the last published one -- resuming
+        from it replays at most the tail the original run had already
+        processed past it, reproducing identical output and statistics.
+        Matcher counters are folded in, so the captured statistics are
+        self-contained.
+        """
+        if self._failed:
+            raise CheckpointError("cannot checkpoint a failed stream")
+        if self._delivery == "pertoken":
+            snapshot = self._pt_snapshot
+            if snapshot is None:
+                snapshot = self._pt_initial()
+            return dict(snapshot)
+        stats = self.stats.copy()
+        self._runtime._collect_matcher_statistics(stats)
+        snapshot = self._export_common()
+        snapshot["stats"] = stats.export_state()
+        snapshot.update(
+            kind="stream",
+            delivery=self._delivery,
+            input_offset=self.stats.input_size,
+            state=self._state,
+            phase=self._phase,
+            cursor=self._cursor,
+            done=self._done,
+        )
+        if self._delivery == "accel":
+            snapshot["c"] = [
+                self._c_phase, self._c_begin, self._c_pos,
+                self._c_kwi, self._c_aux, self._c_quote,
+            ]
+        else:
+            snapshot.update(
+                search_pos=self._search_pos,
+                match_pos=self._match_pos,
+                keyword=self._keyword,
+                tag_cursor=self._tag_cursor,
+                quote=self._quote,
+                quote_from=self._quote_from,
+                pending=_freeze_pending(self._pending),
+            )
+        return snapshot
+
+    def import_state(self, snapshot: dict) -> None:
+        """Restore a snapshot captured by :meth:`export_state`.
+
+        Must be called on a freshly constructed stream before any input is
+        fed.  Token-boundary snapshots (phase ``TOKEN``) restore into any
+        delivery; suspended-search snapshots travel between the per-token
+        and batched loops (identical ``find_chunk`` contract); snapshots
+        suspended inside the C kernel or the batched verify/tag/quote
+        phases require the capturing delivery.
+        """
+        if snapshot.get("kind") != "stream":
+            raise CheckpointError("snapshot is not a runtime-stream checkpoint")
+        if self.stats.input_size or len(self._window) or self._window.base:
+            raise CheckpointError(
+                "import_state requires a freshly constructed stream"
+            )
+        phase = int(snapshot["phase"])
+        delivery = snapshot.get("delivery")
+        if phase != _PH_TOKEN and delivery != self._delivery:
+            portable_search = (
+                phase == _PH_SEARCH
+                and delivery in ("pertoken", "batched")
+                and self._delivery in ("pertoken", "batched")
+            )
+            if not portable_search:
+                raise CheckpointError(
+                    f"checkpoint was captured mid-token under delivery "
+                    f"{delivery!r}; resume with the same delivery"
+                )
+        self._import_common(snapshot)
+        state = int(snapshot["state"])
+        cursor = int(snapshot["cursor"])
+        self._done = bool(snapshot["done"])
+        self._keep_from = self._window.base
+        if self._delivery == "pertoken":
+            resume = {"state": state, "cursor": cursor, "pending": None}
+            if phase == _PH_SEARCH:
+                resume["pending"] = _thaw_pending(snapshot.get("pending"))
+                resume["search_pos"] = int(snapshot.get("search_pos", cursor))
+            self._pt_resume = resume
+            self._pt_snapshot = dict(snapshot)
+            return
+        self._state = state
+        self._cursor = cursor
+        self._phase = phase
+        if phase == _PH_TOKEN:
+            return
+        if self._delivery == "accel":
+            (
+                self._c_phase, self._c_begin, self._c_pos,
+                self._c_kwi, self._c_aux, self._c_quote,
+            ) = (int(value) for value in snapshot["c"])
+            ctx = self._accel_ctx.get(state)
+            if ctx is None:
+                ctx = self._accel_context(state)
+            self._ctx = ctx
+            return
+        self._search_pos = int(snapshot.get("search_pos", cursor))
+        self._match_pos = int(snapshot.get("match_pos", 0))
+        self._keyword = bytes(snapshot.get("keyword", b"") or b"")
+        self._tag_cursor = int(snapshot.get("tag_cursor", 0))
+        quote = snapshot.get("quote", b"")
+        self._quote = bytes(quote) if quote else b""
+        self._quote_from = int(snapshot.get("quote_from", 0))
+        self._pending = _thaw_pending(snapshot.get("pending"))
+        self._matcher_obj = self._runtime._matcher(state)
+
+    def _pt_initial(self) -> dict:
+        """A pristine snapshot: resume re-runs the document from byte 0."""
+        return {
+            "kind": "stream",
+            "delivery": "pertoken",
+            "input_offset": 0,
+            "state": self._runtime.tables.initial_state,
+            "phase": _PH_TOKEN,
+            "cursor": 0,
+            "done": False,
+            "binary": self._binary,
+            "window": {"base": 0, "data": b"", "eof": False},
+            "stats": RunStatistics().export_state(),
+            "emitted_bytes": 0,
+            "copy_active": False,
+            "copy_tag": "",
+            "copy_emitted": 0,
+            "out": [],
+            "decoder": None,
+            "finished": False,
+        }
+
+    def _pt_snapshot_base(self, carry_low: int) -> dict:
+        """Common part of a generator publish.
+
+        Matcher counters are folded into the captured statistics, and the
+        not-yet-collected output fragments are treated as *delivered*: the
+        suspended ``feed()`` call returns them before any caller can
+        observe the checkpoint, so they belong to the pre-crash output
+        prefix (they are part of ``emitted_bytes``), not to the restored
+        stream.  In text mode the captured decoder state is advanced past
+        them accordingly.
+        """
+        stats = self.stats.copy()
+        self._runtime._collect_matcher_statistics(stats)
+        snapshot = self._export_common(carry_low)
+        snapshot["stats"] = stats.export_state()
+        if self._out:
+            if not self._binary:
+                simulated = Utf8SlidingDecoder()
+                simulated.import_state(self._decoder.export_state())
+                for fragment in self._out:
+                    simulated.decode(fragment)
+                snapshot["decoder"] = list(simulated.export_state())
+            snapshot["out"] = []
+        return snapshot
+
+    def _pt_publish(self, state: int, cursor: int) -> None:
+        """Publish a token-boundary snapshot (generator wait loop).
+
+        Carry bytes are captured *now*: the live window may discard bytes
+        below this snapshot's floor before the next publish, so deferring
+        the copy to :meth:`export_state` would be unsound.
+        """
+        window = self._window
+        carry_low = (
+            self._copy_emitted if self._copy_active
+            else min(cursor, window.end)
+        )
+        snapshot = self._pt_snapshot_base(carry_low)
+        snapshot.update(
+            kind="stream",
+            delivery="pertoken",
+            input_offset=window.end,
+            state=state,
+            phase=_PH_TOKEN,
+            cursor=cursor,
+            done=False,
+        )
+        self._pt_snapshot = snapshot
+
+    def _pt_publish_search(self, state: int, position: int,
+                           pending: PendingSearch) -> None:
+        """Publish a suspended-frontier-search snapshot.
+
+        Backends whose suspended state cannot leave the process (see
+        :func:`_freeze_state_value`) skip the publish -- the previous
+        snapshot stays valid, resume just replays a longer tail.
+        """
+        try:
+            frozen = _freeze_pending(pending)
+        except CheckpointError:
+            return
+        window = self._window
+        carry_low = pending.keep_from
+        if self._copy_active:
+            carry_low = min(carry_low, self._copy_emitted)
+        snapshot = self._pt_snapshot_base(carry_low)
+        snapshot.update(
+            kind="stream",
+            delivery="pertoken",
+            input_offset=window.end,
+            state=state,
+            phase=_PH_SEARCH,
+            cursor=position,
+            search_pos=position,
+            match_pos=0,
+            keyword=b"",
+            tag_cursor=0,
+            quote=b"",
+            quote_from=0,
+            pending=frozen,
+            done=False,
+        )
+        self._pt_snapshot = snapshot
 
     # ------------------------------------------------------------------
     # Batched delivery: the flat explicit-state drive loop
@@ -979,29 +1329,48 @@ class RuntimeStream(_FilterStreamBase):
     def _run(self):
         runtime = self._runtime
         tables = runtime.tables
-        stats = self.stats
         window = self._window
         state = tables.initial_state
         cursor = 0
+        resume_search = None
+        resume = self._pt_resume
+        if resume is not None:
+            # Restored from a checkpoint (the body runs lazily, so the
+            # resume state set by import_state is visible here).
+            self._pt_resume = None
+            state = resume["state"]
+            cursor = resume["cursor"]
+            if resume["pending"] is not None:
+                resume_search = (resume["search_pos"], resume["pending"])
+        stats = self.stats
 
         while not tables.is_final(state):
-            while cursor >= window.end and not window.eof:
-                self._keep_from = cursor
-                yield
-            if cursor >= window.end:
-                break
-            jump = tables.J(state)
-            if jump:
-                stats.initial_jumps += 1
-                stats.initial_jump_chars += jump
-                cursor += jump
+            if resume_search is not None:
+                # Drop straight back into the suspended frontier search:
+                # the initial jump of this state was already accounted
+                # before the original search began.
+                position, pending = resume_search
+                resume_search = None
+            else:
+                while cursor >= window.end and not window.eof:
+                    self._keep_from = cursor
+                    self._pt_publish(state, cursor)
+                    yield
+                if cursor >= window.end:
+                    break
+                jump = tables.J(state)
+                if jump:
+                    stats.initial_jumps += 1
+                    stats.initial_jump_chars += jump
+                    cursor += jump
+                position, pending = cursor, None
             matcher = runtime._matcher(state)
             if matcher is None:
                 raise RuntimeFilterError(
                     f"runtime state {state} has an empty frontier vocabulary but is "
                     "not final; the document does not conform to the DTD"
                 )
-            matched = yield from self._locate_tag(cursor, state, matcher)
+            matched = yield from self._locate_tag(position, state, matcher, pending)
             if matched is None:
                 raise self._no_token_error()
             stats.tokens_matched += 1
@@ -1022,6 +1391,7 @@ class RuntimeStream(_FilterStreamBase):
         cursor: int,
         state: int,
         matcher: SingleKeywordMatcher | MultiKeywordMatcher,
+        pending: "PendingSearch | None" = None,
     ):
         """Find the next frontier token at or after ``cursor``.
 
@@ -1031,6 +1401,8 @@ class RuntimeStream(_FilterStreamBase):
         name byte (it belongs to a multi-byte UTF-8 name character), so the
         rejection test never depends on where a chunk split a sequence.
         Yields whenever the decision needs input beyond the buffered window.
+        A checkpoint-restored ``pending`` resumes the original suspended
+        search exactly where it left off.
         """
         window = self._window
         stats = self.stats
@@ -1038,7 +1410,6 @@ class RuntimeStream(_FilterStreamBase):
         keyword_symbols = tables.keyword_symbols_bytes[state]
         position = cursor
         while True:
-            pending: PendingSearch | None = None
             while True:
                 text, text_base = window.view()
                 outcome = matcher.find_chunk(
@@ -1052,10 +1423,12 @@ class RuntimeStream(_FilterStreamBase):
                 if isinstance(outcome, PendingSearch):
                     pending = outcome
                     self._keep_from = outcome.keep_from
+                    self._pt_publish_search(state, position, outcome)
                     yield
                     continue
                 match = outcome
                 break
+            pending = None
             if match is None:
                 return None
             keyword = match.keyword
@@ -1488,6 +1861,57 @@ class DrivenStream(_FilterStreamBase):
         self._copy_emitted = block[base + 7]
         if block[base + 14]:
             self._done = True
+
+    # ------------------------------------------------------------------
+    # Checkpoint: capture and restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Capture this stream's resume state as plain data.
+
+        The automaton coordinates ride in the same flat layout as the
+        16-slot native step block of :meth:`export_native` (slot 6, the
+        per-process interned tag id, travels as the tag name itself, and
+        the raw state id replaces the program row).  The shared window is
+        *not* included: it belongs to the session, which snapshots it once
+        for all queries.
+        """
+        snapshot = self._export_common(with_window=False)
+        snapshot["kind"] = "driven"
+        snapshot["block"] = [
+            0 if self._done else 1,
+            self._state,
+            self._search_from,
+            1 if self._pending_jump else 0,
+            self._last_position,
+            1 if self._copy_active else 0,
+            0,
+            self._copy_emitted,
+            0, 0, 0, 0, 0, 0,
+            1 if self._done else 0,
+            0,
+        ]
+        return snapshot
+
+    def import_state(self, snapshot: dict) -> None:
+        """Restore a snapshot captured by :meth:`export_state`.
+
+        The caller (the multi-query session) restores the shared window
+        separately; this only rebuilds the per-query machine, including
+        the state-derived vocabulary and transition views.
+        """
+        if snapshot.get("kind") != "driven":
+            raise CheckpointError("snapshot is not a driven-stream checkpoint")
+        self._import_common(snapshot, with_window=False)
+        block = [int(value) for value in snapshot["block"]]
+        tables = self._tables
+        state = block[1]
+        self._state = state
+        self._vocabulary = tables.keyword_symbols_bytes.get(state, {})
+        self._transitions = tables.transition.get(state, {})
+        self._search_from = block[2]
+        self._pending_jump = bool(block[3])
+        self._last_position = block[4]
+        self._done = bool(block[14])
 
     def emit_span(self, start: int, end: int) -> None:
         """Emit one window slice decided by the native step kernel.

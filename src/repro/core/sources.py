@@ -349,7 +349,7 @@ def mmap_chunks(
     is then the mapped pages and no heap copy of the document ever exists.
     In that mode the map is closed only after the consumer finished with
     the generator, so drive the filter to completion before disposing it
-    (the one-shot ``filter_mmap`` entry points do this correctly).
+    (``Source.from_mmap`` runs through :mod:`repro.api` do this correctly).
     """
     mapping = open_mmap(path)
     try:
@@ -636,6 +636,21 @@ class Utf8SlidingDecoder:
 
     def finish(self) -> str:
         return self._decode(b"", True)
+
+    def export_state(self) -> tuple[bytes, int]:
+        """The decoder's resume state (pending partial sequence + flags).
+
+        Checkpointing a text-mode session must preserve an emitted fragment
+        that ended inside a multi-byte UTF-8 sequence; this surfaces the
+        incremental decoder's ``getstate()`` so :meth:`import_state` can
+        restore it in a fresh process.
+        """
+        return self._decode.__self__.getstate()
+
+    def import_state(self, state) -> None:
+        """Restore a state captured by :meth:`export_state`."""
+        pending, flags = state
+        self._decode.__self__.setstate((bytes(pending), int(flags)))
 
 
 def decode_chunks(chunks: Iterable[bytes]) -> Iterator[str]:

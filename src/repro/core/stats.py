@@ -119,6 +119,51 @@ class RunStatistics:
                                      other.peak_memory_bytes)
         self.accel_degraded += other.accel_degraded
 
+    def export_state(self) -> dict:
+        """Every counter as a flat dictionary (checkpoint serialization).
+
+        Unlike :meth:`as_dict` (the benchmark view, which derives ratios and
+        drops bookkeeping fields) this is a lossless snapshot:
+        ``RunStatistics.from_state(stats.export_state())`` reproduces the
+        record field for field.
+        """
+        return {
+            "input_size": self.input_size,
+            "output_size": self.output_size,
+            "char_comparisons": self.char_comparisons,
+            "local_scan_chars": self.local_scan_chars,
+            "shifts": self.shifts,
+            "shift_total": self.shift_total,
+            "initial_jump_chars": self.initial_jump_chars,
+            "initial_jumps": self.initial_jumps,
+            "tokens_matched": self.tokens_matched,
+            "tokens_copied": self.tokens_copied,
+            "regions_copied": self.regions_copied,
+            "run_seconds": self.run_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "accel_degraded": self.accel_degraded,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunStatistics":
+        """Rebuild a record captured by :meth:`export_state`."""
+        stats = cls()
+        for name in (
+            "input_size", "output_size", "char_comparisons",
+            "local_scan_chars", "shifts", "shift_total",
+            "initial_jump_chars", "initial_jumps", "tokens_matched",
+            "tokens_copied", "regions_copied", "peak_memory_bytes",
+            "accel_degraded",
+        ):
+            if name in state:
+                setattr(stats, name, int(state[name]))
+        stats.run_seconds = float(state.get("run_seconds", 0.0))
+        return stats
+
+    def copy(self) -> "RunStatistics":
+        """An independent copy of the current counters."""
+        return RunStatistics.from_state(self.export_state())
+
     def as_dict(self) -> dict[str, float]:
         """All metrics as a flat dictionary (used by the benchmark harness)."""
         return {

@@ -128,6 +128,20 @@ class ChunkCursor:
         """Mark the end of the stream; no further appends are expected."""
         self.eof = True
 
+    def rebase(self, base: int) -> None:
+        """Move an empty, unstarted cursor to absolute offset ``base``.
+
+        Restoring a checkpointed session re-creates its window in a fresh
+        process: the carry-over bytes are appended to a new cursor whose
+        origin must be the absolute stream offset they were captured at, so
+        every position stored in the snapshot (cursors, copy regions,
+        suspended-search offsets) keeps its meaning.  Only valid before any
+        append/discard/close -- a live window cannot be rebased.
+        """
+        if len(self) or self.base or self.eof:
+            raise ValueError("rebase() requires a fresh, empty cursor")
+        self.base = base
+
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------

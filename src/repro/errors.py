@@ -123,3 +123,15 @@ class RuntimeFilterError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by the synthetic data generators for invalid parameters."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a session checkpoint cannot be written, read or applied.
+
+    Covers torn or corrupted checkpoint files (magic/version/length/checksum
+    mismatches -- a damaged checkpoint is always rejected whole, never
+    half-restored), attempts to restore a checkpoint into an engine whose
+    query set differs from the one that wrote it, and session states that
+    cannot be captured (e.g. an unseekable source with no capturable
+    boundary yet).
+    """

@@ -63,6 +63,8 @@ __all__ = [
     "flip_bits",
     "truncate",
     "inject_garbage",
+    "corrupt_file",
+    "truncate_file",
     "delay_chunks",
 ]
 
@@ -258,6 +260,49 @@ def inject_garbage(data: bytes, *, seed: int, length: int = 8) -> bytes:
     position = rng.randrange(len(data) + 1)
     garbage = bytes(rng.randrange(256) for _ in range(length))
     return data[:position] + garbage + data[position:]
+
+
+def corrupt_file(path: str, *, seed: int, flips: int = 1) -> bytes:
+    """Deterministically flip ``flips`` bits of the file at ``path`` in place.
+
+    The on-disk counterpart of :func:`flip_bits`: read the file, damage it
+    with the same seeded single-bit flips, and write the damaged bytes back
+    over the original.  Returns the damaged content.  This is the reusable
+    corruption mode the checkpoint checksum-rejection tests use (bit-flip a
+    checkpoint on disk, then assert the reader refuses it) -- no hand-rolled
+    byte surgery per test.
+    """
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    damaged = flip_bits(data, seed=seed, flips=flips)
+    with open(path, "wb") as handle:
+        handle.write(damaged)
+    return damaged
+
+
+def truncate_file(path: str, *, length: int | None = None,
+                  seed: int | None = None) -> bytes:
+    """Truncate the file at ``path``: a torn-write simulation.
+
+    Either to an explicit ``length`` (clamped to the file size) or, with
+    ``seed``, to the deterministic strict-prefix length :func:`truncate`
+    would pick.  Returns the remaining content.  Used to prove that a
+    checkpoint torn at *any* byte boundary is rejected whole
+    (:class:`~repro.errors.CheckpointError`) instead of half-restored.
+    """
+
+    if (length is None) == (seed is None):
+        raise ValueError("pass exactly one of length= or seed=")
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if seed is not None:
+        kept = truncate(data, seed=seed)
+    else:
+        kept = data[: max(0, min(length, len(data)))]
+    with open(path, "wb") as handle:
+        handle.write(kept)
+    return kept
 
 
 def delay_chunks(

@@ -34,7 +34,6 @@ from dataclasses import dataclass, field
 from typing import IO, Iterable, Sequence
 
 from repro import api
-from repro._deprecation import warn_legacy
 from repro.core.multi import MultiQueryEngine
 from repro.core.prefilter import SmpPrefilter
 from repro.core.sources import decode_chunks
@@ -134,61 +133,6 @@ class XPathPipeline:
             streaming_stats=evaluation.stats,
             compilation=self.prefilter.compilation,
         )
-
-    def run(
-        self,
-        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-    ) -> PipelineOutcome:
-        """Filter and evaluate ``source`` (string, bytes, file object or
-        chunks).
-
-        .. deprecated:: use :meth:`evaluate` with a ``repro.api.Source``.
-        """
-        warn_legacy("XPathPipeline.run",
-                    "XPathPipeline.evaluate(repro.api.Source.of(...))")
-        return self.evaluate(source, chunk_size=chunk_size)
-
-    def run_bytes(
-        self, data: bytes, *, chunk_size: int = DEFAULT_CHUNK_SIZE
-    ) -> PipelineOutcome:
-        """Run the pipeline over an in-memory UTF-8 byte document.
-
-        .. deprecated:: use :meth:`evaluate` with ``Source.from_bytes``.
-        """
-        warn_legacy("XPathPipeline.run_bytes",
-                    "XPathPipeline.evaluate(repro.api.Source.from_bytes(...))")
-        return self.evaluate(
-            api.Source.from_bytes(data, chunk_size=chunk_size),
-            chunk_size=chunk_size,
-        )
-
-    def run_file(
-        self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
-    ) -> PipelineOutcome:
-        """Run the pipeline over a document stored on disk.
-
-        The file is read in binary; the input is never decoded.
-
-        .. deprecated:: use :meth:`evaluate` with ``Source.from_file``.
-        """
-        warn_legacy("XPathPipeline.run_file",
-                    "XPathPipeline.evaluate(repro.api.Source.from_file(...))")
-        return self.evaluate(
-            api.Source.from_file(path, chunk_size=chunk_size),
-            chunk_size=chunk_size,
-        )
-
-    def run_mmap(self, path: str) -> PipelineOutcome:
-        """Run the pipeline over a memory-mapped document (zero-copy
-        prefilter window; only projected fragments reach the heap).
-
-        .. deprecated:: use :meth:`evaluate` with ``Source.from_mmap``.
-        """
-        warn_legacy("XPathPipeline.run_mmap",
-                    "XPathPipeline.evaluate(repro.api.Source.from_mmap(...))")
-        return self.evaluate(api.Source.from_mmap(path))
 
     def evaluate_unfiltered(
         self,
@@ -321,36 +265,4 @@ class MultiXPathPipeline:
             queries=list(self.queries),
             outcomes=outcomes,
             scan_stats=run.scan_stats,
-        )
-
-    def run(
-        self,
-        source: "str | bytes | IO[str] | IO[bytes] | Iterable[str] | Iterable[bytes]",
-        *,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-    ) -> MultiPipelineOutcome:
-        """Filter and evaluate ``source`` against every query at once.
-
-        .. deprecated:: use :meth:`evaluate` with a ``repro.api.Source``.
-        """
-        warn_legacy("MultiXPathPipeline.run",
-                    "MultiXPathPipeline.evaluate(repro.api.Source.of(...))")
-        return self.evaluate(source, chunk_size=chunk_size)
-
-    def run_file(
-        self, path: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE
-    ) -> MultiPipelineOutcome:
-        """Run the multi-query pipeline over a document stored on disk.
-
-        The file is read in binary; the input is never decoded.
-
-        .. deprecated:: use :meth:`evaluate` with ``Source.from_file``.
-        """
-        warn_legacy(
-            "MultiXPathPipeline.run_file",
-            "MultiXPathPipeline.evaluate(repro.api.Source.from_file(...))",
-        )
-        return self.evaluate(
-            api.Source.from_file(path, chunk_size=chunk_size),
-            chunk_size=chunk_size,
         )

@@ -38,6 +38,7 @@ prove the harness actually detects disagreements.
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass, field
 from random import Random
@@ -215,6 +216,9 @@ class Divergence:
 
     @property
     def repro(self) -> str:
+        if self.scenario.startswith("kill-resume"):
+            return (f"python -m repro fuzz --kill-resume "
+                    f"--case-seed {self.case_seed}")
         line = (f"python -m repro fuzz --only {self.scenario} "
                 f"--case-seed {self.case_seed}")
         if self.inject_seed is not None:
@@ -637,6 +641,251 @@ def run_fuzz(*, seed: int, budget: int = 200,
 
 
 # ----------------------------------------------------------------------
+# Kill-and-resume: SIGKILL at a seeded offset, resume, assert identity
+# ----------------------------------------------------------------------
+#: The workloads of the kill-and-resume matrix: the MEDLINE dataset, the
+#: generated-XML grammar and the JSONL second grammar.
+KILL_RESUME_WORKLOADS = ("medline", "gen:", "json:")
+
+#: Chunk flavours with bounded chunk counts (every chunk boundary is a
+#: potential checkpoint, so "tiny" would mean thousands of fsyncs).
+KILL_RESUME_FLAVORS = ("midtag", "mixed")
+
+
+def _kill_resume_setup(workload: str, case_seed: int, backend: str):
+    """Deterministically rebuild (document bytes, compiled plan) for a
+    kill-and-resume case — called identically in parent and child."""
+    if workload == "medline":
+        from repro.workloads.datasets import load_dataset
+        from repro.workloads.medline import (
+            MEDLINE_QUERIES, MEDLINE_QUERY_ORDER, medline_dtd,
+        )
+
+        document = load_dataset(
+            "medline", size_bytes=16_000 + (case_seed % 5) * 1000
+        ).encode("utf-8")
+        order = [n for n in MEDLINE_QUERY_ORDER if n != "M1"]
+        spec = MEDLINE_QUERIES[order[case_seed % len(order)]]
+        dtd = medline_dtd()
+    elif workload.startswith("gen:"):
+        schema = build_schema(SchemaSpec(depth=5, fanout=3, seed=case_seed))
+        records = generate_records(schema, DocumentSpec(
+            records=1, record_bytes=12_000, seed=case_seed,
+        ))
+        document = records[0]
+        queries = generate_queries(schema, seed=case_seed, count=4)
+        spec = queries[case_seed % len(queries)].spec()
+        dtd = schema.dtd
+    elif workload.startswith("json:"):
+        from repro.workloads import json_records
+
+        json_spec = json_records.JsonSpec(
+            records=1, seed=case_seed, note_density=0.5,
+        )
+        document = json_records.xml_records(json_spec)[0]
+        queries = json_records.json_queries()
+        spec = queries[case_seed % len(queries)].spec()
+        dtd = json_records.json_dtd()
+    else:
+        raise WorkloadError(
+            f"unknown kill-resume workload {workload!r}; expected one of "
+            f"{KILL_RESUME_WORKLOADS}"
+        )
+    plan = SmpPrefilter.cached_for_query(dtd, spec, backend=backend)
+    return document, plan
+
+
+def _kill_resume_chunks(document: bytes, flavor: str, case_seed: int):
+    """The adversarial chunking of a case (same split in parent & child)."""
+    rng = Random(("kill-resume-chunks", case_seed, flavor).__repr__())
+    return adversarial_chunks(document, flavor, rng)
+
+
+def _kill_resume_child(config: dict) -> None:
+    """Child-process body: filter + checkpoint, then SIGKILL itself.
+
+    Runs in a spawned process.  Feeds the case's adversarial chunks into a
+    streaming session whose projected bytes go straight to the output
+    file; every ``interval``-th chunk boundary flushes the file and writes
+    an atomic checkpoint.  At the seeded kill chunk the process SIGKILLs
+    itself — either *before* the boundary's checkpoint (resume must replay
+    from the previous one) or right *after* it (resume starts exactly at
+    the boundary), so both torn-progress shapes are exercised.
+    """
+    import signal
+
+    from repro.checkpoint import write_checkpoint
+
+    document, plan = _kill_resume_setup(
+        config["workload"], config["case_seed"], config["backend"]
+    )
+    chunks = _kill_resume_chunks(
+        document, config["flavor"], config["case_seed"]
+    )
+    kill_index = config["kill_index"]
+    kill_phase = config["kill_phase"]
+    interval = config["interval"]
+    with open(config["output_path"], "wb") as out:
+        session = plan.session(
+            sink=out.write, binary=True, delivery=config["delivery"]
+        )
+        consumed = 0
+        for index, chunk in enumerate(chunks):
+            session.feed(chunk)
+            consumed += len(chunk)
+            boundary = index % interval == 0
+            if boundary and kill_phase == "before" and index >= kill_index:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if boundary:
+                out.flush()
+                state = session.export_state()
+                write_checkpoint(config["checkpoint_path"], {
+                    "kind": "fuzz-stream",
+                    "input_offset": consumed,
+                    "output_size": state["emitted_bytes"],
+                    "delivery": session.delivery,
+                    "state": state,
+                })
+            if boundary and kill_phase == "after" and index >= kill_index:
+                os.kill(os.getpid(), signal.SIGKILL)
+    # Not reached: kill_index always fires.  Exit loudly if it did not.
+    os._exit(86)
+
+
+def _resume_killed_case(config: dict):
+    """Parent-side recovery: load the checkpoint, resume, run to the end.
+
+    Returns ``(output bytes, RunStatistics)`` of the recovered run.
+    """
+    from repro.checkpoint import read_checkpoint, resume_chunks
+
+    document, plan = _kill_resume_setup(
+        config["workload"], config["case_seed"], config["backend"]
+    )
+    chunks = _kill_resume_chunks(
+        document, config["flavor"], config["case_seed"]
+    )
+    snapshot = read_checkpoint(config["checkpoint_path"])
+    if snapshot.get("kind") != "fuzz-stream":
+        raise WorkloadError("unexpected checkpoint kind in kill-resume case")
+    with open(config["output_path"], "r+b") as out:
+        out.truncate(int(snapshot["output_size"]))
+        out.seek(int(snapshot["output_size"]))
+        session = plan.session(
+            sink=out.write, binary=True, delivery=snapshot["delivery"]
+        )
+        session.import_state(snapshot["state"])
+        for chunk in resume_chunks(chunks, int(snapshot["input_offset"])):
+            session.feed(chunk)
+        session.finish()
+        out.flush()
+    with open(config["output_path"], "rb") as out:
+        output = out.read()
+    return output, session.stats
+
+
+def run_kill_resume(*, seed: int, case_seed: int | None = None,
+                    workloads: tuple[str, ...] = KILL_RESUME_WORKLOADS,
+                    deliveries: tuple[str, ...] | None = None,
+                    rounds: int = 1, progress=None) -> list[CaseResult]:
+    """The kill-and-resume chaos matrix: workloads × deliveries × flavours.
+
+    Each cell: an uninterrupted reference run; then a spawned child that
+    filters the same adversarial chunk stream, checkpoints at chunk
+    boundaries and SIGKILLs itself at a seeded offset; then an in-process
+    resume from the surviving checkpoint.  The recovered output bytes and
+    the full 11-field statistics tuple (:data:`STATS_FIELDS`) must be
+    identical to the uninterrupted run.  Backends alternate between
+    ``native`` and ``instrumented`` per cell.
+    """
+    import multiprocessing
+    import tempfile
+
+    resolved = deliveries or available_deliveries()
+    spawn = multiprocessing.get_context("spawn")
+    cases: list[CaseResult] = []
+    for round_number in range(max(1, rounds)):
+        if case_seed is not None and round_number:
+            break
+        derived = case_seed if case_seed is not None else Random(
+            ("kill-resume", seed, round_number).__repr__()
+        ).getrandbits(32)
+        for workload in workloads:
+            case = CaseResult(f"kill-resume:{workload}", derived)
+            rng = Random(("kill-resume-case", derived, workload).__repr__())
+            for delivery in resolved:
+                for flavor in KILL_RESUME_FLAVORS:
+                    case.pairs += 1
+                    backend = ("native", "instrumented")[case.pairs % 2]
+                    detail = _run_one_kill_resume(
+                        workload, derived, delivery, flavor, backend,
+                        rng, spawn, tempfile,
+                    )
+                    if detail is not None:
+                        case.divergences.append(Divergence(
+                            scenario=case.scenario,
+                            case_seed=derived,
+                            query="*",
+                            record=0,
+                            comparison=(f"uninterrupted vs kill+resume"
+                                        f"[{delivery}]/{flavor}/{backend}"),
+                            detail=detail,
+                        ))
+            if progress is not None:
+                progress(case)
+            cases.append(case)
+    return cases
+
+
+def _run_one_kill_resume(workload, derived, delivery, flavor, backend,
+                         rng, spawn, tempfile) -> "str | None":
+    """One cell of the kill-and-resume matrix; returns a detail string on
+    divergence (or harness failure), None when byte-identical."""
+    document, plan = _kill_resume_setup(workload, derived, backend)
+    chunks = _kill_resume_chunks(document, flavor, derived)
+    if len(chunks) < 4:
+        return None  # degenerate split; nothing to kill mid-stream
+    interval = max(1, len(chunks) // 32)
+    kill_index = rng.randrange(interval, len(chunks) - 1)
+    kill_phase = rng.choice(("before", "after"))
+
+    reference = plan.session(binary=True, delivery=delivery).run(chunks)
+
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as tmp:
+        config = {
+            "workload": workload,
+            "case_seed": derived,
+            "backend": backend,
+            "delivery": delivery,
+            "flavor": flavor,
+            "kill_index": kill_index,
+            "kill_phase": kill_phase,
+            "interval": interval,
+            "checkpoint_path": os.path.join(tmp, "stream.ckpt"),
+            "output_path": os.path.join(tmp, "projected.xml"),
+        }
+        child = spawn.Process(target=_kill_resume_child, args=(config,))
+        child.start()
+        child.join(timeout=120)
+        if child.is_alive():
+            child.kill()
+            child.join()
+            return "child did not die at the seeded kill offset"
+        if child.exitcode != -9:
+            return (f"child exited with {child.exitcode}, "
+                    f"expected SIGKILL (-9)")
+        try:
+            output, stats = _resume_killed_case(config)
+        except ReproError as error:
+            return f"resume failed: {type(error).__name__}: {error}"
+    if output != reference.output:
+        return "resumed output differs: " + _first_difference(
+            output, reference.output
+        )
+    return _stats_difference(stats, reference.stats, STATS_FIELDS)
+
+
+# ----------------------------------------------------------------------
 # CLI: python -m repro fuzz ...
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
@@ -670,6 +919,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inject-seed", type=int, default=None,
                         help="corrupt the chunked view of the last record "
                              "with this fault seed (harness self-test)")
+    parser.add_argument("--kill-resume", action="store_true",
+                        help="additionally run the kill-and-resume chaos "
+                             "matrix: a child process SIGKILLs itself at a "
+                             "seeded offset mid-stream and the parent "
+                             "resumes from the last checkpoint; output and "
+                             "statistics must be byte-identical to an "
+                             "uninterrupted run")
+    parser.add_argument("--kill-rounds", type=int, default=1,
+                        help="rounds of the kill-and-resume matrix "
+                             "(default 1; each round uses a fresh derived "
+                             "case seed)")
+    parser.add_argument("--kill-resume-only", action="store_true",
+                        help="run only the kill-and-resume matrix, skipping "
+                             "the differential scenarios")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the full JSON report to PATH")
     parser.add_argument("--quiet", action="store_true",
@@ -685,15 +948,28 @@ def main(argv: list[str] | None = None) -> int:
               f" pairs={case.pairs:<4} {status}")
 
     try:
-        report = run_fuzz(
-            seed=options.seed,
-            budget=options.budget,
-            scenarios=tuple(options.only) if options.only else None,
-            case_seed=options.case_seed,
-            jobs=options.jobs,
-            inject_seed=options.inject_seed,
-            progress=progress,
-        )
+        if options.kill_resume_only:
+            report = FuzzReport(
+                seed=options.seed, budget=0,
+                deliveries=available_deliveries(),
+            )
+        else:
+            report = run_fuzz(
+                seed=options.seed,
+                budget=options.budget,
+                scenarios=tuple(options.only) if options.only else None,
+                case_seed=options.case_seed,
+                jobs=options.jobs,
+                inject_seed=options.inject_seed,
+                progress=progress,
+            )
+        if options.kill_resume or options.kill_resume_only:
+            report.cases.extend(run_kill_resume(
+                seed=options.seed,
+                case_seed=options.case_seed,
+                rounds=options.kill_rounds,
+                progress=progress,
+            ))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -438,3 +438,139 @@ class TestServeHardening:
                 await aio.shutdown(server, timeout=5.0)
 
         assert asyncio.run(main()) == expected
+
+
+class TestServeRecords:
+    """Resumable record streams: commit-at-boundary, exactly-once resume."""
+
+    END_TAG = b"</MedlineCitationSet>"
+
+    @pytest.fixture(scope="class")
+    def record_stream(self):
+        from repro.workloads.medline import generate_medline_document
+
+        records = [
+            generate_medline_document(citations=3, seed=100 + index)
+            .encode("utf-8")
+            for index in range(6)
+        ]
+        return records, b"".join(records)
+
+    @pytest.fixture(scope="class")
+    def per_record_reference(self, engine, record_stream):
+        records, _ = record_stream
+        reference = []
+        for record in records:
+            run = engine.run(api.Source.from_bytes(record), binary=True)
+            reference.append({
+                result.label: result.output for result in run if result.output
+            })
+        return reference
+
+    def _union(self, maps):
+        merged: dict[int, dict[str, bytes]] = {}
+        for collected in maps:
+            for index, outputs in collected.items():
+                assert index not in merged, f"record {index} emitted twice"
+                merged[index] = outputs
+        return merged
+
+    def test_round_trip_commits_every_record(
+        self, tmp_path, engine, record_stream, per_record_reference
+    ):
+        from repro.checkpoint import read_checkpoint
+
+        records, stream = record_stream
+        checkpoint = str(tmp_path / "records.ckpt")
+
+        async def main():
+            server = await aio.serve_records(
+                engine, end_tag=self.END_TAG, checkpoint=checkpoint
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await aio.request_records("127.0.0.1", port, stream)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        resume_offset, collected = asyncio.run(main())
+        assert resume_offset == 0
+        assert collected == {
+            index: outputs
+            for index, outputs in enumerate(per_record_reference)
+        }
+        snapshot = read_checkpoint(checkpoint)
+        assert snapshot["input_offset"] == len(stream)
+        assert snapshot["record_index"] == len(records)
+
+    def test_reconnect_resumes_at_committed_record_boundary(
+        self, tmp_path, engine, record_stream, per_record_reference
+    ):
+        """Producers die mid-record twice; the union is still exactly-once."""
+        records, stream = record_stream
+        boundaries = []
+        position = 0
+        for record in records:
+            position += len(record)
+            boundaries.append(position)
+        checkpoint = str(tmp_path / "records.ckpt")
+        # Two crash points, each severing a record in half.
+        cuts = [boundaries[1] + len(records[2]) // 2,
+                boundaries[3] + len(records[4]) // 2]
+
+        async def main():
+            server = await aio.serve_records(
+                engine, end_tag=self.END_TAG, checkpoint=checkpoint
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                results = []
+                for cut in cuts:
+                    results.append(await aio.request_records(
+                        "127.0.0.1", port, stream[:cut]
+                    ))
+                results.append(await aio.request_records(
+                    "127.0.0.1", port, stream
+                ))
+                return results
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        results = asyncio.run(main())
+        offsets = [offset for offset, _ in results]
+        assert offsets[0] == 0
+        # Every resume offset is exactly the last committed record boundary
+        # before the previous connection's truncation point.
+        assert offsets[1] == boundaries[1]
+        assert offsets[2] == boundaries[3]
+        merged = self._union(collected for _, collected in results)
+        assert merged == {
+            index: outputs
+            for index, outputs in enumerate(per_record_reference)
+        }
+
+    def test_corrupt_checkpoint_is_refused(
+        self, tmp_path, engine, record_stream
+    ):
+        from repro.faults import corrupt_file
+
+        _, stream = record_stream
+        checkpoint = str(tmp_path / "records.ckpt")
+
+        async def main():
+            server = await aio.serve_records(
+                engine, end_tag=self.END_TAG, checkpoint=checkpoint
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                await aio.request_records("127.0.0.1", port, stream)
+                corrupt_file(checkpoint, seed=3, flips=1)
+                with pytest.raises(ReproError, match="checksum"):
+                    await aio.request_records("127.0.0.1", port, stream)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())

@@ -2,25 +2,20 @@
 
 Covers the PR-4 redesign: source shapes over one engine, query hashing and
 plan-cache sharing, engine/session parity with the pre-existing session
-machinery, sink routing and lifecycle, the deprecated legacy shims (warn
-exactly once, stay byte-identical), and live attach/detach on a shared-scan
-session.
+machinery, sink routing and lifecycle, and live attach/detach on a
+shared-scan session.
 """
 
 from __future__ import annotations
 
 import io
-import warnings
 
 import pytest
 
 from repro import api
-from repro._deprecation import reset_warned
 from repro.core.multi import MultiQueryEngine
-from repro.core.prefilter import SmpPrefilter
 from repro.core.stream import iter_chunks
 from repro.errors import QueryError, ReproError, RuntimeFilterError
-from repro.pipeline import XPathPipeline
 from repro.workloads import load_dataset
 from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
 from repro.workloads.xmark import XMARK_QUERIES, xmark_dtd
@@ -368,177 +363,6 @@ class TestSinks:
         text_sink = api.CollectSink()
         api.Engine(empty_query).run(medline_document, sinks=[text_sink])
         assert text_sink.value() == ""
-
-
-# ----------------------------------------------------------------------
-# Deprecated legacy shims: warn exactly once, stay byte-identical
-# ----------------------------------------------------------------------
-def _shim_cases():
-    """name -> (legacy callable, api callable); both return projected text."""
-
-    def single(document, path):
-        plan = SmpPrefilter.cached_for_query(
-            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
-        )
-        query = api.Query.from_plan(plan, label="M2")
-        data = document.encode("utf-8")
-        return {
-            "SmpPrefilter.filter_document": (
-                lambda: plan.filter_document(document).output,
-                lambda: api.Engine(query).run(
-                    api.Source.from_text(document)).single.output,
-            ),
-            "SmpPrefilter.filter_bytes": (
-                lambda: plan.filter_bytes(data).output,
-                lambda: api.Engine(query).run(
-                    api.Source.from_bytes(data), binary=True).single.output,
-            ),
-            "SmpPrefilter.filter_file": (
-                lambda: plan.filter_file(path, chunk_size=4096).output,
-                lambda: api.Engine(query).run(
-                    api.Source.from_file(path, chunk_size=4096)
-                ).single.output,
-            ),
-            "SmpPrefilter.filter_mmap": (
-                lambda: plan.filter_mmap(path).output,
-                lambda: api.Engine(query).run(
-                    api.Source.from_mmap(path)).single.output,
-            ),
-            "SmpPrefilter.filter_stream": (
-                lambda: plan.filter_stream(
-                    iter_chunks(document, 4096)).output,
-                lambda: api.Engine(query).run(
-                    api.Source.from_iter(iter_chunks(document, 4096))
-                ).single.output,
-            ),
-        }
-
-    def multi(document, path):
-        engine = MultiQueryEngine(
-            medline_dtd(),
-            [MEDLINE_QUERIES["M2"], MEDLINE_QUERIES["M5"]],
-            backend="native",
-        )
-        queries = [
-            api.Query.from_plan(plan, label=label)
-            for plan, label in zip(engine.prefilters, engine.labels)
-        ]
-        data = document.encode("utf-8")
-        return {
-            "MultiQueryEngine.filter_document": (
-                lambda: tuple(engine.filter_document(document).outputs),
-                lambda: tuple(api.Engine(queries).run(
-                    api.Source.from_text(document)).outputs),
-            ),
-            "MultiQueryEngine.filter_bytes": (
-                lambda: tuple(engine.filter_bytes(data).outputs),
-                lambda: tuple(api.Engine(queries).run(
-                    api.Source.from_bytes(data), binary=True).outputs),
-            ),
-            "MultiQueryEngine.filter_file": (
-                lambda: tuple(engine.filter_file(path).outputs),
-                lambda: tuple(api.Engine(queries).run(
-                    api.Source.from_file(path)).outputs),
-            ),
-            "MultiQueryEngine.filter_mmap": (
-                lambda: tuple(engine.filter_mmap(path).outputs),
-                lambda: tuple(api.Engine(queries).run(
-                    api.Source.from_mmap(path)).outputs),
-            ),
-            "MultiQueryEngine.filter_stream": (
-                lambda: tuple(engine.filter_stream(
-                    iter_chunks(document, 4096)).outputs),
-                lambda: tuple(api.Engine(queries).run(
-                    api.Source.from_iter(iter_chunks(document, 4096))
-                ).outputs),
-            ),
-        }
-
-    def pipeline(document, path):
-        pipe = XPathPipeline(
-            medline_dtd(), MEDLINE_QUERIES["M2"].xpath, backend="native"
-        )
-
-        def serialize(outcome):
-            return [item.serialize() for item in outcome.results]
-
-        data = document.encode("utf-8")
-        return {
-            "XPathPipeline.run": (
-                lambda: serialize(pipe.run(document)),
-                lambda: serialize(pipe.evaluate(document)),
-            ),
-            "XPathPipeline.run_bytes": (
-                lambda: serialize(pipe.run_bytes(data)),
-                lambda: serialize(
-                    pipe.evaluate(api.Source.from_bytes(data))),
-            ),
-            "XPathPipeline.run_file": (
-                lambda: serialize(pipe.run_file(path)),
-                lambda: serialize(
-                    pipe.evaluate(api.Source.from_file(path))),
-            ),
-            "XPathPipeline.run_mmap": (
-                lambda: serialize(pipe.run_mmap(path)),
-                lambda: serialize(
-                    pipe.evaluate(api.Source.from_mmap(path))),
-            ),
-        }
-
-    return single, multi, pipeline
-
-
-SHIM_GROUPS = _shim_cases()
-
-
-class TestLegacyShims:
-    @pytest.mark.parametrize("group", range(len(SHIM_GROUPS)))
-    def test_shims_warn_once_and_stay_byte_identical(
-        self, group, medline_document, medline_file
-    ):
-        cases = SHIM_GROUPS[group](medline_document, medline_file)
-        for name, (legacy, modern) in cases.items():
-            reset_warned()
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                first = legacy()
-                second = legacy()
-            relevant = [
-                entry for entry in caught
-                if issubclass(entry.category, DeprecationWarning)
-                and str(entry.message).startswith(name)
-            ]
-            assert len(relevant) == 1, (name, [str(e.message) for e in caught])
-            assert "repro.api" in str(relevant[0].message) or \
-                "evaluate" in str(relevant[0].message), name
-            assert first == second, name
-            assert first == modern(), name
-
-    def test_buffered_chars_aliases_warn_and_agree(self, medline_document):
-        plan = SmpPrefilter.cached_for_query(
-            medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
-        )
-        reset_warned()
-        session = plan.session()
-        session.feed(medline_document[:1000])
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert session.buffered_chars == session.buffered_bytes
-            assert session.buffered_chars == session.buffered_bytes
-        assert sum(
-            issubclass(entry.category, DeprecationWarning) for entry in caught
-        ) == 1
-        reset_warned()
-        engine = MultiQueryEngine(medline_dtd(), [MEDLINE_QUERIES["M2"]])
-        multi_session = engine.session()
-        multi_session.feed(medline_document[:1000])
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert multi_session.buffered_chars == multi_session.buffered_bytes
-            assert multi_session.buffered_chars == multi_session.buffered_bytes
-        assert sum(
-            issubclass(entry.category, DeprecationWarning) for entry in caught
-        ) == 1
 
 
 # ----------------------------------------------------------------------

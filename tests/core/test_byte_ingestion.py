@@ -1,11 +1,11 @@
 """Byte-native ingestion: bytes/str equivalence and UTF-8 edge cases.
 
 The defining property of the byte-native refactor: filtering the UTF-8
-encoding of a document through any byte entry point (``filter_bytes``,
-binary sessions, ``filter_file``'s binary reads, ``filter_mmap``) produces
-*byte-identical* output and *identical* statistics to the ``str`` shim --
-for every workload, every chunking, and in particular for inputs whose
-multi-byte UTF-8 sequences are split across arbitrary chunk boundaries.
+encoding of a document through any byte entry point (binary sessions over
+bytes, file handles or memory maps) produces *byte-identical* output and
+*identical* statistics to the ``str`` path -- for every workload, every
+chunking, and in particular for inputs whose multi-byte UTF-8 sequences
+are split across arbitrary chunk boundaries.
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ import random
 import pytest
 
 from repro import MultiQueryEngine, SmpPrefilter
+from repro.core.sources import open_mmap
 from repro.core.stream import iter_chunks
 from repro.workloads import load_dataset
 from repro.workloads.medline import MEDLINE_QUERIES, medline_dtd
@@ -60,8 +61,8 @@ class TestBytesVsStrEquivalence:
         plan = SmpPrefilter.cached_for_query(
             medline_dtd(), MEDLINE_QUERIES[query], backend=backend
         )
-        reference = plan.filter_document(medline_document)
-        byte_run = plan.filter_bytes(medline_document.encode("utf-8"))
+        reference = plan.session().run(medline_document)
+        byte_run = plan.session(binary=True).run(medline_document.encode("utf-8"))
         assert byte_run.output == reference.output.encode("utf-8")
         assert stats_tuple(byte_run.stats) == stats_tuple(reference.stats)
 
@@ -70,8 +71,8 @@ class TestBytesVsStrEquivalence:
         plan = SmpPrefilter.cached_for_query(
             xmark_dtd(), XMARK_QUERIES[query], backend="native"
         )
-        reference = plan.filter_document(xmark_document)
-        byte_run = plan.filter_bytes(xmark_document.encode("utf-8"))
+        reference = plan.session().run(xmark_document)
+        byte_run = plan.session(binary=True).run(xmark_document.encode("utf-8"))
         assert byte_run.output == reference.output.encode("utf-8")
         assert stats_tuple(byte_run.stats) == stats_tuple(reference.stats)
 
@@ -80,11 +81,9 @@ class TestBytesVsStrEquivalence:
         plan = SmpPrefilter.cached_for_query(
             medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
         )
-        reference = plan.filter_document(medline_document)
+        reference = plan.session().run(medline_document)
         data = medline_document.encode("utf-8")
-        streamed = plan.filter_stream(
-            iter_chunks(data, chunk_size), binary=True
-        )
+        streamed = plan.session(binary=True).run(iter_chunks(data, chunk_size))
         assert streamed.output == reference.output.encode("utf-8")
         assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
 
@@ -92,8 +91,8 @@ class TestBytesVsStrEquivalence:
         plan = SmpPrefilter.cached_for_query(
             medline_dtd(), MEDLINE_QUERIES["M4"], backend="native"
         )
-        reference = plan.filter_document(medline_document)
-        run = plan.filter_stream(iter_chunks(medline_document.encode(), 4096))
+        reference = plan.session().run(medline_document)
+        run = plan.session().run(iter_chunks(medline_document.encode(), 4096))
         assert run.output == reference.output
         assert stats_tuple(run.stats) == stats_tuple(reference.stats)
 
@@ -105,53 +104,53 @@ class TestBytesVsStrEquivalence:
         session = plan.session(sink=fragments.append, binary=True)
         session.feed(medline_document.encode("utf-8"))
         session.finish()
-        expected = plan.filter_document(medline_document).output.encode("utf-8")
+        expected = plan.session().run(medline_document).output.encode("utf-8")
         assert b"".join(fragments) == expected
         assert all(isinstance(fragment, bytes) for fragment in fragments)
 
-    def test_filter_file_reads_binary(self, tmp_path, medline_document):
+    def test_file_session_reads_binary(self, tmp_path, medline_document):
         path = tmp_path / "medline.xml"
         path.write_text(medline_document, encoding="utf-8")
         plan = SmpPrefilter.cached_for_query(
             medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
         )
-        reference = plan.filter_document(medline_document)
-        from_file = plan.filter_file(str(path), chunk_size=4096)
+        reference = plan.session().run(medline_document)
+        from_file = plan.session().run(open(str(path), "rb"), chunk_size=4096)
         assert from_file.output == reference.output
         assert stats_tuple(from_file.stats) == stats_tuple(reference.stats)
-        binary = plan.filter_file(str(path), chunk_size=4096, binary=True)
+        binary = plan.session(binary=True).run(open(str(path), "rb"), chunk_size=4096)
         assert binary.output == reference.output.encode("utf-8")
 
-    def test_filter_mmap_zero_copy_window(self, tmp_path, medline_document):
+    def test_mmap_zero_copy_window(self, tmp_path, medline_document):
         path = tmp_path / "medline.xml"
         path.write_text(medline_document, encoding="utf-8")
         plan = SmpPrefilter.cached_for_query(
             medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
         )
-        reference = plan.filter_document(medline_document)
-        mapped = plan.filter_mmap(str(path))
+        reference = plan.session().run(medline_document)
+        mapped = plan.session().run([open_mmap(str(path))])
         assert mapped.output == reference.output
         assert stats_tuple(mapped.stats) == stats_tuple(reference.stats)
-        mapped_binary = plan.filter_mmap(str(path), binary=True)
+        mapped_binary = plan.session(binary=True).run([open_mmap(str(path))])
         assert mapped_binary.output == reference.output.encode("utf-8")
 
 
 class TestMultiQueryBytePath:
     @pytest.mark.parametrize("names", (("M2", "M5"), ("M1", "M3", "M4")))
-    def test_filter_bytes_matches_str_engine(self, medline_document, names):
+    def test_byte_session_matches_str_engine(self, medline_document, names):
         engine = MultiQueryEngine(
             medline_dtd(), [MEDLINE_QUERIES[name] for name in names],
             backend="native",
         )
-        reference = engine.filter_document(medline_document)
-        byte_run = engine.filter_bytes(medline_document.encode("utf-8"))
+        reference = engine.session().run(medline_document)
+        byte_run = engine.session(binary=True).run(medline_document.encode("utf-8"))
         for text_out, byte_out, text_stats, byte_stats in zip(
             reference.outputs, byte_run.outputs, reference.stats, byte_run.stats
         ):
             assert byte_out == text_out.encode("utf-8")
             assert stats_tuple(byte_stats) == stats_tuple(text_stats)
 
-    def test_filter_mmap_matches_filter_file(self, tmp_path, medline_document):
+    def test_mmap_session_matches_file_session(self, tmp_path, medline_document):
         path = tmp_path / "medline.xml"
         path.write_text(medline_document, encoding="utf-8")
         engine = MultiQueryEngine(
@@ -159,8 +158,8 @@ class TestMultiQueryBytePath:
             [MEDLINE_QUERIES["M2"], MEDLINE_QUERIES["M5"]],
             backend="native",
         )
-        from_file = engine.filter_file(str(path), chunk_size=4096)
-        mapped = engine.filter_mmap(str(path))
+        from_file = engine.session().run(open(str(path), "rb"), chunk_size=4096)
+        mapped = engine.session().run([open_mmap(str(path))])
         assert mapped.outputs == from_file.outputs
         for mapped_stats, file_stats in zip(mapped.stats, from_file.stats):
             assert stats_tuple(mapped_stats) == stats_tuple(file_stats)
@@ -171,7 +170,7 @@ class TestMultiQueryBytePath:
             [MEDLINE_QUERIES["M2"], MEDLINE_QUERIES["M5"]],
             backend="native",
         )
-        reference = engine.filter_document(medline_document)
+        reference = engine.session().run(medline_document)
         collected: list[list[bytes]] = [[], []]
         session = engine.session(
             sinks=[collected[0].append, collected[1].append], binary=True
@@ -259,7 +258,7 @@ class TestUtf8ChunkBoundaries:
     def test_projection_is_not_vacuous(self, utf8_plan):
         """Every item's multi-byte description region is actually copied --
         guards the whole class against passing on empty projections."""
-        run = utf8_plan.filter_bytes(_utf8_document(items=8).encode("utf-8"))
+        run = utf8_plan.session(binary=True).run(_utf8_document(items=8).encode("utf-8"))
         assert run.stats.regions_copied == 8
         assert _MULTIBYTE_TEXT.encode("utf-8") in run.output
 
@@ -267,20 +266,18 @@ class TestUtf8ChunkBoundaries:
     def test_every_small_chunk_size(self, utf8_plan, chunk_size):
         document = _utf8_document()
         data = document.encode("utf-8")
-        whole = utf8_plan.filter_bytes(data)
+        whole = utf8_plan.session(binary=True).run(data)
         assert whole.output  # never compare empty projections
-        chunked = utf8_plan.filter_stream(
-            iter_chunks(data, chunk_size), binary=True
-        )
+        chunked = utf8_plan.session(binary=True).run(iter_chunks(data, chunk_size))
         assert chunked.output == whole.output
         assert stats_tuple(chunked.stats) == stats_tuple(whole.stats)
         # And the str shim agrees byte for byte after encoding.
-        assert whole.output == utf8_plan.filter_document(document).output.encode()
+        assert whole.output == utf8_plan.session().run(document).output.encode()
 
     def test_random_chunkings_property(self, utf8_plan):
         document = _utf8_document(items=12)
         data = document.encode("utf-8")
-        whole = utf8_plan.filter_bytes(data)
+        whole = utf8_plan.session(binary=True).run(data)
         rng = random.Random(0xBEEF)
         for _ in range(25):
             pieces = []
@@ -289,7 +286,7 @@ class TestUtf8ChunkBoundaries:
                 size = rng.choice((1, 2, 3, 4, 5, 17, 64, 1024))
                 pieces.append(data[position:position + size])
                 position += size
-            run = utf8_plan.filter_stream(pieces, binary=True)
+            run = utf8_plan.session(binary=True).run(pieces)
             assert run.output == whole.output
             assert stats_tuple(run.stats) == stats_tuple(whole.stats)
 
@@ -297,7 +294,7 @@ class TestUtf8ChunkBoundaries:
         """Split exactly inside each multi-byte sequence at least once."""
         document = _utf8_document(items=2)
         data = document.encode("utf-8")
-        whole = utf8_plan.filter_bytes(data)
+        whole = utf8_plan.session(binary=True).run(data)
         # Every split position that lands inside a multi-byte sequence.
         inside = [
             index for index in range(1, len(data))
@@ -305,20 +302,16 @@ class TestUtf8ChunkBoundaries:
         ]
         assert inside, "document must contain multi-byte sequences"
         for split in inside:
-            run = utf8_plan.filter_stream(
-                [data[:split], data[split:]], binary=True
-            )
+            run = utf8_plan.session(binary=True).run([data[:split], data[split:]])
             assert run.output == whole.output
             assert stats_tuple(run.stats) == stats_tuple(whole.stats)
 
     def test_instrumented_backend_agrees(self, utf8_plan_instrumented):
         document = _utf8_document()
         data = document.encode("utf-8")
-        whole = utf8_plan_instrumented.filter_bytes(data)
+        whole = utf8_plan_instrumented.session(binary=True).run(data)
         for chunk_size in (1, 3, 64):
-            run = utf8_plan_instrumented.filter_stream(
-                iter_chunks(data, chunk_size), binary=True
-            )
+            run = utf8_plan_instrumented.session(binary=True).run(iter_chunks(data, chunk_size))
             assert run.output == whole.output
             assert stats_tuple(run.stats) == stats_tuple(whole.stats)
 
@@ -326,9 +319,9 @@ class TestUtf8ChunkBoundaries:
         """Text-mode output over split multi-byte input equals the shim."""
         document = _utf8_document()
         data = document.encode("utf-8")
-        expected = utf8_plan.filter_document(document).output
+        expected = utf8_plan.session().run(document).output
         for chunk_size in (1, 2, 5, 127):
-            run = utf8_plan.filter_stream(iter_chunks(data, chunk_size))
+            run = utf8_plan.session().run(iter_chunks(data, chunk_size))
             assert run.output == expected
 
     def test_multi_query_engine_on_split_utf8(self):
@@ -345,12 +338,10 @@ class TestUtf8ChunkBoundaries:
             for path in ("//item//description#", "//item//name#")
         ]
         engine = MultiQueryEngine(dtd, plans, backend="native")
-        whole = engine.filter_bytes(data)
+        whole = engine.session(binary=True).run(data)
         assert all(output for output in whole.outputs)
         for chunk_size in (1, 3, 7, 256):
-            run = engine.filter_stream(
-                iter_chunks(data, chunk_size), binary=True
-            )
+            run = engine.session(binary=True).run(iter_chunks(data, chunk_size))
             assert run.outputs == whole.outputs
             for chunked_stats, whole_stats in zip(run.stats, whole.stats):
                 assert stats_tuple(chunked_stats) == stats_tuple(whole_stats)

@@ -43,7 +43,7 @@ def document_file(tmp_path, figure2_document):
 
 def expected_output(site_dtd, figure2_document):
     prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
-    return prefilter.filter_document(figure2_document).output
+    return prefilter.session().run(figure2_document).output
 
 
 class TestCli:
@@ -140,7 +140,7 @@ class TestMultiQueryCli:
             medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
         )
         with open(medline_file, encoding="utf-8") as handle:
-            expected = plan.filter_document(handle.read()).output
+            expected = plan.session().run(handle.read()).output
         assert body == expected
 
     def test_output_base_writes_one_file_per_query(self, tmp_path, medline_file):
@@ -176,7 +176,7 @@ class TestMultiQueryCli:
             medline_dtd(), MEDLINE_QUERIES["M2"], backend="native"
         )
         with open(medline_file, "rb") as handle:
-            expected = plan.filter_bytes(handle.read()).output
+            expected = plan.session(binary=True).run(handle.read()).output
         assert (tmp_path / "projected.M2.xml").read_bytes() == expected
 
     def test_output_files_closed_on_error_path(

@@ -59,7 +59,7 @@ def xmark_document():
 
 def assert_equivalent(dtd, specs, document, chunk_size):
     engine = MultiQueryEngine(dtd, specs, backend="native")
-    run = engine.filter_stream(iter_chunks(document, chunk_size))
+    run = engine.session().run(iter_chunks(document, chunk_size))
     for spec, output, stats in zip(specs, run.outputs, run.stats):
         plan = SmpPrefilter.cached_for_query(dtd, spec, backend="native")
         reference = plan.session().run(iter_chunks(document, chunk_size))
@@ -101,7 +101,7 @@ class TestEngineBehaviour:
         spec = MEDLINE_QUERIES["M2"]
         engine = MultiQueryEngine(medline_dtd(), [spec, spec], backend="native")
         assert engine.prefilters[0] is engine.prefilters[1]
-        run = engine.filter_document(medline_document)
+        run = engine.session().run(medline_document)
         assert run.outputs[0] == run.outputs[1]
 
     def test_plan_cache_shared_across_engines(self):
@@ -114,11 +114,8 @@ class TestEngineBehaviour:
         specs = [MEDLINE_QUERIES[name] for name in ("M2", "M5")]
         engine = MultiQueryEngine(medline_dtd(), specs, backend="native")
         collected = [[], []]
-        run = engine.filter_stream(
-            iter_chunks(medline_document, 4096),
-            sinks=[collected[0].append, collected[1].append],
-        )
-        buffered = engine.filter_stream(iter_chunks(medline_document, 4096))
+        run = engine.session(sinks=[collected[0].append, collected[1].append]).run(iter_chunks(medline_document, 4096))
+        buffered = engine.session().run(iter_chunks(medline_document, 4096))
         assert run.outputs == ["", ""]  # routed to the sinks instead
         assert ["".join(fragments) for fragments in collected] == buffered.outputs
 
@@ -139,7 +136,7 @@ class TestEngineBehaviour:
     def test_per_query_matcher_counters_live_on_the_scan(self, medline_document):
         specs = [MEDLINE_QUERIES[name] for name in ("M2", "M4")]
         engine = MultiQueryEngine(medline_dtd(), specs, backend="native")
-        run = engine.filter_document(medline_document)
+        run = engine.session().run(medline_document)
         assert run.scan_stats.char_comparisons > 0
         for stats in run.stats:
             assert stats.char_comparisons == 0
@@ -151,7 +148,7 @@ class TestEngineBehaviour:
         engine = MultiQueryEngine(
             dtd, ["/MedlineCitationSet/MedlineCitation", plan], backend="native"
         )
-        run = engine.filter_document(medline_document)
+        run = engine.session().run(medline_document)
         assert len(run.outputs) == 2
         reference = plan.session().run(iter_chunks(medline_document, 64 * 1024))
         assert run.outputs[1] == reference.output
@@ -182,11 +179,11 @@ class TestMultiPipeline:
         dtd = medline_dtd()
         queries = [MEDLINE_QUERIES[name].xpath for name in ("M2", "M5")]
         multi = XPathPipeline.multi(dtd, queries, backend="native")
-        outcome = multi.run(medline_document, chunk_size=8192)
+        outcome = multi.evaluate(medline_document, chunk_size=8192)
         assert outcome.scan_stats.input_size == len(medline_document)
         for query, single_outcome in zip(queries, outcome.outcomes):
             single = XPathPipeline(dtd, query, backend="native")
-            expected = single.run(medline_document, chunk_size=8192)
+            expected = single.evaluate(medline_document, chunk_size=8192)
             actual_items = [item.serialize() for item in single_outcome.results]
             expected_items = [item.serialize() for item in expected.results]
             assert actual_items == expected_items

@@ -73,25 +73,25 @@ class TestExample2Prefiltering:
     def test_only_b_children_of_a_survive(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         document = "<a><b>one</b><c><b>two</b><b>three</b></c><b>four</b></a>"
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert run.output == "<a><b>one</b><b>four</b></a>"
 
     def test_bachelor_and_attribute_forms(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         document = '<a><b/><c><b>x</b></c><b kind="last">y</b></a>'
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert run.output == '<a><b/><b kind="last">y</b></a>'
 
     def test_empty_a_element(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
-        assert prefilter.filter_document("<a></a>").output == "<a></a>"
+        assert prefilter.session().run("<a></a>").output == "<a></a>"
 
     def test_agrees_with_reference_projector(self, paper_dtd):
         paths = ["/a/b#"]
         prefilter = SmpPrefilter.compile(paper_dtd, paths)
         reference = ReferenceProjector(paths, alphabet=paper_dtd.tag_names())
         document = "<a><c><b>i</b><b>j</b></c><b>k</b><c><b>l</b></c></a>"
-        assert prefilter.filter_document(document).output == \
+        assert prefilter.session().run(document).output == \
             reference.project_text(document).output
 
 
@@ -100,7 +100,7 @@ class TestExample1Figure2:
 
     def test_projected_document_matches_the_paper(self, site_dtd, figure2_document):
         prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
-        run = prefilter.filter_document(figure2_document)
+        run = prefilter.session().run(figure2_document)
         assert run.output == (
             "<site><australia><description>Palm Zire 71</description>"
             "</australia></site>"
@@ -110,7 +110,7 @@ class TestExample1Figure2:
         # The paper reports about 22% for this toy example; allow a margin
         # because our keyword set also includes the top-level site tags.
         prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
-        run = prefilter.filter_document(figure2_document)
+        run = prefilter.session().run(figure2_document)
         assert run.stats.char_comparison_ratio < 60.0
         assert run.stats.tokens_matched >= 5
 
@@ -130,5 +130,5 @@ class TestExample1Figure2:
         paths = ["//australia//description#"]
         prefilter = SmpPrefilter.compile(site_dtd, paths)
         reference = ReferenceProjector(paths, alphabet=site_dtd.tag_names())
-        assert prefilter.filter_document(figure2_document).output == \
+        assert prefilter.session().run(figure2_document).output == \
             reference.project_text(figure2_document).output

@@ -20,7 +20,7 @@ class TestTagLocation:
             '<shipping>s</shipping><incategory category="c1"/></item>'
             "</australia></regions></site>"
         )
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert "<description >d</description>" in run.output
         assert run.output.startswith("<site >")
 
@@ -33,7 +33,7 @@ class TestTagLocation:
             '<shipping>s</shipping><incategory category="c>1"/></item>'
             "</australia></regions></site>"
         )
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert "<description>d</description>" in run.output
 
     def test_prefix_tag_disambiguation(self):
@@ -48,7 +48,7 @@ class TestTagLocation:
             "<AbstractText>second</AbstractText>"
             "<Abstract>the real one</Abstract></doc>"
         )
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert run.output == "<doc><Abstract>the real one</Abstract></doc>"
 
     def test_keyword_occurrence_inside_text_is_impossible_but_escaped_forms_are_safe(
@@ -62,7 +62,7 @@ class TestTagLocation:
             "<shipping>s</shipping><incategory category='c'/></item>"
             "</australia></regions></site>"
         )
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert run.output.count("<australia>") == 1
         assert "real" in run.output
 
@@ -70,13 +70,13 @@ class TestTagLocation:
 class TestBachelorTags:
     def test_bachelor_form_of_copied_nodes(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
-        run = prefilter.filter_document("<a><b/><c><b/></c></a>")
+        run = prefilter.session().run("<a><b/><c><b/></c></a>")
         assert run.output == "<a><b/></a>"
 
     def test_bachelor_form_of_skipped_nodes(self, site_dtd):
         prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
         document = "<site><regions><africa/><asia/><australia/></regions></site>"
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert "<australia/>" in run.output
         assert "africa" not in run.output
 
@@ -91,7 +91,7 @@ class TestCopyRegions:
             '<incategory category="c"/></item>'
             "</africa><asia/><australia/></regions></site>"
         )
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert '<item id="i9">' in run.output
         assert run.output.index("<location>L</location>") > run.output.index('<item id="i9">')
         assert run.output.endswith("</site>")
@@ -99,7 +99,7 @@ class TestCopyRegions:
     def test_multiple_copy_regions_in_sequence(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         document = "<a>" + "".join(f"<b>{i}</b>" for i in range(20)) + "</a>"
-        run = prefilter.filter_document(document)
+        run = prefilter.session().run(document)
         assert run.output == document
         assert run.stats.regions_copied == 20
 
@@ -108,17 +108,17 @@ class TestInvalidInput:
     def test_document_not_matching_dtd_raises(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         with pytest.raises(RuntimeFilterError):
-            prefilter.filter_document("<wrong><b>x</b></wrong>")
+            prefilter.session().run("<wrong><b>x</b></wrong>")
 
     def test_truncated_document_raises(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         with pytest.raises(RuntimeFilterError):
-            prefilter.filter_document("<a><b>never closed")
+            prefilter.session().run("<a><b>never closed")
 
     def test_empty_document_raises(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
         with pytest.raises(RuntimeFilterError):
-            prefilter.filter_document("")
+            prefilter.session().run("")
 
 
 class TestBackends:
@@ -127,7 +127,7 @@ class TestBackends:
         prefilter = SmpPrefilter.compile(
             site_dtd, ["//australia//description#"], backend=backend,
         )
-        run = prefilter.filter_document(figure2_document)
+        run = prefilter.session().run(figure2_document)
         reference = ReferenceProjector(
             ["//australia//description#"], alphabet=site_dtd.tag_names(),
         ).project_text(figure2_document)
@@ -139,16 +139,21 @@ class TestBackends:
         paths = ["//australia//description#"]
         instrumented = SmpPrefilter.compile(site_dtd, paths, backend="instrumented")
         naive = SmpPrefilter.compile(site_dtd, paths, backend="naive")
-        smart = instrumented.filter_document(figure2_document)
-        brute = naive.filter_document(figure2_document)
+        smart = instrumented.session().run(figure2_document)
+        brute = naive.session().run(figure2_document)
         assert smart.output == brute.output
         assert smart.stats.total_comparisons < brute.stats.total_comparisons
 
 
 class TestRunStatistics:
     def test_statistics_fields_are_populated(self, site_dtd, figure2_document):
+        from repro import api
+
         prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
-        run = prefilter.filter_document(figure2_document, measure_memory=True)
+        engine = api.Engine(api.Query.from_plan(prefilter))
+        run = engine.run(
+            api.Source.from_text(figure2_document), measure_memory=True
+        ).single
         stats = run.stats
         assert stats.input_size == len(figure2_document)
         assert stats.output_size == len(run.output)
@@ -163,9 +168,9 @@ class TestRunStatistics:
         prefilter = SmpPrefilter.compile(site_dtd, ["//australia//description#"])
         path = tmp_path / "figure2.xml"
         path.write_text(figure2_document, encoding="utf-8")
-        from_file = prefilter.filter_file(str(path))
+        from_file = prefilter.session().run(open(str(path), "rb"))
         chunks = [figure2_document[i:i + 37] for i in range(0, len(figure2_document), 37)]
-        from_chunks = prefilter.filter_stream(chunks)
+        from_chunks = prefilter.session().run(chunks)
         with open(path, "r", encoding="utf-8") as handle:
-            from_handle = prefilter.filter_stream(handle)
+            from_handle = prefilter.session().run(handle)
         assert from_file.output == from_chunks.output == from_handle.output

@@ -144,7 +144,7 @@ class TestCompilationStatistics:
 
     def test_compiled_prefilter_is_reusable(self, paper_dtd):
         prefilter = SmpPrefilter.compile(paper_dtd, ["/a/b#"])
-        first = prefilter.filter_document("<a><b>1</b></a>")
-        second = prefilter.filter_document("<a><c><b>2</b></c></a>")
+        first = prefilter.session().run("<a><b>1</b></a>")
+        second = prefilter.session().run("<a><c><b>2</b></c></a>")
         assert first.output == "<a><b>1</b></a>"
         assert second.output == "<a></a>"

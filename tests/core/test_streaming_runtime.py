@@ -56,10 +56,8 @@ class TestChunkEquivalence:
     def test_figure2_document_all_chunk_sizes(
         self, site_prefilter, figure2_document, chunk_size
     ):
-        reference = site_prefilter.filter_document(figure2_document)
-        streamed = site_prefilter.filter_stream(
-            figure2_document, chunk_size=chunk_size
-        )
+        reference = site_prefilter.session().run(figure2_document)
+        streamed = site_prefilter.session().run(figure2_document, chunk_size=chunk_size)
         assert streamed.output == reference.output
         assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
 
@@ -70,11 +68,9 @@ class TestChunkEquivalence:
         prefilter = SmpPrefilter.compile(
             site_dtd, ["//australia//description#"], backend=backend
         )
-        reference = prefilter.filter_document(figure2_document)
+        reference = prefilter.session().run(figure2_document)
         for chunk_size in (1, 2, 3):
-            streamed = prefilter.filter_stream(
-                figure2_document, chunk_size=chunk_size
-            )
+            streamed = prefilter.session().run(figure2_document, chunk_size=chunk_size)
             assert streamed.output == reference.output
             assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
 
@@ -87,11 +83,9 @@ class TestChunkEquivalence:
             )
             spec = rng.choice(queries)
             prefilter = SmpPrefilter.compile_for_query(xmark_dtd_fixture, spec)
-            reference = prefilter.filter_document(document)
+            reference = prefilter.session().run(document)
             sizes = rng.choice([[1, 2, 3], [1, 7, 30], [64, 1024]])
-            streamed = prefilter.filter_stream(
-                chunks_of(document, sizes, rng), chunk_size=1 << 20
-            )
+            streamed = prefilter.session().run(chunks_of(document, sizes, rng), chunk_size=1 << 20)
             assert streamed.output == reference.output
             assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
 
@@ -104,11 +98,9 @@ class TestChunkEquivalence:
             )
             spec = rng.choice(queries)
             prefilter = SmpPrefilter.compile_for_query(medline_dtd_fixture, spec)
-            reference = prefilter.filter_document(document)
+            reference = prefilter.session().run(document)
             sizes = rng.choice([[1, 2, 3], [5, 11, 64]])
-            streamed = prefilter.filter_stream(
-                chunks_of(document, sizes, rng), chunk_size=1 << 20
-            )
+            streamed = prefilter.session().run(chunks_of(document, sizes, rng), chunk_size=1 << 20)
             assert streamed.output == reference.output
             assert stats_tuple(streamed.stats) == stats_tuple(reference.stats)
 
@@ -117,7 +109,7 @@ class TestFilterSession:
     def test_incremental_output_concatenates_to_reference(
         self, site_prefilter, figure2_document
     ):
-        reference = site_prefilter.filter_document(figure2_document)
+        reference = site_prefilter.session().run(figure2_document)
         session = site_prefilter.session()
         pieces = [session.feed(chunk) for chunk in
                   (figure2_document[i:i + 13] for i in range(0, len(figure2_document), 13))]
@@ -126,7 +118,7 @@ class TestFilterSession:
         assert session.finished
 
     def test_sink_receives_fragments_in_order(self, site_prefilter, figure2_document):
-        reference = site_prefilter.filter_document(figure2_document)
+        reference = site_prefilter.session().run(figure2_document)
         received = []
         session = site_prefilter.session(sink=received.append)
         assert session.feed(figure2_document) == ""
@@ -135,7 +127,7 @@ class TestFilterSession:
         assert session.stats.output_size == len(reference.output)
 
     def test_sessions_are_isolated(self, site_prefilter, figure2_document):
-        reference = site_prefilter.filter_document(figure2_document)
+        reference = site_prefilter.session().run(figure2_document)
         first = site_prefilter.session()
         second = site_prefilter.session()
         half = len(figure2_document) // 2
@@ -162,8 +154,8 @@ class TestFilterSession:
         with pytest.raises(RuntimeFilterError):
             session.finish()
 
-    def test_run_helper_matches_filter_stream(self, site_prefilter, figure2_document):
-        reference = site_prefilter.filter_document(figure2_document)
+    def test_run_helper_matches_chunked_session(self, site_prefilter, figure2_document):
+        reference = site_prefilter.session().run(figure2_document)
         run = site_prefilter.session().run(figure2_document, chunk_size=9)
         assert run.output == reference.output
         assert stats_tuple(run.stats) == stats_tuple(reference.stats)
@@ -194,10 +186,10 @@ class TestFilterSession:
 class TestFileAndCache:
     def test_filter_file_uses_chunked_path(self, tmp_path, site_prefilter,
                                            figure2_document):
-        reference = site_prefilter.filter_document(figure2_document)
+        reference = site_prefilter.session().run(figure2_document)
         path = tmp_path / "figure2.xml"
         path.write_text(figure2_document, encoding="utf-8")
-        run = site_prefilter.filter_file(str(path), chunk_size=11)
+        run = site_prefilter.session().run(open(str(path), "rb"), chunk_size=11)
         assert run.output == reference.output
         assert stats_tuple(run.stats) == stats_tuple(reference.stats)
 
@@ -214,6 +206,6 @@ class TestFileAndCache:
 
     def test_filter_text_is_one_chunk_wrapper(self, site_prefilter, figure2_document):
         output, stats = site_prefilter.runtime.filter_text(figure2_document)
-        reference = site_prefilter.filter_document(figure2_document)
+        reference = site_prefilter.session().run(figure2_document)
         assert output == reference.output
         assert stats_tuple(stats) == stats_tuple(reference.stats)

@@ -71,7 +71,7 @@ def test_smp_agrees_with_reference_on_random_documents(seed, path_indices) -> No
     paths = [_PATH_POOL[index] for index in sorted(path_indices)]
     prefilter = SmpPrefilter.compile(RANDOM_DTD, paths)
     reference = ReferenceProjector(paths, alphabet=RANDOM_DTD.tag_names())
-    assert prefilter.filter_document(document).output == reference.project_text(document).output
+    assert prefilter.session().run(document).output == reference.project_text(document).output
 
 
 @settings(max_examples=80, deadline=None)
@@ -87,7 +87,7 @@ def test_projection_preserves_path_results(seed, path_index) -> None:
     document = _generate_document(seed)
     path_text = _PATH_POOL[path_index]
     prefilter = SmpPrefilter.compile(RANDOM_DTD, [path_text])
-    projected = prefilter.filter_document(document).output
+    projected = prefilter.session().run(document).output
 
     probe = str(ProjectionPath.parse(path_text).without_flag())
     original_results = evaluate_xpath(probe, parse_document(document))
@@ -102,7 +102,7 @@ def test_projection_preserves_path_results(seed, path_index) -> None:
 def test_projection_output_is_well_formed(seed) -> None:
     document = _generate_document(seed)
     prefilter = SmpPrefilter.compile(RANDOM_DTD, ["//u#", "/r/t#"])
-    output = prefilter.filter_document(document).output
+    output = prefilter.session().run(document).output
     parsed = parse_document(output)
     assert parsed.root.name == "r"
 

@@ -15,7 +15,7 @@ from repro.xpath import evaluate_xpath, string_value
 
 def _project_both(dtd, paths, document):
     prefilter = SmpPrefilter.compile(dtd, paths, add_default_paths=False)
-    smp_output = prefilter.filter_document(document).output
+    smp_output = prefilter.session().run(document).output
     reference_output = ReferenceProjector(
         paths, add_default_paths=False, alphabet=dtd.tag_names(),
     ).project_text(document).output
@@ -52,7 +52,7 @@ def test_xmark_projection_is_well_formed_and_smaller(
     prefilter = SmpPrefilter.compile(
         xmark_dtd_fixture, spec.parsed_paths(), add_default_paths=False,
     )
-    run = prefilter.filter_document(xmark_document_small)
+    run = prefilter.session().run(xmark_document_small)
     projected = parse_document(run.output)
     assert projected.root.name == "site"
     assert run.output_size < len(xmark_document_small)
@@ -71,7 +71,7 @@ def test_medline_query_results_preserved_by_projection(
     prefilter = SmpPrefilter.compile(
         medline_dtd_fixture, spec.parsed_paths(), add_default_paths=False,
     )
-    projected = prefilter.filter_document(medline_document_small).output
+    projected = prefilter.session().run(medline_document_small).output
     original_results = evaluate_xpath(spec.query, parse_document(medline_document_small))
     projected_results = evaluate_xpath(spec.query, parse_document(projected))
     assert [string_value(item) for item in original_results] == [
@@ -86,7 +86,7 @@ def test_m1_projects_to_structure_only(medline_dtd_fixture, medline_document_sma
     prefilter = SmpPrefilter.compile(
         medline_dtd_fixture, spec.parsed_paths(), add_default_paths=False,
     )
-    run = prefilter.filter_document(medline_document_small)
+    run = prefilter.session().run(medline_document_small)
     assert run.output == "<MedlineCitationSet></MedlineCitationSet>"
     assert run.stats.projection_ratio < 0.001
 
@@ -100,7 +100,7 @@ def test_projection_sizes_order_matches_table1(xmark_dtd_fixture, xmark_document
         prefilter = SmpPrefilter.compile(
             xmark_dtd_fixture, spec.parsed_paths(), add_default_paths=False,
         )
-        sizes[name] = prefilter.filter_document(xmark_document_small).output_size
+        sizes[name] = prefilter.session().run(xmark_document_small).output_size
     assert sizes["XM14"] > sizes["XM13"] > sizes["XM6"]
     assert sizes["XM10"] > sizes["XM5"]
 
@@ -112,9 +112,9 @@ def test_native_backend_matches_instrumented_on_workload(
     instrumented = SmpPrefilter.compile(
         xmark_dtd_fixture, spec.parsed_paths(), backend="instrumented",
         add_default_paths=False,
-    ).filter_document(xmark_document_small)
+    ).session().run(xmark_document_small)
     native = SmpPrefilter.compile(
         xmark_dtd_fixture, spec.parsed_paths(), backend="native",
         add_default_paths=False,
-    ).filter_document(xmark_document_small)
+    ).session().run(xmark_document_small)
     assert instrumented.output == native.output

@@ -69,7 +69,7 @@ def test_streaming_10mb_is_byte_identical_and_bounded(large_document_path):
     with open(large_document_path, "r", encoding="utf-8") as handle:
         text = handle.read()
     assert len(text) >= TARGET_BYTES
-    reference = prefilter.filter_document(text)
+    reference = prefilter.session().run(text)
     reference_digest = hashlib.sha256(reference.output.encode()).hexdigest()
     reference_length = len(reference.output)
     reference_stats = comparison_stats(reference.stats)
@@ -85,9 +85,7 @@ def test_streaming_10mb_is_byte_identical_and_bounded(large_document_path):
         emitted += len(fragment)
 
     tracemalloc.start()
-    streamed = prefilter.filter_file(
-        large_document_path, chunk_size=CHUNK_SIZE, sink=sink
-    )
+    streamed = prefilter.session(sink=sink).run(open(large_document_path, "rb"), chunk_size=CHUNK_SIZE)
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
@@ -107,7 +105,7 @@ def test_streaming_instrumented_backend_statistics_match_on_1mb():
     prefilter = SmpPrefilter.compile_for_query(
         xmark_dtd(), XMARK_QUERIES["XM1"], backend="instrumented"
     )
-    reference = prefilter.filter_document(document)
-    streamed = prefilter.filter_stream(document, chunk_size=CHUNK_SIZE)
+    reference = prefilter.session().run(document)
+    streamed = prefilter.session().run(document, chunk_size=CHUNK_SIZE)
     assert streamed.output == reference.output
     assert comparison_stats(streamed.stats) == comparison_stats(reference.stats)

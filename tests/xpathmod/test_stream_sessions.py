@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import api
 from repro.pipeline import XPathPipeline
 from repro.workloads.medline import MEDLINE_QUERIES, generate_medline_document
 from repro.xml.sax import EventCollector, parse_chunks, parse_with_handler
@@ -68,7 +69,7 @@ class TestXPathPipeline:
             paths=spec.parsed_paths(),
         )
         reference = pipeline.evaluate_unfiltered(document)
-        outcome = pipeline.run(document, chunk_size=333)
+        outcome = pipeline.evaluate(document, chunk_size=333)
         assert serialized(outcome.results) == serialized(reference)
         # The evaluator only saw the projection, not the raw document.
         assert outcome.filter_stats.output_size < outcome.filter_stats.input_size
@@ -79,12 +80,12 @@ class TestXPathPipeline:
         document = generate_medline_document(citations=10, seed=3)
         query = MEDLINE_QUERIES["M1"].query
         pipeline = XPathPipeline(medline_dtd_fixture, query, backend="native")
-        outcome = pipeline.run(document)
+        outcome = pipeline.evaluate(document)
         assert serialized(outcome.results) == serialized(
             pipeline.evaluate_unfiltered(document)
         )
 
-    def test_pipeline_run_file(self, tmp_path, medline_dtd_fixture):
+    def test_pipeline_evaluate_file(self, tmp_path, medline_dtd_fixture):
         document = generate_medline_document(citations=8, seed=21)
         path = tmp_path / "medline.xml"
         path.write_text(document, encoding="utf-8")
@@ -93,6 +94,7 @@ class TestXPathPipeline:
             medline_dtd_fixture, spec.query, backend="native",
             paths=spec.parsed_paths(),
         )
-        from_file = pipeline.run_file(str(path), chunk_size=512)
-        in_memory = pipeline.run(document)
+        from_file = pipeline.evaluate(
+            api.Source.from_file(str(path), chunk_size=512))
+        in_memory = pipeline.evaluate(document)
         assert serialized(from_file.results) == serialized(in_memory.results)

@@ -99,7 +99,7 @@ class TestInMemoryQueryEngine:
         spec = XMARK_QUERIES["XM13"]
         prefilter = SmpPrefilter.compile(xmark_dtd(), spec.parsed_paths(),
                                          add_default_paths=False)
-        projected = prefilter.filter_document(xmark_document_small).output
+        projected = prefilter.session().run(xmark_document_small).output
         engine = InMemoryQueryEngine()
         full = engine.run(spec.xpath, xmark_document_small)
         pruned = engine.run(spec.xpath, projected)
